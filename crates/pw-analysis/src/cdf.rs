@@ -1,0 +1,154 @@
+//! Empirical cumulative distribution functions.
+//!
+//! The paper's Figures 1, 5 and 10 are per-host CDFs; [`Ecdf`] is the
+//! container the reproduction harness uses to print those series.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over a finite sample.
+///
+/// # Examples
+///
+/// ```
+/// use pw_analysis::Ecdf;
+///
+/// let cdf = Ecdf::new(vec![1.0, 2.0, 2.0, 4.0]);
+/// assert_eq!(cdf.eval(0.5), 0.0);
+/// assert_eq!(cdf.eval(2.0), 0.75);
+/// assert_eq!(cdf.eval(100.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from a sample (need not be sorted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is NaN.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in ECDF"));
+        Self { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples `≤ x`. Returns `0.0` for an empty sample.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`), or `None` for an empty sample.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        Some(crate::stats::percentile_sorted(&self.sorted, q * 100.0))
+    }
+
+    /// The sorted sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// The CDF evaluated at `points`, as `(x, F(x))` pairs — convenient for
+    /// printing a plot series.
+    pub fn series(&self, points: &[f64]) -> Vec<(f64, f64)> {
+        points.iter().map(|&x| (x, self.eval(x))).collect()
+    }
+
+    /// `n` logarithmically spaced evaluation points covering the sample range
+    /// `[lo, hi]`, for log-x CDF plots like the paper's Figure 10.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo <= 0`, `hi < lo`, or `n < 2`.
+    pub fn log_points(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+        assert!(lo > 0.0 && hi >= lo && n >= 2, "invalid log-point range");
+        let (l, h) = (lo.ln(), hi.ln());
+        (0..n)
+            .map(|i| (l + (h - l) * i as f64 / (n - 1) as f64).exp())
+            .collect()
+    }
+}
+
+impl FromIterator<f64> for Ecdf {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cdf() {
+        let cdf = Ecdf::new(vec![]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.eval(0.0), 0.0);
+        assert_eq!(cdf.quantile(0.5), None);
+    }
+
+    #[test]
+    fn step_behavior() {
+        let cdf = Ecdf::new(vec![3.0, 1.0, 2.0]);
+        assert_eq!(cdf.eval(0.9), 0.0);
+        assert!((cdf.eval(1.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((cdf.eval(2.5) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cdf.eval(3.0), 1.0);
+    }
+
+    #[test]
+    fn duplicates_counted() {
+        let cdf = Ecdf::new(vec![5.0, 5.0, 5.0, 6.0]);
+        assert_eq!(cdf.eval(5.0), 0.75);
+    }
+
+    #[test]
+    fn quantiles() {
+        let cdf: Ecdf = (1..=5).map(|i| i as f64).collect();
+        assert_eq!(cdf.quantile(0.0), Some(1.0));
+        assert_eq!(cdf.quantile(0.5), Some(3.0));
+        assert_eq!(cdf.quantile(1.0), Some(5.0));
+    }
+
+    #[test]
+    fn series_is_monotone() {
+        let cdf = Ecdf::new(vec![1.0, 10.0, 100.0]);
+        let pts = Ecdf::log_points(0.5, 200.0, 20);
+        let series = cdf.series(&pts);
+        for w in series.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(series.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn log_points_span_range() {
+        let pts = Ecdf::log_points(1.0, 1000.0, 4);
+        assert!((pts[0] - 1.0).abs() < 1e-9);
+        assert!((pts[3] - 1000.0).abs() < 1e-6);
+        assert!((pts[1] - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn log_points_rejects_nonpositive() {
+        Ecdf::log_points(0.0, 10.0, 5);
+    }
+}

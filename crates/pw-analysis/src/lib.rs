@@ -1,0 +1,44 @@
+//! Statistical substrate for the `peerwatch` workspace.
+//!
+//! This crate implements the numerical machinery the paper's detector relies
+//! on (Yen & Reiter, ICDCS 2010, §IV):
+//!
+//! - order statistics: [`percentile`], [`median`], [`iqr`] (`stats`);
+//! - histogram density estimation with the Freedman–Diaconis bin-width rule
+//!   ([`Histogram`], `hist`);
+//! - the 1-D Earth Mover's Distance between distributions ([`emd_1d`],
+//!   [`emd_histograms`], `emd`);
+//! - empirical CDFs for the paper's cumulative-distribution figures
+//!   ([`Ecdf`], `cdf`);
+//! - agglomerative average-linkage hierarchical clustering with a
+//!   top-fraction dendrogram cut ([`Dendrogram`], `cluster`);
+//! - ROC curve containers ([`RocCurve`], `roc`).
+//!
+//! Everything here is deterministic; no randomness is used.
+//!
+//! # Examples
+//!
+//! ```
+//! use pw_analysis::{Histogram, emd_histograms};
+//!
+//! let a = Histogram::freedman_diaconis(&[1.0, 1.1, 0.9, 1.05, 10.0]).unwrap();
+//! let b = Histogram::freedman_diaconis(&[1.0, 1.1, 0.9, 1.05, 10.0]).unwrap();
+//! assert!(emd_histograms(&a, &b) < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cdf;
+pub mod cluster;
+pub mod emd;
+pub mod hist;
+pub mod roc;
+pub mod stats;
+
+pub use cdf::Ecdf;
+pub use cluster::{average_linkage, Dendrogram, DistanceMatrix, Merge};
+pub use emd::{emd_1d, emd_histograms};
+pub use hist::Histogram;
+pub use roc::{auc, RocCurve, RocPoint};
+pub use stats::{iqr, mean, median, percentile, std_dev, variance};

@@ -1,0 +1,154 @@
+//! ROC (receiver operating characteristic) curve containers.
+//!
+//! The paper's Figures 6–8 are ROC curves produced by sweeping each test's
+//! threshold across the 10/30/50/70/90th percentiles of the relevant host
+//! statistic. This module holds the curve representation and AUC; the rate
+//! computation itself lives in `pw-detect`, next to the tests.
+
+use serde::{Deserialize, Serialize};
+
+/// One operating point on a ROC curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RocPoint {
+    /// Human-readable threshold description (e.g. `"p50"`).
+    pub label: String,
+    /// False-positive rate in `[0, 1]`, relative to the test's input set.
+    pub fpr: f64,
+    /// True-positive rate in `[0, 1]`, relative to the test's input set.
+    pub tpr: f64,
+}
+
+/// A ROC curve: a named series of operating points.
+///
+/// # Examples
+///
+/// ```
+/// use pw_analysis::{RocCurve, RocPoint};
+///
+/// let mut curve = RocCurve::new("storm");
+/// curve.push(RocPoint { label: "p50".into(), fpr: 0.1, tpr: 0.9 });
+/// assert_eq!(curve.points().len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RocCurve {
+    name: String,
+    points: Vec<RocPoint>,
+}
+
+impl RocCurve {
+    /// Creates an empty curve with a series name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), points: Vec::new() }
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends an operating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rates are outside `[0, 1]`.
+    pub fn push(&mut self, p: RocPoint) {
+        assert!(
+            (0.0..=1.0).contains(&p.fpr) && (0.0..=1.0).contains(&p.tpr),
+            "rates must be within [0, 1]"
+        );
+        self.points.push(p);
+    }
+
+    /// The operating points in insertion order.
+    pub fn points(&self) -> &[RocPoint] {
+        &self.points
+    }
+
+    /// Points sorted by ascending FPR (ties by TPR), for plotting or AUC.
+    pub fn sorted_points(&self) -> Vec<RocPoint> {
+        let mut pts = self.points.clone();
+        pts.sort_by(|a, b| {
+            a.fpr
+                .partial_cmp(&b.fpr)
+                .expect("finite")
+                .then(a.tpr.partial_cmp(&b.tpr).expect("finite"))
+        });
+        pts
+    }
+}
+
+/// Trapezoidal area under a ROC curve, with the curve anchored at `(0,0)` and
+/// `(1,1)`.
+///
+/// # Examples
+///
+/// ```
+/// use pw_analysis::{auc, RocCurve, RocPoint};
+///
+/// let mut c = RocCurve::new("perfect-ish");
+/// c.push(RocPoint { label: "t".into(), fpr: 0.0, tpr: 1.0 });
+/// assert!((auc(&c) - 1.0).abs() < 1e-12);
+/// ```
+pub fn auc(curve: &RocCurve) -> f64 {
+    let mut pts = curve.sorted_points();
+    let mut xs = vec![0.0];
+    let mut ys = vec![0.0];
+    for p in pts.drain(..) {
+        xs.push(p.fpr);
+        ys.push(p.tpr);
+    }
+    xs.push(1.0);
+    ys.push(1.0);
+    let mut area = 0.0;
+    for k in 1..xs.len() {
+        area += (xs[k] - xs[k - 1]) * (ys[k] + ys[k - 1]) / 2.0;
+    }
+    area
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(fpr: f64, tpr: f64) -> RocPoint {
+        RocPoint { label: String::from("t"), fpr, tpr }
+    }
+
+    #[test]
+    fn diagonal_curve_has_half_auc() {
+        let mut c = RocCurve::new("random");
+        c.push(pt(0.5, 0.5));
+        assert!((auc(&c) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_curve_is_diagonal() {
+        let c = RocCurve::new("empty");
+        assert!((auc(&c) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominant_curve_has_higher_auc() {
+        let mut strong = RocCurve::new("strong");
+        strong.push(pt(0.1, 0.9));
+        let mut weak = RocCurve::new("weak");
+        weak.push(pt(0.4, 0.5));
+        assert!(auc(&strong) > auc(&weak));
+    }
+
+    #[test]
+    fn sorted_points_order() {
+        let mut c = RocCurve::new("x");
+        c.push(pt(0.9, 1.0));
+        c.push(pt(0.1, 0.2));
+        let s = c.sorted_points();
+        assert!(s[0].fpr < s[1].fpr);
+    }
+
+    #[test]
+    #[should_panic(expected = "within")]
+    fn push_rejects_out_of_range() {
+        let mut c = RocCurve::new("bad");
+        c.push(pt(1.5, 0.0));
+    }
+}

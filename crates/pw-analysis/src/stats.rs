@@ -1,0 +1,187 @@
+//! Order statistics and moments over `f64` samples.
+//!
+//! All functions ignore nothing and assume finite inputs; callers are
+//! responsible for filtering NaN/inf out of measured data first. Functions
+//! that need at least one sample return [`None`] on empty input.
+
+/// Arithmetic mean of `xs`, or `None` if `xs` is empty.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(pw_analysis::mean(&[1.0, 2.0, 3.0]), Some(2.0));
+/// assert_eq!(pw_analysis::mean(&[]), None);
+/// ```
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Population variance of `xs`, or `None` if `xs` is empty.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(pw_analysis::variance(&[1.0, 3.0]), Some(1.0));
+/// ```
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Population standard deviation of `xs`, or `None` if `xs` is empty.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(pw_analysis::std_dev(&[1.0, 3.0]), Some(1.0));
+/// ```
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// The `p`-th percentile of `xs` with linear interpolation between order
+/// statistics (the "linear"/"type 7" definition used by NumPy and R).
+///
+/// `p` is clamped to `[0, 100]`. Returns `None` if `xs` is empty.
+///
+/// # Examples
+///
+/// ```
+/// let xs = [4.0, 1.0, 3.0, 2.0];
+/// assert_eq!(pw_analysis::percentile(&xs, 0.0), Some(1.0));
+/// assert_eq!(pw_analysis::percentile(&xs, 50.0), Some(2.5));
+/// assert_eq!(pw_analysis::percentile(&xs, 100.0), Some(4.0));
+/// ```
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+    Some(percentile_sorted(&sorted, p))
+}
+
+/// Like [`percentile`], but for data already sorted ascending.
+///
+/// Use this when computing many percentiles over the same sample to avoid
+/// re-sorting.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn percentile_sorted(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of empty sample");
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (xs.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        xs[lo]
+    } else {
+        let frac = rank - lo as f64;
+        xs[lo] + (xs[hi] - xs[lo]) * frac
+    }
+}
+
+/// Median (50th percentile) of `xs`, or `None` if empty.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(pw_analysis::median(&[3.0, 1.0, 2.0]), Some(2.0));
+/// ```
+pub fn median(xs: &[f64]) -> Option<f64> {
+    percentile(xs, 50.0)
+}
+
+/// Inter-quartile range (75th − 25th percentile) of `xs`, or `None` if empty.
+///
+/// This is the "spread" term in the Freedman–Diaconis bin-width rule used by
+/// the paper's `θ_hm` test (§IV-C).
+///
+/// # Examples
+///
+/// ```
+/// let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+/// assert_eq!(pw_analysis::iqr(&xs), Some(2.0));
+/// ```
+pub fn iqr(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+    Some(percentile_sorted(&sorted, 75.0) - percentile_sorted(&sorted, 25.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(mean(&[5.0]), Some(5.0));
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn variance_and_std() {
+        assert_eq!(variance(&[]), None);
+        assert_eq!(variance(&[7.0]), Some(0.0));
+        let v = variance(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((v - 4.0).abs() < 1e-12);
+        assert!((std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile(&[42.0], 0.0), Some(42.0));
+        assert_eq!(percentile(&[42.0], 50.0), Some(42.0));
+        assert_eq!(percentile(&[42.0], 100.0), Some(42.0));
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 25.0), Some(17.5));
+        assert_eq!(percentile(&xs, 75.0), Some(32.5));
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range() {
+        let xs = [1.0, 2.0];
+        assert_eq!(percentile(&xs, -5.0), Some(1.0));
+        assert_eq!(percentile(&xs, 150.0), Some(2.0));
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let xs = [9.0, 1.0, 5.0];
+        assert_eq!(percentile(&xs, 50.0), Some(5.0));
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), Some(2.5));
+        assert_eq!(median(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn iqr_matches_hand_computation() {
+        // sorted: 1 2 3 4 5; q1 = 2, q3 = 4.
+        assert_eq!(iqr(&[5.0, 1.0, 4.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(iqr(&[7.0]), Some(0.0));
+        assert_eq!(iqr(&[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_sorted_panics_on_empty() {
+        percentile_sorted(&[], 50.0);
+    }
+}

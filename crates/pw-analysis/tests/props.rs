@@ -1,0 +1,120 @@
+//! Property-based tests for the statistical substrate.
+
+use proptest::prelude::*;
+use pw_analysis::{
+    average_linkage, emd_1d, iqr, percentile, DistanceMatrix, Ecdf, Histogram,
+};
+
+fn finite_samples(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1.0e6f64..1.0e6, 1..max_len)
+}
+
+fn masses(max_len: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((-1.0e4f64..1.0e4, 0.01f64..10.0), 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn percentile_is_monotone_in_p(xs in finite_samples(64), p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let a = percentile(&xs, lo).unwrap();
+        let b = percentile(&xs, hi).unwrap();
+        prop_assert!(a <= b + 1e-9);
+    }
+
+    #[test]
+    fn percentile_within_sample_range(xs in finite_samples(64), p in 0.0f64..100.0) {
+        let v = percentile(&xs, p).unwrap();
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+    }
+
+    #[test]
+    fn iqr_is_nonnegative(xs in finite_samples(64)) {
+        prop_assert!(iqr(&xs).unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn histogram_conserves_mass(xs in finite_samples(256)) {
+        let h = Histogram::freedman_diaconis(&xs).unwrap();
+        let total: f64 = h.counts().iter().sum();
+        prop_assert!((total - xs.len() as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn histogram_point_masses_sum_to_one(xs in finite_samples(256)) {
+        let h = Histogram::freedman_diaconis(&xs).unwrap();
+        let mass: f64 = h.point_masses().iter().map(|&(_, w)| w).sum();
+        prop_assert!((mass - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn emd_identity(a in masses(32)) {
+        prop_assert!(emd_1d(&a, &a) < 1e-9);
+    }
+
+    #[test]
+    fn emd_symmetry(a in masses(32), b in masses(32)) {
+        let ab = emd_1d(&a, &b);
+        let ba = emd_1d(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-9);
+    }
+
+    #[test]
+    fn emd_triangle_inequality(a in masses(16), b in masses(16), c in masses(16)) {
+        let ab = emd_1d(&a, &b);
+        let bc = emd_1d(&b, &c);
+        let ac = emd_1d(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-6);
+    }
+
+    #[test]
+    fn emd_nonnegative_and_bounded_by_span(a in masses(32), b in masses(32)) {
+        let d = emd_1d(&a, &b);
+        prop_assert!(d >= 0.0);
+        let lo = a.iter().chain(&b).map(|&(x, _)| x).fold(f64::INFINITY, f64::min);
+        let hi = a.iter().chain(&b).map(|&(x, _)| x).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(d <= (hi - lo) + 1e-9);
+    }
+
+    #[test]
+    fn ecdf_is_monotone(xs in finite_samples(64), q1 in -1.0e6f64..1.0e6, q2 in -1.0e6f64..1.0e6) {
+        let cdf = Ecdf::new(xs);
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(cdf.eval(lo) <= cdf.eval(hi));
+    }
+
+    #[test]
+    fn dendrogram_cut_is_partition(pos in prop::collection::vec(-1.0e3f64..1.0e3, 2..24), f in 0.0f64..1.0) {
+        let n = pos.len();
+        let dm = DistanceMatrix::from_fn(n, |i, j| (pos[i] - pos[j]).abs());
+        let dd = average_linkage(&dm);
+        let clusters = dd.cut_top_fraction(f);
+        let mut all: Vec<usize> = clusters.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dendrogram_heights_sorted(pos in prop::collection::vec(-1.0e3f64..1.0e3, 2..24)) {
+        let n = pos.len();
+        let dm = DistanceMatrix::from_fn(n, |i, j| (pos[i] - pos[j]).abs());
+        let dd = average_linkage(&dm);
+        prop_assert_eq!(dd.merges().len(), n - 1);
+        for w in dd.merges().windows(2) {
+            prop_assert!(w[1].height >= w[0].height - 1e-9);
+        }
+    }
+
+    #[test]
+    fn cluster_diameter_bounded_by_global_max(pos in prop::collection::vec(-1.0e3f64..1.0e3, 2..24)) {
+        let n = pos.len();
+        let dm = DistanceMatrix::from_fn(n, |i, j| (pos[i] - pos[j]).abs());
+        let global = dm.diameter(&(0..n).collect::<Vec<_>>());
+        let dd = average_linkage(&dm);
+        for cl in dd.cut_top_fraction(0.3) {
+            prop_assert!(dm.diameter(&cl) <= global + 1e-9);
+        }
+    }
+}

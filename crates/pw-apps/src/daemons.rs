@@ -1,0 +1,220 @@
+//! Strictly periodic system daemons: NTP and software-update checkers.
+//!
+//! These are the benign *machine-driven* hosts of the campus. Their traffic
+//! is low-volume, low-churn, and periodic — everything the paper's tests
+//! associate with Plotters — which is precisely why they matter: they supply
+//! the false-positive pressure behind the paper's residual 0.81 % FP rate,
+//! and they exercise `θ_hm`'s requirement that suspicious hosts cluster
+//! *with each other* (all NTP daemons share timer behaviour).
+
+use rand::{Rng, RngCore};
+
+use pw_flow::synth::{emit_connection, ConnOutcome, ConnSpec};
+use pw_flow::PacketSink;
+use pw_netsim::SimDuration;
+
+use crate::model::{ephemeral_port, HostContext, TrafficModel};
+
+/// An NTP client polling a fixed set of servers at a fixed interval.
+#[derive(Debug, Clone)]
+pub struct NtpDaemon {
+    /// Poll interval in seconds (ntpd converges to 1024 s).
+    pub interval_s: u64,
+    /// Number of configured servers.
+    pub servers: usize,
+}
+
+impl Default for NtpDaemon {
+    fn default() -> Self {
+        Self { interval_s: 1024, servers: 3 }
+    }
+}
+
+impl TrafficModel for NtpDaemon {
+    fn name(&self) -> &'static str {
+        "ntp"
+    }
+
+    fn generate(&self, ctx: &HostContext<'_>, rng: &mut dyn RngCore, sink: &mut dyn PacketSink) {
+        let servers: Vec<_> = (0..self.servers as u64)
+            .map(|i| ctx.space.external("ntp", i))
+            .collect();
+        let sport = ephemeral_port(rng);
+        let mut t = ctx.start + SimDuration::from_secs(rng.gen_range(0..self.interval_s));
+        while t < ctx.end {
+            for &server in &servers {
+                // Tiny fixed-size exchange; clock-disciplined, ±50 ms skew.
+                let skew = SimDuration::from_millis(rng.gen_range(0..100));
+                emit_connection(
+                    sink,
+                    &ConnSpec::udp(t + skew, ctx.ip, sport, server, 123)
+                        .outcome(ConnOutcome::UdpExchange { bytes_up: 48, bytes_down: 48 })
+                        .payload(b"\x23\x00\x06\x20ntp"),
+                );
+            }
+            t += SimDuration::from_secs(self.interval_s);
+        }
+    }
+}
+
+/// A software-update checker hitting vendor CDNs every few hours.
+#[derive(Debug, Clone)]
+pub struct UpdateChecker {
+    /// Check interval in seconds.
+    pub interval_s: u64,
+    /// Probability a check actually downloads an update.
+    pub download_prob: f64,
+}
+
+impl Default for UpdateChecker {
+    fn default() -> Self {
+        Self { interval_s: 3 * 3600, download_prob: 0.15 }
+    }
+}
+
+impl TrafficModel for UpdateChecker {
+    fn name(&self) -> &'static str {
+        "update"
+    }
+
+    fn generate(&self, ctx: &HostContext<'_>, rng: &mut dyn RngCore, sink: &mut dyn PacketSink) {
+        let cdn = ctx.space.external("update-cdn", rng.gen_range(0..4));
+        let mut t = ctx.start + SimDuration::from_secs(rng.gen_range(0..self.interval_s));
+        while t < ctx.end {
+            emit_connection(
+                sink,
+                &ConnSpec::tcp(t, ctx.ip, ephemeral_port(rng), cdn, 443)
+                    .outcome(ConnOutcome::Established { bytes_up: 600, bytes_down: 2_500 })
+                    .duration(SimDuration::from_secs(1))
+                    .payload(b"\x16\x03\x01tls-update-check"),
+            );
+            if rng.gen_bool(self.download_prob) {
+                let size = rng.gen_range(2_000_000..60_000_000);
+                emit_connection(
+                    sink,
+                    &ConnSpec::tcp(
+                        t + SimDuration::from_secs(5),
+                        ctx.ip,
+                        ephemeral_port(rng),
+                        cdn,
+                        443,
+                    )
+                    .outcome(ConnOutcome::Established { bytes_up: 900, bytes_down: size })
+                    .duration(SimDuration::from_secs(size / 1_500_000))
+                    .payload(b"\x16\x03\x01tls-update-dl"),
+                );
+            }
+            t += SimDuration::from_secs(self.interval_s);
+        }
+    }
+}
+
+/// Stray failed connections every real host produces: stale bookmarks,
+/// long-gone IM/update servers, applications retrying dead endpoints.
+///
+/// Real campus hosts show a wide spread of failed-connection rates (the
+/// paper's CMU median is ≈25 %); this model supplies that baseline noise,
+/// scaled per host.
+#[derive(Debug, Clone)]
+pub struct StrayConnections {
+    /// Expected failed connection attempts per day.
+    pub attempts_per_day: f64,
+    /// Distinct dead endpoints this host keeps retrying.
+    pub dead_pool: usize,
+}
+
+impl Default for StrayConnections {
+    fn default() -> Self {
+        Self { attempts_per_day: 12.0, dead_pool: 6 }
+    }
+}
+
+impl TrafficModel for StrayConnections {
+    fn name(&self) -> &'static str {
+        "stray"
+    }
+
+    fn generate(&self, ctx: &HostContext<'_>, rng: &mut dyn RngCore, sink: &mut dyn PacketSink) {
+        let n = pw_netsim::sampling::poisson(rng, self.attempts_per_day);
+        let span = (ctx.end - ctx.start).as_millis().max(1);
+        for _ in 0..n {
+            let t = ctx.start + SimDuration::from_millis(rng.gen_range(0..span));
+            let dead =
+                ctx.space.external("dead-services", rng.gen_range(0..self.dead_pool as u64 * 97));
+            let port = [80u16, 443, 5190, 6667, 8080][rng.gen_range(0..5usize)];
+            if rng.gen_bool(0.7) {
+                emit_connection(
+                    sink,
+                    &ConnSpec::tcp(t, ctx.ip, ephemeral_port(rng), dead, port)
+                        .outcome(ConnOutcome::NoAnswer),
+                );
+            } else {
+                emit_connection(
+                    sink,
+                    &ConnSpec::tcp(t, ctx.ip, ephemeral_port(rng), dead, port)
+                        .outcome(ConnOutcome::Rejected),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pw_flow::ArgusAggregator;
+    use pw_netsim::{AddressSpace, SimTime};
+
+    fn run_model(m: &dyn TrafficModel, seed: u64) -> Vec<pw_flow::FlowRecord> {
+        let mut space = AddressSpace::campus();
+        let ip = space.alloc_internal();
+        let ctx = HostContext::new(ip, &space, SimTime::ZERO, SimTime::from_hours(24));
+        let mut rng = pw_netsim::rng::derive(seed, m.name());
+        let mut argus = ArgusAggregator::default();
+        m.generate(&ctx, &mut rng, &mut argus);
+        argus.finish(SimTime::from_hours(25))
+    }
+
+    #[test]
+    fn ntp_is_periodic_small_and_low_churn() {
+        let flows = run_model(&NtpDaemon::default(), 1);
+        // 24 h / 1024 s ≈ 84 rounds × 3 servers.
+        assert!(flows.len() > 200, "{}", flows.len());
+        let dests: std::collections::HashSet<_> = flows.iter().map(|f| f.dst).collect();
+        assert_eq!(dests.len(), 3);
+        assert!(flows.iter().all(|f| f.src_bytes < 200));
+        // Interstitial gaps to the same server are near the interval.
+        let mut times: Vec<_> = flows.iter().filter(|f| f.dst == *dests.iter().next().unwrap()).map(|f| f.start).collect();
+        times.sort();
+        let gaps: Vec<f64> = times.windows(2).map(|w| (w[1] - w[0]).as_secs_f64()).collect();
+        let near = gaps.iter().filter(|g| (*g - 1024.0).abs() < 2.0).count();
+        assert!(near as f64 > 0.9 * gaps.len() as f64);
+    }
+
+    #[test]
+    fn update_checker_phones_home_rarely_but_regularly() {
+        let flows = run_model(&UpdateChecker::default(), 2);
+        assert!(flows.len() >= 8 && flows.len() <= 30, "{}", flows.len());
+        assert!(flows.iter().all(|f| f.dport == 443 && !f.is_failed()));
+    }
+
+    #[test]
+    fn stray_connections_all_fail() {
+        let flows = run_model(&StrayConnections::default(), 9);
+        assert!(!flows.is_empty());
+        assert!(flows.iter().all(|f| f.is_failed()));
+        // Retries hit a bounded pool of dead endpoints.
+        let dests: std::collections::HashSet<_> = flows.iter().map(|f| f.dst).collect();
+        assert!(dests.len() <= flows.len());
+    }
+
+    #[test]
+    fn daemons_carry_no_p2p_signature() {
+        for f in run_model(&NtpDaemon::default(), 3) {
+            assert_eq!(pw_flow::signatures::classify_flow(&f), None);
+        }
+        for f in run_model(&UpdateChecker::default(), 4) {
+            assert_eq!(pw_flow::signatures::classify_flow(&f), None);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Background (non-P2P) traffic models for the synthetic campus.
+//!
+//! The paper's CMU dataset is dominated by ordinary hosts — web browsing,
+//! mail, DNS, remote shells, streaming, and the periodic daemons every OS
+//! runs. These models reproduce the *feature distributions* the detector
+//! measures on that background population:
+//!
+//! - low failed-connection rates (they are filtered by the §V-A data
+//!   reduction step);
+//! - human think-time (heavy-tailed, aperiodic) flow interstitials for the
+//!   interactive models, versus strictly periodic daemons ([`NtpDaemon`],
+//!   [`UpdateChecker`]) that create realistic false-positive pressure on the
+//!   machine-vs-human test;
+//! - a wide range of per-flow upload volumes.
+//!
+//! Each model implements [`TrafficModel`]: given a host, a day window, and a
+//! seeded RNG, it writes the day’s packets into a [`PacketSink`](pw_flow::PacketSink) (normally
+//! the Argus aggregator).
+//!
+//! # Examples
+//!
+//! ```
+//! use pw_apps::{HostContext, TrafficModel, WebBrowsing};
+//! use pw_netsim::{AddressSpace, SimTime};
+//!
+//! let space = AddressSpace::campus();
+//! let mut space = space;
+//! let host = space.alloc_internal();
+//! let ctx = HostContext::new(host, &space, SimTime::ZERO, SimTime::from_hours(24));
+//! let mut rng = pw_netsim::rng::derive(1, "example-web");
+//! let mut packets: Vec<pw_flow::Packet> = Vec::new();
+//! WebBrowsing::default().generate(&ctx, &mut rng, &mut packets);
+//! assert!(!packets.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod daemons;
+pub mod mail;
+pub mod media;
+pub mod model;
+pub mod shell;
+pub mod web;
+
+pub use daemons::{NtpDaemon, StrayConnections, UpdateChecker};
+pub use mail::EmailClient;
+pub use media::VideoStreaming;
+pub use model::{HostContext, TrafficModel};
+pub use shell::SshSessions;
+pub use web::WebBrowsing;

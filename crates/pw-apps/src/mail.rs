@@ -1,0 +1,155 @@
+//! Mail-client traffic: mailbox polls plus occasional sends.
+
+use rand::{Rng, RngCore};
+
+use pw_flow::synth::{emit_connection, ConnOutcome, ConnSpec};
+use pw_flow::PacketSink;
+use pw_netsim::sampling::LogNormal;
+use pw_netsim::{SimDuration, SimTime};
+
+use crate::model::{ephemeral_port, HostContext, TrafficModel};
+
+/// A desktop mail client talking to one fixed provider — low churn, small
+/// flows, making mail hosts useful near-miss material for the volume and
+/// churn tests.
+///
+/// Modern-for-2007 clients mostly hold a *persistent* IMAP connection
+/// (IDLE), reconnecting occasionally; older setups poll. Pollers use
+/// intervals of 15 minutes and up — the sub-15-minute band belongs to
+/// nothing benign on this campus, which is exactly the band bot keepalives
+/// occupy.
+#[derive(Debug, Clone)]
+pub struct EmailClient {
+    /// Whether the client holds persistent IMAP connections instead of
+    /// polling.
+    pub persistent: bool,
+    /// Seconds between mailbox polls (polling clients only).
+    pub poll_interval_s: f64,
+    /// Expected messages sent per day.
+    pub sends_per_day: f64,
+}
+
+impl Default for EmailClient {
+    fn default() -> Self {
+        Self { persistent: false, poll_interval_s: 1200.0, sends_per_day: 6.0 }
+    }
+}
+
+impl TrafficModel for EmailClient {
+    fn name(&self) -> &'static str {
+        "mail"
+    }
+
+    fn generate(&self, ctx: &HostContext<'_>, rng: &mut dyn RngCore, sink: &mut dyn PacketSink) {
+        let provider = ctx.space.external("mail", rng.gen_range(0..6));
+        let body = LogNormal::from_median_p90(9_000.0, 250_000.0);
+        if self.persistent {
+            // A held IMAP IDLE connection, re-established every hour or two
+            // (server timeouts, network blips).
+            let mut t = ctx.start + SimDuration::from_secs_f64(rng.gen_range(0.0..600.0));
+            while t < ctx.end {
+                let held = rng.gen_range(2400.0..7200.0);
+                let held_end = (t + SimDuration::from_secs_f64(held)).min(ctx.end);
+                let secs = (held_end - t).as_secs_f64().max(30.0);
+                let fetched = (secs / 60.0) as u64 * 300 + body.sample(rng) as u64 / 4;
+                emit_connection(
+                    sink,
+                    &ConnSpec::tcp(t, ctx.ip, ephemeral_port(rng), provider, 993)
+                        .outcome(ConnOutcome::Established { bytes_up: (secs * 8.0) as u64, bytes_down: fetched })
+                        .duration(SimDuration::from_secs_f64(secs))
+                        .payload(b"\x16\x03\x01tls-imap"),
+                );
+                t = held_end + SimDuration::from_secs_f64(rng.gen_range(5.0..120.0));
+            }
+        } else {
+            // Polling client, jittered ±20%.
+            let interval = self.poll_interval_s.max(900.0);
+            let mut t = ctx.start + SimDuration::from_secs_f64(rng.gen_range(0.0..interval));
+            while t < ctx.end {
+                let fetched = if rng.gen_bool(0.25) { body.sample(rng) as u64 } else { 900 };
+                emit_connection(
+                    sink,
+                    &ConnSpec::tcp(t, ctx.ip, ephemeral_port(rng), provider, 993)
+                        .outcome(ConnOutcome::Established { bytes_up: 420, bytes_down: fetched })
+                        .duration(SimDuration::from_secs(2))
+                        .payload(b"\x16\x03\x01tls-imap"),
+                );
+                let jitter = rng.gen_range(0.8..1.2);
+                t += SimDuration::from_secs_f64(interval * jitter);
+            }
+        }
+        // SMTP submissions at human times.
+        let sends = pw_netsim::DiurnalProfile::campus_workday().sample_arrivals(
+            rng,
+            self.sends_per_day / 12.0,
+            ctx.start,
+            ctx.end,
+        );
+        for s in sends {
+            let up = body.sample(rng).min(8.0e6) as u64 + 1200;
+            emit_connection(
+                sink,
+                &ConnSpec::tcp(s, ctx.ip, ephemeral_port(rng), provider, 587)
+                    .outcome(ConnOutcome::Established { bytes_up: up, bytes_down: 800 })
+                    .duration(SimDuration::from_secs(4))
+                    .payload(b"EHLO workstation.campus.edu\r\n"),
+            );
+        }
+        let _ = SimTime::ZERO; // keep import used on all paths
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pw_flow::ArgusAggregator;
+    use pw_netsim::AddressSpace;
+
+    fn run_day() -> Vec<pw_flow::FlowRecord> {
+        let mut space = AddressSpace::campus();
+        let ip = space.alloc_internal();
+        let ctx = HostContext::new(ip, &space, SimTime::ZERO, SimTime::from_hours(24));
+        let mut rng = pw_netsim::rng::derive(21, "mail-test");
+        let mut argus = ArgusAggregator::default();
+        EmailClient::default().generate(&ctx, &mut rng, &mut argus);
+        argus.finish(SimTime::from_hours(25))
+    }
+
+    #[test]
+    fn polls_all_day_to_one_provider() {
+        let flows = run_day();
+        // ~72 polls/day at the 1200 s default.
+        assert!(flows.len() > 50, "{}", flows.len());
+        let dests: std::collections::HashSet<_> = flows.iter().map(|f| f.dst).collect();
+        assert_eq!(dests.len(), 1, "mail client should stick to its provider");
+        assert!(flows.iter().all(|f| !f.is_failed()));
+    }
+
+    #[test]
+    fn persistent_client_holds_long_connections() {
+        let mut space = AddressSpace::campus();
+        let ip = space.alloc_internal();
+        let ctx = HostContext::new(ip, &space, SimTime::ZERO, SimTime::from_hours(24));
+        let mut rng = pw_netsim::rng::derive(22, "mail-persistent");
+        let mut argus = ArgusAggregator::default();
+        EmailClient { persistent: true, ..Default::default() }.generate(&ctx, &mut rng, &mut argus);
+        let flows = argus.finish(SimTime::from_hours(25));
+        // A handful of held connections, not dozens of polls.
+        let imap: Vec<_> = flows.iter().filter(|f| f.dport == 993).collect();
+        assert!(imap.len() < 40, "{}", imap.len());
+        assert!(imap.iter().any(|f| f.duration() > pw_netsim::SimDuration::from_mins(30)));
+    }
+
+    #[test]
+    fn contains_submissions() {
+        let flows = run_day();
+        assert!(flows.iter().any(|f| f.dport == 587 && f.src_bytes > 5_000));
+    }
+
+    #[test]
+    fn no_p2p_signatures() {
+        for f in run_day() {
+            assert_eq!(pw_flow::signatures::classify_flow(&f), None);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Video streaming: few destinations, very large downloads, tiny uploads.
+
+use rand::{Rng, RngCore};
+
+use pw_flow::synth::{emit_connection, ConnOutcome, ConnSpec};
+use pw_flow::PacketSink;
+use pw_netsim::sampling::LogNormal;
+use pw_netsim::{DiurnalProfile, SimDuration};
+
+use crate::model::{ephemeral_port, HostContext, TrafficModel};
+
+/// A host streaming video from a small set of CDN endpoints.
+///
+/// Streaming hosts are *not* P2P: large download volume, trivial upload,
+/// near-zero failed connections, and only a handful of destinations. They
+/// stress the volume test's reliance on *uploaded* (not total) bytes.
+#[derive(Debug, Clone)]
+pub struct VideoStreaming {
+    /// Expected watch sessions per day.
+    pub sessions_per_day: f64,
+    /// CDN endpoints available.
+    pub cdn_pool: usize,
+}
+
+impl Default for VideoStreaming {
+    fn default() -> Self {
+        Self { sessions_per_day: 3.0, cdn_pool: 12 }
+    }
+}
+
+impl TrafficModel for VideoStreaming {
+    fn name(&self) -> &'static str {
+        "video"
+    }
+
+    fn generate(&self, ctx: &HostContext<'_>, rng: &mut dyn RngCore, sink: &mut dyn PacketSink) {
+        let watch = LogNormal::from_median_p90(900.0, 4800.0); // seconds
+        let profile = DiurnalProfile::residential_evening();
+        let hours = (ctx.end - ctx.start).as_secs_f64() / 3600.0;
+        let sessions =
+            profile.sample_arrivals(rng, self.sessions_per_day / hours.max(1.0) * 2.0, ctx.start, ctx.end);
+        for s0 in sessions {
+            let cdn = ctx.space.external("video-cdn", rng.gen_range(0..self.cdn_pool as u64));
+            let secs = watch.sample(rng).clamp(60.0, 3.0 * 3600.0);
+            // Progressive streaming: the player holds one long connection
+            // per stretch of playback (~0.5 Mbyte/s), occasionally
+            // reconnecting on seeks or quality switches.
+            let stretches = 1 + (secs / 1800.0) as u64;
+            let mut t = s0;
+            for _ in 0..stretches {
+                if t >= ctx.end {
+                    break;
+                }
+                let stretch_secs = (secs / stretches as f64).max(30.0);
+                let down = (stretch_secs * 500_000.0) as u64;
+                emit_connection(
+                    sink,
+                    &ConnSpec::tcp(t, ctx.ip, ephemeral_port(rng), cdn, 443)
+                        .outcome(ConnOutcome::Established { bytes_up: 4_000, bytes_down: down })
+                        .duration(SimDuration::from_secs_f64(stretch_secs - 2.0))
+                        .payload(b"\x16\x03\x01tls-video"),
+                );
+                t += SimDuration::from_secs_f64(stretch_secs * rng.gen_range(1.0..1.3));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pw_flow::ArgusAggregator;
+    use pw_netsim::{AddressSpace, SimTime};
+
+    #[test]
+    fn streaming_day_is_download_heavy_few_destinations() {
+        let mut space = AddressSpace::campus();
+        let ip = space.alloc_internal();
+        let ctx = HostContext::new(ip, &space, SimTime::ZERO, SimTime::from_hours(24));
+        let mut rng = pw_netsim::rng::derive(8, "video-test");
+        let mut argus = ArgusAggregator::default();
+        VideoStreaming::default().generate(&ctx, &mut rng, &mut argus);
+        let flows = argus.finish(SimTime::from_hours(28));
+        assert!(!flows.is_empty());
+        let up: u64 = flows.iter().map(|f| f.src_bytes).sum();
+        let down: u64 = flows.iter().map(|f| f.dst_bytes).sum();
+        assert!(down > up * 50, "down {down} up {up}");
+        let dests: std::collections::HashSet<_> = flows.iter().map(|f| f.dst).collect();
+        assert!(dests.len() <= 12);
+        assert!(flows.iter().all(|f| !f.is_failed()));
+    }
+}

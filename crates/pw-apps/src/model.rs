@@ -1,0 +1,74 @@
+//! The traffic-model abstraction shared by every host behaviour.
+
+use std::net::Ipv4Addr;
+
+use rand::RngCore;
+
+use pw_flow::PacketSink;
+use pw_netsim::{AddressSpace, SimTime};
+
+/// Everything a model needs to know about the host it is generating traffic
+/// for and the window it must fill.
+#[derive(Debug, Clone, Copy)]
+pub struct HostContext<'a> {
+    /// The internal host's address.
+    pub ip: Ipv4Addr,
+    /// The campus address space (for picking external endpoints).
+    pub space: &'a AddressSpace,
+    /// Window start (inclusive).
+    pub start: SimTime,
+    /// Window end (exclusive).
+    pub end: SimTime,
+}
+
+impl<'a> HostContext<'a> {
+    /// Creates a context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end <= start`.
+    pub fn new(ip: Ipv4Addr, space: &'a AddressSpace, start: SimTime, end: SimTime) -> Self {
+        assert!(end > start, "empty generation window");
+        Self { ip, space, start, end }
+    }
+}
+
+/// A behaviour that fills a host's day with traffic.
+///
+/// Models are deliberately *open-loop*: they sample a day of activity in one
+/// pass, which is orders of magnitude faster than event-driven simulation
+/// and exactly equivalent for protocols without feedback (the closed-loop
+/// protocols — the DHT overlays — run on the event engine instead).
+pub trait TrafficModel {
+    /// A short stable name, used to derive per-model RNG streams.
+    fn name(&self) -> &'static str;
+
+    /// Writes the host's packets for the window into `sink`.
+    fn generate(&self, ctx: &HostContext<'_>, rng: &mut dyn RngCore, sink: &mut dyn PacketSink);
+}
+
+/// A random ephemeral (client-side) port.
+pub fn ephemeral_port(rng: &mut dyn RngCore) -> u16 {
+    32768 + (rng.next_u32() % 28000) as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ephemeral_ports_in_range() {
+        let mut rng = pw_netsim::rng::derive(0, "ports");
+        for _ in 0..1000 {
+            let p = ephemeral_port(&mut rng);
+            assert!((32768..60768).contains(&p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn context_rejects_empty_window() {
+        let space = AddressSpace::campus();
+        HostContext::new(Ipv4Addr::new(10, 1, 0, 1), &space, SimTime::from_secs(5), SimTime::from_secs(5));
+    }
+}

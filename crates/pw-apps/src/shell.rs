@@ -1,0 +1,79 @@
+//! Interactive remote-shell sessions.
+
+use rand::{Rng, RngCore};
+
+use pw_flow::synth::{emit_connection, ConnOutcome, ConnSpec};
+use pw_flow::PacketSink;
+use pw_netsim::sampling::LogNormal;
+use pw_netsim::{DiurnalProfile, SimDuration};
+
+use crate::model::{ephemeral_port, HostContext, TrafficModel};
+
+/// A user running SSH sessions to a few fixed servers: long-lived,
+/// keystroke-paced, modest bytes in both directions.
+#[derive(Debug, Clone)]
+pub struct SshSessions {
+    /// Expected sessions per day.
+    pub sessions_per_day: f64,
+    /// Number of servers the user logs into.
+    pub server_pool: usize,
+}
+
+impl Default for SshSessions {
+    fn default() -> Self {
+        Self { sessions_per_day: 4.0, server_pool: 5 }
+    }
+}
+
+impl TrafficModel for SshSessions {
+    fn name(&self) -> &'static str {
+        "ssh"
+    }
+
+    fn generate(&self, ctx: &HostContext<'_>, rng: &mut dyn RngCore, sink: &mut dyn PacketSink) {
+        let length = LogNormal::from_median_p90(600.0, 5400.0);
+        let hours = (ctx.end - ctx.start).as_secs_f64() / 3600.0;
+        let arrivals = DiurnalProfile::campus_workday().sample_arrivals(
+            rng,
+            self.sessions_per_day / hours.max(1.0) * 2.0,
+            ctx.start,
+            ctx.end,
+        );
+        for t in arrivals {
+            let server = ctx.space.external("ssh", rng.gen_range(0..self.server_pool as u64));
+            let secs = length.sample(rng).clamp(20.0, 6.0 * 3600.0);
+            let up = (secs * rng.gen_range(20.0..120.0)) as u64;
+            let down = (secs * rng.gen_range(100.0..900.0)) as u64;
+            emit_connection(
+                sink,
+                &ConnSpec::tcp(t, ctx.ip, ephemeral_port(rng), server, 22)
+                    .outcome(ConnOutcome::Established { bytes_up: up, bytes_down: down })
+                    .duration(SimDuration::from_secs_f64(secs))
+                    .payload(b"SSH-2.0-OpenSSH_4.7\r\n"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pw_flow::ArgusAggregator;
+    use pw_netsim::{AddressSpace, SimTime};
+
+    #[test]
+    fn ssh_day_has_long_flows_to_few_servers() {
+        let mut space = AddressSpace::campus();
+        let ip = space.alloc_internal();
+        let ctx = HostContext::new(ip, &space, SimTime::ZERO, SimTime::from_hours(24));
+        let mut rng = pw_netsim::rng::derive(5, "ssh-test");
+        let mut argus = ArgusAggregator::default();
+        SshSessions::default().generate(&ctx, &mut rng, &mut argus);
+        let flows = argus.finish(SimTime::from_hours(31));
+        assert!(!flows.is_empty());
+        assert!(flows.iter().all(|f| f.dport == 22 && !f.is_failed()));
+        assert!(flows.iter().any(|f| f.duration() > SimDuration::from_mins(5)));
+        let dests: std::collections::HashSet<_> = flows.iter().map(|f| f.dst).collect();
+        assert!(dests.len() <= 5);
+    }
+}

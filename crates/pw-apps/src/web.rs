@@ -1,0 +1,171 @@
+//! Human web browsing: sessions of HTTP requests with DNS lookups.
+
+use rand::{Rng, RngCore};
+
+use pw_flow::signatures::build;
+use pw_flow::synth::{emit_connection, ConnOutcome, ConnSpec};
+use pw_flow::PacketSink;
+use pw_netsim::sampling::{LogNormal, Zipf};
+use pw_netsim::{DiurnalProfile, SimDuration};
+
+use crate::model::{ephemeral_port, HostContext, TrafficModel};
+
+/// A human browsing the web.
+///
+/// Sessions arrive following a diurnal profile; within a session the user
+/// visits Zipf-popular sites, each visit performing a DNS lookup plus a
+/// handful of HTTP requests with log-normal response sizes, separated by
+/// heavy-tailed think times. A small fraction of requests go to dead hosts
+/// (stale links), keeping the failed-connection rate realistic but low.
+#[derive(Debug, Clone)]
+pub struct WebBrowsing {
+    /// Expected browsing sessions per day at peak hours.
+    pub sessions_per_day: f64,
+    /// Activity profile across the day.
+    pub profile: DiurnalProfile,
+    /// Number of distinct sites in the user's world.
+    pub site_pool: usize,
+    /// Probability that a request targets a dead endpoint.
+    pub dead_link_prob: f64,
+    /// Median think time between requests, seconds (every user has their
+    /// own pace; per-host diversity matters to the `θ_hm` test).
+    pub think_median_s: f64,
+}
+
+impl Default for WebBrowsing {
+    fn default() -> Self {
+        Self {
+            sessions_per_day: 8.0,
+            profile: DiurnalProfile::campus_workday(),
+            site_pool: 400,
+            dead_link_prob: 0.02,
+            think_median_s: 7.0,
+        }
+    }
+}
+
+impl TrafficModel for WebBrowsing {
+    fn name(&self) -> &'static str {
+        "web"
+    }
+
+    fn generate(&self, ctx: &HostContext<'_>, rng: &mut dyn RngCore, sink: &mut dyn PacketSink) {
+        let zipf = Zipf::new(self.site_pool, 0.9);
+        let resp_size = LogNormal::from_median_p90(18_000.0, 350_000.0);
+        let think = LogNormal::from_median_p90(self.think_median_s, self.think_median_s * 8.0);
+        let hours = (ctx.end - ctx.start).as_secs_f64() / 3600.0;
+        let peak_rate = self.sessions_per_day / hours.max(1.0) * 2.0;
+        let sessions = self.profile.sample_arrivals(rng, peak_rate, ctx.start, ctx.end);
+        for s0 in sessions {
+            // A session is a series of site *visits*; each visit reuses one
+            // keep-alive connection for all of its requests (HTTP/1.1), so
+            // it becomes one flow spanning the dwell time.
+            let visits = 2 + (rng.gen_range(0.0f64..1.0).powi(2) * 14.0) as usize;
+            let mut t = s0;
+            for _ in 0..visits {
+                if t >= ctx.end {
+                    break;
+                }
+                let site = zipf.sample(rng) as u64;
+                let server = ctx.space.external("web", site);
+                // DNS lookup for the site (cached half the time).
+                if rng.gen_bool(0.5) {
+                    let resolver = ctx.space.external("dns", rng.gen_range(0..3));
+                    emit_connection(
+                        sink,
+                        &ConnSpec::udp(t, ctx.ip, ephemeral_port(rng), resolver, 53)
+                            .outcome(ConnOutcome::UdpExchange { bytes_up: 45, bytes_down: 160 })
+                            .payload(b"\x12\x34\x01\x00dns"),
+                    );
+                }
+                let t_req = t + SimDuration::from_millis(rng.gen_range(30..300));
+                if t_req >= ctx.end {
+                    break;
+                }
+                let requests = 1 + (rng.gen_range(0.0f64..1.0).powi(2) * 12.0) as usize;
+                let dwell: f64 = (0..requests)
+                    .map(|_| think.sample(rng).min(600.0))
+                    .sum::<f64>()
+                    .max(1.0);
+                if rng.gen_bool(self.dead_link_prob) {
+                    emit_connection(
+                        sink,
+                        &ConnSpec::tcp(t_req, ctx.ip, ephemeral_port(rng), server, 80)
+                            .outcome(ConnOutcome::NoAnswer),
+                    );
+                } else {
+                    let down: u64 = (0..requests)
+                        .map(|_| resp_size.sample(rng).min(5.0e6) as u64)
+                        .sum();
+                    let up = rng.gen_range(250..900) * requests as u64;
+                    emit_connection(
+                        sink,
+                        &ConnSpec::tcp(t_req, ctx.ip, ephemeral_port(rng), server, 80)
+                            .outcome(ConnOutcome::Established { bytes_up: up, bytes_down: down })
+                            .duration(SimDuration::from_secs_f64(dwell))
+                            .payload(build::http_get("/page").as_bytes()),
+                    );
+                }
+                t = t_req + SimDuration::from_secs_f64(dwell + think.sample(rng).min(600.0));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pw_flow::{ArgusAggregator, FlowState};
+    use pw_netsim::{AddressSpace, SimTime};
+
+    fn run_day(seed: u64) -> Vec<pw_flow::FlowRecord> {
+        let mut space = AddressSpace::campus();
+        let ip = space.alloc_internal();
+        let ctx = HostContext::new(ip, &space, SimTime::ZERO, SimTime::from_hours(24));
+        let mut rng = pw_netsim::rng::derive(seed, "web-test");
+        let mut argus = ArgusAggregator::default();
+        WebBrowsing::default().generate(&ctx, &mut rng, &mut argus);
+        argus.finish(SimTime::from_hours(25))
+    }
+
+    #[test]
+    fn produces_plausible_web_day() {
+        let flows = run_day(42);
+        assert!(flows.len() > 20, "too few flows: {}", flows.len());
+        // Mostly successful.
+        let failed = flows.iter().filter(|f| f.is_failed()).count();
+        assert!((failed as f64) < 0.15 * flows.len() as f64, "{failed}/{}", flows.len());
+        // Download-dominated.
+        let up: u64 = flows.iter().map(|f| f.src_bytes).sum();
+        let down: u64 = flows.iter().map(|f| f.dst_bytes).sum();
+        assert!(down > up * 3);
+        // All initiated by the host.
+        assert!(flows.iter().all(|f| f.src.octets()[0] == 10));
+    }
+
+    #[test]
+    fn no_p2p_signatures() {
+        for f in run_day(7) {
+            assert_eq!(pw_flow::signatures::classify_flow(&f), None);
+        }
+    }
+
+    #[test]
+    fn respects_window() {
+        let flows = run_day(3);
+        assert!(flows.iter().all(|f| f.start >= SimTime::ZERO && f.start < SimTime::from_hours(24)));
+    }
+
+    #[test]
+    fn some_tcp_established_and_some_dns() {
+        let flows = run_day(13);
+        assert!(flows.iter().any(|f| f.state == FlowState::Established && f.dport == 80));
+        assert!(flows.iter().any(|f| f.dport == 53 && f.state == FlowState::UdpReplied));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(run_day(5), run_day(5));
+        assert_ne!(run_day(5).len(), 0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Detector benchmarks: feature extraction, each test, the full pipeline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pw_bench::bench_day;
+use pw_detect::{
+    extract_profiles, find_plotters_from_profiles, initial_reduction, theta_churn, theta_hm,
+    theta_vol, FindPlottersConfig, Threshold,
+};
+
+fn bench_detect(c: &mut Criterion) {
+    let fixture = bench_day();
+    let day = &fixture.day;
+
+    let mut group = c.benchmark_group("detect");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(fixture.flows.len() as u64));
+    group.bench_function("extract_profiles", |b| {
+        b.iter(|| extract_profiles(black_box(&fixture.flows), |ip| day.is_internal(ip)))
+    });
+    group.finish();
+
+    let profiles = &fixture.profiles;
+    let (reduced, _) = initial_reduction(profiles);
+    c.bench_function("initial_reduction", |b| b.iter(|| initial_reduction(black_box(profiles))));
+    c.bench_function("theta_vol", |b| {
+        b.iter(|| theta_vol(black_box(profiles), &reduced, Threshold::Percentile(50.0)))
+    });
+    c.bench_function("theta_churn", |b| {
+        b.iter(|| theta_churn(black_box(profiles), &reduced, Threshold::Percentile(50.0)))
+    });
+
+    let (s_vol, _) = theta_vol(profiles, &reduced, Threshold::Percentile(50.0));
+    let (s_churn, _) = theta_churn(profiles, &reduced, Threshold::Percentile(50.0));
+    let union: std::collections::HashSet<_> = s_vol.union(&s_churn).copied().collect();
+    let mut group = c.benchmark_group("theta_hm");
+    group.sample_size(10);
+    group.bench_function("clustered", |b| {
+        b.iter(|| theta_hm(black_box(profiles), &union, Threshold::Percentile(70.0), 0.05))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("find_plotters_full", |b| {
+        b.iter(|| find_plotters_from_profiles(black_box(profiles), &FindPlottersConfig::default()))
+    });
+    group.finish();
+}
+
+fn bench_tdg(c: &mut Criterion) {
+    let fixture = bench_day();
+    let day = &fixture.day;
+    let cfg = pw_detect::TdgConfig::default();
+    let mut group = c.benchmark_group("tdg");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(fixture.flows.len() as u64));
+    group.bench_function("scan", |b| {
+        b.iter(|| pw_detect::tdg_scan(black_box(&fixture.flows), |ip| day.is_internal(ip), &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_detect, bench_tdg);
+criterion_main!(benches);

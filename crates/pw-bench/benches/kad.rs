@@ -1,0 +1,91 @@
+//! Kademlia-substrate benchmarks: routing-table operations and full
+//! iterative lookups through a simulated overlay.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pw_kad::{Contact, KadConfig, KadEvent, KadSim, LookupGoal, NodeHandle, NodeId, RoutingTable, WireKind};
+use pw_netsim::{rng, Engine, SimTime};
+use rand::Rng;
+use std::net::Ipv4Addr;
+
+fn bench_routing_table(c: &mut Criterion) {
+    let mut r = rng::derive(1, "bench-rt");
+    let me = NodeId::random(&mut r);
+    let contacts: Vec<Contact> = (0..10_000)
+        .map(|i| Contact {
+            id: NodeId::random(&mut r),
+            ip: Ipv4Addr::new(1, 2, 3, 4),
+            port: 4672,
+            handle: NodeHandle::from_index(i),
+        })
+        .collect();
+    c.bench_function("routing_table_insert_10k", |b| {
+        b.iter(|| {
+            let mut t = RoutingTable::new(me, 8);
+            for &ct in &contacts {
+                t.update(black_box(ct));
+            }
+            t.len()
+        })
+    });
+    let mut t = RoutingTable::new(me, 8);
+    for &ct in &contacts {
+        t.update(ct);
+    }
+    let target = NodeId::random(&mut r);
+    c.bench_function("routing_table_closest", |b| {
+        b.iter(|| t.closest(black_box(target), 8))
+    });
+}
+
+fn build_overlay(n: usize) -> (KadSim, Vec<pw_kad::NodeHandle>) {
+    let mut sim = KadSim::new(KadConfig::default(), 42);
+    let mut r = rng::derive(2, "bench-overlay");
+    let mut handles = Vec::new();
+    for i in 0..n {
+        let ip = Ipv4Addr::new(60, (i / 250) as u8, (i % 250) as u8, 1);
+        let h = sim.add_node(NodeId::random(&mut r), ip, 7871, WireKind::Overnet);
+        sim.set_online(h, true);
+        if r.gen_bool(0.2) {
+            sim.set_responsive(h, false);
+        }
+        handles.push(h);
+    }
+    for (i, &h) in handles.iter().enumerate() {
+        let seeds: Vec<_> = (1..=5).map(|d| handles[(i + d * 13) % n]).collect();
+        sim.bootstrap(h, &seeds);
+    }
+    (sim, handles)
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kad_lookup");
+    group.sample_size(20);
+    for n in [100usize, 400] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let (sim0, handles) = build_overlay(n);
+            let mut i = 0u64;
+            b.iter(|| {
+                // Clone the overlay so each lookup starts from identical state.
+                let mut sim = sim0_clone(&sim0, n);
+                let _ = &sim0;
+                let mut engine: Engine<KadEvent> = Engine::new();
+                let mut packets: Vec<pw_flow::Packet> = Vec::new();
+                i += 1;
+                let target = NodeId::hash_of(format!("bench-key-{i}").as_bytes());
+                sim.start_lookup(&mut engine, &mut packets, handles[0], target, LookupGoal::FindNode);
+                engine.run_until(SimTime::from_secs(60), |eng, ev| sim.handle(eng, &mut packets, ev));
+                black_box(packets.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Rebuilds an identical overlay (KadSim holds RNG state, so a fresh build
+/// is the cheap way to get a clean, deterministic starting point).
+fn sim0_clone(_template: &KadSim, n: usize) -> KadSim {
+    build_overlay(n).0
+}
+
+criterion_group!(benches, bench_routing_table, bench_lookup);
+criterion_main!(benches);

@@ -1,0 +1,234 @@
+//! Evasion transformations (§VI of the paper).
+//!
+//! The paper quantifies how much a Plotter would have to change to slip
+//! past each test, by *rewriting its trace*: "We use the same Plotter
+//! traces that were used in the evaluation for this simulation, but add (or
+//! subtract) a random delay before every connection a Plotter makes to a
+//! peer with which it had previously communicated." [`apply_evasion`]
+//! implements exactly those rewrites:
+//!
+//! - **volume inflation** (evade `θ_vol`): multiply the bytes the bot
+//!   uploads in every flow;
+//! - **new-peer inflation** (evade `θ_churn`): add one-off connections to
+//!   fresh addresses, raising the fraction of new IPs contacted;
+//! - **interstitial jitter** (evade `θ_hm`): shift every repeat-peer
+//!   connection by a uniform ±d delay.
+
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+use rand::Rng;
+
+use pw_flow::{FlowRecord, FlowState, Payload, Proto};
+use pw_netsim::{rng, SimDuration, SimTime};
+
+use crate::trace::BotTrace;
+
+/// How an evading Plotter rewrites its behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvasionConfig {
+    /// Multiply every flow's bot-uploaded bytes by this factor (≥ 1).
+    pub volume_multiplier: f64,
+    /// Multiply the number of *distinct new* IPs contacted by this factor
+    /// (≥ 1) via extra one-off connections.
+    pub new_peer_multiplier: f64,
+    /// Add a uniform delay in `[−d, +d]` to each connection made to a peer
+    /// the bot has contacted before.
+    pub jitter: Option<SimDuration>,
+}
+
+impl Default for EvasionConfig {
+    fn default() -> Self {
+        Self { volume_multiplier: 1.0, new_peer_multiplier: 1.0, jitter: None }
+    }
+}
+
+impl EvasionConfig {
+    /// Pure-jitter configuration (the Figure 12 sweep).
+    pub fn jitter_only(d: SimDuration) -> Self {
+        Self { jitter: Some(d), ..Self::default() }
+    }
+}
+
+/// Rewrites a bot trace according to `cfg`. Deterministic in
+/// (`trace`, `cfg`, `seed`).
+///
+/// # Panics
+///
+/// Panics if a multiplier is below 1.
+pub fn apply_evasion(trace: &BotTrace, cfg: &EvasionConfig, seed: u64) -> BotTrace {
+    assert!(
+        cfg.volume_multiplier >= 1.0 && cfg.new_peer_multiplier >= 1.0,
+        "multipliers must be >= 1"
+    );
+    let mut out = trace.clone();
+    for (b, bot) in out.bots.iter_mut().enumerate() {
+        let mut r = rng::derive_indexed(seed, "evasion", b as u64);
+        // --- Volume inflation. ---
+        if cfg.volume_multiplier > 1.0 {
+            for f in bot.flows.iter_mut() {
+                if f.src == bot.ip {
+                    f.src_bytes = (f.src_bytes as f64 * cfg.volume_multiplier) as u64;
+                } else {
+                    f.dst_bytes = (f.dst_bytes as f64 * cfg.volume_multiplier) as u64;
+                }
+            }
+        }
+        // --- Interstitial jitter on repeat-peer connections. ---
+        if let Some(d) = cfg.jitter {
+            if d > SimDuration::ZERO {
+                let mut seen: HashSet<Ipv4Addr> = HashSet::new();
+                let d_ms = d.as_millis() as i64;
+                for f in bot.flows.iter_mut() {
+                    let Some(peer) = f.peer_of(bot.ip) else { continue };
+                    if !seen.insert(peer) {
+                        let delta = r.gen_range(-d_ms..=d_ms);
+                        let shift = |t: SimTime| {
+                            SimTime::from_millis((t.as_millis() as i64 + delta).max(0) as u64)
+                        };
+                        let dur = f.end - f.start;
+                        f.start = shift(f.start);
+                        f.end = f.start + dur;
+                    }
+                }
+                bot.flows.sort_by_key(|f| (f.start, f.sport, f.dport));
+            }
+        }
+        // --- New-peer inflation. ---
+        if cfg.new_peer_multiplier > 1.0 {
+            let distinct: HashSet<Ipv4Addr> =
+                bot.flows.iter().filter_map(|f| f.peer_of(bot.ip)).collect();
+            let extra = ((cfg.new_peer_multiplier - 1.0) * distinct.len() as f64).round() as usize;
+            let span = trace.duration.as_millis().max(1);
+            for i in 0..extra {
+                let t = SimTime::from_millis(r.gen_range(0..span));
+                // A fresh address the bot has never contacted: one-shot probe.
+                let fresh = Ipv4Addr::new(
+                    198,
+                    ((b * 37 + i) % 250) as u8 + 1,
+                    ((i * 13) % 250) as u8 + 1,
+                    (r.gen_range(0..250) + 1) as u8,
+                );
+                bot.flows.push(FlowRecord {
+                    start: t,
+                    end: t + SimDuration::from_secs(9),
+                    src: bot.ip,
+                    sport: 32_768 + (i % 28_000) as u16,
+                    dst: fresh,
+                    dport: 8,
+                    proto: Proto::Tcp,
+                    src_pkts: 3,
+                    src_bytes: 120,
+                    dst_pkts: 0,
+                    dst_bytes: 0,
+                    state: FlowState::SynNoAnswer,
+                    payload: Payload::empty(),
+                });
+            }
+            bot.flows.sort_by_key(|f| (f.start, f.sport, f.dport));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nugache::{generate_nugache_trace, NugacheConfig};
+
+    fn base_trace() -> BotTrace {
+        generate_nugache_trace(&NugacheConfig { n_bots: 6, ..Default::default() }, 1)
+    }
+
+    #[test]
+    fn identity_config_is_noop() {
+        let t = base_trace();
+        let e = apply_evasion(&t, &EvasionConfig::default(), 5);
+        assert_eq!(t, e);
+    }
+
+    #[test]
+    fn volume_multiplier_scales_uploads() {
+        let t = base_trace();
+        let cfg = EvasionConfig { volume_multiplier: 3.0, ..Default::default() };
+        let e = apply_evasion(&t, &cfg, 5);
+        let up = |tr: &BotTrace| -> u64 {
+            tr.bots
+                .iter()
+                .flat_map(|b| b.flows.iter().map(move |f| f.bytes_uploaded_by(b.ip).unwrap_or(0)))
+                .sum()
+        };
+        let (before, after) = (up(&t), up(&e));
+        assert!(after > before * 2 && after <= before * 3 + t.total_flows() as u64 * 3);
+    }
+
+    #[test]
+    fn new_peer_multiplier_adds_fresh_destinations() {
+        let t = base_trace();
+        let cfg = EvasionConfig { new_peer_multiplier: 1.5, ..Default::default() };
+        let e = apply_evasion(&t, &cfg, 5);
+        for (b0, b1) in t.bots.iter().zip(&e.bots) {
+            let d0: HashSet<_> = b0.flows.iter().filter_map(|f| f.peer_of(b0.ip)).collect();
+            let d1: HashSet<_> = b1.flows.iter().filter_map(|f| f.peer_of(b1.ip)).collect();
+            let expect = d0.len() + ((0.5 * d0.len() as f64).round() as usize);
+            assert!(
+                (d1.len() as i64 - expect as i64).abs() <= 2,
+                "distinct {} -> {}, expected ~{expect}",
+                d0.len(),
+                d1.len()
+            );
+        }
+    }
+
+    #[test]
+    fn jitter_moves_only_repeat_contacts() {
+        let t = base_trace();
+        let cfg = EvasionConfig::jitter_only(SimDuration::from_secs(60));
+        let e = apply_evasion(&t, &cfg, 5);
+        for (b0, b1) in t.bots.iter().zip(&e.bots) {
+            assert_eq!(b0.flows.len(), b1.flows.len());
+            // First contact to each peer is unmoved: compare the earliest
+            // flow per peer.
+            use std::collections::HashMap;
+            let firsts = |bt: &crate::trace::BotHostTrace| -> HashMap<Ipv4Addr, SimTime> {
+                let mut m = HashMap::new();
+                for f in &bt.flows {
+                    if let Some(p) = f.peer_of(bt.ip) {
+                        let ent = m.entry(p).or_insert(f.start);
+                        if f.start < *ent {
+                            *ent = f.start;
+                        }
+                    }
+                }
+                m
+            };
+            let f0 = firsts(b0);
+            let f1 = firsts(b1);
+            // Jitter can only move repeats; a repeat jittered *earlier* than
+            // the original first contact can lower the min, never raise it.
+            for (p, t0) in &f0 {
+                assert!(f1[p] <= *t0 + SimDuration::from_secs(60));
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_keeps_flows_sorted_and_durations_intact() {
+        let t = base_trace();
+        let e = apply_evasion(&t, &EvasionConfig::jitter_only(SimDuration::from_mins(10)), 6);
+        for b in &e.bots {
+            for w in b.flows.windows(2) {
+                assert!(w[0].start <= w[1].start);
+            }
+            for f in &b.flows {
+                assert!(f.end >= f.start);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 1")]
+    fn rejects_sub_unit_multiplier() {
+        apply_evasion(&base_trace(), &EvasionConfig { volume_multiplier: 0.5, ..Default::default() }, 1);
+    }
+}

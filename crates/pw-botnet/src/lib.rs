@@ -1,0 +1,37 @@
+//! P2P bot models — the paper's **Plotters**.
+//!
+//! Two families, matching the paper's honeynet traces (§III):
+//!
+//! - [`storm`]: Storm, whose command-and-control runs over the Overnet
+//!   Kademlia network. Our Storm bots participate in a real simulated
+//!   Overnet overlay (`pw-kad`): machine-timed peer-list keepalives,
+//!   periodic rendezvous *searches* for date-derived keys that controller
+//!   nodes *publish*, and publicize cycles. Control messages are tiny; a
+//!   bot's traffic is low-volume, low-churn, persistent, and periodic —
+//!   the four behaviours the detector keys on.
+//! - [`nugache`]: Nugache, a TCP-based P2P bot with encrypted payloads
+//!   (never matching any payload signature), 10 s / 25 s / 50 s timer
+//!   classes, a bounded stored peer list whose mostly-dead entries are
+//!   retried endlessly (>65 % failed connections, like the paper's trace),
+//!   and heavy-tailed per-bot activity levels (the paper observed "large
+//!   variance in the activity levels of the Nugache bots").
+//!
+//! Traces are produced *standalone* over 24 hours ([`BotTrace`]), exactly
+//! like the honeynet collections the paper overlays onto campus traffic;
+//! `pw-data` performs the overlay. [`evasion`] implements the §VI
+//! counter-detection transformations (volume inflation, new-peer inflation,
+//! ±d interstitial jitter) as trace rewrites, which is precisely how the
+//! paper simulated evading Plotters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod evasion;
+pub mod nugache;
+pub mod storm;
+pub mod trace;
+
+pub use evasion::{apply_evasion, EvasionConfig};
+pub use nugache::{generate_nugache_trace, NugacheConfig};
+pub use storm::{generate_storm_trace, StormConfig};
+pub use trace::{BotFamily, BotHostTrace, BotTrace};

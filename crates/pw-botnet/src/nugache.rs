@@ -1,0 +1,283 @@
+//! The Nugache botnet: TCP peer-to-peer with encrypted payloads.
+//!
+//! Nugache (per the Stover et al. analysis the paper cites) connects to
+//! peers over TCP (famously on port 8), encrypts everything, and keeps a
+//! bounded stored peer list. The paper's trace showed two things our model
+//! must reproduce:
+//!
+//! - almost every bot has **> 65 % failed connections** — the stored list is
+//!   mostly dead or NAT'd peers that the bot keeps retrying;
+//! - **activity levels vary enormously** across bots (some barely speak),
+//!   which is what drove the paper's lower (30 %) detection rate (Fig. 10).
+//!
+//! Communication happens in episodes: the bot engages a few list entries
+//! and re-contacts each at a fixed per-entry timer class (≈10 s / 25 s /
+//! 50 s — the periodicities visible in the paper's Figure 3(b)).
+
+use std::net::Ipv4Addr;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use pw_flow::signatures::build;
+use pw_flow::synth::{emit_connection, ConnOutcome, ConnSpec};
+use pw_flow::{ArgusAggregator, PacketSink};
+use pw_netsim::{rng, SimDuration, SimTime};
+
+use crate::trace::{split_by_bot, BotFamily, BotTrace};
+
+/// Nugache's characteristic TCP port.
+pub const NUGACHE_PORT: u16 = 8;
+
+/// Nugache simulation parameters. Defaults match the paper's trace: 82
+/// bots, 24 hours.
+#[derive(Debug, Clone)]
+pub struct NugacheConfig {
+    /// Honeynet bots captured.
+    pub n_bots: usize,
+    /// Size of the global peer pool bot lists draw from.
+    pub peer_pool: usize,
+    /// Stored peer-list size range per bot.
+    pub peer_list_range: (usize, usize),
+    /// Probability a stored peer is alive and reachable at all.
+    pub peer_alive_prob: f64,
+    /// Timer classes (seconds) assigned per peer entry.
+    pub timer_classes: [f64; 3],
+    /// Communication episodes per day for a fully active bot.
+    pub episodes_at_full_activity: f64,
+    /// Fraction of bots that are healthy, chatty participants; the rest are
+    /// barely alive (the paper's trace showed exactly this split, which its
+    /// authors attributed to "the limited viability of the Nugache botnet
+    /// at the time").
+    pub strong_frac: f64,
+    /// Activity range of healthy bots.
+    pub strong_activity: (f64, f64),
+    /// Activity range of barely-alive bots.
+    pub weak_activity: (f64, f64),
+    /// Capture length.
+    pub duration: SimDuration,
+}
+
+impl Default for NugacheConfig {
+    fn default() -> Self {
+        Self {
+            n_bots: 82,
+            peer_pool: 260,
+            peer_list_range: (10, 42),
+            peer_alive_prob: 0.22,
+            timer_classes: [10.0, 25.0, 50.0],
+            episodes_at_full_activity: 200.0,
+            strong_frac: 0.25,
+            strong_activity: (0.75, 1.0),
+            weak_activity: (0.001, 0.012),
+            duration: SimDuration::from_hours(24),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PeerEntry {
+    ip: Ipv4Addr,
+    alive: bool,
+    timer_class: f64,
+}
+
+fn bot_day<S: PacketSink>(
+    cfg: &NugacheConfig,
+    sink: &mut S,
+    bot_ip: Ipv4Addr,
+    list: &[PeerEntry],
+    activity: f64,
+    rng: &mut rand::rngs::StdRng,
+) {
+    let end = SimTime::ZERO + cfg.duration;
+    let episodes = (cfg.episodes_at_full_activity * activity).max(0.6);
+    let n_episodes = pw_netsim::sampling::poisson(rng, episodes).max(1);
+    let mut payload_seed: u64 = rng.gen();
+    for _ in 0..n_episodes {
+        let t0 = SimTime::from_millis(rng.gen_range(0..cfg.duration.as_millis()));
+        // Engage a few entries from the stored list.
+        let engaged = rng.gen_range(1..=3.min(list.len()));
+        let entries: Vec<&PeerEntry> = list.choose_multiple(rng, engaged).collect();
+        for entry in entries {
+            // Contact this entry at its timer class for the episode length.
+            let rounds = rng.gen_range(10..34u64);
+            let mut t = t0 + SimDuration::from_millis(rng.gen_range(0..3_000));
+            for _ in 0..rounds {
+                if t >= end {
+                    break;
+                }
+                payload_seed = payload_seed.wrapping_add(0x9E37);
+                if entry.alive && rng.gen_bool(0.9) {
+                    let up = rng.gen_range(350..1_400);
+                    let down = rng.gen_range(250..1_200);
+                    emit_connection(
+                        sink,
+                        &ConnSpec::tcp(t, bot_ip, 32_768 + (payload_seed % 28_000) as u16, entry.ip, NUGACHE_PORT)
+                            .outcome(ConnOutcome::Established { bytes_up: up, bytes_down: down })
+                            .duration(SimDuration::from_secs_f64(rng.gen_range(0.5..4.0)))
+                            .payload(build::opaque(payload_seed).as_bytes()),
+                    );
+                } else {
+                    emit_connection(
+                        sink,
+                        &ConnSpec::tcp(t, bot_ip, 32_768 + (payload_seed % 28_000) as u16, entry.ip, NUGACHE_PORT)
+                            .outcome(ConnOutcome::NoAnswer),
+                    );
+                }
+                // Machine timer: the class interval with millisecond skew.
+                let skew = rng.gen_range(-400.0..400.0) / 1000.0;
+                t += SimDuration::from_secs_f64((entry.timer_class + skew).max(1.0));
+            }
+        }
+    }
+}
+
+/// Runs the Nugache honeynet capture. Deterministic in (`cfg`, `seed`).
+pub fn generate_nugache_trace(cfg: &NugacheConfig, seed: u64) -> BotTrace {
+    assert!(cfg.n_bots > 0 && cfg.peer_pool >= cfg.peer_list_range.1, "pool smaller than lists");
+    let mut master = rng::derive(seed, "nugache-trace");
+
+    // Global peer pool with per-peer liveness (shared across bots: dead
+    // peers are dead for everyone).
+    let pool: Vec<PeerEntry> = (0..cfg.peer_pool)
+        .map(|i| {
+            let ip = Ipv4Addr::new(
+                96 + (i / 65536) as u8,
+                ((i / 256) % 256) as u8,
+                (i % 256) as u8,
+                (31 + i % 200) as u8,
+            );
+            PeerEntry {
+                ip,
+                alive: master.gen_bool(cfg.peer_alive_prob),
+                timer_class: cfg.timer_classes[i % cfg.timer_classes.len()],
+            }
+        })
+        .collect();
+
+    let mut bot_ips = Vec::new();
+    let mut argus = ArgusAggregator::default();
+    for b in 0..cfg.n_bots {
+        let bot_ip = Ipv4Addr::new(172, 16, 1, (b + 1) as u8);
+        bot_ips.push(bot_ip);
+        let mut rng_b = rng::derive_indexed(seed, "nugache-bot", b as u64);
+        let list_len = rng_b.gen_range(cfg.peer_list_range.0..=cfg.peer_list_range.1);
+        let list: Vec<PeerEntry> =
+            pool.choose_multiple(&mut rng_b, list_len).copied().collect();
+        let activity = if rng_b.gen_bool(cfg.strong_frac) {
+            rng_b.gen_range(cfg.strong_activity.0..cfg.strong_activity.1)
+        } else {
+            rng_b.gen_range(cfg.weak_activity.0..cfg.weak_activity.1)
+        };
+        bot_day(cfg, &mut argus, bot_ip, &list, activity, &mut rng_b);
+    }
+
+    let flows = argus.finish(SimTime::ZERO + cfg.duration + SimDuration::from_secs(120));
+    split_by_bot(&flows, &bot_ips, BotFamily::Nugache, cfg.duration)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> NugacheConfig {
+        NugacheConfig { n_bots: 30, ..NugacheConfig::default() }
+    }
+
+    #[test]
+    fn most_bots_exceed_65_percent_failed() {
+        let trace = generate_nugache_trace(&cfg(), 1);
+        let mut above = 0;
+        let mut counted = 0;
+        for bot in &trace.bots {
+            let initiated: Vec<_> = bot.flows.iter().filter(|f| f.src == bot.ip).collect();
+            if initiated.len() < 10 {
+                continue;
+            }
+            counted += 1;
+            let failed = initiated.iter().filter(|f| f.is_failed()).count();
+            if failed as f64 / initiated.len() as f64 > 0.65 {
+                above += 1;
+            }
+        }
+        assert!(counted >= 15);
+        assert!(
+            above as f64 > 0.6 * counted as f64,
+            "only {above}/{counted} bots above 65% failed"
+        );
+    }
+
+    #[test]
+    fn activity_levels_are_heavy_tailed() {
+        let trace = generate_nugache_trace(&cfg(), 2);
+        let mut counts = trace.flow_counts();
+        counts.sort_unstable();
+        let min = counts[0];
+        let max = *counts.last().unwrap();
+        assert!(max > min * 20, "activity spread too small: {min}..{max}");
+    }
+
+    #[test]
+    fn payloads_never_match_signatures() {
+        let trace = generate_nugache_trace(&cfg(), 3);
+        for bot in &trace.bots {
+            for f in &bot.flows {
+                assert_eq!(pw_flow::signatures::classify_flow(f), None);
+            }
+        }
+    }
+
+    #[test]
+    fn timer_classes_visible_in_interstitials() {
+        let trace = generate_nugache_trace(&NugacheConfig { n_bots: 10, ..Default::default() }, 4);
+        // Pool per-destination gaps across all bots; count how many fall
+        // near a timer class.
+        let mut near = 0usize;
+        let mut total = 0usize;
+        for bot in &trace.bots {
+            let mut per_dest: std::collections::HashMap<Ipv4Addr, Vec<SimTime>> = Default::default();
+            for f in &bot.flows {
+                if let Some(p) = f.peer_of(bot.ip) {
+                    per_dest.entry(p).or_default().push(f.start);
+                }
+            }
+            for times in per_dest.values_mut() {
+                times.sort();
+                for w in times.windows(2) {
+                    let gap = (w[1] - w[0]).as_secs_f64();
+                    if gap < 120.0 {
+                        total += 1;
+                        if [10.0, 25.0, 50.0].iter().any(|c| (gap - c).abs() < 1.5) {
+                            near += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(total > 100);
+        assert!(
+            near as f64 > 0.6 * total as f64,
+            "only {near}/{total} short gaps near timer classes"
+        );
+    }
+
+    #[test]
+    fn small_flows_low_volume() {
+        let trace = generate_nugache_trace(&cfg(), 5);
+        for bot in trace.bots.iter().filter(|b| b.flows.len() > 20) {
+            let avg = bot
+                .flows
+                .iter()
+                .map(|f| f.bytes_uploaded_by(bot.ip).unwrap_or(0))
+                .sum::<u64>() as f64
+                / bot.flows.len() as f64;
+            assert!(avg < 2_000.0, "avg upload per flow {avg}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate_nugache_trace(&cfg(), 9), generate_nugache_trace(&cfg(), 9));
+    }
+}

@@ -1,0 +1,355 @@
+//! The Storm botnet over a simulated Overnet overlay.
+//!
+//! Storm's control plane (as reverse-engineered in the literature the paper
+//! cites) has three machine-driven activities, all reproduced here over the
+//! real Kademlia substrate:
+//!
+//! 1. **keepalive pings** to the bot's stored peer list, on a fixed timer —
+//!    the persistence / low-churn signal;
+//! 2. **rendezvous searches** for keys derived from the date and a small
+//!    random slot, which controller nodes publish — how bots find commands;
+//! 3. **publicize** cycles announcing the bot to the network.
+//!
+//! All bots run the same binary, so their timers share the same algorithm —
+//! the cross-host similarity `θ_hm` clusters on.
+
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use pw_kad::{KadConfig, KadEvent, KadSim, LookupGoal, NodeId, WireKind};
+use pw_netsim::{rng, Engine, SimDuration, SimTime};
+
+use crate::trace::{split_by_bot, BotFamily, BotTrace, FilterSink};
+
+/// Storm simulation parameters. Defaults match the paper's trace: 13 bots,
+/// 24 hours.
+#[derive(Debug, Clone)]
+pub struct StormConfig {
+    /// Honeynet bots captured.
+    pub n_bots: usize,
+    /// External Overnet population the bots interact with.
+    pub external_population: usize,
+    /// Fraction of external nodes that never answer (NAT'd/firewalled).
+    pub unresponsive_frac: f64,
+    /// Fraction of external nodes offline for the day (departed peers that
+    /// remain in stored peer lists).
+    pub offline_frac: f64,
+    /// Stored peer-list entries per bot.
+    pub peer_list_size: usize,
+    /// Keepalive timer: ping peer-list entries each interval.
+    pub ping_interval: SimDuration,
+    /// Rendezvous search timer.
+    pub search_interval: SimDuration,
+    /// Publicize timer.
+    pub publicize_interval: SimDuration,
+    /// Uniform timer jitter (milliseconds) — small: these are machine timers.
+    pub timer_jitter_ms: u64,
+    /// Controller nodes publishing rendezvous keys.
+    pub controllers: usize,
+    /// Capture length.
+    pub duration: SimDuration,
+    /// Day index, entering the rendezvous key derivation.
+    pub day: u64,
+}
+
+impl Default for StormConfig {
+    fn default() -> Self {
+        Self {
+            n_bots: 13,
+            external_population: 150,
+            unresponsive_frac: 0.30,
+            offline_frac: 0.28,
+            peer_list_size: 24,
+            ping_interval: SimDuration::from_secs(300),
+            search_interval: SimDuration::from_secs(600),
+            publicize_interval: SimDuration::from_secs(900),
+            timer_jitter_ms: 3_000,
+            controllers: 3,
+            duration: SimDuration::from_hours(24),
+            day: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum StormEvent {
+    Kad(KadEvent),
+    PingCycle { bot: usize },
+    PingOne { bot: usize, entry: usize },
+    SearchCycle { bot: usize },
+    PublicizeCycle { bot: usize },
+    ControllerPublish { ctrl: usize },
+}
+
+impl From<KadEvent> for StormEvent {
+    fn from(e: KadEvent) -> Self {
+        StormEvent::Kad(e)
+    }
+}
+
+/// The rendezvous key every Storm binary derives for (`day`, `slot`, `r`).
+pub fn rendezvous_key(day: u64, slot: u64, r: u64) -> NodeId {
+    NodeId::hash_of(format!("storm-rendezvous-{day}-{slot}-{r}").as_bytes())
+}
+
+/// Runs the Storm overlay for one capture and returns the honeynet trace.
+///
+/// Deterministic in (`cfg`, `seed`).
+pub fn generate_storm_trace(cfg: &StormConfig, seed: u64) -> BotTrace {
+    assert!(cfg.n_bots > 0 && cfg.external_population >= 20, "population too small");
+    let mut master = rng::derive(seed, "storm-trace");
+    let mut sim = KadSim::new(
+        KadConfig { k: 8, alpha: 3, ..KadConfig::default() },
+        seed ^ 0x5707,
+    );
+    let mut engine: Engine<StormEvent> = Engine::new();
+
+    // --- External Overnet population. ---
+    let mut externals = Vec::new();
+    for i in 0..cfg.external_population {
+        let id = NodeId::random(&mut master);
+        let ip = Ipv4Addr::new(
+            60 + (i / 65536) as u8,
+            ((i / 256) % 256) as u8,
+            (i % 256) as u8,
+            (17 + i % 200) as u8,
+        );
+        let h = sim.add_node(id, ip, WireKind::Overnet.default_port(), WireKind::Overnet);
+        let offline = master.gen_bool(cfg.offline_frac);
+        sim.set_online(h, !offline);
+        if !offline && master.gen_bool(cfg.unresponsive_frac) {
+            sim.set_responsive(h, false);
+        }
+        externals.push(h);
+    }
+    // Seed external routing tables (the overlay pre-exists the capture).
+    for (i, &h) in externals.iter().enumerate() {
+        let mut seeds = Vec::new();
+        for d in 1..=6usize {
+            seeds.push(externals[(i + d * 13) % externals.len()]);
+            seeds.push(externals[(i + d * 41) % externals.len()]);
+        }
+        sim.bootstrap(h, &seeds);
+    }
+
+    // --- Honeynet bots. ---
+    let mut bot_handles = Vec::new();
+    let mut bot_ips = Vec::new();
+    for b in 0..cfg.n_bots {
+        let id = NodeId::random(&mut master);
+        let ip = Ipv4Addr::new(172, 16, 0, (b + 1) as u8);
+        let h = sim.add_node(id, ip, WireKind::Overnet.default_port(), WireKind::Overnet);
+        sim.set_online(h, true);
+        bot_handles.push(h);
+        bot_ips.push(ip);
+    }
+    // Peer lists: stored contacts from the external population.
+    let mut peer_lists: Vec<Vec<pw_kad::NodeHandle>> = Vec::new();
+    for (b, &h) in bot_handles.iter().enumerate() {
+        let mut rng_b = rng::derive_indexed(seed, "storm-bot-peers", b as u64);
+        let mut list: Vec<_> =
+            externals.choose_multiple(&mut rng_b, cfg.peer_list_size).copied().collect();
+        list.sort_by_key(|h| h.index());
+        sim.bootstrap(h, &list);
+        peer_lists.push(list);
+    }
+
+    // --- Controllers publish rendezvous keys hourly. ---
+    let controllers: Vec<_> = externals
+        .iter()
+        .copied()
+        .filter(|&h| sim.is_online(h))
+        .take(cfg.controllers)
+        .collect();
+
+    // --- Timer kickoff (per-bot phase offsets, same periods). ---
+    for b in 0..cfg.n_bots {
+        let mut rng_b = rng::derive_indexed(seed, "storm-bot-timers", b as u64);
+        engine.schedule_at(
+            SimTime::from_millis(rng_b.gen_range(0..cfg.ping_interval.as_millis())),
+            StormEvent::PingCycle { bot: b },
+        );
+        engine.schedule_at(
+            SimTime::from_millis(rng_b.gen_range(0..cfg.search_interval.as_millis())),
+            StormEvent::SearchCycle { bot: b },
+        );
+        engine.schedule_at(
+            SimTime::from_millis(rng_b.gen_range(0..cfg.publicize_interval.as_millis())),
+            StormEvent::PublicizeCycle { bot: b },
+        );
+    }
+    for c in 0..controllers.len() {
+        engine.schedule_at(SimTime::from_millis(c as u64 * 1000), StormEvent::ControllerPublish { ctrl: c });
+    }
+
+    // --- Run. ---
+    let keep: HashSet<Ipv4Addr> = bot_ips.iter().copied().collect();
+    let mut sink = FilterSink::new(pw_flow::ArgusAggregator::default(), keep);
+    let end = SimTime::ZERO + cfg.duration;
+    let mut timer_rng = rng::derive(seed, "storm-timer-jitter");
+    let jitter = |rng: &mut rand::rngs::StdRng, base: SimDuration, ms: u64| {
+        if ms == 0 {
+            base
+        } else {
+            SimDuration::from_millis(base.as_millis().saturating_sub(ms / 2) + rng.gen_range(0..=ms))
+        }
+    };
+    engine.run_until(end, |eng, ev| match ev {
+        StormEvent::Kad(k) => sim.handle(eng, &mut sink, k),
+        StormEvent::PingCycle { bot } => {
+            // Stagger individual pings across the next few seconds.
+            for entry in 0..peer_lists[bot].len() {
+                let off = SimDuration::from_millis(timer_rng.gen_range(0..8_000));
+                eng.schedule_after(off, StormEvent::PingOne { bot, entry });
+            }
+            let next = jitter(&mut timer_rng, cfg.ping_interval, cfg.timer_jitter_ms);
+            eng.schedule_after(next, StormEvent::PingCycle { bot });
+        }
+        StormEvent::PingOne { bot, entry } => {
+            let peer = peer_lists[bot][entry];
+            sim.ping(eng, &mut sink, bot_handles[bot], peer);
+            // Occasionally refresh a dead entry from the routing table.
+            if timer_rng.gen_bool(0.008) {
+                let learned = sim.table_contacts(bot_handles[bot]);
+                if let Some(c) = learned.choose(&mut timer_rng) {
+                    peer_lists[bot][entry] = c.handle;
+                }
+            }
+        }
+        StormEvent::SearchCycle { bot } => {
+            let slot = eng.now().hour_of_day() as u64;
+            let r = timer_rng.gen_range(0..4);
+            let key = rendezvous_key(cfg.day, slot, r);
+            sim.start_lookup(eng, &mut sink, bot_handles[bot], key, LookupGoal::Search);
+            let next = jitter(&mut timer_rng, cfg.search_interval, cfg.timer_jitter_ms);
+            eng.schedule_after(next, StormEvent::SearchCycle { bot });
+        }
+        StormEvent::PublicizeCycle { bot } => {
+            let me = sim.id_of(bot_handles[bot]);
+            sim.start_lookup(eng, &mut sink, bot_handles[bot], me, LookupGoal::Publish);
+            let next = jitter(&mut timer_rng, cfg.publicize_interval, cfg.timer_jitter_ms);
+            eng.schedule_after(next, StormEvent::PublicizeCycle { bot });
+        }
+        StormEvent::ControllerPublish { ctrl } => {
+            let slot = eng.now().hour_of_day() as u64;
+            for r in 0..4 {
+                let key = rendezvous_key(cfg.day, slot, r);
+                sim.start_lookup(eng, &mut sink, controllers[ctrl], key, LookupGoal::Publish);
+            }
+            eng.schedule_after(SimDuration::from_hours(1), StormEvent::ControllerPublish { ctrl });
+        }
+    });
+
+    let flows = sink.into_inner().finish(end + SimDuration::from_secs(120));
+    split_by_bot(&flows, &bot_ips, BotFamily::Storm, cfg.duration)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pw_flow::signatures::{classify_flow, P2pApp};
+
+    fn small_cfg() -> StormConfig {
+        StormConfig {
+            n_bots: 4,
+            external_population: 80,
+            duration: SimDuration::from_hours(3),
+            ..StormConfig::default()
+        }
+    }
+
+    #[test]
+    fn trace_has_one_entry_per_bot_with_flows() {
+        let trace = generate_storm_trace(&small_cfg(), 7);
+        assert_eq!(trace.bots.len(), 4);
+        for b in &trace.bots {
+            assert!(b.flows.len() > 50, "bot {:?} has only {} flows", b.ip, b.flows.len());
+            assert!(b.flows.iter().all(|f| f.involves(b.ip)));
+        }
+    }
+
+    #[test]
+    fn storm_flows_are_tiny_udp_with_edonkey_payload() {
+        let trace = generate_storm_trace(&small_cfg(), 8);
+        let flows = &trace.bots[0].flows;
+        let avg_up: f64 = flows.iter().map(|f| f.bytes_uploaded_by(trace.bots[0].ip).unwrap_or(0)).sum::<u64>() as f64
+            / flows.len() as f64;
+        assert!(avg_up < 500.0, "Storm per-flow upload too big: {avg_up}");
+        let classified = flows.iter().filter(|f| classify_flow(f) == Some(P2pApp::Emule)).count();
+        assert!(classified * 2 > flows.len(), "Overnet payloads should classify as eDonkey family");
+    }
+
+    #[test]
+    fn keepalives_are_periodic_to_same_peers() {
+        let trace = generate_storm_trace(&small_cfg(), 9);
+        let bot = &trace.bots[0];
+        // Find a destination with many flows and check the dominant gap is
+        // near the ping interval.
+        use std::collections::HashMap;
+        let mut per_dest: HashMap<_, Vec<SimTime>> = HashMap::new();
+        for f in &bot.flows {
+            if let Some(p) = f.peer_of(bot.ip) {
+                per_dest.entry(p).or_default().push(f.start);
+            }
+        }
+        let busiest = per_dest.values_mut().max_by_key(|v| v.len()).unwrap();
+        busiest.sort();
+        assert!(busiest.len() >= 10);
+        let gaps: Vec<f64> = busiest.windows(2).map(|w| (w[1] - w[0]).as_secs_f64()).collect();
+        let near = gaps.iter().filter(|g| (**g - 300.0).abs() < 30.0).count();
+        assert!(
+            near * 2 > gaps.len(),
+            "ping periodicity not dominant: {near}/{} gaps near 300 s",
+            gaps.len()
+        );
+    }
+
+    #[test]
+    fn some_keepalives_fail() {
+        let trace = generate_storm_trace(&small_cfg(), 10);
+        let bot = &trace.bots[1];
+        let initiated: Vec<_> = bot.flows.iter().filter(|f| f.src == bot.ip).collect();
+        let failed = initiated.iter().filter(|f| f.is_failed()).count();
+        let rate = failed as f64 / initiated.len() as f64;
+        assert!(rate > 0.1 && rate < 0.7, "failed rate {rate}");
+    }
+
+    #[test]
+    fn low_churn_after_first_hour() {
+        let cfg = StormConfig {
+            n_bots: 3,
+            external_population: 120,
+            duration: SimDuration::from_hours(6),
+            ..StormConfig::default()
+        };
+        let trace = generate_storm_trace(&cfg, 11);
+        let bot = &trace.bots[0];
+        let mut first_contact: std::collections::HashMap<Ipv4Addr, SimTime> = Default::default();
+        for f in &bot.flows {
+            if let Some(p) = f.peer_of(bot.ip) {
+                first_contact.entry(p).or_insert(f.start);
+            }
+        }
+        let first_activity = bot.flows.first().unwrap().start;
+        let cutoff = first_activity + SimDuration::from_hours(1);
+        let new = first_contact.values().filter(|&&t| t > cutoff).count();
+        let frac = new as f64 / first_contact.len() as f64;
+        assert!(frac < 0.55, "Storm churn too high: {frac}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_storm_trace(&small_cfg(), 3);
+        let b = generate_storm_trace(&small_cfg(), 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rendezvous_keys_shared_across_bots() {
+        assert_eq!(rendezvous_key(1, 2, 3), rendezvous_key(1, 2, 3));
+        assert_ne!(rendezvous_key(1, 2, 3), rendezvous_key(2, 2, 3));
+    }
+}

@@ -1,0 +1,164 @@
+//! Bot trace containers — the synthetic stand-in for the paper's honeynet
+//! captures.
+
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+use pw_flow::{FlowRecord, Packet, PacketSink};
+use pw_netsim::SimDuration;
+
+/// Which malware family a trace belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BotFamily {
+    /// Storm / Peacomm (Overnet-based).
+    Storm,
+    /// Nugache (TCP-based).
+    Nugache,
+}
+
+impl std::fmt::Display for BotFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BotFamily::Storm => write!(f, "storm"),
+            BotFamily::Nugache => write!(f, "nugache"),
+        }
+    }
+}
+
+/// One bot's 24-hour flow trace, keyed by its honeynet address (rewritten
+/// at overlay time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BotHostTrace {
+    /// The bot's address inside the honeynet capture.
+    pub ip: Ipv4Addr,
+    /// Every border flow the bot participated in, sorted by start time.
+    pub flows: Vec<FlowRecord>,
+}
+
+/// A full honeynet capture: one trace per bot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BotTrace {
+    /// Malware family.
+    pub family: BotFamily,
+    /// Per-bot flow traces.
+    pub bots: Vec<BotHostTrace>,
+    /// Capture length.
+    pub duration: SimDuration,
+}
+
+impl BotTrace {
+    /// Total flows across all bots.
+    pub fn total_flows(&self) -> usize {
+        self.bots.iter().map(|b| b.flows.len()).sum()
+    }
+
+    /// Per-bot flow counts (for the Figure 10 CDFs).
+    pub fn flow_counts(&self) -> Vec<usize> {
+        self.bots.iter().map(|b| b.flows.len()).collect()
+    }
+}
+
+/// A [`PacketSink`] that forwards only packets involving a set of watched
+/// addresses — the honeynet's capture filter.
+#[derive(Debug)]
+pub struct FilterSink<S> {
+    inner: S,
+    keep: HashSet<Ipv4Addr>,
+}
+
+impl<S: PacketSink> FilterSink<S> {
+    /// Wraps `inner`, keeping only packets whose source or destination is in
+    /// `keep`.
+    pub fn new(inner: S, keep: HashSet<Ipv4Addr>) -> Self {
+        Self { inner, keep }
+    }
+
+    /// Unwraps the inner sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: PacketSink> PacketSink for FilterSink<S> {
+    fn emit(&mut self, packet: Packet) {
+        if self.keep.contains(&packet.src) || self.keep.contains(&packet.dst) {
+            self.inner.emit(packet);
+        }
+    }
+}
+
+/// Groups aggregated flows into per-bot traces (a flow involving two bots is
+/// recorded under both).
+pub fn split_by_bot(flows: &[FlowRecord], bot_ips: &[Ipv4Addr], family: BotFamily, duration: SimDuration) -> BotTrace {
+    let bots = bot_ips
+        .iter()
+        .map(|&ip| BotHostTrace {
+            ip,
+            flows: flows.iter().filter(|f| f.involves(ip)).copied().collect(),
+        })
+        .collect();
+    BotTrace { family, bots, duration }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pw_flow::{Payload, Proto, TcpFlags};
+    use pw_netsim::SimTime;
+
+    fn packet(src: Ipv4Addr, dst: Ipv4Addr) -> Packet {
+        Packet {
+            time: SimTime::ZERO,
+            src,
+            dst,
+            sport: 1,
+            dport: 2,
+            proto: Proto::Udp,
+            pkts: 1,
+            bytes: 50,
+            flags: TcpFlags::NONE,
+            payload: Payload::empty(),
+        }
+    }
+
+    #[test]
+    fn filter_sink_keeps_only_watched() {
+        let a = Ipv4Addr::new(172, 16, 0, 1);
+        let b = Ipv4Addr::new(8, 8, 8, 8);
+        let c = Ipv4Addr::new(9, 9, 9, 9);
+        let mut sink = FilterSink::new(Vec::new(), [a].into_iter().collect());
+        sink.emit(packet(a, b)); // kept: src watched
+        sink.emit(packet(b, a)); // kept: dst watched
+        sink.emit(packet(b, c)); // dropped
+        assert_eq!(sink.into_inner().len(), 2);
+    }
+
+    #[test]
+    fn split_assigns_flows_to_bots() {
+        let a = Ipv4Addr::new(172, 16, 0, 1);
+        let b = Ipv4Addr::new(172, 16, 0, 2);
+        let ext = Ipv4Addr::new(8, 8, 8, 8);
+        let mk = |src, dst| FlowRecord {
+            start: SimTime::ZERO,
+            end: SimTime::ZERO,
+            src,
+            sport: 1,
+            dst,
+            dport: 2,
+            proto: Proto::Udp,
+            src_pkts: 1,
+            src_bytes: 10,
+            dst_pkts: 0,
+            dst_bytes: 0,
+            state: pw_flow::FlowState::UdpSilent,
+            payload: Payload::empty(),
+        };
+        let flows = vec![mk(a, ext), mk(ext, b), mk(a, b)];
+        let trace = split_by_bot(&flows, &[a, b], BotFamily::Storm, SimDuration::from_hours(24));
+        assert_eq!(trace.bots.len(), 2);
+        assert_eq!(trace.bots[0].flows.len(), 2); // a↔ext and a↔b
+        assert_eq!(trace.bots[1].flows.len(), 2); // ext↔b and a↔b
+        assert_eq!(trace.total_flows(), 4);
+        assert_eq!(trace.flow_counts(), vec![2, 2]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the bot models and evasion rewrites.
+
+use proptest::prelude::*;
+use pw_botnet::{
+    apply_evasion, generate_nugache_trace, generate_storm_trace, EvasionConfig, NugacheConfig,
+    StormConfig,
+};
+use pw_netsim::SimDuration;
+
+fn small_storm(seed: u64, bots: usize, hours: u64) -> pw_botnet::BotTrace {
+    generate_storm_trace(
+        &StormConfig {
+            n_bots: bots,
+            external_population: 60,
+            duration: SimDuration::from_hours(hours),
+            ..StormConfig::default()
+        },
+        seed,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Storm traces: right bot count, flows sorted, every flow involves its
+    /// bot, timestamps inside the window, and eDonkey-family payloads only.
+    #[test]
+    fn storm_trace_invariants(seed in 0u64..1_000, bots in 1usize..5, hours in 1u64..4) {
+        let trace = small_storm(seed, bots, hours);
+        prop_assert_eq!(trace.bots.len(), bots);
+        let end = pw_netsim::SimTime::ZERO + trace.duration + SimDuration::from_mins(5);
+        for bot in &trace.bots {
+            prop_assert!(!bot.flows.is_empty());
+            for w in bot.flows.windows(2) {
+                prop_assert!(w[0].start <= w[1].start);
+            }
+            for f in &bot.flows {
+                prop_assert!(f.involves(bot.ip));
+                prop_assert!(f.start < end);
+                // Overnet control traffic classifies as eDonkey family.
+                if !f.payload.is_empty() {
+                    prop_assert_eq!(
+                        pw_flow::signatures::classify_flow(f),
+                        Some(pw_flow::signatures::P2pApp::Emule)
+                    );
+                }
+            }
+        }
+    }
+
+    /// Nugache traces: opaque payloads, port 8, bounded peer sets.
+    #[test]
+    fn nugache_trace_invariants(seed in 0u64..1_000, bots in 1usize..8) {
+        let cfg = NugacheConfig {
+            n_bots: bots,
+            duration: SimDuration::from_hours(3),
+            ..NugacheConfig::default()
+        };
+        let trace = generate_nugache_trace(&cfg, seed);
+        for bot in &trace.bots {
+            let mut peers = std::collections::HashSet::new();
+            for f in &bot.flows {
+                prop_assert_eq!(f.dport, 8);
+                prop_assert_eq!(pw_flow::signatures::classify_flow(f), None);
+                peers.insert(f.peer_of(bot.ip).unwrap());
+            }
+            prop_assert!(peers.len() <= cfg.peer_list_range.1);
+        }
+    }
+
+    /// Evasion composition: applying the identity config any number of
+    /// times changes nothing; volume multipliers compose multiplicatively
+    /// on totals (within integer truncation).
+    #[test]
+    fn evasion_identity_and_composition(seed in 0u64..500) {
+        let trace = small_storm(seed, 2, 2);
+        let id = apply_evasion(&trace, &EvasionConfig::default(), seed);
+        prop_assert_eq!(&id, &trace);
+
+        let once = apply_evasion(
+            &trace,
+            &EvasionConfig { volume_multiplier: 4.0, ..Default::default() },
+            seed,
+        );
+        let up = |t: &pw_botnet::BotTrace| -> u64 {
+            t.bots
+                .iter()
+                .flat_map(|b| b.flows.iter().map(move |f| f.bytes_uploaded_by(b.ip).unwrap()))
+                .sum()
+        };
+        let (base, scaled) = (up(&trace), up(&once));
+        prop_assert!(scaled >= base * 3 && scaled <= base * 4 + trace.total_flows() as u64 * 4);
+    }
+
+    /// Jitter never creates or destroys flows and keeps peers identical.
+    #[test]
+    fn jitter_preserves_structure(seed in 0u64..500, d in 1u64..7_200) {
+        let trace = small_storm(seed, 2, 2);
+        let evaded = apply_evasion(&trace, &EvasionConfig::jitter_only(SimDuration::from_secs(d)), seed);
+        prop_assert_eq!(evaded.total_flows(), trace.total_flows());
+        for (a, b) in trace.bots.iter().zip(&evaded.bots) {
+            let peers = |bt: &pw_botnet::BotHostTrace| -> std::collections::HashSet<_> {
+                bt.flows.iter().map(|f| f.peer_of(bt.ip).unwrap()).collect()
+            };
+            prop_assert_eq!(peers(a), peers(b));
+        }
+    }
+}

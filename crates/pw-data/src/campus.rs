@@ -1,0 +1,505 @@
+//! One day of synthetic campus border traffic.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use pw_apps::{
+    EmailClient, HostContext, NtpDaemon, SshSessions, StrayConnections, TrafficModel,
+    UpdateChecker, VideoStreaming, WebBrowsing,
+};
+use pw_flow::signatures::P2pApp;
+use pw_flow::{ArgusAggregator, FlowRecord};
+use pw_kad::{KadConfig, KadEvent, KadSim, LookupGoal, NodeId, WireKind};
+use pw_netsim::{rng, AddressSpace, Engine, SimDuration, SimTime};
+use pw_traders::{BittorrentTrader, EmuleTrader, FileCatalog, GnutellaTrader, SessionPlan};
+
+/// What a host fundamentally is, per the generator (ground truth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HostRole {
+    /// An office workstation: web, mail, periodic daemons.
+    Office,
+    /// A dorm machine: web, streaming, shells.
+    Dorm,
+    /// A mostly idle box running only daemons.
+    Quiet,
+    /// A file-sharing host of the given protocol.
+    Trader(P2pApp),
+}
+
+/// Ground-truth record for one internal host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostInfo {
+    /// The generator-assigned role.
+    pub role: HostRole,
+    /// Whether the host generated any traffic this day.
+    pub active: bool,
+}
+
+/// A fully assembled day of border traffic with ground truth.
+#[derive(Debug, Clone)]
+pub struct DayDataset {
+    /// Day index.
+    pub day: usize,
+    /// Border flow records, sorted by start time.
+    pub flows: Vec<FlowRecord>,
+    /// Ground truth per internal host.
+    pub hosts: HashMap<Ipv4Addr, HostInfo>,
+    /// The internal subnets (for border classification).
+    pub space: AddressSpace,
+    /// Start of the collection window.
+    pub window_start: SimTime,
+    /// End of the collection window.
+    pub window_end: SimTime,
+}
+
+impl DayDataset {
+    /// Whether an address is internal to the monitored network.
+    pub fn is_internal(&self, ip: Ipv4Addr) -> bool {
+        self.space.is_internal(ip)
+    }
+
+    /// Internal hosts active on this day.
+    pub fn active_hosts(&self) -> Vec<Ipv4Addr> {
+        let mut v: Vec<Ipv4Addr> =
+            self.hosts.iter().filter(|(_, i)| i.active).map(|(ip, _)| *ip).collect();
+        v.sort();
+        v
+    }
+
+    /// Internal hosts whose generator role is Trader.
+    pub fn trader_hosts(&self) -> Vec<Ipv4Addr> {
+        let mut v: Vec<Ipv4Addr> = self
+            .hosts
+            .iter()
+            .filter(|(_, i)| matches!(i.role, HostRole::Trader(_)))
+            .map(|(ip, _)| *ip)
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+/// Campus composition parameters.
+#[derive(Debug, Clone)]
+pub struct CampusConfig {
+    /// Master seed; everything derives from it.
+    pub seed: u64,
+    /// Background (non-P2P) hosts.
+    pub n_background: usize,
+    /// Gnutella Traders.
+    pub n_gnutella: usize,
+    /// eMule Traders (also Kad participants).
+    pub n_emule: usize,
+    /// BitTorrent Traders (also Mainline-DHT participants).
+    pub n_bittorrent: usize,
+    /// Files in the shared catalog.
+    pub catalog_files: usize,
+    /// External eMule-Kad overlay population.
+    pub emule_kad_external: usize,
+    /// External Mainline-DHT overlay population.
+    pub bt_dht_external: usize,
+    /// Probability an internal host is active on a given day.
+    pub daily_active_prob: f64,
+    /// Start of the collection window within the day (the paper's CMU data
+    /// was captured 9 a.m.–3 p.m.).
+    pub window_start: SimTime,
+    /// Collection-window length.
+    pub duration: SimDuration,
+}
+
+impl Default for CampusConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xC4A9D5,
+            n_background: 1000,
+            n_gnutella: 34,
+            n_emule: 26,
+            n_bittorrent: 44,
+            catalog_files: 2_000,
+            emule_kad_external: 220,
+            bt_dht_external: 220,
+            daily_active_prob: 0.82,
+            window_start: SimTime::from_hours(9),
+            duration: SimDuration::from_hours(6),
+        }
+    }
+}
+
+impl CampusConfig {
+    /// A miniature campus for unit and integration tests.
+    pub fn small() -> Self {
+        Self {
+            n_background: 60,
+            n_gnutella: 4,
+            n_emule: 3,
+            n_bittorrent: 5,
+            catalog_files: 300,
+            emule_kad_external: 60,
+            bt_dht_external: 60,
+            ..Self::default()
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum CampusEvent {
+    Kad(KadEvent),
+    SessionStart { node: pw_kad::NodeHandle, end: SimTime },
+    SessionEnd { node: pw_kad::NodeHandle },
+    Maintenance { node: pw_kad::NodeHandle, end: SimTime },
+}
+
+impl From<KadEvent> for CampusEvent {
+    fn from(e: KadEvent) -> Self {
+        CampusEvent::Kad(e)
+    }
+}
+
+/// Parameters of one DHT overlay run.
+struct DhtOverlay<'a> {
+    label: &'a str,
+    wire: WireKind,
+    seed: u64,
+    day: usize,
+    external: usize,
+    participants: &'a [(Ipv4Addr, SessionPlan)],
+    window_end: SimTime,
+}
+
+/// Runs one DHT overlay (eMule Kad or Mainline) with the given internal
+/// participants and their session plans, writing packets into `argus`.
+fn run_dht_overlay(params: DhtOverlay<'_>, argus: &mut ArgusAggregator) {
+    let DhtOverlay { label, wire, seed, day, external, participants, window_end } = params;
+    if participants.is_empty() {
+        return;
+    }
+    let mut master = rng::derive_indexed(seed, &format!("{label}-overlay"), day as u64);
+    let mut sim = KadSim::new(KadConfig::default(), seed ^ (day as u64) << 8 ^ 0xD47);
+    let mut engine: Engine<CampusEvent> = Engine::new();
+
+    // External population for the day.
+    let mut externals = Vec::new();
+    for i in 0..external {
+        let id = NodeId::random(&mut master);
+        let ip = Ipv4Addr::new(
+            100 + (i / 60000) as u8,
+            ((i / 240) % 240) as u8 + 1,
+            (i % 240) as u8 + 1,
+            (53 + i * 7 % 190) as u8,
+        );
+        let h = sim.add_node(id, ip, wire.default_port(), wire);
+        sim.set_online(h, master.gen_bool(0.75));
+        if master.gen_bool(0.25) {
+            sim.set_responsive(h, false);
+        }
+        externals.push(h);
+    }
+    for (i, &h) in externals.iter().enumerate() {
+        let mut seeds = Vec::new();
+        for d in 1..=5usize {
+            seeds.push(externals[(i + d * 17) % externals.len()]);
+        }
+        sim.bootstrap(h, &seeds);
+    }
+
+    // Internal participants: a node per trader, sessions from the plan.
+    for (i, (ip, plan)) in participants.iter().enumerate() {
+        let id = NodeId::random(&mut master);
+        let h = sim.add_node(id, *ip, wire.default_port(), wire);
+        // The cached nodes.dat: a sample of external peers (some now dead).
+        let mut boots: Vec<_> =
+            externals.choose_multiple(&mut master, 12).copied().collect();
+        boots.sort_by_key(|h| h.index());
+        sim.bootstrap(h, &boots);
+        let _ = i;
+        for &(s0, s1) in plan.intervals() {
+            engine.schedule_at(s0, CampusEvent::SessionStart { node: h, end: s1 });
+        }
+    }
+
+    let end = window_end;
+    let mut tick_rng = rng::derive_indexed(seed, &format!("{label}-ticks"), day as u64);
+    engine.run_until(end, |eng, ev| match ev {
+        CampusEvent::Kad(k) => sim.handle(eng, argus, k),
+        CampusEvent::SessionStart { node, end: s_end } => {
+            sim.set_online(node, true);
+            // Join: locate yourself in the overlay.
+            let me = sim.id_of(node);
+            sim.start_lookup(eng, argus, node, me, LookupGoal::FindNode);
+            eng.schedule_at(s_end, CampusEvent::SessionEnd { node });
+            eng.schedule_after(
+                SimDuration::from_secs(tick_rng.gen_range(60..240)),
+                CampusEvent::Maintenance { node, end: s_end },
+            );
+        }
+        CampusEvent::SessionEnd { node } => {
+            sim.set_online(node, false);
+        }
+        CampusEvent::Maintenance { node, end: m_end } => {
+            if eng.now() >= m_end || !sim.is_online(node) {
+                return;
+            }
+            // Content activity: keyword searches and source publishes go to
+            // essentially random targets (content-addressed), so repeats to
+            // the same peer are rare — unlike a bot's keepalives.
+            let target = NodeId::random(&mut tick_rng);
+            let goal = if tick_rng.gen_bool(0.3) { LookupGoal::Publish } else { LookupGoal::Search };
+            sim.start_lookup(eng, argus, node, target, goal);
+            eng.schedule_after(
+                SimDuration::from_secs(tick_rng.gen_range(300..900)),
+                CampusEvent::Maintenance { node, end: m_end },
+            );
+        }
+    });
+}
+
+/// Builds one day of campus border traffic with ground truth.
+///
+/// Deterministic in (`cfg`, `day`): host addresses and roles are stable
+/// across days, while per-day activity and traffic vary.
+pub fn build_day(cfg: &CampusConfig, day: usize) -> DayDataset {
+    let mut space = AddressSpace::campus();
+    let catalog = Arc::new(FileCatalog::new(cfg.catalog_files, cfg.seed ^ 0xCA7A));
+    let window_start = cfg.window_start;
+    let window_end = window_start + cfg.duration;
+
+    // --- Stable host roster. ---
+    let mut roster: Vec<(Ipv4Addr, HostRole)> = Vec::new();
+    let mut roster_rng = rng::derive(cfg.seed, "campus-roster");
+    for _ in 0..cfg.n_background {
+        let ip = space.alloc_internal();
+        let role = match roster_rng.gen_range(0..100) {
+            0..=54 => HostRole::Office,
+            55..=89 => HostRole::Dorm,
+            _ => HostRole::Quiet,
+        };
+        roster.push((ip, role));
+    }
+    for _ in 0..cfg.n_gnutella {
+        let ip = space.alloc_internal();
+        roster.push((ip, HostRole::Trader(P2pApp::Gnutella)));
+    }
+    for _ in 0..cfg.n_emule {
+        let ip = space.alloc_internal();
+        roster.push((ip, HostRole::Trader(P2pApp::Emule)));
+    }
+    for _ in 0..cfg.n_bittorrent {
+        let ip = space.alloc_internal();
+        roster.push((ip, HostRole::Trader(P2pApp::BitTorrent)));
+    }
+
+    let mut argus = ArgusAggregator::default();
+    let mut hosts: HashMap<Ipv4Addr, HostInfo> = HashMap::new();
+    let mut emule_participants: Vec<(Ipv4Addr, SessionPlan)> = Vec::new();
+    let mut bt_participants: Vec<(Ipv4Addr, SessionPlan)> = Vec::new();
+
+    for (idx, &(ip, role)) in roster.iter().enumerate() {
+        let mut day_rng =
+            rng::derive_indexed(cfg.seed, &format!("campus-host-{idx}"), day as u64);
+        let active = day_rng.gen_bool(cfg.daily_active_prob);
+        hosts.insert(ip, HostInfo { role, active });
+        if !active {
+            continue;
+        }
+        let ctx = HostContext::new(ip, &space, window_start, window_end);
+        // Every host is its own person/machine: behavioural parameters are
+        // drawn per host (stable across days) so the population has the
+        // diversity the `θ_hm` test sees on real networks.
+        let mut host_rng = rng::derive_indexed(cfg.seed, "campus-host-traits", idx as u64);
+        let web = WebBrowsing {
+            sessions_per_day: host_rng.gen_range(2.0..18.0),
+            site_pool: host_rng.gen_range(60..900),
+            dead_link_prob: host_rng.gen_range(0.02..0.28),
+            think_median_s: host_rng.gen_range(2.0..60.0),
+            ..Default::default()
+        };
+        let mail = EmailClient {
+            persistent: host_rng.gen_bool(0.6),
+            poll_interval_s: host_rng.gen_range(900.0..3600.0),
+            sends_per_day: host_rng.gen_range(1.0..10.0),
+        };
+        // ntpd's converged cadence drifts per host around 1024 s (clock
+        // quality), so intervals are continuous, not shared.
+        let ntp = NtpDaemon {
+            interval_s: host_rng.gen_range(900..1300),
+            servers: host_rng.gen_range(1..4),
+        };
+        let stray = StrayConnections {
+            attempts_per_day: host_rng.gen_range(2.0..60.0),
+            dead_pool: host_rng.gen_range(2..12),
+        };
+        match role {
+            HostRole::Office => {
+                web.generate(&ctx, &mut day_rng, &mut argus);
+                mail.generate(&ctx, &mut day_rng, &mut argus);
+                if day_rng.gen_bool(0.5) {
+                    ntp.generate(&ctx, &mut day_rng, &mut argus);
+                }
+                UpdateChecker::default().generate(&ctx, &mut day_rng, &mut argus);
+                stray.generate(&ctx, &mut day_rng, &mut argus);
+            }
+            HostRole::Dorm => {
+                web.generate(&ctx, &mut day_rng, &mut argus);
+                if day_rng.gen_bool(0.6) {
+                    VideoStreaming::default().generate(&ctx, &mut day_rng, &mut argus);
+                }
+                if day_rng.gen_bool(0.25) {
+                    SshSessions::default().generate(&ctx, &mut day_rng, &mut argus);
+                }
+                if day_rng.gen_bool(0.4) {
+                    ntp.generate(&ctx, &mut day_rng, &mut argus);
+                }
+                stray.generate(&ctx, &mut day_rng, &mut argus);
+            }
+            HostRole::Quiet => {
+                ntp.generate(&ctx, &mut day_rng, &mut argus);
+                UpdateChecker::default().generate(&ctx, &mut day_rng, &mut argus);
+                if day_rng.gen_bool(0.3) {
+                    mail.generate(&ctx, &mut day_rng, &mut argus);
+                }
+            }
+            HostRole::Trader(P2pApp::Gnutella) => {
+                // Traders are also people: light web traffic too.
+                web.generate(&ctx, &mut day_rng, &mut argus);
+                stray.generate(&ctx, &mut day_rng, &mut argus);
+                GnutellaTrader::new(Arc::clone(&catalog)).generate(&ctx, &mut day_rng, &mut argus);
+            }
+            HostRole::Trader(P2pApp::Emule) => {
+                web.generate(&ctx, &mut day_rng, &mut argus);
+                stray.generate(&ctx, &mut day_rng, &mut argus);
+                let trader = EmuleTrader::new(Arc::clone(&catalog));
+                let plan = trader.plan(&ctx, &mut day_rng);
+                trader.generate_with_plan(&ctx, &plan, &mut day_rng, &mut argus);
+                emule_participants.push((ip, plan));
+            }
+            HostRole::Trader(P2pApp::BitTorrent) => {
+                web.generate(&ctx, &mut day_rng, &mut argus);
+                stray.generate(&ctx, &mut day_rng, &mut argus);
+                let trader = BittorrentTrader::new(Arc::clone(&catalog));
+                let plan = trader.plan(&ctx, &mut day_rng);
+                trader.generate_with_plan(&ctx, &plan, &mut day_rng, &mut argus);
+                bt_participants.push((ip, plan));
+            }
+        }
+    }
+
+    // --- DHT overlays on the real Kademlia substrate. ---
+    run_dht_overlay(
+        DhtOverlay {
+            label: "emule-kad",
+            wire: WireKind::EmuleKad,
+            seed: cfg.seed,
+            day,
+            external: cfg.emule_kad_external,
+            participants: &emule_participants,
+            window_end,
+        },
+        &mut argus,
+    );
+    run_dht_overlay(
+        DhtOverlay {
+            label: "bt-dht",
+            wire: WireKind::MainlineDht,
+            seed: cfg.seed,
+            day,
+            external: cfg.bt_dht_external,
+            participants: &bt_participants,
+            window_end,
+        },
+        &mut argus,
+    );
+
+    // --- Aggregate and keep border flows only. ---
+    let mut flows = argus.finish(window_end + SimDuration::from_mins(10));
+    flows.retain(|f| space.is_internal(f.src) != space.is_internal(f.dst));
+
+    DayDataset { day, flows, hosts, space, window_start, window_end }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pw_flow::signatures::classify_flow;
+
+    fn tiny() -> CampusConfig {
+        CampusConfig {
+            n_background: 14,
+            n_gnutella: 2,
+            n_emule: 2,
+            n_bittorrent: 2,
+            catalog_files: 100,
+            emule_kad_external: 40,
+            bt_dht_external: 40,
+            duration: SimDuration::from_hours(8),
+            ..CampusConfig::default()
+        }
+    }
+
+    #[test]
+    fn day_is_deterministic() {
+        let a = build_day(&tiny(), 0);
+        let b = build_day(&tiny(), 0);
+        assert_eq!(a.flows, b.flows);
+        assert_eq!(a.hosts, b.hosts);
+    }
+
+    #[test]
+    fn days_differ() {
+        let a = build_day(&tiny(), 0);
+        let b = build_day(&tiny(), 1);
+        assert_ne!(a.flows, b.flows);
+        // Roster is stable.
+        assert_eq!(
+            a.hosts.keys().collect::<std::collections::BTreeSet<_>>(),
+            b.hosts.keys().collect::<std::collections::BTreeSet<_>>()
+        );
+    }
+
+    #[test]
+    fn all_flows_cross_the_border() {
+        let d = build_day(&tiny(), 0);
+        assert!(!d.flows.is_empty());
+        for f in &d.flows {
+            assert_ne!(d.is_internal(f.src), d.is_internal(f.dst));
+        }
+    }
+
+    #[test]
+    fn flows_are_sorted_by_start() {
+        let d = build_day(&tiny(), 0);
+        for w in d.flows.windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+    }
+
+    #[test]
+    fn traders_emit_signature_flows_and_background_does_not() {
+        let d = build_day(&tiny(), 0);
+        let traders: std::collections::HashSet<_> = d.trader_hosts().into_iter().collect();
+        let mut trader_signed = 0;
+        for f in &d.flows {
+            if let Some(_app) = classify_flow(f) {
+                let internal = if d.is_internal(f.src) { f.src } else { f.dst };
+                assert!(
+                    traders.contains(&internal),
+                    "non-trader host {internal} emitted P2P-signed flow"
+                );
+                trader_signed += 1;
+            }
+        }
+        assert!(trader_signed > 0);
+    }
+
+    #[test]
+    fn host_roles_cover_roster() {
+        let cfg = tiny();
+        let d = build_day(&cfg, 0);
+        assert_eq!(d.hosts.len(), 20);
+        assert_eq!(d.trader_hosts().len(), 6);
+        assert!(!d.active_hosts().is_empty());
+    }
+}

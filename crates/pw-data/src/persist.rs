@@ -1,0 +1,188 @@
+//! Ground-truth persistence: host roles, activity, and implants as CSV.
+//!
+//! Flow records themselves persist via [`pw_flow::csvio`]; this module
+//! handles the companion `hosts.csv` that records what each internal host
+//! *really* is, so saved datasets stay scorable.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, Write};
+use std::net::Ipv4Addr;
+
+use pw_botnet::BotFamily;
+use pw_flow::signatures::P2pApp;
+
+use crate::campus::{HostInfo, HostRole};
+
+/// Column header written by [`write_ground_truth`].
+pub const HEADER: &str = "host,role,active,implant";
+
+/// One row of the ground-truth file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroundTruthRow {
+    /// The internal host.
+    pub host: Ipv4Addr,
+    /// Generator-assigned role.
+    pub info: HostInfo,
+    /// Bot family implanted onto the host, if any.
+    pub implant: Option<BotFamily>,
+}
+
+fn role_str(role: HostRole) -> &'static str {
+    match role {
+        HostRole::Office => "office",
+        HostRole::Dorm => "dorm",
+        HostRole::Quiet => "quiet",
+        HostRole::Trader(P2pApp::Gnutella) => "trader-gnutella",
+        HostRole::Trader(P2pApp::Emule) => "trader-emule",
+        HostRole::Trader(P2pApp::BitTorrent) => "trader-bittorrent",
+    }
+}
+
+fn parse_role(s: &str) -> Result<HostRole, String> {
+    Ok(match s {
+        "office" => HostRole::Office,
+        "dorm" => HostRole::Dorm,
+        "quiet" => HostRole::Quiet,
+        "trader-gnutella" => HostRole::Trader(P2pApp::Gnutella),
+        "trader-emule" => HostRole::Trader(P2pApp::Emule),
+        "trader-bittorrent" => HostRole::Trader(P2pApp::BitTorrent),
+        other => return Err(format!("unknown role `{other}`")),
+    })
+}
+
+fn parse_implant(s: &str) -> Result<Option<BotFamily>, String> {
+    Ok(match s {
+        "" => None,
+        "storm" => Some(BotFamily::Storm),
+        "nugache" => Some(BotFamily::Nugache),
+        other => return Err(format!("unknown implant `{other}`")),
+    })
+}
+
+/// Writes the ground truth for a day's hosts (sorted by address).
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+pub fn write_ground_truth<W: Write>(
+    mut w: W,
+    hosts: &HashMap<Ipv4Addr, HostInfo>,
+    implants: &HashMap<Ipv4Addr, BotFamily>,
+) -> io::Result<()> {
+    writeln!(w, "{HEADER}")?;
+    let mut entries: Vec<_> = hosts.iter().collect();
+    entries.sort_by_key(|(ip, _)| **ip);
+    for (ip, info) in entries {
+        let implant = implants
+            .get(ip)
+            .map(|f| f.to_string())
+            .unwrap_or_default();
+        writeln!(w, "{ip},{},{},{implant}", role_str(info.role), info.active)?;
+    }
+    Ok(())
+}
+
+/// Reads ground truth previously written by [`write_ground_truth`].
+///
+/// # Errors
+///
+/// Returns a descriptive error string (with the 1-based line number) for
+/// malformed input, or an I/O error message.
+pub fn read_ground_truth<R: BufRead>(r: R) -> Result<Vec<GroundTruthRow>, String> {
+    let mut out = Vec::new();
+    for (idx, line) in r.lines().enumerate() {
+        let line = line.map_err(|e| format!("i/o error: {e}"))?;
+        if idx == 0 {
+            if line != HEADER {
+                return Err(format!("line 1: unexpected header `{line}`"));
+            }
+            continue;
+        }
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let cols: Vec<&str> = line.split(',').collect();
+        if cols.len() != 4 {
+            return Err(format!("line {lineno}: expected 4 fields, got {}", cols.len()));
+        }
+        let host: Ipv4Addr =
+            cols[0].parse().map_err(|e| format!("line {lineno}: bad host: {e}"))?;
+        let role = parse_role(cols[1]).map_err(|e| format!("line {lineno}: {e}"))?;
+        let active: bool =
+            cols[2].parse().map_err(|e| format!("line {lineno}: bad active flag: {e}"))?;
+        let implant = parse_implant(cols[3]).map_err(|e| format!("line {lineno}: {e}"))?;
+        out.push(GroundTruthRow { host, info: HostInfo { role, active }, implant });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (HashMap<Ipv4Addr, HostInfo>, HashMap<Ipv4Addr, BotFamily>) {
+        let mut hosts = HashMap::new();
+        hosts.insert(
+            Ipv4Addr::new(10, 1, 0, 1),
+            HostInfo { role: HostRole::Office, active: true },
+        );
+        hosts.insert(
+            Ipv4Addr::new(10, 1, 0, 2),
+            HostInfo { role: HostRole::Trader(P2pApp::Emule), active: false },
+        );
+        hosts.insert(
+            Ipv4Addr::new(10, 2, 0, 1),
+            HostInfo { role: HostRole::Quiet, active: true },
+        );
+        let mut implants = HashMap::new();
+        implants.insert(Ipv4Addr::new(10, 1, 0, 1), BotFamily::Storm);
+        (hosts, implants)
+    }
+
+    #[test]
+    fn round_trip() {
+        let (hosts, implants) = sample();
+        let mut buf = Vec::new();
+        write_ground_truth(&mut buf, &hosts, &implants).unwrap();
+        let rows = read_ground_truth(buf.as_slice()).unwrap();
+        assert_eq!(rows.len(), 3);
+        // Sorted by address.
+        assert_eq!(rows[0].host, Ipv4Addr::new(10, 1, 0, 1));
+        assert_eq!(rows[0].implant, Some(BotFamily::Storm));
+        assert_eq!(rows[1].info.role, HostRole::Trader(P2pApp::Emule));
+        assert!(!rows[1].info.active);
+        assert_eq!(rows[2].implant, None);
+    }
+
+    #[test]
+    fn every_role_round_trips() {
+        for role in [
+            HostRole::Office,
+            HostRole::Dorm,
+            HostRole::Quiet,
+            HostRole::Trader(P2pApp::Gnutella),
+            HostRole::Trader(P2pApp::Emule),
+            HostRole::Trader(P2pApp::BitTorrent),
+        ] {
+            assert_eq!(parse_role(role_str(role)).unwrap(), role);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(read_ground_truth(&b"wrong header\n"[..]).is_err());
+        let bad_role = format!("{HEADER}\n10.0.0.1,alien,true,\n");
+        assert!(read_ground_truth(bad_role.as_bytes()).unwrap_err().contains("unknown role"));
+        let bad_fields = format!("{HEADER}\n10.0.0.1,office\n");
+        assert!(read_ground_truth(bad_fields.as_bytes()).unwrap_err().contains("4 fields"));
+        let bad_implant = format!("{HEADER}\n10.0.0.1,office,true,zeus\n");
+        assert!(read_ground_truth(bad_implant.as_bytes()).unwrap_err().contains("unknown implant"));
+    }
+
+    #[test]
+    fn empty_body_is_fine() {
+        let only_header = format!("{HEADER}\n");
+        assert!(read_ground_truth(only_header.as_bytes()).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,436 @@
+//! The three tests: `θ_vol`, `θ_churn`, and `θ_hm`.
+
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+use pw_analysis::{average_linkage, emd_histograms, percentile, DistanceMatrix, Histogram};
+
+use crate::features::HostProfile;
+
+/// A test threshold: either a percentile of the input population's values
+/// (the paper's dynamic thresholds) or an absolute value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Threshold {
+    /// The `p`-th percentile of the statistic across the input hosts.
+    Percentile(f64),
+    /// A fixed value.
+    Absolute(f64),
+}
+
+impl Threshold {
+    /// Resolves the threshold against the population's `values`.
+    ///
+    /// Returns `None` when a percentile threshold meets an empty population.
+    pub fn resolve(self, values: &[f64]) -> Option<f64> {
+        match self {
+            Threshold::Percentile(p) => percentile(values, p),
+            Threshold::Absolute(v) => Some(v),
+        }
+    }
+}
+
+/// `θ_vol` (§IV-A): returns the hosts of `s` whose average bytes uploaded
+/// per flow is *below* the threshold, plus the resolved threshold value.
+///
+/// Hosts with no flows are excluded.
+pub fn theta_vol(
+    profiles: &HashMap<Ipv4Addr, HostProfile>,
+    s: &HashSet<Ipv4Addr>,
+    tau: Threshold,
+) -> (HashSet<Ipv4Addr>, f64) {
+    let pop: Vec<(Ipv4Addr, f64)> = s
+        .iter()
+        .filter_map(|ip| {
+            profiles.get(ip).and_then(|p| p.avg_upload_per_flow()).map(|v| (*ip, v))
+        })
+        .collect();
+    let values: Vec<f64> = pop.iter().map(|&(_, v)| v).collect();
+    let Some(t) = tau.resolve(&values) else {
+        return (HashSet::new(), 0.0);
+    };
+    let kept = pop.iter().filter(|&&(_, v)| v < t).map(|&(ip, _)| ip).collect();
+    (kept, t)
+}
+
+/// `θ_churn` (§IV-B): returns the hosts of `s` whose fraction of new IPs
+/// contacted (first seen after the host's first hour of activity) is
+/// *below* the threshold, plus the resolved threshold.
+///
+/// Hosts that contacted no destinations are excluded.
+pub fn theta_churn(
+    profiles: &HashMap<Ipv4Addr, HostProfile>,
+    s: &HashSet<Ipv4Addr>,
+    tau: Threshold,
+) -> (HashSet<Ipv4Addr>, f64) {
+    let pop: Vec<(Ipv4Addr, f64)> = s
+        .iter()
+        .filter_map(|ip| profiles.get(ip).and_then(|p| p.new_ip_fraction()).map(|v| (*ip, v)))
+        .collect();
+    let values: Vec<f64> = pop.iter().map(|&(_, v)| v).collect();
+    let Some(t) = tau.resolve(&values) else {
+        return (HashSet::new(), 0.0);
+    };
+    let kept = pop.iter().filter(|&&(_, v)| v < t).map(|&(ip, _)| ip).collect();
+    (kept, t)
+}
+
+/// Result of the `θ_hm` test, with enough detail to reproduce the paper's
+/// cluster-level analysis.
+#[derive(Debug, Clone)]
+pub struct HmOutcome {
+    /// Hosts retained (members of surviving clusters).
+    pub kept: HashSet<Ipv4Addr>,
+    /// All multi-host clusters found (sorted host lists) with diameters.
+    pub clusters: Vec<(Vec<Ipv4Addr>, f64)>,
+    /// The resolved diameter threshold.
+    pub tau: f64,
+    /// Hosts excluded for having no interstitial samples.
+    pub no_samples: usize,
+}
+
+/// `θ_hm` (§IV-C): clusters hosts by the Earth Mover's Distance between
+/// their Freedman–Diaconis interstitial-time histograms (agglomerative
+/// average linkage, cutting the top `cut_fraction` heaviest dendrogram
+/// links), then returns the union of clusters whose diameter does not
+/// exceed `tau` (a percentile of the multi-host cluster diameters).
+///
+/// Two decisions the paper leaves implicit, documented in DESIGN.md:
+/// singleton clusters are filtered out (a lone host demonstrates no
+/// cross-host timing similarity), and hosts with *no* interstitial samples
+/// (never contacted the same destination twice) are excluded.
+pub fn theta_hm(
+    profiles: &HashMap<Ipv4Addr, HostProfile>,
+    s: &HashSet<Ipv4Addr>,
+    tau: Threshold,
+    cut_fraction: f64,
+) -> HmOutcome {
+    theta_hm_with_options(profiles, s, tau, cut_fraction, &HmOptions::default())
+}
+
+/// Minimum cluster size `θ_hm` treats as evidence of machine-driven
+/// cross-host similarity. Two hosts coinciding is within chance for human
+/// traffic; the paper's Plotter clusters are larger (see DESIGN.md §2).
+pub const MIN_CLUSTER_SIZE: usize = 3;
+
+/// Histogram-distance metric used when comparing hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HistogramDistance {
+    /// Earth Mover's Distance (the paper's choice; robust to shifted but
+    /// otherwise identical timer distributions).
+    #[default]
+    Emd,
+    /// Plain L1 distance between histograms rebinned onto a common fixed
+    /// grid — the obvious cheaper alternative, kept for the ablation study.
+    L1,
+}
+
+/// Design-variant knobs for [`theta_hm_with_options`], used by the ablation
+/// experiments that quantify each design decision DESIGN.md calls out.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HmOptions {
+    /// Histogram bin width: `None` = Freedman–Diaconis per host (paper);
+    /// `Some(w)` = fixed width for every host (the evadable variant §IV-C
+    /// warns about).
+    pub bin_width: Option<f64>,
+    /// Distance metric between host histograms.
+    pub distance: HistogramDistance,
+    /// Minimum surviving cluster size (see [`MIN_CLUSTER_SIZE`]).
+    pub min_cluster_size: usize,
+}
+
+impl Default for HmOptions {
+    fn default() -> Self {
+        Self { bin_width: None, distance: HistogramDistance::Emd, min_cluster_size: MIN_CLUSTER_SIZE }
+    }
+}
+
+/// L1 distance between two histograms rebinned onto a shared 64-bucket grid.
+fn l1_distance(a: &Histogram, b: &Histogram, lo: f64, hi: f64) -> f64 {
+    const GRID: usize = 64;
+    let width = ((hi - lo) / GRID as f64).max(1e-9);
+    let grid_of = |h: &Histogram| -> Vec<f64> {
+        let mut g = vec![0.0; GRID];
+        for (pos, mass) in h.point_masses() {
+            let idx = (((pos - lo) / width) as usize).min(GRID - 1);
+            g[idx] += mass;
+        }
+        g
+    };
+    let (ga, gb) = (grid_of(a), grid_of(b));
+    ga.iter().zip(&gb).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// [`theta_hm`] with explicit design-variant options (ablation entry point).
+pub fn theta_hm_with_options(
+    profiles: &HashMap<Ipv4Addr, HostProfile>,
+    s: &HashSet<Ipv4Addr>,
+    tau: Threshold,
+    cut_fraction: f64,
+    options: &HmOptions,
+) -> HmOutcome {
+    let min_size = options.min_cluster_size;
+    let mut hosts: Vec<Ipv4Addr> = Vec::new();
+    let mut histograms: Vec<Histogram> = Vec::new();
+    let mut no_samples = 0usize;
+    let mut sorted: Vec<&Ipv4Addr> = s.iter().collect();
+    sorted.sort(); // deterministic ordering regardless of set iteration
+    for ip in sorted {
+        let Some(p) = profiles.get(ip) else { continue };
+        if p.interstitials.is_empty() {
+            no_samples += 1;
+            continue;
+        }
+        let h = match options.bin_width {
+            None => Histogram::freedman_diaconis(&p.interstitials).expect("non-empty"),
+            Some(w) => Histogram::with_bin_width(&p.interstitials, w).expect("non-empty"),
+        };
+        hosts.push(*ip);
+        histograms.push(h);
+    }
+    if hosts.len() < 2 {
+        return HmOutcome { kept: HashSet::new(), clusters: Vec::new(), tau: 0.0, no_samples };
+    }
+
+    let (lo, hi) = histograms.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), h| {
+        let pm = h.point_masses();
+        let first = pm.first().map(|&(p, _)| p).unwrap_or(0.0);
+        let last = pm.last().map(|&(p, _)| p).unwrap_or(0.0);
+        (lo.min(first), hi.max(last))
+    });
+    let dm = DistanceMatrix::from_fn(hosts.len(), |i, j| match options.distance {
+        HistogramDistance::Emd => emd_histograms(&histograms[i], &histograms[j]),
+        HistogramDistance::L1 => l1_distance(&histograms[i], &histograms[j], lo, hi),
+    });
+    let dendro = average_linkage(&dm);
+    let raw_clusters = dendro.cut_top_fraction(cut_fraction);
+
+    // Multi-host clusters and their diameters.
+    let mut clusters: Vec<(Vec<Ipv4Addr>, f64)> = raw_clusters
+        .into_iter()
+        .filter(|c| c.len() >= min_size.max(2))
+        .map(|c| {
+            let d = dm.diameter(&c);
+            let ips: Vec<Ipv4Addr> = c.into_iter().map(|i| hosts[i]).collect();
+            (ips, d)
+        })
+        .collect();
+    clusters.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+
+    let diameters: Vec<f64> = clusters.iter().map(|&(_, d)| d).collect();
+    let Some(t) = tau.resolve(&diameters) else {
+        return HmOutcome { kept: HashSet::new(), clusters, tau: 0.0, no_samples };
+    };
+    let kept = clusters
+        .iter()
+        .filter(|&&(_, d)| d <= t)
+        .flat_map(|(ips, _)| ips.iter().copied())
+        .collect();
+    HmOutcome { kept, clusters, tau: t, no_samples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pw_netsim::SimTime;
+    use std::collections::BTreeMap;
+
+    fn ip(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 1, 0, last)
+    }
+
+    fn profile_with(ip_last: u8, avg_upload: f64, churn: f64, interstitials: Vec<f64>) -> HostProfile {
+        // Build a profile whose derived metrics equal the given values:
+        // one flow with `avg_upload` bytes; churn via 100 destinations.
+        let mut first_contact = BTreeMap::new();
+        let n_new = (churn * 100.0).round() as u32;
+        for d in 0..100u32 {
+            let t = if d < n_new {
+                SimTime::from_hours(3) // after first hour: new
+            } else {
+                SimTime::from_secs(60) // within first hour: old
+            };
+            first_contact.insert(Ipv4Addr::new(8, (d / 256) as u8, (d % 256) as u8, 1), t);
+        }
+        HostProfile {
+            ip: ip(ip_last),
+            flows_involving: 1,
+            bytes_uploaded: avg_upload as u64,
+            initiated: 10,
+            initiated_failed: 5,
+            first_activity: Some(SimTime::ZERO),
+            first_contact,
+            interstitials,
+        }
+    }
+
+    fn setup(hosts: Vec<HostProfile>) -> (HashMap<Ipv4Addr, HostProfile>, HashSet<Ipv4Addr>) {
+        let s = hosts.iter().map(|p| p.ip).collect();
+        (hosts.into_iter().map(|p| (p.ip, p)).collect(), s)
+    }
+
+    #[test]
+    fn theta_vol_keeps_low_volume() {
+        let (profiles, s) = setup(vec![
+            profile_with(1, 100.0, 0.5, vec![]),
+            profile_with(2, 1_000.0, 0.5, vec![]),
+            profile_with(3, 10_000.0, 0.5, vec![]),
+        ]);
+        let (kept, t) = theta_vol(&profiles, &s, Threshold::Percentile(50.0));
+        assert_eq!(t, 1_000.0);
+        assert_eq!(kept, [ip(1)].into_iter().collect());
+        // Absolute thresholds work too.
+        let (kept, _) = theta_vol(&profiles, &s, Threshold::Absolute(5_000.0));
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn theta_churn_keeps_low_churn() {
+        let (profiles, s) = setup(vec![
+            profile_with(1, 1.0, 0.1, vec![]),
+            profile_with(2, 1.0, 0.5, vec![]),
+            profile_with(3, 1.0, 0.9, vec![]),
+        ]);
+        let (kept, t) = theta_churn(&profiles, &s, Threshold::Percentile(50.0));
+        assert!((t - 0.5).abs() < 1e-9);
+        assert_eq!(kept, [ip(1)].into_iter().collect());
+    }
+
+    #[test]
+    fn empty_population_is_safe() {
+        let profiles = HashMap::new();
+        let s = HashSet::new();
+        assert!(theta_vol(&profiles, &s, Threshold::Percentile(50.0)).0.is_empty());
+        assert!(theta_churn(&profiles, &s, Threshold::Percentile(50.0)).0.is_empty());
+        let hm = theta_hm(&profiles, &s, Threshold::Percentile(70.0), 0.05);
+        assert!(hm.kept.is_empty());
+    }
+
+    /// Periodic bots share tight interstitial distributions; humans are
+    /// heavy-tailed and diverse.
+    #[test]
+    fn theta_hm_clusters_periodic_bots_together() {
+        let periodic = |seed: u64| -> Vec<f64> {
+            (0..200).map(|i| 300.0 + ((i * 7 + seed) % 5) as f64 * 0.5).collect()
+        };
+        let humanish = |seed: u64| -> Vec<f64> {
+            // Irregular heavy-tailed gaps, different per host.
+            (0..200)
+                .map(|i: u64| {
+                    let x = ((i * 2654435761 + seed * 97) % 10_000) as f64 / 10_000.0;
+                    10.0 * seed as f64 + 3600.0 * x * x * x
+                })
+                .collect()
+        };
+        let (profiles, s) = setup(vec![
+            profile_with(1, 1.0, 0.1, periodic(0)),
+            profile_with(2, 1.0, 0.1, periodic(1)),
+            profile_with(3, 1.0, 0.1, periodic(2)),
+            profile_with(4, 1.0, 0.1, humanish(1)),
+            profile_with(5, 1.0, 0.1, humanish(7)),
+            profile_with(6, 1.0, 0.1, humanish(13)),
+            profile_with(7, 1.0, 0.1, humanish(29)),
+        ]);
+        let hm = theta_hm(&profiles, &s, Threshold::Percentile(10.0), 0.3);
+        // The three periodic hosts survive together.
+        assert!(hm.kept.contains(&ip(1)) && hm.kept.contains(&ip(2)) && hm.kept.contains(&ip(3)),
+            "kept: {:?}", hm.kept);
+        // And none of the human-ish hosts do at this tight threshold.
+        for h in [4u8, 5, 6, 7] {
+            assert!(!hm.kept.contains(&ip(h)), "human host {h} kept: {:?}", hm.kept);
+        }
+    }
+
+    #[test]
+    fn theta_hm_excludes_hosts_without_samples() {
+        let (profiles, s) = setup(vec![
+            profile_with(1, 1.0, 0.1, vec![]),
+            profile_with(2, 1.0, 0.1, vec![1.0, 2.0]),
+        ]);
+        let hm = theta_hm(&profiles, &s, Threshold::Percentile(70.0), 0.05);
+        assert_eq!(hm.no_samples, 1);
+        assert!(hm.kept.is_empty()); // a single histogram cannot cluster
+    }
+
+    #[test]
+    fn theta_hm_singletons_are_filtered() {
+        // Two very different hosts: after cutting, each is a singleton.
+        let (profiles, s) = setup(vec![
+            profile_with(1, 1.0, 0.1, vec![10.0; 50]),
+            profile_with(2, 1.0, 0.1, vec![9_000.0; 50]),
+        ]);
+        let hm = theta_hm(&profiles, &s, Threshold::Percentile(90.0), 0.5);
+        assert!(hm.kept.is_empty(), "{:?}", hm.clusters);
+    }
+
+    #[test]
+    fn hm_options_variants_run_and_agree_on_easy_input() {
+        // Three identical periodic hosts vs three scattered humans: every
+        // variant must keep the periodic trio.
+        let periodic = |seed: u64| -> Vec<f64> {
+            (0..150).map(|i| 300.0 + ((i + seed) % 3) as f64 * 0.2).collect()
+        };
+        let humanish = |seed: u64| -> Vec<f64> {
+            (0..150)
+                .map(|i: u64| {
+                    let x = ((i * 2654435761 + seed * 977) % 10_000) as f64 / 10_000.0;
+                    30.0 * seed as f64 + 5000.0 * x * x
+                })
+                .collect()
+        };
+        let (profiles, s) = setup(vec![
+            profile_with(1, 1.0, 0.1, periodic(0)),
+            profile_with(2, 1.0, 0.1, periodic(1)),
+            profile_with(3, 1.0, 0.1, periodic(2)),
+            profile_with(4, 1.0, 0.1, humanish(2)),
+            profile_with(5, 1.0, 0.1, humanish(11)),
+            profile_with(6, 1.0, 0.1, humanish(23)),
+            profile_with(7, 1.0, 0.1, humanish(41)),
+        ]);
+        for options in [
+            HmOptions::default(),
+            HmOptions { distance: HistogramDistance::L1, ..Default::default() },
+            HmOptions { bin_width: Some(10.0), ..Default::default() },
+            HmOptions { min_cluster_size: 2, ..Default::default() },
+        ] {
+            let hm = theta_hm_with_options(
+                &profiles,
+                &s,
+                Threshold::Percentile(10.0),
+                0.3,
+                &options,
+            );
+            for b in [1u8, 2, 3] {
+                assert!(hm.kept.contains(&ip(b)), "{options:?} missed periodic host {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn min_cluster_size_three_drops_pairs() {
+        let (profiles, s) = setup(vec![
+            profile_with(1, 1.0, 0.1, vec![60.0; 40]),
+            profile_with(2, 1.0, 0.1, vec![60.1; 40]),
+            profile_with(3, 1.0, 0.1, vec![9_000.0; 40]),
+            profile_with(4, 1.0, 0.1, vec![15_000.0; 40]),
+        ]);
+        // The {1,2} pair is perfectly tight but below the size floor.
+        let strict = theta_hm(&profiles, &s, Threshold::Percentile(90.0), 0.5);
+        assert!(strict.kept.is_empty(), "{:?}", strict.clusters);
+        // The weaker reading keeps it.
+        let lax = theta_hm_with_options(
+            &profiles,
+            &s,
+            Threshold::Percentile(90.0),
+            0.5,
+            &HmOptions { min_cluster_size: 2, ..Default::default() },
+        );
+        assert!(lax.kept.contains(&ip(1)) && lax.kept.contains(&ip(2)));
+    }
+
+    #[test]
+    fn threshold_resolution() {
+        assert_eq!(Threshold::Absolute(5.0).resolve(&[]), Some(5.0));
+        assert_eq!(Threshold::Percentile(50.0).resolve(&[]), None);
+        assert_eq!(Threshold::Percentile(50.0).resolve(&[1.0, 3.0]), Some(2.0));
+    }
+}

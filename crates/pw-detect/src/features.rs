@@ -1,0 +1,369 @@
+//! Per-host behavioural features from flow records.
+
+use std::collections::{BTreeMap, HashMap};
+use std::net::Ipv4Addr;
+
+use pw_flow::FlowRecord;
+use pw_netsim::{SimDuration, SimTime};
+
+/// Behavioural profile of one internal host over a detection window.
+///
+/// All quantities follow §IV of the paper:
+///
+/// - *volume* is the average number of bytes the host uploads per flow,
+///   over every flow it participates in (initiated or received);
+/// - *churn* is the fraction of destination IPs first contacted after the
+///   host's first hour of activity, among all destinations it contacted
+///   (initiated flows);
+/// - *interstitial times* are the gaps between consecutive flows the host
+///   initiates to the same destination IP, pooled over all destinations.
+#[derive(Debug, Clone)]
+pub struct HostProfile {
+    /// The host.
+    pub ip: Ipv4Addr,
+    /// Flows the host participated in (either side).
+    pub flows_involving: u64,
+    /// Total bytes the host uploaded across those flows.
+    pub bytes_uploaded: u64,
+    /// Flows the host initiated.
+    pub initiated: u64,
+    /// Initiated flows that failed.
+    pub initiated_failed: u64,
+    /// Time of the host's first initiated flow in the window.
+    pub first_activity: Option<SimTime>,
+    /// First contact time per destination the host initiated flows to.
+    pub first_contact: BTreeMap<Ipv4Addr, SimTime>,
+    /// Pooled per-destination interstitial times, in seconds.
+    pub interstitials: Vec<f64>,
+}
+
+impl HostProfile {
+    fn new(ip: Ipv4Addr) -> Self {
+        Self {
+            ip,
+            flows_involving: 0,
+            bytes_uploaded: 0,
+            initiated: 0,
+            initiated_failed: 0,
+            first_activity: None,
+            first_contact: BTreeMap::new(),
+            interstitials: Vec::new(),
+        }
+    }
+
+    /// Average bytes uploaded per flow (`None` if the host had no flows).
+    pub fn avg_upload_per_flow(&self) -> Option<f64> {
+        if self.flows_involving == 0 {
+            None
+        } else {
+            Some(self.bytes_uploaded as f64 / self.flows_involving as f64)
+        }
+    }
+
+    /// Failed fraction of initiated flows (`None` if none initiated).
+    pub fn failed_rate(&self) -> Option<f64> {
+        if self.initiated == 0 {
+            None
+        } else {
+            Some(self.initiated_failed as f64 / self.initiated as f64)
+        }
+    }
+
+    /// Whether the host initiated at least one successful flow (the §V-A
+    /// eligibility condition).
+    pub fn initiated_successfully(&self) -> bool {
+        self.initiated > self.initiated_failed
+    }
+
+    /// Fraction of destinations first contacted more than one hour after
+    /// the host's first activity — the churn metric of §IV-B. `None` if the
+    /// host contacted no destinations.
+    pub fn new_ip_fraction(&self) -> Option<f64> {
+        let first = self.first_activity?;
+        if self.first_contact.is_empty() {
+            return None;
+        }
+        let cutoff = first + SimDuration::from_hours(1);
+        let new = self.first_contact.values().filter(|&&t| t > cutoff).count();
+        Some(new as f64 / self.first_contact.len() as f64)
+    }
+
+    /// Number of distinct destinations contacted.
+    pub fn distinct_destinations(&self) -> usize {
+        self.first_contact.len()
+    }
+}
+
+/// Incremental profile extraction — feed flows as the border monitor emits
+/// them, read profiles at the end of the detection window.
+///
+/// Flows must arrive in non-decreasing start-time order (what a flow
+/// monitor produces); [`extract_profiles`] sorts for you when working from
+/// a stored dataset.
+///
+/// # Examples
+///
+/// ```
+/// use pw_detect::features::ProfileBuilder;
+///
+/// let mut builder = ProfileBuilder::new(|ip: std::net::Ipv4Addr| ip.octets()[0] == 10);
+/// // builder.push(flow); for each arriving flow …
+/// let profiles = builder.finish();
+/// assert!(profiles.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct ProfileBuilder<F> {
+    is_internal: F,
+    profiles: HashMap<Ipv4Addr, HostProfile>,
+    last_to: HashMap<(Ipv4Addr, Ipv4Addr), SimTime>,
+    last_start: SimTime,
+}
+
+impl<F: Fn(Ipv4Addr) -> bool> ProfileBuilder<F> {
+    /// Creates a builder; `is_internal` identifies monitored addresses.
+    pub fn new(is_internal: F) -> Self {
+        Self {
+            is_internal,
+            profiles: HashMap::new(),
+            last_to: HashMap::new(),
+            last_start: SimTime::ZERO,
+        }
+    }
+
+    /// Number of hosts profiled so far.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether no hosts have been profiled yet.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// Consumes one flow record.
+    ///
+    /// Non-border flows (both endpoints internal or both external) are
+    /// ignored — an edge monitor never sees them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if flows arrive out of start-time order.
+    pub fn push(&mut self, f: &FlowRecord) {
+        assert!(
+            f.start >= self.last_start,
+            "flows must arrive in start-time order (got {} after {})",
+            f.start,
+            self.last_start
+        );
+        self.last_start = f.start;
+        let src_internal = (self.is_internal)(f.src);
+        let dst_internal = (self.is_internal)(f.dst);
+        if src_internal == dst_internal {
+            return; // not a border flow
+        }
+        let host = if src_internal { f.src } else { f.dst };
+        let p = self.profiles.entry(host).or_insert_with(|| HostProfile::new(host));
+        p.flows_involving += 1;
+        p.bytes_uploaded += f.bytes_uploaded_by(host).expect("host participates");
+
+        if f.src == host {
+            p.initiated += 1;
+            if f.is_failed() {
+                p.initiated_failed += 1;
+            }
+            if p.first_activity.is_none() {
+                p.first_activity = Some(f.start);
+            }
+            p.first_contact.entry(f.dst).or_insert(f.start);
+            if let Some(prev) = self.last_to.insert((host, f.dst), f.start) {
+                p.interstitials.push((f.start - prev).as_secs_f64());
+            }
+        }
+    }
+
+    /// Finishes the window and returns the profiles.
+    pub fn finish(self) -> HashMap<Ipv4Addr, HostProfile> {
+        self.profiles
+    }
+}
+
+/// Builds per-host profiles for every internal host appearing in `flows`.
+///
+/// `is_internal` decides which addresses belong to the monitored network;
+/// border flows between two internal hosts would not be seen by an edge
+/// monitor, so both-internal flows are ignored (they cannot occur in
+/// datasets produced by `pw-data`, which filters at the border).
+pub fn extract_profiles<F>(flows: &[FlowRecord], is_internal: F) -> HashMap<Ipv4Addr, HostProfile>
+where
+    F: Fn(Ipv4Addr) -> bool,
+{
+    // Process in time order for correct interstitials and first contacts.
+    let mut order: Vec<&FlowRecord> = flows.iter().collect();
+    order.sort_by_key(|f| (f.start, f.src, f.dst, f.sport, f.dport));
+    let mut builder = ProfileBuilder::new(is_internal);
+    for f in order {
+        builder.push(f);
+    }
+    builder.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pw_flow::{FlowState, Payload, Proto};
+
+    const H: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 1);
+    const H2: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 2);
+    const E1: Ipv4Addr = Ipv4Addr::new(1, 1, 1, 1);
+    const E2: Ipv4Addr = Ipv4Addr::new(2, 2, 2, 2);
+
+    fn flow(src: Ipv4Addr, dst: Ipv4Addr, start_s: u64, up: u64, down: u64, failed: bool) -> FlowRecord {
+        FlowRecord {
+            start: SimTime::from_secs(start_s),
+            end: SimTime::from_secs(start_s + 1),
+            src,
+            sport: 1000,
+            dst,
+            dport: 80,
+            proto: Proto::Tcp,
+            src_pkts: 1,
+            src_bytes: up,
+            dst_pkts: 1,
+            dst_bytes: down,
+            state: if failed { FlowState::SynNoAnswer } else { FlowState::Established },
+            payload: Payload::empty(),
+        }
+    }
+
+    fn internal(ip: Ipv4Addr) -> bool {
+        ip.octets()[0] == 10
+    }
+
+    #[test]
+    fn volume_counts_both_directions() {
+        let flows = vec![
+            flow(H, E1, 0, 100, 1000, false),  // host uploads 100
+            flow(E2, H, 10, 50, 900, false),   // host uploads 900 (responder)
+        ];
+        let p = &extract_profiles(&flows, internal)[&H];
+        assert_eq!(p.flows_involving, 2);
+        assert_eq!(p.bytes_uploaded, 1000);
+        assert_eq!(p.avg_upload_per_flow(), Some(500.0));
+        // Only one initiated.
+        assert_eq!(p.initiated, 1);
+    }
+
+    #[test]
+    fn failed_rate_over_initiated_only() {
+        let flows = vec![
+            flow(H, E1, 0, 100, 0, true),
+            flow(H, E1, 10, 100, 100, false),
+            flow(E2, H, 20, 10, 10, true), // inbound failure: not counted
+        ];
+        let p = &extract_profiles(&flows, internal)[&H];
+        assert_eq!(p.failed_rate(), Some(0.5));
+        assert!(p.initiated_successfully());
+    }
+
+    #[test]
+    fn churn_counts_new_after_first_hour() {
+        let flows = vec![
+            flow(H, E1, 0, 1, 1, false),            // first activity at t=0
+            flow(H, E2, 30 * 60, 1, 1, false),      // within first hour: old
+            flow(H, Ipv4Addr::new(3, 3, 3, 3), 2 * 3600, 1, 1, false), // new
+            flow(H, Ipv4Addr::new(4, 4, 4, 4), 3 * 3600, 1, 1, false), // new
+        ];
+        let p = &extract_profiles(&flows, internal)[&H];
+        assert_eq!(p.distinct_destinations(), 4);
+        assert_eq!(p.new_ip_fraction(), Some(0.5));
+    }
+
+    #[test]
+    fn repeat_contact_is_not_new() {
+        let flows = vec![
+            flow(H, E1, 0, 1, 1, false),
+            flow(H, E1, 2 * 3600, 1, 1, false), // repeat, not a new IP
+        ];
+        let p = &extract_profiles(&flows, internal)[&H];
+        assert_eq!(p.new_ip_fraction(), Some(0.0));
+    }
+
+    #[test]
+    fn interstitials_are_per_destination() {
+        let flows = vec![
+            flow(H, E1, 0, 1, 1, false),
+            flow(H, E2, 5, 1, 1, false),
+            flow(H, E1, 100, 1, 1, false),  // gap 100 to E1
+            flow(H, E2, 305, 1, 1, false),  // gap 300 to E2
+            flow(H, E1, 250, 1, 1, false),  // gap 150 to E1
+        ];
+        let p = &extract_profiles(&flows, internal)[&H];
+        let mut ist = p.interstitials.clone();
+        ist.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(ist, vec![100.0, 150.0, 300.0]);
+    }
+
+    #[test]
+    fn internal_to_internal_ignored() {
+        let flows = vec![flow(H, H2, 0, 1, 1, false)];
+        let profiles = extract_profiles(&flows, internal);
+        assert!(profiles.is_empty());
+    }
+
+    #[test]
+    fn inbound_only_host_has_no_churn_or_failed_rate() {
+        let flows = vec![flow(E1, H, 0, 10, 20, false)];
+        let p = &extract_profiles(&flows, internal)[&H];
+        assert_eq!(p.failed_rate(), None);
+        assert_eq!(p.new_ip_fraction(), None);
+        assert_eq!(p.avg_upload_per_flow(), Some(20.0));
+        assert!(!p.initiated_successfully());
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let flows = vec![
+            flow(H, E1, 100, 1, 1, false),
+            flow(H, E1, 0, 1, 1, false), // earlier, listed later
+        ];
+        let p = &extract_profiles(&flows, internal)[&H];
+        assert_eq!(p.interstitials, vec![100.0]);
+        assert_eq!(p.first_contact[&E1], SimTime::ZERO);
+    }
+
+    #[test]
+    fn streaming_builder_matches_batch_extraction() {
+        let mut flows = vec![
+            flow(H, E1, 0, 100, 10, false),
+            flow(H, E2, 5, 50, 10, true),
+            flow(E1, H, 9, 20, 800, false),
+            flow(H, E1, 120, 100, 10, false),
+            flow(H2, E2, 200, 10, 10, false),
+        ];
+        flows.sort_by_key(|f| f.start);
+        let batch = extract_profiles(&flows, internal);
+        let mut builder = ProfileBuilder::new(internal);
+        assert!(builder.is_empty());
+        for f in &flows {
+            builder.push(f);
+        }
+        assert_eq!(builder.len(), 2);
+        let streamed = builder.finish();
+        assert_eq!(streamed.len(), batch.len());
+        for (ip, p) in &batch {
+            let s = &streamed[ip];
+            assert_eq!(s.flows_involving, p.flows_involving);
+            assert_eq!(s.bytes_uploaded, p.bytes_uploaded);
+            assert_eq!(s.interstitials, p.interstitials);
+            assert_eq!(s.first_contact, p.first_contact);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "start-time order")]
+    fn streaming_builder_rejects_out_of_order() {
+        let mut builder = ProfileBuilder::new(internal);
+        builder.push(&flow(H, E1, 100, 1, 1, false));
+        builder.push(&flow(H, E1, 50, 1, 1, false));
+    }
+}

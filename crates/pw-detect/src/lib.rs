@@ -1,0 +1,65 @@
+//! The paper's detector: telling P2P bots (**Plotters**) apart from P2P
+//! file-sharing hosts (**Traders**) using only border flow records.
+//!
+//! This crate is the primary contribution of the reproduced paper
+//! (Yen & Reiter, ICDCS 2010, §IV–§V):
+//!
+//! - [`features`]: per-host behavioural features extracted from
+//!   [`pw_flow::FlowRecord`]s — failed-connection rate, average bytes
+//!   uploaded per flow, first-contact times per destination, and
+//!   per-destination flow interstitial times;
+//! - [`reduction`]: the §V-A data-reduction step (median failed-connection
+//!   rate) that discards hosts unlikely to run P2P software at all;
+//! - [`detectors`]: the three tests — `θ_vol` (volume), `θ_churn` (peer
+//!   churn / persistence), and `θ_hm` (human- vs machine-driven timing via
+//!   Freedman–Diaconis histograms, Earth Mover's Distance, and hierarchical
+//!   clustering with a top-5 %-link cut);
+//! - [`pipeline`]: the `FindPlotters` composition (Fig. 4) plus a staged
+//!   report used to reproduce Figure 9;
+//! - [`rates`]: true/false-positive bookkeeping for the ROC figures;
+//! - [`tdg`]: the Traffic-Dispersion-Graph baseline discussed in the
+//!   paper's related work, implemented for head-to-head comparison;
+//! - [`perport`]: the per-port traffic-separation refinement §VI proposes
+//!   for Plotters hiding behind a Trader's traffic.
+//!
+//! All thresholds are *dynamic* — percentiles of the live population —
+//! which is the basis of the paper's evasion argument (§VI): an attacker
+//! cannot know the value it must beat.
+//!
+//! # Examples
+//!
+//! ```
+//! use pw_detect::{FindPlottersConfig, find_plotters};
+//! use std::collections::HashSet;
+//!
+//! let flows: Vec<pw_flow::FlowRecord> = Vec::new();
+//! let internal: HashSet<std::net::Ipv4Addr> = HashSet::new();
+//! let report = find_plotters(&flows, |ip| internal.contains(&ip),
+//!                            &FindPlottersConfig::default());
+//! assert!(report.suspects.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod detectors;
+pub mod features;
+pub mod multiday;
+pub mod perport;
+pub mod pipeline;
+pub mod rates;
+pub mod reduction;
+pub mod tdg;
+
+pub use detectors::{
+    theta_churn, theta_hm, theta_hm_with_options, theta_vol, HistogramDistance, HmOptions,
+    HmOutcome, Threshold, MIN_CLUSTER_SIZE,
+};
+pub use features::{extract_profiles, HostProfile};
+pub use features::ProfileBuilder;
+pub use multiday::MultiDayReport;
+pub use perport::{find_plotters_per_service, PerServiceReport, ServiceKey};
+pub use pipeline::{find_plotters, find_plotters_from_profiles, FindPlottersConfig, PlotterReport};
+pub use rates::{rates_against, Rates};
+pub use reduction::initial_reduction;
+pub use tdg::{tdg_scan, TdgConfig, TdgMetrics, TdgReport};

@@ -1,0 +1,263 @@
+//! The `FindPlotters` algorithm (Figure 4 of the paper) and its staged
+//! report.
+
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+use pw_flow::FlowRecord;
+
+use crate::detectors::{theta_churn, theta_hm, theta_vol, HmOutcome, Threshold};
+use crate::features::{extract_profiles, HostProfile};
+use crate::reduction::initial_reduction;
+
+/// Configuration of the full pipeline. Defaults are the paper's §V-B
+/// operating point: data reduction at the median failed-connection rate,
+/// `τ_vol` and `τ_churn` at the 50th percentile, `τ_hm` at the 70th
+/// percentile of cluster diameters, dendrogram cut at the top 5 % of links.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FindPlottersConfig {
+    /// Whether to run the §V-A data-reduction step first.
+    pub with_reduction: bool,
+    /// Volume-test threshold.
+    pub tau_vol: Threshold,
+    /// Churn-test threshold.
+    pub tau_churn: Threshold,
+    /// Cluster-diameter threshold for `θ_hm`.
+    pub tau_hm: Threshold,
+    /// Fraction of heaviest dendrogram links removed when forming clusters.
+    pub cut_fraction: f64,
+}
+
+impl Default for FindPlottersConfig {
+    fn default() -> Self {
+        Self {
+            with_reduction: true,
+            tau_vol: Threshold::Percentile(50.0),
+            tau_churn: Threshold::Percentile(50.0),
+            tau_hm: Threshold::Percentile(70.0),
+            cut_fraction: 0.05,
+        }
+    }
+}
+
+/// Everything `FindPlotters` decided, stage by stage — the material of the
+/// paper's Figure 9.
+#[derive(Debug, Clone)]
+pub struct PlotterReport {
+    /// Hosts observed in the window (the set `S`).
+    pub all_hosts: HashSet<Ipv4Addr>,
+    /// Hosts surviving the §V-A data reduction (input to the tests).
+    pub after_reduction: HashSet<Ipv4Addr>,
+    /// The failed-rate threshold used by the reduction.
+    pub reduction_threshold: f64,
+    /// Hosts kept by the volume test.
+    pub s_vol: HashSet<Ipv4Addr>,
+    /// Resolved `τ_vol` in bytes per flow.
+    pub tau_vol: f64,
+    /// Hosts kept by the churn test.
+    pub s_churn: HashSet<Ipv4Addr>,
+    /// Resolved `τ_churn` as a fraction.
+    pub tau_churn: f64,
+    /// `S_vol ∪ S_churn` — the input to `θ_hm`.
+    pub union: HashSet<Ipv4Addr>,
+    /// Full outcome of the `θ_hm` test.
+    pub hm: HmOutcome,
+    /// The pipeline's verdict: suspected Plotters.
+    pub suspects: HashSet<Ipv4Addr>,
+}
+
+/// Runs `FindPlotters` over raw flow records.
+///
+/// `is_internal` identifies monitored hosts (the administrator knows her
+/// own address space).
+pub fn find_plotters<F>(
+    flows: &[FlowRecord],
+    is_internal: F,
+    cfg: &FindPlottersConfig,
+) -> PlotterReport
+where
+    F: Fn(Ipv4Addr) -> bool,
+{
+    let profiles = extract_profiles(flows, is_internal);
+    find_plotters_from_profiles(&profiles, cfg)
+}
+
+/// Runs `FindPlotters` over pre-extracted host profiles (lets callers
+/// extract once and sweep configurations, as the ROC harness does).
+pub fn find_plotters_from_profiles(
+    profiles: &HashMap<Ipv4Addr, HostProfile>,
+    cfg: &FindPlottersConfig,
+) -> PlotterReport {
+    let all_hosts: HashSet<Ipv4Addr> = profiles.keys().copied().collect();
+    let (after_reduction, reduction_threshold) = if cfg.with_reduction {
+        initial_reduction(profiles)
+    } else {
+        (all_hosts.clone(), 0.0)
+    };
+    let (s_vol, tau_vol) = theta_vol(profiles, &after_reduction, cfg.tau_vol);
+    let (s_churn, tau_churn) = theta_churn(profiles, &after_reduction, cfg.tau_churn);
+    let union: HashSet<Ipv4Addr> = s_vol.union(&s_churn).copied().collect();
+    let hm = theta_hm(profiles, &union, cfg.tau_hm, cfg.cut_fraction);
+    let suspects = hm.kept.clone();
+    PlotterReport {
+        all_hosts,
+        after_reduction,
+        reduction_threshold,
+        s_vol,
+        tau_vol,
+        s_churn,
+        tau_churn,
+        union,
+        hm,
+        suspects,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pw_flow::{FlowState, Payload, Proto};
+    use pw_netsim::{SimDuration, SimTime};
+
+    fn internal(ip: Ipv4Addr) -> bool {
+        ip.octets()[0] == 10
+    }
+
+    fn flow(
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        start: SimTime,
+        up: u64,
+        down: u64,
+        failed: bool,
+    ) -> FlowRecord {
+        FlowRecord {
+            start,
+            end: start + SimDuration::from_secs(1),
+            src,
+            sport: 999,
+            dst,
+            dport: 80,
+            proto: Proto::Tcp,
+            src_pkts: 1,
+            src_bytes: up,
+            dst_pkts: 1,
+            dst_bytes: down,
+            state: if failed { FlowState::SynNoAnswer } else { FlowState::Established },
+            payload: Payload::empty(),
+        }
+    }
+
+    /// Synthesizes a miniature network: several bot-like hosts (tiny
+    /// periodic flows to a fixed peer set, many failures), several
+    /// trader-like hosts (large transfers to ever-new peers, many
+    /// failures), several normal hosts (few failures).
+    fn mini_world() -> Vec<FlowRecord> {
+        let mut flows = Vec::new();
+        // Bots: 10.1.0.1-3, ping 6 fixed peers every 300 s; half fail.
+        for b in 0..3u8 {
+            let bot = Ipv4Addr::new(10, 1, 0, 1 + b);
+            for round in 0..100u64 {
+                for peer in 0..6u8 {
+                    let dst = Ipv4Addr::new(60, 1, b, peer + 1);
+                    let t = SimTime::from_secs(round * 300 + peer as u64);
+                    flows.push(flow(bot, dst, t, 80, 60, peer % 2 == 0));
+                }
+            }
+        }
+        // Traders: 10.1.0.10-12, contact 40 peers spread over the day,
+        // huge transfers, 40% failures, each peer contacted once or twice.
+        for tr in 0..3u8 {
+            let trader = Ipv4Addr::new(10, 1, 0, 10 + tr);
+            for p in 0..40u64 {
+                let dst = Ipv4Addr::new(70, 2, tr, (p + 1) as u8);
+                let t = SimTime::from_secs(300 + p * 2000 + (p * p * 37) % 1500);
+                let failed = p % 5 < 2;
+                flows.push(flow(trader, dst, t, if failed { 120 } else { 900_000 }, 2_000_000, failed));
+            }
+        }
+        // Normal hosts: 10.2.0.x, web-like: few failures, medium flows,
+        // human-irregular times.
+        for n in 0..14u8 {
+            let host = Ipv4Addr::new(10, 2, 0, 1 + n);
+            for k in 0..60u64 {
+                let dst = Ipv4Addr::new(80, 3, (k % 9) as u8, 1);
+                let t = SimTime::from_secs(400 + k * 1300 + (k * k * 131 + n as u64 * 997) % 1100);
+                flows.push(flow(host, dst, t, 600, 20_000, k % 25 == 0));
+            }
+        }
+        flows
+    }
+
+    #[test]
+    fn pipeline_finds_bots_not_traders_or_normals() {
+        let flows = mini_world();
+        let report = find_plotters(&flows, internal, &FindPlottersConfig::default());
+        for b in 1..=3u8 {
+            assert!(
+                report.suspects.contains(&Ipv4Addr::new(10, 1, 0, b)),
+                "bot {b} missed; suspects {:?}",
+                report.suspects
+            );
+        }
+        for t in 10..=12u8 {
+            assert!(
+                !report.suspects.contains(&Ipv4Addr::new(10, 1, 0, t)),
+                "trader {t} flagged"
+            );
+        }
+        for n in 1..=14u8 {
+            assert!(
+                !report.suspects.contains(&Ipv4Addr::new(10, 2, 0, n)),
+                "normal host {n} flagged"
+            );
+        }
+    }
+
+    #[test]
+    fn reduction_removes_low_failure_hosts() {
+        let flows = mini_world();
+        let report = find_plotters(&flows, internal, &FindPlottersConfig::default());
+        assert!(report.after_reduction.len() < report.all_hosts.len());
+        // Normal hosts (4% failures) fall below the median.
+        assert!(!report.after_reduction.contains(&Ipv4Addr::new(10, 2, 0, 1)));
+        // Bots and traders survive.
+        assert!(report.after_reduction.contains(&Ipv4Addr::new(10, 1, 0, 1)));
+        assert!(report.after_reduction.contains(&Ipv4Addr::new(10, 1, 0, 10)));
+    }
+
+    #[test]
+    fn stage_sets_nest_properly() {
+        let flows = mini_world();
+        let report = find_plotters(&flows, internal, &FindPlottersConfig::default());
+        assert!(report.s_vol.is_subset(&report.after_reduction));
+        assert!(report.s_churn.is_subset(&report.after_reduction));
+        assert!(report.union.is_superset(&report.s_vol));
+        assert!(report.suspects.is_subset(&report.union));
+    }
+
+    #[test]
+    fn disabling_reduction_widens_input() {
+        let flows = mini_world();
+        let cfg = FindPlottersConfig { with_reduction: false, ..Default::default() };
+        let report = find_plotters(&flows, internal, &cfg);
+        assert_eq!(report.after_reduction, report.all_hosts);
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        let report = find_plotters(&[], internal, &FindPlottersConfig::default());
+        assert!(report.all_hosts.is_empty());
+        assert!(report.suspects.is_empty());
+    }
+
+    #[test]
+    fn profiles_entry_point_matches_flows_entry_point() {
+        let flows = mini_world();
+        let profiles = extract_profiles(&flows, internal);
+        let a = find_plotters(&flows, internal, &FindPlottersConfig::default());
+        let b = find_plotters_from_profiles(&profiles, &FindPlottersConfig::default());
+        assert_eq!(a.suspects, b.suspects);
+        assert_eq!(a.tau_vol, b.tau_vol);
+    }
+}

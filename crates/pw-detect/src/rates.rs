@@ -1,0 +1,121 @@
+//! True/false-positive bookkeeping for ROC curves and pipeline reports.
+
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+/// Detection rates of a test against a ground-truth positive set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rates {
+    /// Positives in the evaluated population.
+    pub positives: usize,
+    /// Negatives in the evaluated population.
+    pub negatives: usize,
+    /// Detected positives.
+    pub true_positives: usize,
+    /// Detected negatives.
+    pub false_positives: usize,
+}
+
+impl Rates {
+    /// True-positive rate; `None` when the population has no positives.
+    pub fn tpr(&self) -> Option<f64> {
+        if self.positives == 0 {
+            None
+        } else {
+            Some(self.true_positives as f64 / self.positives as f64)
+        }
+    }
+
+    /// False-positive rate; `None` when the population has no negatives.
+    pub fn fpr(&self) -> Option<f64> {
+        if self.negatives == 0 {
+            None
+        } else {
+            Some(self.false_positives as f64 / self.negatives as f64)
+        }
+    }
+}
+
+/// Computes rates for `detected`, where `population` is the test's input
+/// set and `positives` the ground-truth Plotters. Detected hosts outside
+/// the population are ignored; positives are intersected with the
+/// population ("relative to its input set", §V-B).
+pub fn rates_against(
+    detected: &HashSet<Ipv4Addr>,
+    population: &HashSet<Ipv4Addr>,
+    positives: &HashSet<Ipv4Addr>,
+) -> Rates {
+    let pos_in: HashSet<&Ipv4Addr> = population.intersection(positives).collect();
+    let n_pos = pos_in.len();
+    let n_neg = population.len() - n_pos;
+    let mut tp = 0;
+    let mut fp = 0;
+    for d in detected {
+        if !population.contains(d) {
+            continue;
+        }
+        if pos_in.contains(d) {
+            tp += 1;
+        } else {
+            fp += 1;
+        }
+    }
+    Rates { positives: n_pos, negatives: n_neg, true_positives: tp, false_positives: fp }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, last)
+    }
+
+    fn set(items: &[u8]) -> HashSet<Ipv4Addr> {
+        items.iter().map(|&i| ip(i)).collect()
+    }
+
+    #[test]
+    fn basic_rates() {
+        let population = set(&[1, 2, 3, 4, 5]);
+        let positives = set(&[1, 2]);
+        let detected = set(&[1, 3]);
+        let r = rates_against(&detected, &population, &positives);
+        assert_eq!(r.positives, 2);
+        assert_eq!(r.negatives, 3);
+        assert_eq!(r.true_positives, 1);
+        assert_eq!(r.false_positives, 1);
+        assert_eq!(r.tpr(), Some(0.5));
+        assert!((r.fpr().unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detected_outside_population_ignored() {
+        let population = set(&[1, 2]);
+        let positives = set(&[1]);
+        let detected = set(&[1, 9]);
+        let r = rates_against(&detected, &population, &positives);
+        assert_eq!(r.true_positives, 1);
+        assert_eq!(r.false_positives, 0);
+    }
+
+    #[test]
+    fn positives_relative_to_population() {
+        // Positive host 7 never entered the population: not counted.
+        let population = set(&[1, 2]);
+        let positives = set(&[1, 7]);
+        let r = rates_against(&set(&[1]), &population, &positives);
+        assert_eq!(r.positives, 1);
+        assert_eq!(r.tpr(), Some(1.0));
+    }
+
+    #[test]
+    fn degenerate_populations() {
+        let r = rates_against(&set(&[]), &set(&[]), &set(&[]));
+        assert_eq!(r.tpr(), None);
+        assert_eq!(r.fpr(), None);
+        let r = rates_against(&set(&[1]), &set(&[1]), &set(&[1]));
+        assert_eq!(r.tpr(), Some(1.0));
+        assert_eq!(r.fpr(), None);
+    }
+}

@@ -1,0 +1,268 @@
+//! CSV persistence for flow-record datasets.
+//!
+//! A deliberately simple, dependency-free line format (one record per line,
+//! hex-encoded payload) so datasets can be saved, inspected with standard
+//! tools, and reloaded for the multi-day experiments.
+
+use std::io::{self, BufRead, Write};
+use std::net::Ipv4Addr;
+
+use pw_netsim::SimTime;
+
+use crate::packet::{Payload, Proto};
+use crate::record::{FlowRecord, FlowState};
+
+/// Column header written by [`write_flows`].
+pub const HEADER: &str =
+    "start_ms,end_ms,src,sport,dst,dport,proto,src_pkts,src_bytes,dst_pkts,dst_bytes,state,payload_hex";
+
+/// Error raised while parsing a flow CSV.
+#[derive(Debug)]
+pub enum ParseFlowError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line, with its 1-based line number and a description.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ParseFlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseFlowError::Io(e) => write!(f, "i/o error reading flow csv: {e}"),
+            ParseFlowError::Malformed { line, reason } => {
+                write!(f, "malformed flow csv at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseFlowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseFlowError::Io(e) => Some(e),
+            ParseFlowError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseFlowError {
+    fn from(e: io::Error) -> Self {
+        ParseFlowError::Io(e)
+    }
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+fn hex_decode(s: &str) -> Result<Vec<u8>, String> {
+    if !s.len().is_multiple_of(2) {
+        return Err("odd-length hex payload".into());
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).map_err(|e| e.to_string()))
+        .collect()
+}
+
+/// Writes `flows` (preceded by [`HEADER`]) to `w`.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+pub fn write_flows<W: Write>(mut w: W, flows: &[FlowRecord]) -> io::Result<()> {
+    writeln!(w, "{HEADER}")?;
+    for r in flows {
+        writeln!(
+            w,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            r.start.as_millis(),
+            r.end.as_millis(),
+            r.src,
+            r.sport,
+            r.dst,
+            r.dport,
+            r.proto,
+            r.src_pkts,
+            r.src_bytes,
+            r.dst_pkts,
+            r.dst_bytes,
+            r.state,
+            hex_encode(r.payload.as_bytes()),
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads flows previously written by [`write_flows`].
+///
+/// # Errors
+///
+/// Returns [`ParseFlowError`] on I/O failure or any malformed line (the
+/// header line is required).
+pub fn read_flows<R: BufRead>(r: R) -> Result<Vec<FlowRecord>, ParseFlowError> {
+    let mut out = Vec::new();
+    let mut lines = r.lines().enumerate();
+    match lines.next() {
+        Some((_, Ok(h))) if h == HEADER => {}
+        Some((_, Ok(h))) => {
+            return Err(ParseFlowError::Malformed {
+                line: 1,
+                reason: format!("unexpected header `{h}`"),
+            })
+        }
+        Some((_, Err(e))) => return Err(e.into()),
+        None => return Ok(out),
+    }
+    for (idx, line) in lines {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let err = |reason: String| ParseFlowError::Malformed { line: lineno, reason };
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 13 {
+            return Err(err(format!("expected 13 fields, got {}", fields.len())));
+        }
+        let parse_u64 = |s: &str, what: &str| {
+            s.parse::<u64>().map_err(|e| err(format!("bad {what} `{s}`: {e}")))
+        };
+        let parse_u16 = |s: &str, what: &str| {
+            s.parse::<u16>().map_err(|e| err(format!("bad {what} `{s}`: {e}")))
+        };
+        let parse_ip = |s: &str, what: &str| {
+            s.parse::<Ipv4Addr>().map_err(|e| err(format!("bad {what} `{s}`: {e}")))
+        };
+        let proto = match fields[6] {
+            "tcp" => Proto::Tcp,
+            "udp" => Proto::Udp,
+            other => return Err(err(format!("bad proto `{other}`"))),
+        };
+        let state: FlowState = fields[11].parse().map_err(err)?;
+        let payload_bytes = hex_decode(fields[12]).map_err(err)?;
+        out.push(FlowRecord {
+            start: SimTime::from_millis(parse_u64(fields[0], "start")?),
+            end: SimTime::from_millis(parse_u64(fields[1], "end")?),
+            src: parse_ip(fields[2], "src")?,
+            sport: parse_u16(fields[3], "sport")?,
+            dst: parse_ip(fields[4], "dst")?,
+            dport: parse_u16(fields[5], "dport")?,
+            proto,
+            src_pkts: parse_u64(fields[7], "src_pkts")?,
+            src_bytes: parse_u64(fields[8], "src_bytes")?,
+            dst_pkts: parse_u64(fields[9], "dst_pkts")?,
+            dst_bytes: parse_u64(fields[10], "dst_bytes")?,
+            state,
+            payload: Payload::capture(&payload_bytes),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Payload;
+
+    fn sample() -> Vec<FlowRecord> {
+        vec![
+            FlowRecord {
+                start: SimTime::from_millis(1000),
+                end: SimTime::from_millis(2500),
+                src: Ipv4Addr::new(10, 1, 0, 5),
+                sport: 40000,
+                dst: Ipv4Addr::new(8, 8, 8, 8),
+                dport: 53,
+                proto: Proto::Udp,
+                src_pkts: 1,
+                src_bytes: 70,
+                dst_pkts: 1,
+                dst_bytes: 200,
+                state: FlowState::UdpReplied,
+                payload: Payload::capture(b"query\x00\x01"),
+            },
+            FlowRecord {
+                start: SimTime::from_millis(5000),
+                end: SimTime::from_millis(5000),
+                src: Ipv4Addr::new(10, 2, 3, 4),
+                sport: 50000,
+                dst: Ipv4Addr::new(1, 2, 3, 4),
+                dport: 8,
+                proto: Proto::Tcp,
+                src_pkts: 3,
+                src_bytes: 120,
+                dst_pkts: 0,
+                dst_bytes: 0,
+                state: FlowState::SynNoAnswer,
+                payload: Payload::empty(),
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip() {
+        let flows = sample();
+        let mut buf = Vec::new();
+        write_flows(&mut buf, &flows).unwrap();
+        let back = read_flows(buf.as_slice()).unwrap();
+        assert_eq!(back, flows);
+    }
+
+    #[test]
+    fn empty_round_trip() {
+        let mut buf = Vec::new();
+        write_flows(&mut buf, &[]).unwrap();
+        assert!(read_flows(buf.as_slice()).unwrap().is_empty());
+        // Entirely empty input is also fine.
+        assert!(read_flows(&b""[..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let e = read_flows(&b"nope\n"[..]).unwrap_err();
+        assert!(e.to_string().contains("header"));
+    }
+
+    #[test]
+    fn rejects_wrong_field_count() {
+        let mut buf = format!("{HEADER}\n");
+        buf.push_str("1,2,3\n");
+        let e = read_flows(buf.as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("line 2"));
+        assert!(e.to_string().contains("13 fields"));
+    }
+
+    #[test]
+    fn rejects_bad_payload_hex() {
+        let mut buf = format!("{HEADER}\n");
+        buf.push_str("1,2,10.0.0.1,1,10.0.0.2,2,tcp,1,40,0,0,SYN,zz\n");
+        assert!(read_flows(buf.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_state() {
+        let mut buf = format!("{HEADER}\n");
+        buf.push_str("1,2,10.0.0.1,1,10.0.0.2,2,tcp,1,40,0,0,WAT,\n");
+        let e = read_flows(buf.as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("WAT"));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let flows = sample();
+        let mut buf = Vec::new();
+        write_flows(&mut buf, &flows).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        assert_eq!(read_flows(buf.as_slice()).unwrap().len(), 2);
+    }
+}

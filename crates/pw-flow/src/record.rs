@@ -1,0 +1,203 @@
+//! The bi-directional flow record — the unit of data the detector sees.
+
+use std::net::Ipv4Addr;
+
+use pw_netsim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::packet::{Payload, Proto};
+
+/// Connection-level outcome of a flow, as reconstructible from packet
+/// headers (the way Argus reports TCP state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlowState {
+    /// TCP three-way handshake completed.
+    Established,
+    /// TCP SYN(s) sent, no response from the responder.
+    SynNoAnswer,
+    /// TCP SYN answered by RST — port closed or connection refused.
+    Rejected,
+    /// TCP reset after establishment (delivered data; counts as success).
+    ResetAfterData,
+    /// UDP with packets in both directions.
+    UdpReplied,
+    /// UDP request(s) with no reply.
+    UdpSilent,
+}
+
+impl FlowState {
+    /// Whether the connection attempt *failed* in the paper's sense
+    /// (§V-A): the initiator got no usable answer. Failed-connection rate is
+    /// the initial data-reduction feature.
+    pub fn is_failed(self) -> bool {
+        matches!(self, FlowState::SynNoAnswer | FlowState::Rejected | FlowState::UdpSilent)
+    }
+}
+
+impl std::fmt::Display for FlowState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FlowState::Established => "EST",
+            FlowState::SynNoAnswer => "SYN",
+            FlowState::Rejected => "REJ",
+            FlowState::ResetAfterData => "RSTD",
+            FlowState::UdpReplied => "UDPR",
+            FlowState::UdpSilent => "UDPS",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::str::FromStr for FlowState {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(match s {
+            "EST" => FlowState::Established,
+            "SYN" => FlowState::SynNoAnswer,
+            "REJ" => FlowState::Rejected,
+            "RSTD" => FlowState::ResetAfterData,
+            "UDPR" => FlowState::UdpReplied,
+            "UDPS" => FlowState::UdpSilent,
+            other => return Err(format!("unknown flow state `{other}`")),
+        })
+    }
+}
+
+/// One bi-directional Argus-style flow record.
+///
+/// `src` is always the connection *initiator* (the host that sent the first
+/// packet), matching Argus' convention footnoted in §III of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowRecord {
+    /// Time of the first packet.
+    pub start: SimTime,
+    /// Time of the last packet.
+    pub end: SimTime,
+    /// Initiator address.
+    pub src: Ipv4Addr,
+    /// Initiator port.
+    pub sport: u16,
+    /// Responder address.
+    pub dst: Ipv4Addr,
+    /// Responder port.
+    pub dport: u16,
+    /// Transport protocol.
+    pub proto: Proto,
+    /// Packets sent by the initiator.
+    pub src_pkts: u64,
+    /// Bytes sent by the initiator (wire bytes, headers included).
+    pub src_bytes: u64,
+    /// Packets sent by the responder.
+    pub dst_pkts: u64,
+    /// Bytes sent by the responder.
+    pub dst_bytes: u64,
+    /// Reconstructed connection state.
+    pub state: FlowState,
+    /// First 64 bytes of the initiator's payload.
+    pub payload: Payload,
+}
+
+impl FlowRecord {
+    /// Whether the connection attempt failed (see [`FlowState::is_failed`]).
+    pub fn is_failed(&self) -> bool {
+        self.state.is_failed()
+    }
+
+    /// Flow duration (zero for single-packet flows).
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+
+    /// Whether `host` participates in this flow.
+    pub fn involves(&self, host: Ipv4Addr) -> bool {
+        self.src == host || self.dst == host
+    }
+
+    /// Bytes *uploaded by* `host` in this flow: its sent bytes whichever
+    /// side it is on, or `None` if it is not an endpoint. This is the
+    /// quantity behind the paper's volume test ("average number of bytes
+    /// per flow … uploaded by the host", §IV-A).
+    pub fn bytes_uploaded_by(&self, host: Ipv4Addr) -> Option<u64> {
+        if self.src == host {
+            Some(self.src_bytes)
+        } else if self.dst == host {
+            Some(self.dst_bytes)
+        } else {
+            None
+        }
+    }
+
+    /// The remote endpoint relative to `host`, or `None` if `host` is not
+    /// an endpoint.
+    pub fn peer_of(&self, host: Ipv4Addr) -> Option<Ipv4Addr> {
+        if self.src == host {
+            Some(self.dst)
+        } else if self.dst == host {
+            Some(self.src)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec() -> FlowRecord {
+        FlowRecord {
+            start: SimTime::from_secs(10),
+            end: SimTime::from_secs(12),
+            src: Ipv4Addr::new(10, 1, 0, 1),
+            sport: 40000,
+            dst: Ipv4Addr::new(8, 8, 8, 8),
+            dport: 53,
+            proto: Proto::Udp,
+            src_pkts: 1,
+            src_bytes: 70,
+            dst_pkts: 1,
+            dst_bytes: 200,
+            state: FlowState::UdpReplied,
+            payload: Payload::capture(b"query"),
+        }
+    }
+
+    #[test]
+    fn failure_classification() {
+        assert!(FlowState::SynNoAnswer.is_failed());
+        assert!(FlowState::Rejected.is_failed());
+        assert!(FlowState::UdpSilent.is_failed());
+        assert!(!FlowState::Established.is_failed());
+        assert!(!FlowState::ResetAfterData.is_failed());
+        assert!(!FlowState::UdpReplied.is_failed());
+    }
+
+    #[test]
+    fn state_string_round_trip() {
+        for s in [
+            FlowState::Established,
+            FlowState::SynNoAnswer,
+            FlowState::Rejected,
+            FlowState::ResetAfterData,
+            FlowState::UdpReplied,
+            FlowState::UdpSilent,
+        ] {
+            assert_eq!(s.to_string().parse::<FlowState>().unwrap(), s);
+        }
+        assert!("BOGUS".parse::<FlowState>().is_err());
+    }
+
+    #[test]
+    fn per_host_accessors() {
+        let r = rec();
+        assert!(r.involves(r.src));
+        assert!(r.involves(r.dst));
+        assert!(!r.involves(Ipv4Addr::new(1, 1, 1, 1)));
+        assert_eq!(r.bytes_uploaded_by(r.src), Some(70));
+        assert_eq!(r.bytes_uploaded_by(r.dst), Some(200));
+        assert_eq!(r.bytes_uploaded_by(Ipv4Addr::new(1, 1, 1, 1)), None);
+        assert_eq!(r.peer_of(r.src), Some(r.dst));
+        assert_eq!(r.peer_of(r.dst), Some(r.src));
+        assert_eq!(r.duration(), SimDuration::from_secs(2));
+    }
+}

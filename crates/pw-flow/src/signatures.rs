@@ -1,0 +1,245 @@
+//! Payload signatures for ground-truth Trader identification.
+//!
+//! The paper (§III) labels file-sharing hosts using the 64 payload bytes in
+//! each flow record:
+//!
+//! - **Gnutella**: keywords `GNUTELLA`, `CONNECT BACK`, `LIME`;
+//! - **eMule**: initial byte `0xE3` or `0xC5` followed by protocol frames;
+//! - **BitTorrent**: `BitTorrent protocol`, tracker requests
+//!   `GET /scrape` / `GET /announce`, and DHT messages containing
+//!   `d1:ad2:id20` or `d1:rd2:id20`.
+//!
+//! [`classify_payload`] implements exactly that test, and the builder
+//! functions produce protocol-faithful payload prefixes for the simulated
+//! traders, so labelling in the synthetic datasets goes through the same
+//! code path as it would on real traffic.
+
+use serde::{Deserialize, Serialize};
+
+use crate::packet::Payload;
+use crate::record::FlowRecord;
+
+/// A P2P file-sharing application recognizable from payload bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum P2pApp {
+    /// The Gnutella overlay (e.g. LimeWire).
+    Gnutella,
+    /// eMule / eDonkey, including its Kademlia ("Kad") DHT.
+    Emule,
+    /// BitTorrent, including tracker HTTP and the Mainline DHT.
+    BitTorrent,
+}
+
+impl std::fmt::Display for P2pApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            P2pApp::Gnutella => write!(f, "gnutella"),
+            P2pApp::Emule => write!(f, "emule"),
+            P2pApp::BitTorrent => write!(f, "bittorrent"),
+        }
+    }
+}
+
+fn contains(haystack: &[u8], needle: &[u8]) -> bool {
+    haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+/// Classifies a payload prefix as belonging to a known file-sharing
+/// protocol, per the paper's signature list.
+///
+/// # Examples
+///
+/// ```
+/// use pw_flow::signatures::{classify_payload, P2pApp};
+///
+/// assert_eq!(classify_payload(b"GNUTELLA CONNECT/0.6"), Some(P2pApp::Gnutella));
+/// assert_eq!(classify_payload(b"GET / HTTP/1.1"), None);
+/// ```
+pub fn classify_payload(payload: &[u8]) -> Option<P2pApp> {
+    if payload.is_empty() {
+        return None;
+    }
+    // Gnutella keywords.
+    if contains(payload, b"GNUTELLA") || contains(payload, b"CONNECT BACK") || contains(payload, b"LIME")
+    {
+        return Some(P2pApp::Gnutella);
+    }
+    // BitTorrent: peer wire handshake, tracker HTTP, DHT bencoding.
+    if contains(payload, b"BitTorrent protocol")
+        || payload.starts_with(b"GET /scrape")
+        || payload.starts_with(b"GET /announce")
+        || contains(payload, b"d1:ad2:id20")
+        || contains(payload, b"d1:rd2:id20")
+    {
+        return Some(P2pApp::BitTorrent);
+    }
+    // eMule: initial protocol byte 0xE3 (eDonkey/Kad) or 0xC5 (extended).
+    if payload[0] == 0xE3 || payload[0] == 0xC5 {
+        return Some(P2pApp::Emule);
+    }
+    None
+}
+
+/// Classifies a flow record by its captured initiator payload.
+pub fn classify_flow(record: &FlowRecord) -> Option<P2pApp> {
+    classify_payload(record.payload.as_bytes())
+}
+
+/// Builders producing protocol-faithful payload prefixes for the simulated
+/// traders. Each returns at most 64 bytes (what Argus would capture).
+pub mod build {
+    use super::Payload;
+
+    /// Gnutella 0.6 connection handshake.
+    pub fn gnutella_connect() -> Payload {
+        Payload::capture(b"GNUTELLA CONNECT/0.6\r\nUser-Agent: LimeWire/4.12\r\n")
+    }
+
+    /// Gnutella query hit push request.
+    pub fn gnutella_connect_back() -> Payload {
+        Payload::capture(b"GNUTELLA CONNECT BACK/0.6\r\n")
+    }
+
+    /// eDonkey TCP hello frame: 0xE3, length, opcode 0x01 (HELLO).
+    pub fn emule_hello() -> Payload {
+        let mut b = vec![0xE3u8, 0x20, 0x00, 0x00, 0x00, 0x01, 0x10];
+        b.extend_from_slice(&[0xAB; 16]); // user hash
+        Payload::capture(&b)
+    }
+
+    /// eMule extended-protocol (compressed) frame: initial byte 0xC5.
+    pub fn emule_extended() -> Payload {
+        Payload::capture(&[0xC5, 0x0A, 0x00, 0x00, 0x00, 0x40, 0x01, 0x02, 0x03])
+    }
+
+    /// eMule Kad UDP frame: 0xE3 then a Kad opcode (e.g. KADEMLIA_REQ).
+    pub fn emule_kad(opcode: u8) -> Payload {
+        let mut b = vec![0xE3u8, opcode];
+        b.extend_from_slice(&[0x11; 20]);
+        Payload::capture(&b)
+    }
+
+    /// BitTorrent peer-wire handshake: length-prefixed protocol string.
+    pub fn bittorrent_handshake() -> Payload {
+        let mut b = vec![19u8];
+        b.extend_from_slice(b"BitTorrent protocol");
+        b.extend_from_slice(&[0u8; 8]);
+        b.extend_from_slice(&[0x55; 20]); // info-hash
+        Payload::capture(&b)
+    }
+
+    /// Tracker announce request over HTTP.
+    pub fn tracker_announce() -> Payload {
+        Payload::capture(b"GET /announce?info_hash=%12%34&peer_id=-PW0001- HTTP/1.1\r\n")
+    }
+
+    /// Tracker scrape request over HTTP.
+    pub fn tracker_scrape() -> Payload {
+        Payload::capture(b"GET /scrape?info_hash=%12%34 HTTP/1.1\r\n")
+    }
+
+    /// Mainline DHT query (bencoded; contains `d1:ad2:id20`).
+    pub fn bt_dht_query() -> Payload {
+        Payload::capture(b"d1:ad2:id20:abcdefghij0123456789e1:q4:ping1:t2:aa1:y1:qe")
+    }
+
+    /// Mainline DHT response (bencoded; contains `d1:rd2:id20`).
+    pub fn bt_dht_response() -> Payload {
+        Payload::capture(b"d1:rd2:id20:abcdefghij0123456789e1:t2:aa1:y1:re")
+    }
+
+    /// A plain HTTP GET (not P2P; for web traffic).
+    pub fn http_get(path: &str) -> Payload {
+        let mut b = Vec::with_capacity(64);
+        b.extend_from_slice(b"GET ");
+        b.extend_from_slice(path.as_bytes());
+        b.extend_from_slice(b" HTTP/1.1\r\nHost: example.com\r\n");
+        Payload::capture(&b)
+    }
+
+    /// An opaque, encrypted-looking payload (for Nugache, whose traffic is
+    /// encrypted and matches no signature). Deterministic in `seed`.
+    pub fn opaque(seed: u64) -> Payload {
+        let mut b = [0u8; 48];
+        let mut s = seed | 1;
+        for chunk in b.chunks_mut(8) {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            chunk.copy_from_slice(&s.to_le_bytes());
+        }
+        // Avoid accidentally starting with an eMule protocol byte.
+        if b[0] == 0xE3 || b[0] == 0xC5 {
+            b[0] = 0x7F;
+        }
+        Payload::capture(&b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnutella_signatures() {
+        assert_eq!(classify_payload(build::gnutella_connect().as_bytes()), Some(P2pApp::Gnutella));
+        assert_eq!(
+            classify_payload(build::gnutella_connect_back().as_bytes()),
+            Some(P2pApp::Gnutella)
+        );
+        assert_eq!(classify_payload(b"something LIME here"), Some(P2pApp::Gnutella));
+    }
+
+    #[test]
+    fn emule_signatures() {
+        assert_eq!(classify_payload(build::emule_hello().as_bytes()), Some(P2pApp::Emule));
+        assert_eq!(classify_payload(build::emule_extended().as_bytes()), Some(P2pApp::Emule));
+        assert_eq!(classify_payload(build::emule_kad(0x20).as_bytes()), Some(P2pApp::Emule));
+    }
+
+    #[test]
+    fn bittorrent_signatures() {
+        for p in [
+            build::bittorrent_handshake(),
+            build::tracker_announce(),
+            build::tracker_scrape(),
+            build::bt_dht_query(),
+            build::bt_dht_response(),
+        ] {
+            assert_eq!(classify_payload(p.as_bytes()), Some(P2pApp::BitTorrent), "{:?}", p);
+        }
+    }
+
+    #[test]
+    fn non_p2p_payloads_unclassified() {
+        assert_eq!(classify_payload(b""), None);
+        assert_eq!(classify_payload(build::http_get("/index.html").as_bytes()), None);
+        assert_eq!(classify_payload(b"EHLO mail.example.com"), None);
+        for seed in 0..50 {
+            assert_eq!(classify_payload(build::opaque(seed).as_bytes()), None, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn emule_byte_only_matters_at_start() {
+        // 0xE3 in the middle of an HTTP request must not classify as eMule.
+        let mut p = b"GET /x HTTP/1.1 ".to_vec();
+        p.push(0xE3);
+        assert_eq!(classify_payload(&p), None);
+    }
+
+    #[test]
+    fn payloads_fit_capture_window() {
+        for p in [
+            build::gnutella_connect(),
+            build::emule_hello(),
+            build::bittorrent_handshake(),
+            build::tracker_announce(),
+            build::bt_dht_query(),
+            build::opaque(9),
+        ] {
+            assert!(p.len() <= Payload::MAX);
+            assert!(!p.is_empty());
+        }
+    }
+}

@@ -1,0 +1,433 @@
+//! Canonical packet sequences for whole connections.
+//!
+//! Every traffic model (web clients, traders, bots, the DHT) describes a
+//! connection as a [`ConnSpec`] and hands it to [`emit_connection`], which
+//! expands it into the packet sequence a real stack would produce —
+//! handshake, data bursts, teardown, retransmitted SYNs for dead peers, and
+//! so on. Funnelling all models through one synthesizer guarantees the
+//! Argus aggregator sees consistent, protocol-plausible input.
+
+use std::net::Ipv4Addr;
+
+use pw_netsim::{SimDuration, SimTime};
+
+use crate::packet::{Packet, PacketSink, Payload, Proto, TcpFlags};
+
+/// Nominal round-trip time used for handshake pacing.
+const RTT: SimDuration = SimDuration::from_millis(50);
+/// IPv4+TCP header overhead per packet, in bytes.
+const TCP_HDR: u64 = 40;
+/// IPv4+UDP header overhead per packet, in bytes.
+const UDP_HDR: u64 = 28;
+/// Payload bytes per full-size data packet.
+const MSS: u64 = 1460;
+/// Maximum gap between data bursts, kept safely below the aggregator's
+/// 60 s idle timeout so one logical transfer stays one flow record.
+const BURST_GAP_CAP: SimDuration = SimDuration::from_secs(30);
+
+/// How a synthesized connection plays out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnOutcome {
+    /// TCP: full handshake, optional data both ways, FIN teardown.
+    Established {
+        /// Application bytes from initiator to responder.
+        bytes_up: u64,
+        /// Application bytes from responder to initiator.
+        bytes_down: u64,
+    },
+    /// TCP: SYN retransmissions, no answer (dead or filtered peer).
+    NoAnswer,
+    /// TCP: SYN answered by RST (port closed).
+    Rejected,
+    /// UDP: request and response datagrams.
+    UdpExchange {
+        /// Application bytes in the request direction.
+        bytes_up: u64,
+        /// Application bytes in the response direction.
+        bytes_down: u64,
+    },
+    /// UDP: request (with `retries` retransmissions) and silence.
+    UdpNoReply {
+        /// Application bytes per request datagram.
+        bytes_up: u64,
+        /// Retransmissions after the first datagram.
+        retries: u32,
+    },
+}
+
+/// A connection to synthesize. Build with [`ConnSpec::tcp`] or
+/// [`ConnSpec::udp`] and the chainable configuration methods.
+///
+/// # Examples
+///
+/// ```
+/// use pw_flow::synth::{ConnOutcome, ConnSpec, emit_connection};
+/// use pw_netsim::{SimDuration, SimTime};
+/// use std::net::Ipv4Addr;
+///
+/// let spec = ConnSpec::tcp(SimTime::ZERO, Ipv4Addr::new(10, 1, 0, 1), 40000,
+///                          Ipv4Addr::new(1, 2, 3, 4), 80)
+///     .outcome(ConnOutcome::Established { bytes_up: 500, bytes_down: 8000 })
+///     .duration(SimDuration::from_secs(2))
+///     .payload(b"GET / HTTP/1.1\r\n");
+/// let mut pkts = Vec::new();
+/// emit_connection(&mut pkts, &spec);
+/// assert!(pkts.len() >= 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConnSpec {
+    /// First-packet time.
+    pub start: SimTime,
+    /// Initiator address.
+    pub src: Ipv4Addr,
+    /// Initiator port.
+    pub sport: u16,
+    /// Responder address.
+    pub dst: Ipv4Addr,
+    /// Responder port.
+    pub dport: u16,
+    /// Transport protocol.
+    pub proto: Proto,
+    /// Connection outcome.
+    pub outcome: ConnOutcome,
+    /// Target duration for established TCP connections (data is spread over
+    /// it). Ignored by the failure outcomes and UDP (single exchange).
+    pub dur: SimDuration,
+    /// Initiator's first payload bytes (what Argus will capture).
+    pub first_payload: Payload,
+}
+
+impl ConnSpec {
+    /// A TCP connection spec with default outcome
+    /// `Established { 0, 0 }` and a 1-second duration.
+    pub fn tcp(start: SimTime, src: Ipv4Addr, sport: u16, dst: Ipv4Addr, dport: u16) -> Self {
+        ConnSpec {
+            start,
+            src,
+            sport,
+            dst,
+            dport,
+            proto: Proto::Tcp,
+            outcome: ConnOutcome::Established { bytes_up: 0, bytes_down: 0 },
+            dur: SimDuration::from_secs(1),
+            first_payload: Payload::empty(),
+        }
+    }
+
+    /// A UDP connection spec with default outcome
+    /// `UdpExchange { 0, 0 }`.
+    pub fn udp(start: SimTime, src: Ipv4Addr, sport: u16, dst: Ipv4Addr, dport: u16) -> Self {
+        ConnSpec {
+            start,
+            src,
+            sport,
+            dst,
+            dport,
+            proto: Proto::Udp,
+            outcome: ConnOutcome::UdpExchange { bytes_up: 0, bytes_down: 0 },
+            dur: SimDuration::ZERO,
+            first_payload: Payload::empty(),
+        }
+    }
+
+    /// Sets the outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome's transport does not match the spec's protocol.
+    pub fn outcome(mut self, outcome: ConnOutcome) -> Self {
+        let tcp_outcome = matches!(
+            outcome,
+            ConnOutcome::Established { .. } | ConnOutcome::NoAnswer | ConnOutcome::Rejected
+        );
+        assert_eq!(
+            tcp_outcome,
+            self.proto == Proto::Tcp,
+            "outcome transport must match spec protocol"
+        );
+        self.outcome = outcome;
+        self
+    }
+
+    /// Sets the target duration for established connections.
+    pub fn duration(mut self, dur: SimDuration) -> Self {
+        self.dur = dur;
+        self
+    }
+
+    /// Sets the initiator's first payload bytes.
+    pub fn payload(mut self, bytes: &[u8]) -> Self {
+        self.first_payload = Payload::capture(bytes);
+        self
+    }
+}
+
+fn data_packet(
+    t: SimTime,
+    from: (Ipv4Addr, u16),
+    to: (Ipv4Addr, u16),
+    proto: Proto,
+    app_bytes: u64,
+    flags: TcpFlags,
+    payload: Payload,
+) -> Packet {
+    let hdr = if proto == Proto::Tcp { TCP_HDR } else { UDP_HDR };
+    let pkts = if app_bytes == 0 { 1 } else { app_bytes.div_ceil(MSS) } as u32;
+    Packet {
+        time: t,
+        src: from.0,
+        sport: from.1,
+        dst: to.0,
+        dport: to.1,
+        proto,
+        pkts,
+        bytes: app_bytes + hdr * pkts as u64,
+        flags,
+        payload,
+    }
+}
+
+/// Expands `spec` into its packet sequence on `sink`.
+pub fn emit_connection<S: PacketSink + ?Sized>(sink: &mut S, spec: &ConnSpec) {
+    let fwd = (spec.src, spec.sport);
+    let rev = (spec.dst, spec.dport);
+    let t0 = spec.start;
+    match spec.outcome {
+        ConnOutcome::Established { bytes_up, bytes_down } => {
+            // Handshake.
+            sink.emit(data_packet(t0, fwd, rev, Proto::Tcp, 0, TcpFlags::SYN, Payload::empty()));
+            sink.emit(data_packet(
+                t0 + RTT,
+                rev,
+                fwd,
+                Proto::Tcp,
+                0,
+                TcpFlags::SYN | TcpFlags::ACK,
+                Payload::empty(),
+            ));
+            let t_est = t0 + RTT + RTT;
+            sink.emit(data_packet(t_est, fwd, rev, Proto::Tcp, 0, TcpFlags::ACK, Payload::empty()));
+            // Data bursts, spread across the duration but never more than
+            // BURST_GAP_CAP apart.
+            let dur = spec.dur.max(RTT);
+            let bursts = (dur.as_millis() / BURST_GAP_CAP.as_millis() + 1).max(1);
+            let step = SimDuration::from_millis(dur.as_millis() / bursts);
+            let mut first_up = true;
+            for b in 0..bursts {
+                let t = t_est + step.mul_f64(b as f64) + SimDuration::from_millis(10);
+                if bytes_up > 0 {
+                    let share = bytes_up / bursts + u64::from(b == 0) * (bytes_up % bursts);
+                    if share > 0 {
+                        let pl = if first_up { spec.first_payload } else { Payload::empty() };
+                        first_up = false;
+                        sink.emit(data_packet(
+                            t,
+                            fwd,
+                            rev,
+                            Proto::Tcp,
+                            share,
+                            TcpFlags::ACK | TcpFlags::PSH,
+                            pl,
+                        ));
+                    }
+                }
+                if bytes_down > 0 {
+                    let share = bytes_down / bursts + u64::from(b == 0) * (bytes_down % bursts);
+                    if share > 0 {
+                        sink.emit(data_packet(
+                            t + RTT,
+                            rev,
+                            fwd,
+                            Proto::Tcp,
+                            share,
+                            TcpFlags::ACK | TcpFlags::PSH,
+                            Payload::empty(),
+                        ));
+                    }
+                }
+            }
+            // If no data carried the payload, push it with the teardown ACK.
+            let t_end = t0 + dur + RTT + RTT;
+            let pl = if first_up { spec.first_payload } else { Payload::empty() };
+            sink.emit(data_packet(t_end, fwd, rev, Proto::Tcp, 0, TcpFlags::FIN | TcpFlags::ACK, pl));
+            sink.emit(data_packet(
+                t_end + RTT,
+                rev,
+                fwd,
+                Proto::Tcp,
+                0,
+                TcpFlags::FIN | TcpFlags::ACK,
+                Payload::empty(),
+            ));
+            sink.emit(data_packet(
+                t_end + RTT + RTT,
+                fwd,
+                rev,
+                Proto::Tcp,
+                0,
+                TcpFlags::ACK,
+                Payload::empty(),
+            ));
+        }
+        ConnOutcome::NoAnswer => {
+            // Classic SYN retransmission backoff: 0 s, 3 s, 9 s.
+            for off in [0u64, 3, 9] {
+                sink.emit(data_packet(
+                    t0 + SimDuration::from_secs(off),
+                    fwd,
+                    rev,
+                    Proto::Tcp,
+                    0,
+                    TcpFlags::SYN,
+                    Payload::empty(),
+                ));
+            }
+        }
+        ConnOutcome::Rejected => {
+            sink.emit(data_packet(t0, fwd, rev, Proto::Tcp, 0, TcpFlags::SYN, Payload::empty()));
+            sink.emit(data_packet(
+                t0 + RTT,
+                rev,
+                fwd,
+                Proto::Tcp,
+                0,
+                TcpFlags::RST,
+                Payload::empty(),
+            ));
+        }
+        ConnOutcome::UdpExchange { bytes_up, bytes_down } => {
+            sink.emit(data_packet(
+                t0,
+                fwd,
+                rev,
+                Proto::Udp,
+                bytes_up,
+                TcpFlags::NONE,
+                spec.first_payload,
+            ));
+            sink.emit(data_packet(
+                t0 + RTT,
+                rev,
+                fwd,
+                Proto::Udp,
+                bytes_down,
+                TcpFlags::NONE,
+                Payload::empty(),
+            ));
+        }
+        ConnOutcome::UdpNoReply { bytes_up, retries } => {
+            for r in 0..=retries as u64 {
+                let pl = if r == 0 { spec.first_payload } else { Payload::empty() };
+                sink.emit(data_packet(
+                    t0 + SimDuration::from_millis(700 * r),
+                    fwd,
+                    rev,
+                    Proto::Udp,
+                    bytes_up,
+                    TcpFlags::NONE,
+                    pl,
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregator::ArgusAggregator;
+    use crate::record::FlowState;
+
+    const A: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 1);
+    const B: Ipv4Addr = Ipv4Addr::new(93, 184, 216, 34);
+
+    fn run_one(spec: ConnSpec) -> crate::record::FlowRecord {
+        let mut agg = ArgusAggregator::default();
+        emit_connection(&mut agg, &spec);
+        let recs = agg.finish(SimTime::from_hours(2));
+        assert_eq!(recs.len(), 1, "one spec must yield one flow record");
+        recs[0]
+    }
+
+    #[test]
+    fn established_round_trip_through_argus() {
+        let spec = ConnSpec::tcp(SimTime::from_secs(1), A, 40000, B, 80)
+            .outcome(ConnOutcome::Established { bytes_up: 500, bytes_down: 9000 })
+            .payload(b"GET /index.html HTTP/1.1");
+        let r = run_one(spec);
+        assert_eq!(r.state, FlowState::Established);
+        assert_eq!(r.src, A);
+        assert!(r.src_bytes >= 500);
+        assert!(r.dst_bytes >= 9000);
+        assert_eq!(r.payload.as_bytes(), b"GET /index.html HTTP/1.1");
+    }
+
+    #[test]
+    fn long_transfer_stays_one_flow() {
+        // 5-minute transfer: bursts must be < idle timeout apart.
+        let spec = ConnSpec::tcp(SimTime::ZERO, A, 40001, B, 6881)
+            .outcome(ConnOutcome::Established { bytes_up: 2000, bytes_down: 5_000_000 })
+            .duration(SimDuration::from_mins(5));
+        let r = run_one(spec);
+        assert_eq!(r.state, FlowState::Established);
+        assert!(r.dst_bytes >= 5_000_000);
+        assert!(r.duration() >= SimDuration::from_mins(5));
+    }
+
+    #[test]
+    fn no_answer_becomes_failed_flow() {
+        let spec =
+            ConnSpec::tcp(SimTime::ZERO, A, 40002, B, 8).outcome(ConnOutcome::NoAnswer);
+        let r = run_one(spec);
+        assert_eq!(r.state, FlowState::SynNoAnswer);
+        assert_eq!(r.src_pkts, 3); // SYN ×3
+        assert_eq!(r.dst_pkts, 0);
+    }
+
+    #[test]
+    fn rejected_becomes_failed_flow() {
+        let spec =
+            ConnSpec::tcp(SimTime::ZERO, A, 40003, B, 25).outcome(ConnOutcome::Rejected);
+        let r = run_one(spec);
+        assert_eq!(r.state, FlowState::Rejected);
+    }
+
+    #[test]
+    fn udp_exchange_and_silence() {
+        let ok = ConnSpec::udp(SimTime::ZERO, A, 50000, B, 53)
+            .outcome(ConnOutcome::UdpExchange { bytes_up: 60, bytes_down: 180 })
+            .payload(b"dns-query");
+        let r = run_one(ok);
+        assert_eq!(r.state, FlowState::UdpReplied);
+        assert_eq!(r.payload.as_bytes(), b"dns-query");
+
+        let dead = ConnSpec::udp(SimTime::ZERO, A, 50001, B, 7871)
+            .outcome(ConnOutcome::UdpNoReply { bytes_up: 25, retries: 2 });
+        let r = run_one(dead);
+        assert_eq!(r.state, FlowState::UdpSilent);
+        assert_eq!(r.src_pkts, 3);
+    }
+
+    #[test]
+    fn zero_byte_established_still_carries_payload() {
+        let spec = ConnSpec::tcp(SimTime::ZERO, A, 40004, B, 6346)
+            .outcome(ConnOutcome::Established { bytes_up: 0, bytes_down: 0 })
+            .payload(b"GNUTELLA CONNECT/0.6");
+        let r = run_one(spec);
+        assert_eq!(r.payload.as_bytes(), b"GNUTELLA CONNECT/0.6");
+    }
+
+    #[test]
+    fn byte_counts_include_headers() {
+        let spec = ConnSpec::udp(SimTime::ZERO, A, 50002, B, 53)
+            .outcome(ConnOutcome::UdpExchange { bytes_up: 100, bytes_down: 0 });
+        let r = run_one(spec);
+        assert_eq!(r.src_bytes, 128); // 100 + 28-byte header
+    }
+
+    #[test]
+    #[should_panic(expected = "transport")]
+    fn mismatched_outcome_panics() {
+        let _ = ConnSpec::udp(SimTime::ZERO, A, 1, B, 2).outcome(ConnOutcome::NoAnswer);
+    }
+}

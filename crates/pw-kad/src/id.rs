@@ -1,0 +1,154 @@
+//! 128-bit node/key identifiers under the XOR metric.
+//!
+//! Overnet and eMule Kad use 128-bit MD4-derived identifiers (unlike the
+//! 160-bit Mainline DHT); 128 bits is what we model for every overlay, which
+//! changes nothing about routing behaviour.
+
+use rand::Rng;
+
+/// A 128-bit Kademlia identifier (node id or content key).
+///
+/// # Examples
+///
+/// ```
+/// use pw_kad::NodeId;
+///
+/// let a = NodeId::from_u128(0b1000);
+/// let b = NodeId::from_u128(0b1011);
+/// assert_eq!(a.distance(b), NodeId::from_u128(0b0011));
+/// assert!(a.distance(b) < a.distance(NodeId::from_u128(0))); // closer than far
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u128);
+
+impl NodeId {
+    /// Number of bits in an identifier.
+    pub const BITS: usize = 128;
+
+    /// Builds an id from a raw 128-bit value.
+    pub const fn from_u128(v: u128) -> Self {
+        NodeId(v)
+    }
+
+    /// The raw 128-bit value.
+    pub const fn as_u128(self) -> u128 {
+        self.0
+    }
+
+    /// Draws a uniformly random id.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        NodeId(rng.gen())
+    }
+
+    /// Deterministically derives a key from arbitrary bytes (stand-in for
+    /// the MD4/SHA1 hashing real clients apply to keywords and content).
+    pub fn hash_of(data: &[u8]) -> Self {
+        // FNV-1a folded to 128 bits via two passes with different offsets.
+        fn finalize(mut z: u64) -> u64 {
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+        let mut h1 = 0xCBF29CE484222325u64;
+        let mut h2 = 0x84222325CBF29CE4u64;
+        for &b in data {
+            h1 = (h1 ^ b as u64).wrapping_mul(0x100000001B3);
+            h2 = (h2 ^ (b.rotate_left(3)) as u64).wrapping_mul(0x100000001B3);
+        }
+        NodeId(((finalize(h1) as u128) << 64) | finalize(h2) as u128)
+    }
+
+    /// XOR distance to `other`.
+    pub fn distance(self, other: NodeId) -> NodeId {
+        NodeId(self.0 ^ other.0)
+    }
+
+    /// The k-bucket index for a peer at XOR distance `self ⊕ other`:
+    /// `127 − leading_zeros`, i.e. the position of the highest differing
+    /// bit. Returns `None` for the distance to itself.
+    pub fn bucket_index(self, other: NodeId) -> Option<usize> {
+        let d = self.0 ^ other.0;
+        if d == 0 {
+            None
+        } else {
+            Some(127 - d.leading_zeros() as usize)
+        }
+    }
+
+    /// A random id inside bucket `bucket` of `self` (differing first at bit
+    /// `bucket`), used for bucket-refresh lookups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket >= 128`.
+    pub fn random_in_bucket<R: Rng + ?Sized>(self, bucket: usize, rng: &mut R) -> NodeId {
+        assert!(bucket < Self::BITS, "bucket out of range");
+        let flip = 1u128 << bucket;
+        let low_mask = flip - 1;
+        let random_low: u128 = rng.gen::<u128>() & low_mask;
+        NodeId((self.0 & !(low_mask | flip)) | flip ^ (self.0 & flip) | random_low)
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn distance_is_xor() {
+        let a = NodeId::from_u128(0xF0);
+        let b = NodeId::from_u128(0x0F);
+        assert_eq!(a.distance(b), NodeId::from_u128(0xFF));
+        assert_eq!(a.distance(a), NodeId::from_u128(0));
+        // Symmetry.
+        assert_eq!(a.distance(b), b.distance(a));
+    }
+
+    #[test]
+    fn bucket_index_is_highest_differing_bit() {
+        let a = NodeId::from_u128(0);
+        assert_eq!(a.bucket_index(NodeId::from_u128(1)), Some(0));
+        assert_eq!(a.bucket_index(NodeId::from_u128(0b100)), Some(2));
+        assert_eq!(a.bucket_index(NodeId::from_u128(1 << 127)), Some(127));
+        assert_eq!(a.bucket_index(a), None);
+    }
+
+    #[test]
+    fn random_in_bucket_lands_in_bucket() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let me = NodeId::random(&mut rng);
+        for bucket in [0usize, 5, 64, 127] {
+            for _ in 0..20 {
+                let id = me.random_in_bucket(bucket, &mut rng);
+                assert_eq!(me.bucket_index(id), Some(bucket), "bucket {bucket}");
+            }
+        }
+    }
+
+    #[test]
+    fn hash_of_is_deterministic_and_spread() {
+        let a = NodeId::hash_of(b"storm-day-0-slot-3");
+        let b = NodeId::hash_of(b"storm-day-0-slot-3");
+        let c = NodeId::hash_of(b"storm-day-0-slot-4");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // High bits actually vary across inputs.
+        let ids: Vec<u128> = (0..64).map(|i| NodeId::hash_of(format!("k{i}").as_bytes()).as_u128()).collect();
+        let high_bits: std::collections::HashSet<u8> = ids.iter().map(|v| (v >> 120) as u8).collect();
+        assert!(high_bits.len() > 16);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(NodeId::from_u128(0xAB).to_string().len(), 32);
+        assert!(NodeId::from_u128(0xAB).to_string().ends_with("ab"));
+    }
+}

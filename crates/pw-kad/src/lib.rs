@@ -1,0 +1,60 @@
+//! A message-level Kademlia/Overnet DHT substrate.
+//!
+//! Storm — the paper's primary Plotter — ran its command-and-control over
+//! the Overnet network, "whose distributed hash table implementation is
+//! incorporated in both eDonkey and BitTorrent file-sharing applications"
+//! (§I). To reproduce the paper's setting faithfully, both the eMule Kad
+//! traders and the Storm bots in this workspace participate in *real*
+//! Kademlia overlays simulated by this crate:
+//!
+//! - [`NodeId`]: 128-bit identifiers under the XOR metric ([`id`]);
+//! - [`RoutingTable`]: k-buckets with least-recently-seen eviction
+//!   ([`routing`]);
+//! - [`wire`]: per-application wire codecs (eMule Kad framing, Overnet
+//!   framing, Mainline-DHT bencoding) producing the payload prefixes Argus
+//!   captures;
+//! - [`KadSim`]: the network itself — nodes join/leave, messages travel with
+//!   latency, unresponsive (NAT'd/departed) peers yield failed UDP flows,
+//!   and iterative α-parallel lookups, publishes, and searches run as real
+//!   message exchanges ([`sim`], [`lookup`]).
+//!
+//! Every message a node sends is also emitted as a [`pw_flow::Packet`], so
+//! the Argus aggregator observes DHT control traffic exactly as a border
+//! monitor would.
+//!
+//! # Examples
+//!
+//! ```
+//! use pw_kad::{KadConfig, KadEvent, KadSim, NodeId, WireKind};
+//! use pw_netsim::{Engine, SimTime};
+//! use std::net::Ipv4Addr;
+//!
+//! let mut sim = KadSim::new(KadConfig::default(), 7);
+//! let mut engine: Engine<KadEvent> = Engine::new();
+//! let mut packets: Vec<pw_flow::Packet> = Vec::new();
+//!
+//! // A two-node overlay: one pings the other.
+//! let a = sim.add_node(NodeId::from_u128(1), Ipv4Addr::new(10, 1, 0, 1), 4672, WireKind::EmuleKad);
+//! let b = sim.add_node(NodeId::from_u128(2), Ipv4Addr::new(81, 5, 5, 5), 4672, WireKind::EmuleKad);
+//! sim.set_online(a, true);
+//! sim.set_online(b, true);
+//! sim.ping(&mut engine, &mut packets, a, b);
+//! engine.run_until(SimTime::from_secs(10), |eng, ev| sim.handle(eng, &mut packets, ev));
+//! assert!(packets.len() >= 2); // request and reply on the wire
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod id;
+pub mod lookup;
+pub mod messages;
+pub mod routing;
+pub mod sim;
+pub mod wire;
+
+pub use id::NodeId;
+pub use messages::{Message, MessageKind};
+pub use routing::{Contact, RoutingTable};
+pub use sim::{KadConfig, KadEvent, KadSim, LookupGoal, NodeHandle};
+pub use wire::WireKind;

@@ -1,0 +1,313 @@
+//! The iterative (α-parallel) lookup state machine.
+//!
+//! A lookup keeps a shortlist of the closest known contacts to a target id,
+//! keeps up to α queries in flight, folds every `FOUND_NODES` reply back
+//! into the shortlist, and converges when the `k` closest entries have all
+//! responded and nothing closer remains to ask.
+
+use crate::id::NodeId;
+use crate::routing::Contact;
+
+/// Why a lookup is being run; decides the terminal RPC burst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupGoal {
+    /// Pure node lookup (bootstrap, bucket refresh).
+    FindNode,
+    /// Locate the k closest nodes, then `PUBLISH` a key on them.
+    Publish,
+    /// Locate the k closest nodes, then `SEARCH` the key on them.
+    Search,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CandState {
+    Unqueried,
+    InFlight,
+    Responded,
+    Failed,
+}
+
+#[derive(Debug, Clone)]
+struct Candidate {
+    contact: Contact,
+    state: CandState,
+}
+
+/// State of one iterative lookup.
+#[derive(Debug, Clone)]
+pub struct LookupState {
+    target: NodeId,
+    goal: LookupGoal,
+    alpha: usize,
+    k: usize,
+    shortlist: Vec<Candidate>,
+    in_flight: usize,
+    terminal_started: bool,
+}
+
+impl LookupState {
+    /// Starts a lookup for `target` seeded with `seeds` (typically the k
+    /// closest contacts from the local routing table).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` or `k` is zero.
+    pub fn new(target: NodeId, goal: LookupGoal, seeds: Vec<Contact>, alpha: usize, k: usize) -> Self {
+        assert!(alpha > 0 && k > 0, "alpha and k must be positive");
+        let mut state = LookupState {
+            target,
+            goal,
+            alpha,
+            k,
+            shortlist: Vec::new(),
+            in_flight: 0,
+            terminal_started: false,
+        };
+        for c in seeds {
+            state.add_candidate(c);
+        }
+        state
+    }
+
+    /// The lookup target.
+    pub fn target(&self) -> NodeId {
+        self.target
+    }
+
+    /// The lookup goal.
+    pub fn goal(&self) -> LookupGoal {
+        self.goal
+    }
+
+    /// Whether the terminal phase (publish/search burst) has been started.
+    pub fn terminal_started(&self) -> bool {
+        self.terminal_started
+    }
+
+    /// Marks the terminal phase started; returns `false` if it already was
+    /// (so callers send the burst exactly once).
+    pub fn start_terminal(&mut self) -> bool {
+        !std::mem::replace(&mut self.terminal_started, true)
+    }
+
+    fn add_candidate(&mut self, c: Contact) {
+        if self.shortlist.iter().any(|x| x.contact.id == c.id) {
+            return;
+        }
+        self.shortlist.push(Candidate { contact: c, state: CandState::Unqueried });
+        let target = self.target;
+        self.shortlist.sort_by_key(|x| x.contact.id.distance(target));
+        // Bound the shortlist: anything far beyond the k-th responded entry
+        // can never matter. Keep a generous multiple to stay faithful.
+        let cap = (self.k * 5).max(32);
+        self.shortlist.truncate(cap);
+    }
+
+    /// Contacts to query now, respecting the α parallelism limit. Marks
+    /// them in-flight.
+    pub fn next_queries(&mut self) -> Vec<Contact> {
+        let mut out = Vec::new();
+        // Only the k closest *viable* candidates are worth querying.
+        let mut considered = 0;
+        for cand in self.shortlist.iter_mut() {
+            if self.in_flight + out.len() >= self.alpha {
+                break;
+            }
+            match cand.state {
+                CandState::Failed => continue,
+                CandState::Responded | CandState::InFlight => {
+                    considered += 1;
+                    if considered >= self.k {
+                        break;
+                    }
+                }
+                CandState::Unqueried => {
+                    considered += 1;
+                    cand.state = CandState::InFlight;
+                    out.push(cand.contact);
+                    if considered >= self.k {
+                        break;
+                    }
+                }
+            }
+        }
+        self.in_flight += out.len();
+        out
+    }
+
+    /// Folds a `FOUND_NODES` reply from `from` into the shortlist.
+    pub fn on_response(&mut self, from: NodeId, new_contacts: &[Contact]) {
+        if let Some(c) = self.shortlist.iter_mut().find(|c| c.contact.id == from) {
+            if c.state == CandState::InFlight {
+                self.in_flight -= 1;
+            }
+            c.state = CandState::Responded;
+        }
+        for &c in new_contacts {
+            self.add_candidate(c);
+        }
+    }
+
+    /// Records an RPC failure (timeout) for `from`.
+    pub fn on_failure(&mut self, from: NodeId) {
+        if let Some(c) = self.shortlist.iter_mut().find(|c| c.contact.id == from) {
+            if c.state == CandState::InFlight {
+                self.in_flight -= 1;
+            }
+            c.state = CandState::Failed;
+        }
+    }
+
+    /// Whether the iterative phase has converged: nothing in flight and the
+    /// k closest non-failed candidates have all responded (or nothing is
+    /// left to ask).
+    pub fn is_converged(&self) -> bool {
+        if self.in_flight > 0 {
+            return false;
+        }
+        let mut seen = 0;
+        for cand in &self.shortlist {
+            if cand.state == CandState::Failed {
+                continue;
+            }
+            if cand.state != CandState::Responded {
+                return false; // an unqueried/in-flight candidate among top k
+            }
+            seen += 1;
+            if seen >= self.k {
+                break;
+            }
+        }
+        true
+    }
+
+    /// The up-to-`n` closest responded contacts (the lookup result).
+    pub fn closest_responded(&self, n: usize) -> Vec<Contact> {
+        self.shortlist
+            .iter()
+            .filter(|c| c.state == CandState::Responded)
+            .take(n)
+            .map(|c| c.contact)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::NodeHandle;
+    use std::net::Ipv4Addr;
+
+    fn contact(v: u128) -> Contact {
+        Contact {
+            id: NodeId::from_u128(v),
+            ip: Ipv4Addr::new(1, 1, 1, 1),
+            port: 4672,
+            handle: NodeHandle::from_index(v as usize),
+        }
+    }
+
+    #[test]
+    fn queries_respect_alpha() {
+        let seeds = (1..10).map(contact).collect();
+        let mut l = LookupState::new(NodeId::from_u128(0), LookupGoal::FindNode, seeds, 3, 8);
+        assert_eq!(l.next_queries().len(), 3);
+        assert_eq!(l.next_queries().len(), 0); // all three still in flight
+    }
+
+    #[test]
+    fn queries_go_closest_first() {
+        let seeds = vec![contact(100), contact(2), contact(50)];
+        let mut l = LookupState::new(NodeId::from_u128(0), LookupGoal::FindNode, seeds, 1, 8);
+        let q = l.next_queries();
+        assert_eq!(q[0].id, NodeId::from_u128(2));
+    }
+
+    #[test]
+    fn response_releases_slot_and_adds_contacts() {
+        let mut l = LookupState::new(NodeId::from_u128(0), LookupGoal::FindNode, vec![contact(4)], 1, 8);
+        let q = l.next_queries();
+        assert_eq!(q.len(), 1);
+        l.on_response(NodeId::from_u128(4), &[contact(1), contact(2)]);
+        let q2 = l.next_queries();
+        assert_eq!(q2.len(), 1);
+        assert_eq!(q2[0].id, NodeId::from_u128(1)); // closer than 2
+    }
+
+    #[test]
+    fn converges_when_k_closest_responded() {
+        let mut l = LookupState::new(
+            NodeId::from_u128(0),
+            LookupGoal::FindNode,
+            vec![contact(1), contact(2), contact(3)],
+            3,
+            2,
+        );
+        assert!(!l.is_converged());
+        let q = l.next_queries();
+        assert_eq!(q.len(), 2); // only k=2 worth querying at alpha=3
+        l.on_response(NodeId::from_u128(1), &[]);
+        assert!(!l.is_converged());
+        l.on_response(NodeId::from_u128(2), &[]);
+        assert!(l.is_converged());
+        assert_eq!(l.closest_responded(8).len(), 2);
+    }
+
+    #[test]
+    fn failures_are_skipped() {
+        let mut l = LookupState::new(
+            NodeId::from_u128(0),
+            LookupGoal::Search,
+            vec![contact(1), contact(2)],
+            2,
+            2,
+        );
+        let _ = l.next_queries();
+        l.on_failure(NodeId::from_u128(1));
+        l.on_response(NodeId::from_u128(2), &[]);
+        assert!(l.is_converged());
+        let res = l.closest_responded(8);
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].id, NodeId::from_u128(2));
+    }
+
+    #[test]
+    fn all_failed_converges_empty() {
+        let mut l = LookupState::new(
+            NodeId::from_u128(0),
+            LookupGoal::FindNode,
+            vec![contact(1), contact(2)],
+            2,
+            2,
+        );
+        let _ = l.next_queries();
+        l.on_failure(NodeId::from_u128(1));
+        l.on_failure(NodeId::from_u128(2));
+        assert!(l.is_converged());
+        assert!(l.closest_responded(8).is_empty());
+    }
+
+    #[test]
+    fn duplicate_contacts_ignored() {
+        let mut l = LookupState::new(
+            NodeId::from_u128(0),
+            LookupGoal::FindNode,
+            vec![contact(5)],
+            3,
+            8,
+        );
+        let _ = l.next_queries();
+        l.on_response(NodeId::from_u128(5), &[contact(5), contact(5), contact(6)]);
+        // 5 responded + 6 unqueried: only one new query possible.
+        assert_eq!(l.next_queries().len(), 1);
+    }
+
+    #[test]
+    fn terminal_starts_once() {
+        let mut l = LookupState::new(NodeId::from_u128(0), LookupGoal::Publish, vec![contact(1)], 1, 1);
+        assert!(!l.terminal_started());
+        assert!(l.start_terminal());
+        assert!(!l.start_terminal());
+        assert!(l.terminal_started());
+    }
+}

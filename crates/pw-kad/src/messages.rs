@@ -1,0 +1,97 @@
+//! DHT message types exchanged between simulated nodes.
+
+use crate::id::NodeId;
+use crate::routing::Contact;
+use crate::sim::NodeHandle;
+
+/// The RPC kinds of the Kademlia protocol family (Overnet and eMule Kad use
+/// the same four verbs under different opcodes; Mainline DHT calls them
+/// `ping` / `find_node` / `announce_peer` / `get_peers`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MessageKind {
+    /// Liveness probe.
+    Ping,
+    /// Reply to [`MessageKind::Ping`].
+    Pong,
+    /// Request for the `k` contacts closest to a target id.
+    FindNode(NodeId),
+    /// Reply carrying closest contacts.
+    FoundNodes(Vec<Contact>),
+    /// Store a (key → publisher) binding at the receiver.
+    Publish(NodeId),
+    /// Acknowledgement of a publish.
+    PublishOk,
+    /// Query for values published under a key.
+    Search(NodeId),
+    /// Reply to a search: publishers known for the key.
+    SearchResults(Vec<Contact>),
+}
+
+impl MessageKind {
+    /// Whether this kind is a request that expects a reply.
+    pub fn expects_reply(&self) -> bool {
+        matches!(
+            self,
+            MessageKind::Ping
+                | MessageKind::FindNode(_)
+                | MessageKind::Publish(_)
+                | MessageKind::Search(_)
+        )
+    }
+
+    /// Approximate application-payload size on the wire, in bytes.
+    pub fn wire_size(&self) -> u64 {
+        match self {
+            MessageKind::Ping => 27,
+            MessageKind::Pong => 29,
+            MessageKind::FindNode(_) => 35,
+            MessageKind::FoundNodes(cs) => 27 + 25 * cs.len() as u64,
+            MessageKind::Publish(_) => 71,
+            MessageKind::PublishOk => 27,
+            MessageKind::Search(_) => 35,
+            MessageKind::SearchResults(cs) => 27 + 25 * cs.len() as u64,
+        }
+    }
+}
+
+/// A message in flight between two nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Sender handle.
+    pub from: NodeHandle,
+    /// Transaction id correlating requests with replies.
+    pub txid: u64,
+    /// RPC content.
+    pub kind: MessageKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_reply_classification() {
+        assert!(MessageKind::Ping.expects_reply());
+        assert!(MessageKind::FindNode(NodeId::from_u128(1)).expects_reply());
+        assert!(MessageKind::Publish(NodeId::from_u128(1)).expects_reply());
+        assert!(MessageKind::Search(NodeId::from_u128(1)).expects_reply());
+        assert!(!MessageKind::Pong.expects_reply());
+        assert!(!MessageKind::FoundNodes(vec![]).expects_reply());
+        assert!(!MessageKind::PublishOk.expects_reply());
+        assert!(!MessageKind::SearchResults(vec![]).expects_reply());
+    }
+
+    #[test]
+    fn wire_sizes_scale_with_contacts() {
+        let empty = MessageKind::FoundNodes(vec![]).wire_size();
+        let one = MessageKind::FoundNodes(vec![crate::routing::Contact {
+            id: NodeId::from_u128(1),
+            ip: std::net::Ipv4Addr::new(1, 1, 1, 1),
+            port: 1,
+            handle: NodeHandle::from_index(0),
+        }])
+        .wire_size();
+        assert_eq!(one - empty, 25);
+        assert!(MessageKind::Ping.wire_size() < MessageKind::Publish(NodeId::from_u128(1)).wire_size());
+    }
+}

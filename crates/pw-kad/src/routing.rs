@@ -1,0 +1,231 @@
+//! K-bucket routing tables.
+
+use std::net::Ipv4Addr;
+
+use crate::id::NodeId;
+
+/// Addressing information for a peer, as carried in FIND_NODE replies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Contact {
+    /// The peer's DHT identifier.
+    pub id: NodeId,
+    /// The peer's IP address.
+    pub ip: Ipv4Addr,
+    /// The peer's UDP port.
+    pub port: u16,
+    /// Simulator handle of the peer (dense index into [`crate::KadSim`]).
+    pub handle: crate::sim::NodeHandle,
+}
+
+/// One k-bucket: up to `k` contacts ordered least-recently-seen first.
+#[derive(Debug, Clone, Default)]
+struct Bucket {
+    entries: Vec<Contact>,
+}
+
+/// A Kademlia routing table: 128 k-buckets keyed by the highest differing
+/// bit between the owner's id and the contact's id.
+///
+/// Eviction follows the classic least-recently-seen policy, simplified for
+/// simulation: when a bucket is full, the stalest entry is replaced (real
+/// clients first ping the stalest entry; our callers ping peers constantly
+/// anyway, so liveness information is already reflected by
+/// [`RoutingTable::remove`] calls on RPC timeouts).
+///
+/// # Examples
+///
+/// ```
+/// use pw_kad::{NodeId, RoutingTable};
+/// # use pw_kad::Contact;
+/// # use std::net::Ipv4Addr;
+///
+/// let mut table = RoutingTable::new(NodeId::from_u128(0), 8);
+/// # let contact = |v: u128| Contact {
+/// #     id: NodeId::from_u128(v), ip: Ipv4Addr::new(1, 2, 3, 4), port: 4672,
+/// #     handle: pw_kad::NodeHandle::from_index(v as usize),
+/// # };
+/// table.update(contact(5));
+/// table.update(contact(9));
+/// let closest = table.closest(NodeId::from_u128(4), 1);
+/// assert_eq!(closest[0].id, NodeId::from_u128(5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    me: NodeId,
+    k: usize,
+    buckets: Vec<Bucket>,
+}
+
+impl RoutingTable {
+    /// Creates an empty table for a node with id `me` and bucket size `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(me: NodeId, k: usize) -> Self {
+        assert!(k > 0, "bucket size must be positive");
+        Self { me, k, buckets: vec![Bucket::default(); NodeId::BITS] }
+    }
+
+    /// The owner's id.
+    pub fn owner(&self) -> NodeId {
+        self.me
+    }
+
+    /// Total number of contacts stored.
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(|b| b.entries.len()).sum()
+    }
+
+    /// Whether the table holds no contacts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records that `contact` was seen just now: inserts it, refreshes its
+    /// recency, or displaces the stalest entry of a full bucket.
+    ///
+    /// The owner's own id is never stored.
+    pub fn update(&mut self, contact: Contact) {
+        let Some(idx) = self.me.bucket_index(contact.id) else {
+            return; // own id
+        };
+        let bucket = &mut self.buckets[idx];
+        if let Some(pos) = bucket.entries.iter().position(|c| c.id == contact.id) {
+            // Move to most-recently-seen end, refresh address info.
+            bucket.entries.remove(pos);
+            bucket.entries.push(contact);
+            return;
+        }
+        if bucket.entries.len() >= self.k {
+            bucket.entries.remove(0); // stalest
+        }
+        bucket.entries.push(contact);
+    }
+
+    /// Removes a contact (typically after an RPC timeout).
+    pub fn remove(&mut self, id: NodeId) {
+        if let Some(idx) = self.me.bucket_index(id) {
+            self.buckets[idx].entries.retain(|c| c.id != id);
+        }
+    }
+
+    /// Whether `id` is currently stored.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.me
+            .bucket_index(id)
+            .map(|idx| self.buckets[idx].entries.iter().any(|c| c.id == id))
+            .unwrap_or(false)
+    }
+
+    /// The up-to-`count` stored contacts closest to `target` in XOR
+    /// distance, closest first.
+    pub fn closest(&self, target: NodeId, count: usize) -> Vec<Contact> {
+        let mut all: Vec<Contact> = self.buckets.iter().flat_map(|b| b.entries.iter().copied()).collect();
+        all.sort_by_key(|c| c.id.distance(target));
+        all.truncate(count);
+        all
+    }
+
+    /// Iterates over every stored contact (bucket order).
+    pub fn iter(&self) -> impl Iterator<Item = &Contact> {
+        self.buckets.iter().flat_map(|b| b.entries.iter())
+    }
+
+    /// Indices of buckets that are non-empty (candidates for refresh).
+    pub fn occupied_buckets(&self) -> Vec<usize> {
+        (0..self.buckets.len()).filter(|&i| !self.buckets[i].entries.is_empty()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::NodeHandle;
+
+    fn contact(v: u128) -> Contact {
+        Contact {
+            id: NodeId::from_u128(v),
+            ip: Ipv4Addr::new(1, 2, 3, 4),
+            port: 4672,
+            handle: NodeHandle::from_index(v as usize),
+        }
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut t = RoutingTable::new(NodeId::from_u128(0), 4);
+        assert!(t.is_empty());
+        t.update(contact(7));
+        assert!(t.contains(NodeId::from_u128(7)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn own_id_never_stored() {
+        let mut t = RoutingTable::new(NodeId::from_u128(42), 4);
+        t.update(contact(42));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn duplicate_update_refreshes_not_duplicates() {
+        let mut t = RoutingTable::new(NodeId::from_u128(0), 4);
+        t.update(contact(7));
+        t.update(contact(7));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn full_bucket_evicts_stalest() {
+        let me = NodeId::from_u128(0);
+        let mut t = RoutingTable::new(me, 2);
+        // All of 4,5,6,7 share bucket 2 relative to id 0.
+        t.update(contact(4));
+        t.update(contact(5));
+        t.update(contact(6)); // evicts 4 (stalest)
+        assert!(!t.contains(NodeId::from_u128(4)));
+        assert!(t.contains(NodeId::from_u128(5)));
+        assert!(t.contains(NodeId::from_u128(6)));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn recency_refresh_protects_from_eviction() {
+        let mut t = RoutingTable::new(NodeId::from_u128(0), 2);
+        t.update(contact(4));
+        t.update(contact(5));
+        t.update(contact(4)); // 4 becomes freshest
+        t.update(contact(6)); // evicts 5
+        assert!(t.contains(NodeId::from_u128(4)));
+        assert!(!t.contains(NodeId::from_u128(5)));
+    }
+
+    #[test]
+    fn closest_orders_by_xor_distance() {
+        let mut t = RoutingTable::new(NodeId::from_u128(0), 8);
+        for v in [1u128, 2, 3, 8, 9, 200, 1000] {
+            t.update(contact(v));
+        }
+        let c = t.closest(NodeId::from_u128(10), 3);
+        let ids: Vec<u128> = c.iter().map(|c| c.id.as_u128()).collect();
+        assert_eq!(ids, vec![8, 9, 2]); // 10^8=2, 10^9=3, 10^2=8
+    }
+
+    #[test]
+    fn remove_deletes() {
+        let mut t = RoutingTable::new(NodeId::from_u128(0), 4);
+        t.update(contact(9));
+        t.remove(NodeId::from_u128(9));
+        assert!(!t.contains(NodeId::from_u128(9)));
+    }
+
+    #[test]
+    fn buckets_partition_by_prefix() {
+        let mut t = RoutingTable::new(NodeId::from_u128(0), 20);
+        t.update(contact(1)); // bucket 0
+        t.update(contact(2)); // bucket 1
+        t.update(contact(1 << 100)); // bucket 100
+        assert_eq!(t.occupied_buckets(), vec![0, 1, 100]);
+    }
+}

@@ -1,0 +1,699 @@
+//! The DHT network simulation: nodes, message delivery, failures, lookups.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use pw_flow::{Packet, PacketSink, Proto, TcpFlags};
+use pw_netsim::{rng, Engine, SimDuration, SimTime};
+
+use crate::id::NodeId;
+use crate::lookup::LookupState;
+pub use crate::lookup::LookupGoal;
+use crate::messages::{Message, MessageKind};
+use crate::routing::{Contact, RoutingTable};
+use crate::wire::WireKind;
+
+/// IPv4+UDP header overhead per datagram.
+const UDP_HDR: u64 = 28;
+
+/// Dense handle of a node inside a [`KadSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeHandle(usize);
+
+impl NodeHandle {
+    /// Builds a handle from a raw index (for tests and table fixtures).
+    pub fn from_index(i: usize) -> Self {
+        NodeHandle(i)
+    }
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Tuning parameters of the overlay simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KadConfig {
+    /// Bucket size / lookup result width.
+    pub k: usize,
+    /// Lookup parallelism.
+    pub alpha: usize,
+    /// How long a requester waits before declaring an RPC failed.
+    pub rpc_timeout: SimDuration,
+    /// Uniform one-way latency range, in milliseconds.
+    pub latency_ms: (u64, u64),
+    /// How many of the closest responded nodes receive the terminal
+    /// publish/search burst.
+    pub replicas: usize,
+}
+
+impl Default for KadConfig {
+    fn default() -> Self {
+        Self {
+            k: 8,
+            alpha: 3,
+            rpc_timeout: SimDuration::from_secs(2),
+            latency_ms: (25, 150),
+            replicas: 4,
+        }
+    }
+}
+
+/// Events the owner's engine must route back into [`KadSim::handle`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KadEvent {
+    /// A message arriving at a node.
+    Deliver {
+        /// Receiving node.
+        to: NodeHandle,
+        /// The message.
+        msg: Message,
+    },
+    /// An RPC timeout firing at the requester.
+    Timeout {
+        /// The node that sent the request.
+        at: NodeHandle,
+        /// Transaction whose reply is overdue.
+        txid: u64,
+    },
+}
+
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+/// Per-node counters, useful for tests and calibration.
+pub struct NodeStats {
+    /// Requests sent.
+    pub rpcs_sent: u64,
+    /// Requests that timed out.
+    pub rpcs_failed: u64,
+    /// Lookups whose iterative phase completed.
+    pub lookups_completed: u64,
+}
+
+#[derive(Debug)]
+struct PendingRpc {
+    peer_id: NodeId,
+    lookup: Option<u64>,
+}
+
+#[derive(Debug)]
+struct Node {
+    id: NodeId,
+    ip: Ipv4Addr,
+    port: u16,
+    wire: WireKind,
+    online: bool,
+    responsive: bool,
+    table: RoutingTable,
+    store: HashMap<NodeId, Vec<Contact>>,
+    pending: HashMap<u64, PendingRpc>,
+    lookups: HashMap<u64, LookupState>,
+    search_hits: Vec<(NodeId, Vec<Contact>)>,
+    stats: NodeStats,
+}
+
+/// A simulated Kademlia overlay.
+///
+/// The owner drives it with a [`pw_netsim::Engine`] whose message type can
+/// carry [`KadEvent`]s; every wire message is also emitted to a
+/// [`PacketSink`] so Argus sees the traffic.
+#[derive(Debug)]
+pub struct KadSim {
+    cfg: KadConfig,
+    nodes: Vec<Node>,
+    next_txid: u64,
+    next_lookup: u64,
+    rng: StdRng,
+}
+
+impl KadSim {
+    /// Creates an empty overlay with the given configuration and RNG seed.
+    pub fn new(cfg: KadConfig, seed: u64) -> Self {
+        assert!(cfg.k > 0 && cfg.alpha > 0 && cfg.replicas > 0, "invalid kad config");
+        Self {
+            cfg,
+            nodes: Vec::new(),
+            next_txid: 0,
+            next_lookup: 0,
+            rng: rng::derive(seed, "kad-sim"),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &KadConfig {
+        &self.cfg
+    }
+
+    /// Number of nodes (online or not).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the overlay has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a node (initially offline and responsive).
+    pub fn add_node(&mut self, id: NodeId, ip: Ipv4Addr, port: u16, wire: WireKind) -> NodeHandle {
+        let h = NodeHandle(self.nodes.len());
+        self.nodes.push(Node {
+            id,
+            ip,
+            port,
+            wire,
+            online: false,
+            responsive: true,
+            table: RoutingTable::new(id, self.cfg.k),
+            store: HashMap::new(),
+            pending: HashMap::new(),
+            lookups: HashMap::new(),
+            search_hits: Vec::new(),
+            stats: NodeStats::default(),
+        });
+        h
+    }
+
+    /// The full contact record of a node.
+    pub fn contact_of(&self, h: NodeHandle) -> Contact {
+        let n = &self.nodes[h.0];
+        Contact { id: n.id, ip: n.ip, port: n.port, handle: h }
+    }
+
+    /// The node's DHT id.
+    pub fn id_of(&self, h: NodeHandle) -> NodeId {
+        self.nodes[h.0].id
+    }
+
+    /// Whether the node is currently online.
+    pub fn is_online(&self, h: NodeHandle) -> bool {
+        self.nodes[h.0].online
+    }
+
+    /// Brings a node online or takes it offline. Offline nodes drop
+    /// incoming messages (the sender times out) and answer nothing.
+    pub fn set_online(&mut self, h: NodeHandle, online: bool) {
+        self.nodes[h.0].online = online;
+        if !online {
+            // Forget in-progress work; a rejoining peer starts fresh.
+            let n = &mut self.nodes[h.0];
+            n.pending.clear();
+            n.lookups.clear();
+        }
+    }
+
+    /// Marks a node unresponsive (models NAT'd or firewalled peers that
+    /// appear in routing tables but never answer).
+    pub fn set_responsive(&mut self, h: NodeHandle, responsive: bool) {
+        self.nodes[h.0].responsive = responsive;
+    }
+
+    /// Seeds a node's routing table with known contacts (its cached peer
+    /// file — `nodes.dat` in eMule, the hard-coded peer list in Storm).
+    pub fn bootstrap(&mut self, h: NodeHandle, contacts: &[NodeHandle]) {
+        for &c in contacts {
+            if c != h {
+                let contact = self.contact_of(c);
+                self.nodes[h.0].table.update(contact);
+            }
+        }
+    }
+
+    /// Number of routing-table entries a node currently has.
+    pub fn table_len(&self, h: NodeHandle) -> usize {
+        self.nodes[h.0].table.len()
+    }
+
+    /// The node's statistics counters.
+    pub fn stats(&self, h: NodeHandle) -> NodeStats {
+        self.nodes[h.0].stats
+    }
+
+    /// The peers currently in a node's routing table.
+    pub fn table_contacts(&self, h: NodeHandle) -> Vec<Contact> {
+        self.nodes[h.0].table.iter().copied().collect()
+    }
+
+    /// Drains search results accumulated at a node (key, publishers found).
+    /// This is how Storm retrieves its rendezvous information.
+    pub fn take_search_hits(&mut self, h: NodeHandle) -> Vec<(NodeId, Vec<Contact>)> {
+        std::mem::take(&mut self.nodes[h.0].search_hits)
+    }
+
+    fn latency(&mut self) -> SimDuration {
+        let (lo, hi) = self.cfg.latency_ms;
+        SimDuration::from_millis(self.rng.gen_range(lo..=hi))
+    }
+
+    fn emit_packet<S: PacketSink>(
+        &mut self,
+        sink: &mut S,
+        at: SimTime,
+        from: NodeHandle,
+        to: NodeHandle,
+        kind: &MessageKind,
+    ) {
+        let f = &self.nodes[from.0];
+        let t = &self.nodes[to.0];
+        let payload = f.wire.payload(kind);
+        sink.emit(Packet {
+            time: at,
+            src: f.ip,
+            dst: t.ip,
+            sport: f.port,
+            dport: t.port,
+            proto: Proto::Udp,
+            pkts: 1,
+            bytes: kind.wire_size() + UDP_HDR,
+            flags: TcpFlags::NONE,
+            payload,
+        });
+    }
+
+    fn send_rpc<M: From<KadEvent>, S: PacketSink>(
+        &mut self,
+        engine: &mut Engine<M>,
+        sink: &mut S,
+        from: NodeHandle,
+        to: NodeHandle,
+        kind: MessageKind,
+        lookup: Option<u64>,
+    ) {
+        let txid = self.next_txid;
+        self.next_txid += 1;
+        let now = engine.now();
+        self.emit_packet(sink, now, from, to, &kind);
+        self.nodes[from.0].stats.rpcs_sent += 1;
+
+        let deliverable = self.nodes[to.0].online && self.nodes[to.0].responsive;
+        let expects_reply = kind.expects_reply();
+        if deliverable {
+            let latency = self.latency();
+            engine.schedule_after(
+                latency,
+                M::from(KadEvent::Deliver { to, msg: Message { from, txid, kind } }),
+            );
+        } else if expects_reply {
+            // Dead peer: a real client retransmits once before giving up.
+            let retry = now + SimDuration::from_millis(700);
+            self.emit_packet_retry(sink, retry, from, to, &kind);
+        }
+        if expects_reply {
+            let peer_id = self.nodes[to.0].id;
+            self.nodes[from.0]
+                .pending
+                .insert(txid, PendingRpc { peer_id, lookup });
+            engine.schedule_after(self.cfg.rpc_timeout, M::from(KadEvent::Timeout { at: from, txid }));
+        }
+    }
+
+    fn emit_packet_retry<S: PacketSink>(
+        &mut self,
+        sink: &mut S,
+        at: SimTime,
+        from: NodeHandle,
+        to: NodeHandle,
+        kind: &MessageKind,
+    ) {
+        self.emit_packet(sink, at, from, to, kind);
+    }
+
+    /// Sends a liveness ping from `from` to `to`.
+    pub fn ping<M: From<KadEvent>, S: PacketSink>(
+        &mut self,
+        engine: &mut Engine<M>,
+        sink: &mut S,
+        from: NodeHandle,
+        to: NodeHandle,
+    ) {
+        self.send_rpc(engine, sink, from, to, MessageKind::Ping, None);
+    }
+
+    /// Starts an iterative lookup at `from` for `target`. Returns `false`
+    /// (doing nothing) if the node is offline or its routing table has no
+    /// seeds.
+    pub fn start_lookup<M: From<KadEvent>, S: PacketSink>(
+        &mut self,
+        engine: &mut Engine<M>,
+        sink: &mut S,
+        from: NodeHandle,
+        target: NodeId,
+        goal: LookupGoal,
+    ) -> bool {
+        if !self.nodes[from.0].online {
+            return false;
+        }
+        let seeds = self.nodes[from.0].table.closest(target, self.cfg.k);
+        if seeds.is_empty() {
+            return false;
+        }
+        let lookup_id = self.next_lookup;
+        self.next_lookup += 1;
+        let state = LookupState::new(target, goal, seeds, self.cfg.alpha, self.cfg.k);
+        self.nodes[from.0].lookups.insert(lookup_id, state);
+        self.advance_lookup(engine, sink, from, lookup_id);
+        true
+    }
+
+    fn advance_lookup<M: From<KadEvent>, S: PacketSink>(
+        &mut self,
+        engine: &mut Engine<M>,
+        sink: &mut S,
+        node: NodeHandle,
+        lookup_id: u64,
+    ) {
+        let Some(state) = self.nodes[node.0].lookups.get_mut(&lookup_id) else {
+            return;
+        };
+        let target = state.target();
+        let queries = state.next_queries();
+        for q in queries {
+            self.send_rpc(engine, sink, node, q.handle, MessageKind::FindNode(target), Some(lookup_id));
+        }
+        let Some(state) = self.nodes[node.0].lookups.get_mut(&lookup_id) else {
+            return;
+        };
+        if !state.is_converged() {
+            return;
+        }
+        let goal = state.goal();
+        let replicas = state.closest_responded(self.cfg.replicas);
+        let fresh_terminal = state.start_terminal();
+        match goal {
+            LookupGoal::FindNode => {
+                self.finish_lookup(node, lookup_id);
+            }
+            LookupGoal::Publish => {
+                if fresh_terminal {
+                    for r in &replicas {
+                        self.send_rpc(engine, sink, node, r.handle, MessageKind::Publish(target), None);
+                    }
+                }
+                self.finish_lookup(node, lookup_id);
+            }
+            LookupGoal::Search => {
+                if fresh_terminal {
+                    for r in &replicas {
+                        self.send_rpc(engine, sink, node, r.handle, MessageKind::Search(target), None);
+                    }
+                }
+                self.finish_lookup(node, lookup_id);
+            }
+        }
+    }
+
+    fn finish_lookup(&mut self, node: NodeHandle, lookup_id: u64) {
+        if self.nodes[node.0].lookups.remove(&lookup_id).is_some() {
+            self.nodes[node.0].stats.lookups_completed += 1;
+        }
+    }
+
+    /// Processes one [`KadEvent`]; the owner's engine handler must call this
+    /// for every Kad event it receives.
+    pub fn handle<M: From<KadEvent>, S: PacketSink>(
+        &mut self,
+        engine: &mut Engine<M>,
+        sink: &mut S,
+        event: KadEvent,
+    ) {
+        match event {
+            KadEvent::Deliver { to, msg } => self.deliver(engine, sink, to, msg),
+            KadEvent::Timeout { at, txid } => self.timeout(engine, sink, at, txid),
+        }
+    }
+
+    fn deliver<M: From<KadEvent>, S: PacketSink>(
+        &mut self,
+        engine: &mut Engine<M>,
+        sink: &mut S,
+        to: NodeHandle,
+        msg: Message,
+    ) {
+        if !self.nodes[to.0].online {
+            return; // dropped; the sender's timeout will fire
+        }
+        let sender_contact = self.contact_of(msg.from);
+        // Every inbound message refreshes the sender in our routing table.
+        self.nodes[to.0].table.update(sender_contact);
+
+        match msg.kind {
+            MessageKind::Ping => {
+                self.reply(engine, sink, to, msg.from, msg.txid, MessageKind::Pong);
+            }
+            MessageKind::FindNode(target) => {
+                let closest = self.nodes[to.0].table.closest(target, self.cfg.k);
+                self.reply(engine, sink, to, msg.from, msg.txid, MessageKind::FoundNodes(closest));
+            }
+            MessageKind::Publish(key) => {
+                self.nodes[to.0].store.entry(key).or_default().push(sender_contact);
+                self.reply(engine, sink, to, msg.from, msg.txid, MessageKind::PublishOk);
+            }
+            MessageKind::Search(key) => {
+                let hits = self.nodes[to.0].store.get(&key).cloned().unwrap_or_default();
+                self.reply(engine, sink, to, msg.from, msg.txid, MessageKind::SearchResults(hits));
+            }
+            MessageKind::Pong => {
+                self.resolve(engine, sink, to, msg.txid, &[]);
+            }
+            MessageKind::FoundNodes(contacts) => {
+                self.resolve(engine, sink, to, msg.txid, &contacts);
+            }
+            MessageKind::PublishOk => {
+                self.resolve(engine, sink, to, msg.txid, &[]);
+            }
+            MessageKind::SearchResults(hits) => {
+                if self.nodes[to.0].pending.remove(&msg.txid).is_some() && !hits.is_empty() {
+                    let n = &mut self.nodes[to.0];
+                    let own_id = n.id;
+                    n.search_hits.push((own_id, hits.clone()));
+                }
+            }
+        }
+    }
+
+    fn reply<M: From<KadEvent>, S: PacketSink>(
+        &mut self,
+        engine: &mut Engine<M>,
+        sink: &mut S,
+        from: NodeHandle,
+        to: NodeHandle,
+        txid: u64,
+        kind: MessageKind,
+    ) {
+        let now = engine.now();
+        self.emit_packet(sink, now, from, to, &kind);
+        let deliverable = self.nodes[to.0].online;
+        if deliverable {
+            let latency = self.latency();
+            engine.schedule_after(
+                latency,
+                M::from(KadEvent::Deliver { to, msg: Message { from, txid, kind } }),
+            );
+        }
+    }
+
+    fn resolve<M: From<KadEvent>, S: PacketSink>(
+        &mut self,
+        engine: &mut Engine<M>,
+        sink: &mut S,
+        at_node: NodeHandle,
+        txid: u64,
+        contacts: &[Contact],
+    ) {
+        let Some(pending) = self.nodes[at_node.0].pending.remove(&txid) else {
+            return; // late reply after timeout: ignore
+        };
+        if let Some(lookup_id) = pending.lookup {
+            if let Some(state) = self.nodes[at_node.0].lookups.get_mut(&lookup_id) {
+                state.on_response(pending.peer_id, contacts);
+            }
+            self.advance_lookup(engine, sink, at_node, lookup_id);
+        }
+    }
+
+    fn timeout<M: From<KadEvent>, S: PacketSink>(
+        &mut self,
+        engine: &mut Engine<M>,
+        sink: &mut S,
+        at_node: NodeHandle,
+        txid: u64,
+    ) {
+        let Some(pending) = self.nodes[at_node.0].pending.remove(&txid) else {
+            return; // already answered
+        };
+        let n = &mut self.nodes[at_node.0];
+        n.stats.rpcs_failed += 1;
+        n.table.remove(pending.peer_id);
+        if let Some(lookup_id) = pending.lookup {
+            if let Some(state) = n.lookups.get_mut(&lookup_id) {
+                state.on_failure(pending.peer_id);
+            }
+            self.advance_lookup(engine, sink, at_node, lookup_id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pw_flow::signatures::{classify_payload, P2pApp};
+
+    fn build_overlay(n: usize, wire: WireKind) -> (KadSim, Vec<NodeHandle>) {
+        let mut sim = KadSim::new(KadConfig::default(), 99);
+        let mut handles = Vec::new();
+        let mut rng = pw_netsim::rng::derive(5, "overlay-ids");
+        for i in 0..n {
+            let id = NodeId::random(&mut rng);
+            let ip = Ipv4Addr::new(81, 1, (i / 250) as u8, (i % 250) as u8 + 1);
+            let h = sim.add_node(id, ip, wire.default_port(), wire);
+            sim.set_online(h, true);
+            handles.push(h);
+        }
+        // Everyone knows a few others: ring + shortcut bootstrap.
+        for (i, &h) in handles.iter().enumerate() {
+            let mut seeds = Vec::new();
+            for d in 1..=3usize {
+                seeds.push(handles[(i + d) % n]);
+                seeds.push(handles[(i + d * 7) % n]);
+            }
+            sim.bootstrap(h, &seeds);
+        }
+        (sim, handles)
+    }
+
+    fn run(sim: &mut KadSim, engine: &mut Engine<KadEvent>, packets: &mut Vec<Packet>, until: SimTime) {
+        engine.run_until(until, |eng, ev| sim.handle(eng, packets, ev));
+    }
+
+    #[test]
+    fn ping_produces_request_and_reply_packets() {
+        let (mut sim, hs) = build_overlay(2, WireKind::EmuleKad);
+        let mut engine: Engine<KadEvent> = Engine::new();
+        let mut packets = Vec::new();
+        sim.ping(&mut engine, &mut packets, hs[0], hs[1]);
+        run(&mut sim, &mut engine, &mut packets, SimTime::from_secs(10));
+        assert_eq!(packets.len(), 2);
+        assert_eq!(packets[0].src, sim.contact_of(hs[0]).ip);
+        assert_eq!(packets[1].src, sim.contact_of(hs[1]).ip);
+        assert_eq!(classify_payload(packets[0].payload.as_bytes()), Some(P2pApp::Emule));
+    }
+
+    #[test]
+    fn ping_to_offline_peer_times_out_and_removes_from_table() {
+        let (mut sim, hs) = build_overlay(3, WireKind::EmuleKad);
+        sim.set_online(hs[1], false);
+        let dead_id = sim.id_of(hs[1]);
+        let mut engine: Engine<KadEvent> = Engine::new();
+        let mut packets = Vec::new();
+        sim.bootstrap(hs[0], &[hs[1]]);
+        sim.ping(&mut engine, &mut packets, hs[0], hs[1]);
+        run(&mut sim, &mut engine, &mut packets, SimTime::from_secs(10));
+        // Request + one retransmission, no reply.
+        assert_eq!(packets.len(), 2);
+        assert_eq!(sim.stats(hs[0]).rpcs_failed, 1);
+        assert!(!sim.table_contacts(hs[0]).iter().any(|c| c.id == dead_id));
+    }
+
+    #[test]
+    fn lookup_converges_and_finds_closest_nodes() {
+        let (mut sim, hs) = build_overlay(60, WireKind::EmuleKad);
+        let mut engine: Engine<KadEvent> = Engine::new();
+        let mut packets = Vec::new();
+        let target = NodeId::hash_of(b"some-content-key");
+        assert!(sim.start_lookup(&mut engine, &mut packets, hs[0], target, LookupGoal::FindNode));
+        run(&mut sim, &mut engine, &mut packets, SimTime::from_secs(60));
+        assert_eq!(sim.stats(hs[0]).lookups_completed, 1);
+        // Lookup should have talked to many distinct peers.
+        let dests: std::collections::HashSet<_> =
+            packets.iter().filter(|p| p.src == sim.contact_of(hs[0]).ip).map(|p| p.dst).collect();
+        assert!(dests.len() >= 5, "only {} peers contacted", dests.len());
+        // Routing table learned responders along the way.
+        assert!(sim.table_len(hs[0]) >= 6);
+    }
+
+    #[test]
+    fn publish_then_search_finds_publisher() {
+        let (mut sim, hs) = build_overlay(40, WireKind::Overnet);
+        let mut engine: Engine<KadEvent> = Engine::new();
+        let mut packets = Vec::new();
+        let key = NodeId::hash_of(b"rendezvous-key-1");
+        assert!(sim.start_lookup(&mut engine, &mut packets, hs[0], key, LookupGoal::Publish));
+        run(&mut sim, &mut engine, &mut packets, SimTime::from_secs(60));
+        assert!(sim.start_lookup(&mut engine, &mut packets, hs[7], key, LookupGoal::Search));
+        run(&mut sim, &mut engine, &mut packets, SimTime::from_secs(120));
+        let hits = sim.take_search_hits(hs[7]);
+        assert!(!hits.is_empty(), "search found no publishers");
+        let publisher = sim.contact_of(hs[0]).id;
+        assert!(hits.iter().any(|(_, cs)| cs.iter().any(|c| c.id == publisher)));
+        // Overnet frames classify as eDonkey family.
+        assert!(packets
+            .iter()
+            .all(|p| classify_payload(p.payload.as_bytes()) == Some(P2pApp::Emule)));
+    }
+
+    #[test]
+    fn unresponsive_peers_cause_failed_rpcs_but_lookup_still_converges() {
+        let (mut sim, hs) = build_overlay(50, WireKind::EmuleKad);
+        // A third of the overlay is NAT'd.
+        for &h in hs.iter().skip(1).step_by(3) {
+            sim.set_responsive(h, false);
+        }
+        let mut engine: Engine<KadEvent> = Engine::new();
+        let mut packets = Vec::new();
+        let target = NodeId::hash_of(b"x");
+        assert!(sim.start_lookup(&mut engine, &mut packets, hs[0], target, LookupGoal::FindNode));
+        run(&mut sim, &mut engine, &mut packets, SimTime::from_secs(120));
+        assert_eq!(sim.stats(hs[0]).lookups_completed, 1);
+        assert!(sim.stats(hs[0]).rpcs_failed > 0);
+    }
+
+    #[test]
+    fn offline_node_cannot_start_lookup() {
+        let (mut sim, hs) = build_overlay(5, WireKind::EmuleKad);
+        sim.set_online(hs[0], false);
+        let mut engine: Engine<KadEvent> = Engine::new();
+        let mut packets = Vec::new();
+        assert!(!sim.start_lookup(
+            &mut engine,
+            &mut packets,
+            hs[0],
+            NodeId::from_u128(1),
+            LookupGoal::FindNode
+        ));
+        assert!(packets.is_empty());
+    }
+
+    #[test]
+    fn empty_table_cannot_start_lookup() {
+        let mut sim = KadSim::new(KadConfig::default(), 1);
+        let h = sim.add_node(NodeId::from_u128(1), Ipv4Addr::new(9, 9, 9, 9), 4672, WireKind::EmuleKad);
+        sim.set_online(h, true);
+        let mut engine: Engine<KadEvent> = Engine::new();
+        let mut packets = Vec::new();
+        assert!(!sim.start_lookup(&mut engine, &mut packets, h, NodeId::from_u128(2), LookupGoal::Search));
+    }
+
+    #[test]
+    fn deterministic_given_same_seed() {
+        let run_once = || {
+            let (mut sim, hs) = build_overlay(30, WireKind::EmuleKad);
+            let mut engine: Engine<KadEvent> = Engine::new();
+            let mut packets = Vec::new();
+            sim.start_lookup(
+                &mut engine,
+                &mut packets,
+                hs[0],
+                NodeId::hash_of(b"det"),
+                LookupGoal::FindNode,
+            );
+            run(&mut sim, &mut engine, &mut packets, SimTime::from_secs(60));
+            packets
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,112 @@
+//! Per-application wire codecs.
+//!
+//! Three real overlays share the Kademlia protocol but differ on the wire —
+//! which is exactly what the paper's ground-truth payload signatures key on:
+//!
+//! - **eMule Kad** frames start with protocol byte `0xE3`;
+//! - **Overnet** (Storm's substrate) *also* frames with `0xE3` — which is
+//!   why Storm control traffic payload-classifies as eDonkey-family, and
+//!   why payload alone cannot separate Plotters from Traders (§I);
+//! - **Mainline DHT** (BitTorrent) uses bencoded dictionaries containing
+//!   `d1:ad2:id20` / `d1:rd2:id20`.
+
+use pw_flow::Payload;
+
+use crate::messages::MessageKind;
+
+/// Which overlay's wire format a node speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireKind {
+    /// eMule Kad (eDonkey framing, protocol byte `0xE3`).
+    EmuleKad,
+    /// Overnet (also eDonkey framing) — used by Storm.
+    Overnet,
+    /// BitTorrent Mainline DHT (bencoded KRPC).
+    MainlineDht,
+}
+
+impl WireKind {
+    /// The conventional UDP port for the overlay.
+    pub fn default_port(self) -> u16 {
+        match self {
+            WireKind::EmuleKad => 4672,
+            WireKind::Overnet => 7871, // Storm's well-known Overnet port
+            WireKind::MainlineDht => 6881,
+        }
+    }
+
+    /// The payload prefix Argus would capture for a message of `kind`.
+    pub fn payload(self, kind: &MessageKind) -> Payload {
+        match self {
+            WireKind::EmuleKad | WireKind::Overnet => {
+                // eDonkey framing: 0xE3 then an opcode; Overnet and Kad use
+                // different opcode tables, both within the 0xE3 family.
+                let opcode: u8 = match (self, kind) {
+                    (WireKind::Overnet, MessageKind::Ping) => 0x0E, // CONNECT
+                    (WireKind::Overnet, MessageKind::Pong) => 0x0F, // CONNECT_REPLY
+                    (WireKind::Overnet, MessageKind::FindNode(_)) => 0x0E,
+                    (WireKind::Overnet, MessageKind::FoundNodes(_)) => 0x0F,
+                    (WireKind::Overnet, MessageKind::Publish(_)) => 0x13, // PUBLICIZE
+                    (WireKind::Overnet, MessageKind::PublishOk) => 0x14,
+                    (WireKind::Overnet, MessageKind::Search(_)) => 0x0E,
+                    (WireKind::Overnet, MessageKind::SearchResults(_)) => 0x11,
+                    (_, MessageKind::Ping) => 0x60,          // KADEMLIA_HELLO_REQ
+                    (_, MessageKind::Pong) => 0x61,          // KADEMLIA_HELLO_RES
+                    (_, MessageKind::FindNode(_)) => 0x20,   // KADEMLIA_REQ
+                    (_, MessageKind::FoundNodes(_)) => 0x28, // KADEMLIA_RES
+                    (_, MessageKind::Publish(_)) => 0x40,    // KADEMLIA_PUBLISH_REQ
+                    (_, MessageKind::PublishOk) => 0x48,     // KADEMLIA_PUBLISH_RES
+                    (_, MessageKind::Search(_)) => 0x30,     // KADEMLIA_SEARCH_REQ
+                    (_, MessageKind::SearchResults(_)) => 0x38, // KADEMLIA_SEARCH_RES
+                };
+                let mut bytes = vec![0xE3, opcode];
+                bytes.extend_from_slice(&[0x42; 18]);
+                Payload::capture(&bytes)
+            }
+            WireKind::MainlineDht => {
+                let is_response = !kind.expects_reply();
+                if is_response {
+                    pw_flow::signatures::build::bt_dht_response()
+                } else {
+                    pw_flow::signatures::build::bt_dht_query()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::NodeId;
+    use pw_flow::signatures::{classify_payload, P2pApp};
+
+    #[test]
+    fn emule_and_overnet_classify_as_emule() {
+        for wire in [WireKind::EmuleKad, WireKind::Overnet] {
+            for kind in [
+                MessageKind::Ping,
+                MessageKind::FindNode(NodeId::from_u128(1)),
+                MessageKind::Publish(NodeId::from_u128(1)),
+                MessageKind::SearchResults(vec![]),
+            ] {
+                let p = wire.payload(&kind);
+                assert_eq!(classify_payload(p.as_bytes()), Some(P2pApp::Emule), "{wire:?} {kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn mainline_classifies_as_bittorrent() {
+        let q = WireKind::MainlineDht.payload(&MessageKind::FindNode(NodeId::from_u128(1)));
+        let r = WireKind::MainlineDht.payload(&MessageKind::FoundNodes(vec![]));
+        assert_eq!(classify_payload(q.as_bytes()), Some(P2pApp::BitTorrent));
+        assert_eq!(classify_payload(r.as_bytes()), Some(P2pApp::BitTorrent));
+    }
+
+    #[test]
+    fn default_ports_distinct() {
+        assert_ne!(WireKind::EmuleKad.default_port(), WireKind::Overnet.default_port());
+        assert_ne!(WireKind::Overnet.default_port(), WireKind::MainlineDht.default_port());
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the Kademlia substrate.
+
+use proptest::prelude::*;
+use pw_kad::{Contact, NodeHandle, NodeId, RoutingTable};
+use std::net::Ipv4Addr;
+
+fn contact(v: u128) -> Contact {
+    Contact {
+        id: NodeId::from_u128(v),
+        ip: Ipv4Addr::new(1, 2, 3, 4),
+        port: 4672,
+        handle: NodeHandle::from_index((v % 1_000_000) as usize),
+    }
+}
+
+proptest! {
+    /// XOR metric axioms: identity, symmetry, and the triangle *equality*
+    /// relaxation XOR satisfies (d(a,c) <= d(a,b) XOR-combined d(b,c)).
+    #[test]
+    fn xor_metric_axioms(a: u128, b: u128, c: u128) {
+        let (na, nb, nc) = (NodeId::from_u128(a), NodeId::from_u128(b), NodeId::from_u128(c));
+        prop_assert_eq!(na.distance(na), NodeId::from_u128(0));
+        prop_assert_eq!(na.distance(nb), nb.distance(na));
+        // XOR triangle: d(a,c) = d(a,b) ^ d(b,c).
+        let dac = na.distance(nc).as_u128();
+        let dab = na.distance(nb).as_u128();
+        let dbc = nb.distance(nc).as_u128();
+        prop_assert_eq!(dac, dab ^ dbc);
+    }
+
+    /// Unidirectional: there is exactly one id at each distance.
+    #[test]
+    fn xor_unidirectional(a: u128, d: u128) {
+        let na = NodeId::from_u128(a);
+        let nb = NodeId::from_u128(a ^ d);
+        prop_assert_eq!(na.distance(nb).as_u128(), d);
+    }
+
+    /// Bucket index equals the position of the highest differing bit.
+    #[test]
+    fn bucket_index_consistency(a: u128, b: u128) {
+        let (na, nb) = (NodeId::from_u128(a), NodeId::from_u128(b));
+        match na.bucket_index(nb) {
+            None => prop_assert_eq!(a, b),
+            Some(idx) => {
+                prop_assert!(idx < 128);
+                let d = a ^ b;
+                prop_assert!(d >> idx == 1, "highest differing bit mismatch");
+            }
+        }
+    }
+
+    /// Routing tables never exceed k entries per bucket and never store the
+    /// owner.
+    #[test]
+    fn routing_table_capacity_invariant(
+        me: u128,
+        k in 1usize..12,
+        ids in prop::collection::vec(any::<u128>(), 0..300),
+    ) {
+        let owner = NodeId::from_u128(me);
+        let mut table = RoutingTable::new(owner, k);
+        for id in &ids {
+            table.update(contact(*id));
+        }
+        prop_assert!(!table.contains(owner));
+        // Per-bucket capacity: group stored contacts by bucket index.
+        let mut per_bucket = std::collections::HashMap::new();
+        for c in table.iter() {
+            let idx = owner.bucket_index(c.id).expect("never the owner");
+            *per_bucket.entry(idx).or_insert(0usize) += 1;
+        }
+        for (&bucket, &n) in &per_bucket {
+            prop_assert!(n <= k, "bucket {bucket} holds {n} > k={k}");
+        }
+        // Total bounded by distinct inserted ids.
+        let distinct: std::collections::HashSet<_> =
+            ids.iter().filter(|&&v| v != me).collect();
+        prop_assert!(table.len() <= distinct.len());
+    }
+
+    /// `closest` returns contacts sorted by XOR distance and never more
+    /// than requested.
+    #[test]
+    fn closest_is_sorted_and_bounded(
+        me: u128,
+        target: u128,
+        count in 1usize..20,
+        ids in prop::collection::vec(any::<u128>(), 1..120),
+    ) {
+        let mut table = RoutingTable::new(NodeId::from_u128(me), 8);
+        for id in &ids {
+            table.update(contact(*id));
+        }
+        let t = NodeId::from_u128(target);
+        let closest = table.closest(t, count);
+        prop_assert!(closest.len() <= count);
+        for w in closest.windows(2) {
+            prop_assert!(w[0].id.distance(t) <= w[1].id.distance(t));
+        }
+        // Nothing stored is closer than the reported closest.
+        if let Some(first) = closest.first() {
+            for c in table.iter() {
+                prop_assert!(c.id.distance(t) >= first.id.distance(t));
+            }
+        }
+    }
+
+    /// `random_in_bucket` always generates an id in the requested bucket.
+    #[test]
+    fn random_in_bucket_property(me: u128, bucket in 0usize..128, seed: u64) {
+        let owner = NodeId::from_u128(me);
+        let mut rng = pw_netsim::rng::derive(seed, "prop-bucket");
+        let id = owner.random_in_bucket(bucket, &mut rng);
+        prop_assert_eq!(owner.bucket_index(id), Some(bucket));
+    }
+}

@@ -1,0 +1,201 @@
+//! Diurnal (time-of-day) activity profiles.
+//!
+//! Human-driven traffic on a campus follows the working day; the paper even
+//! collected its data only 9 a.m.–3 p.m. [`DiurnalProfile`] captures hourly
+//! intensity weights and supports sampling non-homogeneous Poisson arrivals
+//! by thinning, which is how sessions (web browsing, file-sharing) get their
+//! start times.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::sampling::exponential;
+use crate::time::{SimDuration, SimTime};
+
+/// Relative activity intensity for each hour of the day.
+///
+/// Weights are non-negative and at least one must be positive; they need not
+/// be normalized.
+///
+/// # Examples
+///
+/// ```
+/// use pw_netsim::DiurnalProfile;
+///
+/// let p = DiurnalProfile::campus_workday();
+/// assert!(p.weight_at_hour(11) > p.weight_at_hour(4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalProfile {
+    weights: [f64; 24],
+}
+
+impl DiurnalProfile {
+    /// Creates a profile from 24 hourly weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is negative/non-finite or all are zero.
+    pub fn new(weights: [f64; 24]) -> Self {
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        assert!(weights.iter().any(|w| *w > 0.0), "at least one weight must be positive");
+        Self { weights }
+    }
+
+    /// A flat profile (constant activity, e.g. machine-driven daemons).
+    pub fn flat() -> Self {
+        Self::new([1.0; 24])
+    }
+
+    /// A campus working-day profile: quiet overnight, ramping from 8 a.m.,
+    /// peaking late morning through afternoon, evening residential tail.
+    pub fn campus_workday() -> Self {
+        Self::new([
+            0.15, 0.10, 0.08, 0.06, 0.06, 0.08, 0.15, 0.35, // 0-7
+            0.70, 0.95, 1.00, 1.00, 0.90, 0.95, 1.00, 0.95, // 8-15
+            0.85, 0.75, 0.70, 0.75, 0.80, 0.70, 0.50, 0.30, // 16-23
+        ])
+    }
+
+    /// An evening-heavy residential profile (typical for file-sharing).
+    pub fn residential_evening() -> Self {
+        Self::new([
+            0.40, 0.25, 0.15, 0.10, 0.08, 0.08, 0.10, 0.15, // 0-7
+            0.25, 0.30, 0.35, 0.40, 0.45, 0.45, 0.50, 0.55, // 8-15
+            0.65, 0.80, 0.90, 1.00, 1.00, 0.95, 0.80, 0.60, // 16-23
+        ])
+    }
+
+    /// The weight for an hour of day (`0..24`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hour >= 24`.
+    pub fn weight_at_hour(&self, hour: usize) -> f64 {
+        assert!(hour < 24, "hour out of range");
+        self.weights[hour]
+    }
+
+    /// The weight at a simulated instant.
+    pub fn weight_at(&self, t: SimTime) -> f64 {
+        self.weights[t.hour_of_day()]
+    }
+
+    /// The maximum hourly weight.
+    pub fn max_weight(&self) -> f64 {
+        self.weights.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Samples arrival times in `[start, end)` from a non-homogeneous
+    /// Poisson process whose rate at time `t` is
+    /// `peak_rate_per_hour × weight(t) / max_weight`, via thinning.
+    ///
+    /// Returned times are sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peak_rate_per_hour` is not positive or `end <= start`.
+    pub fn sample_arrivals<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        peak_rate_per_hour: f64,
+        start: SimTime,
+        end: SimTime,
+    ) -> Vec<SimTime> {
+        assert!(peak_rate_per_hour > 0.0, "rate must be positive");
+        assert!(end > start, "empty window");
+        let max_w = self.max_weight();
+        let lambda_max = peak_rate_per_hour / 3600.0; // per second
+        let mut out = Vec::new();
+        let mut t = start;
+        loop {
+            let gap = exponential(rng, lambda_max);
+            t += SimDuration::from_secs_f64(gap);
+            if t >= end {
+                break;
+            }
+            let accept: f64 = rng.gen_range(0.0..1.0);
+            if accept < self.weight_at(t) / max_w {
+                out.push(t);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn flat_profile_uniform() {
+        let p = DiurnalProfile::flat();
+        assert_eq!(p.weight_at_hour(0), p.weight_at_hour(12));
+        assert_eq!(p.max_weight(), 1.0);
+    }
+
+    #[test]
+    fn campus_peaks_in_daytime() {
+        let p = DiurnalProfile::campus_workday();
+        assert!(p.weight_at_hour(10) > 5.0 * p.weight_at_hour(3));
+        assert!(p.weight_at(SimTime::from_hours(10)) > p.weight_at(SimTime::from_hours(3)));
+    }
+
+    #[test]
+    fn arrivals_within_window_and_sorted() {
+        let p = DiurnalProfile::flat();
+        let mut rng = StdRng::seed_from_u64(3);
+        let arr =
+            p.sample_arrivals(&mut rng, 100.0, SimTime::from_hours(1), SimTime::from_hours(2));
+        assert!(!arr.is_empty());
+        for w in arr.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!(arr.first().unwrap() >= &SimTime::from_hours(1));
+        assert!(arr.last().unwrap() < &SimTime::from_hours(2));
+    }
+
+    #[test]
+    fn arrival_rate_close_to_nominal_for_flat() {
+        let p = DiurnalProfile::flat();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut total = 0usize;
+        for _ in 0..20 {
+            total += p
+                .sample_arrivals(&mut rng, 60.0, SimTime::ZERO, SimTime::from_hours(10))
+                .len();
+        }
+        let per_hour = total as f64 / 200.0;
+        assert!((per_hour - 60.0).abs() < 3.0, "rate {per_hour}");
+    }
+
+    #[test]
+    fn thinning_respects_profile_shape() {
+        let p = DiurnalProfile::campus_workday();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut night = 0usize;
+        let mut day = 0usize;
+        for _ in 0..30 {
+            night += p
+                .sample_arrivals(&mut rng, 100.0, SimTime::from_hours(2), SimTime::from_hours(5))
+                .len();
+            day += p
+                .sample_arrivals(&mut rng, 100.0, SimTime::from_hours(10), SimTime::from_hours(13))
+                .len();
+        }
+        assert!(day > night * 5, "day {day} night {night}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_weights() {
+        let mut w = [1.0; 24];
+        w[5] = -0.1;
+        DiurnalProfile::new(w);
+    }
+}

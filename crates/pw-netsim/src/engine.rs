@@ -1,0 +1,238 @@
+//! The discrete-event engine.
+//!
+//! [`Engine`] is a priority queue of `(time, message)` pairs with a handler
+//! loop. It is deliberately generic over the message type `M`: each
+//! simulation domain (Kademlia, traders, bots) defines its own message enum
+//! and drives its own engine, which keeps crates decoupled and handlers
+//! statically dispatched.
+//!
+//! Events scheduled for the same instant are delivered in scheduling order
+//! (a monotone sequence number breaks ties), making every run deterministic.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+#[derive(Debug)]
+struct Scheduled<M> {
+    time: SimTime,
+    seq: u64,
+    msg: M,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A deterministic discrete-event engine over messages of type `M`.
+///
+/// # Examples
+///
+/// ```
+/// use pw_netsim::{Engine, SimDuration, SimTime};
+///
+/// // A self-rescheduling periodic timer.
+/// let mut engine: Engine<u32> = Engine::new();
+/// engine.schedule_at(SimTime::ZERO, 0);
+/// let mut fired = 0;
+/// engine.run_until(SimTime::from_secs(10), |eng, _| {
+///     fired += 1;
+///     eng.schedule_after(SimDuration::from_secs(3), 0);
+/// });
+/// assert_eq!(fired, 4); // t = 0, 3, 6, 9
+/// ```
+#[derive(Debug)]
+pub struct Engine<M> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Scheduled<M>>>,
+}
+
+impl<M> Default for Engine<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> Engine<M> {
+    /// Creates an empty engine with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Self { now: SimTime::ZERO, seq: 0, queue: BinaryHeap::new() }
+    }
+
+    /// The current simulated time: the timestamp of the event being handled,
+    /// or of the last event handled.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Schedules `msg` for delivery at absolute time `at`.
+    ///
+    /// Scheduling in the past is clamped to the current time (delivered
+    /// next), which keeps handlers that compute delays robustly monotone.
+    pub fn schedule_at(&mut self, at: SimTime, msg: M) {
+        let time = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { time, seq, msg }));
+    }
+
+    /// Schedules `msg` for delivery `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, msg: M) {
+        self.schedule_at(self.now + delay, msg);
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to it.
+    pub fn pop(&mut self) -> Option<(SimTime, M)> {
+        let Reverse(sc) = self.queue.pop()?;
+        self.now = sc.time;
+        Some((sc.time, sc.msg))
+    }
+
+    /// Runs the handler loop until the queue drains or the next event is
+    /// after `end`. Returns the number of events handled; afterwards the
+    /// clock rests at `max(now, end)` so a subsequent day can continue.
+    ///
+    /// The handler receives the engine itself, so it can schedule follow-up
+    /// events.
+    pub fn run_until<F>(&mut self, end: SimTime, mut handler: F) -> usize
+    where
+        F: FnMut(&mut Self, M),
+    {
+        let mut handled = 0;
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.time > end {
+                break;
+            }
+            let Reverse(sc) = self.queue.pop().expect("peeked");
+            self.now = sc.time;
+            handler(self, sc.msg);
+            handled += 1;
+        }
+        self.now = self.now.max(end);
+        handled
+    }
+
+    /// Runs until the queue is completely drained. Returns events handled.
+    ///
+    /// Prefer [`run_until`](Self::run_until) for simulations with
+    /// self-rescheduling timers, which never drain.
+    pub fn run_to_completion<F>(&mut self, mut handler: F) -> usize
+    where
+        F: FnMut(&mut Self, M),
+    {
+        let mut handled = 0;
+        while let Some(Reverse(sc)) = self.queue.pop() {
+            self.now = sc.time;
+            handler(self, sc.msg);
+            handled += 1;
+        }
+        handled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_at(SimTime::from_secs(5), 5);
+        e.schedule_at(SimTime::from_secs(1), 1);
+        e.schedule_at(SimTime::from_secs(3), 3);
+        let mut got = Vec::new();
+        e.run_to_completion(|_, m| got.push(m));
+        assert_eq!(got, [1, 3, 5]);
+    }
+
+    #[test]
+    fn fifo_for_simultaneous_events() {
+        let mut e: Engine<u32> = Engine::new();
+        for i in 0..10 {
+            e.schedule_at(SimTime::from_secs(1), i);
+        }
+        let mut got = Vec::new();
+        e.run_to_completion(|_, m| got.push(m));
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_until_stops_and_preserves_future_events() {
+        let mut e: Engine<&str> = Engine::new();
+        e.schedule_at(SimTime::from_secs(1), "a");
+        e.schedule_at(SimTime::from_secs(100), "b");
+        let mut got = Vec::new();
+        let n = e.run_until(SimTime::from_secs(10), |_, m| got.push(m));
+        assert_eq!(n, 1);
+        assert_eq!(got, ["a"]);
+        assert_eq!(e.len(), 1);
+        assert_eq!(e.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn handler_can_reschedule() {
+        let mut e: Engine<u64> = Engine::new();
+        e.schedule_at(SimTime::ZERO, 1);
+        let mut count = 0;
+        e.run_until(SimTime::from_secs(100), |eng, gen| {
+            count += 1;
+            if gen < 3 {
+                eng.schedule_after(SimDuration::from_secs(10), gen + 1);
+            }
+        });
+        assert_eq!(count, 3);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn past_scheduling_clamped_to_now() {
+        let mut e: Engine<&str> = Engine::new();
+        e.schedule_at(SimTime::from_secs(10), "first");
+        let mut got = Vec::new();
+        e.run_to_completion(|eng, m| {
+            got.push((eng.now(), m));
+            if m == "first" {
+                eng.schedule_at(SimTime::from_secs(1), "late"); // in the past
+            }
+        });
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[1].0, SimTime::from_secs(10)); // clamped, not time-travel
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_at(SimTime::from_secs(2), 0);
+        e.schedule_at(SimTime::from_secs(4), 0);
+        let mut last = SimTime::ZERO;
+        e.run_to_completion(|eng, _| {
+            assert!(eng.now() >= last);
+            last = eng.now();
+        });
+    }
+}

@@ -1,0 +1,44 @@
+//! Discrete-event network-simulation substrate for `peerwatch`.
+//!
+//! The paper's evaluation runs on eight days of live campus traffic plus
+//! honeynet bot traces — data we cannot redistribute. This crate provides the
+//! machinery on which the replacement synthetic substrates are built:
+//!
+//! - [`SimTime`]/[`SimDuration`]: a millisecond-resolution simulated clock;
+//! - [`Engine`]: a deterministic discrete-event engine generic over the
+//!   message type, used by the Kademlia DHT, the traders, and the bots;
+//! - [`rng`]: reproducible, label-derived random-number streams;
+//! - [`sampling`]: the heavy-tailed distributions traffic modelling needs
+//!   (exponential, log-normal, Pareto, Zipf) built only on `rand`'s uniform
+//!   source;
+//! - [`net`]: IPv4 address-space bookkeeping (two internal /16 subnets, like
+//!   CMU's campus network, plus external address pools);
+//! - [`diurnal`]: time-of-day activity profiles and non-homogeneous Poisson
+//!   arrival sampling for human-driven behaviour.
+//!
+//! # Examples
+//!
+//! ```
+//! use pw_netsim::{Engine, SimDuration, SimTime};
+//!
+//! let mut engine: Engine<&str> = Engine::new();
+//! engine.schedule_after(SimDuration::from_secs(5), "tick");
+//! let mut seen = Vec::new();
+//! engine.run_until(SimTime::from_secs(10), |_, msg| seen.push(msg));
+//! assert_eq!(seen, ["tick"]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diurnal;
+pub mod engine;
+pub mod net;
+pub mod rng;
+pub mod sampling;
+pub mod time;
+
+pub use diurnal::DiurnalProfile;
+pub use engine::Engine;
+pub use net::{AddressSpace, Subnet};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,265 @@
+//! IPv4 address-space bookkeeping.
+//!
+//! The CMU dataset covers "two /16 subnets"; the simulated campus does the
+//! same. [`AddressSpace`] hands out internal host addresses from those
+//! subnets and deterministic external addresses from labelled pools (web
+//! servers, P2P peers, mail servers, …), while guaranteeing the external
+//! pools never collide with the internal ranges.
+
+use std::net::Ipv4Addr;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An IPv4 subnet in CIDR form.
+///
+/// # Examples
+///
+/// ```
+/// use pw_netsim::Subnet;
+/// use std::net::Ipv4Addr;
+///
+/// let s = Subnet::new(Ipv4Addr::new(10, 1, 0, 0), 16);
+/// assert!(s.contains(Ipv4Addr::new(10, 1, 200, 7)));
+/// assert!(!s.contains(Ipv4Addr::new(10, 2, 0, 1)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Subnet {
+    base: Ipv4Addr,
+    prefix: u8,
+}
+
+impl Subnet {
+    /// Creates a subnet; the base address is masked to the prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix > 32`.
+    pub fn new(base: Ipv4Addr, prefix: u8) -> Self {
+        assert!(prefix <= 32, "prefix out of range");
+        let mask = Self::mask(prefix);
+        Self { base: Ipv4Addr::from(u32::from(base) & mask), prefix }
+    }
+
+    fn mask(prefix: u8) -> u32 {
+        if prefix == 0 {
+            0
+        } else {
+            u32::MAX << (32 - prefix)
+        }
+    }
+
+    /// The (masked) network base address.
+    pub fn base(&self) -> Ipv4Addr {
+        self.base
+    }
+
+    /// The prefix length.
+    pub fn prefix(&self) -> u8 {
+        self.prefix
+    }
+
+    /// Whether `addr` falls inside this subnet.
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        u32::from(addr) & Self::mask(self.prefix) == u32::from(self.base)
+    }
+
+    /// Number of addresses covered.
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - self.prefix)
+    }
+
+    /// The `i`-th address of the subnet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.size()`.
+    pub fn nth(&self, i: u64) -> Ipv4Addr {
+        assert!(i < self.size(), "address index out of subnet");
+        Ipv4Addr::from(u32::from(self.base) + i as u32)
+    }
+}
+
+impl std::fmt::Display for Subnet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.base, self.prefix)
+    }
+}
+
+/// Allocates internal host addresses from the campus subnets and
+/// deterministic external addresses from labelled pools.
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    internal: Vec<Subnet>,
+    next_internal: u64,
+}
+
+impl AddressSpace {
+    /// The default campus layout: two /16 subnets, mirroring the paper's
+    /// monitored network (`128.2.0.0/16`-style; we use documentation-safe
+    /// `10.1.0.0/16` and `10.2.0.0/16`).
+    pub fn campus() -> Self {
+        Self::new(vec![
+            Subnet::new(Ipv4Addr::new(10, 1, 0, 0), 16),
+            Subnet::new(Ipv4Addr::new(10, 2, 0, 0), 16),
+        ])
+    }
+
+    /// Creates an address space over the given internal subnets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `internal` is empty.
+    pub fn new(internal: Vec<Subnet>) -> Self {
+        assert!(!internal.is_empty(), "need at least one internal subnet");
+        Self { internal, next_internal: 0 }
+    }
+
+    /// The internal subnets.
+    pub fn internal_subnets(&self) -> &[Subnet] {
+        &self.internal
+    }
+
+    /// Whether `addr` is internal to the monitored network.
+    pub fn is_internal(&self, addr: Ipv4Addr) -> bool {
+        self.internal.iter().any(|s| s.contains(addr))
+    }
+
+    /// Allocates the next internal host address, spreading hosts across the
+    /// subnets round-robin and skipping `.0.0` network addresses.
+    pub fn alloc_internal(&mut self) -> Ipv4Addr {
+        let n = self.internal.len() as u64;
+        let i = self.next_internal;
+        self.next_internal += 1;
+        let subnet = self.internal[(i % n) as usize];
+        // +1 skips the network base; hosts per subnet bounded by size-1.
+        let offset = (i / n) % (subnet.size() - 1) + 1;
+        subnet.nth(offset)
+    }
+
+    /// A deterministic external address for (`pool`, `index`) — the same
+    /// pair always yields the same address, and it is never internal.
+    ///
+    /// Pools partition the external space by a hash of the pool label, so
+    /// e.g. "web" servers and "gnutella" peers do not collide in practice.
+    pub fn external(&self, pool: &str, index: u64) -> Ipv4Addr {
+        let mut h = 0xCBF29CE484222325u64;
+        for &b in pool.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001B3);
+        }
+        h ^= index.wrapping_mul(0x9E3779B97F4A7C15);
+        h ^= h >> 29;
+        h = h.wrapping_mul(0xBF58476D1CE4E5B9);
+        h ^= h >> 32;
+        let mut addr = Ipv4Addr::from((h as u32) | 0x0100_0000); // avoid 0.x
+        // Nudge out of internal ranges and reserved space deterministically.
+        while self.is_internal(addr)
+            || addr.octets()[0] == 10
+            || addr.octets()[0] == 127
+            || addr.octets()[0] >= 224
+        {
+            let v = u32::from(addr).wrapping_add(0x0100_0001);
+            addr = Ipv4Addr::from(v | 0x0100_0000);
+        }
+        addr
+    }
+
+    /// A uniformly random external address (used for scanning-like traffic).
+    pub fn random_external<R: Rng + ?Sized>(&self, rng: &mut R) -> Ipv4Addr {
+        loop {
+            let v: u32 = rng.gen();
+            let addr = Ipv4Addr::from(v);
+            let o = addr.octets()[0];
+            if !self.is_internal(addr) && o != 10 && o != 0 && o != 127 && o < 224 {
+                return addr;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn subnet_membership() {
+        let s = Subnet::new(Ipv4Addr::new(192, 168, 5, 130), 24);
+        assert_eq!(s.base(), Ipv4Addr::new(192, 168, 5, 0)); // masked
+        assert!(s.contains(Ipv4Addr::new(192, 168, 5, 1)));
+        assert!(!s.contains(Ipv4Addr::new(192, 168, 6, 1)));
+        assert_eq!(s.size(), 256);
+        assert_eq!(s.to_string(), "192.168.5.0/24");
+    }
+
+    #[test]
+    fn subnet_nth() {
+        let s = Subnet::new(Ipv4Addr::new(10, 1, 0, 0), 16);
+        assert_eq!(s.nth(0), Ipv4Addr::new(10, 1, 0, 0));
+        assert_eq!(s.nth(257), Ipv4Addr::new(10, 1, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of subnet")]
+    fn subnet_nth_bounds() {
+        Subnet::new(Ipv4Addr::new(10, 1, 0, 0), 24).nth(256);
+    }
+
+    #[test]
+    fn campus_has_two_slash_16() {
+        let space = AddressSpace::campus();
+        assert_eq!(space.internal_subnets().len(), 2);
+        assert!(space.is_internal(Ipv4Addr::new(10, 1, 3, 4)));
+        assert!(space.is_internal(Ipv4Addr::new(10, 2, 250, 250)));
+        assert!(!space.is_internal(Ipv4Addr::new(10, 3, 0, 1)));
+    }
+
+    #[test]
+    fn internal_allocation_unique_and_internal() {
+        let mut space = AddressSpace::campus();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..5000 {
+            let a = space.alloc_internal();
+            assert!(space.is_internal(a));
+            assert!(seen.insert(a), "duplicate internal address {a}");
+        }
+    }
+
+    #[test]
+    fn external_is_deterministic_and_external() {
+        let space = AddressSpace::campus();
+        let a = space.external("web", 7);
+        let b = space.external("web", 7);
+        assert_eq!(a, b);
+        assert!(!space.is_internal(a));
+        assert_ne!(space.external("web", 8), a);
+        assert_ne!(space.external("mail", 7), a);
+    }
+
+    #[test]
+    fn external_pools_rarely_collide() {
+        let space = AddressSpace::campus();
+        let mut seen = std::collections::HashSet::new();
+        let mut collisions = 0;
+        for pool in ["web", "mail", "gnutella", "emule", "bt"] {
+            for i in 0..2000u64 {
+                if !seen.insert(space.external(pool, i)) {
+                    collisions += 1;
+                }
+            }
+        }
+        assert!(collisions < 10, "too many collisions: {collisions}");
+    }
+
+    #[test]
+    fn random_external_is_external() {
+        let space = AddressSpace::campus();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let a = space.random_external(&mut rng);
+            assert!(!space.is_internal(a));
+            assert!(a.octets()[0] < 224);
+        }
+    }
+}

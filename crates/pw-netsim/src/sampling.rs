@@ -1,0 +1,293 @@
+//! Distribution sampling for traffic modelling.
+//!
+//! Only `rand`'s uniform source is assumed; the transforms here give the
+//! distributions measurement studies report for network workloads:
+//! exponential inter-arrivals, log-normal file sizes and session lengths,
+//! Pareto (heavy-tailed) think times, and Zipf content popularity.
+
+use rand::Rng;
+
+/// Samples an exponential variate with the given `rate` (events per unit
+/// time); mean is `1 / rate`.
+///
+/// # Panics
+///
+/// Panics if `rate` is not finite and positive.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -u.ln() / rate
+}
+
+/// Samples a standard normal variate via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A log-normal distribution parameterized by the underlying normal's
+/// `mu` and `sigma`.
+///
+/// # Examples
+///
+/// ```
+/// use pw_netsim::sampling::LogNormal;
+///
+/// // Median 120 s sessions, with a heavy right tail reaching ~20 min at p90.
+/// let sessions = LogNormal::from_median_p90(120.0, 1200.0);
+/// assert!((sessions.median() - 120.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates the distribution from the underlying normal parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or either parameter is non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0, "invalid log-normal");
+        Self { mu, sigma }
+    }
+
+    /// Creates the distribution from its median and 90th percentile — the
+    /// way workload papers usually report values. Requires `p90 >= median > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the constraint is violated.
+    pub fn from_median_p90(median: f64, p90: f64) -> Self {
+        assert!(median > 0.0 && p90 >= median, "need p90 >= median > 0");
+        const Z90: f64 = 1.2815515655446004;
+        let mu = median.ln();
+        let sigma = (p90.ln() - mu) / Z90;
+        Self::new(mu, sigma)
+    }
+
+    /// The distribution median, `exp(mu)`.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// Samples a Pareto variate with scale `xm > 0` (minimum value) and shape
+/// `alpha > 0`. Smaller `alpha` means heavier tail.
+///
+/// # Panics
+///
+/// Panics if the parameters are not positive and finite.
+pub fn pareto<R: Rng + ?Sized>(rng: &mut R, xm: f64, alpha: f64) -> f64 {
+    assert!(xm > 0.0 && alpha > 0.0 && xm.is_finite() && alpha.is_finite(), "invalid pareto");
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    xm / u.powf(1.0 / alpha)
+}
+
+/// A Zipf distribution over ranks `0..n` with exponent `s`; rank 0 is the
+/// most popular. Sampling is `O(log n)` via an inverse-CDF table.
+///
+/// # Examples
+///
+/// ```
+/// use pw_netsim::sampling::Zipf;
+/// use rand::SeedableRng;
+///
+/// let z = Zipf::new(100, 1.0);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let r = z.sample(&mut rng);
+/// assert!(r < 100);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "invalid zipf exponent");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is over zero ranks (never true; kept for
+    /// API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Samples a Poisson-distributed count with mean `lambda` (Knuth's method;
+/// fine for the small means traffic models use).
+///
+/// # Panics
+///
+/// Panics if `lambda` is negative or non-finite.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(lambda.is_finite() && lambda >= 0.0, "invalid poisson mean");
+    if lambda == 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen_range(0.0f64..1.0);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            return k; // numeric safety for very large lambda
+        }
+    }
+}
+
+/// Samples uniformly from `value ± spread` (used for timer jitter), clamping
+/// at zero.
+pub fn jittered<R: Rng + ?Sized>(rng: &mut R, value: f64, spread: f64) -> f64 {
+    if spread <= 0.0 {
+        return value.max(0.0);
+    }
+    (value + rng.gen_range(-spread..=spread)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xDEADBEEF)
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut r = rng();
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut r, 2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments_close() {
+        let mut r = rng();
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median_close() {
+        let ln = LogNormal::from_median_p90(100.0, 1000.0);
+        let mut r = rng();
+        let mut xs: Vec<f64> = (0..20_001).map(|_| ln.sample(&mut r)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = xs[10_000];
+        assert!((med / 100.0 - 1.0).abs() < 0.1, "median {med}");
+        // p90 in the right ballpark too.
+        let p90 = xs[18_000];
+        assert!((p90 / 1000.0 - 1.0).abs() < 0.2, "p90 {p90}");
+    }
+
+    #[test]
+    fn pareto_minimum_respected() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(pareto(&mut r, 3.0, 1.5) >= 3.0);
+        }
+    }
+
+    #[test]
+    fn zipf_rank_zero_most_popular() {
+        let z = Zipf::new(50, 1.0);
+        let mut r = rng();
+        let mut counts = vec![0usize; 50];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[49] * 5);
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut r = rng();
+        let mut counts = vec![0usize; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 / 5000.0 - 1.0).abs() < 0.15);
+        }
+    }
+
+    #[test]
+    fn jitter_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = jittered(&mut r, 10.0, 2.0);
+            assert!((8.0..=12.0).contains(&v));
+        }
+        assert_eq!(jittered(&mut r, 5.0, 0.0), 5.0);
+        // Clamps at zero when spread exceeds value.
+        for _ in 0..100 {
+            assert!(jittered(&mut r, 1.0, 5.0) >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_bad_rate() {
+        exponential(&mut rng(), 0.0);
+    }
+
+    #[test]
+    fn poisson_mean_close() {
+        let mut r = rng();
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| poisson(&mut r, 2.5)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 2.5).abs() < 0.05, "mean {mean}");
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+}

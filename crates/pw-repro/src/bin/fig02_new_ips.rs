@@ -1,0 +1,18 @@
+//! Figure 2: new IPs contacted by a Trader vs a Storm bot over one day.
+
+use pw_repro::figures::fig02_new_ips;
+use pw_repro::{build_context, table, Scale};
+
+fn main() {
+    let ctx = build_context(Scale::from_env());
+    for s in fig02_new_ips(&ctx) {
+        let rows: Vec<Vec<String>> = s
+            .hourly
+            .iter()
+            .map(|&(h, f)| vec![format!("{h:02}:00"), table::pct(f)])
+            .collect();
+        println!("{}", table::render(&format!("Figure 2 — {}", s.name), &["hour", "% new IPs"], &rows));
+        println!("day-level new-IP fraction: {}\n", table::pct(s.day_new_fraction));
+    }
+    println!("Paper shape: Trader >55% new IPs; Storm bot mostly repeat contacts (<40% new).");
+}

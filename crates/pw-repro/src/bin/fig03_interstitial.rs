@@ -1,0 +1,27 @@
+//! Figure 3: per-destination flow interstitial-time distributions for a
+//! Storm bot, a Nugache bot, a BitTorrent host, and a Gnutella host.
+
+use pw_repro::figures::fig03_interstitials;
+use pw_repro::{build_context, table, Scale};
+
+fn main() {
+    let ctx = build_context(Scale::from_env());
+    for p in fig03_interstitials(&ctx) {
+        let mut rows: Vec<Vec<String>> = p
+            .histogram
+            .iter()
+            .filter(|&&(_, m)| m >= 0.01)
+            .map(|&(c, m)| vec![format!("{c:.1}"), table::pct(m)])
+            .collect();
+        rows.truncate(20);
+        println!(
+            "{}",
+            table::render(
+                &format!("Figure 3 {} — {} samples, modes at {:?} s", p.name, p.samples, p.modes),
+                &["interstitial (s)", "mass"],
+                &rows
+            )
+        );
+    }
+    println!("Paper shape: bots show sharp periodic modes (Nugache ≈10/25/50 s); traders diffuse.");
+}

@@ -1,0 +1,24 @@
+//! Headline reproduction summary (§V of the paper): the FindPlotters
+//! operating point, paper vs measured.
+
+use pw_repro::figures::{fig05_failed_cdfs, fig09_pipeline};
+use pw_repro::{build_context, table, Scale};
+
+fn main() {
+    let ctx = build_context(Scale::from_env());
+    let fig = fig09_pipeline(&ctx);
+    let failed = fig05_failed_cdfs(&ctx);
+    let rows = vec![
+        vec!["Storm TPR".into(), "87.50%".into(), table::pct(fig.storm_tpr)],
+        vec!["Nugache TPR".into(), "30.00%".into(), table::pct(fig.nugache_tpr)],
+        vec!["False-positive rate".into(), "0.81%".into(), table::pct(fig.fpr)],
+        vec!["Traders remaining after all tests".into(), "5.40%".into(), table::pct(fig.traders_remaining)],
+        vec!["Traders as share of output".into(), "7.11%".into(), table::pct(fig.trader_share_of_output)],
+        vec![
+            "Nugache bots >65% failed conns".into(),
+            "~100%".into(),
+            table::pct(1.0 - failed[3].fraction_below(0.65)),
+        ],
+    ];
+    println!("{}", table::render("Reproduction summary (paper §V)", &["metric", "paper", "measured"], &rows));
+}

@@ -1,0 +1,23 @@
+//! Reproduction harness for every figure in the paper's evaluation.
+//!
+//! Each binary in `src/bin/` regenerates one figure (see DESIGN.md §3 for
+//! the experiment index); the shared machinery lives here:
+//!
+//! - [`context`]: builds the standard 8-day experiment (campus days,
+//!   honeynet traces, overlays, per-day host profiles and ground truth);
+//! - [`figures`]: the per-figure computations, returned as plain data so
+//!   integration tests can assert the paper's qualitative shapes;
+//! - [`table`]: text rendering of series and paper-vs-measured tables.
+//!
+//! Set `PW_FAST=1` to run everything at a reduced scale (fewer hosts,
+//! shorter days) for smoke testing; figures are then *not* expected to
+//! match the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod figures;
+pub mod table;
+
+pub use context::{build_context, Context, DayContext, Scale};

@@ -1,0 +1,95 @@
+//! Plain-text rendering of figure series and comparison tables.
+
+/// Renders a column-aligned table with a title. Returns the text (callers
+/// print it), so tests can assert on content.
+///
+/// # Examples
+///
+/// ```
+/// let t = pw_repro::table::render(
+///     "Demo",
+///     &["x", "y"],
+///     &[vec!["1".into(), "2".into()]],
+/// );
+/// assert!(t.contains("Demo"));
+/// assert!(t.contains('1'));
+/// ```
+pub fn render(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let header_line: Vec<String> =
+        headers.iter().zip(&widths).map(|(h, w)| format!("{h:<w$}")).collect();
+    out.push_str(&header_line.join("  "));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        out.push_str(&line.join("  "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Formats an optional fraction ("-" when absent).
+pub fn pct_opt(x: Option<f64>) -> String {
+    x.map(pct).unwrap_or_else(|| "-".into())
+}
+
+/// Formats a float compactly.
+pub fn num(x: f64) -> String {
+    if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render(
+            "T",
+            &["col", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines[0], "== T ==");
+        assert!(lines[1].starts_with("col   "));
+        assert!(lines[3].starts_with("a     "));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.875), "87.50%");
+        assert_eq!(pct_opt(None), "-");
+        assert_eq!(num(12345.6), "12346");
+        assert_eq!(num(42.42), "42.4");
+        assert_eq!(num(0.5), "0.500");
+    }
+}

@@ -1,0 +1,92 @@
+//! Smoke tests for the figure harness at the fast scale: every figure
+//! computation must run end to end and satisfy basic structural sanity.
+//! (Paper-shape assertions live in EXPERIMENTS.md at the standard scale;
+//! the fast scale is too small for quantitative claims.)
+
+use pw_repro::figures::*;
+use pw_repro::{build_context, Scale};
+
+#[test]
+fn all_figures_compute_on_fast_context() {
+    let ctx = build_context(Scale::Fast);
+
+    // Figure 1: four series, each non-empty, Storm lowest median volume.
+    let f1 = fig01_volume_cdfs(&ctx);
+    assert_eq!(f1.len(), 4);
+    for s in &f1 {
+        assert!(!s.values.is_empty(), "{} empty", s.name);
+    }
+    let median = |name: &str| {
+        f1.iter().find(|s| s.name == name).unwrap().median().unwrap()
+    };
+    assert!(median("Storm") < median("CMU"));
+    assert!(median("Trader") > median("CMU"));
+
+    // Figure 2: two hosts, hourly fractions within [0, 1].
+    let f2 = fig02_new_ips(&ctx);
+    assert_eq!(f2.len(), 2);
+    for s in &f2 {
+        assert!(!s.hourly.is_empty());
+        for &(_, frac) in &s.hourly {
+            assert!((0.0..=1.0).contains(&frac));
+        }
+    }
+
+    // Figure 3: four panels with normalized histograms.
+    let f3 = fig03_interstitials(&ctx);
+    assert_eq!(f3.len(), 4);
+    for p in &f3 {
+        let mass: f64 = p.histogram.iter().map(|&(_, m)| m).sum();
+        assert!((mass - 1.0).abs() < 1e-6, "{} mass {mass}", p.name);
+        assert!(p.samples > 0);
+    }
+
+    // Figure 5: rates are rates.
+    for s in fig05_failed_cdfs(&ctx) {
+        for &v in &s.values {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    // Figures 6–8: curves exist with in-range points.
+    for curves in [fig06_roc_volume(&ctx), fig07_roc_churn(&ctx), fig08_roc_hm(&ctx)] {
+        assert_eq!(curves.len(), 2);
+        for c in &curves {
+            for p in c.points() {
+                assert!((0.0..=1.0).contains(&p.fpr) && (0.0..=1.0).contains(&p.tpr));
+            }
+        }
+    }
+
+    // Figure 9: stage counts monotonically shrink along the pipeline core.
+    let f9 = fig09_pipeline(&ctx);
+    assert_eq!(f9.stages.len(), 6);
+    assert!(f9.stages[1].hosts <= f9.stages[0].hosts);
+    assert!(f9.stages[5].hosts <= f9.stages[4].hosts);
+    assert!((0.0..=1.0).contains(&f9.storm_tpr));
+    assert!((0.0..=1.0).contains(&f9.fpr));
+
+    // Figure 10: later stages never have more bots than earlier ones.
+    let f10 = fig10_nugache_flow_counts(&ctx);
+    assert_eq!(f10.len(), 4);
+    for w in f10.windows(2) {
+        assert!(w[1].1.len() <= w[0].1.len());
+    }
+
+    // Figure 11: thresholds and medians positive and finite.
+    let (vol, churn) = fig11_evasion_margins(&ctx);
+    assert_eq!(vol.len(), ctx.days.len());
+    for r in vol.iter().chain(&churn) {
+        assert!(r.tau.is_finite() && r.tau > 0.0);
+    }
+}
+
+#[test]
+fn trace_profiles_cover_every_bot() {
+    let ctx = build_context(Scale::Fast);
+    let storm = profiles_of_trace(&ctx.days[0].run.storm);
+    assert_eq!(storm.len(), ctx.days[0].run.storm.bots.len());
+    for p in storm.values() {
+        assert!(p.flows_involving > 0);
+    }
+}

@@ -1,0 +1,276 @@
+//! A BitTorrent host: tracker announces, swarms, tit-for-tat transfers.
+
+use std::sync::Arc;
+
+use rand::{Rng, RngCore};
+
+use pw_apps::model::{ephemeral_port, HostContext, TrafficModel};
+use pw_flow::signatures::build;
+use pw_flow::synth::{emit_connection, ConnOutcome, ConnSpec};
+use pw_flow::PacketSink;
+use pw_netsim::sampling::poisson;
+use pw_netsim::{DiurnalProfile, SimDuration, SimTime};
+
+use crate::catalog::{FileCatalog, FileId};
+use crate::session::SessionPlan;
+
+/// Conventional BitTorrent peer port.
+pub const BT_PEER_PORT: u16 = 6881;
+
+/// A BitTorrent Trader.
+///
+/// Each torrent produces an HTTP tracker announce (with periodic
+/// re-announces — the one mildly *machine-like* timer a Trader has), a burst
+/// of peer-wire connection attempts into the swarm (many dead peers), and
+/// bidirectional tit-for-tat transfers with the live ones. Mainline-DHT
+/// participation runs on `pw-kad`, aligned with [`BittorrentTrader::plan`].
+#[derive(Debug, Clone)]
+pub struct BittorrentTrader {
+    /// Shared content catalog.
+    pub catalog: Arc<FileCatalog>,
+    /// Expected sessions per day.
+    pub mean_sessions: f64,
+    /// Expected torrents per session.
+    pub torrents_per_session: f64,
+    /// Expected inbound leechers served per session (seeding).
+    pub seeds_per_session: f64,
+}
+
+impl BittorrentTrader {
+    /// A trader over `catalog` with default rates.
+    pub fn new(catalog: Arc<FileCatalog>) -> Self {
+        Self { catalog, mean_sessions: 1.2, torrents_per_session: 1.4, seeds_per_session: 1.0 }
+    }
+
+    /// Samples the host's session plan for the window.
+    pub fn plan(&self, ctx: &HostContext<'_>, rng: &mut dyn RngCore) -> SessionPlan {
+        SessionPlan::sample(
+            rng,
+            &DiurnalProfile::residential_evening(),
+            self.mean_sessions,
+            45.0 * 60.0,
+            6.0 * 3600.0,
+            ctx.start,
+            ctx.end,
+        )
+    }
+
+    /// Generates the open-loop traffic for an externally provided plan.
+    pub fn generate_with_plan(
+        &self,
+        ctx: &HostContext<'_>,
+        plan: &SessionPlan,
+        rng: &mut dyn RngCore,
+        sink: &mut dyn PacketSink,
+    ) {
+        for &(s0, s1) in plan.intervals() {
+            self.session(ctx, rng, sink, s0, s1);
+        }
+    }
+
+    fn torrent(
+        &self,
+        ctx: &HostContext<'_>,
+        rng: &mut dyn RngCore,
+        sink: &mut dyn PacketSink,
+        file: FileId,
+        t0: SimTime,
+        s1: SimTime,
+    ) {
+        let size = self.catalog.size_of(file);
+        let swarm = format!("bt-swarm-{}", file.0);
+        let tracker = ctx.space.external("bt-tracker", (file.0 % 200) as u64);
+
+        // Peer-wire fan-out into the swarm.
+        let attempts = rng.gen_range(12..30usize);
+        let mut live = Vec::new();
+        for n in 0..attempts {
+            let peer = ctx.space.external(&swarm, rng.gen_range(0..400));
+            let ts = t0 + SimDuration::from_millis(1_500 * n as u64 + 500);
+            if ts >= s1 {
+                break;
+            }
+            let roll: f64 = rng.gen_range(0.0..1.0);
+            if roll < 0.35 {
+                emit_connection(
+                    sink,
+                    &ConnSpec::tcp(ts, ctx.ip, ephemeral_port(rng), peer, BT_PEER_PORT)
+                        .outcome(ConnOutcome::NoAnswer),
+                );
+            } else if roll < 0.45 {
+                emit_connection(
+                    sink,
+                    &ConnSpec::tcp(ts, ctx.ip, ephemeral_port(rng), peer, BT_PEER_PORT)
+                        .outcome(ConnOutcome::Rejected),
+                );
+            } else if live.len() < 8 {
+                live.push((ts, peer));
+            }
+        }
+
+        // Transfer duration: aggregate rate ~0.3–2 MB/s across the swarm.
+        let agg_rate = rng.gen_range(300_000.0..2_000_000.0);
+        let dl_secs = (size as f64 / agg_rate).clamp(60.0, (s1 - t0).as_secs_f64().max(90.0));
+        let t_end = (t0 + SimDuration::from_secs_f64(dl_secs)).min(s1);
+
+        // Tracker announces: at start, then every 30 min until done.
+        let mut ta = t0;
+        while ta < t_end {
+            emit_connection(
+                sink,
+                &ConnSpec::tcp(ta, ctx.ip, ephemeral_port(rng), tracker, 80)
+                    .outcome(ConnOutcome::Established { bytes_up: 420, bytes_down: 1_800 })
+                    .duration(SimDuration::from_secs(1))
+                    .payload(build::tracker_announce().as_bytes()),
+            );
+            ta += SimDuration::from_secs(1800);
+        }
+
+        if live.is_empty() {
+            return;
+        }
+        let ratio: f64 = rng.gen_range(0.2..1.2);
+        let down_share = size / live.len() as u64;
+        let up_total = (size as f64 * ratio) as u64;
+        let up_share = up_total / live.len() as u64;
+        for (ts, peer) in live {
+            let dur = (t_end - ts).max(SimDuration::from_secs(30));
+            emit_connection(
+                sink,
+                &ConnSpec::tcp(ts, ctx.ip, ephemeral_port(rng), peer, BT_PEER_PORT)
+                    .outcome(ConnOutcome::Established {
+                        bytes_up: up_share + 700,
+                        bytes_down: down_share,
+                    })
+                    .duration(dur)
+                    .payload(build::bittorrent_handshake().as_bytes()),
+            );
+        }
+    }
+
+    fn session(
+        &self,
+        ctx: &HostContext<'_>,
+        rng: &mut dyn RngCore,
+        sink: &mut dyn PacketSink,
+        s0: SimTime,
+        s1: SimTime,
+    ) {
+        let torrents = poisson(rng, self.torrents_per_session).max(1);
+        for _ in 0..torrents {
+            let off = rng.gen_range(0.0..((s1 - s0).as_secs_f64() * 0.7).max(1.0));
+            let t0 = s0 + SimDuration::from_secs_f64(off);
+            if t0 >= s1 {
+                continue;
+            }
+            let file = self.catalog.sample(rng);
+            self.torrent(ctx, rng, sink, file, t0, s1);
+        }
+
+        // Seeding: inbound leechers fetch from us.
+        let seeds = poisson(rng, self.seeds_per_session);
+        for _ in 0..seeds {
+            let off = rng.gen_range(0.0..(s1 - s0).as_secs_f64().max(1.0));
+            let tu = s0 + SimDuration::from_secs_f64(off);
+            if tu >= s1 {
+                continue;
+            }
+            let file = self.catalog.sample(rng);
+            let peer = ctx.space.external(&format!("bt-swarm-{}", file.0), rng.gen_range(0..400));
+            let share = self.catalog.size_of(file) / rng.gen_range(2..6u64);
+            let rate = rng.gen_range(50_000.0..400_000.0);
+            let secs = (share as f64 / rate).clamp(30.0, (s1 - tu).as_secs_f64().max(60.0));
+            let sent = ((rate * secs) as u64).min(share);
+            emit_connection(
+                sink,
+                &ConnSpec::tcp(tu, peer, ephemeral_port(rng), ctx.ip, BT_PEER_PORT)
+                    .outcome(ConnOutcome::Established { bytes_up: 900, bytes_down: sent })
+                    .duration(SimDuration::from_secs_f64(secs))
+                    .payload(build::bittorrent_handshake().as_bytes()),
+            );
+        }
+    }
+}
+
+impl TrafficModel for BittorrentTrader {
+    fn name(&self) -> &'static str {
+        "bittorrent"
+    }
+
+    fn generate(&self, ctx: &HostContext<'_>, rng: &mut dyn RngCore, sink: &mut dyn PacketSink) {
+        let plan = self.plan(ctx, rng);
+        self.generate_with_plan(ctx, &plan, rng, sink);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pw_flow::signatures::{classify_flow, P2pApp};
+    use pw_flow::{ArgusAggregator, FlowRecord};
+    use pw_netsim::AddressSpace;
+
+    fn run_day(seed: u64) -> (std::net::Ipv4Addr, Vec<FlowRecord>) {
+        let mut space = AddressSpace::campus();
+        let ip = space.alloc_internal();
+        let ctx = HostContext::new(ip, &space, SimTime::ZERO, SimTime::from_hours(24));
+        let mut rng = pw_netsim::rng::derive(seed, "bt-test");
+        let trader = BittorrentTrader::new(Arc::new(FileCatalog::new(500, 3)));
+        let mut argus = ArgusAggregator::default();
+        trader.generate(&ctx, &mut rng, &mut argus);
+        (ip, argus.finish(SimTime::from_hours(30)))
+    }
+
+    #[test]
+    fn bittorrent_signatures_present() {
+        let (_, flows) = run_day(1);
+        let bt = flows.iter().filter(|f| classify_flow(f) == Some(P2pApp::BitTorrent)).count();
+        assert!(bt > 3, "{bt} BT-signed flows");
+    }
+
+    #[test]
+    fn tracker_announces_on_port_80() {
+        let (_, flows) = run_day(2);
+        assert!(flows
+            .iter()
+            .any(|f| f.dport == 80 && f.payload.as_bytes().starts_with(b"GET /announce")));
+    }
+
+    #[test]
+    fn swarm_failures_are_common() {
+        let mut failed = 0;
+        let mut total = 0;
+        for seed in 0..8 {
+            let (ip, flows) = run_day(seed);
+            for f in flows.iter().filter(|f| f.src == ip) {
+                total += 1;
+                if f.is_failed() {
+                    failed += 1;
+                }
+            }
+        }
+        let rate = failed as f64 / total.max(1) as f64;
+        assert!(rate > 0.2 && rate < 0.7, "failed rate {rate}");
+    }
+
+    #[test]
+    fn bidirectional_transfer_volume() {
+        let mut up_big = false;
+        let mut down_big = false;
+        for seed in 0..8 {
+            let (ip, flows) = run_day(seed);
+            for f in &flows {
+                if f.bytes_uploaded_by(ip).unwrap_or(0) > 1_000_000 {
+                    up_big = true;
+                }
+                if f.peer_of(ip).is_some()
+                    && (f.src_bytes + f.dst_bytes) - f.bytes_uploaded_by(ip).unwrap_or(0)
+                        > 1_000_000
+                {
+                    down_big = true;
+                }
+            }
+        }
+        assert!(up_big && down_big, "up {up_big} down {down_big}");
+    }
+}

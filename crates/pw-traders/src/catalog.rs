@@ -1,0 +1,113 @@
+//! The shared content catalog traders exchange.
+
+use rand::RngCore;
+
+use pw_netsim::sampling::{LogNormal, Zipf};
+
+/// Identifier of a file in the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub usize);
+
+/// A catalog of shareable files with Zipf popularity and log-normal sizes —
+/// "much of the data found on popular P2P file-sharing applications … are
+/// large multimedia files (e.g., several MBytes in size)" (§IV-A).
+///
+/// # Examples
+///
+/// ```
+/// use pw_traders::FileCatalog;
+///
+/// let catalog = FileCatalog::new(1000, 7);
+/// let mut rng = pw_netsim::rng::derive(1, "pick");
+/// let f = catalog.sample(&mut rng);
+/// assert!(catalog.size_of(f) >= 64 * 1024);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FileCatalog {
+    sizes: Vec<u64>,
+    popularity: Zipf,
+}
+
+impl FileCatalog {
+    /// Builds a catalog of `n_files` files, deterministically from `seed`.
+    ///
+    /// Sizes are log-normal with median ≈ 5 MB and p90 ≈ 180 MB, clamped to
+    /// `[64 KiB, 2 GiB]` (MP3s through movies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_files == 0`.
+    pub fn new(n_files: usize, seed: u64) -> Self {
+        assert!(n_files > 0, "catalog cannot be empty");
+        let dist = LogNormal::from_median_p90(5.0e6, 1.8e8);
+        let mut rng = pw_netsim::rng::derive(seed, "file-catalog");
+        let sizes = (0..n_files)
+            .map(|_| (dist.sample(&mut rng) as u64).clamp(64 * 1024, 2 * 1024 * 1024 * 1024))
+            .collect();
+        Self { sizes, popularity: Zipf::new(n_files, 0.8) }
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Whether the catalog is empty (never true).
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// Draws a file according to popularity.
+    pub fn sample(&self, rng: &mut dyn RngCore) -> FileId {
+        FileId(self.popularity.sample(rng))
+    }
+
+    /// Size of a file in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn size_of(&self, id: FileId) -> u64 {
+        self.sizes[id.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_deterministic() {
+        let a = FileCatalog::new(100, 3);
+        let b = FileCatalog::new(100, 3);
+        assert_eq!(a.size_of(FileId(5)), b.size_of(FileId(5)));
+        assert_eq!(a.len(), 100);
+    }
+
+    #[test]
+    fn sizes_in_multimedia_range() {
+        let c = FileCatalog::new(500, 1);
+        let mut mb_plus = 0;
+        for i in 0..500 {
+            let s = c.size_of(FileId(i));
+            assert!((64 * 1024..=2 * 1024 * 1024 * 1024).contains(&s));
+            if s > 1_000_000 {
+                mb_plus += 1;
+            }
+        }
+        assert!(mb_plus > 300, "most files should be MB-scale, got {mb_plus}");
+    }
+
+    #[test]
+    fn popular_files_drawn_more() {
+        let c = FileCatalog::new(200, 2);
+        let mut rng = pw_netsim::rng::derive(9, "draws");
+        let mut head = 0;
+        for _ in 0..2000 {
+            if c.sample(&mut rng).0 < 20 {
+                head += 1;
+            }
+        }
+        assert!(head > 500, "Zipf head too cold: {head}");
+    }
+}

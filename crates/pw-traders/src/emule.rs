@@ -1,0 +1,290 @@
+//! An eMule / eDonkey file-sharing host.
+//!
+//! eMule's open-loop traffic (server lobby, multi-source transfers, upload
+//! queue) is generated here; its Kad DHT participation runs on the real
+//! Kademlia substrate in `pw-kad`, driven by the dataset builder with the
+//! [`SessionPlan`] this model exposes via [`EmuleTrader::plan`] — call
+//! `plan` and [`EmuleTrader::generate_with_plan`] with *independently
+//! derived* RNG streams so the plan can be reproduced for the DHT driver.
+
+use std::sync::Arc;
+
+use rand::{Rng, RngCore};
+
+use pw_apps::model::{ephemeral_port, HostContext, TrafficModel};
+use pw_flow::signatures::build;
+use pw_flow::synth::{emit_connection, ConnOutcome, ConnSpec};
+use pw_flow::PacketSink;
+use pw_netsim::sampling::poisson;
+use pw_netsim::{DiurnalProfile, SimDuration, SimTime};
+
+use crate::catalog::FileCatalog;
+use crate::session::SessionPlan;
+
+/// eDonkey server TCP port.
+pub const ED2K_SERVER_PORT: u16 = 4661;
+/// eMule peer TCP port.
+pub const EMULE_PEER_PORT: u16 = 4662;
+/// eDonkey server UDP status port.
+pub const ED2K_SERVER_UDP_PORT: u16 = 4665;
+
+/// An eMule Trader.
+///
+/// eMule clients tend to run long sessions (the queue system rewards
+/// staying online) and trickle from many slow sources in parallel — so this
+/// Trader has longer sessions than the Gnutella one but keeps the same
+/// signature features: large aggregate transfers, stale-cache failures, and
+/// a content-driven, churning peer set.
+#[derive(Debug, Clone)]
+pub struct EmuleTrader {
+    /// Shared content catalog.
+    pub catalog: Arc<FileCatalog>,
+    /// Expected sessions per day.
+    pub mean_sessions: f64,
+    /// Expected files being fetched per session.
+    pub files_per_session: f64,
+    /// Expected uploads served per session.
+    pub uploads_per_session: f64,
+}
+
+impl EmuleTrader {
+    /// A trader over `catalog` with default rates.
+    pub fn new(catalog: Arc<FileCatalog>) -> Self {
+        Self { catalog, mean_sessions: 1.1, files_per_session: 1.8, uploads_per_session: 2.0 }
+    }
+
+    /// Samples the host's session plan for the window.
+    pub fn plan(&self, ctx: &HostContext<'_>, rng: &mut dyn RngCore) -> SessionPlan {
+        SessionPlan::sample(
+            rng,
+            &DiurnalProfile::residential_evening(),
+            self.mean_sessions,
+            2.0 * 3600.0,
+            12.0 * 3600.0,
+            ctx.start,
+            ctx.end,
+        )
+    }
+
+    /// Generates the open-loop traffic for an externally provided plan.
+    pub fn generate_with_plan(
+        &self,
+        ctx: &HostContext<'_>,
+        plan: &SessionPlan,
+        rng: &mut dyn RngCore,
+        sink: &mut dyn PacketSink,
+    ) {
+        for &(s0, s1) in plan.intervals() {
+            self.session(ctx, rng, sink, s0, s1);
+        }
+    }
+
+    fn session(
+        &self,
+        ctx: &HostContext<'_>,
+        rng: &mut dyn RngCore,
+        sink: &mut dyn PacketSink,
+        s0: SimTime,
+        s1: SimTime,
+    ) {
+        // --- Lobby server connection (try the static server list). ---
+        let mut t = s0;
+        for _attempt in 0..8 {
+            if t >= s1 {
+                break;
+            }
+            let server = ctx.space.external("ed2k-server", rng.gen_range(0..8));
+            if rng.gen_bool(0.3) {
+                emit_connection(
+                    sink,
+                    &ConnSpec::tcp(t, ctx.ip, ephemeral_port(rng), server, ED2K_SERVER_PORT)
+                        .outcome(ConnOutcome::NoAnswer),
+                );
+                t += SimDuration::from_secs(5);
+            } else {
+                let mins = (s1 - t).as_secs_f64() / 60.0;
+                emit_connection(
+                    sink,
+                    &ConnSpec::tcp(t, ctx.ip, ephemeral_port(rng), server, ED2K_SERVER_PORT)
+                        .outcome(ConnOutcome::Established {
+                            bytes_up: (mins * 300.0) as u64 + 600,
+                            bytes_down: (mins * 800.0) as u64 + 2_000,
+                        })
+                        .duration(s1 - t)
+                        .payload(build::emule_hello().as_bytes()),
+                );
+                break;
+            }
+        }
+
+        // --- Global server UDP status queries (many servers are dead). ---
+        let mut tq = s0 + SimDuration::from_secs(rng.gen_range(30..300));
+        while tq < s1 {
+            let server = ctx.space.external("ed2k-server-udp", rng.gen_range(0..40));
+            let spec = ConnSpec::udp(tq, ctx.ip, ED2K_SERVER_UDP_PORT, server, ED2K_SERVER_UDP_PORT)
+                .payload(build::emule_kad(0x96).as_bytes());
+            if rng.gen_bool(0.5) {
+                emit_connection(
+                    sink,
+                    &spec.outcome(ConnOutcome::UdpNoReply { bytes_up: 6, retries: 1 }),
+                );
+            } else {
+                emit_connection(
+                    sink,
+                    &spec.outcome(ConnOutcome::UdpExchange { bytes_up: 6, bytes_down: 30 }),
+                );
+            }
+            tq += SimDuration::from_secs_f64(rng.gen_range(180.0..600.0));
+        }
+
+        // --- Multi-source trickle downloads. ---
+        let files = poisson(rng, self.files_per_session).max(1);
+        for _ in 0..files {
+            let off = rng.gen_range(0.0..((s1 - s0).as_secs_f64() * 0.6).max(1.0));
+            let td = s0 + SimDuration::from_secs_f64(off);
+            if td >= s1 {
+                continue;
+            }
+            let file = self.catalog.sample(rng);
+            let size = self.catalog.size_of(file);
+            let sources = rng.gen_range(4..12usize);
+            let mut ok_specs = Vec::new();
+            for n in 0..sources {
+                let peer = ctx.space.external("emule-peers", rng.gen_range(0..60_000));
+                let ts = td + SimDuration::from_secs(3 * n as u64);
+                if ts >= s1 {
+                    break;
+                }
+                if rng.gen_bool(0.4) {
+                    emit_connection(
+                        sink,
+                        &ConnSpec::tcp(ts, ctx.ip, ephemeral_port(rng), peer, EMULE_PEER_PORT)
+                            .outcome(ConnOutcome::NoAnswer),
+                    );
+                } else {
+                    ok_specs.push((ts, peer));
+                }
+            }
+            if ok_specs.is_empty() {
+                continue;
+            }
+            let share = size / ok_specs.len() as u64;
+            for (ts, peer) in ok_specs {
+                let rate = rng.gen_range(5_000.0..60_000.0); // slow parallel sources
+                let secs = (share as f64 / rate).clamp(20.0, (s1 - ts).as_secs_f64().max(30.0));
+                let got = ((rate * secs) as u64).min(share);
+                emit_connection(
+                    sink,
+                    &ConnSpec::tcp(ts, ctx.ip, ephemeral_port(rng), peer, EMULE_PEER_PORT)
+                        .outcome(ConnOutcome::Established { bytes_up: 1_400, bytes_down: got })
+                        .duration(SimDuration::from_secs_f64(secs))
+                        .payload(build::emule_hello().as_bytes()),
+                );
+            }
+        }
+
+        // --- Upload queue service (inbound). ---
+        let uploads = poisson(rng, self.uploads_per_session);
+        for _ in 0..uploads {
+            let off = rng.gen_range(0.0..(s1 - s0).as_secs_f64().max(1.0));
+            let tu = s0 + SimDuration::from_secs_f64(off);
+            if tu >= s1 {
+                continue;
+            }
+            let peer = ctx.space.external("emule-peers", rng.gen_range(0..60_000));
+            let chunk = 9_728_000u64.min(self.catalog.size_of(self.catalog.sample(rng)));
+            let rate = rng.gen_range(8_000.0..50_000.0);
+            let secs = (chunk as f64 / rate).clamp(20.0, (s1 - tu).as_secs_f64().max(30.0));
+            let sent = ((rate * secs) as u64).min(chunk);
+            emit_connection(
+                sink,
+                &ConnSpec::tcp(tu, peer, ephemeral_port(rng), ctx.ip, EMULE_PEER_PORT)
+                    .outcome(ConnOutcome::Established { bytes_up: 1_500, bytes_down: sent })
+                    .duration(SimDuration::from_secs_f64(secs))
+                    .payload(build::emule_hello().as_bytes()),
+            );
+        }
+    }
+}
+
+impl TrafficModel for EmuleTrader {
+    fn name(&self) -> &'static str {
+        "emule"
+    }
+
+    fn generate(&self, ctx: &HostContext<'_>, rng: &mut dyn RngCore, sink: &mut dyn PacketSink) {
+        let plan = self.plan(ctx, rng);
+        self.generate_with_plan(ctx, &plan, rng, sink);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pw_flow::signatures::{classify_flow, P2pApp};
+    use pw_flow::{ArgusAggregator, FlowRecord};
+    use pw_netsim::AddressSpace;
+
+    fn run_day(seed: u64) -> (std::net::Ipv4Addr, Vec<FlowRecord>) {
+        let mut space = AddressSpace::campus();
+        let ip = space.alloc_internal();
+        let ctx = HostContext::new(ip, &space, SimTime::ZERO, SimTime::from_hours(24));
+        let mut rng = pw_netsim::rng::derive(seed, "emule-test");
+        let trader = EmuleTrader::new(Arc::new(FileCatalog::new(500, 2)));
+        let mut argus = ArgusAggregator::default();
+        trader.generate(&ctx, &mut rng, &mut argus);
+        (ip, argus.finish(SimTime::from_hours(30)))
+    }
+
+    #[test]
+    fn emule_signature_present() {
+        let (_, flows) = run_day(1);
+        assert!(flows.iter().any(|f| classify_flow(f) == Some(P2pApp::Emule)));
+    }
+
+    #[test]
+    fn plan_reproducible_with_same_stream() {
+        let space = AddressSpace::campus();
+        let ctx = HostContext::new(
+            std::net::Ipv4Addr::new(10, 1, 0, 9),
+            &space,
+            SimTime::ZERO,
+            SimTime::from_hours(24),
+        );
+        let trader = EmuleTrader::new(Arc::new(FileCatalog::new(50, 2)));
+        let mut r1 = pw_netsim::rng::derive(9, "plan");
+        let mut r2 = pw_netsim::rng::derive(9, "plan");
+        assert_eq!(trader.plan(&ctx, &mut r1), trader.plan(&ctx, &mut r2));
+    }
+
+    #[test]
+    fn failures_and_volume_present() {
+        let mut failed = 0;
+        let mut total = 0;
+        let mut big = false;
+        for seed in 0..8 {
+            let (ip, flows) = run_day(seed);
+            for f in &flows {
+                if f.src == ip {
+                    total += 1;
+                    if f.is_failed() {
+                        failed += 1;
+                    }
+                }
+                if f.bytes_uploaded_by(ip).unwrap_or(0) > 500_000 {
+                    big = true;
+                }
+            }
+        }
+        let rate = failed as f64 / total.max(1) as f64;
+        assert!(rate > 0.2, "failed rate {rate}");
+        assert!(big, "no large upload flows");
+    }
+
+    #[test]
+    fn many_distinct_peers_per_day() {
+        let (ip, flows) = run_day(4);
+        let peers: std::collections::HashSet<_> = flows.iter().filter_map(|f| f.peer_of(ip)).collect();
+        assert!(peers.len() >= 10, "{}", peers.len());
+    }
+}

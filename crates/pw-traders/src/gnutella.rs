@@ -1,0 +1,247 @@
+//! A Gnutella file-sharing host (LimeWire-style leaf node).
+
+use std::sync::Arc;
+
+use rand::{Rng, RngCore};
+
+use pw_apps::model::{ephemeral_port, HostContext, TrafficModel};
+use pw_flow::signatures::build;
+use pw_flow::synth::{emit_connection, ConnOutcome, ConnSpec};
+use pw_flow::PacketSink;
+use pw_netsim::sampling::poisson;
+use pw_netsim::{DiurnalProfile, SimDuration, SimTime};
+
+use crate::catalog::FileCatalog;
+use crate::session::SessionPlan;
+
+/// Conventional Gnutella port.
+pub const GNUTELLA_PORT: u16 = 6346;
+
+/// A Gnutella Trader.
+///
+/// Per session: bootstrap from a stale host cache (≈half the candidates are
+/// gone — the failed-connection signal of §V-A), hold a few ultrapeer
+/// connections for the session, download files from multi-source result
+/// sets (fresh peers every time — churn), and serve uploads to strangers.
+#[derive(Debug, Clone)]
+pub struct GnutellaTrader {
+    /// Shared content catalog.
+    pub catalog: Arc<FileCatalog>,
+    /// Expected sessions per day (the cited studies: mostly one).
+    pub mean_sessions: f64,
+    /// Expected downloads per session.
+    pub downloads_per_session: f64,
+    /// Expected inbound uploads served per session.
+    pub uploads_per_session: f64,
+}
+
+impl GnutellaTrader {
+    /// A trader over `catalog` with the default (study-calibrated) rates.
+    pub fn new(catalog: Arc<FileCatalog>) -> Self {
+        Self { catalog, mean_sessions: 1.3, downloads_per_session: 1.6, uploads_per_session: 1.0 }
+    }
+
+    fn session(
+        &self,
+        ctx: &HostContext<'_>,
+        rng: &mut dyn RngCore,
+        sink: &mut dyn PacketSink,
+        s0: SimTime,
+        s1: SimTime,
+    ) {
+        let session_len = s1 - s0;
+        // --- Ultrapeer bootstrap from the stale host cache. ---
+        let mut connected = 0;
+        let mut t = s0;
+        for attempt in 0..24 {
+            if connected >= 3 || t >= s1 {
+                break;
+            }
+            let candidate = ctx.space.external("gnutella-up", rng.gen_range(0..4000));
+            let roll: f64 = rng.gen_range(0.0..1.0);
+            if roll < 0.45 {
+                emit_connection(
+                    sink,
+                    &ConnSpec::tcp(t, ctx.ip, ephemeral_port(rng), candidate, GNUTELLA_PORT)
+                        .outcome(ConnOutcome::NoAnswer),
+                );
+            } else if roll < 0.55 {
+                emit_connection(
+                    sink,
+                    &ConnSpec::tcp(t, ctx.ip, ephemeral_port(rng), candidate, GNUTELLA_PORT)
+                        .outcome(ConnOutcome::Rejected),
+                );
+            } else {
+                connected += 1;
+                let dur = s1 - t;
+                let mins = dur.as_secs_f64() / 60.0;
+                emit_connection(
+                    sink,
+                    &ConnSpec::tcp(t, ctx.ip, ephemeral_port(rng), candidate, GNUTELLA_PORT)
+                        .outcome(ConnOutcome::Established {
+                            bytes_up: (mins * 1_200.0) as u64 + 400,
+                            bytes_down: (mins * 3_500.0) as u64 + 900,
+                        })
+                        .duration(dur)
+                        .payload(build::gnutella_connect().as_bytes()),
+                );
+            }
+            t += SimDuration::from_millis(800 + 400 * attempt as u64);
+        }
+
+        // --- Downloads. ---
+        let downloads = poisson(rng, self.downloads_per_session).max(1);
+        for _ in 0..downloads {
+            let off = rng.gen_range(0.0..session_len.as_secs_f64().max(1.0));
+            let td = s0 + SimDuration::from_secs_f64(off);
+            if td >= s1 {
+                continue;
+            }
+            let file = self.catalog.sample(rng);
+            let size = self.catalog.size_of(file);
+            let sources = rng.gen_range(2..6usize);
+            let mut succeeded = 0u64;
+            let mut specs = Vec::new();
+            for srcn in 0..sources {
+                let peer = ctx.space.external("gnutella-peers", rng.gen_range(0..40_000));
+                let ts = td + SimDuration::from_secs(2 * srcn as u64);
+                if rng.gen_bool(0.35) {
+                    emit_connection(
+                        sink,
+                        &ConnSpec::tcp(ts, ctx.ip, ephemeral_port(rng), peer, GNUTELLA_PORT)
+                            .outcome(ConnOutcome::NoAnswer),
+                    );
+                } else {
+                    succeeded += 1;
+                    specs.push((ts, peer));
+                }
+            }
+            if succeeded == 0 {
+                continue;
+            }
+            let share = size / succeeded;
+            for (ts, peer) in specs {
+                let rate = rng.gen_range(30_000.0..250_000.0);
+                let secs = (share as f64 / rate).clamp(5.0, (s1 - ts).as_secs_f64().max(10.0));
+                emit_connection(
+                    sink,
+                    &ConnSpec::tcp(ts, ctx.ip, ephemeral_port(rng), peer, GNUTELLA_PORT)
+                        .outcome(ConnOutcome::Established {
+                            bytes_up: 900,
+                            bytes_down: share,
+                        })
+                        .duration(SimDuration::from_secs_f64(secs))
+                        .payload(b"GET /get/7/track.mp3 HTTP/1.1\r\nUser-Agent: LimeWire/4.12\r\n"),
+                );
+            }
+        }
+
+        // --- Uploads served to strangers (inbound connections). ---
+        let uploads = poisson(rng, self.uploads_per_session);
+        for _ in 0..uploads {
+            let off = rng.gen_range(0.0..session_len.as_secs_f64().max(1.0));
+            let tu = s0 + SimDuration::from_secs_f64(off);
+            if tu >= s1 {
+                continue;
+            }
+            let stranger = ctx.space.external("gnutella-peers", rng.gen_range(0..40_000));
+            let file = self.catalog.sample(rng);
+            let share = self.catalog.size_of(file) / rng.gen_range(1..4u64);
+            let rate = rng.gen_range(20_000.0..120_000.0);
+            let secs = (share as f64 / rate).clamp(5.0, (s1 - tu).as_secs_f64().max(10.0));
+            emit_connection(
+                sink,
+                &ConnSpec::tcp(tu, stranger, ephemeral_port(rng), ctx.ip, GNUTELLA_PORT)
+                    .outcome(ConnOutcome::Established { bytes_up: 850, bytes_down: share })
+                    .duration(SimDuration::from_secs_f64(secs))
+                    .payload(b"GET /get/9/video.avi HTTP/1.1\r\nUser-Agent: LimeWire/4.10\r\n"),
+            );
+        }
+    }
+}
+
+impl TrafficModel for GnutellaTrader {
+    fn name(&self) -> &'static str {
+        "gnutella"
+    }
+
+    fn generate(&self, ctx: &HostContext<'_>, rng: &mut dyn RngCore, sink: &mut dyn PacketSink) {
+        let plan = SessionPlan::sample(
+            rng,
+            &DiurnalProfile::residential_evening(),
+            self.mean_sessions,
+            20.0 * 60.0,
+            3.0 * 3600.0,
+            ctx.start,
+            ctx.end,
+        );
+        for &(s0, s1) in plan.intervals() {
+            self.session(ctx, rng, sink, s0, s1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pw_flow::signatures::{classify_flow, P2pApp};
+    use pw_flow::{ArgusAggregator, FlowRecord};
+    use pw_netsim::AddressSpace;
+
+    fn run_day(seed: u64) -> (std::net::Ipv4Addr, Vec<FlowRecord>) {
+        let mut space = AddressSpace::campus();
+        let ip = space.alloc_internal();
+        let ctx = HostContext::new(ip, &space, SimTime::ZERO, SimTime::from_hours(24));
+        let mut rng = pw_netsim::rng::derive(seed, "gnutella-test");
+        let trader = GnutellaTrader::new(Arc::new(FileCatalog::new(500, 1)));
+        let mut argus = ArgusAggregator::default();
+        trader.generate(&ctx, &mut rng, &mut argus);
+        (ip, argus.finish(SimTime::from_hours(30)))
+    }
+
+    #[test]
+    fn produces_signature_labelled_flows() {
+        let (_, flows) = run_day(1);
+        let gnut = flows.iter().filter(|f| classify_flow(f) == Some(P2pApp::Gnutella)).count();
+        assert!(gnut > 0, "no Gnutella-signed flows among {}", flows.len());
+    }
+
+    #[test]
+    fn failed_connection_rate_is_high() {
+        let mut failed = 0usize;
+        let mut total = 0usize;
+        for seed in 0..10 {
+            let (ip, flows) = run_day(seed);
+            let initiated: Vec<_> = flows.iter().filter(|f| f.src == ip).collect();
+            failed += initiated.iter().filter(|f| f.is_failed()).count();
+            total += initiated.len();
+        }
+        let rate = failed as f64 / total as f64;
+        assert!(rate > 0.25, "failed rate too low for a P2P host: {rate}");
+        assert!(rate < 0.8, "failed rate implausibly high: {rate}");
+    }
+
+    #[test]
+    fn uploads_give_large_flows() {
+        let mut best = 0u64;
+        for seed in 0..10 {
+            let (ip, flows) = run_day(seed);
+            for f in &flows {
+                best = best.max(f.bytes_uploaded_by(ip).unwrap_or(0));
+            }
+        }
+        assert!(best > 1_000_000, "no MB-scale upload found (best {best})");
+    }
+
+    #[test]
+    fn contacts_many_distinct_peers() {
+        let (ip, flows) = run_day(3);
+        let peers: std::collections::HashSet<_> = flows.iter().filter_map(|f| f.peer_of(ip)).collect();
+        assert!(peers.len() >= 10, "{} peers", peers.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(run_day(6).1, run_day(6).1);
+    }
+}

@@ -1,0 +1,38 @@
+//! P2P file-sharing host models — the paper's **Traders**.
+//!
+//! Three protocol families, matching the paper's Trader dataset (§III):
+//! [`GnutellaTrader`], [`EmuleTrader`], and [`BittorrentTrader`]. Each model
+//! generates a host's daily traffic mechanistically — sessions started by a
+//! human, ultrapeer/server/tracker bootstrap from stale caches (high failed
+//! connection rates), multi-source transfers of catalog files (large
+//! per-flow uploads and downloads), and peer sets driven by content
+//! availability (high day-level churn in contacted IPs).
+//!
+//! Shared substrates:
+//!
+//! - [`FileCatalog`]: Zipf-popular content with log-normal (heavy-tailed)
+//!   multimedia file sizes;
+//! - [`SessionPlan`]: human session scheduling following the measurement
+//!   studies the paper cites (most Traders appear once a day and stay
+//!   connected for minutes, not hours);
+//! - the wire signatures in [`pw_flow::signatures`], so every Trader flow
+//!   ground-truth-labels itself exactly as the paper's payload scan would.
+//!
+//! DHT participation (eMule Kad, BitTorrent Mainline) runs on the *real*
+//! Kademlia substrate in `pw-kad`; the dataset builder in `pw-data` aligns
+//! each trader's DHT sessions with the [`SessionPlan`] exposed here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bittorrent;
+pub mod catalog;
+pub mod emule;
+pub mod gnutella;
+pub mod session;
+
+pub use bittorrent::BittorrentTrader;
+pub use catalog::{FileCatalog, FileId};
+pub use emule::EmuleTrader;
+pub use gnutella::GnutellaTrader;
+pub use session::SessionPlan;

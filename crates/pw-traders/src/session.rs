@@ -1,0 +1,168 @@
+//! Human session scheduling for file-sharing hosts.
+//!
+//! The churn studies the paper cites (Stutzbach & Rejaie; Saroiu et al.;
+//! Gummadi et al.) found that "most Traders appear only once a day, and
+//! remain connected for short durations (minutes)" (§I). [`SessionPlan`]
+//! reproduces that: a small number of sessions per day with log-normal
+//! lengths whose median is minutes.
+
+use rand::{Rng, RngCore};
+
+use pw_netsim::sampling::LogNormal;
+use pw_netsim::{DiurnalProfile, SimDuration, SimTime};
+
+/// The online intervals of a P2P host within a day, sorted and
+/// non-overlapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionPlan {
+    intervals: Vec<(SimTime, SimTime)>,
+}
+
+impl SessionPlan {
+    /// Samples a plan in `[start, end)`.
+    ///
+    /// `mean_sessions` sessions arrive per the diurnal `profile`; each lasts
+    /// log-normal(`median_len_s`, `p90_len_s`). Overlapping sessions merge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or the length parameters are invalid.
+    pub fn sample(
+        rng: &mut dyn RngCore,
+        profile: &DiurnalProfile,
+        mean_sessions: f64,
+        median_len_s: f64,
+        p90_len_s: f64,
+        start: SimTime,
+        end: SimTime,
+    ) -> Self {
+        assert!(end > start, "empty window");
+        let hours = (end - start).as_secs_f64() / 3600.0;
+        let length = LogNormal::from_median_p90(median_len_s, p90_len_s);
+        // Peak arrival rate chosen so the expected count is ~mean_sessions.
+        let rate = (mean_sessions / hours.max(0.01)) * 2.0;
+        let mut arrivals = profile.sample_arrivals(rng, rate.max(1e-6), start, end);
+        // Guarantee at least one session ("appear once a day").
+        if arrivals.is_empty() {
+            let offset = rng.gen_range(0.0..(end - start).as_secs_f64());
+            arrivals.push(start + SimDuration::from_secs_f64(offset));
+        }
+        let mut intervals: Vec<(SimTime, SimTime)> = Vec::new();
+        for s0 in arrivals {
+            let len = length.sample(rng).clamp(60.0, 20.0 * 3600.0);
+            let s1 = (s0 + SimDuration::from_secs_f64(len)).min(end);
+            if s1 <= s0 {
+                continue;
+            }
+            match intervals.last_mut() {
+                Some(last) if s0 <= last.1 => last.1 = last.1.max(s1),
+                _ => intervals.push((s0, s1)),
+            }
+        }
+        Self { intervals }
+    }
+
+    /// A plan with explicit intervals (for tests and bot overlays).
+    ///
+    /// # Panics
+    ///
+    /// Panics if intervals are unsorted, overlapping, or empty ranges.
+    pub fn from_intervals(intervals: Vec<(SimTime, SimTime)>) -> Self {
+        for w in intervals.windows(2) {
+            assert!(w[0].1 < w[1].0, "intervals must be sorted and disjoint");
+        }
+        for &(a, b) in &intervals {
+            assert!(b > a, "empty interval");
+        }
+        Self { intervals }
+    }
+
+    /// The online intervals.
+    pub fn intervals(&self) -> &[(SimTime, SimTime)] {
+        &self.intervals
+    }
+
+    /// Total online time.
+    pub fn online_time(&self) -> SimDuration {
+        self.intervals
+            .iter()
+            .fold(SimDuration::ZERO, |acc, &(a, b)| acc + (b - a))
+    }
+
+    /// Whether the host is online at `t`.
+    pub fn is_online(&self, t: SimTime) -> bool {
+        self.intervals.iter().any(|&(a, b)| a <= t && t < b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(seed: u64) -> SessionPlan {
+        let mut rng = pw_netsim::rng::derive(seed, "sessions");
+        SessionPlan::sample(
+            &mut rng,
+            &DiurnalProfile::residential_evening(),
+            1.3,
+            20.0 * 60.0,
+            3.0 * 3600.0,
+            SimTime::ZERO,
+            SimTime::from_hours(24),
+        )
+    }
+
+    #[test]
+    fn at_least_one_session() {
+        for seed in 0..50 {
+            assert!(!plan(seed).intervals().is_empty(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn intervals_sorted_disjoint_in_window() {
+        for seed in 0..30 {
+            let p = plan(seed);
+            for w in p.intervals().windows(2) {
+                assert!(w[0].1 < w[1].0);
+            }
+            for &(a, b) in p.intervals() {
+                assert!(a < b);
+                assert!(b <= SimTime::from_hours(24));
+            }
+        }
+    }
+
+    #[test]
+    fn median_session_is_minutes_scale() {
+        let mut lens: Vec<f64> = Vec::new();
+        for seed in 0..300 {
+            for &(a, b) in plan(seed).intervals() {
+                lens.push((b - a).as_secs_f64());
+            }
+        }
+        lens.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = lens[lens.len() / 2];
+        assert!(med > 300.0 && med < 2.0 * 3600.0, "median session {med} s");
+    }
+
+    #[test]
+    fn is_online_and_total_time() {
+        let p = SessionPlan::from_intervals(vec![
+            (SimTime::from_hours(1), SimTime::from_hours(2)),
+            (SimTime::from_hours(5), SimTime::from_hours(6)),
+        ]);
+        assert!(p.is_online(SimTime::from_secs(3600)));
+        assert!(!p.is_online(SimTime::from_hours(3)));
+        assert_eq!(p.online_time(), SimDuration::from_hours(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn from_intervals_rejects_overlap() {
+        SessionPlan::from_intervals(vec![
+            (SimTime::from_hours(1), SimTime::from_hours(3)),
+            (SimTime::from_hours(2), SimTime::from_hours(4)),
+        ]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the Trader models.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use pw_apps::model::{HostContext, TrafficModel};
+use pw_flow::signatures::{classify_flow, P2pApp};
+use pw_flow::ArgusAggregator;
+use pw_netsim::{AddressSpace, DiurnalProfile, SimDuration, SimTime};
+use pw_traders::{BittorrentTrader, EmuleTrader, FileCatalog, GnutellaTrader, SessionPlan};
+
+fn run_model(model: &dyn TrafficModel, seed: u64, hours: u64) -> (std::net::Ipv4Addr, Vec<pw_flow::FlowRecord>) {
+    let mut space = AddressSpace::campus();
+    let ip = space.alloc_internal();
+    let ctx = HostContext::new(ip, &space, SimTime::ZERO, SimTime::from_hours(hours));
+    let mut rng = pw_netsim::rng::derive(seed, model.name());
+    let mut argus = ArgusAggregator::default();
+    model.generate(&ctx, &mut rng, &mut argus);
+    (ip, argus.finish(SimTime::from_hours(hours + 8)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// All three trader models only ever sign flows with their own
+    /// protocol family, involve their host, and stay within the window.
+    #[test]
+    fn trader_flows_are_well_formed(seed in 0u64..400, hours in 4u64..10) {
+        let catalog = Arc::new(FileCatalog::new(120, 5));
+        let models: [(&dyn TrafficModel, P2pApp); 3] = [
+            (&GnutellaTrader::new(Arc::clone(&catalog)), P2pApp::Gnutella),
+            (&EmuleTrader::new(Arc::clone(&catalog)), P2pApp::Emule),
+            (&BittorrentTrader::new(Arc::clone(&catalog)), P2pApp::BitTorrent),
+        ];
+        for (model, app) in models {
+            let (ip, flows) = run_model(model, seed, hours);
+            prop_assert!(!flows.is_empty(), "{} generated nothing", model.name());
+            for f in &flows {
+                prop_assert!(f.involves(ip));
+                prop_assert!(f.start < SimTime::from_hours(hours));
+                if let Some(got) = classify_flow(f) {
+                    prop_assert_eq!(got, app, "{} emitted a {} signature", model.name(), got);
+                }
+            }
+        }
+    }
+
+    /// Trader generation is a pure function of its seed.
+    #[test]
+    fn trader_generation_deterministic(seed in 0u64..400) {
+        let catalog = Arc::new(FileCatalog::new(60, 9));
+        let t = GnutellaTrader::new(catalog);
+        let a = run_model(&t, seed, 5);
+        let b = run_model(&t, seed, 5);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Session plans: sorted, disjoint, within the window, non-empty.
+    #[test]
+    fn session_plan_invariants(
+        seed in 0u64..1_000,
+        mean in 0.2f64..4.0,
+        median_mins in 2.0f64..120.0,
+        window_h in 2u64..24,
+    ) {
+        let mut rng = pw_netsim::rng::derive(seed, "plan-props");
+        let plan = SessionPlan::sample(
+            &mut rng,
+            &DiurnalProfile::residential_evening(),
+            mean,
+            median_mins * 60.0,
+            median_mins * 60.0 * 8.0,
+            SimTime::ZERO,
+            SimTime::from_hours(window_h),
+        );
+        prop_assert!(!plan.intervals().is_empty());
+        for w in plan.intervals().windows(2) {
+            prop_assert!(w[0].1 < w[1].0, "overlap");
+        }
+        let mut online = SimDuration::ZERO;
+        for &(a, b) in plan.intervals() {
+            prop_assert!(a < b);
+            prop_assert!(b <= SimTime::from_hours(window_h));
+            online = online + (b - a);
+        }
+        prop_assert_eq!(plan.online_time(), online);
+    }
+
+    /// File catalog: deterministic sizes in the documented range, sampling
+    /// never out of bounds.
+    #[test]
+    fn catalog_invariants(n in 1usize..500, seed: u64) {
+        let c = FileCatalog::new(n, seed);
+        prop_assert_eq!(c.len(), n);
+        let mut rng = pw_netsim::rng::derive(seed, "catalog-props");
+        for _ in 0..20 {
+            let f = c.sample(&mut rng);
+            let size = c.size_of(f);
+            prop_assert!((64 * 1024..=2 * 1024 * 1024 * 1024).contains(&size));
+        }
+    }
+}

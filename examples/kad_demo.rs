@@ -1,0 +1,78 @@
+//! A tour of the Kademlia/Overnet substrate on its own: build an overlay,
+//! watch iterative lookups route, publish and retrieve a rendezvous key,
+//! and inspect the packet trail Argus would see.
+//!
+//! ```sh
+//! cargo run --release --example kad_demo
+//! ```
+
+use std::net::Ipv4Addr;
+
+use peerwatch::flow::signatures::classify_payload;
+use peerwatch::flow::{ArgusAggregator, Packet};
+use peerwatch::kad::{KadConfig, KadEvent, KadSim, LookupGoal, NodeId, WireKind};
+use peerwatch::netsim::{rng, Engine, SimTime};
+use rand::Rng;
+
+fn main() {
+    let mut sim = KadSim::new(KadConfig::default(), 1);
+    let mut engine: Engine<KadEvent> = Engine::new();
+    let mut packets: Vec<Packet> = Vec::new();
+    let mut id_rng = rng::derive(11, "kad-demo-ids");
+
+    // 150-node Overnet overlay; a fifth of the nodes are NAT'd (silent).
+    let n = 150;
+    let mut nodes = Vec::new();
+    for i in 0..n {
+        let ip = Ipv4Addr::new(81, 2, (i / 200) as u8, (i % 200 + 1) as u8);
+        let h = sim.add_node(NodeId::random(&mut id_rng), ip, 7871, WireKind::Overnet);
+        sim.set_online(h, true);
+        if id_rng.gen_bool(0.2) {
+            sim.set_responsive(h, false);
+        }
+        nodes.push(h);
+    }
+    for (i, &h) in nodes.iter().enumerate() {
+        let seeds: Vec<_> = (1..=4).map(|d| nodes[(i + d * 11) % n]).collect();
+        sim.bootstrap(h, &seeds);
+    }
+    println!("overlay: {n} nodes, k = {}, α = {}", sim.config().k, sim.config().alpha);
+
+    // A publisher announces a key; another node searches for it.
+    let key = NodeId::hash_of(b"rendezvous:demo-day-0");
+    let publisher = nodes[3];
+    let searcher = nodes[77];
+    println!("\npublisher {} announces key {key}", sim.contact_of(publisher).ip);
+    sim.start_lookup(&mut engine, &mut packets, publisher, key, LookupGoal::Publish);
+    engine.run_until(SimTime::from_secs(60), |eng, ev| sim.handle(eng, &mut packets, ev));
+
+    println!("searcher  {} looks the key up", sim.contact_of(searcher).ip);
+    sim.start_lookup(&mut engine, &mut packets, searcher, key, LookupGoal::Search);
+    engine.run_until(SimTime::from_secs(120), |eng, ev| sim.handle(eng, &mut packets, ev));
+
+    let hits = sim.take_search_hits(searcher);
+    match hits.first() {
+        Some((_, publishers)) => {
+            println!("search result: {} publisher(s), first = {}", publishers.len(), publishers[0].ip)
+        }
+        None => println!("search found nothing (unlucky overlay; try another seed)"),
+    }
+
+    // The wire view: what a border monitor's Argus would aggregate.
+    let mut argus = ArgusAggregator::default();
+    for &p in &packets {
+        use peerwatch::flow::PacketSink;
+        argus.emit(p);
+    }
+    let flows = argus.finish(SimTime::from_secs(300));
+    let failed = flows.iter().filter(|f| f.is_failed()).count();
+    println!("\nwire view: {} packets -> {} UDP flows ({} failed: dead/NAT'd peers)", packets.len(), flows.len(), failed);
+    let sig = classify_payload(packets[0].payload.as_bytes());
+    println!("payload classification of Overnet control traffic: {sig:?} (eDonkey family — exactly why payload cannot separate Storm from eMule)");
+
+    let stats = sim.stats(searcher);
+    println!(
+        "searcher RPC stats: {} sent, {} timed out, {} lookups completed",
+        stats.rpcs_sent, stats.rpcs_failed, stats.lookups_completed
+    );
+}

@@ -1,0 +1,147 @@
+//! Run the paper's `FindPlotters` detector over a flow-record CSV.
+//!
+//! ```sh
+//! cargo run --release --bin findplotters -- flows.csv \
+//!     [--internal CIDR]... [--truth hosts.csv] \
+//!     [--tau-vol P] [--tau-churn P] [--tau-hm P] [--no-reduction]
+//! ```
+//!
+//! `--internal` defaults to the synthetic campus subnets
+//! (`10.1.0.0/16`, `10.2.0.0/16`). With `--truth` (a `gen-campus`
+//! `hosts.csv`) detection is scored against ground truth.
+
+use std::collections::{HashMap, HashSet};
+use std::fs;
+use std::net::Ipv4Addr;
+
+use peerwatch::detect::{find_plotters, FindPlottersConfig, Threshold};
+use peerwatch::flow::csvio::read_flows;
+use peerwatch::netsim::Subnet;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: findplotters <flows.csv> [--internal CIDR]... [--truth hosts.csv] \
+         [--tau-vol P] [--tau-churn P] [--tau-hm P] [--no-reduction]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_cidr(s: &str) -> Subnet {
+    let (base, prefix) = s.split_once('/').unwrap_or_else(|| usage());
+    Subnet::new(
+        base.parse().unwrap_or_else(|_| usage()),
+        prefix.parse().unwrap_or_else(|_| usage()),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut flows_path: Option<String> = None;
+    let mut subnets: Vec<Subnet> = Vec::new();
+    let mut truth_path: Option<String> = None;
+    let mut cfg = FindPlottersConfig::default();
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--internal" => subnets.push(parse_cidr(it.next().unwrap_or_else(|| usage()))),
+            "--truth" => truth_path = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--tau-vol" => {
+                cfg.tau_vol = Threshold::Percentile(
+                    it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage()),
+                )
+            }
+            "--tau-churn" => {
+                cfg.tau_churn = Threshold::Percentile(
+                    it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage()),
+                )
+            }
+            "--tau-hm" => {
+                cfg.tau_hm = Threshold::Percentile(
+                    it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage()),
+                )
+            }
+            "--no-reduction" => cfg.with_reduction = false,
+            _ if flows_path.is_none() && !a.starts_with('-') => flows_path = Some(a.clone()),
+            _ => usage(),
+        }
+    }
+    let Some(flows_path) = flows_path else { usage() };
+    if subnets.is_empty() {
+        subnets.push(parse_cidr("10.1.0.0/16"));
+        subnets.push(parse_cidr("10.2.0.0/16"));
+    }
+
+    let file = fs::File::open(&flows_path).unwrap_or_else(|e| {
+        eprintln!("cannot open {flows_path}: {e}");
+        std::process::exit(1);
+    });
+    let flows = read_flows(std::io::BufReader::new(file)).unwrap_or_else(|e| {
+        eprintln!("cannot parse {flows_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("loaded {} flows", flows.len());
+
+    let is_internal = |ip: Ipv4Addr| subnets.iter().any(|s| s.contains(ip));
+    let report = find_plotters(&flows, is_internal, &cfg);
+
+    println!("hosts observed:        {}", report.all_hosts.len());
+    println!(
+        "after data reduction:  {} (failed-rate > {:.2}%)",
+        report.after_reduction.len(),
+        report.reduction_threshold * 100.0
+    );
+    println!("S_vol:                 {} (τ_vol = {:.0} B/flow)", report.s_vol.len(), report.tau_vol);
+    println!(
+        "S_churn:               {} (τ_churn = {:.1}% new IPs)",
+        report.s_churn.len(),
+        report.tau_churn * 100.0
+    );
+    println!("S_vol ∪ S_churn:       {}", report.union.len());
+    println!(
+        "θ_hm clusters:         {} (τ_hm = {:.1}s diameter)",
+        report.hm.clusters.len(),
+        report.hm.tau
+    );
+    println!("\nsuspected Plotters ({}):", report.suspects.len());
+    let mut suspects: Vec<_> = report.suspects.iter().collect();
+    suspects.sort();
+    for ip in &suspects {
+        println!("  {ip}");
+    }
+
+    if let Some(tp) = truth_path {
+        let file = fs::File::open(&tp).unwrap_or_else(|e| {
+            eprintln!("cannot read {tp}: {e}");
+            std::process::exit(1);
+        });
+        let rows = peerwatch::data::read_ground_truth(std::io::BufReader::new(file))
+            .unwrap_or_else(|e| {
+                eprintln!("cannot parse {tp}: {e}");
+                std::process::exit(1);
+            });
+        let implants: HashMap<Ipv4Addr, String> = rows
+            .iter()
+            .filter_map(|r| r.implant.map(|f| (r.host, f.to_string())))
+            .collect();
+        let implanted: HashSet<Ipv4Addr> = implants.keys().copied().collect();
+        let mut per_family: HashMap<&str, (usize, usize)> = HashMap::new();
+        for (ip, fam) in &implants {
+            let e = per_family.entry(fam.as_str()).or_default();
+            e.1 += 1;
+            if report.suspects.contains(ip) {
+                e.0 += 1;
+            }
+        }
+        println!("\nscoring against {tp}:");
+        for (fam, (hit, total)) in &per_family {
+            println!("  {fam}: {hit}/{total} detected");
+        }
+        let fp = report.suspects.difference(&implanted).count();
+        let negatives = report.all_hosts.difference(&implanted).count();
+        println!(
+            "  false positives: {fp}/{negatives} ({:.2}%)",
+            fp as f64 / negatives.max(1) as f64 * 100.0
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! # peerwatch
+//!
+//! Telling P2P file-sharing hosts (**Traders**) and P2P bots (**Plotters**)
+//! apart from border flow records — a full reproduction of
+//! *"Are Your Hosts Trading or Plotting? Telling P2P File-Sharing and Bots
+//! Apart"* (Yen & Reiter, ICDCS 2010), including every substrate its
+//! evaluation needs.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! - [`detect`]: the paper's detector — `θ_vol`, `θ_churn`, `θ_hm`, the
+//!   failed-connection data-reduction step, and the `FindPlotters` pipeline;
+//! - [`flow`]: Argus-style bi-directional flow records, packet aggregation,
+//!   payload signatures, CSV persistence;
+//! - [`analysis`]: histograms (Freedman–Diaconis), Earth Mover's Distance,
+//!   hierarchical clustering, CDFs, ROC curves;
+//! - [`netsim`]: the deterministic discrete-event simulation substrate;
+//! - [`kad`]: a message-level Kademlia/Overnet DHT;
+//! - [`apps`], [`traders`], [`botnet`]: the campus background, file-sharing,
+//!   and Storm/Nugache behaviour models;
+//! - [`data`]: dataset assembly — campus days, honeynet traces, overlays,
+//!   ground truth.
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use peerwatch::data::{build_day, overlay_bots, CampusConfig};
+//! use peerwatch::botnet::{generate_storm_trace, StormConfig};
+//! use peerwatch::detect::{find_plotters, FindPlottersConfig};
+//!
+//! // One day of synthetic campus traffic with an implanted Storm botnet.
+//! let day = build_day(&CampusConfig::small(), 0);
+//! let storm = generate_storm_trace(&StormConfig::default(), 7);
+//! let overlaid = overlay_bots(&day, &[&storm], 42);
+//!
+//! // Hunt for the bots using only the flow records.
+//! let report = find_plotters(
+//!     &overlaid.flows,
+//!     |ip| day.is_internal(ip),
+//!     &FindPlottersConfig::default(),
+//! );
+//! for suspect in &report.suspects {
+//!     println!("suspected Plotter: {suspect}");
+//! }
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and `pw-repro` for the
+//! binaries that regenerate every figure of the paper's evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pw_analysis as analysis;
+pub use pw_apps as apps;
+pub use pw_botnet as botnet;
+pub use pw_data as data;
+pub use pw_detect as detect;
+pub use pw_flow as flow;
+pub use pw_kad as kad;
+pub use pw_netsim as netsim;
+pub use pw_traders as traders;
