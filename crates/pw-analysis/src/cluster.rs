@@ -45,10 +45,62 @@ impl DistanceMatrix {
         for i in 0..n {
             for j in (i + 1)..n {
                 let d = f(i, j);
-                assert!(d.is_finite() && d >= 0.0, "distances must be finite and non-negative");
+                assert!(
+                    d.is_finite() && d >= 0.0,
+                    "distances must be finite and non-negative"
+                );
                 data.push(d);
             }
         }
+        Self { n, data }
+    }
+
+    /// [`DistanceMatrix::from_fn`] with rows computed in parallel across
+    /// `threads` scoped workers.
+    ///
+    /// Each worker fills a disjoint set of condensed rows (strided by row
+    /// index so long early rows spread evenly), so the result is identical
+    /// to the serial constructor for any thread count. `threads == 0` is
+    /// clamped to 1; `threads == 1` takes the serial path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` returns a negative or non-finite distance.
+    pub fn from_fn_par<F>(n: usize, threads: usize, f: F) -> Self
+    where
+        F: Fn(usize, usize) -> f64 + Sync,
+    {
+        let threads = threads.max(1);
+        if threads == 1 || n < 3 {
+            return Self::from_fn(n, f);
+        }
+        let mut data = vec![0.0f64; n.saturating_sub(1) * n / 2];
+        // Carve the condensed buffer into per-row slices (row i holds the
+        // n-1-i entries for pairs (i, i+1..n)).
+        let mut rows: Vec<(usize, &mut [f64])> = Vec::with_capacity(n - 1);
+        let mut rest = data.as_mut_slice();
+        for i in 0..n - 1 {
+            let (row, tail) = rest.split_at_mut(n - 1 - i);
+            rows.push((i, row));
+            rest = tail;
+        }
+        std::thread::scope(|scope| {
+            for chunk in assign_strided(rows, threads) {
+                let f = &f;
+                scope.spawn(move || {
+                    for (i, row) in chunk {
+                        for (off, slot) in row.iter_mut().enumerate() {
+                            let d = f(i, i + 1 + off);
+                            assert!(
+                                d.is_finite() && d >= 0.0,
+                                "distances must be finite and non-negative"
+                            );
+                            *slot = d;
+                        }
+                    }
+                });
+            }
+        });
         Self { n, data }
     }
 
@@ -99,6 +151,17 @@ impl DistanceMatrix {
     }
 }
 
+/// Distributes work items round-robin into `threads` buckets (row `i` goes
+/// to bucket `i % threads`), dropping empty buckets.
+fn assign_strided<T>(items: Vec<T>, threads: usize) -> Vec<Vec<T>> {
+    let mut buckets: Vec<Vec<T>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        buckets[i % threads].push(item);
+    }
+    buckets.retain(|b| !b.is_empty());
+    buckets
+}
+
 /// One merge step in a [`Dendrogram`].
 ///
 /// Cluster ids follow the SciPy convention: leaves are `0..n`, and the
@@ -147,7 +210,10 @@ impl Dendrogram {
     ///
     /// Panics if `fraction` is not within `[0, 1]`.
     pub fn cut_top_fraction(&self, fraction: f64) -> Vec<Vec<usize>> {
-        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
         let m = self.merges.len();
         let k = ((fraction * m as f64).round() as usize).min(m);
         self.clusters_from_prefix(m - k)
@@ -187,7 +253,9 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        Self { parent: (0..n).collect() }
+        Self {
+            parent: (0..n).collect(),
+        }
     }
 
     fn find(&mut self, mut x: usize) -> usize {
@@ -228,7 +296,10 @@ impl UnionFind {
 pub fn average_linkage(dm: &DistanceMatrix) -> Dendrogram {
     let n = dm.len();
     if n == 0 {
-        return Dendrogram { n_leaves: 0, merges: Vec::new() };
+        return Dendrogram {
+            n_leaves: 0,
+            merges: Vec::new(),
+        };
     }
     // Working full matrix for O(1) access during nearest-neighbour scans.
     let mut d = vec![0.0f64; n * n];
@@ -247,12 +318,19 @@ pub fn average_linkage(dm: &DistanceMatrix) -> Dendrogram {
     let mut remaining = n;
     while remaining > 1 {
         if chain.is_empty() {
-            let start = active.iter().position(|&a| a).expect("active cluster exists");
+            let start = active
+                .iter()
+                .position(|&a| a)
+                .expect("active cluster exists");
             chain.push(start);
         }
         loop {
             let a = *chain.last().expect("chain non-empty");
-            let prev = if chain.len() >= 2 { Some(chain[chain.len() - 2]) } else { None };
+            let prev = if chain.len() >= 2 {
+                Some(chain[chain.len() - 2])
+            } else {
+                None
+            };
             // Nearest active neighbour of `a`, preferring `prev` on ties so
             // reciprocal pairs terminate the chain.
             let mut best = usize::MAX;
@@ -305,12 +383,20 @@ pub fn average_linkage(dm: &DistanceMatrix) -> Dendrogram {
         let (ida, idb) = (cluster_id[root_a], cluster_id[root_b]);
         let sz = cluster_size[root_a] + cluster_size[root_b];
         let (left, right) = (ida.min(idb), ida.max(idb));
-        merges.push(Merge { left, right, height: h, size: sz });
+        merges.push(Merge {
+            left,
+            right,
+            height: h,
+            size: sz,
+        });
         let new_root = uf.union(root_a, root_b);
         cluster_id[new_root] = n + k; // SciPy convention: merge k -> id n+k
         cluster_size[new_root] = sz;
     }
-    Dendrogram { n_leaves: n, merges }
+    Dendrogram {
+        n_leaves: n,
+        merges,
+    }
 }
 
 #[cfg(test)]
@@ -366,7 +452,9 @@ mod tests {
 
     #[test]
     fn merge_heights_nondecreasing() {
-        let pos: Vec<f64> = (0..40).map(|i| ((i * 2654435761u64 as usize) % 997) as f64).collect();
+        let pos: Vec<f64> = (0..40)
+            .map(|i| ((i * 2654435761u64 as usize) % 997) as f64)
+            .collect();
         let dm = line_matrix(&pos);
         let dd = average_linkage(&dm);
         for w in dd.merges().windows(2) {
@@ -457,11 +545,25 @@ mod tests {
     }
 
     #[test]
+    fn from_fn_par_matches_serial() {
+        let f = |i: usize, j: usize| ((i * 31 + j * 7) % 97) as f64 / 3.0;
+        for n in [0usize, 1, 2, 3, 7, 16, 33] {
+            let serial = DistanceMatrix::from_fn(n, f);
+            for threads in [1usize, 2, 3, 8, 64] {
+                let par = DistanceMatrix::from_fn_par(n, threads, f);
+                assert_eq!(serial, par, "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
     fn nn_chain_matches_naive_oracle() {
         // Deterministic pseudo-random distance matrices via an LCG.
         let mut state = 0x2545F4914F6CDD1Du64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         for n in [2usize, 3, 5, 8, 13] {

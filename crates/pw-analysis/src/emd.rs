@@ -43,9 +43,15 @@ pub fn emd_1d(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
     );
     let wa: f64 = a.iter().map(|&(_, w)| w).sum();
     let wb: f64 = b.iter().map(|&(_, w)| w).sum();
-    assert!(wa > 0.0 && wb > 0.0, "distributions must have positive mass");
+    assert!(
+        wa > 0.0 && wb > 0.0,
+        "distributions must have positive mass"
+    );
     for &(x, w) in a.iter().chain(b.iter()) {
-        assert!(x.is_finite() && w >= 0.0, "positions finite, weights non-negative");
+        assert!(
+            x.is_finite() && w >= 0.0,
+            "positions finite, weights non-negative"
+        );
     }
 
     let mut pa: Vec<(f64, f64)> = a.iter().map(|&(x, w)| (x, w / wa)).collect();

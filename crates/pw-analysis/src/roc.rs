@@ -38,7 +38,10 @@ pub struct RocCurve {
 impl RocCurve {
     /// Creates an empty curve with a series name.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), points: Vec::new() }
+        Self {
+            name: name.into(),
+            points: Vec::new(),
+        }
     }
 
     /// The series name.
@@ -111,7 +114,11 @@ mod tests {
     use super::*;
 
     fn pt(fpr: f64, tpr: f64) -> RocPoint {
-        RocPoint { label: String::from("t"), fpr, tpr }
+        RocPoint {
+            label: String::from("t"),
+            fpr,
+            tpr,
+        }
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! Property-based tests for the statistical substrate.
 
 use proptest::prelude::*;
-use pw_analysis::{
-    average_linkage, emd_1d, iqr, percentile, DistanceMatrix, Ecdf, Histogram,
-};
+use pw_analysis::{average_linkage, emd_1d, iqr, percentile, DistanceMatrix, Ecdf, Histogram};
 
 fn finite_samples(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-1.0e6f64..1.0e6, 1..max_len)

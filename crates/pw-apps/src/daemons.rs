@@ -26,7 +26,10 @@ pub struct NtpDaemon {
 
 impl Default for NtpDaemon {
     fn default() -> Self {
-        Self { interval_s: 1024, servers: 3 }
+        Self {
+            interval_s: 1024,
+            servers: 3,
+        }
     }
 }
 
@@ -48,7 +51,10 @@ impl TrafficModel for NtpDaemon {
                 emit_connection(
                     sink,
                     &ConnSpec::udp(t + skew, ctx.ip, sport, server, 123)
-                        .outcome(ConnOutcome::UdpExchange { bytes_up: 48, bytes_down: 48 })
+                        .outcome(ConnOutcome::UdpExchange {
+                            bytes_up: 48,
+                            bytes_down: 48,
+                        })
                         .payload(b"\x23\x00\x06\x20ntp"),
                 );
             }
@@ -68,7 +74,10 @@ pub struct UpdateChecker {
 
 impl Default for UpdateChecker {
     fn default() -> Self {
-        Self { interval_s: 3 * 3600, download_prob: 0.15 }
+        Self {
+            interval_s: 3 * 3600,
+            download_prob: 0.15,
+        }
     }
 }
 
@@ -84,7 +93,10 @@ impl TrafficModel for UpdateChecker {
             emit_connection(
                 sink,
                 &ConnSpec::tcp(t, ctx.ip, ephemeral_port(rng), cdn, 443)
-                    .outcome(ConnOutcome::Established { bytes_up: 600, bytes_down: 2_500 })
+                    .outcome(ConnOutcome::Established {
+                        bytes_up: 600,
+                        bytes_down: 2_500,
+                    })
                     .duration(SimDuration::from_secs(1))
                     .payload(b"\x16\x03\x01tls-update-check"),
             );
@@ -99,7 +111,10 @@ impl TrafficModel for UpdateChecker {
                         cdn,
                         443,
                     )
-                    .outcome(ConnOutcome::Established { bytes_up: 900, bytes_down: size })
+                    .outcome(ConnOutcome::Established {
+                        bytes_up: 900,
+                        bytes_down: size,
+                    })
                     .duration(SimDuration::from_secs(size / 1_500_000))
                     .payload(b"\x16\x03\x01tls-update-dl"),
                 );
@@ -125,7 +140,10 @@ pub struct StrayConnections {
 
 impl Default for StrayConnections {
     fn default() -> Self {
-        Self { attempts_per_day: 12.0, dead_pool: 6 }
+        Self {
+            attempts_per_day: 12.0,
+            dead_pool: 6,
+        }
     }
 }
 
@@ -139,8 +157,10 @@ impl TrafficModel for StrayConnections {
         let span = (ctx.end - ctx.start).as_millis().max(1);
         for _ in 0..n {
             let t = ctx.start + SimDuration::from_millis(rng.gen_range(0..span));
-            let dead =
-                ctx.space.external("dead-services", rng.gen_range(0..self.dead_pool as u64 * 97));
+            let dead = ctx.space.external(
+                "dead-services",
+                rng.gen_range(0..self.dead_pool as u64 * 97),
+            );
             let port = [80u16, 443, 5190, 6667, 8080][rng.gen_range(0..5usize)];
             if rng.gen_bool(0.7) {
                 emit_connection(
@@ -184,9 +204,16 @@ mod tests {
         assert_eq!(dests.len(), 3);
         assert!(flows.iter().all(|f| f.src_bytes < 200));
         // Interstitial gaps to the same server are near the interval.
-        let mut times: Vec<_> = flows.iter().filter(|f| f.dst == *dests.iter().next().unwrap()).map(|f| f.start).collect();
+        let mut times: Vec<_> = flows
+            .iter()
+            .filter(|f| f.dst == *dests.iter().next().unwrap())
+            .map(|f| f.start)
+            .collect();
         times.sort();
-        let gaps: Vec<f64> = times.windows(2).map(|w| (w[1] - w[0]).as_secs_f64()).collect();
+        let gaps: Vec<f64> = times
+            .windows(2)
+            .map(|w| (w[1] - w[0]).as_secs_f64())
+            .collect();
         let near = gaps.iter().filter(|g| (*g - 1024.0).abs() < 2.0).count();
         assert!(near as f64 > 0.9 * gaps.len() as f64);
     }

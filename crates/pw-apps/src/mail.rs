@@ -31,7 +31,11 @@ pub struct EmailClient {
 
 impl Default for EmailClient {
     fn default() -> Self {
-        Self { persistent: false, poll_interval_s: 1200.0, sends_per_day: 6.0 }
+        Self {
+            persistent: false,
+            poll_interval_s: 1200.0,
+            sends_per_day: 6.0,
+        }
     }
 }
 
@@ -55,7 +59,10 @@ impl TrafficModel for EmailClient {
                 emit_connection(
                     sink,
                     &ConnSpec::tcp(t, ctx.ip, ephemeral_port(rng), provider, 993)
-                        .outcome(ConnOutcome::Established { bytes_up: (secs * 8.0) as u64, bytes_down: fetched })
+                        .outcome(ConnOutcome::Established {
+                            bytes_up: (secs * 8.0) as u64,
+                            bytes_down: fetched,
+                        })
                         .duration(SimDuration::from_secs_f64(secs))
                         .payload(b"\x16\x03\x01tls-imap"),
                 );
@@ -66,11 +73,18 @@ impl TrafficModel for EmailClient {
             let interval = self.poll_interval_s.max(900.0);
             let mut t = ctx.start + SimDuration::from_secs_f64(rng.gen_range(0.0..interval));
             while t < ctx.end {
-                let fetched = if rng.gen_bool(0.25) { body.sample(rng) as u64 } else { 900 };
+                let fetched = if rng.gen_bool(0.25) {
+                    body.sample(rng) as u64
+                } else {
+                    900
+                };
                 emit_connection(
                     sink,
                     &ConnSpec::tcp(t, ctx.ip, ephemeral_port(rng), provider, 993)
-                        .outcome(ConnOutcome::Established { bytes_up: 420, bytes_down: fetched })
+                        .outcome(ConnOutcome::Established {
+                            bytes_up: 420,
+                            bytes_down: fetched,
+                        })
                         .duration(SimDuration::from_secs(2))
                         .payload(b"\x16\x03\x01tls-imap"),
                 );
@@ -90,7 +104,10 @@ impl TrafficModel for EmailClient {
             emit_connection(
                 sink,
                 &ConnSpec::tcp(s, ctx.ip, ephemeral_port(rng), provider, 587)
-                    .outcome(ConnOutcome::Established { bytes_up: up, bytes_down: 800 })
+                    .outcome(ConnOutcome::Established {
+                        bytes_up: up,
+                        bytes_down: 800,
+                    })
                     .duration(SimDuration::from_secs(4))
                     .payload(b"EHLO workstation.campus.edu\r\n"),
             );
@@ -132,12 +149,18 @@ mod tests {
         let ctx = HostContext::new(ip, &space, SimTime::ZERO, SimTime::from_hours(24));
         let mut rng = pw_netsim::rng::derive(22, "mail-persistent");
         let mut argus = ArgusAggregator::default();
-        EmailClient { persistent: true, ..Default::default() }.generate(&ctx, &mut rng, &mut argus);
+        EmailClient {
+            persistent: true,
+            ..Default::default()
+        }
+        .generate(&ctx, &mut rng, &mut argus);
         let flows = argus.finish(SimTime::from_hours(25));
         // A handful of held connections, not dozens of polls.
         let imap: Vec<_> = flows.iter().filter(|f| f.dport == 993).collect();
         assert!(imap.len() < 40, "{}", imap.len());
-        assert!(imap.iter().any(|f| f.duration() > pw_netsim::SimDuration::from_mins(30)));
+        assert!(imap
+            .iter()
+            .any(|f| f.duration() > pw_netsim::SimDuration::from_mins(30)));
     }
 
     #[test]

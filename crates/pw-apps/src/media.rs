@@ -24,7 +24,10 @@ pub struct VideoStreaming {
 
 impl Default for VideoStreaming {
     fn default() -> Self {
-        Self { sessions_per_day: 3.0, cdn_pool: 12 }
+        Self {
+            sessions_per_day: 3.0,
+            cdn_pool: 12,
+        }
     }
 }
 
@@ -37,10 +40,16 @@ impl TrafficModel for VideoStreaming {
         let watch = LogNormal::from_median_p90(900.0, 4800.0); // seconds
         let profile = DiurnalProfile::residential_evening();
         let hours = (ctx.end - ctx.start).as_secs_f64() / 3600.0;
-        let sessions =
-            profile.sample_arrivals(rng, self.sessions_per_day / hours.max(1.0) * 2.0, ctx.start, ctx.end);
+        let sessions = profile.sample_arrivals(
+            rng,
+            self.sessions_per_day / hours.max(1.0) * 2.0,
+            ctx.start,
+            ctx.end,
+        );
         for s0 in sessions {
-            let cdn = ctx.space.external("video-cdn", rng.gen_range(0..self.cdn_pool as u64));
+            let cdn = ctx
+                .space
+                .external("video-cdn", rng.gen_range(0..self.cdn_pool as u64));
             let secs = watch.sample(rng).clamp(60.0, 3.0 * 3600.0);
             // Progressive streaming: the player holds one long connection
             // per stretch of playback (~0.5 Mbyte/s), occasionally
@@ -56,7 +65,10 @@ impl TrafficModel for VideoStreaming {
                 emit_connection(
                     sink,
                     &ConnSpec::tcp(t, ctx.ip, ephemeral_port(rng), cdn, 443)
-                        .outcome(ConnOutcome::Established { bytes_up: 4_000, bytes_down: down })
+                        .outcome(ConnOutcome::Established {
+                            bytes_up: 4_000,
+                            bytes_down: down,
+                        })
                         .duration(SimDuration::from_secs_f64(stretch_secs - 2.0))
                         .payload(b"\x16\x03\x01tls-video"),
                 );

@@ -29,7 +29,12 @@ impl<'a> HostContext<'a> {
     /// Panics if `end <= start`.
     pub fn new(ip: Ipv4Addr, space: &'a AddressSpace, start: SimTime, end: SimTime) -> Self {
         assert!(end > start, "empty generation window");
-        Self { ip, space, start, end }
+        Self {
+            ip,
+            space,
+            start,
+            end,
+        }
     }
 }
 
@@ -69,6 +74,11 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn context_rejects_empty_window() {
         let space = AddressSpace::campus();
-        HostContext::new(Ipv4Addr::new(10, 1, 0, 1), &space, SimTime::from_secs(5), SimTime::from_secs(5));
+        HostContext::new(
+            Ipv4Addr::new(10, 1, 0, 1),
+            &space,
+            SimTime::from_secs(5),
+            SimTime::from_secs(5),
+        );
     }
 }

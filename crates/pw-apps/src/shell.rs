@@ -21,7 +21,10 @@ pub struct SshSessions {
 
 impl Default for SshSessions {
     fn default() -> Self {
-        Self { sessions_per_day: 4.0, server_pool: 5 }
+        Self {
+            sessions_per_day: 4.0,
+            server_pool: 5,
+        }
     }
 }
 
@@ -40,14 +43,19 @@ impl TrafficModel for SshSessions {
             ctx.end,
         );
         for t in arrivals {
-            let server = ctx.space.external("ssh", rng.gen_range(0..self.server_pool as u64));
+            let server = ctx
+                .space
+                .external("ssh", rng.gen_range(0..self.server_pool as u64));
             let secs = length.sample(rng).clamp(20.0, 6.0 * 3600.0);
             let up = (secs * rng.gen_range(20.0..120.0)) as u64;
             let down = (secs * rng.gen_range(100.0..900.0)) as u64;
             emit_connection(
                 sink,
                 &ConnSpec::tcp(t, ctx.ip, ephemeral_port(rng), server, 22)
-                    .outcome(ConnOutcome::Established { bytes_up: up, bytes_down: down })
+                    .outcome(ConnOutcome::Established {
+                        bytes_up: up,
+                        bytes_down: down,
+                    })
                     .duration(SimDuration::from_secs_f64(secs))
                     .payload(b"SSH-2.0-OpenSSH_4.7\r\n"),
             );
@@ -72,7 +80,9 @@ mod tests {
         let flows = argus.finish(SimTime::from_hours(31));
         assert!(!flows.is_empty());
         assert!(flows.iter().all(|f| f.dport == 22 && !f.is_failed()));
-        assert!(flows.iter().any(|f| f.duration() > SimDuration::from_mins(5)));
+        assert!(flows
+            .iter()
+            .any(|f| f.duration() > SimDuration::from_mins(5)));
         let dests: std::collections::HashSet<_> = flows.iter().map(|f| f.dst).collect();
         assert!(dests.len() <= 5);
     }

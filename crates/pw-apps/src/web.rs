@@ -55,7 +55,9 @@ impl TrafficModel for WebBrowsing {
         let think = LogNormal::from_median_p90(self.think_median_s, self.think_median_s * 8.0);
         let hours = (ctx.end - ctx.start).as_secs_f64() / 3600.0;
         let peak_rate = self.sessions_per_day / hours.max(1.0) * 2.0;
-        let sessions = self.profile.sample_arrivals(rng, peak_rate, ctx.start, ctx.end);
+        let sessions = self
+            .profile
+            .sample_arrivals(rng, peak_rate, ctx.start, ctx.end);
         for s0 in sessions {
             // A session is a series of site *visits*; each visit reuses one
             // keep-alive connection for all of its requests (HTTP/1.1), so
@@ -74,7 +76,10 @@ impl TrafficModel for WebBrowsing {
                     emit_connection(
                         sink,
                         &ConnSpec::udp(t, ctx.ip, ephemeral_port(rng), resolver, 53)
-                            .outcome(ConnOutcome::UdpExchange { bytes_up: 45, bytes_down: 160 })
+                            .outcome(ConnOutcome::UdpExchange {
+                                bytes_up: 45,
+                                bytes_down: 160,
+                            })
                             .payload(b"\x12\x34\x01\x00dns"),
                     );
                 }
@@ -101,7 +106,10 @@ impl TrafficModel for WebBrowsing {
                     emit_connection(
                         sink,
                         &ConnSpec::tcp(t_req, ctx.ip, ephemeral_port(rng), server, 80)
-                            .outcome(ConnOutcome::Established { bytes_up: up, bytes_down: down })
+                            .outcome(ConnOutcome::Established {
+                                bytes_up: up,
+                                bytes_down: down,
+                            })
                             .duration(SimDuration::from_secs_f64(dwell))
                             .payload(build::http_get("/page").as_bytes()),
                     );
@@ -134,7 +142,11 @@ mod tests {
         assert!(flows.len() > 20, "too few flows: {}", flows.len());
         // Mostly successful.
         let failed = flows.iter().filter(|f| f.is_failed()).count();
-        assert!((failed as f64) < 0.15 * flows.len() as f64, "{failed}/{}", flows.len());
+        assert!(
+            (failed as f64) < 0.15 * flows.len() as f64,
+            "{failed}/{}",
+            flows.len()
+        );
         // Download-dominated.
         let up: u64 = flows.iter().map(|f| f.src_bytes).sum();
         let down: u64 = flows.iter().map(|f| f.dst_bytes).sum();
@@ -153,14 +165,20 @@ mod tests {
     #[test]
     fn respects_window() {
         let flows = run_day(3);
-        assert!(flows.iter().all(|f| f.start >= SimTime::ZERO && f.start < SimTime::from_hours(24)));
+        assert!(flows
+            .iter()
+            .all(|f| f.start >= SimTime::ZERO && f.start < SimTime::from_hours(24)));
     }
 
     #[test]
     fn some_tcp_established_and_some_dns() {
         let flows = run_day(13);
-        assert!(flows.iter().any(|f| f.state == FlowState::Established && f.dport == 80));
-        assert!(flows.iter().any(|f| f.dport == 53 && f.state == FlowState::UdpReplied));
+        assert!(flows
+            .iter()
+            .any(|f| f.state == FlowState::Established && f.dport == 80));
+        assert!(flows
+            .iter()
+            .any(|f| f.dport == 53 && f.state == FlowState::UdpReplied));
     }
 
     #[test]

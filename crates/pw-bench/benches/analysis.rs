@@ -55,8 +55,16 @@ fn bench_clustering(c: &mut Criterion) {
 
 fn bench_percentile(c: &mut Criterion) {
     let xs = samples(10_000, 9);
-    c.bench_function("percentile_10k", |b| b.iter(|| percentile(black_box(&xs), 50.0)));
+    c.bench_function("percentile_10k", |b| {
+        b.iter(|| percentile(black_box(&xs), 50.0))
+    });
 }
 
-criterion_group!(benches, bench_histograms, bench_emd, bench_clustering, bench_percentile);
+criterion_group!(
+    benches,
+    bench_histograms,
+    bench_emd,
+    bench_clustering,
+    bench_percentile
+);
 criterion_main!(benches);

@@ -21,7 +21,9 @@ fn bench_detect(c: &mut Criterion) {
 
     let profiles = &fixture.profiles;
     let (reduced, _) = initial_reduction(profiles);
-    c.bench_function("initial_reduction", |b| b.iter(|| initial_reduction(black_box(profiles))));
+    c.bench_function("initial_reduction", |b| {
+        b.iter(|| initial_reduction(black_box(profiles)))
+    });
     c.bench_function("theta_vol", |b| {
         b.iter(|| theta_vol(black_box(profiles), &reduced, Threshold::Percentile(50.0)))
     });
@@ -35,7 +37,14 @@ fn bench_detect(c: &mut Criterion) {
     let mut group = c.benchmark_group("theta_hm");
     group.sample_size(10);
     group.bench_function("clustered", |b| {
-        b.iter(|| theta_hm(black_box(profiles), &union, Threshold::Percentile(70.0), 0.05))
+        b.iter(|| {
+            theta_hm(
+                black_box(profiles),
+                &union,
+                Threshold::Percentile(70.0),
+                0.05,
+            )
+        })
     });
     group.finish();
 

@@ -9,7 +9,10 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use pw_analysis::Ecdf;
 use pw_bench::bench_day;
-use pw_botnet::{apply_evasion, EvasionConfig, generate_nugache_trace, generate_storm_trace, NugacheConfig, StormConfig};
+use pw_botnet::{
+    apply_evasion, generate_nugache_trace, generate_storm_trace, EvasionConfig, NugacheConfig,
+    StormConfig,
+};
 use pw_detect::{find_plotters_from_profiles, FindPlottersConfig};
 use pw_netsim::SimDuration;
 
@@ -20,8 +23,10 @@ fn bench_figure_kernels(c: &mut Criterion) {
     // Figures 1 and 5 are per-host CDFs over extracted features.
     c.bench_function("fig01_volume_cdf_kernel", |b| {
         b.iter(|| {
-            let vals: Vec<f64> =
-                profiles.values().filter_map(|p| p.avg_upload_per_flow()).collect();
+            let vals: Vec<f64> = profiles
+                .values()
+                .filter_map(|p| p.avg_upload_per_flow())
+                .collect();
             Ecdf::new(black_box(vals))
         })
     });
@@ -34,7 +39,12 @@ fn bench_figure_kernels(c: &mut Criterion) {
 
     // Figure 2/3 kernels: churn metric and FD histograms per host.
     c.bench_function("fig02_churn_kernel", |b| {
-        b.iter(|| profiles.values().filter_map(|p| p.new_ip_fraction()).sum::<f64>())
+        b.iter(|| {
+            profiles
+                .values()
+                .filter_map(|p| p.new_ip_fraction())
+                .sum::<f64>()
+        })
     });
     c.bench_function("fig03_interstitial_histograms", |b| {
         b.iter(|| {
@@ -106,9 +116,16 @@ fn bench_evasion_rewrite(c: &mut Criterion) {
     };
     let mut group = c.benchmark_group("fig12_evasion_rewrite");
     group.sample_size(20);
-    group.bench_function("all_knobs", |b| b.iter(|| apply_evasion(black_box(&trace), &cfg, 9)));
+    group.bench_function("all_knobs", |b| {
+        b.iter(|| apply_evasion(black_box(&trace), &cfg, 9))
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_figure_kernels, bench_trace_generation, bench_evasion_rewrite);
+criterion_group!(
+    benches,
+    bench_figure_kernels,
+    bench_trace_generation,
+    bench_evasion_rewrite
+);
 criterion_main!(benches);

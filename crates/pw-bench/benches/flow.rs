@@ -16,7 +16,10 @@ fn packet_script(conns: usize) -> Vec<Packet> {
             Ipv4Addr::new(93, 10, (i / 200 % 200) as u8, (i % 200) as u8 + 1),
             80,
         )
-        .outcome(ConnOutcome::Established { bytes_up: 600, bytes_down: 30_000 })
+        .outcome(ConnOutcome::Established {
+            bytes_up: 600,
+            bytes_down: 30_000,
+        })
         .duration(SimDuration::from_secs(2));
         emit_connection(&mut pkts, &spec);
     }

@@ -2,7 +2,9 @@
 //! iterative lookups through a simulated overlay.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use pw_kad::{Contact, KadConfig, KadEvent, KadSim, LookupGoal, NodeHandle, NodeId, RoutingTable, WireKind};
+use pw_kad::{
+    Contact, KadConfig, KadEvent, KadSim, LookupGoal, NodeHandle, NodeId, RoutingTable, WireKind,
+};
 use pw_netsim::{rng, Engine, SimTime};
 use rand::Rng;
 use std::net::Ipv4Addr;
@@ -72,8 +74,16 @@ fn bench_lookup(c: &mut Criterion) {
                 let mut packets: Vec<pw_flow::Packet> = Vec::new();
                 i += 1;
                 let target = NodeId::hash_of(format!("bench-key-{i}").as_bytes());
-                sim.start_lookup(&mut engine, &mut packets, handles[0], target, LookupGoal::FindNode);
-                engine.run_until(SimTime::from_secs(60), |eng, ev| sim.handle(eng, &mut packets, ev));
+                sim.start_lookup(
+                    &mut engine,
+                    &mut packets,
+                    handles[0],
+                    target,
+                    LookupGoal::FindNode,
+                );
+                engine.run_until(SimTime::from_secs(60), |eng, ev| {
+                    sim.handle(eng, &mut packets, ev)
+                });
                 black_box(packets.len())
             })
         });

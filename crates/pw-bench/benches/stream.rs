@@ -1,0 +1,99 @@
+//! Streaming-engine benchmarks: batch vs streaming, and the multi-core
+//! speedup of host-sharded profile extraction and threshold tests.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pw_bench::bench_day;
+use pw_detect::stream::{DetectionEngine, EngineConfig};
+use pw_detect::{
+    extract_profiles, extract_profiles_par, find_plotters_from_profiles, try_find_plotters,
+    FindPlottersConfig,
+};
+use pw_netsim::SimDuration;
+
+fn bench_parallel_speedup(c: &mut Criterion) {
+    let fixture = bench_day();
+    let day = &fixture.day;
+    let mut flows = fixture.flows.clone();
+    flows.sort_by_key(|f| (f.start, f.src, f.dst, f.sport, f.dport));
+
+    let mut group = c.benchmark_group("stream/extract_profiles");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(flows.len() as u64));
+    group.bench_function("serial", |b| {
+        b.iter(|| extract_profiles(black_box(&flows), |ip| day.is_internal(ip)))
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("sharded", threads), &threads, |b, &t| {
+            b.iter(|| extract_profiles_par(black_box(&flows), |ip| day.is_internal(ip), t))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("stream/full_pipeline");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(flows.len() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                try_find_plotters(
+                    black_box(&flows),
+                    |ip| day.is_internal(ip),
+                    &FindPlottersConfig::default(),
+                    t,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let fixture = bench_day();
+    let day = &fixture.day;
+    let mut flows = fixture.flows.clone();
+    flows.sort_by_key(|f| (f.start, f.src, f.dst, f.sport, f.dport));
+
+    // Batch baseline on pre-extracted profiles, for scale.
+    let mut group = c.benchmark_group("stream/batch_baseline");
+    group.sample_size(10);
+    group.bench_function("find_plotters_from_profiles", |b| {
+        b.iter(|| {
+            find_plotters_from_profiles(
+                black_box(&fixture.profiles),
+                &FindPlottersConfig::default(),
+            )
+        })
+    });
+    group.finish();
+
+    // The engine replaying the day in hourly tumbling windows.
+    let mut group = c.benchmark_group("stream/engine_hourly");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(flows.len() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                let cfg = EngineConfig {
+                    window: SimDuration::from_hours(1),
+                    slide: SimDuration::from_hours(1),
+                    lateness: SimDuration::from_mins(10),
+                    threads: t,
+                    ..Default::default()
+                };
+                let mut engine =
+                    DetectionEngine::new(cfg, |ip| day.is_internal(ip)).expect("valid config");
+                let mut reports = Vec::new();
+                for f in black_box(&flows) {
+                    reports.extend(engine.push(*f).expect("in-order replay"));
+                }
+                reports.extend(engine.finish());
+                reports
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_speedup, bench_engine);
+criterion_main!(benches);

@@ -12,8 +12,8 @@
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
-use pw_data::{build_day, overlay_bots, CampusConfig, DayDataset};
 use pw_botnet::{generate_nugache_trace, generate_storm_trace, NugacheConfig, StormConfig};
+use pw_data::{build_day, overlay_bots, CampusConfig, DayDataset};
 use pw_detect::{extract_profiles, HostProfile};
 use pw_flow::FlowRecord;
 use pw_netsim::SimDuration;
@@ -59,10 +59,18 @@ pub fn bench_day() -> BenchDay {
         1,
     );
     let nugache = generate_nugache_trace(
-        &NugacheConfig { n_bots: 15, duration: campus.duration, ..NugacheConfig::default() },
+        &NugacheConfig {
+            n_bots: 15,
+            duration: campus.duration,
+            ..NugacheConfig::default()
+        },
         2,
     );
     let overlaid = overlay_bots(&day, &[&storm, &nugache], 3);
     let profiles = extract_profiles(&overlaid.flows, |ip| day.is_internal(ip));
-    BenchDay { day, flows: overlaid.flows, profiles }
+    BenchDay {
+        day,
+        flows: overlaid.flows,
+        profiles,
+    }
 }

@@ -39,14 +39,21 @@ pub struct EvasionConfig {
 
 impl Default for EvasionConfig {
     fn default() -> Self {
-        Self { volume_multiplier: 1.0, new_peer_multiplier: 1.0, jitter: None }
+        Self {
+            volume_multiplier: 1.0,
+            new_peer_multiplier: 1.0,
+            jitter: None,
+        }
     }
 }
 
 impl EvasionConfig {
     /// Pure-jitter configuration (the Figure 12 sweep).
     pub fn jitter_only(d: SimDuration) -> Self {
-        Self { jitter: Some(d), ..Self::default() }
+        Self {
+            jitter: Some(d),
+            ..Self::default()
+        }
     }
 }
 
@@ -80,7 +87,9 @@ pub fn apply_evasion(trace: &BotTrace, cfg: &EvasionConfig, seed: u64) -> BotTra
                 let mut seen: HashSet<Ipv4Addr> = HashSet::new();
                 let d_ms = d.as_millis() as i64;
                 for f in bot.flows.iter_mut() {
-                    let Some(peer) = f.peer_of(bot.ip) else { continue };
+                    let Some(peer) = f.peer_of(bot.ip) else {
+                        continue;
+                    };
                     if !seen.insert(peer) {
                         let delta = r.gen_range(-d_ms..=d_ms);
                         let shift = |t: SimTime| {
@@ -137,7 +146,13 @@ mod tests {
     use crate::nugache::{generate_nugache_trace, NugacheConfig};
 
     fn base_trace() -> BotTrace {
-        generate_nugache_trace(&NugacheConfig { n_bots: 6, ..Default::default() }, 1)
+        generate_nugache_trace(
+            &NugacheConfig {
+                n_bots: 6,
+                ..Default::default()
+            },
+            1,
+        )
     }
 
     #[test]
@@ -150,12 +165,19 @@ mod tests {
     #[test]
     fn volume_multiplier_scales_uploads() {
         let t = base_trace();
-        let cfg = EvasionConfig { volume_multiplier: 3.0, ..Default::default() };
+        let cfg = EvasionConfig {
+            volume_multiplier: 3.0,
+            ..Default::default()
+        };
         let e = apply_evasion(&t, &cfg, 5);
         let up = |tr: &BotTrace| -> u64 {
             tr.bots
                 .iter()
-                .flat_map(|b| b.flows.iter().map(move |f| f.bytes_uploaded_by(b.ip).unwrap_or(0)))
+                .flat_map(|b| {
+                    b.flows
+                        .iter()
+                        .map(move |f| f.bytes_uploaded_by(b.ip).unwrap_or(0))
+                })
                 .sum()
         };
         let (before, after) = (up(&t), up(&e));
@@ -165,7 +187,10 @@ mod tests {
     #[test]
     fn new_peer_multiplier_adds_fresh_destinations() {
         let t = base_trace();
-        let cfg = EvasionConfig { new_peer_multiplier: 1.5, ..Default::default() };
+        let cfg = EvasionConfig {
+            new_peer_multiplier: 1.5,
+            ..Default::default()
+        };
         let e = apply_evasion(&t, &cfg, 5);
         for (b0, b1) in t.bots.iter().zip(&e.bots) {
             let d0: HashSet<_> = b0.flows.iter().filter_map(|f| f.peer_of(b0.ip)).collect();
@@ -215,7 +240,11 @@ mod tests {
     #[test]
     fn jitter_keeps_flows_sorted_and_durations_intact() {
         let t = base_trace();
-        let e = apply_evasion(&t, &EvasionConfig::jitter_only(SimDuration::from_mins(10)), 6);
+        let e = apply_evasion(
+            &t,
+            &EvasionConfig::jitter_only(SimDuration::from_mins(10)),
+            6,
+        );
         for b in &e.bots {
             for w in b.flows.windows(2) {
                 assert!(w[0].start <= w[1].start);
@@ -229,6 +258,13 @@ mod tests {
     #[test]
     #[should_panic(expected = ">= 1")]
     fn rejects_sub_unit_multiplier() {
-        apply_evasion(&base_trace(), &EvasionConfig { volume_multiplier: 0.5, ..Default::default() }, 1);
+        apply_evasion(
+            &base_trace(),
+            &EvasionConfig {
+                volume_multiplier: 0.5,
+                ..Default::default()
+            },
+            1,
+        );
     }
 }

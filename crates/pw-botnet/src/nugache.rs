@@ -113,16 +113,31 @@ fn bot_day<S: PacketSink>(
                     let down = rng.gen_range(250..1_200);
                     emit_connection(
                         sink,
-                        &ConnSpec::tcp(t, bot_ip, 32_768 + (payload_seed % 28_000) as u16, entry.ip, NUGACHE_PORT)
-                            .outcome(ConnOutcome::Established { bytes_up: up, bytes_down: down })
-                            .duration(SimDuration::from_secs_f64(rng.gen_range(0.5..4.0)))
-                            .payload(build::opaque(payload_seed).as_bytes()),
+                        &ConnSpec::tcp(
+                            t,
+                            bot_ip,
+                            32_768 + (payload_seed % 28_000) as u16,
+                            entry.ip,
+                            NUGACHE_PORT,
+                        )
+                        .outcome(ConnOutcome::Established {
+                            bytes_up: up,
+                            bytes_down: down,
+                        })
+                        .duration(SimDuration::from_secs_f64(rng.gen_range(0.5..4.0)))
+                        .payload(build::opaque(payload_seed).as_bytes()),
                     );
                 } else {
                     emit_connection(
                         sink,
-                        &ConnSpec::tcp(t, bot_ip, 32_768 + (payload_seed % 28_000) as u16, entry.ip, NUGACHE_PORT)
-                            .outcome(ConnOutcome::NoAnswer),
+                        &ConnSpec::tcp(
+                            t,
+                            bot_ip,
+                            32_768 + (payload_seed % 28_000) as u16,
+                            entry.ip,
+                            NUGACHE_PORT,
+                        )
+                        .outcome(ConnOutcome::NoAnswer),
                     );
                 }
                 // Machine timer: the class interval with millisecond skew.
@@ -135,7 +150,10 @@ fn bot_day<S: PacketSink>(
 
 /// Runs the Nugache honeynet capture. Deterministic in (`cfg`, `seed`).
 pub fn generate_nugache_trace(cfg: &NugacheConfig, seed: u64) -> BotTrace {
-    assert!(cfg.n_bots > 0 && cfg.peer_pool >= cfg.peer_list_range.1, "pool smaller than lists");
+    assert!(
+        cfg.n_bots > 0 && cfg.peer_pool >= cfg.peer_list_range.1,
+        "pool smaller than lists"
+    );
     let mut master = rng::derive(seed, "nugache-trace");
 
     // Global peer pool with per-peer liveness (shared across bots: dead
@@ -163,8 +181,10 @@ pub fn generate_nugache_trace(cfg: &NugacheConfig, seed: u64) -> BotTrace {
         bot_ips.push(bot_ip);
         let mut rng_b = rng::derive_indexed(seed, "nugache-bot", b as u64);
         let list_len = rng_b.gen_range(cfg.peer_list_range.0..=cfg.peer_list_range.1);
-        let list: Vec<PeerEntry> =
-            pool.choose_multiple(&mut rng_b, list_len).copied().collect();
+        let list: Vec<PeerEntry> = pool
+            .choose_multiple(&mut rng_b, list_len)
+            .copied()
+            .collect();
         let activity = if rng_b.gen_bool(cfg.strong_frac) {
             rng_b.gen_range(cfg.strong_activity.0..cfg.strong_activity.1)
         } else {
@@ -182,7 +202,10 @@ mod tests {
     use super::*;
 
     fn cfg() -> NugacheConfig {
-        NugacheConfig { n_bots: 30, ..NugacheConfig::default() }
+        NugacheConfig {
+            n_bots: 30,
+            ..NugacheConfig::default()
+        }
     }
 
     #[test]
@@ -230,13 +253,20 @@ mod tests {
 
     #[test]
     fn timer_classes_visible_in_interstitials() {
-        let trace = generate_nugache_trace(&NugacheConfig { n_bots: 10, ..Default::default() }, 4);
+        let trace = generate_nugache_trace(
+            &NugacheConfig {
+                n_bots: 10,
+                ..Default::default()
+            },
+            4,
+        );
         // Pool per-destination gaps across all bots; count how many fall
         // near a timer class.
         let mut near = 0usize;
         let mut total = 0usize;
         for bot in &trace.bots {
-            let mut per_dest: std::collections::HashMap<Ipv4Addr, Vec<SimTime>> = Default::default();
+            let mut per_dest: std::collections::HashMap<Ipv4Addr, Vec<SimTime>> =
+                Default::default();
             for f in &bot.flows {
                 if let Some(p) = f.peer_of(bot.ip) {
                     per_dest.entry(p).or_default().push(f.start);
@@ -278,6 +308,9 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(generate_nugache_trace(&cfg(), 9), generate_nugache_trace(&cfg(), 9));
+        assert_eq!(
+            generate_nugache_trace(&cfg(), 9),
+            generate_nugache_trace(&cfg(), 9)
+        );
     }
 }

@@ -99,10 +99,17 @@ pub fn rendezvous_key(day: u64, slot: u64, r: u64) -> NodeId {
 ///
 /// Deterministic in (`cfg`, `seed`).
 pub fn generate_storm_trace(cfg: &StormConfig, seed: u64) -> BotTrace {
-    assert!(cfg.n_bots > 0 && cfg.external_population >= 20, "population too small");
+    assert!(
+        cfg.n_bots > 0 && cfg.external_population >= 20,
+        "population too small"
+    );
     let mut master = rng::derive(seed, "storm-trace");
     let mut sim = KadSim::new(
-        KadConfig { k: 8, alpha: 3, ..KadConfig::default() },
+        KadConfig {
+            k: 8,
+            alpha: 3,
+            ..KadConfig::default()
+        },
         seed ^ 0x5707,
     );
     let mut engine: Engine<StormEvent> = Engine::new();
@@ -150,8 +157,10 @@ pub fn generate_storm_trace(cfg: &StormConfig, seed: u64) -> BotTrace {
     let mut peer_lists: Vec<Vec<pw_kad::NodeHandle>> = Vec::new();
     for (b, &h) in bot_handles.iter().enumerate() {
         let mut rng_b = rng::derive_indexed(seed, "storm-bot-peers", b as u64);
-        let mut list: Vec<_> =
-            externals.choose_multiple(&mut rng_b, cfg.peer_list_size).copied().collect();
+        let mut list: Vec<_> = externals
+            .choose_multiple(&mut rng_b, cfg.peer_list_size)
+            .copied()
+            .collect();
         list.sort_by_key(|h| h.index());
         sim.bootstrap(h, &list);
         peer_lists.push(list);
@@ -182,7 +191,10 @@ pub fn generate_storm_trace(cfg: &StormConfig, seed: u64) -> BotTrace {
         );
     }
     for c in 0..controllers.len() {
-        engine.schedule_at(SimTime::from_millis(c as u64 * 1000), StormEvent::ControllerPublish { ctrl: c });
+        engine.schedule_at(
+            SimTime::from_millis(c as u64 * 1000),
+            StormEvent::ControllerPublish { ctrl: c },
+        );
     }
 
     // --- Run. ---
@@ -194,7 +206,9 @@ pub fn generate_storm_trace(cfg: &StormConfig, seed: u64) -> BotTrace {
         if ms == 0 {
             base
         } else {
-            SimDuration::from_millis(base.as_millis().saturating_sub(ms / 2) + rng.gen_range(0..=ms))
+            SimDuration::from_millis(
+                base.as_millis().saturating_sub(ms / 2) + rng.gen_range(0..=ms),
+            )
         }
     };
     engine.run_until(end, |eng, ev| match ev {
@@ -239,7 +253,10 @@ pub fn generate_storm_trace(cfg: &StormConfig, seed: u64) -> BotTrace {
                 let key = rendezvous_key(cfg.day, slot, r);
                 sim.start_lookup(eng, &mut sink, controllers[ctrl], key, LookupGoal::Publish);
             }
-            eng.schedule_after(SimDuration::from_hours(1), StormEvent::ControllerPublish { ctrl });
+            eng.schedule_after(
+                SimDuration::from_hours(1),
+                StormEvent::ControllerPublish { ctrl },
+            );
         }
     });
 
@@ -266,7 +283,12 @@ mod tests {
         let trace = generate_storm_trace(&small_cfg(), 7);
         assert_eq!(trace.bots.len(), 4);
         for b in &trace.bots {
-            assert!(b.flows.len() > 50, "bot {:?} has only {} flows", b.ip, b.flows.len());
+            assert!(
+                b.flows.len() > 50,
+                "bot {:?} has only {} flows",
+                b.ip,
+                b.flows.len()
+            );
             assert!(b.flows.iter().all(|f| f.involves(b.ip)));
         }
     }
@@ -275,11 +297,20 @@ mod tests {
     fn storm_flows_are_tiny_udp_with_edonkey_payload() {
         let trace = generate_storm_trace(&small_cfg(), 8);
         let flows = &trace.bots[0].flows;
-        let avg_up: f64 = flows.iter().map(|f| f.bytes_uploaded_by(trace.bots[0].ip).unwrap_or(0)).sum::<u64>() as f64
+        let avg_up: f64 = flows
+            .iter()
+            .map(|f| f.bytes_uploaded_by(trace.bots[0].ip).unwrap_or(0))
+            .sum::<u64>() as f64
             / flows.len() as f64;
         assert!(avg_up < 500.0, "Storm per-flow upload too big: {avg_up}");
-        let classified = flows.iter().filter(|f| classify_flow(f) == Some(P2pApp::Emule)).count();
-        assert!(classified * 2 > flows.len(), "Overnet payloads should classify as eDonkey family");
+        let classified = flows
+            .iter()
+            .filter(|f| classify_flow(f) == Some(P2pApp::Emule))
+            .count();
+        assert!(
+            classified * 2 > flows.len(),
+            "Overnet payloads should classify as eDonkey family"
+        );
     }
 
     #[test]
@@ -298,7 +329,10 @@ mod tests {
         let busiest = per_dest.values_mut().max_by_key(|v| v.len()).unwrap();
         busiest.sort();
         assert!(busiest.len() >= 10);
-        let gaps: Vec<f64> = busiest.windows(2).map(|w| (w[1] - w[0]).as_secs_f64()).collect();
+        let gaps: Vec<f64> = busiest
+            .windows(2)
+            .map(|w| (w[1] - w[0]).as_secs_f64())
+            .collect();
         let near = gaps.iter().filter(|g| (**g - 300.0).abs() < 30.0).count();
         assert!(
             near * 2 > gaps.len(),

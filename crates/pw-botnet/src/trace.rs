@@ -89,7 +89,12 @@ impl<S: PacketSink> PacketSink for FilterSink<S> {
 
 /// Groups aggregated flows into per-bot traces (a flow involving two bots is
 /// recorded under both).
-pub fn split_by_bot(flows: &[FlowRecord], bot_ips: &[Ipv4Addr], family: BotFamily, duration: SimDuration) -> BotTrace {
+pub fn split_by_bot(
+    flows: &[FlowRecord],
+    bot_ips: &[Ipv4Addr],
+    family: BotFamily,
+    duration: SimDuration,
+) -> BotTrace {
     let bots = bot_ips
         .iter()
         .map(|&ip| BotHostTrace {
@@ -97,7 +102,11 @@ pub fn split_by_bot(flows: &[FlowRecord], bot_ips: &[Ipv4Addr], family: BotFamil
             flows: flows.iter().filter(|f| f.involves(ip)).copied().collect(),
         })
         .collect();
-    BotTrace { family, bots, duration }
+    BotTrace {
+        family,
+        bots,
+        duration,
+    }
 }
 
 #[cfg(test)]
@@ -154,7 +163,12 @@ mod tests {
             payload: Payload::empty(),
         };
         let flows = vec![mk(a, ext), mk(ext, b), mk(a, b)];
-        let trace = split_by_bot(&flows, &[a, b], BotFamily::Storm, SimDuration::from_hours(24));
+        let trace = split_by_bot(
+            &flows,
+            &[a, b],
+            BotFamily::Storm,
+            SimDuration::from_hours(24),
+        );
         assert_eq!(trace.bots.len(), 2);
         assert_eq!(trace.bots[0].flows.len(), 2); // a↔ext and a↔b
         assert_eq!(trace.bots[1].flows.len(), 2); // ext↔b and a↔b

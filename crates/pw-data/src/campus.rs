@@ -64,8 +64,12 @@ impl DayDataset {
 
     /// Internal hosts active on this day.
     pub fn active_hosts(&self) -> Vec<Ipv4Addr> {
-        let mut v: Vec<Ipv4Addr> =
-            self.hosts.iter().filter(|(_, i)| i.active).map(|(ip, _)| *ip).collect();
+        let mut v: Vec<Ipv4Addr> = self
+            .hosts
+            .iter()
+            .filter(|(_, i)| i.active)
+            .map(|(ip, _)| *ip)
+            .collect();
         v.sort();
         v
     }
@@ -148,9 +152,17 @@ impl CampusConfig {
 #[derive(Debug, Clone)]
 enum CampusEvent {
     Kad(KadEvent),
-    SessionStart { node: pw_kad::NodeHandle, end: SimTime },
-    SessionEnd { node: pw_kad::NodeHandle },
-    Maintenance { node: pw_kad::NodeHandle, end: SimTime },
+    SessionStart {
+        node: pw_kad::NodeHandle,
+        end: SimTime,
+    },
+    SessionEnd {
+        node: pw_kad::NodeHandle,
+    },
+    Maintenance {
+        node: pw_kad::NodeHandle,
+        end: SimTime,
+    },
 }
 
 impl From<KadEvent> for CampusEvent {
@@ -173,7 +185,15 @@ struct DhtOverlay<'a> {
 /// Runs one DHT overlay (eMule Kad or Mainline) with the given internal
 /// participants and their session plans, writing packets into `argus`.
 fn run_dht_overlay(params: DhtOverlay<'_>, argus: &mut ArgusAggregator) {
-    let DhtOverlay { label, wire, seed, day, external, participants, window_end } = params;
+    let DhtOverlay {
+        label,
+        wire,
+        seed,
+        day,
+        external,
+        participants,
+        window_end,
+    } = params;
     if participants.is_empty() {
         return;
     }
@@ -211,8 +231,10 @@ fn run_dht_overlay(params: DhtOverlay<'_>, argus: &mut ArgusAggregator) {
         let id = NodeId::random(&mut master);
         let h = sim.add_node(id, *ip, wire.default_port(), wire);
         // The cached nodes.dat: a sample of external peers (some now dead).
-        let mut boots: Vec<_> =
-            externals.choose_multiple(&mut master, 12).copied().collect();
+        let mut boots: Vec<_> = externals
+            .choose_multiple(&mut master, 12)
+            .copied()
+            .collect();
         boots.sort_by_key(|h| h.index());
         sim.bootstrap(h, &boots);
         let _ = i;
@@ -247,7 +269,11 @@ fn run_dht_overlay(params: DhtOverlay<'_>, argus: &mut ArgusAggregator) {
             // essentially random targets (content-addressed), so repeats to
             // the same peer are rare — unlike a bot's keepalives.
             let target = NodeId::random(&mut tick_rng);
-            let goal = if tick_rng.gen_bool(0.3) { LookupGoal::Publish } else { LookupGoal::Search };
+            let goal = if tick_rng.gen_bool(0.3) {
+                LookupGoal::Publish
+            } else {
+                LookupGoal::Search
+            };
             sim.start_lookup(eng, argus, node, target, goal);
             eng.schedule_after(
                 SimDuration::from_secs(tick_rng.gen_range(300..900)),
@@ -298,8 +324,7 @@ pub fn build_day(cfg: &CampusConfig, day: usize) -> DayDataset {
     let mut bt_participants: Vec<(Ipv4Addr, SessionPlan)> = Vec::new();
 
     for (idx, &(ip, role)) in roster.iter().enumerate() {
-        let mut day_rng =
-            rng::derive_indexed(cfg.seed, &format!("campus-host-{idx}"), day as u64);
+        let mut day_rng = rng::derive_indexed(cfg.seed, &format!("campus-host-{idx}"), day as u64);
         let active = day_rng.gen_bool(cfg.daily_active_prob);
         hosts.insert(ip, HostInfo { role, active });
         if !active {
@@ -417,7 +442,14 @@ pub fn build_day(cfg: &CampusConfig, day: usize) -> DayDataset {
     let mut flows = argus.finish(window_end + SimDuration::from_mins(10));
     flows.retain(|f| space.is_internal(f.src) != space.is_internal(f.dst));
 
-    DayDataset { day, flows, hosts, space, window_start, window_end }
+    DayDataset {
+        day,
+        flows,
+        hosts,
+        space,
+        window_start,
+        window_end,
+    }
 }
 
 #[cfg(test)]

@@ -27,9 +27,20 @@ impl Default for ExperimentConfig {
         // The honeynet bots run throughout the campus collection window
         // (the paper overlays 24 h traces onto 6 h collection days; only
         // the overlapping traffic is observable, which is what we model).
-        let storm = StormConfig { duration: campus.duration, ..StormConfig::default() };
-        let nugache = NugacheConfig { duration: campus.duration, ..NugacheConfig::default() };
-        Self { campus, storm, nugache, days: 8 }
+        let storm = StormConfig {
+            duration: campus.duration,
+            ..StormConfig::default()
+        };
+        let nugache = NugacheConfig {
+            duration: campus.duration,
+            ..NugacheConfig::default()
+        };
+        Self {
+            campus,
+            storm,
+            nugache,
+            days: 8,
+        }
     }
 }
 
@@ -43,7 +54,10 @@ impl ExperimentConfig {
                 external_population: 100,
                 ..StormConfig::default()
             },
-            nugache: NugacheConfig { n_bots: 10, ..NugacheConfig::default() },
+            nugache: NugacheConfig {
+                n_bots: 10,
+                ..NugacheConfig::default()
+            },
             days: 2,
         }
     }
@@ -69,12 +83,18 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Vec<DayRun> {
     (0..cfg.days)
         .map(|d| {
             let day = build_day(&cfg.campus, d);
-            let storm_cfg = StormConfig { day: d as u64, ..cfg.storm.clone() };
+            let storm_cfg = StormConfig {
+                day: d as u64,
+                ..cfg.storm.clone()
+            };
             let storm = generate_storm_trace(&storm_cfg, cfg.campus.seed ^ 0x5701 ^ d as u64);
-            let nugache =
-                generate_nugache_trace(&cfg.nugache, cfg.campus.seed ^ 0x4106 ^ d as u64);
+            let nugache = generate_nugache_trace(&cfg.nugache, cfg.campus.seed ^ 0x4106 ^ d as u64);
             let overlaid = overlay_bots(&day, &[&storm, &nugache], cfg.campus.seed ^ d as u64);
-            DayRun { overlaid, storm, nugache }
+            DayRun {
+                overlaid,
+                storm,
+                nugache,
+            }
         })
         .collect()
 }

@@ -22,7 +22,9 @@ where
 {
     let mut counts: HashMap<Ipv4Addr, HashMap<P2pApp, usize>> = HashMap::new();
     for f in flows {
-        let Some(app) = classify_flow(f) else { continue };
+        let Some(app) = classify_flow(f) else {
+            continue;
+        };
         for ip in [f.src, f.dst] {
             if is_internal(ip) {
                 *counts.entry(ip).or_default().entry(app).or_insert(0) += 1;
@@ -94,7 +96,11 @@ mod tests {
 
     #[test]
     fn unsigned_hosts_unlabelled() {
-        let flows = vec![flow_with_payload(IN1, EXT, Payload::capture(b"GET / HTTP/1.1"))];
+        let flows = vec![flow_with_payload(
+            IN1,
+            EXT,
+            Payload::capture(b"GET / HTTP/1.1"),
+        )];
         assert!(label_traders_by_payload(&flows, internal, 1).is_empty());
     }
 

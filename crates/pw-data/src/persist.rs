@@ -73,10 +73,7 @@ pub fn write_ground_truth<W: Write>(
     let mut entries: Vec<_> = hosts.iter().collect();
     entries.sort_by_key(|(ip, _)| **ip);
     for (ip, info) in entries {
-        let implant = implants
-            .get(ip)
-            .map(|f| f.to_string())
-            .unwrap_or_default();
+        let implant = implants.get(ip).map(|f| f.to_string()).unwrap_or_default();
         writeln!(w, "{ip},{},{},{implant}", role_str(info.role), info.active)?;
     }
     Ok(())
@@ -104,15 +101,24 @@ pub fn read_ground_truth<R: BufRead>(r: R) -> Result<Vec<GroundTruthRow>, String
         let lineno = idx + 1;
         let cols: Vec<&str> = line.split(',').collect();
         if cols.len() != 4 {
-            return Err(format!("line {lineno}: expected 4 fields, got {}", cols.len()));
+            return Err(format!(
+                "line {lineno}: expected 4 fields, got {}",
+                cols.len()
+            ));
         }
-        let host: Ipv4Addr =
-            cols[0].parse().map_err(|e| format!("line {lineno}: bad host: {e}"))?;
+        let host: Ipv4Addr = cols[0]
+            .parse()
+            .map_err(|e| format!("line {lineno}: bad host: {e}"))?;
         let role = parse_role(cols[1]).map_err(|e| format!("line {lineno}: {e}"))?;
-        let active: bool =
-            cols[2].parse().map_err(|e| format!("line {lineno}: bad active flag: {e}"))?;
+        let active: bool = cols[2]
+            .parse()
+            .map_err(|e| format!("line {lineno}: bad active flag: {e}"))?;
         let implant = parse_implant(cols[3]).map_err(|e| format!("line {lineno}: {e}"))?;
-        out.push(GroundTruthRow { host, info: HostInfo { role, active }, implant });
+        out.push(GroundTruthRow {
+            host,
+            info: HostInfo { role, active },
+            implant,
+        });
     }
     Ok(out)
 }
@@ -125,15 +131,24 @@ mod tests {
         let mut hosts = HashMap::new();
         hosts.insert(
             Ipv4Addr::new(10, 1, 0, 1),
-            HostInfo { role: HostRole::Office, active: true },
+            HostInfo {
+                role: HostRole::Office,
+                active: true,
+            },
         );
         hosts.insert(
             Ipv4Addr::new(10, 1, 0, 2),
-            HostInfo { role: HostRole::Trader(P2pApp::Emule), active: false },
+            HostInfo {
+                role: HostRole::Trader(P2pApp::Emule),
+                active: false,
+            },
         );
         hosts.insert(
             Ipv4Addr::new(10, 2, 0, 1),
-            HostInfo { role: HostRole::Quiet, active: true },
+            HostInfo {
+                role: HostRole::Quiet,
+                active: true,
+            },
         );
         let mut implants = HashMap::new();
         implants.insert(Ipv4Addr::new(10, 1, 0, 1), BotFamily::Storm);
@@ -173,16 +188,24 @@ mod tests {
     fn rejects_bad_inputs() {
         assert!(read_ground_truth(&b"wrong header\n"[..]).is_err());
         let bad_role = format!("{HEADER}\n10.0.0.1,alien,true,\n");
-        assert!(read_ground_truth(bad_role.as_bytes()).unwrap_err().contains("unknown role"));
+        assert!(read_ground_truth(bad_role.as_bytes())
+            .unwrap_err()
+            .contains("unknown role"));
         let bad_fields = format!("{HEADER}\n10.0.0.1,office\n");
-        assert!(read_ground_truth(bad_fields.as_bytes()).unwrap_err().contains("4 fields"));
+        assert!(read_ground_truth(bad_fields.as_bytes())
+            .unwrap_err()
+            .contains("4 fields"));
         let bad_implant = format!("{HEADER}\n10.0.0.1,office,true,zeus\n");
-        assert!(read_ground_truth(bad_implant.as_bytes()).unwrap_err().contains("unknown implant"));
+        assert!(read_ground_truth(bad_implant.as_bytes())
+            .unwrap_err()
+            .contains("unknown implant"));
     }
 
     #[test]
     fn empty_body_is_fine() {
         let only_header = format!("{HEADER}\n");
-        assert!(read_ground_truth(only_header.as_bytes()).unwrap().is_empty());
+        assert!(read_ground_truth(only_header.as_bytes())
+            .unwrap()
+            .is_empty());
     }
 }

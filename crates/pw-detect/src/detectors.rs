@@ -29,54 +29,123 @@ impl Threshold {
     }
 }
 
+/// Computes `(host, metric)` pairs for every member of `s` with a
+/// measurable metric, sharded over `threads` scoped workers when asked.
+///
+/// Hosts are processed in sorted order and shards are concatenated in
+/// shard order, so the multiset of values — the only thing the percentile
+/// resolution sees — is identical for every thread count.
+fn metric_population<M>(
+    profiles: &HashMap<Ipv4Addr, HostProfile>,
+    s: &HashSet<Ipv4Addr>,
+    metric: M,
+    threads: usize,
+) -> Vec<(Ipv4Addr, f64)>
+where
+    M: Fn(&HostProfile) -> Option<f64> + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 {
+        return s
+            .iter()
+            .filter_map(|ip| profiles.get(ip).and_then(&metric).map(|v| (*ip, v)))
+            .collect();
+    }
+    let mut hosts: Vec<Ipv4Addr> = s.iter().copied().collect();
+    hosts.sort_unstable();
+    let chunk = hosts.len().div_ceil(threads).max(1);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = hosts
+            .chunks(chunk)
+            .map(|shard| {
+                let metric = &metric;
+                scope.spawn(move || {
+                    shard
+                        .iter()
+                        .filter_map(|ip| profiles.get(ip).and_then(metric).map(|v| (*ip, v)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut pop = Vec::with_capacity(hosts.len());
+        for h in handles {
+            pop.extend(h.join().expect("population shard thread panicked"));
+        }
+        pop
+    })
+}
+
+fn threshold_filter(pop: Vec<(Ipv4Addr, f64)>, tau: Threshold) -> Option<(HashSet<Ipv4Addr>, f64)> {
+    let values: Vec<f64> = pop.iter().map(|&(_, v)| v).collect();
+    let t = tau.resolve(&values)?;
+    let kept = pop
+        .iter()
+        .filter(|&&(_, v)| v < t)
+        .map(|&(ip, _)| ip)
+        .collect();
+    Some((kept, t))
+}
+
+/// [`theta_vol`] with explicit thread count and strict threshold
+/// resolution: `None` means the percentile threshold met a population with
+/// no measurable hosts (distinct from "nothing passed").
+pub fn theta_vol_par(
+    profiles: &HashMap<Ipv4Addr, HostProfile>,
+    s: &HashSet<Ipv4Addr>,
+    tau: Threshold,
+    threads: usize,
+) -> Option<(HashSet<Ipv4Addr>, f64)> {
+    threshold_filter(
+        metric_population(profiles, s, HostProfile::avg_upload_per_flow, threads),
+        tau,
+    )
+}
+
+/// [`theta_churn`] with explicit thread count and strict threshold
+/// resolution (see [`theta_vol_par`]).
+pub fn theta_churn_par(
+    profiles: &HashMap<Ipv4Addr, HostProfile>,
+    s: &HashSet<Ipv4Addr>,
+    tau: Threshold,
+    threads: usize,
+) -> Option<(HashSet<Ipv4Addr>, f64)> {
+    threshold_filter(
+        metric_population(profiles, s, HostProfile::new_ip_fraction, threads),
+        tau,
+    )
+}
+
 /// `θ_vol` (§IV-A): returns the hosts of `s` whose average bytes uploaded
 /// per flow is *below* the threshold, plus the resolved threshold value.
 ///
-/// Hosts with no flows are excluded.
+/// Hosts with no flows are excluded. An unresolvable percentile threshold
+/// yields `(∅, 0.0)`; use [`theta_vol_par`] to distinguish that case.
 pub fn theta_vol(
     profiles: &HashMap<Ipv4Addr, HostProfile>,
     s: &HashSet<Ipv4Addr>,
     tau: Threshold,
 ) -> (HashSet<Ipv4Addr>, f64) {
-    let pop: Vec<(Ipv4Addr, f64)> = s
-        .iter()
-        .filter_map(|ip| {
-            profiles.get(ip).and_then(|p| p.avg_upload_per_flow()).map(|v| (*ip, v))
-        })
-        .collect();
-    let values: Vec<f64> = pop.iter().map(|&(_, v)| v).collect();
-    let Some(t) = tau.resolve(&values) else {
-        return (HashSet::new(), 0.0);
-    };
-    let kept = pop.iter().filter(|&&(_, v)| v < t).map(|&(ip, _)| ip).collect();
-    (kept, t)
+    theta_vol_par(profiles, s, tau, 1).unwrap_or((HashSet::new(), 0.0))
 }
 
 /// `θ_churn` (§IV-B): returns the hosts of `s` whose fraction of new IPs
 /// contacted (first seen after the host's first hour of activity) is
 /// *below* the threshold, plus the resolved threshold.
 ///
-/// Hosts that contacted no destinations are excluded.
+/// Hosts that contacted no destinations are excluded. An unresolvable
+/// percentile threshold yields `(∅, 0.0)`; use [`theta_churn_par`] to
+/// distinguish that case.
 pub fn theta_churn(
     profiles: &HashMap<Ipv4Addr, HostProfile>,
     s: &HashSet<Ipv4Addr>,
     tau: Threshold,
 ) -> (HashSet<Ipv4Addr>, f64) {
-    let pop: Vec<(Ipv4Addr, f64)> = s
-        .iter()
-        .filter_map(|ip| profiles.get(ip).and_then(|p| p.new_ip_fraction()).map(|v| (*ip, v)))
-        .collect();
-    let values: Vec<f64> = pop.iter().map(|&(_, v)| v).collect();
-    let Some(t) = tau.resolve(&values) else {
-        return (HashSet::new(), 0.0);
-    };
-    let kept = pop.iter().filter(|&&(_, v)| v < t).map(|&(ip, _)| ip).collect();
-    (kept, t)
+    theta_churn_par(profiles, s, tau, 1).unwrap_or((HashSet::new(), 0.0))
 }
 
 /// Result of the `θ_hm` test, with enough detail to reproduce the paper's
 /// cluster-level analysis.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HmOutcome {
     /// Hosts retained (members of surviving clusters).
     pub kept: HashSet<Ipv4Addr>,
@@ -136,11 +205,20 @@ pub struct HmOptions {
     pub distance: HistogramDistance,
     /// Minimum surviving cluster size (see [`MIN_CLUSTER_SIZE`]).
     pub min_cluster_size: usize,
+    /// Worker threads for histogram construction and the pairwise distance
+    /// matrix (the `θ_hm` hot spots). `1` runs serially; any value produces
+    /// identical output.
+    pub threads: usize,
 }
 
 impl Default for HmOptions {
     fn default() -> Self {
-        Self { bin_width: None, distance: HistogramDistance::Emd, min_cluster_size: MIN_CLUSTER_SIZE }
+        Self {
+            bin_width: None,
+            distance: HistogramDistance::Emd,
+            min_cluster_size: MIN_CLUSTER_SIZE,
+            threads: 1,
+        }
     }
 }
 
@@ -169,35 +247,70 @@ pub fn theta_hm_with_options(
     options: &HmOptions,
 ) -> HmOutcome {
     let min_size = options.min_cluster_size;
-    let mut hosts: Vec<Ipv4Addr> = Vec::new();
-    let mut histograms: Vec<Histogram> = Vec::new();
-    let mut no_samples = 0usize;
-    let mut sorted: Vec<&Ipv4Addr> = s.iter().collect();
-    sorted.sort(); // deterministic ordering regardless of set iteration
-    for ip in sorted {
-        let Some(p) = profiles.get(ip) else { continue };
-        if p.interstitials.is_empty() {
-            no_samples += 1;
-            continue;
-        }
+    let threads = options.threads.max(1);
+    let mut sorted: Vec<Ipv4Addr> = s.iter().copied().collect();
+    sorted.sort_unstable(); // deterministic ordering regardless of set iteration
+
+    // Candidates in sorted-host order; histogram construction is
+    // per-host-independent so shards just split the ordered list.
+    let candidates: Vec<(Ipv4Addr, &HostProfile)> = sorted
+        .iter()
+        .filter_map(|ip| profiles.get(ip).map(|p| (*ip, p)))
+        .collect();
+    let no_samples = candidates
+        .iter()
+        .filter(|(_, p)| p.interstitials.is_empty())
+        .count();
+    let with_samples: Vec<(Ipv4Addr, &HostProfile)> = candidates
+        .into_iter()
+        .filter(|(_, p)| !p.interstitials.is_empty())
+        .collect();
+
+    let build = |(ip, p): &(Ipv4Addr, &HostProfile)| -> (Ipv4Addr, Histogram) {
         let h = match options.bin_width {
             None => Histogram::freedman_diaconis(&p.interstitials).expect("non-empty"),
             Some(w) => Histogram::with_bin_width(&p.interstitials, w).expect("non-empty"),
         };
-        hosts.push(*ip);
-        histograms.push(h);
-    }
+        (*ip, h)
+    };
+    let built: Vec<(Ipv4Addr, Histogram)> = if threads == 1 || with_samples.len() < 2 {
+        with_samples.iter().map(build).collect()
+    } else {
+        let chunk = with_samples.len().div_ceil(threads).max(1);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = with_samples
+                .chunks(chunk)
+                .map(|shard| {
+                    let build = &build;
+                    scope.spawn(move || shard.iter().map(build).collect::<Vec<_>>())
+                })
+                .collect();
+            let mut all = Vec::with_capacity(with_samples.len());
+            for h in handles {
+                all.extend(h.join().expect("histogram shard thread panicked"));
+            }
+            all
+        })
+    };
+    let (hosts, histograms): (Vec<Ipv4Addr>, Vec<Histogram>) = built.into_iter().unzip();
     if hosts.len() < 2 {
-        return HmOutcome { kept: HashSet::new(), clusters: Vec::new(), tau: 0.0, no_samples };
+        return HmOutcome {
+            kept: HashSet::new(),
+            clusters: Vec::new(),
+            tau: 0.0,
+            no_samples,
+        };
     }
 
-    let (lo, hi) = histograms.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), h| {
-        let pm = h.point_masses();
-        let first = pm.first().map(|&(p, _)| p).unwrap_or(0.0);
-        let last = pm.last().map(|&(p, _)| p).unwrap_or(0.0);
-        (lo.min(first), hi.max(last))
-    });
-    let dm = DistanceMatrix::from_fn(hosts.len(), |i, j| match options.distance {
+    let (lo, hi) = histograms
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), h| {
+            let pm = h.point_masses();
+            let first = pm.first().map(|&(p, _)| p).unwrap_or(0.0);
+            let last = pm.last().map(|&(p, _)| p).unwrap_or(0.0);
+            (lo.min(first), hi.max(last))
+        });
+    let dm = DistanceMatrix::from_fn_par(hosts.len(), threads, |i, j| match options.distance {
         HistogramDistance::Emd => emd_histograms(&histograms[i], &histograms[j]),
         HistogramDistance::L1 => l1_distance(&histograms[i], &histograms[j], lo, hi),
     });
@@ -218,14 +331,24 @@ pub fn theta_hm_with_options(
 
     let diameters: Vec<f64> = clusters.iter().map(|&(_, d)| d).collect();
     let Some(t) = tau.resolve(&diameters) else {
-        return HmOutcome { kept: HashSet::new(), clusters, tau: 0.0, no_samples };
+        return HmOutcome {
+            kept: HashSet::new(),
+            clusters,
+            tau: 0.0,
+            no_samples,
+        };
     };
     let kept = clusters
         .iter()
         .filter(|&&(_, d)| d <= t)
         .flat_map(|(ips, _)| ips.iter().copied())
         .collect();
-    HmOutcome { kept, clusters, tau: t, no_samples }
+    HmOutcome {
+        kept,
+        clusters,
+        tau: t,
+        no_samples,
+    }
 }
 
 #[cfg(test)]
@@ -238,7 +361,12 @@ mod tests {
         Ipv4Addr::new(10, 1, 0, last)
     }
 
-    fn profile_with(ip_last: u8, avg_upload: f64, churn: f64, interstitials: Vec<f64>) -> HostProfile {
+    fn profile_with(
+        ip_last: u8,
+        avg_upload: f64,
+        churn: f64,
+        interstitials: Vec<f64>,
+    ) -> HostProfile {
         // Build a profile whose derived metrics equal the given values:
         // one flow with `avg_upload` bytes; churn via 100 destinations.
         let mut first_contact = BTreeMap::new();
@@ -299,8 +427,12 @@ mod tests {
     fn empty_population_is_safe() {
         let profiles = HashMap::new();
         let s = HashSet::new();
-        assert!(theta_vol(&profiles, &s, Threshold::Percentile(50.0)).0.is_empty());
-        assert!(theta_churn(&profiles, &s, Threshold::Percentile(50.0)).0.is_empty());
+        assert!(theta_vol(&profiles, &s, Threshold::Percentile(50.0))
+            .0
+            .is_empty());
+        assert!(theta_churn(&profiles, &s, Threshold::Percentile(50.0))
+            .0
+            .is_empty());
         let hm = theta_hm(&profiles, &s, Threshold::Percentile(70.0), 0.05);
         assert!(hm.kept.is_empty());
     }
@@ -310,7 +442,9 @@ mod tests {
     #[test]
     fn theta_hm_clusters_periodic_bots_together() {
         let periodic = |seed: u64| -> Vec<f64> {
-            (0..200).map(|i| 300.0 + ((i * 7 + seed) % 5) as f64 * 0.5).collect()
+            (0..200)
+                .map(|i| 300.0 + ((i * 7 + seed) % 5) as f64 * 0.5)
+                .collect()
         };
         let humanish = |seed: u64| -> Vec<f64> {
             // Irregular heavy-tailed gaps, different per host.
@@ -332,11 +466,18 @@ mod tests {
         ]);
         let hm = theta_hm(&profiles, &s, Threshold::Percentile(10.0), 0.3);
         // The three periodic hosts survive together.
-        assert!(hm.kept.contains(&ip(1)) && hm.kept.contains(&ip(2)) && hm.kept.contains(&ip(3)),
-            "kept: {:?}", hm.kept);
+        assert!(
+            hm.kept.contains(&ip(1)) && hm.kept.contains(&ip(2)) && hm.kept.contains(&ip(3)),
+            "kept: {:?}",
+            hm.kept
+        );
         // And none of the human-ish hosts do at this tight threshold.
         for h in [4u8, 5, 6, 7] {
-            assert!(!hm.kept.contains(&ip(h)), "human host {h} kept: {:?}", hm.kept);
+            assert!(
+                !hm.kept.contains(&ip(h)),
+                "human host {h} kept: {:?}",
+                hm.kept
+            );
         }
     }
 
@@ -367,7 +508,9 @@ mod tests {
         // Three identical periodic hosts vs three scattered humans: every
         // variant must keep the periodic trio.
         let periodic = |seed: u64| -> Vec<f64> {
-            (0..150).map(|i| 300.0 + ((i + seed) % 3) as f64 * 0.2).collect()
+            (0..150)
+                .map(|i| 300.0 + ((i + seed) % 3) as f64 * 0.2)
+                .collect()
         };
         let humanish = |seed: u64| -> Vec<f64> {
             (0..150)
@@ -388,19 +531,26 @@ mod tests {
         ]);
         for options in [
             HmOptions::default(),
-            HmOptions { distance: HistogramDistance::L1, ..Default::default() },
-            HmOptions { bin_width: Some(10.0), ..Default::default() },
-            HmOptions { min_cluster_size: 2, ..Default::default() },
+            HmOptions {
+                distance: HistogramDistance::L1,
+                ..Default::default()
+            },
+            HmOptions {
+                bin_width: Some(10.0),
+                ..Default::default()
+            },
+            HmOptions {
+                min_cluster_size: 2,
+                ..Default::default()
+            },
         ] {
-            let hm = theta_hm_with_options(
-                &profiles,
-                &s,
-                Threshold::Percentile(10.0),
-                0.3,
-                &options,
-            );
+            let hm =
+                theta_hm_with_options(&profiles, &s, Threshold::Percentile(10.0), 0.3, &options);
             for b in [1u8, 2, 3] {
-                assert!(hm.kept.contains(&ip(b)), "{options:?} missed periodic host {b}");
+                assert!(
+                    hm.kept.contains(&ip(b)),
+                    "{options:?} missed periodic host {b}"
+                );
             }
         }
     }
@@ -422,9 +572,90 @@ mod tests {
             &s,
             Threshold::Percentile(90.0),
             0.5,
-            &HmOptions { min_cluster_size: 2, ..Default::default() },
+            &HmOptions {
+                min_cluster_size: 2,
+                ..Default::default()
+            },
         );
         assert!(lax.kept.contains(&ip(1)) && lax.kept.contains(&ip(2)));
+    }
+
+    #[test]
+    fn parallel_detectors_match_serial() {
+        let periodic = |seed: u64| -> Vec<f64> {
+            (0..200)
+                .map(|i| 300.0 + ((i * 7 + seed) % 5) as f64 * 0.5)
+                .collect()
+        };
+        let humanish = |seed: u64| -> Vec<f64> {
+            (0..200)
+                .map(|i: u64| {
+                    let x = ((i * 2654435761 + seed * 97) % 10_000) as f64 / 10_000.0;
+                    10.0 * seed as f64 + 3600.0 * x * x * x
+                })
+                .collect()
+        };
+        let mut hosts = Vec::new();
+        for k in 0..24u8 {
+            let inter = if k < 6 {
+                periodic(k as u64)
+            } else {
+                humanish(k as u64 * 13 + 1)
+            };
+            hosts.push(profile_with(
+                k + 1,
+                50.0 * (k as f64 + 1.0),
+                (k as f64) / 24.0,
+                inter,
+            ));
+        }
+        let (profiles, s) = setup(hosts);
+        let vol1 = theta_vol_par(&profiles, &s, Threshold::Percentile(50.0), 1).unwrap();
+        let churn1 = theta_churn_par(&profiles, &s, Threshold::Percentile(50.0), 1).unwrap();
+        let hm1 = theta_hm_with_options(
+            &profiles,
+            &s,
+            Threshold::Percentile(70.0),
+            0.1,
+            &HmOptions::default(),
+        );
+        for threads in [2usize, 3, 7, 32] {
+            let volp = theta_vol_par(&profiles, &s, Threshold::Percentile(50.0), threads).unwrap();
+            assert_eq!(vol1, volp, "theta_vol threads={threads}");
+            let churnp =
+                theta_churn_par(&profiles, &s, Threshold::Percentile(50.0), threads).unwrap();
+            assert_eq!(churn1, churnp, "theta_churn threads={threads}");
+            let hmp = theta_hm_with_options(
+                &profiles,
+                &s,
+                Threshold::Percentile(70.0),
+                0.1,
+                &HmOptions {
+                    threads,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(hm1.kept, hmp.kept, "theta_hm threads={threads}");
+            assert_eq!(
+                hm1.clusters, hmp.clusters,
+                "theta_hm clusters threads={threads}"
+            );
+            assert_eq!(
+                hm1.tau.to_bits(),
+                hmp.tau.to_bits(),
+                "theta_hm tau threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn strict_detectors_flag_unresolvable_thresholds() {
+        let profiles = HashMap::new();
+        let s = HashSet::new();
+        assert!(theta_vol_par(&profiles, &s, Threshold::Percentile(50.0), 1).is_none());
+        assert!(theta_churn_par(&profiles, &s, Threshold::Percentile(50.0), 2).is_none());
+        // Absolute thresholds always resolve.
+        assert!(theta_vol_par(&profiles, &s, Threshold::Absolute(5.0), 1).is_some());
     }
 
     #[test]

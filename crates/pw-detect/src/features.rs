@@ -17,7 +17,7 @@ use pw_netsim::{SimDuration, SimTime};
 ///   (initiated flows);
 /// - *interstitial times* are the gaps between consecutive flows the host
 ///   initiates to the same destination IP, pooled over all destinations.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HostProfile {
     /// The host.
     pub ip: Ipv4Addr,
@@ -94,12 +94,108 @@ impl HostProfile {
     }
 }
 
+/// Identifies the monitored endpoint of a border flow.
+///
+/// Returns `None` for non-border flows (both endpoints internal or both
+/// external) — an edge monitor never sees them.
+pub fn internal_endpoint<F>(f: &FlowRecord, is_internal: F) -> Option<Ipv4Addr>
+where
+    F: Fn(Ipv4Addr) -> bool,
+{
+    let src_internal = is_internal(f.src);
+    let dst_internal = is_internal(f.dst);
+    if src_internal == dst_internal {
+        None
+    } else if src_internal {
+        Some(f.src)
+    } else {
+        Some(f.dst)
+    }
+}
+
+/// The single accumulation path every extraction mode shares: batch
+/// ([`extract_profiles`]), incremental ([`ProfileBuilder`], the streaming
+/// engine's per-window state), and host-sharded parallel
+/// ([`extract_profiles_par`]).
+///
+/// The accumulator is *attribution-agnostic*: callers decide which flows it
+/// sees and which endpoint is the monitored host (via
+/// [`internal_endpoint`]), so a shard can absorb only the hosts it owns.
+/// Flows must be absorbed in non-decreasing start-time order per host for
+/// interstitials and first contacts to be correct; the accumulator itself
+/// does not enforce global ordering.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileAccumulator {
+    profiles: HashMap<Ipv4Addr, HostProfile>,
+    last_to: HashMap<(Ipv4Addr, Ipv4Addr), SimTime>,
+}
+
+impl ProfileAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of hosts profiled so far.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether no hosts have been profiled yet.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// Read access to the profiles accumulated so far.
+    pub fn profiles(&self) -> &HashMap<Ipv4Addr, HostProfile> {
+        &self.profiles
+    }
+
+    /// Absorbs one flow attributed to the monitored endpoint `host`
+    /// (obtained from [`internal_endpoint`]).
+    pub fn absorb(&mut self, f: &FlowRecord, host: Ipv4Addr) {
+        let p = self
+            .profiles
+            .entry(host)
+            .or_insert_with(|| HostProfile::new(host));
+        p.flows_involving += 1;
+        p.bytes_uploaded += f.bytes_uploaded_by(host).unwrap_or(0);
+
+        if f.src == host {
+            p.initiated += 1;
+            if f.is_failed() {
+                p.initiated_failed += 1;
+            }
+            if p.first_activity.is_none() {
+                p.first_activity = Some(f.start);
+            }
+            p.first_contact.entry(f.dst).or_insert(f.start);
+            if let Some(prev) = self.last_to.insert((host, f.dst), f.start) {
+                p.interstitials.push((f.start - prev).as_secs_f64());
+            }
+        }
+    }
+
+    /// Removes one host's state entirely (profile and per-destination
+    /// bookkeeping) — the streaming engine's eviction hook.
+    pub fn evict(&mut self, host: Ipv4Addr) -> Option<HostProfile> {
+        self.last_to.retain(|&(h, _), _| h != host);
+        self.profiles.remove(&host)
+    }
+
+    /// Finishes the window and returns the profiles.
+    pub fn finish(self) -> HashMap<Ipv4Addr, HostProfile> {
+        self.profiles
+    }
+}
+
 /// Incremental profile extraction — feed flows as the border monitor emits
 /// them, read profiles at the end of the detection window.
 ///
 /// Flows must arrive in non-decreasing start-time order (what a flow
 /// monitor produces); [`extract_profiles`] sorts for you when working from
-/// a stored dataset.
+/// a stored dataset, and [`crate::stream::DetectionEngine`] reorders
+/// bounded-lateness streams for you.
 ///
 /// # Examples
 ///
@@ -114,8 +210,7 @@ impl HostProfile {
 #[derive(Debug)]
 pub struct ProfileBuilder<F> {
     is_internal: F,
-    profiles: HashMap<Ipv4Addr, HostProfile>,
-    last_to: HashMap<(Ipv4Addr, Ipv4Addr), SimTime>,
+    acc: ProfileAccumulator,
     last_start: SimTime,
 }
 
@@ -124,20 +219,19 @@ impl<F: Fn(Ipv4Addr) -> bool> ProfileBuilder<F> {
     pub fn new(is_internal: F) -> Self {
         Self {
             is_internal,
-            profiles: HashMap::new(),
-            last_to: HashMap::new(),
+            acc: ProfileAccumulator::new(),
             last_start: SimTime::ZERO,
         }
     }
 
     /// Number of hosts profiled so far.
     pub fn len(&self) -> usize {
-        self.profiles.len()
+        self.acc.len()
     }
 
     /// Whether no hosts have been profiled yet.
     pub fn is_empty(&self) -> bool {
-        self.profiles.is_empty()
+        self.acc.is_empty()
     }
 
     /// Consumes one flow record.
@@ -156,35 +250,22 @@ impl<F: Fn(Ipv4Addr) -> bool> ProfileBuilder<F> {
             self.last_start
         );
         self.last_start = f.start;
-        let src_internal = (self.is_internal)(f.src);
-        let dst_internal = (self.is_internal)(f.dst);
-        if src_internal == dst_internal {
-            return; // not a border flow
-        }
-        let host = if src_internal { f.src } else { f.dst };
-        let p = self.profiles.entry(host).or_insert_with(|| HostProfile::new(host));
-        p.flows_involving += 1;
-        p.bytes_uploaded += f.bytes_uploaded_by(host).expect("host participates");
-
-        if f.src == host {
-            p.initiated += 1;
-            if f.is_failed() {
-                p.initiated_failed += 1;
-            }
-            if p.first_activity.is_none() {
-                p.first_activity = Some(f.start);
-            }
-            p.first_contact.entry(f.dst).or_insert(f.start);
-            if let Some(prev) = self.last_to.insert((host, f.dst), f.start) {
-                p.interstitials.push((f.start - prev).as_secs_f64());
-            }
+        if let Some(host) = internal_endpoint(f, &self.is_internal) {
+            self.acc.absorb(f, host);
         }
     }
 
     /// Finishes the window and returns the profiles.
     pub fn finish(self) -> HashMap<Ipv4Addr, HostProfile> {
-        self.profiles
+        self.acc.finish()
     }
+}
+
+/// The canonical processing order shared by every extraction mode. Sorting
+/// by this key makes batch, streaming, and sharded extraction agree
+/// byte-for-byte.
+pub(crate) fn flow_order_key(f: &FlowRecord) -> (SimTime, Ipv4Addr, Ipv4Addr, u16, u16) {
+    (f.start, f.src, f.dst, f.sport, f.dport)
 }
 
 /// Builds per-host profiles for every internal host appearing in `flows`.
@@ -199,12 +280,79 @@ where
 {
     // Process in time order for correct interstitials and first contacts.
     let mut order: Vec<&FlowRecord> = flows.iter().collect();
-    order.sort_by_key(|f| (f.start, f.src, f.dst, f.sport, f.dport));
+    order.sort_by_key(|f| flow_order_key(f));
     let mut builder = ProfileBuilder::new(is_internal);
     for f in order {
         builder.push(f);
     }
     builder.finish()
+}
+
+/// Deterministic host→shard assignment used by every parallel stage.
+pub(crate) fn host_shard(host: Ipv4Addr, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    // Multiply-shift mix so adjacent campus addresses spread across shards.
+    let h = (u32::from(host) as u64).wrapping_mul(0x9E3779B97F4A7C15);
+    ((h >> 32) as usize) % shards
+}
+
+/// [`extract_profiles`] sharded over hosts with `std::thread::scope`.
+///
+/// Each worker scans the (pre-sorted) flow list and accumulates only the
+/// hosts assigned to its shard, so shards touch disjoint state and need no
+/// synchronization. Per-host flow order is preserved, which makes the
+/// result identical to [`extract_profiles`] for any thread count.
+///
+/// `threads == 0` is clamped to 1; `threads == 1` takes the serial path.
+pub fn extract_profiles_par<F>(
+    flows: &[FlowRecord],
+    is_internal: F,
+    threads: usize,
+) -> HashMap<Ipv4Addr, HostProfile>
+where
+    F: Fn(Ipv4Addr) -> bool + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 {
+        return extract_profiles(flows, is_internal);
+    }
+    let mut order: Vec<&FlowRecord> = flows.iter().collect();
+    order.sort_by_key(|f| flow_order_key(f));
+    accumulate_sharded(&order, &is_internal, threads)
+}
+
+/// Shard-parallel accumulation over an already-ordered flow list. Shared by
+/// [`extract_profiles_par`] and the streaming engine's window close.
+pub(crate) fn accumulate_sharded<F>(
+    order: &[&FlowRecord],
+    is_internal: &F,
+    threads: usize,
+) -> HashMap<Ipv4Addr, HostProfile>
+where
+    F: Fn(Ipv4Addr) -> bool + Sync,
+{
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                scope.spawn(move || {
+                    let mut acc = ProfileAccumulator::new();
+                    for f in order {
+                        if let Some(host) = internal_endpoint(f, is_internal) {
+                            if host_shard(host, threads) == tid {
+                                acc.absorb(f, host);
+                            }
+                        }
+                    }
+                    acc.finish()
+                })
+            })
+            .collect();
+        let mut all = HashMap::new();
+        for h in handles {
+            all.extend(h.join().expect("profile shard thread panicked"));
+        }
+        all
+    })
 }
 
 #[cfg(test)]
@@ -217,7 +365,14 @@ mod tests {
     const E1: Ipv4Addr = Ipv4Addr::new(1, 1, 1, 1);
     const E2: Ipv4Addr = Ipv4Addr::new(2, 2, 2, 2);
 
-    fn flow(src: Ipv4Addr, dst: Ipv4Addr, start_s: u64, up: u64, down: u64, failed: bool) -> FlowRecord {
+    fn flow(
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        start_s: u64,
+        up: u64,
+        down: u64,
+        failed: bool,
+    ) -> FlowRecord {
         FlowRecord {
             start: SimTime::from_secs(start_s),
             end: SimTime::from_secs(start_s + 1),
@@ -230,7 +385,11 @@ mod tests {
             src_bytes: up,
             dst_pkts: 1,
             dst_bytes: down,
-            state: if failed { FlowState::SynNoAnswer } else { FlowState::Established },
+            state: if failed {
+                FlowState::SynNoAnswer
+            } else {
+                FlowState::Established
+            },
             payload: Payload::empty(),
         }
     }
@@ -242,8 +401,8 @@ mod tests {
     #[test]
     fn volume_counts_both_directions() {
         let flows = vec![
-            flow(H, E1, 0, 100, 1000, false),  // host uploads 100
-            flow(E2, H, 10, 50, 900, false),   // host uploads 900 (responder)
+            flow(H, E1, 0, 100, 1000, false), // host uploads 100
+            flow(E2, H, 10, 50, 900, false),  // host uploads 900 (responder)
         ];
         let p = &extract_profiles(&flows, internal)[&H];
         assert_eq!(p.flows_involving, 2);
@@ -268,8 +427,8 @@ mod tests {
     #[test]
     fn churn_counts_new_after_first_hour() {
         let flows = vec![
-            flow(H, E1, 0, 1, 1, false),            // first activity at t=0
-            flow(H, E2, 30 * 60, 1, 1, false),      // within first hour: old
+            flow(H, E1, 0, 1, 1, false),       // first activity at t=0
+            flow(H, E2, 30 * 60, 1, 1, false), // within first hour: old
             flow(H, Ipv4Addr::new(3, 3, 3, 3), 2 * 3600, 1, 1, false), // new
             flow(H, Ipv4Addr::new(4, 4, 4, 4), 3 * 3600, 1, 1, false), // new
         ];
@@ -293,9 +452,9 @@ mod tests {
         let flows = vec![
             flow(H, E1, 0, 1, 1, false),
             flow(H, E2, 5, 1, 1, false),
-            flow(H, E1, 100, 1, 1, false),  // gap 100 to E1
-            flow(H, E2, 305, 1, 1, false),  // gap 300 to E2
-            flow(H, E1, 250, 1, 1, false),  // gap 150 to E1
+            flow(H, E1, 100, 1, 1, false), // gap 100 to E1
+            flow(H, E2, 305, 1, 1, false), // gap 300 to E2
+            flow(H, E1, 250, 1, 1, false), // gap 150 to E1
         ];
         let p = &extract_profiles(&flows, internal)[&H];
         let mut ist = p.interstitials.clone();

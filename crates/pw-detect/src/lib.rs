@@ -43,23 +43,32 @@
 #![warn(missing_docs)]
 
 pub mod detectors;
+pub mod error;
 pub mod features;
 pub mod multiday;
 pub mod perport;
 pub mod pipeline;
 pub mod rates;
 pub mod reduction;
+pub mod stream;
 pub mod tdg;
 
 pub use detectors::{
-    theta_churn, theta_hm, theta_hm_with_options, theta_vol, HistogramDistance, HmOptions,
-    HmOutcome, Threshold, MIN_CLUSTER_SIZE,
+    theta_churn, theta_churn_par, theta_hm, theta_hm_with_options, theta_vol, theta_vol_par,
+    HistogramDistance, HmOptions, HmOutcome, Threshold, MIN_CLUSTER_SIZE,
 };
-pub use features::{extract_profiles, HostProfile};
-pub use features::ProfileBuilder;
+pub use error::{ConfigError, Error};
+pub use features::{
+    extract_profiles, extract_profiles_par, internal_endpoint, HostProfile, ProfileAccumulator,
+    ProfileBuilder,
+};
 pub use multiday::MultiDayReport;
 pub use perport::{find_plotters_per_service, PerServiceReport, ServiceKey};
-pub use pipeline::{find_plotters, find_plotters_from_profiles, FindPlottersConfig, PlotterReport};
+pub use pipeline::{
+    find_plotters, find_plotters_from_profiles, try_find_plotters, try_find_plotters_from_profiles,
+    FindPlottersConfig, FindPlottersConfigBuilder, PlotterReport,
+};
 pub use rates::{rates_against, Rates};
 pub use reduction::initial_reduction;
+pub use stream::{DetectionEngine, EngineConfig, EvictionPolicy, WindowReport};
 pub use tdg::{tdg_scan, TdgConfig, TdgMetrics, TdgReport};

@@ -40,7 +40,11 @@ impl MultiDayReport {
                 *flag_counts.entry(*ip).or_insert(0) += 1;
             }
         }
-        Self { days, flag_counts, seen_counts }
+        Self {
+            days,
+            flag_counts,
+            seen_counts,
+        }
     }
 
     /// Hosts flagged on at least `k` days (sorted).
@@ -67,7 +71,10 @@ impl MultiDayReport {
     ///
     /// Panics if `fraction` is not within `(0, 1]`.
     pub fn flagged_fraction(&self, fraction: f64) -> Vec<Ipv4Addr> {
-        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0, 1]"
+        );
         let mut v: Vec<Ipv4Addr> = self
             .flag_counts
             .iter()

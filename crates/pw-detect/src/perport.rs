@@ -52,7 +52,10 @@ impl std::fmt::Display for ServiceKey {
 /// Panics if `host` is not an endpoint of the flow.
 pub fn service_of(flow: &FlowRecord, host: Ipv4Addr) -> ServiceKey {
     assert!(flow.involves(host), "host not an endpoint");
-    ServiceKey { proto: flow.proto, port: flow.dport }
+    ServiceKey {
+        proto: flow.proto,
+        port: flow.dport,
+    }
 }
 
 /// Report of the per-service pipeline run.
@@ -107,7 +110,10 @@ where
 
     // Assign each surviving slice a pseudo-address in 127.0.0.0/8 (never a
     // real border endpoint), remembering the mapping.
-    const OTHER: ServiceKey = ServiceKey { proto: Proto::Tcp, port: 0 };
+    const OTHER: ServiceKey = ServiceKey {
+        proto: Proto::Tcp,
+        port: 0,
+    };
     let mut keys: Vec<(Ipv4Addr, ServiceKey)> = slice_counts
         .iter()
         .map(|(&(host, svc), &n)| (host, if n >= min_flows { svc } else { OTHER }))
@@ -195,7 +201,11 @@ mod tests {
             src_bytes: up,
             dst_pkts: 1,
             dst_bytes: 100,
-            state: if failed { FlowState::SynNoAnswer } else { FlowState::Established },
+            state: if failed {
+                FlowState::SynNoAnswer
+            } else {
+                FlowState::Established
+            },
             payload: Payload::empty(),
         }
     }
@@ -205,9 +215,21 @@ mod tests {
         let host = Ipv4Addr::new(10, 1, 0, 1);
         let ext = Ipv4Addr::new(9, 9, 9, 9);
         let outbound = flow(host, ext, 80, SimTime::ZERO, 10, false);
-        assert_eq!(service_of(&outbound, host), ServiceKey { proto: Proto::Tcp, port: 80 });
+        assert_eq!(
+            service_of(&outbound, host),
+            ServiceKey {
+                proto: Proto::Tcp,
+                port: 80
+            }
+        );
         let inbound = flow(ext, host, 6346, SimTime::ZERO, 10, false);
-        assert_eq!(service_of(&inbound, host), ServiceKey { proto: Proto::Tcp, port: 6346 });
+        assert_eq!(
+            service_of(&inbound, host),
+            ServiceKey {
+                proto: Proto::Tcp,
+                port: 6346
+            }
+        );
     }
 
     /// A bot hiding on a heavy-Trader host: combined, the host's average
@@ -224,12 +246,26 @@ mod tests {
             let host = Ipv4Addr::new(10, 1, 0, 1 + h);
             for k in 0..40u64 {
                 let t = SimTime::from_secs(200 + k * 500 + (k * k * 37) % 400);
-                flows.push(flow(host, ext(1000 + k as u32), 6346, t, 2_000_000, k % 3 == 0));
+                flows.push(flow(
+                    host,
+                    ext(1000 + k as u32),
+                    6346,
+                    t,
+                    2_000_000,
+                    k % 3 == 0,
+                ));
             }
             for k in 0..200u64 {
                 let t = SimTime::from_secs(k * 100);
                 for p in 0..3u32 {
-                    flows.push(flow(host, ext(h as u32 * 8 + p), 8, t + SimDuration::from_secs(p as u64), 90, p == 1));
+                    flows.push(flow(
+                        host,
+                        ext(h as u32 * 8 + p),
+                        8,
+                        t + SimDuration::from_secs(p as u64),
+                        90,
+                        p == 1,
+                    ));
                 }
             }
         }
@@ -257,7 +293,10 @@ mod tests {
         let per = find_plotters_per_service(&flows, internal, &Default::default(), 10);
         for h in 0..4u8 {
             let host = Ipv4Addr::new(10, 1, 0, 1 + h);
-            assert!(per.suspects.contains(&host), "per-service run missed infected host {host}");
+            assert!(
+                per.suspects.contains(&host),
+                "per-service run missed infected host {host}"
+            );
             assert!(
                 per.flagged_services
                     .iter()
@@ -278,7 +317,14 @@ mod tests {
         let ext = Ipv4Addr::new(9, 9, 9, 9);
         let mut flows = Vec::new();
         for port in 0..30u16 {
-            flows.push(flow(host, ext, 1000 + port, SimTime::from_secs(port as u64), 10, false));
+            flows.push(flow(
+                host,
+                ext,
+                1000 + port,
+                SimTime::from_secs(port as u64),
+                10,
+                false,
+            ));
         }
         let per = find_plotters_per_service(&flows, internal, &Default::default(), 10);
         // 30 one-flow slices pool into a single "other" pseudo-host.
@@ -288,7 +334,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "endpoint")]
     fn service_of_requires_endpoint() {
-        let f = flow(Ipv4Addr::new(10, 1, 0, 1), Ipv4Addr::new(9, 9, 9, 9), 80, SimTime::ZERO, 1, false);
+        let f = flow(
+            Ipv4Addr::new(10, 1, 0, 1),
+            Ipv4Addr::new(9, 9, 9, 9),
+            80,
+            SimTime::ZERO,
+            1,
+            false,
+        );
         service_of(&f, Ipv4Addr::new(10, 9, 9, 9));
     }
 }

@@ -6,8 +6,11 @@ use std::net::Ipv4Addr;
 
 use pw_flow::FlowRecord;
 
-use crate::detectors::{theta_churn, theta_hm, theta_vol, HmOutcome, Threshold};
-use crate::features::{extract_profiles, HostProfile};
+use crate::detectors::{
+    theta_churn_par, theta_hm_with_options, theta_vol_par, HmOptions, HmOutcome, Threshold,
+};
+use crate::error::{ConfigError, Error};
+use crate::features::{extract_profiles, extract_profiles_par, HostProfile};
 use crate::reduction::initial_reduction;
 
 /// Configuration of the full pipeline. Defaults are the paper's §V-B
@@ -40,9 +43,99 @@ impl Default for FindPlottersConfig {
     }
 }
 
+fn validate_threshold(t: Threshold, which: &'static str) -> Result<(), ConfigError> {
+    match t {
+        Threshold::Percentile(p) if !(0.0..=100.0).contains(&p) => {
+            Err(ConfigError::Percentile { which, value: p })
+        }
+        Threshold::Absolute(v) if !v.is_finite() => Err(ConfigError::NonFiniteThreshold { which }),
+        _ => Ok(()),
+    }
+}
+
+impl FindPlottersConfig {
+    /// Starts a validated builder seeded with the paper's defaults.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pw_detect::{FindPlottersConfig, Threshold};
+    ///
+    /// let cfg = FindPlottersConfig::builder()
+    ///     .tau_hm(Threshold::Percentile(80.0))
+    ///     .cut_fraction(0.1)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(cfg.cut_fraction, 0.1);
+    /// assert!(FindPlottersConfig::builder().cut_fraction(1.5).build().is_err());
+    /// ```
+    pub fn builder() -> FindPlottersConfigBuilder {
+        FindPlottersConfigBuilder {
+            cfg: Self::default(),
+        }
+    }
+
+    /// Checks every knob; struct-literal construction remains possible, so
+    /// the `try_*` entry points re-validate before running.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        validate_threshold(self.tau_vol, "tau_vol")?;
+        validate_threshold(self.tau_churn, "tau_churn")?;
+        validate_threshold(self.tau_hm, "tau_hm")?;
+        if !self.cut_fraction.is_finite() || self.cut_fraction <= 0.0 || self.cut_fraction >= 1.0 {
+            return Err(ConfigError::CutFraction(self.cut_fraction));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`FindPlottersConfig`] whose [`build`](Self::build) rejects
+/// out-of-range knobs instead of letting them skew a detection run.
+#[derive(Debug, Clone, Copy)]
+pub struct FindPlottersConfigBuilder {
+    cfg: FindPlottersConfig,
+}
+
+impl FindPlottersConfigBuilder {
+    /// Toggles the §V-A data-reduction step.
+    pub fn with_reduction(mut self, on: bool) -> Self {
+        self.cfg.with_reduction = on;
+        self
+    }
+
+    /// Sets the volume-test threshold.
+    pub fn tau_vol(mut self, t: Threshold) -> Self {
+        self.cfg.tau_vol = t;
+        self
+    }
+
+    /// Sets the churn-test threshold.
+    pub fn tau_churn(mut self, t: Threshold) -> Self {
+        self.cfg.tau_churn = t;
+        self
+    }
+
+    /// Sets the cluster-diameter threshold for `θ_hm`.
+    pub fn tau_hm(mut self, t: Threshold) -> Self {
+        self.cfg.tau_hm = t;
+        self
+    }
+
+    /// Sets the fraction of heaviest dendrogram links cut.
+    pub fn cut_fraction(mut self, f: f64) -> Self {
+        self.cfg.cut_fraction = f;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<FindPlottersConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
 /// Everything `FindPlotters` decided, stage by stage — the material of the
 /// paper's Figure 9.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlotterReport {
     /// Hosts observed in the window (the set `S`).
     pub all_hosts: HashSet<Ipv4Addr>,
@@ -64,6 +157,64 @@ pub struct PlotterReport {
     pub hm: HmOutcome,
     /// The pipeline's verdict: suspected Plotters.
     pub suspects: HashSet<Ipv4Addr>,
+}
+
+/// The staged pipeline shared by every entry point. In strict mode an
+/// empty window or an unresolvable percentile threshold is an [`Error`];
+/// in lenient mode (the historical `find_plotters` contract) those stages
+/// degrade to an empty set with threshold `0.0` and the run continues.
+fn run_stages(
+    profiles: &HashMap<Ipv4Addr, HostProfile>,
+    cfg: &FindPlottersConfig,
+    threads: usize,
+    strict: bool,
+) -> Result<PlotterReport, Error> {
+    if strict && profiles.is_empty() {
+        return Err(Error::EmptyWindow);
+    }
+    let all_hosts: HashSet<Ipv4Addr> = profiles.keys().copied().collect();
+    let (after_reduction, reduction_threshold) = if cfg.with_reduction {
+        initial_reduction(profiles)
+    } else {
+        (all_hosts.clone(), 0.0)
+    };
+    let resolve = |out: Option<(HashSet<Ipv4Addr>, f64)>, stage| match out {
+        Some(v) => Ok(v),
+        None if strict => Err(Error::ThresholdUnresolvable { stage }),
+        None => Ok((HashSet::new(), 0.0)),
+    };
+    let (s_vol, tau_vol) = resolve(
+        theta_vol_par(profiles, &after_reduction, cfg.tau_vol, threads),
+        "theta_vol",
+    )?;
+    let (s_churn, tau_churn) = resolve(
+        theta_churn_par(profiles, &after_reduction, cfg.tau_churn, threads),
+        "theta_churn",
+    )?;
+    let union: HashSet<Ipv4Addr> = s_vol.union(&s_churn).copied().collect();
+    let hm = theta_hm_with_options(
+        profiles,
+        &union,
+        cfg.tau_hm,
+        cfg.cut_fraction,
+        &HmOptions {
+            threads,
+            ..Default::default()
+        },
+    );
+    let suspects = hm.kept.clone();
+    Ok(PlotterReport {
+        all_hosts,
+        after_reduction,
+        reduction_threshold,
+        s_vol,
+        tau_vol,
+        s_churn,
+        tau_churn,
+        union,
+        hm,
+        suspects,
+    })
 }
 
 /// Runs `FindPlotters` over raw flow records.
@@ -88,29 +239,44 @@ pub fn find_plotters_from_profiles(
     profiles: &HashMap<Ipv4Addr, HostProfile>,
     cfg: &FindPlottersConfig,
 ) -> PlotterReport {
-    let all_hosts: HashSet<Ipv4Addr> = profiles.keys().copied().collect();
-    let (after_reduction, reduction_threshold) = if cfg.with_reduction {
-        initial_reduction(profiles)
-    } else {
-        (all_hosts.clone(), 0.0)
-    };
-    let (s_vol, tau_vol) = theta_vol(profiles, &after_reduction, cfg.tau_vol);
-    let (s_churn, tau_churn) = theta_churn(profiles, &after_reduction, cfg.tau_churn);
-    let union: HashSet<Ipv4Addr> = s_vol.union(&s_churn).copied().collect();
-    let hm = theta_hm(profiles, &union, cfg.tau_hm, cfg.cut_fraction);
-    let suspects = hm.kept.clone();
-    PlotterReport {
-        all_hosts,
-        after_reduction,
-        reduction_threshold,
-        s_vol,
-        tau_vol,
-        s_churn,
-        tau_churn,
-        union,
-        hm,
-        suspects,
+    run_stages(profiles, cfg, 1, false).expect("lenient pipeline is infallible")
+}
+
+/// [`find_plotters`] with validated configuration, typed failures, and
+/// host-sharded parallelism across `threads` scoped workers.
+///
+/// Output is identical to the serial batch path for any thread count (the
+/// percentile thresholds only see the — order-independent — multiset of
+/// per-host metrics).
+pub fn try_find_plotters<F>(
+    flows: &[FlowRecord],
+    is_internal: F,
+    cfg: &FindPlottersConfig,
+    threads: usize,
+) -> Result<PlotterReport, Error>
+where
+    F: Fn(Ipv4Addr) -> bool + Sync,
+{
+    if threads == 0 {
+        return Err(ConfigError::ZeroThreads.into());
     }
+    cfg.validate()?;
+    let profiles = extract_profiles_par(flows, is_internal, threads);
+    run_stages(&profiles, cfg, threads, true)
+}
+
+/// [`find_plotters_from_profiles`] with validated configuration, typed
+/// failures, and host-sharded parallelism (see [`try_find_plotters`]).
+pub fn try_find_plotters_from_profiles(
+    profiles: &HashMap<Ipv4Addr, HostProfile>,
+    cfg: &FindPlottersConfig,
+    threads: usize,
+) -> Result<PlotterReport, Error> {
+    if threads == 0 {
+        return Err(ConfigError::ZeroThreads.into());
+    }
+    cfg.validate()?;
+    run_stages(profiles, cfg, threads, true)
 }
 
 #[cfg(test)]
@@ -143,7 +309,11 @@ mod tests {
             src_bytes: up,
             dst_pkts: 1,
             dst_bytes: down,
-            state: if failed { FlowState::SynNoAnswer } else { FlowState::Established },
+            state: if failed {
+                FlowState::SynNoAnswer
+            } else {
+                FlowState::Established
+            },
             payload: Payload::empty(),
         }
     }
@@ -173,7 +343,14 @@ mod tests {
                 let dst = Ipv4Addr::new(70, 2, tr, (p + 1) as u8);
                 let t = SimTime::from_secs(300 + p * 2000 + (p * p * 37) % 1500);
                 let failed = p % 5 < 2;
-                flows.push(flow(trader, dst, t, if failed { 120 } else { 900_000 }, 2_000_000, failed));
+                flows.push(flow(
+                    trader,
+                    dst,
+                    t,
+                    if failed { 120 } else { 900_000 },
+                    2_000_000,
+                    failed,
+                ));
             }
         }
         // Normal hosts: 10.2.0.x, web-like: few failures, medium flows,
@@ -223,7 +400,9 @@ mod tests {
         assert!(!report.after_reduction.contains(&Ipv4Addr::new(10, 2, 0, 1)));
         // Bots and traders survive.
         assert!(report.after_reduction.contains(&Ipv4Addr::new(10, 1, 0, 1)));
-        assert!(report.after_reduction.contains(&Ipv4Addr::new(10, 1, 0, 10)));
+        assert!(report
+            .after_reduction
+            .contains(&Ipv4Addr::new(10, 1, 0, 10)));
     }
 
     #[test]
@@ -239,7 +418,10 @@ mod tests {
     #[test]
     fn disabling_reduction_widens_input() {
         let flows = mini_world();
-        let cfg = FindPlottersConfig { with_reduction: false, ..Default::default() };
+        let cfg = FindPlottersConfig {
+            with_reduction: false,
+            ..Default::default()
+        };
         let report = find_plotters(&flows, internal, &cfg);
         assert_eq!(report.after_reduction, report.all_hosts);
     }
@@ -259,5 +441,81 @@ mod tests {
         let b = find_plotters_from_profiles(&profiles, &FindPlottersConfig::default());
         assert_eq!(a.suspects, b.suspects);
         assert_eq!(a.tau_vol, b.tau_vol);
+    }
+
+    #[test]
+    fn builder_validates_knobs() {
+        assert!(FindPlottersConfig::builder().build().is_ok());
+        let cfg = FindPlottersConfig::builder()
+            .with_reduction(false)
+            .tau_vol(Threshold::Absolute(1000.0))
+            .tau_hm(Threshold::Percentile(80.0))
+            .cut_fraction(0.1)
+            .build()
+            .unwrap();
+        assert!(!cfg.with_reduction);
+        assert_eq!(cfg.tau_vol, Threshold::Absolute(1000.0));
+
+        assert_eq!(
+            FindPlottersConfig::builder().cut_fraction(0.0).build(),
+            Err(ConfigError::CutFraction(0.0))
+        );
+        assert_eq!(
+            FindPlottersConfig::builder().cut_fraction(1.0).build(),
+            Err(ConfigError::CutFraction(1.0))
+        );
+        assert!(matches!(
+            FindPlottersConfig::builder()
+                .tau_churn(Threshold::Percentile(101.0))
+                .build(),
+            Err(ConfigError::Percentile {
+                which: "tau_churn",
+                ..
+            })
+        ));
+        assert!(matches!(
+            FindPlottersConfig::builder()
+                .tau_vol(Threshold::Absolute(f64::NAN))
+                .build(),
+            Err(ConfigError::NonFiniteThreshold { which: "tau_vol" })
+        ));
+        // Struct literals still work and are re-validated by try_*.
+        let bad = FindPlottersConfig {
+            cut_fraction: 2.0,
+            ..Default::default()
+        };
+        assert_eq!(
+            try_find_plotters_from_profiles(&HashMap::new(), &bad, 1),
+            Err(Error::Config(ConfigError::CutFraction(2.0)))
+        );
+    }
+
+    #[test]
+    fn try_pipeline_matches_lenient_and_any_thread_count() {
+        let flows = mini_world();
+        let cfg = FindPlottersConfig::default();
+        let lenient = find_plotters(&flows, internal, &cfg);
+        for threads in [1usize, 2, 5, 16] {
+            let strict = try_find_plotters(&flows, internal, &cfg, threads).unwrap();
+            assert_eq!(lenient.suspects, strict.suspects, "threads={threads}");
+            assert_eq!(lenient.after_reduction, strict.after_reduction);
+            assert_eq!(lenient.tau_vol.to_bits(), strict.tau_vol.to_bits());
+            assert_eq!(lenient.tau_churn.to_bits(), strict.tau_churn.to_bits());
+            assert_eq!(lenient.hm.tau.to_bits(), strict.hm.tau.to_bits());
+            assert_eq!(lenient.hm.clusters, strict.hm.clusters);
+        }
+    }
+
+    #[test]
+    fn try_pipeline_surfaces_degenerate_inputs() {
+        let cfg = FindPlottersConfig::default();
+        assert_eq!(
+            try_find_plotters_from_profiles(&HashMap::new(), &cfg, 1),
+            Err(Error::EmptyWindow)
+        );
+        assert_eq!(
+            try_find_plotters(&mini_world(), internal, &cfg, 0),
+            Err(Error::Config(ConfigError::ZeroThreads))
+        );
     }
 }

@@ -60,7 +60,12 @@ pub fn rates_against(
             fp += 1;
         }
     }
-    Rates { positives: n_pos, negatives: n_neg, true_positives: tp, false_positives: fp }
+    Rates {
+        positives: n_pos,
+        negatives: n_neg,
+        true_positives: tp,
+        false_positives: fp,
+    }
 }
 
 #[cfg(test)]

@@ -19,11 +19,11 @@ use crate::features::HostProfile;
 /// Only hosts that initiated at least one successful flow are eligible at
 /// all; of those, hosts whose failed-connection rate exceeds the median are
 /// retained. Returns an empty set and threshold `0.0` for an empty input.
-pub fn initial_reduction(
-    profiles: &HashMap<Ipv4Addr, HostProfile>,
-) -> (HashSet<Ipv4Addr>, f64) {
-    let eligible: Vec<&HostProfile> =
-        profiles.values().filter(|p| p.initiated_successfully()).collect();
+pub fn initial_reduction(profiles: &HashMap<Ipv4Addr, HostProfile>) -> (HashSet<Ipv4Addr>, f64) {
+    let eligible: Vec<&HostProfile> = profiles
+        .values()
+        .filter(|p| p.initiated_successfully())
+        .collect();
     let rates: Vec<f64> = eligible.iter().filter_map(|p| p.failed_rate()).collect();
     let Some(threshold) = median(&rates) else {
         return (HashSet::new(), 0.0);
@@ -80,7 +80,11 @@ mod tests {
     fn hosts_without_successful_flows_excluded_entirely() {
         // A host with 100% failures is not eligible (never initiated a
         // successful flow) and must not skew the median either.
-        let m = as_map(vec![profile(1, 10, 10), profile(2, 10, 1), profile(3, 10, 5)]);
+        let m = as_map(vec![
+            profile(1, 10, 10),
+            profile(2, 10, 1),
+            profile(3, 10, 5),
+        ]);
         let (s, thr) = initial_reduction(&m);
         // Median over eligible {0.1, 0.5} = 0.3; survivor: .3 < 0.5 → host 3.
         assert!((thr - 0.3).abs() < 1e-9);
@@ -97,7 +101,11 @@ mod tests {
 
     #[test]
     fn ties_at_median_are_dropped() {
-        let m = as_map(vec![profile(1, 10, 3), profile(2, 10, 3), profile(3, 10, 3)]);
+        let m = as_map(vec![
+            profile(1, 10, 3),
+            profile(2, 10, 3),
+            profile(3, 10, 3),
+        ]);
         let (s, thr) = initial_reduction(&m);
         assert!((thr - 0.3).abs() < 1e-9);
         assert!(s.is_empty(), "strictly-greater comparison");

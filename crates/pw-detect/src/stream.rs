@@ -1,0 +1,682 @@
+//! Streaming windowed detection: run `FindPlotters` continuously over a
+//! live flow feed instead of a stored day of traffic.
+//!
+//! [`DetectionEngine`] accepts [`FlowRecord`]s incrementally — e.g. from
+//! [`pw_flow::ArgusAggregator::drain_completed`], which emits flows in
+//! *completion* order — reorders them within a configurable lateness bound,
+//! assigns them to tumbling or sliding windows, and emits a
+//! [`WindowReport`] (wrapping a [`PlotterReport`]) whenever a window's
+//! watermark passes. Profile extraction and the per-window threshold tests
+//! shard over hosts with `std::thread::scope`, so a multi-core monitor
+//! keeps up with line rate; any `threads` setting produces byte-identical
+//! verdicts.
+//!
+//! One streaming window covering a whole trace reproduces the batch
+//! [`find_plotters`](crate::pipeline::find_plotters) output exactly — the
+//! equivalence the integration suite pins down.
+//!
+//! # Examples
+//!
+//! ```
+//! use pw_detect::stream::{DetectionEngine, EngineConfig};
+//! use pw_netsim::SimDuration;
+//!
+//! let cfg = EngineConfig {
+//!     window: SimDuration::from_hours(1),
+//!     slide: SimDuration::from_hours(1),
+//!     ..Default::default()
+//! };
+//! let mut engine = DetectionEngine::new(cfg, |ip: std::net::Ipv4Addr| {
+//!     ip.octets()[0] == 10
+//! })
+//! .unwrap();
+//! // for flow in feed { for w in engine.push(flow)? { … } }
+//! let reports = engine.finish();
+//! assert!(reports.is_empty()); // nothing was pushed
+//! ```
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use pw_flow::{ArgusAggregator, FlowRecord};
+use pw_netsim::{SimDuration, SimTime};
+
+use crate::error::{ConfigError, Error};
+use crate::features::{accumulate_sharded, internal_endpoint, ProfileAccumulator};
+use crate::pipeline::{try_find_plotters_from_profiles, FindPlottersConfig, PlotterReport};
+
+/// When a window closes, which profiled hosts still take part in the
+/// verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Every host that produced a border flow inside the window is scored;
+    /// state is dropped wholesale when the window closes.
+    #[default]
+    WindowScoped,
+    /// Hosts silent for longer than the given duration before the window's
+    /// end are evicted before the threshold tests run (keeps a long window
+    /// from scoring hosts that left the network hours ago).
+    IdleLongerThan(SimDuration),
+}
+
+/// Configuration of a [`DetectionEngine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Window length. Equal `window` and `slide` gives tumbling windows;
+    /// `slide < window` gives overlapping sliding windows.
+    pub window: SimDuration,
+    /// Interval between window starts.
+    pub slide: SimDuration,
+    /// How far behind the watermark (maximum flow start seen) a flow may
+    /// start and still be accepted. Feeds that deliver flows in completion
+    /// order — like [`ArgusAggregator`] — need at least the aggregator's
+    /// idle timeout plus the longest expected flow duration.
+    pub lateness: SimDuration,
+    /// Worker threads for per-window profile extraction and threshold
+    /// tests. Any value produces identical output.
+    pub threads: usize,
+    /// Host participation rule at window close.
+    pub eviction: EvictionPolicy,
+    /// The detection pipeline run on each window.
+    pub detect: FindPlottersConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            window: SimDuration::from_hours(24),
+            slide: SimDuration::from_hours(24),
+            lateness: SimDuration::from_mins(10),
+            threads: 1,
+            eviction: EvictionPolicy::default(),
+            detect: FindPlottersConfig::default(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Checks every knob, including the embedded detection config.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.window == SimDuration::ZERO {
+            return Err(ConfigError::ZeroWindow);
+        }
+        if self.slide == SimDuration::ZERO {
+            return Err(ConfigError::ZeroSlide);
+        }
+        if self.slide > self.window {
+            return Err(ConfigError::SlideExceedsWindow);
+        }
+        if self.threads == 0 {
+            return Err(ConfigError::ZeroThreads);
+        }
+        self.detect.validate()
+    }
+}
+
+/// The verdict for one closed window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowReport {
+    /// Window sequence number (`index * slide` is the window start).
+    pub index: u64,
+    /// Inclusive start of the window.
+    pub start: SimTime,
+    /// Exclusive end of the window.
+    pub end: SimTime,
+    /// Border and non-border flows assigned to the window.
+    pub flows: usize,
+    /// Hosts profiled inside the window (before eviction).
+    pub hosts: usize,
+    /// Hosts removed by the [`EvictionPolicy`] before scoring.
+    pub evicted: usize,
+    /// The pipeline's verdict, or why no verdict was possible
+    /// ([`Error::EmptyWindow`], [`Error::ThresholdUnresolvable`]).
+    pub outcome: Result<PlotterReport, Error>,
+}
+
+/// Reorder-buffer key: the canonical flow processing order, so draining the
+/// buffer replays flows exactly as the batch path would sort them.
+type BufferKey = (SimTime, Ipv4Addr, Ipv4Addr, u16, u16);
+
+fn buffer_key(f: &FlowRecord) -> BufferKey {
+    (f.start, f.src, f.dst, f.sport, f.dport)
+}
+
+/// Streaming windowed `FindPlotters`.
+///
+/// Feed flows with [`push`](Self::push) (or drain an aggregator with
+/// [`drain_aggregator`](Self::drain_aggregator)); closed windows come back
+/// as [`WindowReport`]s. Call [`finish`](Self::finish) at end of input to
+/// flush windows the watermark never passed.
+#[derive(Debug)]
+pub struct DetectionEngine<F> {
+    cfg: EngineConfig,
+    is_internal: F,
+    /// Bounded-lateness reorder buffer (flows not yet applied to windows).
+    buffer: BTreeMap<BufferKey, Vec<FlowRecord>>,
+    /// Open windows by index; flow lists stay sorted in buffer-key order
+    /// because the buffer drains in ascending key order and `applied_to`
+    /// only moves forward.
+    open: BTreeMap<u64, Vec<FlowRecord>>,
+    /// Maximum flow start seen.
+    watermark: SimTime,
+    /// Flows starting before this instant have been applied to windows;
+    /// a flow arriving below it is late.
+    applied_to: SimTime,
+}
+
+impl<F: Fn(Ipv4Addr) -> bool + Sync> DetectionEngine<F> {
+    /// Creates an engine after validating `cfg`; `is_internal` identifies
+    /// monitored addresses.
+    pub fn new(cfg: EngineConfig, is_internal: F) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        Ok(Self {
+            cfg,
+            is_internal,
+            buffer: BTreeMap::new(),
+            open: BTreeMap::new(),
+            watermark: SimTime::ZERO,
+            applied_to: SimTime::ZERO,
+        })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Maximum flow start observed so far.
+    pub fn watermark(&self) -> SimTime {
+        self.watermark
+    }
+
+    /// Flows waiting in the reorder buffer.
+    pub fn buffered(&self) -> usize {
+        self.buffer.values().map(Vec::len).sum()
+    }
+
+    /// Windows currently open (flows assigned, watermark not yet past).
+    pub fn open_windows(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Feeds one flow; returns reports for every window the advancing
+    /// watermark closed.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::LateFlow`] if the flow starts before the lateness bound —
+    /// its window may already be closed, so it is dropped rather than
+    /// silently skewing a later window.
+    pub fn push(&mut self, f: FlowRecord) -> Result<Vec<WindowReport>, Error> {
+        if f.start < self.applied_to {
+            return Err(Error::LateFlow {
+                start: f.start,
+                bound: self.applied_to,
+            });
+        }
+        self.watermark = self.watermark.max(f.start);
+        self.buffer.entry(buffer_key(&f)).or_default().push(f);
+        let cutoff = SimTime::from_millis(
+            self.watermark
+                .as_millis()
+                .saturating_sub(self.cfg.lateness.as_millis()),
+        );
+        Ok(self.advance_to(cutoff))
+    }
+
+    /// Drains every completed flow out of `agg` into the engine.
+    ///
+    /// The aggregator emits flows in completion order; they are re-sorted
+    /// by start before being pushed, so only flows older than the lateness
+    /// bound can fail (see [`EngineConfig::lateness`]).
+    pub fn drain_aggregator(
+        &mut self,
+        agg: &mut ArgusAggregator,
+    ) -> Result<Vec<WindowReport>, Error> {
+        let mut flows = agg.drain_completed();
+        flows.sort_by_key(buffer_key);
+        let mut reports = Vec::new();
+        for f in flows {
+            reports.extend(self.push(f)?);
+        }
+        Ok(reports)
+    }
+
+    /// End of input: applies every buffered flow and closes every open
+    /// window, in index order.
+    pub fn finish(&mut self) -> Vec<WindowReport> {
+        self.applied_to = self.applied_to.max(self.watermark);
+        let ready = std::mem::take(&mut self.buffer);
+        for f in ready.into_values().flatten() {
+            self.assign(f);
+        }
+        let open = std::mem::take(&mut self.open);
+        open.into_iter()
+            .map(|(k, flows)| self.close_window(k, flows))
+            .collect()
+    }
+
+    /// Applies buffered flows starting before `cutoff` and closes windows
+    /// wholly covered by the applied range.
+    fn advance_to(&mut self, cutoff: SimTime) -> Vec<WindowReport> {
+        if cutoff <= self.applied_to {
+            return Vec::new();
+        }
+        let bound: BufferKey = (cutoff, Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED, 0, 0);
+        let rest = self.buffer.split_off(&bound);
+        let ready = std::mem::replace(&mut self.buffer, rest);
+        for f in ready.into_values().flatten() {
+            self.assign(f);
+        }
+        self.applied_to = cutoff;
+
+        let window_ms = self.cfg.window.as_millis();
+        let slide_ms = self.cfg.slide.as_millis();
+        let closable: Vec<u64> = self
+            .open
+            .keys()
+            .copied()
+            .take_while(|&k| k * slide_ms + window_ms <= self.applied_to.as_millis())
+            .collect();
+        closable
+            .into_iter()
+            .map(|k| {
+                let flows = self.open.remove(&k).expect("window present");
+                self.close_window(k, flows)
+            })
+            .collect()
+    }
+
+    /// Appends the flow to every window covering its start time.
+    fn assign(&mut self, f: FlowRecord) {
+        let t = f.start.as_millis();
+        let window_ms = self.cfg.window.as_millis();
+        let slide_ms = self.cfg.slide.as_millis();
+        let k_max = t / slide_ms;
+        let k_min = if t < window_ms {
+            0
+        } else {
+            (t - window_ms) / slide_ms + 1
+        };
+        for k in k_min..=k_max {
+            self.open.entry(k).or_default().push(f);
+        }
+    }
+
+    fn close_window(&self, index: u64, mut flows: Vec<FlowRecord>) -> WindowReport {
+        let start = SimTime::from_millis(index * self.cfg.slide.as_millis());
+        let end = start + self.cfg.window;
+        // Already sorted by construction; cheap on sorted input and keeps
+        // the batch-equivalence guarantee independent of buffer internals.
+        flows.sort_by_key(buffer_key);
+
+        let threads = self.cfg.threads;
+        let mut profiles = if threads == 1 {
+            let mut acc = ProfileAccumulator::new();
+            for f in &flows {
+                if let Some(host) = internal_endpoint(f, &self.is_internal) {
+                    acc.absorb(f, host);
+                }
+            }
+            acc.finish()
+        } else {
+            let order: Vec<&FlowRecord> = flows.iter().collect();
+            accumulate_sharded(&order, &self.is_internal, threads)
+        };
+        let hosts = profiles.len();
+
+        let evicted = match self.cfg.eviction {
+            EvictionPolicy::WindowScoped => 0,
+            EvictionPolicy::IdleLongerThan(idle) => {
+                let deadline =
+                    SimTime::from_millis(end.as_millis().saturating_sub(idle.as_millis()));
+                let mut last_seen: BTreeMap<Ipv4Addr, SimTime> = BTreeMap::new();
+                for f in &flows {
+                    if let Some(host) = internal_endpoint(f, &self.is_internal) {
+                        let e = last_seen.entry(host).or_insert(f.start);
+                        *e = (*e).max(f.start);
+                    }
+                }
+                let before = profiles.len();
+                profiles.retain(|host, _| last_seen.get(host).is_some_and(|&t| t >= deadline));
+                before - profiles.len()
+            }
+        };
+
+        let outcome = try_find_plotters_from_profiles(&profiles, &self.cfg.detect, threads);
+        WindowReport {
+            index,
+            start,
+            end,
+            flows: flows.len(),
+            hosts,
+            evicted,
+            outcome,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::find_plotters;
+    use pw_flow::{FlowState, Payload, Proto};
+
+    fn internal(ip: Ipv4Addr) -> bool {
+        ip.octets()[0] == 10
+    }
+
+    fn flow(src: Ipv4Addr, dst: Ipv4Addr, start: SimTime, up: u64, failed: bool) -> FlowRecord {
+        FlowRecord {
+            start,
+            end: start + SimDuration::from_secs(1),
+            src,
+            sport: 999,
+            dst,
+            dport: 80,
+            proto: Proto::Tcp,
+            src_pkts: 1,
+            src_bytes: up,
+            dst_pkts: 1,
+            dst_bytes: 64,
+            state: if failed {
+                FlowState::SynNoAnswer
+            } else {
+                FlowState::Established
+            },
+            payload: Payload::empty(),
+        }
+    }
+
+    /// Two hours of mixed traffic: three bot-like hosts with tight timers,
+    /// three trader-like, several normal.
+    fn two_hours() -> Vec<FlowRecord> {
+        let mut flows = Vec::new();
+        for b in 0..3u8 {
+            let bot = Ipv4Addr::new(10, 1, 0, 1 + b);
+            for round in 0..24u64 {
+                for peer in 0..6u8 {
+                    let dst = Ipv4Addr::new(60, 1, b, peer + 1);
+                    let t = SimTime::from_secs(round * 300 + peer as u64);
+                    flows.push(flow(bot, dst, t, 80, peer % 2 == 0));
+                }
+            }
+        }
+        for tr in 0..3u8 {
+            let trader = Ipv4Addr::new(10, 1, 0, 10 + tr);
+            for p in 0..40u64 {
+                let dst = Ipv4Addr::new(70, 2, tr, (p + 1) as u8);
+                let t = SimTime::from_secs(60 + p * 170 + (p * p * 37) % 90);
+                let failed = p % 5 < 2;
+                flows.push(flow(
+                    trader,
+                    dst,
+                    t,
+                    if failed { 120 } else { 900_000 },
+                    failed,
+                ));
+            }
+        }
+        for n in 0..8u8 {
+            let host = Ipv4Addr::new(10, 2, 0, 1 + n);
+            for k in 0..40u64 {
+                let dst = Ipv4Addr::new(80, 3, (k % 9) as u8, 1);
+                let t = SimTime::from_secs(30 + k * 175 + (k * k * 131 + n as u64 * 997) % 120);
+                flows.push(flow(host, dst, t, 600, k % 25 == 0));
+            }
+        }
+        // Arrival order of a border monitor: by start time.
+        flows.sort_by_key(buffer_key);
+        flows
+    }
+
+    fn engine(cfg: EngineConfig) -> DetectionEngine<fn(Ipv4Addr) -> bool> {
+        DetectionEngine::new(cfg, internal as fn(Ipv4Addr) -> bool).unwrap()
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_knobs() {
+        let ok = EngineConfig::default();
+        assert!(ok.validate().is_ok());
+        let cases = [
+            (
+                EngineConfig {
+                    window: SimDuration::ZERO,
+                    ..ok
+                },
+                ConfigError::ZeroWindow,
+            ),
+            (
+                EngineConfig {
+                    slide: SimDuration::ZERO,
+                    ..ok
+                },
+                ConfigError::ZeroSlide,
+            ),
+            (
+                EngineConfig {
+                    slide: SimDuration::from_hours(25),
+                    ..ok
+                },
+                ConfigError::SlideExceedsWindow,
+            ),
+            (EngineConfig { threads: 0, ..ok }, ConfigError::ZeroThreads),
+            (
+                EngineConfig {
+                    detect: FindPlottersConfig {
+                        cut_fraction: 0.0,
+                        ..Default::default()
+                    },
+                    ..ok
+                },
+                ConfigError::CutFraction(0.0),
+            ),
+        ];
+        for (cfg, want) in cases {
+            assert_eq!(cfg.validate(), Err(want));
+            assert!(DetectionEngine::new(cfg, internal).is_err());
+        }
+    }
+
+    #[test]
+    fn single_full_window_matches_batch() {
+        let flows = two_hours();
+        let batch = find_plotters(&flows, internal, &FindPlottersConfig::default());
+        for threads in [1usize, 2, 4] {
+            let mut eng = engine(EngineConfig {
+                window: SimDuration::from_hours(3),
+                slide: SimDuration::from_hours(3),
+                lateness: SimDuration::from_mins(5),
+                threads,
+                ..Default::default()
+            });
+            let mut reports = Vec::new();
+            for f in &flows {
+                // Completion-order-ish arrival: the engine's buffer fixes it.
+                reports.extend(eng.push(*f).unwrap());
+            }
+            reports.extend(eng.finish());
+            assert_eq!(reports.len(), 1, "threads={threads}");
+            let w = reports.pop().unwrap().outcome.unwrap();
+            assert_eq!(w.suspects, batch.suspects, "threads={threads}");
+            assert_eq!(w.tau_vol.to_bits(), batch.tau_vol.to_bits());
+            assert_eq!(w.tau_churn.to_bits(), batch.tau_churn.to_bits());
+            assert_eq!(w.hm.clusters, batch.hm.clusters);
+        }
+    }
+
+    #[test]
+    fn out_of_order_arrival_within_lateness_is_reordered() {
+        let mut flows = two_hours();
+        // Scramble locally: reverse 32-flow blocks (disorder bounded well
+        // inside the 10-minute lateness).
+        for chunk in flows.chunks_mut(32) {
+            chunk.reverse();
+        }
+        let ordered = two_hours();
+        let run = |input: &[FlowRecord]| {
+            let mut eng = engine(EngineConfig {
+                window: SimDuration::from_mins(30),
+                slide: SimDuration::from_mins(30),
+                lateness: SimDuration::from_mins(10),
+                ..Default::default()
+            });
+            let mut reports = Vec::new();
+            for f in input {
+                reports.extend(eng.push(*f).unwrap());
+            }
+            reports.extend(eng.finish());
+            reports
+        };
+        assert_eq!(run(&flows), run(&ordered));
+    }
+
+    #[test]
+    fn tumbling_windows_partition_flows() {
+        let flows = two_hours();
+        let mut eng = engine(EngineConfig {
+            window: SimDuration::from_mins(30),
+            slide: SimDuration::from_mins(30),
+            lateness: SimDuration::ZERO,
+            ..Default::default()
+        });
+        let mut reports = Vec::new();
+        for f in &flows {
+            reports.extend(eng.push(*f).unwrap());
+        }
+        reports.extend(eng.finish());
+        assert_eq!(reports.iter().map(|w| w.flows).sum::<usize>(), flows.len());
+        for (a, b) in reports.iter().zip(reports.iter().skip(1)) {
+            assert!(a.index < b.index, "windows out of order");
+            assert_eq!(a.end, b.start, "tumbling windows must abut");
+        }
+    }
+
+    #[test]
+    fn sliding_windows_see_flows_twice() {
+        let flows = two_hours();
+        let mut eng = engine(EngineConfig {
+            window: SimDuration::from_mins(60),
+            slide: SimDuration::from_mins(30),
+            lateness: SimDuration::ZERO,
+            ..Default::default()
+        });
+        let mut reports = Vec::new();
+        for f in &flows {
+            reports.extend(eng.push(*f).unwrap());
+        }
+        reports.extend(eng.finish());
+        // Every flow lands in two overlapping windows, except those in the
+        // first half-window of the stream.
+        let early = flows
+            .iter()
+            .filter(|f| f.start < SimTime::from_secs(1800))
+            .count();
+        let total: usize = reports.iter().map(|w| w.flows).sum();
+        assert_eq!(total, flows.len() * 2 - early);
+    }
+
+    #[test]
+    fn late_flow_is_rejected_not_misfiled() {
+        let mut eng = engine(EngineConfig {
+            window: SimDuration::from_mins(10),
+            slide: SimDuration::from_mins(10),
+            lateness: SimDuration::ZERO,
+            ..Default::default()
+        });
+        let a = Ipv4Addr::new(10, 1, 0, 1);
+        let b = Ipv4Addr::new(60, 0, 0, 1);
+        eng.push(flow(a, b, SimTime::from_secs(25 * 60), 10, false))
+            .unwrap();
+        let err = eng
+            .push(flow(a, b, SimTime::from_secs(10), 10, false))
+            .unwrap_err();
+        assert!(matches!(err, Error::LateFlow { .. }));
+    }
+
+    #[test]
+    fn idle_hosts_are_evicted_before_scoring() {
+        // One host active at the start of a 60-min window then silent; one
+        // active throughout.
+        let mut flows = Vec::new();
+        let idle = Ipv4Addr::new(10, 9, 0, 1);
+        let busy = Ipv4Addr::new(10, 9, 0, 2);
+        for k in 0..5u64 {
+            flows.push(flow(
+                idle,
+                Ipv4Addr::new(60, 0, 0, 1),
+                SimTime::from_secs(k * 30),
+                10,
+                false,
+            ));
+        }
+        for k in 0..60u64 {
+            flows.push(flow(
+                busy,
+                Ipv4Addr::new(60, 0, 0, 2),
+                SimTime::from_secs(k * 60),
+                10,
+                false,
+            ));
+        }
+        flows.sort_by_key(buffer_key);
+        let run = |eviction: EvictionPolicy| {
+            let mut eng = engine(EngineConfig {
+                window: SimDuration::from_mins(60),
+                slide: SimDuration::from_mins(60),
+                lateness: SimDuration::ZERO,
+                eviction,
+                ..Default::default()
+            });
+            for f in &flows {
+                eng.push(*f).unwrap();
+            }
+            eng.finish().pop().unwrap()
+        };
+        let scoped = run(EvictionPolicy::WindowScoped);
+        assert_eq!((scoped.hosts, scoped.evicted), (2, 0));
+        let idle_out = run(EvictionPolicy::IdleLongerThan(SimDuration::from_mins(30)));
+        assert_eq!((idle_out.hosts, idle_out.evicted), (2, 1));
+        if let Ok(r) = idle_out.outcome {
+            assert!(!r.all_hosts.contains(&idle));
+        }
+    }
+
+    #[test]
+    fn empty_window_outcome_is_typed() {
+        // Flows between two external hosts only: windows exist but no
+        // border host is profiled.
+        let mut eng = engine(EngineConfig {
+            window: SimDuration::from_mins(10),
+            slide: SimDuration::from_mins(10),
+            lateness: SimDuration::ZERO,
+            ..Default::default()
+        });
+        let x = Ipv4Addr::new(60, 0, 0, 1);
+        let y = Ipv4Addr::new(70, 0, 0, 1);
+        eng.push(flow(x, y, SimTime::from_secs(1), 10, false))
+            .unwrap();
+        let reports = eng.finish();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].outcome, Err(Error::EmptyWindow));
+    }
+
+    #[test]
+    fn watermark_and_buffer_observability() {
+        let mut eng = engine(EngineConfig {
+            window: SimDuration::from_mins(10),
+            slide: SimDuration::from_mins(10),
+            lateness: SimDuration::from_mins(10),
+            ..Default::default()
+        });
+        let a = Ipv4Addr::new(10, 1, 0, 1);
+        let b = Ipv4Addr::new(60, 0, 0, 1);
+        eng.push(flow(a, b, SimTime::from_secs(30), 10, false))
+            .unwrap();
+        assert_eq!(eng.watermark(), SimTime::from_secs(30));
+        assert_eq!(eng.buffered(), 1);
+        assert_eq!(eng.open_windows(), 0);
+        eng.finish();
+        assert_eq!(eng.buffered(), 0);
+    }
+}

@@ -59,7 +59,11 @@ pub struct TdgConfig {
 
 impl Default for TdgConfig {
     fn default() -> Self {
-        Self { min_avg_degree: 2.8, min_ino_fraction: 0.01, min_nodes: 20 }
+        Self {
+            min_avg_degree: 2.8,
+            min_ino_fraction: 0.01,
+            min_nodes: 20,
+        }
     }
 }
 
@@ -121,7 +125,10 @@ where
         metrics.push(m);
     }
     metrics.sort_by(|a, b| b.nodes.cmp(&a.nodes).then(a.port.cmp(&b.port)));
-    TdgReport { graphs: metrics, p2p_hosts }
+    TdgReport {
+        graphs: metrics,
+        p2p_hosts,
+    }
 }
 
 #[cfg(test)]
@@ -143,7 +150,11 @@ mod tests {
             src_bytes: 100,
             dst_pkts: 1,
             dst_bytes: 100,
-            state: if failed { FlowState::SynNoAnswer } else { FlowState::Established },
+            state: if failed {
+                FlowState::SynNoAnswer
+            } else {
+                FlowState::Established
+            },
             payload: Payload::empty(),
         }
     }
@@ -167,7 +178,11 @@ mod tests {
             for d in 1..4u8 {
                 let j = (i + d) % n;
                 let a = if i % 3 == 0 { host(i + 1) } else { ext(i + 1) };
-                let b = if j.is_multiple_of(3) { host(j + 1) } else { ext(j + 1) };
+                let b = if j.is_multiple_of(3) {
+                    host(j + 1)
+                } else {
+                    ext(j + 1)
+                };
                 if a != b {
                     flows.push(flow(a, b, port, false));
                 }
@@ -178,7 +193,9 @@ mod tests {
 
     /// A star: many clients, one server — client–server-like.
     fn star_flows(port: u16, n: u8) -> Vec<FlowRecord> {
-        (0..n).map(|i| flow(host(i + 1), ext(200), port, false)).collect()
+        (0..n)
+            .map(|i| flow(host(i + 1), ext(200), port, false))
+            .collect()
     }
 
     #[test]
@@ -198,8 +215,9 @@ mod tests {
 
     #[test]
     fn failed_flows_contribute_nothing() {
-        let flows: Vec<FlowRecord> =
-            (0..40).map(|i| flow(host(i + 1), ext(i + 1), 8, true)).collect();
+        let flows: Vec<FlowRecord> = (0..40)
+            .map(|i| flow(host(i + 1), ext(i + 1), 8, true))
+            .collect();
         let report = tdg_scan(&flows, internal, &TdgConfig::default());
         assert!(report.graphs.is_empty());
         assert!(report.p2p_hosts.is_empty());
@@ -241,9 +259,16 @@ mod tests {
         // At campus scale (tens of traders, not millions of peers) the
         // absolute degree is lower than internet-scale TDGs; calibrate the
         // degree threshold down but keep the structural tests.
-        let cfg = TdgConfig { min_avg_degree: 1.5, ..TdgConfig::default() };
+        let cfg = TdgConfig {
+            min_avg_degree: 1.5,
+            ..TdgConfig::default()
+        };
         let report = tdg_scan(&flows, |ip| space.is_internal(ip), &cfg);
-        let g6346 = report.graphs.iter().find(|g| g.port == 6346).expect("gnutella graph");
+        let g6346 = report
+            .graphs
+            .iter()
+            .find(|g| g.port == 6346)
+            .expect("gnutella graph");
         assert!(g6346.looks_p2p(&cfg), "{g6346:?}");
         // The defining P2P property holds regardless of scale: a
         // substantial InO fraction (peers act as client and server).

@@ -22,13 +22,15 @@ pub struct ArgusConfig {
 
 impl Default for ArgusConfig {
     fn default() -> Self {
-        Self { idle_timeout: SimDuration::from_secs(60) }
+        Self {
+            idle_timeout: SimDuration::from_secs(60),
+        }
     }
 }
 
 /// Canonical bidirectional key: the 5-tuple with endpoints ordered so both
 /// directions map to the same key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 struct BidiKey {
     lo: (Ipv4Addr, u16),
     hi: (Ipv4Addr, u16),
@@ -40,9 +42,17 @@ impl BidiKey {
         let a = (pkt.src, pkt.sport);
         let b = (pkt.dst, pkt.dport);
         if a <= b {
-            BidiKey { lo: a, hi: b, proto: pkt.proto }
+            BidiKey {
+                lo: a,
+                hi: b,
+                proto: pkt.proto,
+            }
         } else {
-            BidiKey { lo: b, hi: a, proto: pkt.proto }
+            BidiKey {
+                lo: b,
+                hi: a,
+                proto: pkt.proto,
+            }
         }
     }
 }
@@ -176,7 +186,11 @@ pub struct ArgusAggregator {
 impl ArgusAggregator {
     /// Creates an aggregator with the given configuration.
     pub fn new(cfg: ArgusConfig) -> Self {
-        Self { cfg, active: HashMap::new(), completed: Vec::new() }
+        Self {
+            cfg,
+            active: HashMap::new(),
+            completed: Vec::new(),
+        }
     }
 
     /// Number of currently open flows.
@@ -184,20 +198,31 @@ impl ArgusAggregator {
         self.active.len()
     }
 
-    /// Takes the flow records completed so far (by idle timeout).
+    /// Takes the flow records completed so far (by idle timeout), sorted by
+    /// start time then endpoints — the order every downstream consumer
+    /// (CSV writer, `pw-detect`'s streaming engine) processes flows in.
+    ///
+    /// Records complete when their 5-tuple goes idle, so a long-lived flow
+    /// can surface *after* flows that started later; feed a
+    /// `pw_detect::stream::DetectionEngine` with a lateness bound of at
+    /// least the idle timeout plus the longest expected flow duration.
     pub fn drain_completed(&mut self) -> Vec<FlowRecord> {
-        std::mem::take(&mut self.completed)
+        let mut out = std::mem::take(&mut self.completed);
+        out.sort_by_key(|r| (r.start, r.src, r.sport, r.dst, r.dport, r.end));
+        out
     }
 
-    /// Expires every flow idle at time `now`; useful between simulated days.
+    /// Expires every flow idle at time `now`; useful between simulated days
+    /// or as the periodic tick that feeds a streaming consumer.
     pub fn expire_idle(&mut self, now: SimTime) {
         let timeout = self.cfg.idle_timeout;
-        let expired: Vec<BidiKey> = self
+        let mut expired: Vec<BidiKey> = self
             .active
             .iter()
             .filter(|(_, fb)| now.since(fb.last) > timeout)
             .map(|(k, _)| *k)
             .collect();
+        expired.sort_unstable(); // HashMap iteration order is not deterministic
         for k in expired {
             let fb = self.active.remove(&k).expect("listed above");
             self.completed.push(fb.finish());
@@ -227,7 +252,10 @@ impl PacketSink for ArgusAggregator {
                 self.completed.push(fb.finish());
             }
         }
-        let fb = self.active.entry(key).or_insert_with(|| FlowBuild::new(&packet));
+        let fb = self
+            .active
+            .entry(key)
+            .or_insert_with(|| FlowBuild::new(&packet));
         fb.absorb(&packet);
     }
 }
@@ -239,7 +267,14 @@ mod tests {
     const A: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 1);
     const B: Ipv4Addr = Ipv4Addr::new(93, 184, 216, 34);
 
-    fn pkt(t: u64, src: Ipv4Addr, sport: u16, dst: Ipv4Addr, dport: u16, flags: TcpFlags) -> Packet {
+    fn pkt(
+        t: u64,
+        src: Ipv4Addr,
+        sport: u16,
+        dst: Ipv4Addr,
+        dport: u16,
+        flags: TcpFlags,
+    ) -> Packet {
         Packet {
             time: SimTime::from_millis(t),
             src,
@@ -335,7 +370,9 @@ mod tests {
 
     #[test]
     fn idle_timeout_splits_flows() {
-        let mut agg = ArgusAggregator::new(ArgusConfig { idle_timeout: SimDuration::from_secs(60) });
+        let mut agg = ArgusAggregator::new(ArgusConfig {
+            idle_timeout: SimDuration::from_secs(60),
+        });
         agg.emit(udp(0, A, 6000, B, 53, 70));
         agg.emit(udp(30_000, B, 53, A, 6000, 70)); // 30 s later: same flow
         agg.emit(udp(200_000, A, 6000, B, 53, 70)); // 170 s gap: new flow
@@ -392,7 +429,9 @@ mod tests {
 
     #[test]
     fn drain_completed_bounds_memory() {
-        let mut agg = ArgusAggregator::new(ArgusConfig { idle_timeout: SimDuration::from_secs(1) });
+        let mut agg = ArgusAggregator::new(ArgusConfig {
+            idle_timeout: SimDuration::from_secs(1),
+        });
         agg.emit(udp(0, A, 6000, B, 53, 70));
         agg.emit(udp(10_000, A, 6000, B, 53, 70)); // forces expiry of first
         assert_eq!(agg.drain_completed().len(), 1);

@@ -129,19 +129,25 @@ pub fn read_flows<R: BufRead>(r: R) -> Result<Vec<FlowRecord>, ParseFlowError> {
             continue;
         }
         let lineno = idx + 1;
-        let err = |reason: String| ParseFlowError::Malformed { line: lineno, reason };
+        let err = |reason: String| ParseFlowError::Malformed {
+            line: lineno,
+            reason,
+        };
         let fields: Vec<&str> = line.split(',').collect();
         if fields.len() != 13 {
             return Err(err(format!("expected 13 fields, got {}", fields.len())));
         }
         let parse_u64 = |s: &str, what: &str| {
-            s.parse::<u64>().map_err(|e| err(format!("bad {what} `{s}`: {e}")))
+            s.parse::<u64>()
+                .map_err(|e| err(format!("bad {what} `{s}`: {e}")))
         };
         let parse_u16 = |s: &str, what: &str| {
-            s.parse::<u16>().map_err(|e| err(format!("bad {what} `{s}`: {e}")))
+            s.parse::<u16>()
+                .map_err(|e| err(format!("bad {what} `{s}`: {e}")))
         };
         let parse_ip = |s: &str, what: &str| {
-            s.parse::<Ipv4Addr>().map_err(|e| err(format!("bad {what} `{s}`: {e}")))
+            s.parse::<Ipv4Addr>()
+                .map_err(|e| err(format!("bad {what} `{s}`: {e}")))
         };
         let proto = match fields[6] {
             "tcp" => Proto::Tcp,

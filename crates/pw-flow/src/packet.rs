@@ -118,7 +118,10 @@ impl Payload {
 
     /// The empty payload.
     pub const fn empty() -> Self {
-        Payload { len: 0, bytes: [0; Payload::MAX] }
+        Payload {
+            len: 0,
+            bytes: [0; Payload::MAX],
+        }
     }
 
     /// Captures up to 64 bytes from `data`.
@@ -126,7 +129,10 @@ impl Payload {
         let mut bytes = [0u8; Payload::MAX];
         let len = data.len().min(Payload::MAX);
         bytes[..len].copy_from_slice(&data[..len]);
-        Payload { len: len as u8, bytes }
+        Payload {
+            len: len as u8,
+            bytes,
+        }
     }
 
     /// The captured bytes.

@@ -30,7 +30,10 @@ impl FlowState {
     /// (§V-A): the initiator got no usable answer. Failed-connection rate is
     /// the initial data-reduction feature.
     pub fn is_failed(self) -> bool {
-        matches!(self, FlowState::SynNoAnswer | FlowState::Rejected | FlowState::UdpSilent)
+        matches!(
+            self,
+            FlowState::SynNoAnswer | FlowState::Rejected | FlowState::UdpSilent
+        )
     }
 }
 

@@ -60,7 +60,9 @@ pub fn classify_payload(payload: &[u8]) -> Option<P2pApp> {
         return None;
     }
     // Gnutella keywords.
-    if contains(payload, b"GNUTELLA") || contains(payload, b"CONNECT BACK") || contains(payload, b"LIME")
+    if contains(payload, b"GNUTELLA")
+        || contains(payload, b"CONNECT BACK")
+        || contains(payload, b"LIME")
     {
         return Some(P2pApp::Gnutella);
     }
@@ -182,19 +184,34 @@ mod tests {
 
     #[test]
     fn gnutella_signatures() {
-        assert_eq!(classify_payload(build::gnutella_connect().as_bytes()), Some(P2pApp::Gnutella));
+        assert_eq!(
+            classify_payload(build::gnutella_connect().as_bytes()),
+            Some(P2pApp::Gnutella)
+        );
         assert_eq!(
             classify_payload(build::gnutella_connect_back().as_bytes()),
             Some(P2pApp::Gnutella)
         );
-        assert_eq!(classify_payload(b"something LIME here"), Some(P2pApp::Gnutella));
+        assert_eq!(
+            classify_payload(b"something LIME here"),
+            Some(P2pApp::Gnutella)
+        );
     }
 
     #[test]
     fn emule_signatures() {
-        assert_eq!(classify_payload(build::emule_hello().as_bytes()), Some(P2pApp::Emule));
-        assert_eq!(classify_payload(build::emule_extended().as_bytes()), Some(P2pApp::Emule));
-        assert_eq!(classify_payload(build::emule_kad(0x20).as_bytes()), Some(P2pApp::Emule));
+        assert_eq!(
+            classify_payload(build::emule_hello().as_bytes()),
+            Some(P2pApp::Emule)
+        );
+        assert_eq!(
+            classify_payload(build::emule_extended().as_bytes()),
+            Some(P2pApp::Emule)
+        );
+        assert_eq!(
+            classify_payload(build::emule_kad(0x20).as_bytes()),
+            Some(P2pApp::Emule)
+        );
     }
 
     #[test]
@@ -206,17 +223,29 @@ mod tests {
             build::bt_dht_query(),
             build::bt_dht_response(),
         ] {
-            assert_eq!(classify_payload(p.as_bytes()), Some(P2pApp::BitTorrent), "{:?}", p);
+            assert_eq!(
+                classify_payload(p.as_bytes()),
+                Some(P2pApp::BitTorrent),
+                "{:?}",
+                p
+            );
         }
     }
 
     #[test]
     fn non_p2p_payloads_unclassified() {
         assert_eq!(classify_payload(b""), None);
-        assert_eq!(classify_payload(build::http_get("/index.html").as_bytes()), None);
+        assert_eq!(
+            classify_payload(build::http_get("/index.html").as_bytes()),
+            None
+        );
         assert_eq!(classify_payload(b"EHLO mail.example.com"), None);
         for seed in 0..50 {
-            assert_eq!(classify_payload(build::opaque(seed).as_bytes()), None, "seed {seed}");
+            assert_eq!(
+                classify_payload(build::opaque(seed).as_bytes()),
+                None,
+                "seed {seed}"
+            );
         }
     }
 

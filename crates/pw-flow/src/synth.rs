@@ -108,7 +108,10 @@ impl ConnSpec {
             dst,
             dport,
             proto: Proto::Tcp,
-            outcome: ConnOutcome::Established { bytes_up: 0, bytes_down: 0 },
+            outcome: ConnOutcome::Established {
+                bytes_up: 0,
+                bytes_down: 0,
+            },
             dur: SimDuration::from_secs(1),
             first_payload: Payload::empty(),
         }
@@ -124,7 +127,10 @@ impl ConnSpec {
             dst,
             dport,
             proto: Proto::Udp,
-            outcome: ConnOutcome::UdpExchange { bytes_up: 0, bytes_down: 0 },
+            outcome: ConnOutcome::UdpExchange {
+                bytes_up: 0,
+                bytes_down: 0,
+            },
             dur: SimDuration::ZERO,
             first_payload: Payload::empty(),
         }
@@ -171,8 +177,16 @@ fn data_packet(
     flags: TcpFlags,
     payload: Payload,
 ) -> Packet {
-    let hdr = if proto == Proto::Tcp { TCP_HDR } else { UDP_HDR };
-    let pkts = if app_bytes == 0 { 1 } else { app_bytes.div_ceil(MSS) } as u32;
+    let hdr = if proto == Proto::Tcp {
+        TCP_HDR
+    } else {
+        UDP_HDR
+    };
+    let pkts = if app_bytes == 0 {
+        1
+    } else {
+        app_bytes.div_ceil(MSS)
+    } as u32;
     Packet {
         time: t,
         src: from.0,
@@ -193,9 +207,20 @@ pub fn emit_connection<S: PacketSink + ?Sized>(sink: &mut S, spec: &ConnSpec) {
     let rev = (spec.dst, spec.dport);
     let t0 = spec.start;
     match spec.outcome {
-        ConnOutcome::Established { bytes_up, bytes_down } => {
+        ConnOutcome::Established {
+            bytes_up,
+            bytes_down,
+        } => {
             // Handshake.
-            sink.emit(data_packet(t0, fwd, rev, Proto::Tcp, 0, TcpFlags::SYN, Payload::empty()));
+            sink.emit(data_packet(
+                t0,
+                fwd,
+                rev,
+                Proto::Tcp,
+                0,
+                TcpFlags::SYN,
+                Payload::empty(),
+            ));
             sink.emit(data_packet(
                 t0 + RTT,
                 rev,
@@ -206,7 +231,15 @@ pub fn emit_connection<S: PacketSink + ?Sized>(sink: &mut S, spec: &ConnSpec) {
                 Payload::empty(),
             ));
             let t_est = t0 + RTT + RTT;
-            sink.emit(data_packet(t_est, fwd, rev, Proto::Tcp, 0, TcpFlags::ACK, Payload::empty()));
+            sink.emit(data_packet(
+                t_est,
+                fwd,
+                rev,
+                Proto::Tcp,
+                0,
+                TcpFlags::ACK,
+                Payload::empty(),
+            ));
             // Data bursts, spread across the duration but never more than
             // BURST_GAP_CAP apart.
             let dur = spec.dur.max(RTT);
@@ -218,7 +251,11 @@ pub fn emit_connection<S: PacketSink + ?Sized>(sink: &mut S, spec: &ConnSpec) {
                 if bytes_up > 0 {
                     let share = bytes_up / bursts + u64::from(b == 0) * (bytes_up % bursts);
                     if share > 0 {
-                        let pl = if first_up { spec.first_payload } else { Payload::empty() };
+                        let pl = if first_up {
+                            spec.first_payload
+                        } else {
+                            Payload::empty()
+                        };
                         first_up = false;
                         sink.emit(data_packet(
                             t,
@@ -248,8 +285,20 @@ pub fn emit_connection<S: PacketSink + ?Sized>(sink: &mut S, spec: &ConnSpec) {
             }
             // If no data carried the payload, push it with the teardown ACK.
             let t_end = t0 + dur + RTT + RTT;
-            let pl = if first_up { spec.first_payload } else { Payload::empty() };
-            sink.emit(data_packet(t_end, fwd, rev, Proto::Tcp, 0, TcpFlags::FIN | TcpFlags::ACK, pl));
+            let pl = if first_up {
+                spec.first_payload
+            } else {
+                Payload::empty()
+            };
+            sink.emit(data_packet(
+                t_end,
+                fwd,
+                rev,
+                Proto::Tcp,
+                0,
+                TcpFlags::FIN | TcpFlags::ACK,
+                pl,
+            ));
             sink.emit(data_packet(
                 t_end + RTT,
                 rev,
@@ -284,7 +333,15 @@ pub fn emit_connection<S: PacketSink + ?Sized>(sink: &mut S, spec: &ConnSpec) {
             }
         }
         ConnOutcome::Rejected => {
-            sink.emit(data_packet(t0, fwd, rev, Proto::Tcp, 0, TcpFlags::SYN, Payload::empty()));
+            sink.emit(data_packet(
+                t0,
+                fwd,
+                rev,
+                Proto::Tcp,
+                0,
+                TcpFlags::SYN,
+                Payload::empty(),
+            ));
             sink.emit(data_packet(
                 t0 + RTT,
                 rev,
@@ -295,7 +352,10 @@ pub fn emit_connection<S: PacketSink + ?Sized>(sink: &mut S, spec: &ConnSpec) {
                 Payload::empty(),
             ));
         }
-        ConnOutcome::UdpExchange { bytes_up, bytes_down } => {
+        ConnOutcome::UdpExchange {
+            bytes_up,
+            bytes_down,
+        } => {
             sink.emit(data_packet(
                 t0,
                 fwd,
@@ -317,7 +377,11 @@ pub fn emit_connection<S: PacketSink + ?Sized>(sink: &mut S, spec: &ConnSpec) {
         }
         ConnOutcome::UdpNoReply { bytes_up, retries } => {
             for r in 0..=retries as u64 {
-                let pl = if r == 0 { spec.first_payload } else { Payload::empty() };
+                let pl = if r == 0 {
+                    spec.first_payload
+                } else {
+                    Payload::empty()
+                };
                 sink.emit(data_packet(
                     t0 + SimDuration::from_millis(700 * r),
                     fwd,
@@ -352,7 +416,10 @@ mod tests {
     #[test]
     fn established_round_trip_through_argus() {
         let spec = ConnSpec::tcp(SimTime::from_secs(1), A, 40000, B, 80)
-            .outcome(ConnOutcome::Established { bytes_up: 500, bytes_down: 9000 })
+            .outcome(ConnOutcome::Established {
+                bytes_up: 500,
+                bytes_down: 9000,
+            })
             .payload(b"GET /index.html HTTP/1.1");
         let r = run_one(spec);
         assert_eq!(r.state, FlowState::Established);
@@ -366,7 +433,10 @@ mod tests {
     fn long_transfer_stays_one_flow() {
         // 5-minute transfer: bursts must be < idle timeout apart.
         let spec = ConnSpec::tcp(SimTime::ZERO, A, 40001, B, 6881)
-            .outcome(ConnOutcome::Established { bytes_up: 2000, bytes_down: 5_000_000 })
+            .outcome(ConnOutcome::Established {
+                bytes_up: 2000,
+                bytes_down: 5_000_000,
+            })
             .duration(SimDuration::from_mins(5));
         let r = run_one(spec);
         assert_eq!(r.state, FlowState::Established);
@@ -376,8 +446,7 @@ mod tests {
 
     #[test]
     fn no_answer_becomes_failed_flow() {
-        let spec =
-            ConnSpec::tcp(SimTime::ZERO, A, 40002, B, 8).outcome(ConnOutcome::NoAnswer);
+        let spec = ConnSpec::tcp(SimTime::ZERO, A, 40002, B, 8).outcome(ConnOutcome::NoAnswer);
         let r = run_one(spec);
         assert_eq!(r.state, FlowState::SynNoAnswer);
         assert_eq!(r.src_pkts, 3); // SYN ×3
@@ -386,8 +455,7 @@ mod tests {
 
     #[test]
     fn rejected_becomes_failed_flow() {
-        let spec =
-            ConnSpec::tcp(SimTime::ZERO, A, 40003, B, 25).outcome(ConnOutcome::Rejected);
+        let spec = ConnSpec::tcp(SimTime::ZERO, A, 40003, B, 25).outcome(ConnOutcome::Rejected);
         let r = run_one(spec);
         assert_eq!(r.state, FlowState::Rejected);
     }
@@ -395,14 +463,20 @@ mod tests {
     #[test]
     fn udp_exchange_and_silence() {
         let ok = ConnSpec::udp(SimTime::ZERO, A, 50000, B, 53)
-            .outcome(ConnOutcome::UdpExchange { bytes_up: 60, bytes_down: 180 })
+            .outcome(ConnOutcome::UdpExchange {
+                bytes_up: 60,
+                bytes_down: 180,
+            })
             .payload(b"dns-query");
         let r = run_one(ok);
         assert_eq!(r.state, FlowState::UdpReplied);
         assert_eq!(r.payload.as_bytes(), b"dns-query");
 
-        let dead = ConnSpec::udp(SimTime::ZERO, A, 50001, B, 7871)
-            .outcome(ConnOutcome::UdpNoReply { bytes_up: 25, retries: 2 });
+        let dead =
+            ConnSpec::udp(SimTime::ZERO, A, 50001, B, 7871).outcome(ConnOutcome::UdpNoReply {
+                bytes_up: 25,
+                retries: 2,
+            });
         let r = run_one(dead);
         assert_eq!(r.state, FlowState::UdpSilent);
         assert_eq!(r.src_pkts, 3);
@@ -411,7 +485,10 @@ mod tests {
     #[test]
     fn zero_byte_established_still_carries_payload() {
         let spec = ConnSpec::tcp(SimTime::ZERO, A, 40004, B, 6346)
-            .outcome(ConnOutcome::Established { bytes_up: 0, bytes_down: 0 })
+            .outcome(ConnOutcome::Established {
+                bytes_up: 0,
+                bytes_down: 0,
+            })
             .payload(b"GNUTELLA CONNECT/0.6");
         let r = run_one(spec);
         assert_eq!(r.payload.as_bytes(), b"GNUTELLA CONNECT/0.6");
@@ -419,8 +496,11 @@ mod tests {
 
     #[test]
     fn byte_counts_include_headers() {
-        let spec = ConnSpec::udp(SimTime::ZERO, A, 50002, B, 53)
-            .outcome(ConnOutcome::UdpExchange { bytes_up: 100, bytes_down: 0 });
+        let spec =
+            ConnSpec::udp(SimTime::ZERO, A, 50002, B, 53).outcome(ConnOutcome::UdpExchange {
+                bytes_up: 100,
+                bytes_down: 0,
+            });
         let r = run_one(spec);
         assert_eq!(r.src_bytes, 128); // 100 + 28-byte header
     }

@@ -12,8 +12,10 @@ fn ip_strategy() -> impl Strategy<Value = Ipv4Addr> {
 
 fn outcome_strategy() -> impl Strategy<Value = ConnOutcome> {
     prop_oneof![
-        (0u64..2_000_000, 0u64..2_000_000)
-            .prop_map(|(u, d)| ConnOutcome::Established { bytes_up: u, bytes_down: d }),
+        (0u64..2_000_000, 0u64..2_000_000).prop_map(|(u, d)| ConnOutcome::Established {
+            bytes_up: u,
+            bytes_down: d
+        }),
         Just(ConnOutcome::NoAnswer),
         Just(ConnOutcome::Rejected),
     ]
@@ -23,10 +25,14 @@ fn udp_outcome_strategy() -> impl Strategy<Value = ConnOutcome> {
     // Datagrams above the MSS fragment into multiple packets, so the
     // packet-count assertion below holds only for single-MTU payloads.
     prop_oneof![
-        (0u64..1_400, 0u64..1_400)
-            .prop_map(|(u, d)| ConnOutcome::UdpExchange { bytes_up: u, bytes_down: d }),
-        (0u64..1_400, 0u32..3)
-            .prop_map(|(u, r)| ConnOutcome::UdpNoReply { bytes_up: u, retries: r }),
+        (0u64..1_400, 0u64..1_400).prop_map(|(u, d)| ConnOutcome::UdpExchange {
+            bytes_up: u,
+            bytes_down: d
+        }),
+        (0u64..1_400, 0u32..3).prop_map(|(u, r)| ConnOutcome::UdpNoReply {
+            bytes_up: u,
+            retries: r
+        }),
     ]
 }
 
@@ -183,7 +189,13 @@ proptest! {
 
 #[test]
 fn sink_trait_object_works() {
-    let spec = ConnSpec::udp(SimTime::ZERO, Ipv4Addr::new(1, 1, 1, 1), 9, Ipv4Addr::new(2, 2, 2, 2), 53);
+    let spec = ConnSpec::udp(
+        SimTime::ZERO,
+        Ipv4Addr::new(1, 1, 1, 1),
+        9,
+        Ipv4Addr::new(2, 2, 2, 2),
+        53,
+    );
     let mut v: Vec<Packet> = Vec::new();
     let sink: &mut dyn PacketSink = &mut v;
     emit_connection(sink, &spec);

@@ -141,8 +141,11 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
         // High bits actually vary across inputs.
-        let ids: Vec<u128> = (0..64).map(|i| NodeId::hash_of(format!("k{i}").as_bytes()).as_u128()).collect();
-        let high_bits: std::collections::HashSet<u8> = ids.iter().map(|v| (v >> 120) as u8).collect();
+        let ids: Vec<u128> = (0..64)
+            .map(|i| NodeId::hash_of(format!("k{i}").as_bytes()).as_u128())
+            .collect();
+        let high_bits: std::collections::HashSet<u8> =
+            ids.iter().map(|v| (v >> 120) as u8).collect();
         assert!(high_bits.len() > 16);
     }
 

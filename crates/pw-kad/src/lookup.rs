@@ -52,7 +52,13 @@ impl LookupState {
     /// # Panics
     ///
     /// Panics if `alpha` or `k` is zero.
-    pub fn new(target: NodeId, goal: LookupGoal, seeds: Vec<Contact>, alpha: usize, k: usize) -> Self {
+    pub fn new(
+        target: NodeId,
+        goal: LookupGoal,
+        seeds: Vec<Contact>,
+        alpha: usize,
+        k: usize,
+    ) -> Self {
         assert!(alpha > 0 && k > 0, "alpha and k must be positive");
         let mut state = LookupState {
             target,
@@ -94,9 +100,13 @@ impl LookupState {
         if self.shortlist.iter().any(|x| x.contact.id == c.id) {
             return;
         }
-        self.shortlist.push(Candidate { contact: c, state: CandState::Unqueried });
+        self.shortlist.push(Candidate {
+            contact: c,
+            state: CandState::Unqueried,
+        });
         let target = self.target;
-        self.shortlist.sort_by_key(|x| x.contact.id.distance(target));
+        self.shortlist
+            .sort_by_key(|x| x.contact.id.distance(target));
         // Bound the shortlist: anything far beyond the k-th responded entry
         // can never matter. Keep a generous multiple to stay faithful.
         let cap = (self.k * 5).max(32);
@@ -225,7 +235,13 @@ mod tests {
 
     #[test]
     fn response_releases_slot_and_adds_contacts() {
-        let mut l = LookupState::new(NodeId::from_u128(0), LookupGoal::FindNode, vec![contact(4)], 1, 8);
+        let mut l = LookupState::new(
+            NodeId::from_u128(0),
+            LookupGoal::FindNode,
+            vec![contact(4)],
+            1,
+            8,
+        );
         let q = l.next_queries();
         assert_eq!(q.len(), 1);
         l.on_response(NodeId::from_u128(4), &[contact(1), contact(2)]);
@@ -304,7 +320,13 @@ mod tests {
 
     #[test]
     fn terminal_starts_once() {
-        let mut l = LookupState::new(NodeId::from_u128(0), LookupGoal::Publish, vec![contact(1)], 1, 1);
+        let mut l = LookupState::new(
+            NodeId::from_u128(0),
+            LookupGoal::Publish,
+            vec![contact(1)],
+            1,
+            1,
+        );
         assert!(!l.terminal_started());
         assert!(l.start_terminal());
         assert!(!l.start_terminal());

@@ -92,6 +92,8 @@ mod tests {
         }])
         .wire_size();
         assert_eq!(one - empty, 25);
-        assert!(MessageKind::Ping.wire_size() < MessageKind::Publish(NodeId::from_u128(1)).wire_size());
+        assert!(
+            MessageKind::Ping.wire_size() < MessageKind::Publish(NodeId::from_u128(1)).wire_size()
+        );
     }
 }

@@ -64,7 +64,11 @@ impl RoutingTable {
     /// Panics if `k == 0`.
     pub fn new(me: NodeId, k: usize) -> Self {
         assert!(k > 0, "bucket size must be positive");
-        Self { me, k, buckets: vec![Bucket::default(); NodeId::BITS] }
+        Self {
+            me,
+            k,
+            buckets: vec![Bucket::default(); NodeId::BITS],
+        }
     }
 
     /// The owner's id.
@@ -121,7 +125,11 @@ impl RoutingTable {
     /// The up-to-`count` stored contacts closest to `target` in XOR
     /// distance, closest first.
     pub fn closest(&self, target: NodeId, count: usize) -> Vec<Contact> {
-        let mut all: Vec<Contact> = self.buckets.iter().flat_map(|b| b.entries.iter().copied()).collect();
+        let mut all: Vec<Contact> = self
+            .buckets
+            .iter()
+            .flat_map(|b| b.entries.iter().copied())
+            .collect();
         all.sort_by_key(|c| c.id.distance(target));
         all.truncate(count);
         all
@@ -134,7 +142,9 @@ impl RoutingTable {
 
     /// Indices of buckets that are non-empty (candidates for refresh).
     pub fn occupied_buckets(&self) -> Vec<usize> {
-        (0..self.buckets.len()).filter(|&i| !self.buckets[i].entries.is_empty()).collect()
+        (0..self.buckets.len())
+            .filter(|&i| !self.buckets[i].entries.is_empty())
+            .collect()
     }
 }
 

@@ -10,8 +10,8 @@ use pw_flow::{Packet, PacketSink, Proto, TcpFlags};
 use pw_netsim::{rng, Engine, SimDuration, SimTime};
 
 use crate::id::NodeId;
-use crate::lookup::LookupState;
 pub use crate::lookup::LookupGoal;
+use crate::lookup::LookupState;
 use crate::messages::{Message, MessageKind};
 use crate::routing::{Contact, RoutingTable};
 use crate::wire::WireKind;
@@ -132,7 +132,10 @@ pub struct KadSim {
 impl KadSim {
     /// Creates an empty overlay with the given configuration and RNG seed.
     pub fn new(cfg: KadConfig, seed: u64) -> Self {
-        assert!(cfg.k > 0 && cfg.alpha > 0 && cfg.replicas > 0, "invalid kad config");
+        assert!(
+            cfg.k > 0 && cfg.alpha > 0 && cfg.replicas > 0,
+            "invalid kad config"
+        );
         Self {
             cfg,
             nodes: Vec::new(),
@@ -180,7 +183,12 @@ impl KadSim {
     /// The full contact record of a node.
     pub fn contact_of(&self, h: NodeHandle) -> Contact {
         let n = &self.nodes[h.0];
-        Contact { id: n.id, ip: n.ip, port: n.port, handle: h }
+        Contact {
+            id: n.id,
+            ip: n.ip,
+            port: n.port,
+            handle: h,
+        }
     }
 
     /// The node's DHT id.
@@ -294,7 +302,10 @@ impl KadSim {
             let latency = self.latency();
             engine.schedule_after(
                 latency,
-                M::from(KadEvent::Deliver { to, msg: Message { from, txid, kind } }),
+                M::from(KadEvent::Deliver {
+                    to,
+                    msg: Message { from, txid, kind },
+                }),
             );
         } else if expects_reply {
             // Dead peer: a real client retransmits once before giving up.
@@ -306,7 +317,10 @@ impl KadSim {
             self.nodes[from.0]
                 .pending
                 .insert(txid, PendingRpc { peer_id, lookup });
-            engine.schedule_after(self.cfg.rpc_timeout, M::from(KadEvent::Timeout { at: from, txid }));
+            engine.schedule_after(
+                self.cfg.rpc_timeout,
+                M::from(KadEvent::Timeout { at: from, txid }),
+            );
         }
     }
 
@@ -371,7 +385,14 @@ impl KadSim {
         let target = state.target();
         let queries = state.next_queries();
         for q in queries {
-            self.send_rpc(engine, sink, node, q.handle, MessageKind::FindNode(target), Some(lookup_id));
+            self.send_rpc(
+                engine,
+                sink,
+                node,
+                q.handle,
+                MessageKind::FindNode(target),
+                Some(lookup_id),
+            );
         }
         let Some(state) = self.nodes[node.0].lookups.get_mut(&lookup_id) else {
             return;
@@ -389,7 +410,14 @@ impl KadSim {
             LookupGoal::Publish => {
                 if fresh_terminal {
                     for r in &replicas {
-                        self.send_rpc(engine, sink, node, r.handle, MessageKind::Publish(target), None);
+                        self.send_rpc(
+                            engine,
+                            sink,
+                            node,
+                            r.handle,
+                            MessageKind::Publish(target),
+                            None,
+                        );
                     }
                 }
                 self.finish_lookup(node, lookup_id);
@@ -397,7 +425,14 @@ impl KadSim {
             LookupGoal::Search => {
                 if fresh_terminal {
                     for r in &replicas {
-                        self.send_rpc(engine, sink, node, r.handle, MessageKind::Search(target), None);
+                        self.send_rpc(
+                            engine,
+                            sink,
+                            node,
+                            r.handle,
+                            MessageKind::Search(target),
+                            None,
+                        );
                     }
                 }
                 self.finish_lookup(node, lookup_id);
@@ -445,15 +480,37 @@ impl KadSim {
             }
             MessageKind::FindNode(target) => {
                 let closest = self.nodes[to.0].table.closest(target, self.cfg.k);
-                self.reply(engine, sink, to, msg.from, msg.txid, MessageKind::FoundNodes(closest));
+                self.reply(
+                    engine,
+                    sink,
+                    to,
+                    msg.from,
+                    msg.txid,
+                    MessageKind::FoundNodes(closest),
+                );
             }
             MessageKind::Publish(key) => {
-                self.nodes[to.0].store.entry(key).or_default().push(sender_contact);
+                self.nodes[to.0]
+                    .store
+                    .entry(key)
+                    .or_default()
+                    .push(sender_contact);
                 self.reply(engine, sink, to, msg.from, msg.txid, MessageKind::PublishOk);
             }
             MessageKind::Search(key) => {
-                let hits = self.nodes[to.0].store.get(&key).cloned().unwrap_or_default();
-                self.reply(engine, sink, to, msg.from, msg.txid, MessageKind::SearchResults(hits));
+                let hits = self.nodes[to.0]
+                    .store
+                    .get(&key)
+                    .cloned()
+                    .unwrap_or_default();
+                self.reply(
+                    engine,
+                    sink,
+                    to,
+                    msg.from,
+                    msg.txid,
+                    MessageKind::SearchResults(hits),
+                );
             }
             MessageKind::Pong => {
                 self.resolve(engine, sink, to, msg.txid, &[]);
@@ -490,7 +547,10 @@ impl KadSim {
             let latency = self.latency();
             engine.schedule_after(
                 latency,
-                M::from(KadEvent::Deliver { to, msg: Message { from, txid, kind } }),
+                M::from(KadEvent::Deliver {
+                    to,
+                    msg: Message { from, txid, kind },
+                }),
             );
         }
     }
@@ -564,7 +624,12 @@ mod tests {
         (sim, handles)
     }
 
-    fn run(sim: &mut KadSim, engine: &mut Engine<KadEvent>, packets: &mut Vec<Packet>, until: SimTime) {
+    fn run(
+        sim: &mut KadSim,
+        engine: &mut Engine<KadEvent>,
+        packets: &mut Vec<Packet>,
+        until: SimTime,
+    ) {
         engine.run_until(until, |eng, ev| sim.handle(eng, packets, ev));
     }
 
@@ -578,7 +643,10 @@ mod tests {
         assert_eq!(packets.len(), 2);
         assert_eq!(packets[0].src, sim.contact_of(hs[0]).ip);
         assert_eq!(packets[1].src, sim.contact_of(hs[1]).ip);
-        assert_eq!(classify_payload(packets[0].payload.as_bytes()), Some(P2pApp::Emule));
+        assert_eq!(
+            classify_payload(packets[0].payload.as_bytes()),
+            Some(P2pApp::Emule)
+        );
     }
 
     #[test]
@@ -603,12 +671,21 @@ mod tests {
         let mut engine: Engine<KadEvent> = Engine::new();
         let mut packets = Vec::new();
         let target = NodeId::hash_of(b"some-content-key");
-        assert!(sim.start_lookup(&mut engine, &mut packets, hs[0], target, LookupGoal::FindNode));
+        assert!(sim.start_lookup(
+            &mut engine,
+            &mut packets,
+            hs[0],
+            target,
+            LookupGoal::FindNode
+        ));
         run(&mut sim, &mut engine, &mut packets, SimTime::from_secs(60));
         assert_eq!(sim.stats(hs[0]).lookups_completed, 1);
         // Lookup should have talked to many distinct peers.
-        let dests: std::collections::HashSet<_> =
-            packets.iter().filter(|p| p.src == sim.contact_of(hs[0]).ip).map(|p| p.dst).collect();
+        let dests: std::collections::HashSet<_> = packets
+            .iter()
+            .filter(|p| p.src == sim.contact_of(hs[0]).ip)
+            .map(|p| p.dst)
+            .collect();
         assert!(dests.len() >= 5, "only {} peers contacted", dests.len());
         // Routing table learned responders along the way.
         assert!(sim.table_len(hs[0]) >= 6);
@@ -627,7 +704,9 @@ mod tests {
         let hits = sim.take_search_hits(hs[7]);
         assert!(!hits.is_empty(), "search found no publishers");
         let publisher = sim.contact_of(hs[0]).id;
-        assert!(hits.iter().any(|(_, cs)| cs.iter().any(|c| c.id == publisher)));
+        assert!(hits
+            .iter()
+            .any(|(_, cs)| cs.iter().any(|c| c.id == publisher)));
         // Overnet frames classify as eDonkey family.
         assert!(packets
             .iter()
@@ -644,7 +723,13 @@ mod tests {
         let mut engine: Engine<KadEvent> = Engine::new();
         let mut packets = Vec::new();
         let target = NodeId::hash_of(b"x");
-        assert!(sim.start_lookup(&mut engine, &mut packets, hs[0], target, LookupGoal::FindNode));
+        assert!(sim.start_lookup(
+            &mut engine,
+            &mut packets,
+            hs[0],
+            target,
+            LookupGoal::FindNode
+        ));
         run(&mut sim, &mut engine, &mut packets, SimTime::from_secs(120));
         assert_eq!(sim.stats(hs[0]).lookups_completed, 1);
         assert!(sim.stats(hs[0]).rpcs_failed > 0);
@@ -669,11 +754,22 @@ mod tests {
     #[test]
     fn empty_table_cannot_start_lookup() {
         let mut sim = KadSim::new(KadConfig::default(), 1);
-        let h = sim.add_node(NodeId::from_u128(1), Ipv4Addr::new(9, 9, 9, 9), 4672, WireKind::EmuleKad);
+        let h = sim.add_node(
+            NodeId::from_u128(1),
+            Ipv4Addr::new(9, 9, 9, 9),
+            4672,
+            WireKind::EmuleKad,
+        );
         sim.set_online(h, true);
         let mut engine: Engine<KadEvent> = Engine::new();
         let mut packets = Vec::new();
-        assert!(!sim.start_lookup(&mut engine, &mut packets, h, NodeId::from_u128(2), LookupGoal::Search));
+        assert!(!sim.start_lookup(
+            &mut engine,
+            &mut packets,
+            h,
+            NodeId::from_u128(2),
+            LookupGoal::Search
+        ));
     }
 
     #[test]

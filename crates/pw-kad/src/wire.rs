@@ -50,13 +50,13 @@ impl WireKind {
                     (WireKind::Overnet, MessageKind::PublishOk) => 0x14,
                     (WireKind::Overnet, MessageKind::Search(_)) => 0x0E,
                     (WireKind::Overnet, MessageKind::SearchResults(_)) => 0x11,
-                    (_, MessageKind::Ping) => 0x60,          // KADEMLIA_HELLO_REQ
-                    (_, MessageKind::Pong) => 0x61,          // KADEMLIA_HELLO_RES
-                    (_, MessageKind::FindNode(_)) => 0x20,   // KADEMLIA_REQ
+                    (_, MessageKind::Ping) => 0x60, // KADEMLIA_HELLO_REQ
+                    (_, MessageKind::Pong) => 0x61, // KADEMLIA_HELLO_RES
+                    (_, MessageKind::FindNode(_)) => 0x20, // KADEMLIA_REQ
                     (_, MessageKind::FoundNodes(_)) => 0x28, // KADEMLIA_RES
-                    (_, MessageKind::Publish(_)) => 0x40,    // KADEMLIA_PUBLISH_REQ
-                    (_, MessageKind::PublishOk) => 0x48,     // KADEMLIA_PUBLISH_RES
-                    (_, MessageKind::Search(_)) => 0x30,     // KADEMLIA_SEARCH_REQ
+                    (_, MessageKind::Publish(_)) => 0x40, // KADEMLIA_PUBLISH_REQ
+                    (_, MessageKind::PublishOk) => 0x48, // KADEMLIA_PUBLISH_RES
+                    (_, MessageKind::Search(_)) => 0x30, // KADEMLIA_SEARCH_REQ
                     (_, MessageKind::SearchResults(_)) => 0x38, // KADEMLIA_SEARCH_RES
                 };
                 let mut bytes = vec![0xE3, opcode];
@@ -91,7 +91,11 @@ mod tests {
                 MessageKind::SearchResults(vec![]),
             ] {
                 let p = wire.payload(&kind);
-                assert_eq!(classify_payload(p.as_bytes()), Some(P2pApp::Emule), "{wire:?} {kind:?}");
+                assert_eq!(
+                    classify_payload(p.as_bytes()),
+                    Some(P2pApp::Emule),
+                    "{wire:?} {kind:?}"
+                );
             }
         }
     }
@@ -106,7 +110,13 @@ mod tests {
 
     #[test]
     fn default_ports_distinct() {
-        assert_ne!(WireKind::EmuleKad.default_port(), WireKind::Overnet.default_port());
-        assert_ne!(WireKind::Overnet.default_port(), WireKind::MainlineDht.default_port());
+        assert_ne!(
+            WireKind::EmuleKad.default_port(),
+            WireKind::Overnet.default_port()
+        );
+        assert_ne!(
+            WireKind::Overnet.default_port(),
+            WireKind::MainlineDht.default_port()
+        );
     }
 }

@@ -41,7 +41,10 @@ impl DiurnalProfile {
             weights.iter().all(|w| w.is_finite() && *w >= 0.0),
             "weights must be finite and non-negative"
         );
-        assert!(weights.iter().any(|w| *w > 0.0), "at least one weight must be positive");
+        assert!(
+            weights.iter().any(|w| *w > 0.0),
+            "at least one weight must be positive"
+        );
         Self { weights }
     }
 
@@ -150,8 +153,12 @@ mod tests {
     fn arrivals_within_window_and_sorted() {
         let p = DiurnalProfile::flat();
         let mut rng = StdRng::seed_from_u64(3);
-        let arr =
-            p.sample_arrivals(&mut rng, 100.0, SimTime::from_hours(1), SimTime::from_hours(2));
+        let arr = p.sample_arrivals(
+            &mut rng,
+            100.0,
+            SimTime::from_hours(1),
+            SimTime::from_hours(2),
+        );
         assert!(!arr.is_empty());
         for w in arr.windows(2) {
             assert!(w[0] <= w[1]);
@@ -182,10 +189,20 @@ mod tests {
         let mut day = 0usize;
         for _ in 0..30 {
             night += p
-                .sample_arrivals(&mut rng, 100.0, SimTime::from_hours(2), SimTime::from_hours(5))
+                .sample_arrivals(
+                    &mut rng,
+                    100.0,
+                    SimTime::from_hours(2),
+                    SimTime::from_hours(5),
+                )
                 .len();
             day += p
-                .sample_arrivals(&mut rng, 100.0, SimTime::from_hours(10), SimTime::from_hours(13))
+                .sample_arrivals(
+                    &mut rng,
+                    100.0,
+                    SimTime::from_hours(10),
+                    SimTime::from_hours(13),
+                )
                 .len();
         }
         assert!(day > night * 5, "day {day} night {night}");

@@ -71,7 +71,11 @@ impl<M> Default for Engine<M> {
 impl<M> Engine<M> {
     /// Creates an empty engine with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
-        Self { now: SimTime::ZERO, seq: 0, queue: BinaryHeap::new() }
+        Self {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+        }
     }
 
     /// The current simulated time: the timestamp of the event being handled,

@@ -38,7 +38,10 @@ impl Subnet {
     pub fn new(base: Ipv4Addr, prefix: u8) -> Self {
         assert!(prefix <= 32, "prefix out of range");
         let mask = Self::mask(prefix);
-        Self { base: Ipv4Addr::from(u32::from(base) & mask), prefix }
+        Self {
+            base: Ipv4Addr::from(u32::from(base) & mask),
+            prefix,
+        }
     }
 
     fn mask(prefix: u8) -> u32 {
@@ -112,7 +115,10 @@ impl AddressSpace {
     /// Panics if `internal` is empty.
     pub fn new(internal: Vec<Subnet>) -> Self {
         assert!(!internal.is_empty(), "need at least one internal subnet");
-        Self { internal, next_internal: 0 }
+        Self {
+            internal,
+            next_internal: 0,
+        }
     }
 
     /// The internal subnets.
@@ -153,7 +159,7 @@ impl AddressSpace {
         h = h.wrapping_mul(0xBF58476D1CE4E5B9);
         h ^= h >> 32;
         let mut addr = Ipv4Addr::from((h as u32) | 0x0100_0000); // avoid 0.x
-        // Nudge out of internal ranges and reserved space deterministically.
+                                                                 // Nudge out of internal ranges and reserved space deterministically.
         while self.is_internal(addr)
             || addr.octets()[0] == 10
             || addr.octets()[0] == 127

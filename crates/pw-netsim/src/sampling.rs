@@ -51,7 +51,10 @@ impl LogNormal {
     ///
     /// Panics if `sigma` is negative or either parameter is non-finite.
     pub fn new(mu: f64, sigma: f64) -> Self {
-        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0, "invalid log-normal");
+        assert!(
+            mu.is_finite() && sigma.is_finite() && sigma >= 0.0,
+            "invalid log-normal"
+        );
         Self { mu, sigma }
     }
 
@@ -87,7 +90,10 @@ impl LogNormal {
 ///
 /// Panics if the parameters are not positive and finite.
 pub fn pareto<R: Rng + ?Sized>(rng: &mut R, xm: f64, alpha: f64) -> f64 {
-    assert!(xm > 0.0 && alpha > 0.0 && xm.is_finite() && alpha.is_finite(), "invalid pareto");
+    assert!(
+        xm > 0.0 && alpha > 0.0 && xm.is_finite() && alpha.is_finite(),
+        "invalid pareto"
+    );
     let u: f64 = rng.gen_range(f64::EPSILON..1.0);
     xm / u.powf(1.0 / alpha)
 }

@@ -138,7 +138,14 @@ impl Add<SimDuration> for SimDuration {
 impl fmt::Display for SimTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = self.0 / 1000;
-        write!(f, "{:02}:{:02}:{:02}.{:03}", s / 3600, (s / 60) % 60, s % 60, self.0 % 1000)
+        write!(
+            f,
+            "{:02}:{:02}:{:02}.{:03}",
+            s / 3600,
+            (s / 60) % 60,
+            s % 60,
+            self.0 % 1000
+        )
     }
 }
 
@@ -165,7 +172,10 @@ mod tests {
         assert_eq!(t, SimTime::from_secs(15));
         assert_eq!(t - SimTime::from_secs(12), SimDuration::from_secs(3));
         // Saturating subtraction.
-        assert_eq!(SimTime::from_secs(1) - SimTime::from_secs(5), SimDuration::ZERO);
+        assert_eq!(
+            SimTime::from_secs(1) - SimTime::from_secs(5),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -190,7 +200,10 @@ mod tests {
 
     #[test]
     fn mul_f64_rounds_and_clamps() {
-        assert_eq!(SimDuration::from_secs(10).mul_f64(0.15), SimDuration::from_millis(1500));
+        assert_eq!(
+            SimDuration::from_secs(10).mul_f64(0.15),
+            SimDuration::from_millis(1500)
+        );
         assert_eq!(SimDuration::from_secs(10).mul_f64(-1.0), SimDuration::ZERO);
     }
 }

@@ -14,8 +14,8 @@ use std::collections::HashSet;
 use std::net::Ipv4Addr;
 
 use pw_detect::{
-    find_plotters_from_profiles, initial_reduction, theta_churn, theta_hm_with_options,
-    theta_vol, FindPlottersConfig, HistogramDistance, HmOptions, Threshold,
+    find_plotters_from_profiles, initial_reduction, theta_churn, theta_hm_with_options, theta_vol,
+    FindPlottersConfig, HistogramDistance, HmOptions, Threshold,
 };
 use pw_repro::{build_context, table, Context, Scale};
 
@@ -73,21 +73,30 @@ fn main() {
             name: "fixed 60 s bin width",
             tau_vol: Threshold::Percentile(50.0),
             tau_churn: Threshold::Percentile(50.0),
-            hm: HmOptions { bin_width: Some(60.0), ..Default::default() },
+            hm: HmOptions {
+                bin_width: Some(60.0),
+                ..Default::default()
+            },
             cut_fraction: 0.05,
         },
         Variant {
             name: "L1 distance instead of EMD",
             tau_vol: Threshold::Percentile(50.0),
             tau_churn: Threshold::Percentile(50.0),
-            hm: HmOptions { distance: HistogramDistance::L1, ..Default::default() },
+            hm: HmOptions {
+                distance: HistogramDistance::L1,
+                ..Default::default()
+            },
             cut_fraction: 0.05,
         },
         Variant {
             name: "min cluster size 2",
             tau_vol: Threshold::Percentile(50.0),
             tau_churn: Threshold::Percentile(50.0),
-            hm: HmOptions { min_cluster_size: 2, ..Default::default() },
+            hm: HmOptions {
+                min_cluster_size: 2,
+                ..Default::default()
+            },
             cut_fraction: 0.05,
         },
         Variant {
@@ -115,7 +124,12 @@ fn main() {
     let mut rows = Vec::new();
     for v in &variants {
         let (s, n, f) = run_variant(&ctx, v);
-        rows.push(vec![v.name.to_string(), table::pct(s), table::pct(n), table::pct(f)]);
+        rows.push(vec![
+            v.name.to_string(),
+            table::pct(s),
+            table::pct(n),
+            table::pct(f),
+        ]);
     }
     println!(
         "{}",
@@ -142,7 +156,11 @@ fn main() {
             fprs.push(s_vol.difference(&bots).count() as f64 / negatives.max(1) as f64);
         }
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-        rows.push(vec![format!("θ_vol alone @ p{p:.0}"), table::pct(mean(&tprs)), table::pct(mean(&fprs))]);
+        rows.push(vec![
+            format!("θ_vol alone @ p{p:.0}"),
+            table::pct(mean(&tprs)),
+            table::pct(mean(&fprs)),
+        ]);
     }
     let full = {
         let mut tprs = Vec::new();
@@ -158,7 +176,11 @@ fn main() {
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         (mean(&tprs), mean(&fprs))
     };
-    rows.push(vec!["full FindPlotters".into(), table::pct(full.0), table::pct(full.1)]);
+    rows.push(vec![
+        "full FindPlotters".into(),
+        table::pct(full.0),
+        table::pct(full.1),
+    ]);
     println!(
         "{}",
         table::render(

@@ -18,7 +18,10 @@ fn main() {
     let ctx = build_context(Scale::from_env());
     // Campus-scale degree threshold (see pw-detect::tdg docs): density is
     // far below internet-wide TDGs, the structure (InO) is what transfers.
-    let tdg_cfg = TdgConfig { min_avg_degree: 1.5, ..TdgConfig::default() };
+    let tdg_cfg = TdgConfig {
+        min_avg_degree: 1.5,
+        ..TdgConfig::default()
+    };
 
     let mut rows = Vec::new();
     for (d, day) in ctx.days.iter().enumerate() {
@@ -26,8 +29,7 @@ fn main() {
         let (reduced, _) = initial_reduction(&day.profiles);
         let report = tdg_scan(&day.run.overlaid.flows, |ip| base.is_internal(ip), &tdg_cfg);
 
-        let p2p_truth: HashSet<Ipv4Addr> =
-            day.traders.union(&day.implanted).copied().collect();
+        let p2p_truth: HashSet<Ipv4Addr> = day.traders.union(&day.implanted).copied().collect();
         let recall = |set: &HashSet<Ipv4Addr>| {
             set.intersection(&p2p_truth).count() as f64 / p2p_truth.len().max(1) as f64
         };
@@ -39,7 +41,12 @@ fn main() {
         };
         rows.push(vec![
             d.to_string(),
-            format!("{} ({:.0}%/{:.0}%)", reduced.len(), recall(&reduced) * 100.0, precision(&reduced) * 100.0),
+            format!(
+                "{} ({:.0}%/{:.0}%)",
+                reduced.len(),
+                recall(&reduced) * 100.0,
+                precision(&reduced) * 100.0
+            ),
             format!(
                 "{} ({:.0}%/{:.0}%)",
                 report.p2p_hosts.len(),
@@ -80,7 +87,11 @@ fn main() {
             g.edges.to_string(),
             format!("{:.2}", g.avg_degree),
             table::pct(g.ino_fraction),
-            if g.looks_p2p(&tdg_cfg) { "P2P".into() } else { "-".into() },
+            if g.looks_p2p(&tdg_cfg) {
+                "P2P".into()
+            } else {
+                "-".into()
+            },
         ]);
     }
     println!(

@@ -20,8 +20,14 @@ fn main() {
         let hm = theta_hm(&day.profiles, &union, Threshold::Percentile(70.0), 0.05);
         print!("day {di}: tau={:7.1} |", hm.tau);
         for (members, d) in &hm.clusters {
-            let s = members.iter().filter(|ip| day.storm_hosts.contains(ip)).count();
-            let n = members.iter().filter(|ip| day.nugache_hosts.contains(ip)).count();
+            let s = members
+                .iter()
+                .filter(|ip| day.storm_hosts.contains(ip))
+                .count();
+            let n = members
+                .iter()
+                .filter(|ip| day.nugache_hosts.contains(ip))
+                .count();
             let bg = members.len() - s - n;
             let kept = if *d <= hm.tau { "K" } else { "d" };
             print!(" {kept}[{}|s{s} n{n} bg{bg} @{d:.0}]", members.len());
@@ -50,13 +56,22 @@ fn main() {
     };
 
     let classes = [
-        "storm", "nugache", "trader-gnutella", "trader-emule", "trader-bittorrent", "office",
-        "dorm", "quiet",
+        "storm",
+        "nugache",
+        "trader-gnutella",
+        "trader-emule",
+        "trader-bittorrent",
+        "office",
+        "dorm",
+        "quiet",
     ];
     let mut rows = Vec::new();
     for class in classes {
-        let ps: Vec<_> =
-            day.profiles.values().filter(|p| class_of(&p.ip) == class).collect();
+        let ps: Vec<_> = day
+            .profiles
+            .values()
+            .filter(|p| class_of(&p.ip) == class)
+            .collect();
         if ps.is_empty() {
             continue;
         }
@@ -66,7 +81,10 @@ fn main() {
         let failed = med(ps.iter().filter_map(|p| p.failed_rate()).collect());
         let flows = med(ps.iter().map(|p| p.flows_involving as f64).collect());
         let ist = med(ps.iter().map(|p| p.interstitials.len() as f64).collect());
-        let dests = med(ps.iter().map(|p| p.distinct_destinations() as f64).collect());
+        let dests = med(ps
+            .iter()
+            .map(|p| p.distinct_destinations() as f64)
+            .collect());
         rows.push(vec![
             class.to_string(),
             ps.len().to_string(),
@@ -92,20 +110,34 @@ fn main() {
     let (s_vol, tau_vol) = theta_vol(&day.profiles, &reduced, Threshold::Percentile(50.0));
     let (s_churn, tau_churn) = theta_churn(&day.profiles, &reduced, Threshold::Percentile(50.0));
     println!("reduction threshold (failed rate): {}", table::pct(thr));
-    println!("tau_vol: {tau_vol:.0} B/flow   tau_churn: {}", table::pct(tau_churn));
+    println!(
+        "tau_vol: {tau_vol:.0} B/flow   tau_churn: {}",
+        table::pct(tau_churn)
+    );
 
     // Class composition of the hm input and clusters.
     let union: HashSet<Ipv4Addr> = s_vol.union(&s_churn).copied().collect();
     let hm = theta_hm(&day.profiles, &union, Threshold::Percentile(70.0), 0.05);
-    println!("\nθ_hm input {} hosts; {} without interstitial samples", union.len(), hm.no_samples);
-    println!("τ_hm = {:.3}; {} multi-host clusters", hm.tau, hm.clusters.len());
+    println!(
+        "\nθ_hm input {} hosts; {} without interstitial samples",
+        union.len(),
+        hm.no_samples
+    );
+    println!(
+        "τ_hm = {:.3}; {} multi-host clusters",
+        hm.tau,
+        hm.clusters.len()
+    );
     for (members, diameter) in hm.clusters.iter().take(40) {
         let mut comp: std::collections::BTreeMap<String, usize> = Default::default();
         for ip in members {
             *comp.entry(class_of(ip)).or_default() += 1;
         }
         let kept = if *diameter <= hm.tau { "KEEP" } else { "drop" };
-        println!("  {kept} d={diameter:9.3} size={:3} {comp:?}", members.len());
+        println!(
+            "  {kept} d={diameter:9.3} size={:3} {comp:?}",
+            members.len()
+        );
     }
 
     // EMD structure diagnostics.
@@ -118,7 +150,10 @@ fn main() {
             if p.interstitials.is_empty() {
                 return None;
             }
-            Some((*ip, pw_analysis::Histogram::freedman_diaconis(&p.interstitials)?))
+            Some((
+                *ip,
+                pw_analysis::Histogram::freedman_diaconis(&p.interstitials)?,
+            ))
         })
         .collect();
     let idx_class: Vec<String> = hists.iter().map(|(ip, _)| class_of(ip)).collect();
@@ -141,15 +176,24 @@ fn main() {
             }
         }
     }
-    println!("\nstorm-storm EMD: max {:.1}  median {:.1}",
+    println!(
+        "\nstorm-storm EMD: max {:.1}  median {:.1}",
         storm_pairs.iter().cloned().fold(0.0, f64::max),
-        pw_analysis::median(&storm_pairs).unwrap_or(f64::NAN));
+        pw_analysis::median(&storm_pairs).unwrap_or(f64::NAN)
+    );
     println!("storm-to-nonstorm min EMD: {storm_cross_min:.1}");
-    println!("background-background EMD: median {:.1}  p90 {:.1}",
+    println!(
+        "background-background EMD: median {:.1}  p90 {:.1}",
         pw_analysis::median(&bg_pairs).unwrap_or(f64::NAN),
-        pw_analysis::percentile(&bg_pairs, 90.0).unwrap_or(f64::NAN));
+        pw_analysis::percentile(&bg_pairs, 90.0).unwrap_or(f64::NAN)
+    );
     let dendro = pw_analysis::average_linkage(&dm);
     let heights: Vec<f64> = dendro.merges().iter().map(|m| m.height).collect();
-    let top: Vec<String> = heights.iter().rev().take(12).map(|h| format!("{h:.0}")).collect();
+    let top: Vec<String> = heights
+        .iter()
+        .rev()
+        .take(12)
+        .map(|h| format!("{h:.0}"))
+        .collect();
     println!("top merge heights: {top:?}");
 }

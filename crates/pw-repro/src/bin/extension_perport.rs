@@ -14,9 +14,7 @@ use std::net::Ipv4Addr;
 
 use pw_botnet::{generate_storm_trace, StormConfig};
 use pw_data::{build_day, overlay_bots, overlay_bots_onto};
-use pw_detect::{
-    find_plotters, find_plotters_per_service, FindPlottersConfig,
-};
+use pw_detect::{find_plotters, find_plotters_per_service, FindPlottersConfig};
 use pw_repro::{table, Scale};
 
 fn main() {
@@ -45,12 +43,10 @@ fn main() {
 
         // Scenario 1: random implants, whole-host detection.
         let random = overlay_bots(&day, &[&storm], cfg.campus.seed ^ d as u64);
-        let storm_hosts_r: HashSet<Ipv4Addr> =
-            random.implants.keys().copied().collect();
-        let whole_r =
-            find_plotters(&random.flows, |ip| day.is_internal(ip), &pipeline_cfg);
-        let tpr_random =
-            whole_r.suspects.intersection(&storm_hosts_r).count() as f64 / storm_hosts_r.len() as f64;
+        let storm_hosts_r: HashSet<Ipv4Addr> = random.implants.keys().copied().collect();
+        let whole_r = find_plotters(&random.flows, |ip| day.is_internal(ip), &pipeline_cfg);
+        let tpr_random = whole_r.suspects.intersection(&storm_hosts_r).count() as f64
+            / storm_hosts_r.len() as f64;
 
         // Scenarios 2–3: every bot implanted onto an active Trader.
         let active: HashSet<Ipv4Addr> = day.active_hosts().into_iter().collect();
@@ -67,8 +63,7 @@ fn main() {
         let adversarial = overlay_bots_onto(&day, &[&storm], &targets);
         let storm_hosts_a: HashSet<Ipv4Addr> = targets.iter().copied().collect();
 
-        let whole_a =
-            find_plotters(&adversarial.flows, |ip| day.is_internal(ip), &pipeline_cfg);
+        let whole_a = find_plotters(&adversarial.flows, |ip| day.is_internal(ip), &pipeline_cfg);
         let tpr_whole = whole_a.suspects.intersection(&storm_hosts_a).count() as f64
             / storm_hosts_a.len() as f64;
 
@@ -78,8 +73,8 @@ fn main() {
             &pipeline_cfg,
             25,
         );
-        let tpr_per = per.suspects.intersection(&storm_hosts_a).count() as f64
-            / storm_hosts_a.len() as f64;
+        let tpr_per =
+            per.suspects.intersection(&storm_hosts_a).count() as f64 / storm_hosts_a.len() as f64;
         // Per-service FP: non-implanted hosts flagged.
         let fp_per = per.suspects.difference(&storm_hosts_a).count() as f64
             / (whole_a.all_hosts.len() - storm_hosts_a.len()) as f64;
@@ -92,9 +87,16 @@ fn main() {
             .count() as f64
             / storm_hosts_a.len() as f64;
 
-        for (i, v) in [tpr_random, tpr_whole, tpr_per, fp_whole, fp_per, overnet_flagged]
-            .into_iter()
-            .enumerate()
+        for (i, v) in [
+            tpr_random,
+            tpr_whole,
+            tpr_per,
+            fp_whole,
+            fp_per,
+            overnet_flagged,
+        ]
+        .into_iter()
+        .enumerate()
         {
             sums[i] += v;
         }
@@ -120,7 +122,14 @@ fn main() {
         "{}",
         table::render(
             "§VI extension — Storm hiding on Traders: whole-host vs per-service detection",
-            &["day", "random TPR", "on-trader TPR", "per-svc TPR", "whole FPR", "per-svc FPR"],
+            &[
+                "day",
+                "random TPR",
+                "on-trader TPR",
+                "per-svc TPR",
+                "whole FPR",
+                "per-svc FPR"
+            ],
             &rows
         )
     );

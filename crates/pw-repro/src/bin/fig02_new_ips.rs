@@ -11,8 +11,18 @@ fn main() {
             .iter()
             .map(|&(h, f)| vec![format!("{h:02}:00"), table::pct(f)])
             .collect();
-        println!("{}", table::render(&format!("Figure 2 — {}", s.name), &["hour", "% new IPs"], &rows));
-        println!("day-level new-IP fraction: {}\n", table::pct(s.day_new_fraction));
+        println!(
+            "{}",
+            table::render(
+                &format!("Figure 2 — {}", s.name),
+                &["hour", "% new IPs"],
+                &rows
+            )
+        );
+        println!(
+            "day-level new-IP fraction: {}\n",
+            table::pct(s.day_new_fraction)
+        );
     }
     println!("Paper shape: Trader >55% new IPs; Storm bot mostly repeat contacts (<40% new).");
 }

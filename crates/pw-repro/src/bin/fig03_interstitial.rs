@@ -17,7 +17,10 @@ fn main() {
         println!(
             "{}",
             table::render(
-                &format!("Figure 3 {} — {} samples, modes at {:?} s", p.name, p.samples, p.modes),
+                &format!(
+                    "Figure 3 {} — {} samples, modes at {:?} s",
+                    p.name, p.samples, p.modes
+                ),
                 &["interstitial (s)", "mass"],
                 &rows
             )

@@ -20,7 +20,16 @@ fn main() {
         "{}",
         table::render(
             "Figure 5 — failed-connection rate per host (quantiles)",
-            &["dataset", "hosts", "q10", "q25", "q50", "q75", "q90", ">65% failed"],
+            &[
+                "dataset",
+                "hosts",
+                "q10",
+                "q25",
+                "q50",
+                "q75",
+                "q90",
+                ">65% failed"
+            ],
             &rows
         )
     );

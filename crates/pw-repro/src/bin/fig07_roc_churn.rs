@@ -14,7 +14,11 @@ fn main() {
         println!(
             "{}",
             table::render(
-                &format!("Figure 7 — θ_churn ROC [{}]  (AUC≈{:.3})", c.name(), pw_analysis::auc(&c)),
+                &format!(
+                    "Figure 7 — θ_churn ROC [{}]  (AUC≈{:.3})",
+                    c.name(),
+                    pw_analysis::auc(&c)
+                ),
                 &["τ percentile", "FPR", "TPR"],
                 &rows
             )

@@ -15,7 +15,11 @@ fn main() {
         println!(
             "{}",
             table::render(
-                &format!("Figure 8 — θ_hm ROC [{}]  (AUC≈{:.3})", c.name(), pw_analysis::auc(&c)),
+                &format!(
+                    "Figure 8 — θ_hm ROC [{}]  (AUC≈{:.3})",
+                    c.name(),
+                    pw_analysis::auc(&c)
+                ),
                 &["τ percentile", "FPR", "TPR"],
                 &rows
             )

@@ -30,11 +30,34 @@ fn main() {
         )
     );
     let cmp = vec![
-        vec!["Storm TPR".into(), "87.50%".into(), table::pct(fig.storm_tpr)],
-        vec!["Nugache TPR".into(), "30.00%".into(), table::pct(fig.nugache_tpr)],
-        vec!["False-positive rate".into(), "0.81%".into(), table::pct(fig.fpr)],
-        vec!["Traders remaining".into(), "5.40%".into(), table::pct(fig.traders_remaining)],
-        vec!["Trader share of output".into(), "7.11%".into(), table::pct(fig.trader_share_of_output)],
+        vec![
+            "Storm TPR".into(),
+            "87.50%".into(),
+            table::pct(fig.storm_tpr),
+        ],
+        vec![
+            "Nugache TPR".into(),
+            "30.00%".into(),
+            table::pct(fig.nugache_tpr),
+        ],
+        vec![
+            "False-positive rate".into(),
+            "0.81%".into(),
+            table::pct(fig.fpr),
+        ],
+        vec![
+            "Traders remaining".into(),
+            "5.40%".into(),
+            table::pct(fig.traders_remaining),
+        ],
+        vec![
+            "Trader share of output".into(),
+            "7.11%".into(),
+            table::pct(fig.trader_share_of_output),
+        ],
     ];
-    println!("{}", table::render("Headline numbers", &["metric", "paper", "measured"], &cmp));
+    println!(
+        "{}",
+        table::render("Headline numbers", &["metric", "paper", "measured"], &cmp)
+    );
 }

@@ -24,7 +24,14 @@ fn main() {
         "{}",
         table::render(
             "Figure 11a — τ_vol vs median Plotter avg bytes/flow",
-            &["day", "τ_vol", "storm med", "nugache med", "storm ×", "nugache ×"],
+            &[
+                "day",
+                "τ_vol",
+                "storm med",
+                "nugache med",
+                "storm ×",
+                "nugache ×"
+            ],
             &rows
         )
     );
@@ -45,7 +52,14 @@ fn main() {
         "{}",
         table::render(
             "Figure 11b — τ_churn vs median Plotter new-IP fraction",
-            &["day", "τ_churn", "storm med", "nugache med", "storm ×", "nugache ×"],
+            &[
+                "day",
+                "τ_churn",
+                "storm med",
+                "nugache med",
+                "storm ×",
+                "nugache ×"
+            ],
             &rows
         )
     );

@@ -10,7 +10,11 @@ fn main() {
         .iter()
         .map(|r| {
             vec![
-                if r.d_secs == 0 { "none".into() } else { format!("±{}s", r.d_secs) },
+                if r.d_secs == 0 {
+                    "none".into()
+                } else {
+                    format!("±{}s", r.d_secs)
+                },
                 table::pct(r.storm_tpr),
                 table::pct(r.nugache_tpr),
             ]

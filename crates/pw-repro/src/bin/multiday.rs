@@ -22,23 +22,22 @@ fn main() {
     // Fixed infected hosts for the whole week: take them from day 0's
     // always-active roster.
     let day0 = build_day(&cfg.campus, 0);
-    let targets: Vec<Ipv4Addr> =
-        day0.active_hosts().into_iter().take(total_bots).collect();
-    let storm_hosts: HashSet<Ipv4Addr> =
-        targets[..cfg.storm.n_bots].iter().copied().collect();
-    let nugache_hosts: HashSet<Ipv4Addr> =
-        targets[cfg.storm.n_bots..].iter().copied().collect();
+    let targets: Vec<Ipv4Addr> = day0.active_hosts().into_iter().take(total_bots).collect();
+    let storm_hosts: HashSet<Ipv4Addr> = targets[..cfg.storm.n_bots].iter().copied().collect();
+    let nugache_hosts: HashSet<Ipv4Addr> = targets[cfg.storm.n_bots..].iter().copied().collect();
     let positives: HashSet<Ipv4Addr> = targets.iter().copied().collect();
 
     let mut reports = Vec::new();
     for d in 0..cfg.days {
         let day = build_day(&cfg.campus, d);
         let storm = generate_storm_trace(
-            &StormConfig { day: d as u64, ..cfg.storm.clone() },
+            &StormConfig {
+                day: d as u64,
+                ..cfg.storm.clone()
+            },
             cfg.campus.seed ^ 0x5701 ^ d as u64,
         );
-        let nugache =
-            generate_nugache_trace(&cfg.nugache, cfg.campus.seed ^ 0x4106 ^ d as u64);
+        let nugache = generate_nugache_trace(&cfg.nugache, cfg.campus.seed ^ 0x4106 ^ d as u64);
         // Same hosts every day; traces are fresh (the bot keeps running).
         let overlaid = overlay_bots_onto(&day, &[&storm, &nugache], &targets);
         let rep = find_plotters(

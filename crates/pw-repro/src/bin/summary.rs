@@ -9,16 +9,43 @@ fn main() {
     let fig = fig09_pipeline(&ctx);
     let failed = fig05_failed_cdfs(&ctx);
     let rows = vec![
-        vec!["Storm TPR".into(), "87.50%".into(), table::pct(fig.storm_tpr)],
-        vec!["Nugache TPR".into(), "30.00%".into(), table::pct(fig.nugache_tpr)],
-        vec!["False-positive rate".into(), "0.81%".into(), table::pct(fig.fpr)],
-        vec!["Traders remaining after all tests".into(), "5.40%".into(), table::pct(fig.traders_remaining)],
-        vec!["Traders as share of output".into(), "7.11%".into(), table::pct(fig.trader_share_of_output)],
+        vec![
+            "Storm TPR".into(),
+            "87.50%".into(),
+            table::pct(fig.storm_tpr),
+        ],
+        vec![
+            "Nugache TPR".into(),
+            "30.00%".into(),
+            table::pct(fig.nugache_tpr),
+        ],
+        vec![
+            "False-positive rate".into(),
+            "0.81%".into(),
+            table::pct(fig.fpr),
+        ],
+        vec![
+            "Traders remaining after all tests".into(),
+            "5.40%".into(),
+            table::pct(fig.traders_remaining),
+        ],
+        vec![
+            "Traders as share of output".into(),
+            "7.11%".into(),
+            table::pct(fig.trader_share_of_output),
+        ],
         vec![
             "Nugache bots >65% failed conns".into(),
             "~100%".into(),
             table::pct(1.0 - failed[3].fraction_below(0.65)),
         ],
     ];
-    println!("{}", table::render("Reproduction summary (paper §V)", &["metric", "paper", "measured"], &rows));
+    println!(
+        "{}",
+        table::render(
+            "Reproduction summary (paper §V)",
+            &["metric", "paper", "measured"],
+            &rows
+        )
+    );
 }

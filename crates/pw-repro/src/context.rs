@@ -68,16 +68,28 @@ impl DayContext {
         let overlaid = &run.overlaid;
         let base = &overlaid.base;
         let profiles = extract_profiles(&overlaid.flows, |ip| base.is_internal(ip));
-        let storm_hosts = overlaid.implanted_hosts(BotFamily::Storm).into_iter().collect();
-        let nugache_hosts: HashSet<Ipv4Addr> =
-            overlaid.implanted_hosts(BotFamily::Nugache).into_iter().collect();
+        let storm_hosts = overlaid
+            .implanted_hosts(BotFamily::Storm)
+            .into_iter()
+            .collect();
+        let nugache_hosts: HashSet<Ipv4Addr> = overlaid
+            .implanted_hosts(BotFamily::Nugache)
+            .into_iter()
+            .collect();
         let implanted = overlaid.implants.keys().copied().collect();
         let traders = base
             .trader_hosts()
             .into_iter()
             .filter(|ip| base.hosts[ip].active)
             .collect();
-        Self { run, profiles, storm_hosts, nugache_hosts, implanted, traders }
+        Self {
+            run,
+            profiles,
+            storm_hosts,
+            nugache_hosts,
+            implanted,
+            traders,
+        }
     }
 }
 
@@ -94,7 +106,10 @@ pub struct Context {
 /// [`Scale::Standard`]; run in release mode).
 pub fn build_context(scale: Scale) -> Context {
     let cfg = scale.config();
-    let days = run_experiment(&cfg).into_iter().map(DayContext::new).collect();
+    let days = run_experiment(&cfg)
+        .into_iter()
+        .map(DayContext::new)
+        .collect();
     Context { cfg, days }
 }
 

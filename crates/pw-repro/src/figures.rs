@@ -53,8 +53,11 @@ impl CdfSeries {
 /// "internal" hosts of the honeynet).
 pub fn profiles_of_trace(trace: &BotTrace) -> HashMap<Ipv4Addr, HostProfile> {
     let bot_ips: HashSet<Ipv4Addr> = trace.bots.iter().map(|b| b.ip).collect();
-    let mut all: Vec<pw_flow::FlowRecord> =
-        trace.bots.iter().flat_map(|b| b.flows.iter().copied()).collect();
+    let mut all: Vec<pw_flow::FlowRecord> = trace
+        .bots
+        .iter()
+        .flat_map(|b| b.flows.iter().copied())
+        .collect();
     all.sort_by_key(|f| (f.start, f.src, f.sport, f.dst, f.dport, f.end));
     all.dedup();
     extract_profiles(&all, |ip| bot_ips.contains(&ip))
@@ -75,7 +78,10 @@ pub fn fig01_volume_cdfs(ctx: &Context) -> Vec<CdfSeries> {
     let day = &ctx.days[0];
     let base = base_profiles(day);
     let traders = &day.traders;
-    let cmu: Vec<f64> = base.values().filter_map(|p| p.avg_upload_per_flow()).collect();
+    let cmu: Vec<f64> = base
+        .values()
+        .filter_map(|p| p.avg_upload_per_flow())
+        .collect();
     let trader: Vec<f64> = base
         .values()
         .filter(|p| traders.contains(&p.ip))
@@ -90,10 +96,22 @@ pub fn fig01_volume_cdfs(ctx: &Context) -> Vec<CdfSeries> {
         .filter_map(|p| p.avg_upload_per_flow())
         .collect();
     vec![
-        CdfSeries { name: "CMU".into(), values: cmu },
-        CdfSeries { name: "Trader".into(), values: trader },
-        CdfSeries { name: "Storm".into(), values: storm },
-        CdfSeries { name: "Nugache".into(), values: nugache },
+        CdfSeries {
+            name: "CMU".into(),
+            values: cmu,
+        },
+        CdfSeries {
+            name: "Trader".into(),
+            values: trader,
+        },
+        CdfSeries {
+            name: "Storm".into(),
+            values: storm,
+        },
+        CdfSeries {
+            name: "Nugache".into(),
+            values: nugache,
+        },
     ]
 }
 
@@ -115,8 +133,7 @@ pub struct NewIpSeries {
 /// Per hour: among the distinct IPs the host contacted that hour, the
 /// fraction it had never contacted before (the paper's Figure 2 bars).
 fn hourly_new_fractions(flows: &[pw_flow::FlowRecord], host: Ipv4Addr) -> Vec<(usize, f64)> {
-    let mut ordered: Vec<&pw_flow::FlowRecord> =
-        flows.iter().filter(|f| f.src == host).collect();
+    let mut ordered: Vec<&pw_flow::FlowRecord> = flows.iter().filter(|f| f.src == host).collect();
     ordered.sort_by_key(|f| f.start);
     let mut seen: HashSet<Ipv4Addr> = HashSet::new();
     let mut by_hour: std::collections::BTreeMap<usize, (HashSet<Ipv4Addr>, HashSet<Ipv4Addr>)> =
@@ -210,8 +227,14 @@ pub fn fig03_interstitials(ctx: &Context) -> Vec<InterstitialPanel> {
     let storm = profiles_of_trace(&day.run.storm);
     let nugache = profiles_of_trace(&day.run.nugache);
     let base = base_profiles(day);
-    let storm_p = storm.values().max_by_key(|p| p.interstitials.len()).expect("storm");
-    let nug_p = nugache.values().max_by_key(|p| p.interstitials.len()).expect("nugache");
+    let storm_p = storm
+        .values()
+        .max_by_key(|p| p.interstitials.len())
+        .expect("storm");
+    let nug_p = nugache
+        .values()
+        .max_by_key(|p| p.interstitials.len())
+        .expect("nugache");
     let pick_trader = |app: P2pApp| {
         base.values()
             .filter(|p| {
@@ -224,8 +247,14 @@ pub fn fig03_interstitials(ctx: &Context) -> Vec<InterstitialPanel> {
     vec![
         panel(format!("(a) Storm {}", storm_p.ip), storm_p),
         panel(format!("(b) Nugache {}", nug_p.ip), nug_p),
-        panel(format!("(c) BitTorrent {}", pick_trader(P2pApp::BitTorrent).ip), pick_trader(P2pApp::BitTorrent)),
-        panel(format!("(d) Gnutella {}", pick_trader(P2pApp::Gnutella).ip), pick_trader(P2pApp::Gnutella)),
+        panel(
+            format!("(c) BitTorrent {}", pick_trader(P2pApp::BitTorrent).ip),
+            pick_trader(P2pApp::BitTorrent),
+        ),
+        panel(
+            format!("(d) Gnutella {}", pick_trader(P2pApp::Gnutella).ip),
+            pick_trader(P2pApp::Gnutella),
+        ),
     ]
 }
 
@@ -238,8 +267,7 @@ pub fn fig03_interstitials(ctx: &Context) -> Vec<InterstitialPanel> {
 pub fn fig05_failed_cdfs(ctx: &Context) -> Vec<CdfSeries> {
     let day = &ctx.days[0];
     let base = base_profiles(day);
-    let eligible =
-        |p: &&HostProfile| p.initiated_successfully() && p.failed_rate().is_some();
+    let eligible = |p: &&HostProfile| p.initiated_successfully() && p.failed_rate().is_some();
     let cmu_minus_trader: Vec<f64> = base
         .values()
         .filter(|p| !day.traders.contains(&p.ip))
@@ -263,10 +291,22 @@ pub fn fig05_failed_cdfs(ctx: &Context) -> Vec<CdfSeries> {
         .filter_map(|p| p.failed_rate())
         .collect();
     vec![
-        CdfSeries { name: "CMU\\Trader".into(), values: cmu_minus_trader },
-        CdfSeries { name: "Trader".into(), values: trader },
-        CdfSeries { name: "Storm".into(), values: storm },
-        CdfSeries { name: "Nugache".into(), values: nugache },
+        CdfSeries {
+            name: "CMU\\Trader".into(),
+            values: cmu_minus_trader,
+        },
+        CdfSeries {
+            name: "Trader".into(),
+            values: trader,
+        },
+        CdfSeries {
+            name: "Storm".into(),
+            values: storm,
+        },
+        CdfSeries {
+            name: "Nugache".into(),
+            values: nugache,
+        },
     ]
 }
 
@@ -291,7 +331,10 @@ fn day_rates(
     let fpr = if negatives.is_empty() {
         None
     } else {
-        let fp = negatives.iter().filter(|ip| detected.contains(**ip)).count();
+        let fp = negatives
+            .iter()
+            .filter(|ip| detected.contains(**ip))
+            .count();
         Some(fp as f64 / negatives.len() as f64)
     };
     (tpr, fpr)
@@ -330,10 +373,18 @@ where
             }
         }
         if let Some((f, t)) = average(&storm_pts) {
-            storm_curve.push(RocPoint { label: format!("p{p:.0}"), fpr: f, tpr: t });
+            storm_curve.push(RocPoint {
+                label: format!("p{p:.0}"),
+                fpr: f,
+                tpr: t,
+            });
         }
         if let Some((f, t)) = average(&nugache_pts) {
-            nugache_curve.push(RocPoint { label: format!("p{p:.0}"), fpr: f, tpr: t });
+            nugache_curve.push(RocPoint {
+                label: format!("p{p:.0}"),
+                fpr: f,
+                tpr: t,
+            });
         }
     }
     vec![storm_curve, nugache_curve]
@@ -377,10 +428,18 @@ pub fn fig08_roc_hm(ctx: &Context) -> Vec<RocCurve> {
             }
         }
         if let Some((f, t)) = average(&storm_pts) {
-            storm_curve.push(RocPoint { label: format!("p{p:.0}"), fpr: f, tpr: t });
+            storm_curve.push(RocPoint {
+                label: format!("p{p:.0}"),
+                fpr: f,
+                tpr: t,
+            });
         }
         if let Some((f, t)) = average(&nugache_pts) {
-            nugache_curve.push(RocPoint { label: format!("p{p:.0}"), fpr: f, tpr: t });
+            nugache_curve.push(RocPoint {
+                label: format!("p{p:.0}"),
+                fpr: f,
+                tpr: t,
+            });
         }
     }
     vec![storm_curve, nugache_curve]
@@ -427,7 +486,14 @@ pub struct PipelineFig {
 pub fn fig09_pipeline(ctx: &Context) -> PipelineFig {
     let cfg = FindPlottersConfig::default();
     let mut stages: Vec<StageRow> = Vec::new();
-    let stage_names = ["all hosts", "after reduction", "S_vol", "S_churn", "S_vol ∪ S_churn", "θ_hm (final)"];
+    let stage_names = [
+        "all hosts",
+        "after reduction",
+        "S_vol",
+        "S_churn",
+        "S_vol ∪ S_churn",
+        "θ_hm (final)",
+    ];
     let mut acc: Vec<[f64; 4]> = vec![[0.0; 4]; stage_names.len()];
     let mut tprs = Vec::new();
     let mut tprn = Vec::new();
@@ -461,8 +527,11 @@ pub fn fig09_pipeline(ctx: &Context) -> PipelineFig {
             report.suspects.intersection(&day.nugache_hosts).count() as f64
                 / day.nugache_hosts.len().max(1) as f64,
         );
-        let negatives: HashSet<Ipv4Addr> =
-            report.all_hosts.difference(&day.implanted).copied().collect();
+        let negatives: HashSet<Ipv4Addr> = report
+            .all_hosts
+            .difference(&day.implanted)
+            .copied()
+            .collect();
         let fp = report.suspects.difference(&day.implanted).count() as f64;
         fprs.push(fp / negatives.len().max(1) as f64);
         traders_rem.push(
@@ -487,7 +556,13 @@ pub fn fig09_pipeline(ctx: &Context) -> PipelineFig {
             traders: acc[i][3] / n,
         });
     }
-    let mean = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
     PipelineFig {
         stages,
         storm_tpr: mean(&tprs),
@@ -516,7 +591,13 @@ pub fn fig10_nugache_flow_counts(ctx: &Context) -> Vec<(String, Vec<f64>)> {
     for day in &ctx.days {
         let report = find_plotters_from_profiles(&day.profiles, &cfg);
         for ip in &day.nugache_hosts {
-            let flows = day.run.overlaid.implant_flow_counts.get(ip).copied().unwrap_or(0) as f64;
+            let flows = day
+                .run
+                .overlaid
+                .implant_flow_counts
+                .get(ip)
+                .copied()
+                .unwrap_or(0) as f64;
             out[0].1.push(flows);
             if report.after_reduction.contains(ip) {
                 out[1].1.push(flows);
@@ -564,8 +645,11 @@ pub fn fig11_evasion_margins(ctx: &Context) -> (Vec<EvasionMarginRow>, Vec<Evasi
         let (_, tau_vol) = theta_vol(&day.profiles, &input, Threshold::Percentile(50.0));
         let (_, tau_churn) = theta_churn(&day.profiles, &input, Threshold::Percentile(50.0));
         let med = |hosts: &HashSet<Ipv4Addr>, f: &dyn Fn(&HostProfile) -> Option<f64>| {
-            let vals: Vec<f64> =
-                hosts.iter().filter_map(|ip| day.profiles.get(ip)).filter_map(f).collect();
+            let vals: Vec<f64> = hosts
+                .iter()
+                .filter_map(|ip| day.profiles.get(ip))
+                .filter_map(f)
+                .collect();
             pw_analysis::median(&vals).unwrap_or(f64::NAN)
         };
         let sv = med(&day.storm_hosts, &|p| p.avg_upload_per_flow());
@@ -637,12 +721,13 @@ pub fn fig12_jitter_sweep(ctx: &Context) -> Vec<JitterRow> {
                 let implants_seed = ctx.cfg.campus.seed ^ di as u64 ^ (placement << 17);
                 let overlaid =
                     overlay_bots(&day.run.overlaid.base, &[storm_t, nugache_t], implants_seed);
-                let profiles = extract_profiles(&overlaid.flows, |ip| {
-                    day.run.overlaid.base.is_internal(ip)
-                });
+                let profiles =
+                    extract_profiles(&overlaid.flows, |ip| day.run.overlaid.base.is_internal(ip));
                 let report = find_plotters_from_profiles(&profiles, &cfg);
-                let storm_hosts: HashSet<Ipv4Addr> =
-                    overlaid.implanted_hosts(pw_botnet::BotFamily::Storm).into_iter().collect();
+                let storm_hosts: HashSet<Ipv4Addr> = overlaid
+                    .implanted_hosts(pw_botnet::BotFamily::Storm)
+                    .into_iter()
+                    .collect();
                 let nugache_hosts: HashSet<Ipv4Addr> = overlaid
                     .implanted_hosts(pw_botnet::BotFamily::Nugache)
                     .into_iter()

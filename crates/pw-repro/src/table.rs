@@ -25,8 +25,11 @@ pub fn render(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
     }
     let mut out = String::new();
     out.push_str(&format!("== {title} ==\n"));
-    let header_line: Vec<String> =
-        headers.iter().zip(&widths).map(|(h, w)| format!("{h:<w$}")).collect();
+    let header_line: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!("{h:<w$}"))
+        .collect();
     out.push_str(&header_line.join("  "));
     out.push('\n');
     out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));

@@ -17,7 +17,11 @@ fn all_figures_compute_on_fast_context() {
         assert!(!s.values.is_empty(), "{} empty", s.name);
     }
     let median = |name: &str| {
-        f1.iter().find(|s| s.name == name).unwrap().median().unwrap()
+        f1.iter()
+            .find(|s| s.name == name)
+            .unwrap()
+            .median()
+            .unwrap()
     };
     assert!(median("Storm") < median("CMU"));
     assert!(median("Trader") > median("CMU"));
@@ -49,7 +53,11 @@ fn all_figures_compute_on_fast_context() {
     }
 
     // Figures 6–8: curves exist with in-range points.
-    for curves in [fig06_roc_volume(&ctx), fig07_roc_churn(&ctx), fig08_roc_hm(&ctx)] {
+    for curves in [
+        fig06_roc_volume(&ctx),
+        fig07_roc_churn(&ctx),
+        fig08_roc_hm(&ctx),
+    ] {
         assert_eq!(curves.len(), 2);
         for c in &curves {
             for p in c.points() {

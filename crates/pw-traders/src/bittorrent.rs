@@ -39,7 +39,12 @@ pub struct BittorrentTrader {
 impl BittorrentTrader {
     /// A trader over `catalog` with default rates.
     pub fn new(catalog: Arc<FileCatalog>) -> Self {
-        Self { catalog, mean_sessions: 1.2, torrents_per_session: 1.4, seeds_per_session: 1.0 }
+        Self {
+            catalog,
+            mean_sessions: 1.2,
+            torrents_per_session: 1.4,
+            seeds_per_session: 1.0,
+        }
     }
 
     /// Samples the host's session plan for the window.
@@ -119,7 +124,10 @@ impl BittorrentTrader {
             emit_connection(
                 sink,
                 &ConnSpec::tcp(ta, ctx.ip, ephemeral_port(rng), tracker, 80)
-                    .outcome(ConnOutcome::Established { bytes_up: 420, bytes_down: 1_800 })
+                    .outcome(ConnOutcome::Established {
+                        bytes_up: 420,
+                        bytes_down: 1_800,
+                    })
                     .duration(SimDuration::from_secs(1))
                     .payload(build::tracker_announce().as_bytes()),
             );
@@ -176,7 +184,9 @@ impl BittorrentTrader {
                 continue;
             }
             let file = self.catalog.sample(rng);
-            let peer = ctx.space.external(&format!("bt-swarm-{}", file.0), rng.gen_range(0..400));
+            let peer = ctx
+                .space
+                .external(&format!("bt-swarm-{}", file.0), rng.gen_range(0..400));
             let share = self.catalog.size_of(file) / rng.gen_range(2..6u64);
             let rate = rng.gen_range(50_000.0..400_000.0);
             let secs = (share as f64 / rate).clamp(30.0, (s1 - tu).as_secs_f64().max(60.0));
@@ -184,7 +194,10 @@ impl BittorrentTrader {
             emit_connection(
                 sink,
                 &ConnSpec::tcp(tu, peer, ephemeral_port(rng), ctx.ip, BT_PEER_PORT)
-                    .outcome(ConnOutcome::Established { bytes_up: 900, bytes_down: sent })
+                    .outcome(ConnOutcome::Established {
+                        bytes_up: 900,
+                        bytes_down: sent,
+                    })
                     .duration(SimDuration::from_secs_f64(secs))
                     .payload(build::bittorrent_handshake().as_bytes()),
             );
@@ -224,7 +237,10 @@ mod tests {
     #[test]
     fn bittorrent_signatures_present() {
         let (_, flows) = run_day(1);
-        let bt = flows.iter().filter(|f| classify_flow(f) == Some(P2pApp::BitTorrent)).count();
+        let bt = flows
+            .iter()
+            .filter(|f| classify_flow(f) == Some(P2pApp::BitTorrent))
+            .count();
         assert!(bt > 3, "{bt} BT-signed flows");
     }
 

@@ -44,7 +44,10 @@ impl FileCatalog {
         let sizes = (0..n_files)
             .map(|_| (dist.sample(&mut rng) as u64).clamp(64 * 1024, 2 * 1024 * 1024 * 1024))
             .collect();
-        Self { sizes, popularity: Zipf::new(n_files, 0.8) }
+        Self {
+            sizes,
+            popularity: Zipf::new(n_files, 0.8),
+        }
     }
 
     /// Number of files.
@@ -95,7 +98,10 @@ mod tests {
                 mb_plus += 1;
             }
         }
-        assert!(mb_plus > 300, "most files should be MB-scale, got {mb_plus}");
+        assert!(
+            mb_plus > 300,
+            "most files should be MB-scale, got {mb_plus}"
+        );
     }
 
     #[test]

@@ -50,7 +50,12 @@ pub struct EmuleTrader {
 impl EmuleTrader {
     /// A trader over `catalog` with default rates.
     pub fn new(catalog: Arc<FileCatalog>) -> Self {
-        Self { catalog, mean_sessions: 1.1, files_per_session: 1.8, uploads_per_session: 2.0 }
+        Self {
+            catalog,
+            mean_sessions: 1.1,
+            files_per_session: 1.8,
+            uploads_per_session: 2.0,
+        }
     }
 
     /// Samples the host's session plan for the window.
@@ -121,17 +126,29 @@ impl EmuleTrader {
         let mut tq = s0 + SimDuration::from_secs(rng.gen_range(30..300));
         while tq < s1 {
             let server = ctx.space.external("ed2k-server-udp", rng.gen_range(0..40));
-            let spec = ConnSpec::udp(tq, ctx.ip, ED2K_SERVER_UDP_PORT, server, ED2K_SERVER_UDP_PORT)
-                .payload(build::emule_kad(0x96).as_bytes());
+            let spec = ConnSpec::udp(
+                tq,
+                ctx.ip,
+                ED2K_SERVER_UDP_PORT,
+                server,
+                ED2K_SERVER_UDP_PORT,
+            )
+            .payload(build::emule_kad(0x96).as_bytes());
             if rng.gen_bool(0.5) {
                 emit_connection(
                     sink,
-                    &spec.outcome(ConnOutcome::UdpNoReply { bytes_up: 6, retries: 1 }),
+                    &spec.outcome(ConnOutcome::UdpNoReply {
+                        bytes_up: 6,
+                        retries: 1,
+                    }),
                 );
             } else {
                 emit_connection(
                     sink,
-                    &spec.outcome(ConnOutcome::UdpExchange { bytes_up: 6, bytes_down: 30 }),
+                    &spec.outcome(ConnOutcome::UdpExchange {
+                        bytes_up: 6,
+                        bytes_down: 30,
+                    }),
                 );
             }
             tq += SimDuration::from_secs_f64(rng.gen_range(180.0..600.0));
@@ -176,7 +193,10 @@ impl EmuleTrader {
                 emit_connection(
                     sink,
                     &ConnSpec::tcp(ts, ctx.ip, ephemeral_port(rng), peer, EMULE_PEER_PORT)
-                        .outcome(ConnOutcome::Established { bytes_up: 1_400, bytes_down: got })
+                        .outcome(ConnOutcome::Established {
+                            bytes_up: 1_400,
+                            bytes_down: got,
+                        })
                         .duration(SimDuration::from_secs_f64(secs))
                         .payload(build::emule_hello().as_bytes()),
                 );
@@ -199,7 +219,10 @@ impl EmuleTrader {
             emit_connection(
                 sink,
                 &ConnSpec::tcp(tu, peer, ephemeral_port(rng), ctx.ip, EMULE_PEER_PORT)
-                    .outcome(ConnOutcome::Established { bytes_up: 1_500, bytes_down: sent })
+                    .outcome(ConnOutcome::Established {
+                        bytes_up: 1_500,
+                        bytes_down: sent,
+                    })
                     .duration(SimDuration::from_secs_f64(secs))
                     .payload(build::emule_hello().as_bytes()),
             );
@@ -239,7 +262,9 @@ mod tests {
     #[test]
     fn emule_signature_present() {
         let (_, flows) = run_day(1);
-        assert!(flows.iter().any(|f| classify_flow(f) == Some(P2pApp::Emule)));
+        assert!(flows
+            .iter()
+            .any(|f| classify_flow(f) == Some(P2pApp::Emule)));
     }
 
     #[test]
@@ -284,7 +309,8 @@ mod tests {
     #[test]
     fn many_distinct_peers_per_day() {
         let (ip, flows) = run_day(4);
-        let peers: std::collections::HashSet<_> = flows.iter().filter_map(|f| f.peer_of(ip)).collect();
+        let peers: std::collections::HashSet<_> =
+            flows.iter().filter_map(|f| f.peer_of(ip)).collect();
         assert!(peers.len() >= 10, "{}", peers.len());
     }
 }

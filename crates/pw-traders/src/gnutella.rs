@@ -38,7 +38,12 @@ pub struct GnutellaTrader {
 impl GnutellaTrader {
     /// A trader over `catalog` with the default (study-calibrated) rates.
     pub fn new(catalog: Arc<FileCatalog>) -> Self {
-        Self { catalog, mean_sessions: 1.3, downloads_per_session: 1.6, uploads_per_session: 1.0 }
+        Self {
+            catalog,
+            mean_sessions: 1.3,
+            downloads_per_session: 1.6,
+            uploads_per_session: 1.0,
+        }
     }
 
     fn session(
@@ -103,7 +108,9 @@ impl GnutellaTrader {
             let mut succeeded = 0u64;
             let mut specs = Vec::new();
             for srcn in 0..sources {
-                let peer = ctx.space.external("gnutella-peers", rng.gen_range(0..40_000));
+                let peer = ctx
+                    .space
+                    .external("gnutella-peers", rng.gen_range(0..40_000));
                 let ts = td + SimDuration::from_secs(2 * srcn as u64);
                 if rng.gen_bool(0.35) {
                     emit_connection(
@@ -144,7 +151,9 @@ impl GnutellaTrader {
             if tu >= s1 {
                 continue;
             }
-            let stranger = ctx.space.external("gnutella-peers", rng.gen_range(0..40_000));
+            let stranger = ctx
+                .space
+                .external("gnutella-peers", rng.gen_range(0..40_000));
             let file = self.catalog.sample(rng);
             let share = self.catalog.size_of(file) / rng.gen_range(1..4u64);
             let rate = rng.gen_range(20_000.0..120_000.0);
@@ -152,7 +161,10 @@ impl GnutellaTrader {
             emit_connection(
                 sink,
                 &ConnSpec::tcp(tu, stranger, ephemeral_port(rng), ctx.ip, GNUTELLA_PORT)
-                    .outcome(ConnOutcome::Established { bytes_up: 850, bytes_down: share })
+                    .outcome(ConnOutcome::Established {
+                        bytes_up: 850,
+                        bytes_down: share,
+                    })
                     .duration(SimDuration::from_secs_f64(secs))
                     .payload(b"GET /get/9/video.avi HTTP/1.1\r\nUser-Agent: LimeWire/4.10\r\n"),
             );
@@ -202,7 +214,10 @@ mod tests {
     #[test]
     fn produces_signature_labelled_flows() {
         let (_, flows) = run_day(1);
-        let gnut = flows.iter().filter(|f| classify_flow(f) == Some(P2pApp::Gnutella)).count();
+        let gnut = flows
+            .iter()
+            .filter(|f| classify_flow(f) == Some(P2pApp::Gnutella))
+            .count();
         assert!(gnut > 0, "no Gnutella-signed flows among {}", flows.len());
     }
 
@@ -236,7 +251,8 @@ mod tests {
     #[test]
     fn contacts_many_distinct_peers() {
         let (ip, flows) = run_day(3);
-        let peers: std::collections::HashSet<_> = flows.iter().filter_map(|f| f.peer_of(ip)).collect();
+        let peers: std::collections::HashSet<_> =
+            flows.iter().filter_map(|f| f.peer_of(ip)).collect();
         assert!(peers.len() >= 10, "{} peers", peers.len());
     }
 

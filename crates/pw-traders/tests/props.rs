@@ -9,7 +9,11 @@ use pw_flow::ArgusAggregator;
 use pw_netsim::{AddressSpace, DiurnalProfile, SimDuration, SimTime};
 use pw_traders::{BittorrentTrader, EmuleTrader, FileCatalog, GnutellaTrader, SessionPlan};
 
-fn run_model(model: &dyn TrafficModel, seed: u64, hours: u64) -> (std::net::Ipv4Addr, Vec<pw_flow::FlowRecord>) {
+fn run_model(
+    model: &dyn TrafficModel,
+    seed: u64,
+    hours: u64,
+) -> (std::net::Ipv4Addr, Vec<pw_flow::FlowRecord>) {
     let mut space = AddressSpace::campus();
     let ip = space.alloc_internal();
     let ctx = HostContext::new(ip, &space, SimTime::ZERO, SimTime::from_hours(hours));

@@ -14,7 +14,10 @@ use peerwatch::data::{label_traders_by_payload, run_experiment, ExperimentConfig
 use peerwatch::detect::{find_plotters, FindPlottersConfig};
 
 fn main() {
-    let cfg = ExperimentConfig { days: 1, ..ExperimentConfig::default() };
+    let cfg = ExperimentConfig {
+        days: 1,
+        ..ExperimentConfig::default()
+    };
     println!("building 1 paper-scale day (~1100 hosts, three DHT overlays)…");
     let runs = run_experiment(&cfg);
     let run = &runs[0];
@@ -24,7 +27,10 @@ fn main() {
 
     // Ground truth the way the paper builds it: scan the 64 payload bytes.
     let payload_traders = label_traders_by_payload(&overlaid.flows, |ip| base.is_internal(ip), 1);
-    println!("\npayload-signature scan labelled {} Trader hosts:", payload_traders.len());
+    println!(
+        "\npayload-signature scan labelled {} Trader hosts:",
+        payload_traders.len()
+    );
     let mut per_app: std::collections::BTreeMap<String, usize> = Default::default();
     for app in payload_traders.values() {
         *per_app.entry(app.to_string()).or_default() += 1;
@@ -34,12 +40,19 @@ fn main() {
     }
 
     // Run the detector.
-    let report =
-        find_plotters(&overlaid.flows, |ip| base.is_internal(ip), &FindPlottersConfig::default());
-    let storm: HashSet<Ipv4Addr> =
-        overlaid.implanted_hosts(BotFamily::Storm).into_iter().collect();
-    let nugache: HashSet<Ipv4Addr> =
-        overlaid.implanted_hosts(BotFamily::Nugache).into_iter().collect();
+    let report = find_plotters(
+        &overlaid.flows,
+        |ip| base.is_internal(ip),
+        &FindPlottersConfig::default(),
+    );
+    let storm: HashSet<Ipv4Addr> = overlaid
+        .implanted_hosts(BotFamily::Storm)
+        .into_iter()
+        .collect();
+    let nugache: HashSet<Ipv4Addr> = overlaid
+        .implanted_hosts(BotFamily::Nugache)
+        .into_iter()
+        .collect();
 
     let count = |set: &HashSet<Ipv4Addr>, of: &HashSet<Ipv4Addr>| set.intersection(of).count();
     let stages: [(&str, &HashSet<Ipv4Addr>); 5] = [
@@ -49,7 +62,10 @@ fn main() {
         ("S_vol ∪ S_churn", &report.union),
         ("suspects (θ_hm)", &report.suspects),
     ];
-    println!("\n{:<22} {:>6} {:>6} {:>8}", "stage", "hosts", "storm", "nugache");
+    println!(
+        "\n{:<22} {:>6} {:>6} {:>8}",
+        "stage", "hosts", "storm", "nugache"
+    );
     println!("{:-<46}", "");
     for (name, set) in stages {
         println!(
@@ -66,8 +82,16 @@ fn main() {
     let fp: Vec<&Ipv4Addr> = report.suspects.difference(&implanted).collect();
     println!("\nfalse positives: {} hosts", fp.len());
     for ip in fp.iter().take(10) {
-        let role = base.hosts.get(ip).map(|h| format!("{:?}", h.role)).unwrap_or_default();
+        let role = base
+            .hosts
+            .get(ip)
+            .map(|h| format!("{:?}", h.role))
+            .unwrap_or_default();
         println!("  {ip} ({role})");
     }
-    println!("\nθ_hm clusters kept: τ = {:.1}s over {} clusters", report.hm.tau, report.hm.clusters.len());
+    println!(
+        "\nθ_hm clusters kept: τ = {:.1}s over {} clusters",
+        report.hm.tau,
+        report.hm.clusters.len()
+    );
 }

@@ -31,10 +31,15 @@ struct Outcome {
 
 fn evaluate(day: &DayDataset, storm: &BotTrace, nugache: &BotTrace) -> Outcome {
     let overlaid = overlay_bots(day, &[storm, nugache], 42);
-    let report: PlotterReport =
-        find_plotters(&overlaid.flows, |ip| day.is_internal(ip), &FindPlottersConfig::default());
-    let bots: HashSet<Ipv4Addr> =
-        overlaid.implanted_hosts(BotFamily::Storm).into_iter().collect();
+    let report: PlotterReport = find_plotters(
+        &overlaid.flows,
+        |ip| day.is_internal(ip),
+        &FindPlottersConfig::default(),
+    );
+    let bots: HashSet<Ipv4Addr> = overlaid
+        .implanted_hosts(BotFamily::Storm)
+        .into_iter()
+        .collect();
     Outcome {
         in_s_vol: report.s_vol.intersection(&bots).count(),
         in_s_churn: report.s_churn.intersection(&bots).count(),
@@ -44,15 +49,24 @@ fn evaluate(day: &DayDataset, storm: &BotTrace, nugache: &BotTrace) -> Outcome {
 }
 
 fn main() {
-    let campus = CampusConfig { seed: 99, ..CampusConfig::default() };
+    let campus = CampusConfig {
+        seed: 99,
+        ..CampusConfig::default()
+    };
     let day = build_day(&campus, 0);
     let storm = generate_storm_trace(
-        &StormConfig { duration: campus.duration, ..StormConfig::default() },
+        &StormConfig {
+            duration: campus.duration,
+            ..StormConfig::default()
+        },
         3,
     );
     // Nugache rides along un-evaded, as in the paper's combined overlay.
     let nugache = generate_nugache_trace(
-        &NugacheConfig { duration: campus.duration, ..NugacheConfig::default() },
+        &NugacheConfig {
+            duration: campus.duration,
+            ..NugacheConfig::default()
+        },
         4,
     );
 
@@ -63,27 +77,57 @@ fn main() {
     );
 
     println!("\n-- volume inflation alone (targets θ_vol) --");
-    println!("{:<8} {:>8} {:>10} {:>10}", "factor", "in S_vol", "in S_churn", "detected");
+    println!(
+        "{:<8} {:>8} {:>10} {:>10}",
+        "factor", "in S_vol", "in S_churn", "detected"
+    );
     for mult in [4.0, 8.0, 16.0, 32.0] {
-        let e = apply_evasion(&storm, &EvasionConfig { volume_multiplier: mult, ..Default::default() }, 1);
+        let e = apply_evasion(
+            &storm,
+            &EvasionConfig {
+                volume_multiplier: mult,
+                ..Default::default()
+            },
+            1,
+        );
         let o = evaluate(&day, &e, &nugache);
-        println!("×{mult:<7} {:>8} {:>10} {:>10}", o.in_s_vol, o.in_s_churn, o.detected);
+        println!(
+            "×{mult:<7} {:>8} {:>10} {:>10}",
+            o.in_s_vol, o.in_s_churn, o.detected
+        );
     }
     println!("escaping the volume test is not enough: the churn test still routes the");
     println!("bots into θ_hm (S_hm input is the *union*).");
 
     println!("\n-- new-peer inflation alone (targets θ_churn) --");
-    println!("{:<8} {:>8} {:>10} {:>10}", "factor", "in S_vol", "in S_churn", "detected");
+    println!(
+        "{:<8} {:>8} {:>10} {:>10}",
+        "factor", "in S_vol", "in S_churn", "detected"
+    );
     for mult in [2.0, 3.0, 5.0, 8.0] {
-        let e = apply_evasion(&storm, &EvasionConfig { new_peer_multiplier: mult, ..Default::default() }, 2);
+        let e = apply_evasion(
+            &storm,
+            &EvasionConfig {
+                new_peer_multiplier: mult,
+                ..Default::default()
+            },
+            2,
+        );
         let o = evaluate(&day, &e, &nugache);
-        println!("×{mult:<7} {:>8} {:>10} {:>10}", o.in_s_vol, o.in_s_churn, o.detected);
+        println!(
+            "×{mult:<7} {:>8} {:>10} {:>10}",
+            o.in_s_vol, o.in_s_churn, o.detected
+        );
     }
 
     println!("\n-- interstitial jitter alone (targets θ_hm) --");
     println!("{:<10} {:>10}", "jitter", "detected");
     for d in [60u64, 600, 3600, 10800] {
-        let e = apply_evasion(&storm, &EvasionConfig::jitter_only(SimDuration::from_secs(d)), 3);
+        let e = apply_evasion(
+            &storm,
+            &EvasionConfig::jitter_only(SimDuration::from_secs(d)),
+            3,
+        );
         let o = evaluate(&day, &e, &nugache);
         println!("±{d:<8}s {:>10}", o.detected);
     }

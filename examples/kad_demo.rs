@@ -36,24 +36,45 @@ fn main() {
         let seeds: Vec<_> = (1..=4).map(|d| nodes[(i + d * 11) % n]).collect();
         sim.bootstrap(h, &seeds);
     }
-    println!("overlay: {n} nodes, k = {}, α = {}", sim.config().k, sim.config().alpha);
+    println!(
+        "overlay: {n} nodes, k = {}, α = {}",
+        sim.config().k,
+        sim.config().alpha
+    );
 
     // A publisher announces a key; another node searches for it.
     let key = NodeId::hash_of(b"rendezvous:demo-day-0");
     let publisher = nodes[3];
     let searcher = nodes[77];
-    println!("\npublisher {} announces key {key}", sim.contact_of(publisher).ip);
-    sim.start_lookup(&mut engine, &mut packets, publisher, key, LookupGoal::Publish);
-    engine.run_until(SimTime::from_secs(60), |eng, ev| sim.handle(eng, &mut packets, ev));
+    println!(
+        "\npublisher {} announces key {key}",
+        sim.contact_of(publisher).ip
+    );
+    sim.start_lookup(
+        &mut engine,
+        &mut packets,
+        publisher,
+        key,
+        LookupGoal::Publish,
+    );
+    engine.run_until(SimTime::from_secs(60), |eng, ev| {
+        sim.handle(eng, &mut packets, ev)
+    });
 
     println!("searcher  {} looks the key up", sim.contact_of(searcher).ip);
     sim.start_lookup(&mut engine, &mut packets, searcher, key, LookupGoal::Search);
-    engine.run_until(SimTime::from_secs(120), |eng, ev| sim.handle(eng, &mut packets, ev));
+    engine.run_until(SimTime::from_secs(120), |eng, ev| {
+        sim.handle(eng, &mut packets, ev)
+    });
 
     let hits = sim.take_search_hits(searcher);
     match hits.first() {
         Some((_, publishers)) => {
-            println!("search result: {} publisher(s), first = {}", publishers.len(), publishers[0].ip)
+            println!(
+                "search result: {} publisher(s), first = {}",
+                publishers.len(),
+                publishers[0].ip
+            )
         }
         None => println!("search found nothing (unlucky overlay; try another seed)"),
     }
@@ -66,7 +87,12 @@ fn main() {
     }
     let flows = argus.finish(SimTime::from_secs(300));
     let failed = flows.iter().filter(|f| f.is_failed()).count();
-    println!("\nwire view: {} packets -> {} UDP flows ({} failed: dead/NAT'd peers)", packets.len(), flows.len(), failed);
+    println!(
+        "\nwire view: {} packets -> {} UDP flows ({} failed: dead/NAT'd peers)",
+        packets.len(),
+        flows.len(),
+        failed
+    );
     let sig = classify_payload(packets[0].payload.as_bytes());
     println!("payload classification of Overnet control traffic: {sig:?} (eDonkey family — exactly why payload cannot separate Storm from eMule)");
 

@@ -3,27 +3,42 @@
 //! ```sh
 //! cargo run --release --bin findplotters -- flows.csv \
 //!     [--internal CIDR]... [--truth hosts.csv] \
-//!     [--tau-vol P] [--tau-churn P] [--tau-hm P] [--no-reduction]
+//!     [--tau-vol P] [--tau-churn P] [--tau-hm P] [--no-reduction] \
+//!     [--threads N] [--window HOURS [--slide HOURS] [--lateness MINS]]
 //! ```
 //!
 //! `--internal` defaults to the synthetic campus subnets
 //! (`10.1.0.0/16`, `10.2.0.0/16`). With `--truth` (a `gen-campus`
 //! `hosts.csv`) detection is scored against ground truth.
+//!
+//! Without `--window` the whole file is one batch detection run. With
+//! `--window H` the flows are replayed through the streaming
+//! [`DetectionEngine`] in tumbling (or, with `--slide`, sliding) windows,
+//! printing one verdict per window.
 
 use std::collections::{HashMap, HashSet};
 use std::fs;
 use std::net::Ipv4Addr;
 
-use peerwatch::detect::{find_plotters, FindPlottersConfig, Threshold};
+use peerwatch::detect::stream::{DetectionEngine, EngineConfig};
+use peerwatch::detect::{try_find_plotters, FindPlottersConfig, PlotterReport, Threshold};
 use peerwatch::flow::csvio::read_flows;
-use peerwatch::netsim::Subnet;
+use peerwatch::netsim::{SimDuration, Subnet};
 
 fn usage() -> ! {
     eprintln!(
         "usage: findplotters <flows.csv> [--internal CIDR]... [--truth hosts.csv] \
-         [--tau-vol P] [--tau-churn P] [--tau-hm P] [--no-reduction]"
+         [--tau-vol P] [--tau-churn P] [--tau-hm P] [--no-reduction] \
+         [--threads N] [--window HOURS [--slide HOURS] [--lateness MINS]]"
     );
     std::process::exit(2)
+}
+
+fn next_num(it: &mut std::slice::Iter<'_, String>) -> f64 {
+    it.next()
+        .unwrap_or_else(|| usage())
+        .parse()
+        .unwrap_or_else(|_| usage())
 }
 
 fn parse_cidr(s: &str) -> Subnet {
@@ -34,64 +49,18 @@ fn parse_cidr(s: &str) -> Subnet {
     )
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut flows_path: Option<String> = None;
-    let mut subnets: Vec<Subnet> = Vec::new();
-    let mut truth_path: Option<String> = None;
-    let mut cfg = FindPlottersConfig::default();
-
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--internal" => subnets.push(parse_cidr(it.next().unwrap_or_else(|| usage()))),
-            "--truth" => truth_path = Some(it.next().unwrap_or_else(|| usage()).clone()),
-            "--tau-vol" => {
-                cfg.tau_vol = Threshold::Percentile(
-                    it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage()),
-                )
-            }
-            "--tau-churn" => {
-                cfg.tau_churn = Threshold::Percentile(
-                    it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage()),
-                )
-            }
-            "--tau-hm" => {
-                cfg.tau_hm = Threshold::Percentile(
-                    it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage()),
-                )
-            }
-            "--no-reduction" => cfg.with_reduction = false,
-            _ if flows_path.is_none() && !a.starts_with('-') => flows_path = Some(a.clone()),
-            _ => usage(),
-        }
-    }
-    let Some(flows_path) = flows_path else { usage() };
-    if subnets.is_empty() {
-        subnets.push(parse_cidr("10.1.0.0/16"));
-        subnets.push(parse_cidr("10.2.0.0/16"));
-    }
-
-    let file = fs::File::open(&flows_path).unwrap_or_else(|e| {
-        eprintln!("cannot open {flows_path}: {e}");
-        std::process::exit(1);
-    });
-    let flows = read_flows(std::io::BufReader::new(file)).unwrap_or_else(|e| {
-        eprintln!("cannot parse {flows_path}: {e}");
-        std::process::exit(1);
-    });
-    eprintln!("loaded {} flows", flows.len());
-
-    let is_internal = |ip: Ipv4Addr| subnets.iter().any(|s| s.contains(ip));
-    let report = find_plotters(&flows, is_internal, &cfg);
-
+fn print_report(report: &PlotterReport) {
     println!("hosts observed:        {}", report.all_hosts.len());
     println!(
         "after data reduction:  {} (failed-rate > {:.2}%)",
         report.after_reduction.len(),
         report.reduction_threshold * 100.0
     );
-    println!("S_vol:                 {} (τ_vol = {:.0} B/flow)", report.s_vol.len(), report.tau_vol);
+    println!(
+        "S_vol:                 {} (τ_vol = {:.0} B/flow)",
+        report.s_vol.len(),
+        report.tau_vol
+    );
     println!(
         "S_churn:               {} (τ_churn = {:.1}% new IPs)",
         report.s_churn.len(),
@@ -109,6 +78,129 @@ fn main() {
     for ip in &suspects {
         println!("  {ip}");
     }
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut flows_path: Option<String> = None;
+    let mut subnets: Vec<Subnet> = Vec::new();
+    let mut truth_path: Option<String> = None;
+    let mut builder = FindPlottersConfig::builder();
+    let mut threads: usize = 1;
+    let mut window_hours: Option<f64> = None;
+    let mut slide_hours: Option<f64> = None;
+    let mut lateness_mins: f64 = 10.0;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--internal" => subnets.push(parse_cidr(it.next().unwrap_or_else(|| usage()))),
+            "--truth" => truth_path = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--tau-vol" => builder = builder.tau_vol(Threshold::Percentile(next_num(&mut it))),
+            "--tau-churn" => builder = builder.tau_churn(Threshold::Percentile(next_num(&mut it))),
+            "--tau-hm" => builder = builder.tau_hm(Threshold::Percentile(next_num(&mut it))),
+            "--no-reduction" => builder = builder.with_reduction(false),
+            "--threads" => threads = next_num(&mut it) as usize,
+            "--window" => window_hours = Some(next_num(&mut it)),
+            "--slide" => slide_hours = Some(next_num(&mut it)),
+            "--lateness" => lateness_mins = next_num(&mut it),
+            _ if flows_path.is_none() && !a.starts_with('-') => flows_path = Some(a.clone()),
+            _ => usage(),
+        }
+    }
+    let Some(flows_path) = flows_path else {
+        usage()
+    };
+    if subnets.is_empty() {
+        subnets.push(parse_cidr("10.1.0.0/16"));
+        subnets.push(parse_cidr("10.2.0.0/16"));
+    }
+    let cfg = builder.build().unwrap_or_else(|e| {
+        eprintln!("invalid configuration: {e}");
+        std::process::exit(2);
+    });
+
+    let file = fs::File::open(&flows_path).unwrap_or_else(|e| {
+        eprintln!("cannot open {flows_path}: {e}");
+        std::process::exit(1);
+    });
+    let flows = read_flows(std::io::BufReader::new(file)).unwrap_or_else(|e| {
+        eprintln!("cannot parse {flows_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("loaded {} flows", flows.len());
+
+    let is_internal = |ip: Ipv4Addr| subnets.iter().any(|s| s.contains(ip));
+
+    let report = if let Some(wh) = window_hours {
+        // Streaming mode: replay the file through the windowed engine.
+        let engine_cfg = EngineConfig {
+            window: SimDuration::from_secs_f64(wh * 3600.0),
+            slide: SimDuration::from_secs_f64(slide_hours.unwrap_or(wh) * 3600.0),
+            lateness: SimDuration::from_secs_f64(lateness_mins * 60.0),
+            threads,
+            detect: cfg,
+            ..Default::default()
+        };
+        let mut engine = DetectionEngine::new(engine_cfg, is_internal).unwrap_or_else(|e| {
+            eprintln!("invalid engine configuration: {e}");
+            std::process::exit(2);
+        });
+        let mut ordered = flows.clone();
+        ordered.sort_by_key(|f| (f.start, f.src, f.dst, f.sport, f.dport));
+        let mut windows = Vec::new();
+        for f in ordered {
+            match engine.push(f) {
+                Ok(ws) => windows.extend(ws),
+                Err(e) => eprintln!("dropped flow: {e}"),
+            }
+        }
+        windows.extend(engine.finish());
+
+        let mut union_suspects: HashSet<Ipv4Addr> = HashSet::new();
+        let mut last_ok: Option<PlotterReport> = None;
+        for w in &windows {
+            match &w.outcome {
+                Ok(r) => {
+                    let mut s: Vec<_> = r.suspects.iter().collect();
+                    s.sort();
+                    println!(
+                        "window {:>3} [{} .. {}): {} flows, {} hosts ({} evicted), \
+                         {} suspects {s:?}",
+                        w.index,
+                        w.start,
+                        w.end,
+                        w.flows,
+                        w.hosts,
+                        w.evicted,
+                        s.len()
+                    );
+                    union_suspects.extend(&r.suspects);
+                    last_ok = Some(r.clone());
+                }
+                Err(e) => println!(
+                    "window {:>3} [{} .. {}): {} flows — no verdict: {e}",
+                    w.index, w.start, w.end, w.flows
+                ),
+            }
+        }
+        println!("\nsuspects across all windows: {}", union_suspects.len());
+        let Some(mut report) = last_ok else {
+            eprintln!("no window produced a verdict");
+            std::process::exit(1);
+        };
+        // Score the union of windows against ground truth below.
+        report.suspects = union_suspects;
+        report
+    } else {
+        let report = try_find_plotters(&flows, is_internal, &cfg, threads).unwrap_or_else(|e| {
+            eprintln!("detection failed: {e}");
+            std::process::exit(1);
+        });
+        print_report(&report);
+        report
+    };
 
     if let Some(tp) = truth_path {
         let file = fs::File::open(&tp).unwrap_or_else(|e| {

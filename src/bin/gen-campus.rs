@@ -20,9 +20,7 @@ use peerwatch::data::{build_day, overlay_bots, CampusConfig};
 use peerwatch::flow::csvio::write_flows;
 
 fn usage() -> ! {
-    eprintln!(
-        "usage: gen-campus <out_dir> [--seed N] [--day N] [--hosts N] [--no-bots] [--small]"
-    );
+    eprintln!("usage: gen-campus <out_dir> [--seed N] [--day N] [--hosts N] [--no-bots] [--small]");
     std::process::exit(2)
 }
 
@@ -38,10 +36,27 @@ fn main() {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--seed" => seed = it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage()),
-            "--day" => day = it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage()),
+            "--seed" => {
+                seed = it
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--day" => {
+                day = it
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
             "--hosts" => {
-                hosts = Some(it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage()))
+                hosts = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage())
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
             }
             "--no-bots" => bots = false,
             "--small" => small = true,
@@ -51,7 +66,11 @@ fn main() {
     }
     let Some(out_dir) = out_dir else { usage() };
 
-    let mut campus = if small { CampusConfig::small() } else { CampusConfig::default() };
+    let mut campus = if small {
+        CampusConfig::small()
+    } else {
+        CampusConfig::default()
+    };
     campus.seed = seed;
     if let Some(h) = hosts {
         campus.n_background = h;
@@ -102,7 +121,6 @@ fn main() {
 
     let hosts_path = format!("{out_dir}/hosts.csv");
     let hf = std::io::BufWriter::new(fs::File::create(&hosts_path).expect("create hosts.csv"));
-    peerwatch::data::write_ground_truth(hf, &dataset.hosts, &implants)
-        .expect("write ground truth");
+    peerwatch::data::write_ground_truth(hf, &dataset.hosts, &implants).expect("write ground truth");
     eprintln!("wrote ground truth to {hosts_path}");
 }

@@ -23,25 +23,60 @@
 //!
 //! # Quick start
 //!
+//! Build a day of traffic, then run the detector — either in one batch
+//! call, or continuously with the streaming engine.
+//!
 //! ```no_run
 //! use peerwatch::data::{build_day, overlay_bots, CampusConfig};
 //! use peerwatch::botnet::{generate_storm_trace, StormConfig};
-//! use peerwatch::detect::{find_plotters, FindPlottersConfig};
+//! use peerwatch::detect::{try_find_plotters, FindPlottersConfig, Threshold};
 //!
 //! // One day of synthetic campus traffic with an implanted Storm botnet.
 //! let day = build_day(&CampusConfig::small(), 0);
 //! let storm = generate_storm_trace(&StormConfig::default(), 7);
 //! let overlaid = overlay_bots(&day, &[&storm], 42);
 //!
-//! // Hunt for the bots using only the flow records.
-//! let report = find_plotters(
-//!     &overlaid.flows,
-//!     |ip| day.is_internal(ip),
-//!     &FindPlottersConfig::default(),
-//! );
+//! // Validated configuration; out-of-range knobs fail at build time.
+//! let cfg = FindPlottersConfig::builder()
+//!     .tau_hm(Threshold::Percentile(70.0))
+//!     .cut_fraction(0.05)
+//!     .build()?;
+//!
+//! // Hunt for the bots using only the flow records, sharded over 4 cores.
+//! let report = try_find_plotters(&overlaid.flows, |ip| day.is_internal(ip), &cfg, 4)?;
 //! for suspect in &report.suspects {
 //!     println!("suspected Plotter: {suspect}");
 //! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! The streaming engine produces the same verdicts window by window from a
+//! live feed (here: one tumbling 24-hour window, so it reproduces the batch
+//! report exactly):
+//!
+//! ```no_run
+//! use peerwatch::detect::stream::{DetectionEngine, EngineConfig};
+//! use peerwatch::data::{build_day, CampusConfig};
+//! use peerwatch::netsim::SimDuration;
+//!
+//! let day = build_day(&CampusConfig::small(), 0);
+//! let cfg = EngineConfig {
+//!     window: SimDuration::from_hours(24),
+//!     slide: SimDuration::from_hours(24),
+//!     lateness: SimDuration::from_mins(10),
+//!     threads: 4,
+//!     ..Default::default()
+//! };
+//! let mut engine = DetectionEngine::new(cfg, |ip| day.is_internal(ip))?;
+//! for flow in &day.flows {
+//!     for window in engine.push(*flow)? {
+//!         println!("window {}: {:?}", window.index, window.outcome.map(|r| r.suspects));
+//!     }
+//! }
+//! for window in engine.finish() {
+//!     println!("window {}: {:?}", window.index, window.outcome.map(|r| r.suspects));
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
 //! See `examples/` for runnable end-to-end scenarios and `pw-repro` for the

@@ -4,7 +4,7 @@
 use std::collections::HashSet;
 use std::net::Ipv4Addr;
 
-use peerwatch::botnet::{generate_storm_trace, BotFamily, StormConfig};
+use peerwatch::botnet::{generate_storm_trace, StormConfig};
 use peerwatch::data::{build_day, overlay_bots, overlay_bots_onto, CampusConfig};
 use peerwatch::detect::{
     find_plotters, find_plotters_per_service, tdg_scan, FindPlottersConfig, MultiDayReport,
@@ -42,7 +42,11 @@ fn tdg_finds_p2p_participation_but_mixes_traders_and_bots() {
     let day = build_day(&cfg, 0);
     let storm = generate_storm_trace(&storm_cfg(6), 1);
     let overlaid = overlay_bots(&day, &[&storm], 2);
-    let tdg_cfg = TdgConfig { min_avg_degree: 1.3, min_nodes: 10, ..TdgConfig::default() };
+    let tdg_cfg = TdgConfig {
+        min_avg_degree: 1.3,
+        min_nodes: 10,
+        ..TdgConfig::default()
+    };
     let report = tdg_scan(&overlaid.flows, |ip| day.is_internal(ip), &tdg_cfg);
 
     // It identifies P2P participants…
@@ -51,7 +55,10 @@ fn tdg_finds_p2p_participation_but_mixes_traders_and_bots() {
     let bots: HashSet<Ipv4Addr> = overlaid.implants.keys().copied().collect();
     let traders_found = report.p2p_hosts.intersection(&traders).count();
     let bots_found = report.p2p_hosts.intersection(&bots).count();
-    assert!(traders_found >= 3, "TDG missed the traders: {traders_found}");
+    assert!(
+        traders_found >= 3,
+        "TDG missed the traders: {traders_found}"
+    );
     assert!(bots_found >= 3, "TDG missed the bots: {bots_found}");
     // …with good precision (background hosts rarely look P2P).
     let fp = report
@@ -107,7 +114,11 @@ fn per_service_split_unmasks_stealth_bots_hiding_on_traders() {
         "per-service split produced no extra slices"
     );
     let hits = per.suspects.intersection(&bots).count();
-    assert!(hits * 2 >= bots.len(), "per-service missed the hidden bots: {hits}/{}", bots.len());
+    assert!(
+        hits * 2 >= bots.len(),
+        "per-service missed the hidden bots: {hits}/{}",
+        bots.len()
+    );
     // Detection must attribute to the Overnet control-channel slice.
     assert!(
         per.flagged_services

@@ -35,7 +35,11 @@ fn full_run_is_bit_for_bit_reproducible() {
             1,
         );
         let nugache = generate_nugache_trace(
-            &NugacheConfig { n_bots: 6, duration: SimDuration::from_hours(4), ..Default::default() },
+            &NugacheConfig {
+                n_bots: 6,
+                duration: SimDuration::from_hours(4),
+                ..Default::default()
+            },
             2,
         );
         let overlaid = overlay_bots(&day, &[&storm, &nugache], 9);
@@ -92,8 +96,11 @@ fn detection_is_stable_across_csv_round_trip() {
     let mut buf = Vec::new();
     peerwatch::flow::csvio::write_flows(&mut buf, &overlaid.flows).expect("write");
     let reloaded = peerwatch::flow::csvio::read_flows(buf.as_slice()).expect("read");
-    let indirect =
-        find_plotters(&reloaded, |ip| day.is_internal(ip), &FindPlottersConfig::default());
+    let indirect = find_plotters(
+        &reloaded,
+        |ip| day.is_internal(ip),
+        &FindPlottersConfig::default(),
+    );
     assert_eq!(direct.suspects, indirect.suspects);
     assert_eq!(direct.tau_vol, indirect.tau_vol);
     assert_eq!(direct.tau_churn, indirect.tau_churn);

@@ -43,15 +43,24 @@ fn pipeline_detects_implanted_storm_with_bounded_false_positives() {
         5,
     );
     let nugache = generate_nugache_trace(
-        &NugacheConfig { n_bots: 20, duration: campus.duration, ..NugacheConfig::default() },
+        &NugacheConfig {
+            n_bots: 20,
+            duration: campus.duration,
+            ..NugacheConfig::default()
+        },
         6,
     );
     let overlaid = overlay_bots(&day, &[&storm, &nugache], 77);
-    let report =
-        find_plotters(&overlaid.flows, |ip| day.is_internal(ip), &FindPlottersConfig::default());
+    let report = find_plotters(
+        &overlaid.flows,
+        |ip| day.is_internal(ip),
+        &FindPlottersConfig::default(),
+    );
 
-    let storm_hosts: HashSet<Ipv4Addr> =
-        overlaid.implanted_hosts(BotFamily::Storm).into_iter().collect();
+    let storm_hosts: HashSet<Ipv4Addr> = overlaid
+        .implanted_hosts(BotFamily::Storm)
+        .into_iter()
+        .collect();
     let hit = report.suspects.intersection(&storm_hosts).count();
     assert!(
         hit * 2 >= storm_hosts.len(),
@@ -78,13 +87,19 @@ fn payload_labelling_agrees_with_generator_ground_truth() {
     // Everything the payload scan labels must actually be a trader
     // (background hosts never emit P2P signatures).
     for (ip, app) in &labels {
-        assert!(truth.contains(ip), "payload scan labelled non-trader {ip} as {app}");
+        assert!(
+            truth.contains(ip),
+            "payload scan labelled non-trader {ip} as {app}"
+        );
         let role = day.hosts[ip].role;
         assert_eq!(role, HostRole::Trader(*app), "protocol mismatch for {ip}");
     }
     // And it must find a decent share of the active traders.
-    let active_traders =
-        day.trader_hosts().iter().filter(|ip| day.hosts[*ip].active).count();
+    let active_traders = day
+        .trader_hosts()
+        .iter()
+        .filter(|ip| day.hosts[*ip].active)
+        .count();
     assert!(
         labels.len() * 2 >= active_traders,
         "payload scan found only {} of {} active traders",
@@ -113,8 +128,10 @@ fn implanted_host_profiles_inherit_bot_features() {
     for host in overlaid.implanted_hosts(BotFamily::Storm) {
         let with_bot = &profiles[&host];
         // The bot's chatter dominates the host's own traffic volume…
-        let base_flows =
-            base_profiles.get(&host).map(|p| p.flows_involving).unwrap_or(0);
+        let base_flows = base_profiles
+            .get(&host)
+            .map(|p| p.flows_involving)
+            .unwrap_or(0);
         assert!(
             with_bot.flows_involving > base_flows + 500,
             "bot flows missing at {host}: {} vs base {base_flows}",
@@ -146,18 +163,27 @@ fn trader_dhts_run_on_the_real_overlay() {
         }
     }
     assert!(kad_flows > 20, "eMule Kad UDP flows missing: {kad_flows}");
-    assert!(dht_flows > 20, "Mainline DHT UDP flows missing: {dht_flows}");
+    assert!(
+        dht_flows > 20,
+        "Mainline DHT UDP flows missing: {dht_flows}"
+    );
 }
 
 #[test]
 fn reduction_threshold_is_population_relative() {
     let campus = small_campus();
     let day = build_day(&campus, 0);
-    let report =
-        find_plotters(&day.flows, |ip| day.is_internal(ip), &FindPlottersConfig::default());
+    let report = find_plotters(
+        &day.flows,
+        |ip| day.is_internal(ip),
+        &FindPlottersConfig::default(),
+    );
     // Roughly half of eligible hosts survive a median split.
     let all = report.all_hosts.len() as f64;
     let kept = report.after_reduction.len() as f64;
-    assert!(kept > 0.3 * all && kept < 0.7 * all, "median split off: {kept}/{all}");
+    assert!(
+        kept > 0.3 * all && kept < 0.7 * all,
+        "median split off: {kept}/{all}"
+    );
     assert!(report.reduction_threshold > 0.0 && report.reduction_threshold < 1.0);
 }

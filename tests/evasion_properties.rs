@@ -22,7 +22,11 @@ fn trace() -> BotTrace {
 
 fn trace_profiles(t: &BotTrace) -> HashMap<Ipv4Addr, peerwatch::detect::HostProfile> {
     let ips: std::collections::HashSet<_> = t.bots.iter().map(|b| b.ip).collect();
-    let mut flows: Vec<_> = t.bots.iter().flat_map(|b| b.flows.iter().copied()).collect();
+    let mut flows: Vec<_> = t
+        .bots
+        .iter()
+        .flat_map(|b| b.flows.iter().copied())
+        .collect();
     flows.sort_by_key(|f| (f.start, f.src, f.sport, f.dst, f.dport));
     flows.dedup();
     extract_profiles(&flows, |ip| ips.contains(&ip))
@@ -35,11 +39,17 @@ fn volume_multiplier_raises_avg_upload_monotonically() {
     for mult in [1.0, 2.0, 4.0, 8.0] {
         let t = apply_evasion(
             &base,
-            &EvasionConfig { volume_multiplier: mult, ..Default::default() },
+            &EvasionConfig {
+                volume_multiplier: mult,
+                ..Default::default()
+            },
             1,
         );
         let profiles = trace_profiles(&t);
-        let mean: f64 = profiles.values().filter_map(|p| p.avg_upload_per_flow()).sum::<f64>()
+        let mean: f64 = profiles
+            .values()
+            .filter_map(|p| p.avg_upload_per_flow())
+            .sum::<f64>()
             / profiles.len() as f64;
         assert!(mean > last, "not monotone at x{mult}: {mean} <= {last}");
         last = mean;
@@ -55,7 +65,10 @@ fn new_peer_multiplier_raises_churn() {
     };
     let evaded = apply_evasion(
         &base,
-        &EvasionConfig { new_peer_multiplier: 3.0, ..Default::default() },
+        &EvasionConfig {
+            new_peer_multiplier: 3.0,
+            ..Default::default()
+        },
         2,
     );
     let evaded_churn: f64 = {
@@ -84,12 +97,18 @@ fn jitter_spreads_interstitial_times() {
     let base = trace();
     let spread = |t: &BotTrace| -> f64 {
         let p = trace_profiles(t);
-        let all: Vec<f64> = p.values().flat_map(|h| h.interstitials.iter().copied()).collect();
+        let all: Vec<f64> = p
+            .values()
+            .flat_map(|h| h.interstitials.iter().copied())
+            .collect();
         pw_analysis_iqr(&all)
     };
     let tight = spread(&base);
-    let evaded =
-        apply_evasion(&base, &EvasionConfig::jitter_only(SimDuration::from_mins(10)), 3);
+    let evaded = apply_evasion(
+        &base,
+        &EvasionConfig::jitter_only(SimDuration::from_mins(10)),
+        3,
+    );
     let loose = spread(&evaded);
     assert!(
         loose > tight * 1.5,
@@ -104,8 +123,11 @@ fn pw_analysis_iqr(xs: &[f64]) -> f64 {
 #[test]
 fn jitter_preserves_flow_count_and_volume() {
     let base = trace();
-    let evaded =
-        apply_evasion(&base, &EvasionConfig::jitter_only(SimDuration::from_mins(30)), 4);
+    let evaded = apply_evasion(
+        &base,
+        &EvasionConfig::jitter_only(SimDuration::from_mins(30)),
+        4,
+    );
     assert_eq!(base.total_flows(), evaded.total_flows());
     let bytes = |t: &BotTrace| -> u64 {
         t.bots
