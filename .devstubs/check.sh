@@ -1,0 +1,10 @@
+#!/bin/sh
+# Dev-only: build/check/test offline against the .devstubs stand-in crates.
+# Usage: .devstubs/check.sh check --workspace --lib   (any cargo subcommand+args)
+cd "$(dirname "$0")/.." || exit 1
+exec cargo --offline \
+  --config 'patch.crates-io.serde.path=".devstubs/serde"' \
+  --config 'patch.crates-io.rand.path=".devstubs/rand"' \
+  --config 'patch.crates-io.proptest.path=".devstubs/proptest"' \
+  --config 'patch.crates-io.criterion.path=".devstubs/criterion"' \
+  "$@"

@@ -1,0 +1,185 @@
+//! Dev-only stand-in for `criterion` 0.5 (offline container). Runs each
+//! bench a few times with `std::time::Instant` and prints mean wall time,
+//! so relative speedups are still observable locally.
+
+use std::time::Instant;
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn from_parameter<P: std::fmt::Display>(p: P) -> Self {
+        BenchmarkId(p.to_string())
+    }
+    pub fn new<S: Into<String>, P: std::fmt::Display>(name: S, p: P) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), p))
+    }
+}
+
+trait IdLabel {
+    fn label(&self) -> String;
+}
+
+impl IdLabel for BenchmarkId {
+    fn label(&self) -> String {
+        self.0.clone()
+    }
+}
+
+impl IdLabel for &str {
+    fn label(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl IdLabel for String {
+    fn label(&self) -> String {
+        self.clone()
+    }
+}
+
+pub struct Bencher {
+    samples: u32,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup, then timed samples.
+        black_box(f());
+        let t0 = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.mean_ns = t0.elapsed().as_nanos() as f64 / self.samples as f64;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: u32, mut f: F) {
+    let mut b = Bencher { samples, mean_ns: 0.0 };
+    f(&mut b);
+    if b.mean_ns >= 1e9 {
+        println!("bench {label:<48} {:>12.3} s", b.mean_ns / 1e9);
+    } else if b.mean_ns >= 1e6 {
+        println!("bench {label:<48} {:>12.3} ms", b.mean_ns / 1e6);
+    } else {
+        println!("bench {label:<48} {:>12.3} us", b.mean_ns / 1e3);
+    }
+}
+
+pub struct Criterion {
+    samples: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { samples: 3 }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.samples, f);
+        self
+    }
+
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), samples: self.samples, _parent: self }
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u32,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: BenchLabel,
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.bench_label());
+        run_one(&label, self.samples, f);
+        self
+    }
+
+    pub fn bench_with_input<I, P, F>(&mut self, id: I, input: &P, mut f: F) -> &mut Self
+    where
+        I: BenchLabel,
+        P: ?Sized,
+        F: FnMut(&mut Bencher, &P),
+    {
+        let label = format!("{}/{}", self.name, id.bench_label());
+        run_one(&label, self.samples, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub trait BenchLabel {
+    fn bench_label(&self) -> String;
+}
+
+impl BenchLabel for BenchmarkId {
+    fn bench_label(&self) -> String {
+        self.0.clone()
+    }
+}
+
+impl BenchLabel for &str {
+    fn bench_label(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl BenchLabel for String {
+    fn bench_label(&self) -> String {
+        self.clone()
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

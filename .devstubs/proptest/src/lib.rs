@@ -1,0 +1,130 @@
+//! Dev-only miniature of `proptest` 1.x (offline container). Supports the
+//! subset used by this workspace's new tests: `proptest! { #[test] fn
+//! f(x in strategy, ...) { .. } }`, integer/float range strategies,
+//! `collection::vec`, `Just`, and the `prop_assert*` macros. Runs each
+//! property 64 times with a deterministic splitmix64 stream.
+
+pub mod strategy {
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, state: &mut u64) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, state: &mut u64) -> $t {
+                    assert!(self.start < self.end);
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (splitmix64(state) as u128 % span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, state: &mut u64) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi);
+                    let span = (hi as i128 - lo as i128 + 1) as u128;
+                    (lo as i128 + (splitmix64(state) as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, state: &mut u64) -> f64 {
+            let x = (splitmix64(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + x * (self.end - self.start)
+        }
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _state: &mut u64) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, state: &mut u64) -> Vec<S::Value> {
+            let n = self.size.clone().generate(state);
+            (0..n).map(|_| self.element.generate(state)).collect()
+        }
+    }
+
+    pub fn vec_strategy<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+pub mod collection {
+    pub use super::strategy::vec_strategy as vec;
+}
+
+pub mod prelude {
+    pub use super::collection;
+    pub use super::strategy::{Just, Strategy};
+    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    ($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut __pt_state: u64 =
+                0xD1B54A32D192ED03u64 ^ (stringify!($name).len() as u64);
+            for __pt_case in 0..64u32 {
+                let _ = __pt_case;
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __pt_state);)*
+                $body
+            }
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}

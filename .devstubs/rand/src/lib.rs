@@ -1,0 +1,371 @@
+//! Dev-only stand-in for `rand` 0.8 (offline container). Deterministic and
+//! functional, but NOT stream-compatible with the real crate: only use for
+//! local type-checking and behavioural (not golden-value) test runs.
+
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for b in seed.as_mut().iter_mut() {
+            state = state
+                .wrapping_add(0x9E3779B97F4A7C15)
+                .wrapping_mul(0xBF58476D1CE4E5B9);
+            *b = (state >> 56) as u8;
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub trait Rng: RngCore {
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        self.gen_range(0..denominator) < numerator
+    }
+
+    fn sample<T, D>(&mut self, distr: D) -> T
+    where
+        D: distributions::Distribution<T>,
+    {
+        distr.sample(self)
+    }
+
+    fn sample_iter<T, D>(self, distr: D) -> distributions::DistIter<D, Self, T>
+    where
+        D: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        distr.sample_iter(self)
+    }
+
+    fn fill<T: AsMut<[u8]> + ?Sized>(&mut self, dest: &mut T) {
+        self.fill_bytes(dest.as_mut())
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256**-based deterministic generator (not the real StdRng!).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn step(&mut self) -> u64 {
+            let r = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            r
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks(8).enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(chunk);
+                s[i] = u64::from_le_bytes(b);
+            }
+            // Avoid the all-zero state.
+            if s == [0, 0, 0, 0] {
+                s = [0x9E3779B97F4A7C15, 1, 2, 3];
+            }
+            // Warm up so weak seeds decorrelate.
+            let mut rng = StdRng { s };
+            for _ in 0..8 {
+                rng.step();
+            }
+            rng
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.step() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.step()
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let v = self.step().to_le_bytes();
+                chunk.copy_from_slice(&v[..chunk.len()]);
+            }
+        }
+    }
+
+    /// Alias of [`StdRng`] in this stub.
+    pub type SmallRng = StdRng;
+}
+
+pub mod distributions {
+    use super::Rng;
+
+    pub trait Distribution<T> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+
+        fn sample_iter<R>(self, rng: R) -> DistIter<Self, R, T>
+        where
+            R: Rng,
+            Self: Sized,
+        {
+            DistIter { distr: self, rng, _marker: std::marker::PhantomData }
+        }
+    }
+
+    pub struct DistIter<D, R, T> {
+        distr: D,
+        rng: R,
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<D: Distribution<T>, R: Rng, T> Iterator for DistIter<D, R, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            Some(self.distr.sample(&mut self.rng))
+        }
+    }
+
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    macro_rules! standard_uint {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    standard_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Distribution<u128> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u128 {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    pub mod uniform {
+        use super::super::{Rng, RngCore};
+
+        pub trait SampleUniform: Sized {
+            fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi_excl: Self) -> Self;
+        }
+
+        macro_rules! uniform_int {
+            ($($t:ty => $wide:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi_excl: Self) -> Self {
+                        assert!(lo < hi_excl, "empty range in gen_range");
+                        let span = (hi_excl as $wide).wrapping_sub(lo as $wide) as u64;
+                        lo.wrapping_add((rng.next_u64() % span) as $t)
+                    }
+                }
+            )*};
+        }
+        uniform_int!(u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+                     i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64);
+
+        impl SampleUniform for f64 {
+            fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi_excl: Self) -> Self {
+                assert!(lo < hi_excl, "empty range in gen_range");
+                let x = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                lo + x * (hi_excl - lo)
+            }
+        }
+
+        impl SampleUniform for f32 {
+            fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi_excl: Self) -> Self {
+                f64::sample_between(rng, lo as f64, hi_excl as f64) as f32
+            }
+        }
+
+        pub trait SampleRange<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_between(rng, self.start, self.end)
+            }
+        }
+
+        impl SampleRange<f64> for std::ops::RangeInclusive<f64> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                let x = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                lo + x * (hi - lo)
+            }
+        }
+
+        macro_rules! inclusive_int {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "empty range in gen_range");
+                        if lo == <$t>::MIN && hi == <$t>::MAX {
+                            return rng.next_u64() as $t;
+                        }
+                        <$t>::sample_between(rng, lo, hi + 1)
+                    }
+                }
+            )*};
+        }
+        inclusive_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        #[derive(Debug, Clone, Copy)]
+        pub struct Uniform<T> {
+            lo: T,
+            hi_excl: T,
+        }
+
+        impl<T: SampleUniform + Copy> Uniform<T> {
+            pub fn new(lo: T, hi_excl: T) -> Self {
+                Uniform { lo, hi_excl }
+            }
+        }
+
+        impl<T: SampleUniform + Copy> super::Distribution<T> for Uniform<T> {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+                T::sample_between(rng, self.lo, self.hi_excl)
+            }
+        }
+    }
+
+    pub use uniform::Uniform;
+}
+
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    pub trait SliceRandom {
+        type Item;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        fn choose_multiple<R: RngCore + ?Sized>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&Self::Item>;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let i = (&mut *rng).gen_range(0..self.len());
+                Some(&self[i])
+            }
+        }
+
+        fn choose_multiple<R: RngCore + ?Sized>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&T> {
+            // Partial Fisher-Yates over indices.
+            let mut idx: Vec<usize> = (0..self.len()).collect();
+            let take = amount.min(self.len());
+            for i in 0..take {
+                let j = (&mut *rng).gen_range(i..idx.len());
+                idx.swap(i, j);
+            }
+            idx.truncate(take);
+            idx.into_iter().map(|i| &self[i]).collect::<Vec<_>>().into_iter()
+        }
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (&mut *rng).gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::distributions::Distribution;
+    pub use super::rngs::{SmallRng, StdRng};
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}

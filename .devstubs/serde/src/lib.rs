@@ -1,0 +1,145 @@
+//! Dev-only type-check stub of the `serde` facade (offline container).
+//! Covers exactly the API surface this workspace uses.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {
+    fn serialize<S>(&self, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        S: Serializer;
+}
+
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: ser::Error;
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+}
+
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: Deserializer<'de>;
+}
+
+pub trait Deserializer<'de>: Sized {
+    type Error: de::Error;
+    fn deserialize_bytes<V>(self, visitor: V) -> Result<V::Value, Self::Error>
+    where
+        V: de::Visitor<'de>;
+    fn deserialize_any<V>(self, visitor: V) -> Result<V::Value, Self::Error>
+    where
+        V: de::Visitor<'de>;
+}
+
+pub mod ser {
+    pub trait Error: Sized + std::fmt::Debug {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+pub mod de {
+    pub trait Error: Sized + std::fmt::Debug {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+        fn invalid_length(len: usize, exp: &dyn Expected) -> Self {
+            let _ = len;
+            let _ = exp;
+            Self::custom("invalid length")
+        }
+    }
+
+    pub trait Expected {
+        fn fmt(&self, formatter: &mut std::fmt::Formatter<'_>) -> std::fmt::Result;
+    }
+
+    impl<'de, T> Expected for T
+    where
+        T: Visitor<'de>,
+    {
+        fn fmt(&self, formatter: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            self.expecting(formatter)
+        }
+    }
+
+    pub trait Visitor<'de>: Sized {
+        type Value;
+        fn expecting(&self, formatter: &mut std::fmt::Formatter<'_>) -> std::fmt::Result;
+        fn visit_bytes<E>(self, v: &[u8]) -> Result<Self::Value, E>
+        where
+            E: Error,
+        {
+            let _ = v;
+            Err(E::custom("unexpected bytes"))
+        }
+        fn visit_seq<A>(self, seq: A) -> Result<Self::Value, A::Error>
+        where
+            A: SeqAccess<'de>,
+        {
+            let _ = seq;
+            Err(A::Error::custom("unexpected seq"))
+        }
+    }
+
+    pub trait SeqAccess<'de> {
+        type Error: Error;
+        fn next_element<T>(&mut self) -> Result<Option<T>, Self::Error>
+        where
+            T: super::Deserialize<'de>;
+    }
+}
+
+macro_rules! primitive_impls {
+    ($($t:ty),*) => {
+        $(
+            impl Serialize for $t {
+                fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                    serializer.serialize_unit()
+                }
+            }
+            impl<'de> Deserialize<'de> for $t {
+                fn deserialize<D: Deserializer<'de>>(_d: D) -> Result<Self, D::Error> {
+                    Err(<D::Error as de::Error>::custom("stub"))
+                }
+            }
+        )*
+    };
+}
+
+primitive_impls!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, String, std::net::Ipv4Addr);
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(_d: D) -> Result<Self, D::Error> {
+        Err(<D::Error as de::Error>::custom("stub"))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(_d: D) -> Result<Self, D::Error> {
+        Err(<D::Error as de::Error>::custom("stub"))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn deserialize<D: Deserializer<'de>>(_d: D) -> Result<Self, D::Error> {
+        Err(<D::Error as de::Error>::custom("stub"))
+    }
+}

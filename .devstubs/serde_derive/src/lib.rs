@@ -1,0 +1,54 @@
+//! Dev-only stub derive macros for the serde facade. Emits trivial
+//! (non-functional) trait impls so downstream code type-checks offline.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Finds the type name following the `struct`/`enum` keyword.
+fn type_name(input: &TokenStream) -> String {
+    let mut saw_kw = false;
+    for tt in input.clone() {
+        match tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if saw_kw {
+                    return s;
+                }
+                if s == "struct" || s == "enum" {
+                    saw_kw = true;
+                }
+            }
+            _ => continue,
+        }
+    }
+    panic!("serde_derive stub: no struct/enum name found");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize<S: ::serde::Serializer>(&self, serializer: S)\n\
+                 -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                 serializer.serialize_unit()\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: ::serde::Deserializer<'de>>(_d: D)\n\
+                 -> ::core::result::Result<Self, D::Error> {{\n\
+                 ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\"stub\"))\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablations-81139d69f0b61ed5.d: crates/pw-repro/src/bin/ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablations-81139d69f0b61ed5.rmeta: crates/pw-repro/src/bin/ablations.rs Cargo.toml
+
+crates/pw-repro/src/bin/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

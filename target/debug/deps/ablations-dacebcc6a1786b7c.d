@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-dacebcc6a1786b7c.d: crates/pw-repro/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-dacebcc6a1786b7c.rmeta: crates/pw-repro/src/bin/ablations.rs
+
+crates/pw-repro/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-ef06abc3bf1943d7.d: crates/pw-repro/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-ef06abc3bf1943d7.rmeta: crates/pw-repro/src/bin/ablations.rs
+
+crates/pw-repro/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis-adb3f1e86dc15cb4.d: crates/pw-bench/benches/analysis.rs
+
+/root/repo/target/debug/deps/libanalysis-adb3f1e86dc15cb4.rmeta: crates/pw-bench/benches/analysis.rs
+
+crates/pw-bench/benches/analysis.rs:

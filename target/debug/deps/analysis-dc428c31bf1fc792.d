@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis-dc428c31bf1fc792.d: crates/pw-bench/benches/analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis-dc428c31bf1fc792.rmeta: crates/pw-bench/benches/analysis.rs Cargo.toml
+
+crates/pw-bench/benches/analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

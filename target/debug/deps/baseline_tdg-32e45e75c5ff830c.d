@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_tdg-32e45e75c5ff830c.d: crates/pw-repro/src/bin/baseline_tdg.rs
+
+/root/repo/target/debug/deps/libbaseline_tdg-32e45e75c5ff830c.rmeta: crates/pw-repro/src/bin/baseline_tdg.rs
+
+crates/pw-repro/src/bin/baseline_tdg.rs:

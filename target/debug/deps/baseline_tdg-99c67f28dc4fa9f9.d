@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_tdg-99c67f28dc4fa9f9.d: crates/pw-repro/src/bin/baseline_tdg.rs
+
+/root/repo/target/debug/deps/libbaseline_tdg-99c67f28dc4fa9f9.rmeta: crates/pw-repro/src/bin/baseline_tdg.rs
+
+crates/pw-repro/src/bin/baseline_tdg.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baseline_tdg-b1097af82de973a8.d: crates/pw-repro/src/bin/baseline_tdg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline_tdg-b1097af82de973a8.rmeta: crates/pw-repro/src/bin/baseline_tdg.rs Cargo.toml
+
+crates/pw-repro/src/bin/baseline_tdg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baselines_and_extensions-6e050eb070df7a7f.d: tests/baselines_and_extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines_and_extensions-6e050eb070df7a7f.rmeta: tests/baselines_and_extensions.rs Cargo.toml
+
+tests/baselines_and_extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

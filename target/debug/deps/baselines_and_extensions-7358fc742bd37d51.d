@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines_and_extensions-7358fc742bd37d51.d: tests/baselines_and_extensions.rs
+
+/root/repo/target/debug/deps/baselines_and_extensions-7358fc742bd37d51: tests/baselines_and_extensions.rs
+
+tests/baselines_and_extensions.rs:

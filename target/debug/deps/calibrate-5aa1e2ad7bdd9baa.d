@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-5aa1e2ad7bdd9baa.d: crates/pw-repro/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/libcalibrate-5aa1e2ad7bdd9baa.rmeta: crates/pw-repro/src/bin/calibrate.rs
+
+crates/pw-repro/src/bin/calibrate.rs:

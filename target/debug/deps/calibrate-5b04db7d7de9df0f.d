@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-5b04db7d7de9df0f.d: crates/pw-repro/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/libcalibrate-5b04db7d7de9df0f.rmeta: crates/pw-repro/src/bin/calibrate.rs
+
+crates/pw-repro/src/bin/calibrate.rs:

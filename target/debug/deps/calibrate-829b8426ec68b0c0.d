@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calibrate-829b8426ec68b0c0.d: crates/pw-repro/src/bin/calibrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalibrate-829b8426ec68b0c0.rmeta: crates/pw-repro/src/bin/calibrate.rs Cargo.toml
+
+crates/pw-repro/src/bin/calibrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-9d5436d0a4cd6516.d: .devstubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-9d5436d0a4cd6516.rmeta: .devstubs/criterion/src/lib.rs
+
+.devstubs/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/detect-97b94c8c5c190a17.d: crates/pw-bench/benches/detect.rs
+
+/root/repo/target/debug/deps/libdetect-97b94c8c5c190a17.rmeta: crates/pw-bench/benches/detect.rs
+
+crates/pw-bench/benches/detect.rs:

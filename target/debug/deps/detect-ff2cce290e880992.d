@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/detect-ff2cce290e880992.d: crates/pw-bench/benches/detect.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdetect-ff2cce290e880992.rmeta: crates/pw-bench/benches/detect.rs Cargo.toml
+
+crates/pw-bench/benches/detect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-1f9f82fef0332860.d: tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-1f9f82fef0332860.rmeta: tests/determinism.rs Cargo.toml
+
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

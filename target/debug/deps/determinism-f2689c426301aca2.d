@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-f2689c426301aca2.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-f2689c426301aca2: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-9552343850fa4980.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-9552343850fa4980: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/evasion_properties-7720b123e05c4637.d: tests/evasion_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libevasion_properties-7720b123e05c4637.rmeta: tests/evasion_properties.rs Cargo.toml
+
+tests/evasion_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/evasion_properties-fdab2b610bc97d05.d: tests/evasion_properties.rs
+
+/root/repo/target/debug/deps/evasion_properties-fdab2b610bc97d05: tests/evasion_properties.rs
+
+tests/evasion_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extension_perport-5120c8fd94ced4e6.d: crates/pw-repro/src/bin/extension_perport.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextension_perport-5120c8fd94ced4e6.rmeta: crates/pw-repro/src/bin/extension_perport.rs Cargo.toml
+
+crates/pw-repro/src/bin/extension_perport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extension_perport-6501b70185eaaac5.d: crates/pw-repro/src/bin/extension_perport.rs
+
+/root/repo/target/debug/deps/libextension_perport-6501b70185eaaac5.rmeta: crates/pw-repro/src/bin/extension_perport.rs
+
+crates/pw-repro/src/bin/extension_perport.rs:

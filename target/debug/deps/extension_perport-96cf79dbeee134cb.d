@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extension_perport-96cf79dbeee134cb.d: crates/pw-repro/src/bin/extension_perport.rs
+
+/root/repo/target/debug/deps/libextension_perport-96cf79dbeee134cb.rmeta: crates/pw-repro/src/bin/extension_perport.rs
+
+crates/pw-repro/src/bin/extension_perport.rs:

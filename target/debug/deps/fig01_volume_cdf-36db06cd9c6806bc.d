@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_volume_cdf-36db06cd9c6806bc.d: crates/pw-repro/src/bin/fig01_volume_cdf.rs
+
+/root/repo/target/debug/deps/libfig01_volume_cdf-36db06cd9c6806bc.rmeta: crates/pw-repro/src/bin/fig01_volume_cdf.rs
+
+crates/pw-repro/src/bin/fig01_volume_cdf.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01_volume_cdf-454229128fef2c4a.d: crates/pw-repro/src/bin/fig01_volume_cdf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01_volume_cdf-454229128fef2c4a.rmeta: crates/pw-repro/src/bin/fig01_volume_cdf.rs Cargo.toml
+
+crates/pw-repro/src/bin/fig01_volume_cdf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_volume_cdf-9272f6fc716600a9.d: crates/pw-repro/src/bin/fig01_volume_cdf.rs
+
+/root/repo/target/debug/deps/libfig01_volume_cdf-9272f6fc716600a9.rmeta: crates/pw-repro/src/bin/fig01_volume_cdf.rs
+
+crates/pw-repro/src/bin/fig01_volume_cdf.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02_new_ips-0f2ae6702b6b3425.d: crates/pw-repro/src/bin/fig02_new_ips.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02_new_ips-0f2ae6702b6b3425.rmeta: crates/pw-repro/src/bin/fig02_new_ips.rs Cargo.toml
+
+crates/pw-repro/src/bin/fig02_new_ips.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_new_ips-5c6897a049f22bb0.d: crates/pw-repro/src/bin/fig02_new_ips.rs
+
+/root/repo/target/debug/deps/libfig02_new_ips-5c6897a049f22bb0.rmeta: crates/pw-repro/src/bin/fig02_new_ips.rs
+
+crates/pw-repro/src/bin/fig02_new_ips.rs:

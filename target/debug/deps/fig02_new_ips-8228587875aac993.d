@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_new_ips-8228587875aac993.d: crates/pw-repro/src/bin/fig02_new_ips.rs
+
+/root/repo/target/debug/deps/libfig02_new_ips-8228587875aac993.rmeta: crates/pw-repro/src/bin/fig02_new_ips.rs
+
+crates/pw-repro/src/bin/fig02_new_ips.rs:

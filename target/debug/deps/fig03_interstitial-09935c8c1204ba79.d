@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig03_interstitial-09935c8c1204ba79.d: crates/pw-repro/src/bin/fig03_interstitial.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig03_interstitial-09935c8c1204ba79.rmeta: crates/pw-repro/src/bin/fig03_interstitial.rs Cargo.toml
+
+crates/pw-repro/src/bin/fig03_interstitial.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

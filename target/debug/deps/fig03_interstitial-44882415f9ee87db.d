@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_interstitial-44882415f9ee87db.d: crates/pw-repro/src/bin/fig03_interstitial.rs
+
+/root/repo/target/debug/deps/libfig03_interstitial-44882415f9ee87db.rmeta: crates/pw-repro/src/bin/fig03_interstitial.rs
+
+crates/pw-repro/src/bin/fig03_interstitial.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_interstitial-86ab116fc9f0df7b.d: crates/pw-repro/src/bin/fig03_interstitial.rs
+
+/root/repo/target/debug/deps/libfig03_interstitial-86ab116fc9f0df7b.rmeta: crates/pw-repro/src/bin/fig03_interstitial.rs
+
+crates/pw-repro/src/bin/fig03_interstitial.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05_failed_cdf-3df3ad4fd0b1e061.d: crates/pw-repro/src/bin/fig05_failed_cdf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05_failed_cdf-3df3ad4fd0b1e061.rmeta: crates/pw-repro/src/bin/fig05_failed_cdf.rs Cargo.toml
+
+crates/pw-repro/src/bin/fig05_failed_cdf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

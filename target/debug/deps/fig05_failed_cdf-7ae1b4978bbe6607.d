@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_failed_cdf-7ae1b4978bbe6607.d: crates/pw-repro/src/bin/fig05_failed_cdf.rs
+
+/root/repo/target/debug/deps/libfig05_failed_cdf-7ae1b4978bbe6607.rmeta: crates/pw-repro/src/bin/fig05_failed_cdf.rs
+
+crates/pw-repro/src/bin/fig05_failed_cdf.rs:

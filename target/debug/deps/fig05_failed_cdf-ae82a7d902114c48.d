@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_failed_cdf-ae82a7d902114c48.d: crates/pw-repro/src/bin/fig05_failed_cdf.rs
+
+/root/repo/target/debug/deps/libfig05_failed_cdf-ae82a7d902114c48.rmeta: crates/pw-repro/src/bin/fig05_failed_cdf.rs
+
+crates/pw-repro/src/bin/fig05_failed_cdf.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_roc_volume-3103a48dbfa0070e.d: crates/pw-repro/src/bin/fig06_roc_volume.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_roc_volume-3103a48dbfa0070e.rmeta: crates/pw-repro/src/bin/fig06_roc_volume.rs Cargo.toml
+
+crates/pw-repro/src/bin/fig06_roc_volume.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

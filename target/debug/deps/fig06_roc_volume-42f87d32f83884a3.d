@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_roc_volume-42f87d32f83884a3.d: crates/pw-repro/src/bin/fig06_roc_volume.rs
+
+/root/repo/target/debug/deps/libfig06_roc_volume-42f87d32f83884a3.rmeta: crates/pw-repro/src/bin/fig06_roc_volume.rs
+
+crates/pw-repro/src/bin/fig06_roc_volume.rs:

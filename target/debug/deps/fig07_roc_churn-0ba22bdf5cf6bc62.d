@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_roc_churn-0ba22bdf5cf6bc62.d: crates/pw-repro/src/bin/fig07_roc_churn.rs
+
+/root/repo/target/debug/deps/libfig07_roc_churn-0ba22bdf5cf6bc62.rmeta: crates/pw-repro/src/bin/fig07_roc_churn.rs
+
+crates/pw-repro/src/bin/fig07_roc_churn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_roc_churn-d51d9999d7b49aba.d: crates/pw-repro/src/bin/fig07_roc_churn.rs
+
+/root/repo/target/debug/deps/libfig07_roc_churn-d51d9999d7b49aba.rmeta: crates/pw-repro/src/bin/fig07_roc_churn.rs
+
+crates/pw-repro/src/bin/fig07_roc_churn.rs:

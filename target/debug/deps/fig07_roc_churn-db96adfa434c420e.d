@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_roc_churn-db96adfa434c420e.d: crates/pw-repro/src/bin/fig07_roc_churn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_roc_churn-db96adfa434c420e.rmeta: crates/pw-repro/src/bin/fig07_roc_churn.rs Cargo.toml
+
+crates/pw-repro/src/bin/fig07_roc_churn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

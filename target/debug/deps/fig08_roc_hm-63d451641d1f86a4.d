@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_roc_hm-63d451641d1f86a4.d: crates/pw-repro/src/bin/fig08_roc_hm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_roc_hm-63d451641d1f86a4.rmeta: crates/pw-repro/src/bin/fig08_roc_hm.rs Cargo.toml
+
+crates/pw-repro/src/bin/fig08_roc_hm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

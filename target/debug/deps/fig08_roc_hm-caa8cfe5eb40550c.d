@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_roc_hm-caa8cfe5eb40550c.d: crates/pw-repro/src/bin/fig08_roc_hm.rs
+
+/root/repo/target/debug/deps/libfig08_roc_hm-caa8cfe5eb40550c.rmeta: crates/pw-repro/src/bin/fig08_roc_hm.rs
+
+crates/pw-repro/src/bin/fig08_roc_hm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_roc_hm-d1140bd86114e5bc.d: crates/pw-repro/src/bin/fig08_roc_hm.rs
+
+/root/repo/target/debug/deps/libfig08_roc_hm-d1140bd86114e5bc.rmeta: crates/pw-repro/src/bin/fig08_roc_hm.rs
+
+crates/pw-repro/src/bin/fig08_roc_hm.rs:

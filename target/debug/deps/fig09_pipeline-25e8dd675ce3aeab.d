@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_pipeline-25e8dd675ce3aeab.d: crates/pw-repro/src/bin/fig09_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_pipeline-25e8dd675ce3aeab.rmeta: crates/pw-repro/src/bin/fig09_pipeline.rs Cargo.toml
+
+crates/pw-repro/src/bin/fig09_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_pipeline-42f98818c2d69b90.d: crates/pw-repro/src/bin/fig09_pipeline.rs
+
+/root/repo/target/debug/deps/libfig09_pipeline-42f98818c2d69b90.rmeta: crates/pw-repro/src/bin/fig09_pipeline.rs
+
+crates/pw-repro/src/bin/fig09_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_pipeline-f515374c8e1e9971.d: crates/pw-repro/src/bin/fig09_pipeline.rs
+
+/root/repo/target/debug/deps/libfig09_pipeline-f515374c8e1e9971.rmeta: crates/pw-repro/src/bin/fig09_pipeline.rs
+
+crates/pw-repro/src/bin/fig09_pipeline.rs:

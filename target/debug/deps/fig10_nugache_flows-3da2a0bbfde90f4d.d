@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_nugache_flows-3da2a0bbfde90f4d.d: crates/pw-repro/src/bin/fig10_nugache_flows.rs
+
+/root/repo/target/debug/deps/libfig10_nugache_flows-3da2a0bbfde90f4d.rmeta: crates/pw-repro/src/bin/fig10_nugache_flows.rs
+
+crates/pw-repro/src/bin/fig10_nugache_flows.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_nugache_flows-a2080abd50888e0b.d: crates/pw-repro/src/bin/fig10_nugache_flows.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_nugache_flows-a2080abd50888e0b.rmeta: crates/pw-repro/src/bin/fig10_nugache_flows.rs Cargo.toml
+
+crates/pw-repro/src/bin/fig10_nugache_flows.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

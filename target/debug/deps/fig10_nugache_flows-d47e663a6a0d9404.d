@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_nugache_flows-d47e663a6a0d9404.d: crates/pw-repro/src/bin/fig10_nugache_flows.rs
+
+/root/repo/target/debug/deps/libfig10_nugache_flows-d47e663a6a0d9404.rmeta: crates/pw-repro/src/bin/fig10_nugache_flows.rs
+
+crates/pw-repro/src/bin/fig10_nugache_flows.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_evasion_thresholds-102a707ce459d562.d: crates/pw-repro/src/bin/fig11_evasion_thresholds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_evasion_thresholds-102a707ce459d562.rmeta: crates/pw-repro/src/bin/fig11_evasion_thresholds.rs Cargo.toml
+
+crates/pw-repro/src/bin/fig11_evasion_thresholds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_evasion_thresholds-1411e1dcb37d3412.d: crates/pw-repro/src/bin/fig11_evasion_thresholds.rs
+
+/root/repo/target/debug/deps/libfig11_evasion_thresholds-1411e1dcb37d3412.rmeta: crates/pw-repro/src/bin/fig11_evasion_thresholds.rs
+
+crates/pw-repro/src/bin/fig11_evasion_thresholds.rs:

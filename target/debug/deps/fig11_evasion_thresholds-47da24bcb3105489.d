@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_evasion_thresholds-47da24bcb3105489.d: crates/pw-repro/src/bin/fig11_evasion_thresholds.rs
+
+/root/repo/target/debug/deps/libfig11_evasion_thresholds-47da24bcb3105489.rmeta: crates/pw-repro/src/bin/fig11_evasion_thresholds.rs
+
+crates/pw-repro/src/bin/fig11_evasion_thresholds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_jitter_decay-1af81d6f5d7ff25e.d: crates/pw-repro/src/bin/fig12_jitter_decay.rs
+
+/root/repo/target/debug/deps/libfig12_jitter_decay-1af81d6f5d7ff25e.rmeta: crates/pw-repro/src/bin/fig12_jitter_decay.rs
+
+crates/pw-repro/src/bin/fig12_jitter_decay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_jitter_decay-d13c0bae53ba41cc.d: crates/pw-repro/src/bin/fig12_jitter_decay.rs
+
+/root/repo/target/debug/deps/libfig12_jitter_decay-d13c0bae53ba41cc.rmeta: crates/pw-repro/src/bin/fig12_jitter_decay.rs
+
+crates/pw-repro/src/bin/fig12_jitter_decay.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_jitter_decay-e388e19fa33bc586.d: crates/pw-repro/src/bin/fig12_jitter_decay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_jitter_decay-e388e19fa33bc586.rmeta: crates/pw-repro/src/bin/fig12_jitter_decay.rs Cargo.toml
+
+crates/pw-repro/src/bin/fig12_jitter_decay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

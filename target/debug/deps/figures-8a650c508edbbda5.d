@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures-8a650c508edbbda5.d: crates/pw-bench/benches/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures-8a650c508edbbda5.rmeta: crates/pw-bench/benches/figures.rs Cargo.toml
+
+crates/pw-bench/benches/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

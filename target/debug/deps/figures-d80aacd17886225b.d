@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-d80aacd17886225b.d: crates/pw-bench/benches/figures.rs
+
+/root/repo/target/debug/deps/libfigures-d80aacd17886225b.rmeta: crates/pw-bench/benches/figures.rs
+
+crates/pw-bench/benches/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/findplotters-1b5db06ee297da0e.d: src/bin/findplotters.rs
+
+/root/repo/target/debug/deps/libfindplotters-1b5db06ee297da0e.rmeta: src/bin/findplotters.rs
+
+src/bin/findplotters.rs:

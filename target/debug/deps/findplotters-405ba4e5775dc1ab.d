@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/findplotters-405ba4e5775dc1ab.d: src/bin/findplotters.rs
+
+/root/repo/target/debug/deps/findplotters-405ba4e5775dc1ab: src/bin/findplotters.rs
+
+src/bin/findplotters.rs:

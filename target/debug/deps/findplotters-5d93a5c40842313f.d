@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/findplotters-5d93a5c40842313f.d: src/bin/findplotters.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfindplotters-5d93a5c40842313f.rmeta: src/bin/findplotters.rs Cargo.toml
+
+src/bin/findplotters.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

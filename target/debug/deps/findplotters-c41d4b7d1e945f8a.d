@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/findplotters-c41d4b7d1e945f8a.d: src/bin/findplotters.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfindplotters-c41d4b7d1e945f8a.rmeta: src/bin/findplotters.rs Cargo.toml
+
+src/bin/findplotters.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

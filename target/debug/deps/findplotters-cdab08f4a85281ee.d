@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/findplotters-cdab08f4a85281ee.d: src/bin/findplotters.rs
+
+/root/repo/target/debug/deps/findplotters-cdab08f4a85281ee: src/bin/findplotters.rs
+
+src/bin/findplotters.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/findplotters-dcb0f6c8b3d5f43a.d: src/bin/findplotters.rs
+
+/root/repo/target/debug/deps/libfindplotters-dcb0f6c8b3d5f43a.rmeta: src/bin/findplotters.rs
+
+src/bin/findplotters.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flow-0c3d209c5d4e5a94.d: crates/pw-bench/benches/flow.rs
+
+/root/repo/target/debug/deps/libflow-0c3d209c5d4e5a94.rmeta: crates/pw-bench/benches/flow.rs
+
+crates/pw-bench/benches/flow.rs:

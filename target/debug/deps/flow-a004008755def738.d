@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flow-a004008755def738.d: crates/pw-bench/benches/flow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflow-a004008755def738.rmeta: crates/pw-bench/benches/flow.rs Cargo.toml
+
+crates/pw-bench/benches/flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

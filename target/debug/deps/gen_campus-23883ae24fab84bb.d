@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gen_campus-23883ae24fab84bb.d: src/bin/gen-campus.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgen_campus-23883ae24fab84bb.rmeta: src/bin/gen-campus.rs Cargo.toml
+
+src/bin/gen-campus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

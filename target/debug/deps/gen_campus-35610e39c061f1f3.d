@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gen_campus-35610e39c061f1f3.d: src/bin/gen-campus.rs
+
+/root/repo/target/debug/deps/gen_campus-35610e39c061f1f3: src/bin/gen-campus.rs
+
+src/bin/gen-campus.rs:

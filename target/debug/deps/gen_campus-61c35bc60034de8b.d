@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gen_campus-61c35bc60034de8b.d: src/bin/gen-campus.rs
+
+/root/repo/target/debug/deps/libgen_campus-61c35bc60034de8b.rmeta: src/bin/gen-campus.rs
+
+src/bin/gen-campus.rs:

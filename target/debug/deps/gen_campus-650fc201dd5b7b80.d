@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gen_campus-650fc201dd5b7b80.d: src/bin/gen-campus.rs
+
+/root/repo/target/debug/deps/gen_campus-650fc201dd5b7b80: src/bin/gen-campus.rs
+
+src/bin/gen-campus.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gen_campus-b53e45cbc66603ea.d: src/bin/gen-campus.rs
+
+/root/repo/target/debug/deps/libgen_campus-b53e45cbc66603ea.rmeta: src/bin/gen-campus.rs
+
+src/bin/gen-campus.rs:

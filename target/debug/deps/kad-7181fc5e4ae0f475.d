@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kad-7181fc5e4ae0f475.d: crates/pw-bench/benches/kad.rs
+
+/root/repo/target/debug/deps/libkad-7181fc5e4ae0f475.rmeta: crates/pw-bench/benches/kad.rs
+
+crates/pw-bench/benches/kad.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kad-a8ab4995fdfc212c.d: crates/pw-bench/benches/kad.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkad-a8ab4995fdfc212c.rmeta: crates/pw-bench/benches/kad.rs Cargo.toml
+
+crates/pw-bench/benches/kad.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

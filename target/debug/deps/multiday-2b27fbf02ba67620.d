@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multiday-2b27fbf02ba67620.d: crates/pw-repro/src/bin/multiday.rs
+
+/root/repo/target/debug/deps/libmultiday-2b27fbf02ba67620.rmeta: crates/pw-repro/src/bin/multiday.rs
+
+crates/pw-repro/src/bin/multiday.rs:

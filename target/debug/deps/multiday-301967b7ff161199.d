@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multiday-301967b7ff161199.d: crates/pw-repro/src/bin/multiday.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmultiday-301967b7ff161199.rmeta: crates/pw-repro/src/bin/multiday.rs Cargo.toml
+
+crates/pw-repro/src/bin/multiday.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

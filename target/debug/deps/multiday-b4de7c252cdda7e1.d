@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multiday-b4de7c252cdda7e1.d: crates/pw-repro/src/bin/multiday.rs
+
+/root/repo/target/debug/deps/libmultiday-b4de7c252cdda7e1.rmeta: crates/pw-repro/src/bin/multiday.rs
+
+crates/pw-repro/src/bin/multiday.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/peerwatch-2612b66b13141e98.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpeerwatch-2612b66b13141e98.rmeta: src/lib.rs
+
+src/lib.rs:

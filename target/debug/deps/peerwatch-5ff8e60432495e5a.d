@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/peerwatch-5ff8e60432495e5a.d: src/lib.rs
+
+/root/repo/target/debug/deps/peerwatch-5ff8e60432495e5a: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/peerwatch-6219ae5f2339f730.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpeerwatch-6219ae5f2339f730.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/peerwatch-925d2f9e3400f01d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpeerwatch-925d2f9e3400f01d.rmeta: src/lib.rs
+
+src/lib.rs:

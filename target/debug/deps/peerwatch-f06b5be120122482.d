@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/peerwatch-f06b5be120122482.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpeerwatch-f06b5be120122482.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpeerwatch-f06b5be120122482.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-5e68e57672bb5cf9.d: .devstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-5e68e57672bb5cf9.rlib: .devstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-5e68e57672bb5cf9.rmeta: .devstubs/proptest/src/lib.rs
+
+.devstubs/proptest/src/lib.rs:

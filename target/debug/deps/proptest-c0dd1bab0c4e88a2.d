@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-c0dd1bab0c4e88a2.d: .devstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-c0dd1bab0c4e88a2.rmeta: .devstubs/proptest/src/lib.rs
+
+.devstubs/proptest/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pw_analysis-18d383e82d099348.d: crates/pw-analysis/src/lib.rs crates/pw-analysis/src/cdf.rs crates/pw-analysis/src/cluster.rs crates/pw-analysis/src/emd.rs crates/pw-analysis/src/hist.rs crates/pw-analysis/src/roc.rs crates/pw-analysis/src/stats.rs
+
+/root/repo/target/debug/deps/libpw_analysis-18d383e82d099348.rlib: crates/pw-analysis/src/lib.rs crates/pw-analysis/src/cdf.rs crates/pw-analysis/src/cluster.rs crates/pw-analysis/src/emd.rs crates/pw-analysis/src/hist.rs crates/pw-analysis/src/roc.rs crates/pw-analysis/src/stats.rs
+
+/root/repo/target/debug/deps/libpw_analysis-18d383e82d099348.rmeta: crates/pw-analysis/src/lib.rs crates/pw-analysis/src/cdf.rs crates/pw-analysis/src/cluster.rs crates/pw-analysis/src/emd.rs crates/pw-analysis/src/hist.rs crates/pw-analysis/src/roc.rs crates/pw-analysis/src/stats.rs
+
+crates/pw-analysis/src/lib.rs:
+crates/pw-analysis/src/cdf.rs:
+crates/pw-analysis/src/cluster.rs:
+crates/pw-analysis/src/emd.rs:
+crates/pw-analysis/src/hist.rs:
+crates/pw-analysis/src/roc.rs:
+crates/pw-analysis/src/stats.rs:

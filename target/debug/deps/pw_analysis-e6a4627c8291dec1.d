@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pw_analysis-e6a4627c8291dec1.d: crates/pw-analysis/src/lib.rs crates/pw-analysis/src/cdf.rs crates/pw-analysis/src/cluster.rs crates/pw-analysis/src/emd.rs crates/pw-analysis/src/hist.rs crates/pw-analysis/src/roc.rs crates/pw-analysis/src/stats.rs
+
+/root/repo/target/debug/deps/libpw_analysis-e6a4627c8291dec1.rmeta: crates/pw-analysis/src/lib.rs crates/pw-analysis/src/cdf.rs crates/pw-analysis/src/cluster.rs crates/pw-analysis/src/emd.rs crates/pw-analysis/src/hist.rs crates/pw-analysis/src/roc.rs crates/pw-analysis/src/stats.rs
+
+crates/pw-analysis/src/lib.rs:
+crates/pw-analysis/src/cdf.rs:
+crates/pw-analysis/src/cluster.rs:
+crates/pw-analysis/src/emd.rs:
+crates/pw-analysis/src/hist.rs:
+crates/pw-analysis/src/roc.rs:
+crates/pw-analysis/src/stats.rs:

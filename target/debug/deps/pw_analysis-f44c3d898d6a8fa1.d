@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pw_analysis-f44c3d898d6a8fa1.d: crates/pw-analysis/src/lib.rs crates/pw-analysis/src/cdf.rs crates/pw-analysis/src/cluster.rs crates/pw-analysis/src/emd.rs crates/pw-analysis/src/hist.rs crates/pw-analysis/src/roc.rs crates/pw-analysis/src/stats.rs
+
+/root/repo/target/debug/deps/libpw_analysis-f44c3d898d6a8fa1.rmeta: crates/pw-analysis/src/lib.rs crates/pw-analysis/src/cdf.rs crates/pw-analysis/src/cluster.rs crates/pw-analysis/src/emd.rs crates/pw-analysis/src/hist.rs crates/pw-analysis/src/roc.rs crates/pw-analysis/src/stats.rs
+
+crates/pw-analysis/src/lib.rs:
+crates/pw-analysis/src/cdf.rs:
+crates/pw-analysis/src/cluster.rs:
+crates/pw-analysis/src/emd.rs:
+crates/pw-analysis/src/hist.rs:
+crates/pw-analysis/src/roc.rs:
+crates/pw-analysis/src/stats.rs:

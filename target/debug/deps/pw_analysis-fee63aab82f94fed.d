@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pw_analysis-fee63aab82f94fed.d: crates/pw-analysis/src/lib.rs crates/pw-analysis/src/cdf.rs crates/pw-analysis/src/cluster.rs crates/pw-analysis/src/emd.rs crates/pw-analysis/src/hist.rs crates/pw-analysis/src/roc.rs crates/pw-analysis/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpw_analysis-fee63aab82f94fed.rmeta: crates/pw-analysis/src/lib.rs crates/pw-analysis/src/cdf.rs crates/pw-analysis/src/cluster.rs crates/pw-analysis/src/emd.rs crates/pw-analysis/src/hist.rs crates/pw-analysis/src/roc.rs crates/pw-analysis/src/stats.rs Cargo.toml
+
+crates/pw-analysis/src/lib.rs:
+crates/pw-analysis/src/cdf.rs:
+crates/pw-analysis/src/cluster.rs:
+crates/pw-analysis/src/emd.rs:
+crates/pw-analysis/src/hist.rs:
+crates/pw-analysis/src/roc.rs:
+crates/pw-analysis/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

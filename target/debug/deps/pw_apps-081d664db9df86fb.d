@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pw_apps-081d664db9df86fb.d: crates/pw-apps/src/lib.rs crates/pw-apps/src/daemons.rs crates/pw-apps/src/mail.rs crates/pw-apps/src/media.rs crates/pw-apps/src/model.rs crates/pw-apps/src/shell.rs crates/pw-apps/src/web.rs
+
+/root/repo/target/debug/deps/libpw_apps-081d664db9df86fb.rlib: crates/pw-apps/src/lib.rs crates/pw-apps/src/daemons.rs crates/pw-apps/src/mail.rs crates/pw-apps/src/media.rs crates/pw-apps/src/model.rs crates/pw-apps/src/shell.rs crates/pw-apps/src/web.rs
+
+/root/repo/target/debug/deps/libpw_apps-081d664db9df86fb.rmeta: crates/pw-apps/src/lib.rs crates/pw-apps/src/daemons.rs crates/pw-apps/src/mail.rs crates/pw-apps/src/media.rs crates/pw-apps/src/model.rs crates/pw-apps/src/shell.rs crates/pw-apps/src/web.rs
+
+crates/pw-apps/src/lib.rs:
+crates/pw-apps/src/daemons.rs:
+crates/pw-apps/src/mail.rs:
+crates/pw-apps/src/media.rs:
+crates/pw-apps/src/model.rs:
+crates/pw-apps/src/shell.rs:
+crates/pw-apps/src/web.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pw_apps-089ce49fe6cc1839.d: crates/pw-apps/src/lib.rs crates/pw-apps/src/daemons.rs crates/pw-apps/src/mail.rs crates/pw-apps/src/media.rs crates/pw-apps/src/model.rs crates/pw-apps/src/shell.rs crates/pw-apps/src/web.rs
+
+/root/repo/target/debug/deps/libpw_apps-089ce49fe6cc1839.rmeta: crates/pw-apps/src/lib.rs crates/pw-apps/src/daemons.rs crates/pw-apps/src/mail.rs crates/pw-apps/src/media.rs crates/pw-apps/src/model.rs crates/pw-apps/src/shell.rs crates/pw-apps/src/web.rs
+
+crates/pw-apps/src/lib.rs:
+crates/pw-apps/src/daemons.rs:
+crates/pw-apps/src/mail.rs:
+crates/pw-apps/src/media.rs:
+crates/pw-apps/src/model.rs:
+crates/pw-apps/src/shell.rs:
+crates/pw-apps/src/web.rs:

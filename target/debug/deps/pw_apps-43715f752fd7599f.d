@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pw_apps-43715f752fd7599f.d: crates/pw-apps/src/lib.rs crates/pw-apps/src/daemons.rs crates/pw-apps/src/mail.rs crates/pw-apps/src/media.rs crates/pw-apps/src/model.rs crates/pw-apps/src/shell.rs crates/pw-apps/src/web.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpw_apps-43715f752fd7599f.rmeta: crates/pw-apps/src/lib.rs crates/pw-apps/src/daemons.rs crates/pw-apps/src/mail.rs crates/pw-apps/src/media.rs crates/pw-apps/src/model.rs crates/pw-apps/src/shell.rs crates/pw-apps/src/web.rs Cargo.toml
+
+crates/pw-apps/src/lib.rs:
+crates/pw-apps/src/daemons.rs:
+crates/pw-apps/src/mail.rs:
+crates/pw-apps/src/media.rs:
+crates/pw-apps/src/model.rs:
+crates/pw-apps/src/shell.rs:
+crates/pw-apps/src/web.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

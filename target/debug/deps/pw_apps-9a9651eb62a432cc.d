@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pw_apps-9a9651eb62a432cc.d: crates/pw-apps/src/lib.rs crates/pw-apps/src/daemons.rs crates/pw-apps/src/mail.rs crates/pw-apps/src/media.rs crates/pw-apps/src/model.rs crates/pw-apps/src/shell.rs crates/pw-apps/src/web.rs
+
+/root/repo/target/debug/deps/pw_apps-9a9651eb62a432cc: crates/pw-apps/src/lib.rs crates/pw-apps/src/daemons.rs crates/pw-apps/src/mail.rs crates/pw-apps/src/media.rs crates/pw-apps/src/model.rs crates/pw-apps/src/shell.rs crates/pw-apps/src/web.rs
+
+crates/pw-apps/src/lib.rs:
+crates/pw-apps/src/daemons.rs:
+crates/pw-apps/src/mail.rs:
+crates/pw-apps/src/media.rs:
+crates/pw-apps/src/model.rs:
+crates/pw-apps/src/shell.rs:
+crates/pw-apps/src/web.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pw_bench-194236e25a9f3162.d: crates/pw-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpw_bench-194236e25a9f3162.rmeta: crates/pw-bench/src/lib.rs
+
+crates/pw-bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pw_bench-c21a6454ffa0b699.d: crates/pw-bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpw_bench-c21a6454ffa0b699.rmeta: crates/pw-bench/src/lib.rs Cargo.toml
+
+crates/pw-bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pw_bench-e769a0f9caee2cea.d: crates/pw-bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpw_bench-e769a0f9caee2cea.rmeta: crates/pw-bench/src/lib.rs Cargo.toml
+
+crates/pw-bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

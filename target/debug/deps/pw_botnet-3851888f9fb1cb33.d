@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pw_botnet-3851888f9fb1cb33.d: crates/pw-botnet/src/lib.rs crates/pw-botnet/src/evasion.rs crates/pw-botnet/src/nugache.rs crates/pw-botnet/src/storm.rs crates/pw-botnet/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpw_botnet-3851888f9fb1cb33.rmeta: crates/pw-botnet/src/lib.rs crates/pw-botnet/src/evasion.rs crates/pw-botnet/src/nugache.rs crates/pw-botnet/src/storm.rs crates/pw-botnet/src/trace.rs Cargo.toml
+
+crates/pw-botnet/src/lib.rs:
+crates/pw-botnet/src/evasion.rs:
+crates/pw-botnet/src/nugache.rs:
+crates/pw-botnet/src/storm.rs:
+crates/pw-botnet/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

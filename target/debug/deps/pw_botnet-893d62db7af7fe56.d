@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pw_botnet-893d62db7af7fe56.d: crates/pw-botnet/src/lib.rs crates/pw-botnet/src/evasion.rs crates/pw-botnet/src/nugache.rs crates/pw-botnet/src/storm.rs crates/pw-botnet/src/trace.rs
+
+/root/repo/target/debug/deps/libpw_botnet-893d62db7af7fe56.rlib: crates/pw-botnet/src/lib.rs crates/pw-botnet/src/evasion.rs crates/pw-botnet/src/nugache.rs crates/pw-botnet/src/storm.rs crates/pw-botnet/src/trace.rs
+
+/root/repo/target/debug/deps/libpw_botnet-893d62db7af7fe56.rmeta: crates/pw-botnet/src/lib.rs crates/pw-botnet/src/evasion.rs crates/pw-botnet/src/nugache.rs crates/pw-botnet/src/storm.rs crates/pw-botnet/src/trace.rs
+
+crates/pw-botnet/src/lib.rs:
+crates/pw-botnet/src/evasion.rs:
+crates/pw-botnet/src/nugache.rs:
+crates/pw-botnet/src/storm.rs:
+crates/pw-botnet/src/trace.rs:

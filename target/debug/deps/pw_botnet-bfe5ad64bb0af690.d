@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pw_botnet-bfe5ad64bb0af690.d: crates/pw-botnet/src/lib.rs crates/pw-botnet/src/evasion.rs crates/pw-botnet/src/nugache.rs crates/pw-botnet/src/storm.rs crates/pw-botnet/src/trace.rs
+
+/root/repo/target/debug/deps/pw_botnet-bfe5ad64bb0af690: crates/pw-botnet/src/lib.rs crates/pw-botnet/src/evasion.rs crates/pw-botnet/src/nugache.rs crates/pw-botnet/src/storm.rs crates/pw-botnet/src/trace.rs
+
+crates/pw-botnet/src/lib.rs:
+crates/pw-botnet/src/evasion.rs:
+crates/pw-botnet/src/nugache.rs:
+crates/pw-botnet/src/storm.rs:
+crates/pw-botnet/src/trace.rs:

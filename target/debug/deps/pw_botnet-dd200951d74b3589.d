@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pw_botnet-dd200951d74b3589.d: crates/pw-botnet/src/lib.rs crates/pw-botnet/src/evasion.rs crates/pw-botnet/src/nugache.rs crates/pw-botnet/src/storm.rs crates/pw-botnet/src/trace.rs
+
+/root/repo/target/debug/deps/libpw_botnet-dd200951d74b3589.rmeta: crates/pw-botnet/src/lib.rs crates/pw-botnet/src/evasion.rs crates/pw-botnet/src/nugache.rs crates/pw-botnet/src/storm.rs crates/pw-botnet/src/trace.rs
+
+crates/pw-botnet/src/lib.rs:
+crates/pw-botnet/src/evasion.rs:
+crates/pw-botnet/src/nugache.rs:
+crates/pw-botnet/src/storm.rs:
+crates/pw-botnet/src/trace.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pw_data-250291e5817de8a3.d: crates/pw-data/src/lib.rs crates/pw-data/src/campus.rs crates/pw-data/src/experiment.rs crates/pw-data/src/labels.rs crates/pw-data/src/overlay.rs crates/pw-data/src/persist.rs
+
+/root/repo/target/debug/deps/libpw_data-250291e5817de8a3.rmeta: crates/pw-data/src/lib.rs crates/pw-data/src/campus.rs crates/pw-data/src/experiment.rs crates/pw-data/src/labels.rs crates/pw-data/src/overlay.rs crates/pw-data/src/persist.rs
+
+crates/pw-data/src/lib.rs:
+crates/pw-data/src/campus.rs:
+crates/pw-data/src/experiment.rs:
+crates/pw-data/src/labels.rs:
+crates/pw-data/src/overlay.rs:
+crates/pw-data/src/persist.rs:

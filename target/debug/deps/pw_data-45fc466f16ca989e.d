@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pw_data-45fc466f16ca989e.d: crates/pw-data/src/lib.rs crates/pw-data/src/campus.rs crates/pw-data/src/experiment.rs crates/pw-data/src/labels.rs crates/pw-data/src/overlay.rs crates/pw-data/src/persist.rs
+
+/root/repo/target/debug/deps/pw_data-45fc466f16ca989e: crates/pw-data/src/lib.rs crates/pw-data/src/campus.rs crates/pw-data/src/experiment.rs crates/pw-data/src/labels.rs crates/pw-data/src/overlay.rs crates/pw-data/src/persist.rs
+
+crates/pw-data/src/lib.rs:
+crates/pw-data/src/campus.rs:
+crates/pw-data/src/experiment.rs:
+crates/pw-data/src/labels.rs:
+crates/pw-data/src/overlay.rs:
+crates/pw-data/src/persist.rs:

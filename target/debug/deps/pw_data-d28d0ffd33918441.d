@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pw_data-d28d0ffd33918441.d: crates/pw-data/src/lib.rs crates/pw-data/src/campus.rs crates/pw-data/src/experiment.rs crates/pw-data/src/labels.rs crates/pw-data/src/overlay.rs crates/pw-data/src/persist.rs
+
+/root/repo/target/debug/deps/libpw_data-d28d0ffd33918441.rmeta: crates/pw-data/src/lib.rs crates/pw-data/src/campus.rs crates/pw-data/src/experiment.rs crates/pw-data/src/labels.rs crates/pw-data/src/overlay.rs crates/pw-data/src/persist.rs
+
+crates/pw-data/src/lib.rs:
+crates/pw-data/src/campus.rs:
+crates/pw-data/src/experiment.rs:
+crates/pw-data/src/labels.rs:
+crates/pw-data/src/overlay.rs:
+crates/pw-data/src/persist.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pw_data-d9b5897b2f9c720c.d: crates/pw-data/src/lib.rs crates/pw-data/src/campus.rs crates/pw-data/src/experiment.rs crates/pw-data/src/labels.rs crates/pw-data/src/overlay.rs crates/pw-data/src/persist.rs
+
+/root/repo/target/debug/deps/libpw_data-d9b5897b2f9c720c.rlib: crates/pw-data/src/lib.rs crates/pw-data/src/campus.rs crates/pw-data/src/experiment.rs crates/pw-data/src/labels.rs crates/pw-data/src/overlay.rs crates/pw-data/src/persist.rs
+
+/root/repo/target/debug/deps/libpw_data-d9b5897b2f9c720c.rmeta: crates/pw-data/src/lib.rs crates/pw-data/src/campus.rs crates/pw-data/src/experiment.rs crates/pw-data/src/labels.rs crates/pw-data/src/overlay.rs crates/pw-data/src/persist.rs
+
+crates/pw-data/src/lib.rs:
+crates/pw-data/src/campus.rs:
+crates/pw-data/src/experiment.rs:
+crates/pw-data/src/labels.rs:
+crates/pw-data/src/overlay.rs:
+crates/pw-data/src/persist.rs:

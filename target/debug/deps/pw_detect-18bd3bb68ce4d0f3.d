@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pw_detect-18bd3bb68ce4d0f3.d: crates/pw-detect/src/lib.rs crates/pw-detect/src/detectors.rs crates/pw-detect/src/features.rs crates/pw-detect/src/multiday.rs crates/pw-detect/src/perport.rs crates/pw-detect/src/pipeline.rs crates/pw-detect/src/rates.rs crates/pw-detect/src/reduction.rs crates/pw-detect/src/tdg.rs
+
+/root/repo/target/debug/deps/libpw_detect-18bd3bb68ce4d0f3.rmeta: crates/pw-detect/src/lib.rs crates/pw-detect/src/detectors.rs crates/pw-detect/src/features.rs crates/pw-detect/src/multiday.rs crates/pw-detect/src/perport.rs crates/pw-detect/src/pipeline.rs crates/pw-detect/src/rates.rs crates/pw-detect/src/reduction.rs crates/pw-detect/src/tdg.rs
+
+crates/pw-detect/src/lib.rs:
+crates/pw-detect/src/detectors.rs:
+crates/pw-detect/src/features.rs:
+crates/pw-detect/src/multiday.rs:
+crates/pw-detect/src/perport.rs:
+crates/pw-detect/src/pipeline.rs:
+crates/pw-detect/src/rates.rs:
+crates/pw-detect/src/reduction.rs:
+crates/pw-detect/src/tdg.rs:

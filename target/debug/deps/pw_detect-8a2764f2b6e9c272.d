@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pw_detect-8a2764f2b6e9c272.d: crates/pw-detect/src/lib.rs crates/pw-detect/src/detectors.rs crates/pw-detect/src/error.rs crates/pw-detect/src/features.rs crates/pw-detect/src/multiday.rs crates/pw-detect/src/perport.rs crates/pw-detect/src/pipeline.rs crates/pw-detect/src/rates.rs crates/pw-detect/src/reduction.rs crates/pw-detect/src/stream.rs crates/pw-detect/src/tdg.rs
+
+/root/repo/target/debug/deps/libpw_detect-8a2764f2b6e9c272.rmeta: crates/pw-detect/src/lib.rs crates/pw-detect/src/detectors.rs crates/pw-detect/src/error.rs crates/pw-detect/src/features.rs crates/pw-detect/src/multiday.rs crates/pw-detect/src/perport.rs crates/pw-detect/src/pipeline.rs crates/pw-detect/src/rates.rs crates/pw-detect/src/reduction.rs crates/pw-detect/src/stream.rs crates/pw-detect/src/tdg.rs
+
+crates/pw-detect/src/lib.rs:
+crates/pw-detect/src/detectors.rs:
+crates/pw-detect/src/error.rs:
+crates/pw-detect/src/features.rs:
+crates/pw-detect/src/multiday.rs:
+crates/pw-detect/src/perport.rs:
+crates/pw-detect/src/pipeline.rs:
+crates/pw-detect/src/rates.rs:
+crates/pw-detect/src/reduction.rs:
+crates/pw-detect/src/stream.rs:
+crates/pw-detect/src/tdg.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/pw_detect-a026ce160f0dd746.d: crates/pw-detect/src/lib.rs crates/pw-detect/src/detectors.rs crates/pw-detect/src/error.rs crates/pw-detect/src/features.rs crates/pw-detect/src/multiday.rs crates/pw-detect/src/perport.rs crates/pw-detect/src/pipeline.rs crates/pw-detect/src/rates.rs crates/pw-detect/src/reduction.rs crates/pw-detect/src/stream.rs crates/pw-detect/src/tdg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpw_detect-a026ce160f0dd746.rmeta: crates/pw-detect/src/lib.rs crates/pw-detect/src/detectors.rs crates/pw-detect/src/error.rs crates/pw-detect/src/features.rs crates/pw-detect/src/multiday.rs crates/pw-detect/src/perport.rs crates/pw-detect/src/pipeline.rs crates/pw-detect/src/rates.rs crates/pw-detect/src/reduction.rs crates/pw-detect/src/stream.rs crates/pw-detect/src/tdg.rs Cargo.toml
+
+crates/pw-detect/src/lib.rs:
+crates/pw-detect/src/detectors.rs:
+crates/pw-detect/src/error.rs:
+crates/pw-detect/src/features.rs:
+crates/pw-detect/src/multiday.rs:
+crates/pw-detect/src/perport.rs:
+crates/pw-detect/src/pipeline.rs:
+crates/pw-detect/src/rates.rs:
+crates/pw-detect/src/reduction.rs:
+crates/pw-detect/src/stream.rs:
+crates/pw-detect/src/tdg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pw_detect-fb6815c3d89167d6.d: crates/pw-detect/src/lib.rs crates/pw-detect/src/detectors.rs crates/pw-detect/src/error.rs crates/pw-detect/src/features.rs crates/pw-detect/src/multiday.rs crates/pw-detect/src/perport.rs crates/pw-detect/src/pipeline.rs crates/pw-detect/src/rates.rs crates/pw-detect/src/reduction.rs crates/pw-detect/src/stream.rs crates/pw-detect/src/tdg.rs
+
+/root/repo/target/debug/deps/pw_detect-fb6815c3d89167d6: crates/pw-detect/src/lib.rs crates/pw-detect/src/detectors.rs crates/pw-detect/src/error.rs crates/pw-detect/src/features.rs crates/pw-detect/src/multiday.rs crates/pw-detect/src/perport.rs crates/pw-detect/src/pipeline.rs crates/pw-detect/src/rates.rs crates/pw-detect/src/reduction.rs crates/pw-detect/src/stream.rs crates/pw-detect/src/tdg.rs
+
+crates/pw-detect/src/lib.rs:
+crates/pw-detect/src/detectors.rs:
+crates/pw-detect/src/error.rs:
+crates/pw-detect/src/features.rs:
+crates/pw-detect/src/multiday.rs:
+crates/pw-detect/src/perport.rs:
+crates/pw-detect/src/pipeline.rs:
+crates/pw-detect/src/rates.rs:
+crates/pw-detect/src/reduction.rs:
+crates/pw-detect/src/stream.rs:
+crates/pw-detect/src/tdg.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pw_flow-6ecfda61f53acb53.d: crates/pw-flow/src/lib.rs crates/pw-flow/src/aggregator.rs crates/pw-flow/src/csvio.rs crates/pw-flow/src/packet.rs crates/pw-flow/src/record.rs crates/pw-flow/src/signatures.rs crates/pw-flow/src/synth.rs
+
+/root/repo/target/debug/deps/libpw_flow-6ecfda61f53acb53.rmeta: crates/pw-flow/src/lib.rs crates/pw-flow/src/aggregator.rs crates/pw-flow/src/csvio.rs crates/pw-flow/src/packet.rs crates/pw-flow/src/record.rs crates/pw-flow/src/signatures.rs crates/pw-flow/src/synth.rs
+
+crates/pw-flow/src/lib.rs:
+crates/pw-flow/src/aggregator.rs:
+crates/pw-flow/src/csvio.rs:
+crates/pw-flow/src/packet.rs:
+crates/pw-flow/src/record.rs:
+crates/pw-flow/src/signatures.rs:
+crates/pw-flow/src/synth.rs:

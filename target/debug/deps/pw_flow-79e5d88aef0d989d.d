@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pw_flow-79e5d88aef0d989d.d: crates/pw-flow/src/lib.rs crates/pw-flow/src/aggregator.rs crates/pw-flow/src/csvio.rs crates/pw-flow/src/packet.rs crates/pw-flow/src/record.rs crates/pw-flow/src/signatures.rs crates/pw-flow/src/synth.rs
+
+/root/repo/target/debug/deps/libpw_flow-79e5d88aef0d989d.rlib: crates/pw-flow/src/lib.rs crates/pw-flow/src/aggregator.rs crates/pw-flow/src/csvio.rs crates/pw-flow/src/packet.rs crates/pw-flow/src/record.rs crates/pw-flow/src/signatures.rs crates/pw-flow/src/synth.rs
+
+/root/repo/target/debug/deps/libpw_flow-79e5d88aef0d989d.rmeta: crates/pw-flow/src/lib.rs crates/pw-flow/src/aggregator.rs crates/pw-flow/src/csvio.rs crates/pw-flow/src/packet.rs crates/pw-flow/src/record.rs crates/pw-flow/src/signatures.rs crates/pw-flow/src/synth.rs
+
+crates/pw-flow/src/lib.rs:
+crates/pw-flow/src/aggregator.rs:
+crates/pw-flow/src/csvio.rs:
+crates/pw-flow/src/packet.rs:
+crates/pw-flow/src/record.rs:
+crates/pw-flow/src/signatures.rs:
+crates/pw-flow/src/synth.rs:

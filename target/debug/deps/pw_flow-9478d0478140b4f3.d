@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pw_flow-9478d0478140b4f3.d: crates/pw-flow/src/lib.rs crates/pw-flow/src/aggregator.rs crates/pw-flow/src/csvio.rs crates/pw-flow/src/packet.rs crates/pw-flow/src/record.rs crates/pw-flow/src/signatures.rs crates/pw-flow/src/synth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpw_flow-9478d0478140b4f3.rmeta: crates/pw-flow/src/lib.rs crates/pw-flow/src/aggregator.rs crates/pw-flow/src/csvio.rs crates/pw-flow/src/packet.rs crates/pw-flow/src/record.rs crates/pw-flow/src/signatures.rs crates/pw-flow/src/synth.rs Cargo.toml
+
+crates/pw-flow/src/lib.rs:
+crates/pw-flow/src/aggregator.rs:
+crates/pw-flow/src/csvio.rs:
+crates/pw-flow/src/packet.rs:
+crates/pw-flow/src/record.rs:
+crates/pw-flow/src/signatures.rs:
+crates/pw-flow/src/synth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

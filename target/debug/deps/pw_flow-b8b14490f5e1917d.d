@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pw_flow-b8b14490f5e1917d.d: crates/pw-flow/src/lib.rs crates/pw-flow/src/aggregator.rs crates/pw-flow/src/csvio.rs crates/pw-flow/src/packet.rs crates/pw-flow/src/record.rs crates/pw-flow/src/signatures.rs crates/pw-flow/src/synth.rs
+
+/root/repo/target/debug/deps/pw_flow-b8b14490f5e1917d: crates/pw-flow/src/lib.rs crates/pw-flow/src/aggregator.rs crates/pw-flow/src/csvio.rs crates/pw-flow/src/packet.rs crates/pw-flow/src/record.rs crates/pw-flow/src/signatures.rs crates/pw-flow/src/synth.rs
+
+crates/pw-flow/src/lib.rs:
+crates/pw-flow/src/aggregator.rs:
+crates/pw-flow/src/csvio.rs:
+crates/pw-flow/src/packet.rs:
+crates/pw-flow/src/record.rs:
+crates/pw-flow/src/signatures.rs:
+crates/pw-flow/src/synth.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pw_kad-3626b03b55442887.d: crates/pw-kad/src/lib.rs crates/pw-kad/src/id.rs crates/pw-kad/src/lookup.rs crates/pw-kad/src/messages.rs crates/pw-kad/src/routing.rs crates/pw-kad/src/sim.rs crates/pw-kad/src/wire.rs
+
+/root/repo/target/debug/deps/libpw_kad-3626b03b55442887.rmeta: crates/pw-kad/src/lib.rs crates/pw-kad/src/id.rs crates/pw-kad/src/lookup.rs crates/pw-kad/src/messages.rs crates/pw-kad/src/routing.rs crates/pw-kad/src/sim.rs crates/pw-kad/src/wire.rs
+
+crates/pw-kad/src/lib.rs:
+crates/pw-kad/src/id.rs:
+crates/pw-kad/src/lookup.rs:
+crates/pw-kad/src/messages.rs:
+crates/pw-kad/src/routing.rs:
+crates/pw-kad/src/sim.rs:
+crates/pw-kad/src/wire.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pw_kad-9cb8e2758b3f1952.d: crates/pw-kad/src/lib.rs crates/pw-kad/src/id.rs crates/pw-kad/src/lookup.rs crates/pw-kad/src/messages.rs crates/pw-kad/src/routing.rs crates/pw-kad/src/sim.rs crates/pw-kad/src/wire.rs
+
+/root/repo/target/debug/deps/libpw_kad-9cb8e2758b3f1952.rlib: crates/pw-kad/src/lib.rs crates/pw-kad/src/id.rs crates/pw-kad/src/lookup.rs crates/pw-kad/src/messages.rs crates/pw-kad/src/routing.rs crates/pw-kad/src/sim.rs crates/pw-kad/src/wire.rs
+
+/root/repo/target/debug/deps/libpw_kad-9cb8e2758b3f1952.rmeta: crates/pw-kad/src/lib.rs crates/pw-kad/src/id.rs crates/pw-kad/src/lookup.rs crates/pw-kad/src/messages.rs crates/pw-kad/src/routing.rs crates/pw-kad/src/sim.rs crates/pw-kad/src/wire.rs
+
+crates/pw-kad/src/lib.rs:
+crates/pw-kad/src/id.rs:
+crates/pw-kad/src/lookup.rs:
+crates/pw-kad/src/messages.rs:
+crates/pw-kad/src/routing.rs:
+crates/pw-kad/src/sim.rs:
+crates/pw-kad/src/wire.rs:

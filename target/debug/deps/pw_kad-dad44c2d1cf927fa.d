@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pw_kad-dad44c2d1cf927fa.d: crates/pw-kad/src/lib.rs crates/pw-kad/src/id.rs crates/pw-kad/src/lookup.rs crates/pw-kad/src/messages.rs crates/pw-kad/src/routing.rs crates/pw-kad/src/sim.rs crates/pw-kad/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpw_kad-dad44c2d1cf927fa.rmeta: crates/pw-kad/src/lib.rs crates/pw-kad/src/id.rs crates/pw-kad/src/lookup.rs crates/pw-kad/src/messages.rs crates/pw-kad/src/routing.rs crates/pw-kad/src/sim.rs crates/pw-kad/src/wire.rs Cargo.toml
+
+crates/pw-kad/src/lib.rs:
+crates/pw-kad/src/id.rs:
+crates/pw-kad/src/lookup.rs:
+crates/pw-kad/src/messages.rs:
+crates/pw-kad/src/routing.rs:
+crates/pw-kad/src/sim.rs:
+crates/pw-kad/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

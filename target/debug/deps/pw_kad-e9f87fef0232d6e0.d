@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pw_kad-e9f87fef0232d6e0.d: crates/pw-kad/src/lib.rs crates/pw-kad/src/id.rs crates/pw-kad/src/lookup.rs crates/pw-kad/src/messages.rs crates/pw-kad/src/routing.rs crates/pw-kad/src/sim.rs crates/pw-kad/src/wire.rs
+
+/root/repo/target/debug/deps/libpw_kad-e9f87fef0232d6e0.rmeta: crates/pw-kad/src/lib.rs crates/pw-kad/src/id.rs crates/pw-kad/src/lookup.rs crates/pw-kad/src/messages.rs crates/pw-kad/src/routing.rs crates/pw-kad/src/sim.rs crates/pw-kad/src/wire.rs
+
+crates/pw-kad/src/lib.rs:
+crates/pw-kad/src/id.rs:
+crates/pw-kad/src/lookup.rs:
+crates/pw-kad/src/messages.rs:
+crates/pw-kad/src/routing.rs:
+crates/pw-kad/src/sim.rs:
+crates/pw-kad/src/wire.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pw_netsim-7c080486005809fb.d: crates/pw-netsim/src/lib.rs crates/pw-netsim/src/diurnal.rs crates/pw-netsim/src/engine.rs crates/pw-netsim/src/net.rs crates/pw-netsim/src/rng.rs crates/pw-netsim/src/sampling.rs crates/pw-netsim/src/time.rs
+
+/root/repo/target/debug/deps/libpw_netsim-7c080486005809fb.rmeta: crates/pw-netsim/src/lib.rs crates/pw-netsim/src/diurnal.rs crates/pw-netsim/src/engine.rs crates/pw-netsim/src/net.rs crates/pw-netsim/src/rng.rs crates/pw-netsim/src/sampling.rs crates/pw-netsim/src/time.rs
+
+crates/pw-netsim/src/lib.rs:
+crates/pw-netsim/src/diurnal.rs:
+crates/pw-netsim/src/engine.rs:
+crates/pw-netsim/src/net.rs:
+crates/pw-netsim/src/rng.rs:
+crates/pw-netsim/src/sampling.rs:
+crates/pw-netsim/src/time.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pw_netsim-bc9419508995c8ce.d: crates/pw-netsim/src/lib.rs crates/pw-netsim/src/diurnal.rs crates/pw-netsim/src/engine.rs crates/pw-netsim/src/net.rs crates/pw-netsim/src/rng.rs crates/pw-netsim/src/sampling.rs crates/pw-netsim/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpw_netsim-bc9419508995c8ce.rmeta: crates/pw-netsim/src/lib.rs crates/pw-netsim/src/diurnal.rs crates/pw-netsim/src/engine.rs crates/pw-netsim/src/net.rs crates/pw-netsim/src/rng.rs crates/pw-netsim/src/sampling.rs crates/pw-netsim/src/time.rs Cargo.toml
+
+crates/pw-netsim/src/lib.rs:
+crates/pw-netsim/src/diurnal.rs:
+crates/pw-netsim/src/engine.rs:
+crates/pw-netsim/src/net.rs:
+crates/pw-netsim/src/rng.rs:
+crates/pw-netsim/src/sampling.rs:
+crates/pw-netsim/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pw_netsim-d6b652fb75ddd6d5.d: crates/pw-netsim/src/lib.rs crates/pw-netsim/src/diurnal.rs crates/pw-netsim/src/engine.rs crates/pw-netsim/src/net.rs crates/pw-netsim/src/rng.rs crates/pw-netsim/src/sampling.rs crates/pw-netsim/src/time.rs
+
+/root/repo/target/debug/deps/libpw_netsim-d6b652fb75ddd6d5.rlib: crates/pw-netsim/src/lib.rs crates/pw-netsim/src/diurnal.rs crates/pw-netsim/src/engine.rs crates/pw-netsim/src/net.rs crates/pw-netsim/src/rng.rs crates/pw-netsim/src/sampling.rs crates/pw-netsim/src/time.rs
+
+/root/repo/target/debug/deps/libpw_netsim-d6b652fb75ddd6d5.rmeta: crates/pw-netsim/src/lib.rs crates/pw-netsim/src/diurnal.rs crates/pw-netsim/src/engine.rs crates/pw-netsim/src/net.rs crates/pw-netsim/src/rng.rs crates/pw-netsim/src/sampling.rs crates/pw-netsim/src/time.rs
+
+crates/pw-netsim/src/lib.rs:
+crates/pw-netsim/src/diurnal.rs:
+crates/pw-netsim/src/engine.rs:
+crates/pw-netsim/src/net.rs:
+crates/pw-netsim/src/rng.rs:
+crates/pw-netsim/src/sampling.rs:
+crates/pw-netsim/src/time.rs:

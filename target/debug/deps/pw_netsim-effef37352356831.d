@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pw_netsim-effef37352356831.d: crates/pw-netsim/src/lib.rs crates/pw-netsim/src/diurnal.rs crates/pw-netsim/src/engine.rs crates/pw-netsim/src/net.rs crates/pw-netsim/src/rng.rs crates/pw-netsim/src/sampling.rs crates/pw-netsim/src/time.rs
+
+/root/repo/target/debug/deps/pw_netsim-effef37352356831: crates/pw-netsim/src/lib.rs crates/pw-netsim/src/diurnal.rs crates/pw-netsim/src/engine.rs crates/pw-netsim/src/net.rs crates/pw-netsim/src/rng.rs crates/pw-netsim/src/sampling.rs crates/pw-netsim/src/time.rs
+
+crates/pw-netsim/src/lib.rs:
+crates/pw-netsim/src/diurnal.rs:
+crates/pw-netsim/src/engine.rs:
+crates/pw-netsim/src/net.rs:
+crates/pw-netsim/src/rng.rs:
+crates/pw-netsim/src/sampling.rs:
+crates/pw-netsim/src/time.rs:

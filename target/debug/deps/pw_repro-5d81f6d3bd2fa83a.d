@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pw_repro-5d81f6d3bd2fa83a.d: crates/pw-repro/src/lib.rs crates/pw-repro/src/context.rs crates/pw-repro/src/figures.rs crates/pw-repro/src/table.rs
+
+/root/repo/target/debug/deps/libpw_repro-5d81f6d3bd2fa83a.rmeta: crates/pw-repro/src/lib.rs crates/pw-repro/src/context.rs crates/pw-repro/src/figures.rs crates/pw-repro/src/table.rs
+
+crates/pw-repro/src/lib.rs:
+crates/pw-repro/src/context.rs:
+crates/pw-repro/src/figures.rs:
+crates/pw-repro/src/table.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pw_repro-8a869084131c943d.d: crates/pw-repro/src/lib.rs crates/pw-repro/src/context.rs crates/pw-repro/src/figures.rs crates/pw-repro/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpw_repro-8a869084131c943d.rmeta: crates/pw-repro/src/lib.rs crates/pw-repro/src/context.rs crates/pw-repro/src/figures.rs crates/pw-repro/src/table.rs Cargo.toml
+
+crates/pw-repro/src/lib.rs:
+crates/pw-repro/src/context.rs:
+crates/pw-repro/src/figures.rs:
+crates/pw-repro/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pw_traders-22b76c00726ee873.d: crates/pw-traders/src/lib.rs crates/pw-traders/src/bittorrent.rs crates/pw-traders/src/catalog.rs crates/pw-traders/src/emule.rs crates/pw-traders/src/gnutella.rs crates/pw-traders/src/session.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpw_traders-22b76c00726ee873.rmeta: crates/pw-traders/src/lib.rs crates/pw-traders/src/bittorrent.rs crates/pw-traders/src/catalog.rs crates/pw-traders/src/emule.rs crates/pw-traders/src/gnutella.rs crates/pw-traders/src/session.rs Cargo.toml
+
+crates/pw-traders/src/lib.rs:
+crates/pw-traders/src/bittorrent.rs:
+crates/pw-traders/src/catalog.rs:
+crates/pw-traders/src/emule.rs:
+crates/pw-traders/src/gnutella.rs:
+crates/pw-traders/src/session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

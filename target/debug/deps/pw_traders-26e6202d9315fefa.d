@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pw_traders-26e6202d9315fefa.d: crates/pw-traders/src/lib.rs crates/pw-traders/src/bittorrent.rs crates/pw-traders/src/catalog.rs crates/pw-traders/src/emule.rs crates/pw-traders/src/gnutella.rs crates/pw-traders/src/session.rs
+
+/root/repo/target/debug/deps/libpw_traders-26e6202d9315fefa.rmeta: crates/pw-traders/src/lib.rs crates/pw-traders/src/bittorrent.rs crates/pw-traders/src/catalog.rs crates/pw-traders/src/emule.rs crates/pw-traders/src/gnutella.rs crates/pw-traders/src/session.rs
+
+crates/pw-traders/src/lib.rs:
+crates/pw-traders/src/bittorrent.rs:
+crates/pw-traders/src/catalog.rs:
+crates/pw-traders/src/emule.rs:
+crates/pw-traders/src/gnutella.rs:
+crates/pw-traders/src/session.rs:

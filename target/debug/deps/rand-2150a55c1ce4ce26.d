@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-2150a55c1ce4ce26.d: .devstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-2150a55c1ce4ce26.rlib: .devstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-2150a55c1ce4ce26.rmeta: .devstubs/rand/src/lib.rs
+
+.devstubs/rand/src/lib.rs:

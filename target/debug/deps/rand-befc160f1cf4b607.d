@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-befc160f1cf4b607.d: .devstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-befc160f1cf4b607.rmeta: .devstubs/rand/src/lib.rs
+
+.devstubs/rand/src/lib.rs:

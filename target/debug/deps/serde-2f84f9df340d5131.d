@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-2f84f9df340d5131.d: .devstubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-2f84f9df340d5131.rlib: .devstubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-2f84f9df340d5131.rmeta: .devstubs/serde/src/lib.rs
+
+.devstubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-df1b3cf1504940a2.d: .devstubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-df1b3cf1504940a2.rmeta: .devstubs/serde/src/lib.rs
+
+.devstubs/serde/src/lib.rs:

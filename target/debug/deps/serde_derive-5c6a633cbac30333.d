@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-5c6a633cbac30333.d: .devstubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-5c6a633cbac30333.so: .devstubs/serde_derive/src/lib.rs
+
+.devstubs/serde_derive/src/lib.rs:

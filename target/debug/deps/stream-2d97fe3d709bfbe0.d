@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stream-2d97fe3d709bfbe0.d: crates/pw-bench/benches/stream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstream-2d97fe3d709bfbe0.rmeta: crates/pw-bench/benches/stream.rs Cargo.toml
+
+crates/pw-bench/benches/stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

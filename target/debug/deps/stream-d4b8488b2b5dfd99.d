@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stream-d4b8488b2b5dfd99.d: crates/pw-bench/benches/stream.rs
+
+/root/repo/target/debug/deps/libstream-d4b8488b2b5dfd99.rmeta: crates/pw-bench/benches/stream.rs
+
+crates/pw-bench/benches/stream.rs:

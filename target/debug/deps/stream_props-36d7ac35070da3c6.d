@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stream_props-36d7ac35070da3c6.d: crates/pw-detect/tests/stream_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstream_props-36d7ac35070da3c6.rmeta: crates/pw-detect/tests/stream_props.rs Cargo.toml
+
+crates/pw-detect/tests/stream_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stream_props-6c38f5608d95d227.d: crates/pw-detect/tests/stream_props.rs
+
+/root/repo/target/debug/deps/stream_props-6c38f5608d95d227: crates/pw-detect/tests/stream_props.rs
+
+crates/pw-detect/tests/stream_props.rs:

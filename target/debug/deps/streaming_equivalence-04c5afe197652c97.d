@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/streaming_equivalence-04c5afe197652c97.d: tests/streaming_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstreaming_equivalence-04c5afe197652c97.rmeta: tests/streaming_equivalence.rs Cargo.toml
+
+tests/streaming_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/streaming_equivalence-e3930628c9951413.d: tests/streaming_equivalence.rs
+
+/root/repo/target/debug/deps/streaming_equivalence-e3930628c9951413: tests/streaming_equivalence.rs
+
+tests/streaming_equivalence.rs:

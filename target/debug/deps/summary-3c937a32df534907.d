@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/summary-3c937a32df534907.d: crates/pw-repro/src/bin/summary.rs
+
+/root/repo/target/debug/deps/libsummary-3c937a32df534907.rmeta: crates/pw-repro/src/bin/summary.rs
+
+crates/pw-repro/src/bin/summary.rs:

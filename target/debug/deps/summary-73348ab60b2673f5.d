@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/summary-73348ab60b2673f5.d: crates/pw-repro/src/bin/summary.rs
+
+/root/repo/target/debug/deps/libsummary-73348ab60b2673f5.rmeta: crates/pw-repro/src/bin/summary.rs
+
+crates/pw-repro/src/bin/summary.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/summary-d46ccae292420317.d: crates/pw-repro/src/bin/summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsummary-d46ccae292420317.rmeta: crates/pw-repro/src/bin/summary.rs Cargo.toml
+
+crates/pw-repro/src/bin/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

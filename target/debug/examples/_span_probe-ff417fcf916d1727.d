@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/_span_probe-ff417fcf916d1727.d: examples/_span_probe.rs
+
+/root/repo/target/debug/examples/_span_probe-ff417fcf916d1727: examples/_span_probe.rs
+
+examples/_span_probe.rs:

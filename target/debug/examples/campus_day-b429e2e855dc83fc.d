@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/campus_day-b429e2e855dc83fc.d: examples/campus_day.rs
+
+/root/repo/target/debug/examples/campus_day-b429e2e855dc83fc: examples/campus_day.rs
+
+examples/campus_day.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/campus_day-b4d1aff971748793.d: examples/campus_day.rs
+
+/root/repo/target/debug/examples/libcampus_day-b4d1aff971748793.rmeta: examples/campus_day.rs
+
+examples/campus_day.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/campus_day-e93a2dea6135e53b.d: examples/campus_day.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcampus_day-e93a2dea6135e53b.rmeta: examples/campus_day.rs Cargo.toml
+
+examples/campus_day.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/evasion_study-36f96f1fa165e9fa.d: examples/evasion_study.rs
+
+/root/repo/target/debug/examples/libevasion_study-36f96f1fa165e9fa.rmeta: examples/evasion_study.rs
+
+examples/evasion_study.rs:

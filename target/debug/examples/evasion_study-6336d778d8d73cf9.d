@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/evasion_study-6336d778d8d73cf9.d: examples/evasion_study.rs
+
+/root/repo/target/debug/examples/evasion_study-6336d778d8d73cf9: examples/evasion_study.rs
+
+examples/evasion_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/evasion_study-fd96ada688aa6370.d: examples/evasion_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libevasion_study-fd96ada688aa6370.rmeta: examples/evasion_study.rs Cargo.toml
+
+examples/evasion_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/kad_demo-7a6362083efe76d6.d: examples/kad_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libkad_demo-7a6362083efe76d6.rmeta: examples/kad_demo.rs Cargo.toml
+
+examples/kad_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

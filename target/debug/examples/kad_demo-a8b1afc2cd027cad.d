@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/kad_demo-a8b1afc2cd027cad.d: examples/kad_demo.rs
+
+/root/repo/target/debug/examples/kad_demo-a8b1afc2cd027cad: examples/kad_demo.rs
+
+examples/kad_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/kad_demo-c0586d55a9027a76.d: examples/kad_demo.rs
+
+/root/repo/target/debug/examples/libkad_demo-c0586d55a9027a76.rmeta: examples/kad_demo.rs
+
+examples/kad_demo.rs:

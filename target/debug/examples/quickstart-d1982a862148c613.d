@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d1982a862148c613.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d1982a862148c613: examples/quickstart.rs
+
+examples/quickstart.rs:

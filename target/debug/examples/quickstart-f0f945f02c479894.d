@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f0f945f02c479894.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-f0f945f02c479894.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/streaming_day-a5b7401107cf7cab.d: examples/streaming_day.rs
+
+/root/repo/target/debug/examples/libstreaming_day-a5b7401107cf7cab.rmeta: examples/streaming_day.rs
+
+examples/streaming_day.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/streaming_day-b56d9974828c1608.d: examples/streaming_day.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstreaming_day-b56d9974828c1608.rmeta: examples/streaming_day.rs Cargo.toml
+
+examples/streaming_day.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/findplotters-bd0f685e135ab084.d: src/bin/findplotters.rs
+
+/root/repo/target/release/deps/findplotters-bd0f685e135ab084: src/bin/findplotters.rs
+
+src/bin/findplotters.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gen_campus-c4014888e1bf820d.d: src/bin/gen-campus.rs
+
+/root/repo/target/release/deps/gen_campus-c4014888e1bf820d: src/bin/gen-campus.rs
+
+src/bin/gen-campus.rs:

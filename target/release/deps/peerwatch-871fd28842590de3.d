@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/peerwatch-871fd28842590de3.d: src/lib.rs
+
+/root/repo/target/release/deps/libpeerwatch-871fd28842590de3.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpeerwatch-871fd28842590de3.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-dea741fb8250033e.d: .devstubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-dea741fb8250033e.rlib: .devstubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-dea741fb8250033e.rmeta: .devstubs/proptest/src/lib.rs
+
+.devstubs/proptest/src/lib.rs:

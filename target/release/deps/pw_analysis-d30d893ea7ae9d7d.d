@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pw_analysis-d30d893ea7ae9d7d.d: crates/pw-analysis/src/lib.rs crates/pw-analysis/src/cdf.rs crates/pw-analysis/src/cluster.rs crates/pw-analysis/src/emd.rs crates/pw-analysis/src/hist.rs crates/pw-analysis/src/roc.rs crates/pw-analysis/src/stats.rs
+
+/root/repo/target/release/deps/libpw_analysis-d30d893ea7ae9d7d.rlib: crates/pw-analysis/src/lib.rs crates/pw-analysis/src/cdf.rs crates/pw-analysis/src/cluster.rs crates/pw-analysis/src/emd.rs crates/pw-analysis/src/hist.rs crates/pw-analysis/src/roc.rs crates/pw-analysis/src/stats.rs
+
+/root/repo/target/release/deps/libpw_analysis-d30d893ea7ae9d7d.rmeta: crates/pw-analysis/src/lib.rs crates/pw-analysis/src/cdf.rs crates/pw-analysis/src/cluster.rs crates/pw-analysis/src/emd.rs crates/pw-analysis/src/hist.rs crates/pw-analysis/src/roc.rs crates/pw-analysis/src/stats.rs
+
+crates/pw-analysis/src/lib.rs:
+crates/pw-analysis/src/cdf.rs:
+crates/pw-analysis/src/cluster.rs:
+crates/pw-analysis/src/emd.rs:
+crates/pw-analysis/src/hist.rs:
+crates/pw-analysis/src/roc.rs:
+crates/pw-analysis/src/stats.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pw_apps-fbd1da6a3c63bd4c.d: crates/pw-apps/src/lib.rs crates/pw-apps/src/daemons.rs crates/pw-apps/src/mail.rs crates/pw-apps/src/media.rs crates/pw-apps/src/model.rs crates/pw-apps/src/shell.rs crates/pw-apps/src/web.rs
+
+/root/repo/target/release/deps/libpw_apps-fbd1da6a3c63bd4c.rlib: crates/pw-apps/src/lib.rs crates/pw-apps/src/daemons.rs crates/pw-apps/src/mail.rs crates/pw-apps/src/media.rs crates/pw-apps/src/model.rs crates/pw-apps/src/shell.rs crates/pw-apps/src/web.rs
+
+/root/repo/target/release/deps/libpw_apps-fbd1da6a3c63bd4c.rmeta: crates/pw-apps/src/lib.rs crates/pw-apps/src/daemons.rs crates/pw-apps/src/mail.rs crates/pw-apps/src/media.rs crates/pw-apps/src/model.rs crates/pw-apps/src/shell.rs crates/pw-apps/src/web.rs
+
+crates/pw-apps/src/lib.rs:
+crates/pw-apps/src/daemons.rs:
+crates/pw-apps/src/mail.rs:
+crates/pw-apps/src/media.rs:
+crates/pw-apps/src/model.rs:
+crates/pw-apps/src/shell.rs:
+crates/pw-apps/src/web.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pw_botnet-4bb87cdba3ca39f4.d: crates/pw-botnet/src/lib.rs crates/pw-botnet/src/evasion.rs crates/pw-botnet/src/nugache.rs crates/pw-botnet/src/storm.rs crates/pw-botnet/src/trace.rs
+
+/root/repo/target/release/deps/libpw_botnet-4bb87cdba3ca39f4.rlib: crates/pw-botnet/src/lib.rs crates/pw-botnet/src/evasion.rs crates/pw-botnet/src/nugache.rs crates/pw-botnet/src/storm.rs crates/pw-botnet/src/trace.rs
+
+/root/repo/target/release/deps/libpw_botnet-4bb87cdba3ca39f4.rmeta: crates/pw-botnet/src/lib.rs crates/pw-botnet/src/evasion.rs crates/pw-botnet/src/nugache.rs crates/pw-botnet/src/storm.rs crates/pw-botnet/src/trace.rs
+
+crates/pw-botnet/src/lib.rs:
+crates/pw-botnet/src/evasion.rs:
+crates/pw-botnet/src/nugache.rs:
+crates/pw-botnet/src/storm.rs:
+crates/pw-botnet/src/trace.rs:

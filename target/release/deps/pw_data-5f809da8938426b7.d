@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pw_data-5f809da8938426b7.d: crates/pw-data/src/lib.rs crates/pw-data/src/campus.rs crates/pw-data/src/experiment.rs crates/pw-data/src/labels.rs crates/pw-data/src/overlay.rs crates/pw-data/src/persist.rs
+
+/root/repo/target/release/deps/libpw_data-5f809da8938426b7.rlib: crates/pw-data/src/lib.rs crates/pw-data/src/campus.rs crates/pw-data/src/experiment.rs crates/pw-data/src/labels.rs crates/pw-data/src/overlay.rs crates/pw-data/src/persist.rs
+
+/root/repo/target/release/deps/libpw_data-5f809da8938426b7.rmeta: crates/pw-data/src/lib.rs crates/pw-data/src/campus.rs crates/pw-data/src/experiment.rs crates/pw-data/src/labels.rs crates/pw-data/src/overlay.rs crates/pw-data/src/persist.rs
+
+crates/pw-data/src/lib.rs:
+crates/pw-data/src/campus.rs:
+crates/pw-data/src/experiment.rs:
+crates/pw-data/src/labels.rs:
+crates/pw-data/src/overlay.rs:
+crates/pw-data/src/persist.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/pw_detect-670cc2d805e3b32b.d: crates/pw-detect/src/lib.rs crates/pw-detect/src/detectors.rs crates/pw-detect/src/error.rs crates/pw-detect/src/features.rs crates/pw-detect/src/multiday.rs crates/pw-detect/src/perport.rs crates/pw-detect/src/pipeline.rs crates/pw-detect/src/rates.rs crates/pw-detect/src/reduction.rs crates/pw-detect/src/stream.rs crates/pw-detect/src/tdg.rs
+
+/root/repo/target/release/deps/libpw_detect-670cc2d805e3b32b.rlib: crates/pw-detect/src/lib.rs crates/pw-detect/src/detectors.rs crates/pw-detect/src/error.rs crates/pw-detect/src/features.rs crates/pw-detect/src/multiday.rs crates/pw-detect/src/perport.rs crates/pw-detect/src/pipeline.rs crates/pw-detect/src/rates.rs crates/pw-detect/src/reduction.rs crates/pw-detect/src/stream.rs crates/pw-detect/src/tdg.rs
+
+/root/repo/target/release/deps/libpw_detect-670cc2d805e3b32b.rmeta: crates/pw-detect/src/lib.rs crates/pw-detect/src/detectors.rs crates/pw-detect/src/error.rs crates/pw-detect/src/features.rs crates/pw-detect/src/multiday.rs crates/pw-detect/src/perport.rs crates/pw-detect/src/pipeline.rs crates/pw-detect/src/rates.rs crates/pw-detect/src/reduction.rs crates/pw-detect/src/stream.rs crates/pw-detect/src/tdg.rs
+
+crates/pw-detect/src/lib.rs:
+crates/pw-detect/src/detectors.rs:
+crates/pw-detect/src/error.rs:
+crates/pw-detect/src/features.rs:
+crates/pw-detect/src/multiday.rs:
+crates/pw-detect/src/perport.rs:
+crates/pw-detect/src/pipeline.rs:
+crates/pw-detect/src/rates.rs:
+crates/pw-detect/src/reduction.rs:
+crates/pw-detect/src/stream.rs:
+crates/pw-detect/src/tdg.rs:

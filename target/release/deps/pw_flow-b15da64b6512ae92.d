@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pw_flow-b15da64b6512ae92.d: crates/pw-flow/src/lib.rs crates/pw-flow/src/aggregator.rs crates/pw-flow/src/csvio.rs crates/pw-flow/src/packet.rs crates/pw-flow/src/record.rs crates/pw-flow/src/signatures.rs crates/pw-flow/src/synth.rs
+
+/root/repo/target/release/deps/libpw_flow-b15da64b6512ae92.rlib: crates/pw-flow/src/lib.rs crates/pw-flow/src/aggregator.rs crates/pw-flow/src/csvio.rs crates/pw-flow/src/packet.rs crates/pw-flow/src/record.rs crates/pw-flow/src/signatures.rs crates/pw-flow/src/synth.rs
+
+/root/repo/target/release/deps/libpw_flow-b15da64b6512ae92.rmeta: crates/pw-flow/src/lib.rs crates/pw-flow/src/aggregator.rs crates/pw-flow/src/csvio.rs crates/pw-flow/src/packet.rs crates/pw-flow/src/record.rs crates/pw-flow/src/signatures.rs crates/pw-flow/src/synth.rs
+
+crates/pw-flow/src/lib.rs:
+crates/pw-flow/src/aggregator.rs:
+crates/pw-flow/src/csvio.rs:
+crates/pw-flow/src/packet.rs:
+crates/pw-flow/src/record.rs:
+crates/pw-flow/src/signatures.rs:
+crates/pw-flow/src/synth.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pw_kad-dad2ec7359c2bde6.d: crates/pw-kad/src/lib.rs crates/pw-kad/src/id.rs crates/pw-kad/src/lookup.rs crates/pw-kad/src/messages.rs crates/pw-kad/src/routing.rs crates/pw-kad/src/sim.rs crates/pw-kad/src/wire.rs
+
+/root/repo/target/release/deps/libpw_kad-dad2ec7359c2bde6.rlib: crates/pw-kad/src/lib.rs crates/pw-kad/src/id.rs crates/pw-kad/src/lookup.rs crates/pw-kad/src/messages.rs crates/pw-kad/src/routing.rs crates/pw-kad/src/sim.rs crates/pw-kad/src/wire.rs
+
+/root/repo/target/release/deps/libpw_kad-dad2ec7359c2bde6.rmeta: crates/pw-kad/src/lib.rs crates/pw-kad/src/id.rs crates/pw-kad/src/lookup.rs crates/pw-kad/src/messages.rs crates/pw-kad/src/routing.rs crates/pw-kad/src/sim.rs crates/pw-kad/src/wire.rs
+
+crates/pw-kad/src/lib.rs:
+crates/pw-kad/src/id.rs:
+crates/pw-kad/src/lookup.rs:
+crates/pw-kad/src/messages.rs:
+crates/pw-kad/src/routing.rs:
+crates/pw-kad/src/sim.rs:
+crates/pw-kad/src/wire.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pw_netsim-6edf42abcd25d66e.d: crates/pw-netsim/src/lib.rs crates/pw-netsim/src/diurnal.rs crates/pw-netsim/src/engine.rs crates/pw-netsim/src/net.rs crates/pw-netsim/src/rng.rs crates/pw-netsim/src/sampling.rs crates/pw-netsim/src/time.rs
+
+/root/repo/target/release/deps/libpw_netsim-6edf42abcd25d66e.rlib: crates/pw-netsim/src/lib.rs crates/pw-netsim/src/diurnal.rs crates/pw-netsim/src/engine.rs crates/pw-netsim/src/net.rs crates/pw-netsim/src/rng.rs crates/pw-netsim/src/sampling.rs crates/pw-netsim/src/time.rs
+
+/root/repo/target/release/deps/libpw_netsim-6edf42abcd25d66e.rmeta: crates/pw-netsim/src/lib.rs crates/pw-netsim/src/diurnal.rs crates/pw-netsim/src/engine.rs crates/pw-netsim/src/net.rs crates/pw-netsim/src/rng.rs crates/pw-netsim/src/sampling.rs crates/pw-netsim/src/time.rs
+
+crates/pw-netsim/src/lib.rs:
+crates/pw-netsim/src/diurnal.rs:
+crates/pw-netsim/src/engine.rs:
+crates/pw-netsim/src/net.rs:
+crates/pw-netsim/src/rng.rs:
+crates/pw-netsim/src/sampling.rs:
+crates/pw-netsim/src/time.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pw_traders-97825d7bdb6a26da.d: crates/pw-traders/src/lib.rs crates/pw-traders/src/bittorrent.rs crates/pw-traders/src/catalog.rs crates/pw-traders/src/emule.rs crates/pw-traders/src/gnutella.rs crates/pw-traders/src/session.rs
+
+/root/repo/target/release/deps/libpw_traders-97825d7bdb6a26da.rlib: crates/pw-traders/src/lib.rs crates/pw-traders/src/bittorrent.rs crates/pw-traders/src/catalog.rs crates/pw-traders/src/emule.rs crates/pw-traders/src/gnutella.rs crates/pw-traders/src/session.rs
+
+/root/repo/target/release/deps/libpw_traders-97825d7bdb6a26da.rmeta: crates/pw-traders/src/lib.rs crates/pw-traders/src/bittorrent.rs crates/pw-traders/src/catalog.rs crates/pw-traders/src/emule.rs crates/pw-traders/src/gnutella.rs crates/pw-traders/src/session.rs
+
+crates/pw-traders/src/lib.rs:
+crates/pw-traders/src/bittorrent.rs:
+crates/pw-traders/src/catalog.rs:
+crates/pw-traders/src/emule.rs:
+crates/pw-traders/src/gnutella.rs:
+crates/pw-traders/src/session.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-4058020a8c25d3f3.d: .devstubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-4058020a8c25d3f3.rlib: .devstubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-4058020a8c25d3f3.rmeta: .devstubs/rand/src/lib.rs
+
+.devstubs/rand/src/lib.rs:

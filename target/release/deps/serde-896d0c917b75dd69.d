@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-896d0c917b75dd69.d: .devstubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-896d0c917b75dd69.rlib: .devstubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-896d0c917b75dd69.rmeta: .devstubs/serde/src/lib.rs
+
+.devstubs/serde/src/lib.rs:

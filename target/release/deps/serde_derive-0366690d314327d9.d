@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-0366690d314327d9.d: .devstubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-0366690d314327d9.so: .devstubs/serde_derive/src/lib.rs
+
+.devstubs/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/streaming_day-75a1637d9a95a072.d: examples/streaming_day.rs
+
+/root/repo/target/release/examples/streaming_day-75a1637d9a95a072: examples/streaming_day.rs
+
+examples/streaming_day.rs:
