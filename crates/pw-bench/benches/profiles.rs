@@ -1,0 +1,164 @@
+//! Profile-extraction before/after: the pre-refactor HashMap-per-flow
+//! path (frozen here as a baseline) against the interned columnar
+//! [`FlowTable`] path, plus batch and streaming detection throughput on
+//! the same seeded campus day.
+
+use std::collections::{BTreeMap, HashMap};
+use std::net::Ipv4Addr;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pw_bench::bench_day;
+use pw_detect::stream::{DetectionEngine, EngineConfig};
+use pw_detect::{
+    extract_profiles_table, extract_profiles_table_par, find_plotters_from_profiles,
+    find_plotters_from_table, internal_endpoint, FindPlottersConfig, HostProfile,
+};
+use pw_flow::{FlowRecord, FlowTable};
+use pw_netsim::{SimDuration, SimTime};
+
+/// The pre-refactor extraction loop, kept verbatim as the "before" side of
+/// the comparison: one address-keyed map probe per flow, two internality
+/// checks per flow, nothing shared with other pipeline stages.
+fn legacy_extract_profiles<F>(
+    flows: &[FlowRecord],
+    is_internal: F,
+) -> HashMap<Ipv4Addr, HostProfile>
+where
+    F: Fn(Ipv4Addr) -> bool,
+{
+    let mut ordered: Vec<&FlowRecord> = flows.iter().collect();
+    ordered.sort_by_key(|f| (f.start, f.src, f.dst, f.sport, f.dport));
+    let mut profiles: HashMap<Ipv4Addr, HostProfile> = HashMap::new();
+    let mut last_to: HashMap<Ipv4Addr, HashMap<Ipv4Addr, SimTime>> = HashMap::new();
+    for f in ordered {
+        let Some(host) = internal_endpoint(f, &is_internal) else {
+            continue;
+        };
+        let p = profiles.entry(host).or_insert_with(|| HostProfile {
+            ip: host,
+            flows_involving: 0,
+            bytes_uploaded: 0,
+            initiated: 0,
+            initiated_failed: 0,
+            first_activity: None,
+            first_contact: BTreeMap::new(),
+            interstitials: Vec::new(),
+        });
+        p.flows_involving += 1;
+        p.bytes_uploaded += f.bytes_uploaded_by(host).unwrap_or(0);
+        if f.src == host {
+            p.initiated += 1;
+            if f.is_failed() {
+                p.initiated_failed += 1;
+            }
+            if p.first_activity.is_none() {
+                p.first_activity = Some(f.start);
+            }
+            p.first_contact.entry(f.dst).or_insert(f.start);
+            if let Some(prev) = last_to.entry(host).or_default().insert(f.dst, f.start) {
+                p.interstitials.push((f.start - prev).as_secs_f64());
+            }
+        }
+    }
+    profiles
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let fixture = bench_day();
+    let day = &fixture.day;
+    let flows = &fixture.flows;
+    let table = FlowTable::from_records(flows);
+
+    // Keep the frozen baseline honest: it must still produce exactly what
+    // the refactored path produces.
+    assert_eq!(
+        legacy_extract_profiles(flows, |ip| day.is_internal(ip)),
+        extract_profiles_table(&table, |ip| day.is_internal(ip)).to_map(),
+        "legacy baseline diverged from the table path"
+    );
+
+    let mut group = c.benchmark_group("profiles/extract");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(flows.len() as u64));
+    group.bench_function("legacy_hashmap", |b| {
+        b.iter(|| legacy_extract_profiles(black_box(flows), |ip| day.is_internal(ip)))
+    });
+    group.bench_function("table_from_records", |b| {
+        b.iter(|| {
+            let t = FlowTable::from_records(black_box(flows));
+            extract_profiles_table(&t, |ip| day.is_internal(ip))
+        })
+    });
+    group.bench_function("table_prebuilt", |b| {
+        b.iter(|| extract_profiles_table(black_box(&table), |ip| day.is_internal(ip)))
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("table_sharded", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    extract_profiles_table_par(black_box(&table), |ip| day.is_internal(ip), t)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_detection(c: &mut Criterion) {
+    let fixture = bench_day();
+    let day = &fixture.day;
+    let flows = &fixture.flows;
+    let table = FlowTable::from_records(flows);
+    let profile_table = extract_profiles_table(&table, |ip| day.is_internal(ip));
+
+    let mut group = c.benchmark_group("profiles/batch_detect");
+    group.sample_size(10);
+    group.bench_function("from_profiles_map", |b| {
+        b.iter(|| {
+            find_plotters_from_profiles(
+                black_box(&fixture.profiles),
+                &FindPlottersConfig::default(),
+            )
+        })
+    });
+    group.bench_function("from_profile_table", |b| {
+        b.iter(|| {
+            find_plotters_from_table(black_box(&profile_table), &FindPlottersConfig::default())
+        })
+    });
+    group.finish();
+
+    // Streaming throughput over the same day (hourly tumbling windows).
+    let mut ordered = flows.clone();
+    ordered.sort_by_key(|f| (f.start, f.src, f.dst, f.sport, f.dport));
+    let mut group = c.benchmark_group("profiles/streaming_hourly");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ordered.len() as u64));
+    for threads in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                let cfg = EngineConfig {
+                    window: SimDuration::from_hours(1),
+                    slide: SimDuration::from_hours(1),
+                    lateness: SimDuration::from_mins(10),
+                    threads: t,
+                    ..Default::default()
+                };
+                let mut engine =
+                    DetectionEngine::new(cfg, |ip| day.is_internal(ip)).expect("valid config");
+                let mut reports = Vec::new();
+                for f in black_box(&ordered) {
+                    reports.extend(engine.push(*f).expect("in-order replay"));
+                }
+                reports.extend(engine.finish());
+                reports
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction, bench_detection);
+criterion_main!(benches);

@@ -4,6 +4,7 @@
 use pw_botnet::{
     generate_nugache_trace, generate_storm_trace, BotTrace, NugacheConfig, StormConfig,
 };
+use pw_flow::FlowTable;
 
 use crate::campus::{build_day, CampusConfig};
 use crate::overlay::{overlay_bots, OverlaidDay};
@@ -75,6 +76,15 @@ pub struct DayRun {
     pub nugache: BotTrace,
 }
 
+impl DayRun {
+    /// Interns the day's overlaid flows into a columnar [`FlowTable`] — the
+    /// shared input of batch detection, payload labelling, and per-service
+    /// slicing, built once per day instead of once per consumer.
+    pub fn flow_table(&self) -> FlowTable {
+        FlowTable::from_records(&self.overlaid.flows)
+    }
+}
+
 /// Builds every day of the experiment: campus day `d`, fresh Storm and
 /// Nugache traces for day `d`, overlaid onto random active hosts.
 ///
@@ -133,6 +143,16 @@ mod tests {
     fn days_have_different_implant_choices_or_traffic() {
         let runs = run_experiment(&fast_cfg());
         assert_ne!(runs[0].overlaid.flows.len(), runs[1].overlaid.flows.len());
+    }
+
+    #[test]
+    fn flow_table_round_trips_the_day() {
+        let run = &run_experiment(&fast_cfg())[0];
+        let table = run.flow_table();
+        assert_eq!(table.len(), run.overlaid.flows.len());
+        let mut sorted = run.overlaid.flows.clone();
+        sorted.sort_by_key(|f| (f.start, f.src, f.dst, f.sport, f.dport));
+        assert_eq!(table.to_records(), sorted);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 use pw_flow::signatures::{classify_flow, P2pApp};
-use pw_flow::FlowRecord;
+use pw_flow::{FlowRecord, FlowTable, HostId};
 
 /// Labels internal hosts as Traders by scanning the 64 payload bytes of
 /// their flows, exactly as §III of the paper builds its Trader dataset.
@@ -20,22 +20,45 @@ pub fn label_traders_by_payload<F>(
 where
     F: Fn(Ipv4Addr) -> bool,
 {
-    let mut counts: HashMap<Ipv4Addr, HashMap<P2pApp, usize>> = HashMap::new();
-    for f in flows {
-        let Some(app) = classify_flow(f) else {
+    label_traders_by_payload_table(&FlowTable::from_records(flows), is_internal, min_flows)
+}
+
+/// [`label_traders_by_payload`] over an interned [`FlowTable`]: the
+/// internality oracle runs once per distinct host and the per-host
+/// signature tallies live in a dense id-indexed table, so a day's table can
+/// be labelled and detected on without re-scanning addresses.
+pub fn label_traders_by_payload_table<F>(
+    table: &FlowTable,
+    is_internal: F,
+    min_flows: usize,
+) -> HashMap<Ipv4Addr, P2pApp>
+where
+    F: Fn(Ipv4Addr) -> bool,
+{
+    let internal: Vec<bool> = table
+        .hosts()
+        .ips()
+        .iter()
+        .map(|&ip| is_internal(ip))
+        .collect();
+    let mut counts: Vec<HashMap<P2pApp, usize>> = vec![HashMap::new(); table.hosts().len()];
+    for row in 0..table.len() {
+        let f = table.record(row);
+        let Some(app) = classify_flow(&f) else {
             continue;
         };
-        for ip in [f.src, f.dst] {
-            if is_internal(ip) {
-                *counts.entry(ip).or_default().entry(app).or_insert(0) += 1;
+        for id in [table.src(row), table.dst(row)] {
+            if internal[id.index()] {
+                *counts[id.index()].entry(app).or_insert(0) += 1;
             }
         }
     }
     counts
         .into_iter()
-        .filter_map(|(ip, apps)| {
+        .enumerate()
+        .filter_map(|(idx, apps)| {
             let (app, n) = apps.into_iter().max_by_key(|&(app, n)| (n, app))?;
-            (n >= min_flows.max(1)).then_some((ip, app))
+            (n >= min_flows.max(1)).then(|| (table.hosts().resolve(HostId::from_index(idx)), app))
         })
         .collect()
 }
@@ -116,5 +139,20 @@ mod tests {
         let flows = vec![flow_with_payload(EXT, IN1, build::emule_hello())];
         let labels = label_traders_by_payload(&flows, internal, 1);
         assert!(!labels.contains_key(&EXT));
+    }
+
+    #[test]
+    fn table_path_matches_record_path() {
+        let flows = vec![
+            flow_with_payload(IN1, EXT, build::gnutella_connect()),
+            flow_with_payload(IN1, EXT, build::bittorrent_handshake()),
+            flow_with_payload(EXT, IN2, build::emule_hello()),
+            flow_with_payload(IN2, EXT, Payload::capture(b"GET / HTTP/1.1")),
+        ];
+        let table = FlowTable::from_records(&flows);
+        assert_eq!(
+            label_traders_by_payload_table(&table, internal, 1),
+            label_traders_by_payload(&flows, internal, 1),
+        );
     }
 }

@@ -4,8 +4,9 @@ use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 
 use pw_analysis::{average_linkage, emd_histograms, percentile, DistanceMatrix, Histogram};
+use pw_flow::HostId;
 
-use crate::features::HostProfile;
+use crate::features::{HostMask, HostProfile, ProfileView};
 
 /// A test threshold: either a percentile of the input population's values
 /// (the paper's dynamic thresholds) or an absolute value.
@@ -32,42 +33,42 @@ impl Threshold {
 /// Computes `(host, metric)` pairs for every member of `s` with a
 /// measurable metric, sharded over `threads` scoped workers when asked.
 ///
-/// Hosts are processed in sorted order and shards are concatenated in
-/// shard order, so the multiset of values — the only thing the percentile
-/// resolution sees — is identical for every thread count.
+/// Hosts are processed in ascending-id order (= ascending IP over a view)
+/// and shards are concatenated in shard order, so the multiset of values —
+/// the only thing the percentile resolution sees — is identical for every
+/// thread count. Per-host lookups are dense array indexing.
 fn metric_population<M>(
-    profiles: &HashMap<Ipv4Addr, HostProfile>,
-    s: &HashSet<Ipv4Addr>,
+    view: &ProfileView<'_>,
+    s: &HostMask,
     metric: M,
     threads: usize,
-) -> Vec<(Ipv4Addr, f64)>
+) -> Vec<(HostId, f64)>
 where
     M: Fn(&HostProfile) -> Option<f64> + Sync,
 {
     let threads = threads.max(1);
+    let ids: Vec<HostId> = s.ids().collect();
     if threads == 1 {
-        return s
-            .iter()
-            .filter_map(|ip| profiles.get(ip).and_then(&metric).map(|v| (*ip, v)))
+        return ids
+            .into_iter()
+            .filter_map(|id| metric(view.profile(id)).map(|v| (id, v)))
             .collect();
     }
-    let mut hosts: Vec<Ipv4Addr> = s.iter().copied().collect();
-    hosts.sort_unstable();
-    let chunk = hosts.len().div_ceil(threads).max(1);
+    let chunk = ids.len().div_ceil(threads).max(1);
     std::thread::scope(|scope| {
-        let handles: Vec<_> = hosts
+        let handles: Vec<_> = ids
             .chunks(chunk)
             .map(|shard| {
                 let metric = &metric;
                 scope.spawn(move || {
                     shard
                         .iter()
-                        .filter_map(|ip| profiles.get(ip).and_then(metric).map(|v| (*ip, v)))
+                        .filter_map(|&id| metric(view.profile(id)).map(|v| (id, v)))
                         .collect::<Vec<_>>()
                 })
             })
             .collect();
-        let mut pop = Vec::with_capacity(hosts.len());
+        let mut pop = Vec::with_capacity(ids.len());
         for h in handles {
             pop.extend(h.join().expect("population shard thread panicked"));
         }
@@ -75,15 +76,48 @@ where
     })
 }
 
-fn threshold_filter(pop: Vec<(Ipv4Addr, f64)>, tau: Threshold) -> Option<(HashSet<Ipv4Addr>, f64)> {
+fn threshold_filter(
+    len: usize,
+    pop: Vec<(HostId, f64)>,
+    tau: Threshold,
+) -> Option<(HostMask, f64)> {
     let values: Vec<f64> = pop.iter().map(|&(_, v)| v).collect();
     let t = tau.resolve(&values)?;
-    let kept = pop
-        .iter()
-        .filter(|&&(_, v)| v < t)
-        .map(|&(ip, _)| ip)
-        .collect();
+    let mut kept = HostMask::empty(len);
+    for &(id, v) in &pop {
+        if v < t {
+            kept.insert(id);
+        }
+    }
     Some((kept, t))
+}
+
+/// `θ_vol` over a dense view — the core every entry point funnels into.
+pub(crate) fn theta_vol_view(
+    view: &ProfileView<'_>,
+    s: &HostMask,
+    tau: Threshold,
+    threads: usize,
+) -> Option<(HostMask, f64)> {
+    threshold_filter(
+        view.len(),
+        metric_population(view, s, HostProfile::avg_upload_per_flow, threads),
+        tau,
+    )
+}
+
+/// `θ_churn` over a dense view (see [`theta_vol_view`]).
+pub(crate) fn theta_churn_view(
+    view: &ProfileView<'_>,
+    s: &HostMask,
+    tau: Threshold,
+    threads: usize,
+) -> Option<(HostMask, f64)> {
+    threshold_filter(
+        view.len(),
+        metric_population(view, s, HostProfile::new_ip_fraction, threads),
+        tau,
+    )
 }
 
 /// [`theta_vol`] with explicit thread count and strict threshold
@@ -95,10 +129,9 @@ pub fn theta_vol_par(
     tau: Threshold,
     threads: usize,
 ) -> Option<(HashSet<Ipv4Addr>, f64)> {
-    threshold_filter(
-        metric_population(profiles, s, HostProfile::avg_upload_per_flow, threads),
-        tau,
-    )
+    let view = ProfileView::from_map(profiles);
+    let mask = HostMask::from_ips(&view, s);
+    theta_vol_view(&view, &mask, tau, threads).map(|(kept, t)| (kept.to_ips(&view), t))
 }
 
 /// [`theta_churn`] with explicit thread count and strict threshold
@@ -109,10 +142,9 @@ pub fn theta_churn_par(
     tau: Threshold,
     threads: usize,
 ) -> Option<(HashSet<Ipv4Addr>, f64)> {
-    threshold_filter(
-        metric_population(profiles, s, HostProfile::new_ip_fraction, threads),
-        tau,
-    )
+    let view = ProfileView::from_map(profiles);
+    let mask = HostMask::from_ips(&view, s);
+    theta_churn_view(&view, &mask, tau, threads).map(|(kept, t)| (kept.to_ips(&view), t))
 }
 
 /// `θ_vol` (§IV-A): returns the hosts of `s` whose average bytes uploaded
@@ -246,17 +278,29 @@ pub fn theta_hm_with_options(
     cut_fraction: f64,
     options: &HmOptions,
 ) -> HmOutcome {
+    let view = ProfileView::from_map(profiles);
+    let mask = HostMask::from_ips(&view, s);
+    theta_hm_view(&view, &mask, tau, cut_fraction, options)
+}
+
+/// `θ_hm` over a dense view — the core every entry point funnels into.
+///
+/// Mask ids ascend with IP, so candidates are visited in the same sorted
+/// order the map-shaped wrapper always used.
+pub(crate) fn theta_hm_view(
+    view: &ProfileView<'_>,
+    s: &HostMask,
+    tau: Threshold,
+    cut_fraction: f64,
+    options: &HmOptions,
+) -> HmOutcome {
     let min_size = options.min_cluster_size;
     let threads = options.threads.max(1);
-    let mut sorted: Vec<Ipv4Addr> = s.iter().copied().collect();
-    sorted.sort_unstable(); // deterministic ordering regardless of set iteration
 
-    // Candidates in sorted-host order; histogram construction is
+    // Candidates in ascending-IP order; histogram construction is
     // per-host-independent so shards just split the ordered list.
-    let candidates: Vec<(Ipv4Addr, &HostProfile)> = sorted
-        .iter()
-        .filter_map(|ip| profiles.get(ip).map(|p| (*ip, p)))
-        .collect();
+    let candidates: Vec<(Ipv4Addr, &HostProfile)> =
+        s.ids().map(|id| (view.ip(id), view.profile(id))).collect();
     let no_samples = candidates
         .iter()
         .filter(|(_, p)| p.interstitials.is_empty())

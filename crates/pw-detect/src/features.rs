@@ -1,9 +1,18 @@
 //! Per-host behavioural features from flow records.
+//!
+//! The extraction core works over the columnar [`FlowTable`]: endpoints are
+//! already interned to dense [`HostId`]s, so the per-flow work is array
+//! indexing instead of `Ipv4Addr` hashing, and the `is_internal` oracle is
+//! consulted once per *host* instead of twice per *flow*. Every extraction
+//! mode — batch, host-sharded parallel, and the streaming engine's window
+//! close — funnels into the same accumulation code and produces a
+//! [`ProfileTable`], the dense per-host table every pipeline stage indexes.
 
-use std::collections::{BTreeMap, HashMap};
+use std::borrow::Cow;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::net::Ipv4Addr;
 
-use pw_flow::FlowRecord;
+use pw_flow::{FlowRecord, FlowTable, HostId, HostInterner};
 use pw_netsim::{SimDuration, SimTime};
 
 /// Behavioural profile of one internal host over a detection window.
@@ -113,10 +122,256 @@ where
     }
 }
 
-/// The single accumulation path every extraction mode shares: batch
-/// ([`extract_profiles`]), incremental ([`ProfileBuilder`], the streaming
-/// engine's per-window state), and host-sharded parallel
-/// ([`extract_profiles_par`]).
+/// Per-table-host internality flags: one `is_internal` call per distinct
+/// endpoint, indexed by [`HostId::index`].
+pub(crate) fn internal_flags<F>(table: &FlowTable, is_internal: &F) -> Vec<bool>
+where
+    F: Fn(Ipv4Addr) -> bool,
+{
+    table
+        .hosts()
+        .ips()
+        .iter()
+        .map(|&ip| is_internal(ip))
+        .collect()
+}
+
+/// The monitored endpoint of table row `row`, given precomputed
+/// [`internal_flags`] — the [`internal_endpoint`] of the columnar path.
+pub(crate) fn border_host(table: &FlowTable, row: usize, flags: &[bool]) -> Option<HostId> {
+    let (src, dst) = (table.src(row), table.dst(row));
+    let (si, di) = (flags[src.index()], flags[dst.index()]);
+    if si == di {
+        None
+    } else if si {
+        Some(src)
+    } else {
+        Some(dst)
+    }
+}
+
+/// Dense per-host profile table: every extraction mode's output and every
+/// pipeline stage's input.
+///
+/// Hosts are interned in ascending-IP order, so `HostId` order *is* IP
+/// order — the deterministic iteration order the detectors rely on — and a
+/// `Vec` indexed by [`HostId::index`] is a total per-host map.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileTable {
+    hosts: HostInterner,
+    profiles: Vec<HostProfile>,
+}
+
+impl ProfileTable {
+    /// Builds the table from `(ip, profile)` pairs in any order.
+    pub(crate) fn from_pairs(mut pairs: Vec<(Ipv4Addr, HostProfile)>) -> Self {
+        pairs.sort_by_key(|&(ip, _)| ip);
+        let mut hosts = HostInterner::with_capacity(pairs.len());
+        let mut profiles = Vec::with_capacity(pairs.len());
+        for (ip, p) in pairs {
+            hosts.intern(ip);
+            profiles.push(p);
+        }
+        Self { hosts, profiles }
+    }
+
+    /// Builds the table from a map of profiles (the row-oriented legacy
+    /// shape), keyed by host address.
+    pub fn from_map(map: HashMap<Ipv4Addr, HostProfile>) -> Self {
+        Self::from_pairs(map.into_iter().collect())
+    }
+
+    /// Number of profiled hosts.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether no host was profiled.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// The profiled hosts, interned in ascending-IP order.
+    pub fn hosts(&self) -> &HostInterner {
+        &self.hosts
+    }
+
+    /// The profiles, indexed by [`HostId::index`].
+    pub fn profiles(&self) -> &[HostProfile] {
+        &self.profiles
+    }
+
+    /// The profile of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table's interner.
+    pub fn profile(&self, id: HostId) -> &HostProfile {
+        &self.profiles[id.index()]
+    }
+
+    /// The profile of `ip`, if that host was profiled.
+    pub fn get(&self, ip: Ipv4Addr) -> Option<&HostProfile> {
+        self.hosts.get(ip).map(|id| &self.profiles[id.index()])
+    }
+
+    /// Iterates `(id, profile)` in ascending-IP order.
+    pub fn iter(&self) -> impl Iterator<Item = (HostId, &HostProfile)> {
+        self.profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (HostId::from_index(i), p))
+    }
+
+    /// Keeps only hosts for which `keep` returns true, re-interning the
+    /// survivors — the streaming engine's eviction hook.
+    pub fn retain<K: FnMut(Ipv4Addr, &HostProfile) -> bool>(&mut self, mut keep: K) {
+        let hosts = std::mem::take(&mut self.hosts);
+        let profiles = std::mem::take(&mut self.profiles);
+        for (ip, p) in hosts.ips().iter().zip(profiles) {
+            if keep(*ip, &p) {
+                self.hosts.intern(*ip);
+                self.profiles.push(p);
+            }
+        }
+    }
+
+    /// Converts into the row-oriented map shape.
+    pub fn to_map(self) -> HashMap<Ipv4Addr, HostProfile> {
+        self.hosts
+            .ips()
+            .iter()
+            .copied()
+            .zip(self.profiles)
+            .collect()
+    }
+}
+
+/// Borrowed, id-indexed view of a profile population — the working set of
+/// every pipeline stage. Host ids ascend with IP whichever source built the
+/// view, so stages iterate deterministically without re-sorting.
+#[derive(Debug)]
+pub(crate) struct ProfileView<'a> {
+    hosts: Cow<'a, HostInterner>,
+    profiles: Vec<&'a HostProfile>,
+}
+
+impl<'a> ProfileView<'a> {
+    /// Borrows a [`ProfileTable`] (no re-interning).
+    pub(crate) fn from_table(table: &'a ProfileTable) -> Self {
+        Self {
+            hosts: Cow::Borrowed(table.hosts()),
+            profiles: table.profiles().iter().collect(),
+        }
+    }
+
+    /// Builds a view over a legacy profile map, interning keys in
+    /// ascending-IP order.
+    pub(crate) fn from_map(map: &'a HashMap<Ipv4Addr, HostProfile>) -> Self {
+        let mut pairs: Vec<(&Ipv4Addr, &HostProfile)> = map.iter().collect();
+        pairs.sort_by_key(|&(ip, _)| *ip);
+        let hosts: HostInterner = pairs.iter().map(|&(ip, _)| *ip).collect();
+        Self {
+            hosts: Cow::Owned(hosts),
+            profiles: pairs.into_iter().map(|(_, p)| p).collect(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    pub(crate) fn profile(&self, id: HostId) -> &'a HostProfile {
+        self.profiles[id.index()]
+    }
+
+    pub(crate) fn ip(&self, id: HostId) -> Ipv4Addr {
+        self.hosts.resolve(id)
+    }
+
+    pub(crate) fn id_of(&self, ip: Ipv4Addr) -> Option<HostId> {
+        self.hosts.get(ip)
+    }
+
+    pub(crate) fn ids(&self) -> impl Iterator<Item = HostId> + 'a {
+        (0..self.profiles.len()).map(HostId::from_index)
+    }
+}
+
+/// Dense host set over a [`ProfileView`]'s id space — the stage sets
+/// (`after_reduction`, `S_vol`, …) without per-membership-test hashing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct HostMask {
+    bits: Vec<bool>,
+    count: usize,
+}
+
+impl HostMask {
+    pub(crate) fn empty(len: usize) -> Self {
+        Self {
+            bits: vec![false; len],
+            count: 0,
+        }
+    }
+
+    pub(crate) fn full(len: usize) -> Self {
+        Self {
+            bits: vec![true; len],
+            count: len,
+        }
+    }
+
+    pub(crate) fn insert(&mut self, id: HostId) {
+        if !self.bits[id.index()] {
+            self.bits[id.index()] = true;
+            self.count += 1;
+        }
+    }
+
+    /// Member ids in ascending order (= ascending IP over a view).
+    pub(crate) fn ids(&self) -> impl Iterator<Item = HostId> + '_ {
+        self.bits
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b)
+            .map(|(i, _)| HostId::from_index(i))
+    }
+
+    pub(crate) fn union(&self, other: &HostMask) -> HostMask {
+        debug_assert_eq!(self.bits.len(), other.bits.len());
+        let mut out = HostMask::empty(self.bits.len());
+        for (i, (&a, &b)) in self.bits.iter().zip(&other.bits).enumerate() {
+            if a || b {
+                out.insert(HostId::from_index(i));
+            }
+        }
+        out
+    }
+
+    /// The members of `ips` that exist in the view's id space.
+    pub(crate) fn from_ips(view: &ProfileView<'_>, ips: &HashSet<Ipv4Addr>) -> Self {
+        let mut mask = HostMask::empty(view.len());
+        for &ip in ips {
+            if let Some(id) = view.id_of(ip) {
+                mask.insert(id);
+            }
+        }
+        mask
+    }
+
+    pub(crate) fn to_ips(&self, view: &ProfileView<'_>) -> HashSet<Ipv4Addr> {
+        self.ids().map(|id| view.ip(id)).collect()
+    }
+}
+
+/// The single accumulation path every *record-oriented* extraction mode
+/// shares: push-based ([`ProfileBuilder`]) and ad-hoc batch. Columnar
+/// extraction uses the same per-flow update over [`FlowTable`] rows
+/// ([`extract_profiles_table`]).
 ///
 /// The accumulator is *attribution-agnostic*: callers decide which flows it
 /// sees and which endpoint is the monitored host (via
@@ -126,8 +381,9 @@ where
 /// does not enforce global ordering.
 #[derive(Debug, Clone, Default)]
 pub struct ProfileAccumulator {
-    profiles: HashMap<Ipv4Addr, HostProfile>,
-    last_to: HashMap<(Ipv4Addr, Ipv4Addr), SimTime>,
+    hosts: HostInterner,
+    profiles: Vec<HostProfile>,
+    last_to: Vec<HashMap<Ipv4Addr, SimTime>>,
 }
 
 impl ProfileAccumulator {
@@ -146,18 +402,15 @@ impl ProfileAccumulator {
         self.profiles.is_empty()
     }
 
-    /// Read access to the profiles accumulated so far.
-    pub fn profiles(&self) -> &HashMap<Ipv4Addr, HostProfile> {
-        &self.profiles
-    }
-
     /// Absorbs one flow attributed to the monitored endpoint `host`
     /// (obtained from [`internal_endpoint`]).
     pub fn absorb(&mut self, f: &FlowRecord, host: Ipv4Addr) {
-        let p = self
-            .profiles
-            .entry(host)
-            .or_insert_with(|| HostProfile::new(host));
+        let slot = self.hosts.intern(host).index();
+        if slot == self.profiles.len() {
+            self.profiles.push(HostProfile::new(host));
+            self.last_to.push(HashMap::new());
+        }
+        let p = &mut self.profiles[slot];
         p.flows_involving += 1;
         p.bytes_uploaded += f.bytes_uploaded_by(host).unwrap_or(0);
 
@@ -170,22 +423,32 @@ impl ProfileAccumulator {
                 p.first_activity = Some(f.start);
             }
             p.first_contact.entry(f.dst).or_insert(f.start);
-            if let Some(prev) = self.last_to.insert((host, f.dst), f.start) {
+            if let Some(prev) = self.last_to[slot].insert(f.dst, f.start) {
                 p.interstitials.push((f.start - prev).as_secs_f64());
             }
         }
     }
 
-    /// Removes one host's state entirely (profile and per-destination
-    /// bookkeeping) — the streaming engine's eviction hook.
-    pub fn evict(&mut self, host: Ipv4Addr) -> Option<HostProfile> {
-        self.last_to.retain(|&(h, _), _| h != host);
-        self.profiles.remove(&host)
+    /// Finishes the window and returns the dense profile table.
+    pub fn finish(self) -> ProfileTable {
+        ProfileTable::from_pairs(
+            self.hosts
+                .ips()
+                .iter()
+                .copied()
+                .zip(self.profiles)
+                .collect(),
+        )
     }
 
-    /// Finishes the window and returns the profiles.
-    pub fn finish(self) -> HashMap<Ipv4Addr, HostProfile> {
-        self.profiles
+    /// Finishes the window in the row-oriented map shape.
+    pub fn finish_map(self) -> HashMap<Ipv4Addr, HostProfile> {
+        self.hosts
+            .ips()
+            .iter()
+            .copied()
+            .zip(self.profiles)
+            .collect()
     }
 }
 
@@ -255,17 +518,82 @@ impl<F: Fn(Ipv4Addr) -> bool> ProfileBuilder<F> {
         }
     }
 
-    /// Finishes the window and returns the profiles.
-    pub fn finish(self) -> HashMap<Ipv4Addr, HostProfile> {
+    /// Finishes the window and returns the dense profile table.
+    pub fn finish(self) -> ProfileTable {
         self.acc.finish()
+    }
+
+    /// Finishes the window in the row-oriented map shape.
+    pub fn finish_map(self) -> HashMap<Ipv4Addr, HostProfile> {
+        self.acc.finish_map()
     }
 }
 
-/// The canonical processing order shared by every extraction mode. Sorting
-/// by this key makes batch, streaming, and sharded extraction agree
-/// byte-for-byte.
-pub(crate) fn flow_order_key(f: &FlowRecord) -> (SimTime, Ipv4Addr, Ipv4Addr, u16, u16) {
-    (f.start, f.src, f.dst, f.sport, f.dport)
+/// Columnar accumulation state: per-table-host slot assignment plus the
+/// same per-flow update [`ProfileAccumulator::absorb`] performs, with all
+/// host addressing done through dense [`HostId`]s.
+struct TableProfiler<'t> {
+    table: &'t FlowTable,
+    /// Table host id → local profile slot (`u32::MAX` = not profiled yet).
+    slot: Vec<u32>,
+    ips: Vec<Ipv4Addr>,
+    profiles: Vec<HostProfile>,
+    /// Per local slot: last flow start per destination (table id keyed).
+    last_to: Vec<HashMap<HostId, SimTime>>,
+}
+
+impl<'t> TableProfiler<'t> {
+    fn new(table: &'t FlowTable) -> Self {
+        Self {
+            table,
+            slot: vec![u32::MAX; table.hosts().len()],
+            ips: Vec::new(),
+            profiles: Vec::new(),
+            last_to: Vec::new(),
+        }
+    }
+
+    fn absorb_row(&mut self, row: usize, host: HostId) {
+        let mut s = self.slot[host.index()] as usize;
+        if s == u32::MAX as usize {
+            s = self.profiles.len();
+            self.slot[host.index()] = s as u32;
+            let ip = self.table.hosts().resolve(host);
+            self.ips.push(ip);
+            self.profiles.push(HostProfile::new(ip));
+            self.last_to.push(HashMap::new());
+        }
+        let t = self.table;
+        let p = &mut self.profiles[s];
+        p.flows_involving += 1;
+        let initiated = t.src(row) == host;
+        p.bytes_uploaded += if initiated {
+            t.src_bytes(row)
+        } else {
+            t.dst_bytes(row)
+        };
+        if initiated {
+            p.initiated += 1;
+            if t.is_failed(row) {
+                p.initiated_failed += 1;
+            }
+            let start = t.start(row);
+            if p.first_activity.is_none() {
+                p.first_activity = Some(start);
+            }
+            let dst = t.dst(row);
+            p.first_contact
+                .entry(t.hosts().resolve(dst))
+                .or_insert(start);
+            if let Some(prev) = self.last_to[s].insert(dst, start) {
+                p.interstitials.push((start - prev).as_secs_f64());
+            }
+        }
+    }
+
+    fn finish(self) -> Vec<(Ipv4Addr, HostProfile)> {
+        self.ips.into_iter().zip(self.profiles).collect()
+    }
 }
 
 /// Builds per-host profiles for every internal host appearing in `flows`.
@@ -278,14 +606,25 @@ pub fn extract_profiles<F>(flows: &[FlowRecord], is_internal: F) -> HashMap<Ipv4
 where
     F: Fn(Ipv4Addr) -> bool,
 {
-    // Process in time order for correct interstitials and first contacts.
-    let mut order: Vec<&FlowRecord> = flows.iter().collect();
-    order.sort_by_key(|f| flow_order_key(f));
-    let mut builder = ProfileBuilder::new(is_internal);
-    for f in order {
-        builder.push(f);
+    extract_profiles_table(&FlowTable::from_records(flows), is_internal).to_map()
+}
+
+/// Profile extraction over an existing [`FlowTable`] — the core batch path.
+///
+/// Rows are visited in the table's canonical time order, so the result is
+/// identical to [`extract_profiles`] over the same records.
+pub fn extract_profiles_table<F>(table: &FlowTable, is_internal: F) -> ProfileTable
+where
+    F: Fn(Ipv4Addr) -> bool,
+{
+    let flags = internal_flags(table, &is_internal);
+    let mut prof = TableProfiler::new(table);
+    for row in table.rows_in_order() {
+        if let Some(host) = border_host(table, row, &flags) {
+            prof.absorb_row(row, host);
+        }
     }
-    builder.finish()
+    ProfileTable::from_pairs(prof.finish())
 }
 
 /// Deterministic host→shard assignment used by every parallel stage.
@@ -298,10 +637,10 @@ pub(crate) fn host_shard(host: Ipv4Addr, shards: usize) -> usize {
 
 /// [`extract_profiles`] sharded over hosts with `std::thread::scope`.
 ///
-/// Each worker scans the (pre-sorted) flow list and accumulates only the
-/// hosts assigned to its shard, so shards touch disjoint state and need no
-/// synchronization. Per-host flow order is preserved, which makes the
-/// result identical to [`extract_profiles`] for any thread count.
+/// Each worker scans the table and accumulates only the hosts assigned to
+/// its shard, so shards touch disjoint state and need no synchronization.
+/// Per-host flow order is preserved, which makes the result identical to
+/// [`extract_profiles`] for any thread count.
 ///
 /// `threads == 0` is clamped to 1; `threads == 1` takes the serial path.
 pub fn extract_profiles_par<F>(
@@ -312,46 +651,54 @@ pub fn extract_profiles_par<F>(
 where
     F: Fn(Ipv4Addr) -> bool + Sync,
 {
-    let threads = threads.max(1);
-    if threads == 1 {
-        return extract_profiles(flows, is_internal);
-    }
-    let mut order: Vec<&FlowRecord> = flows.iter().collect();
-    order.sort_by_key(|f| flow_order_key(f));
-    accumulate_sharded(&order, &is_internal, threads)
+    extract_profiles_table_par(&FlowTable::from_records(flows), is_internal, threads).to_map()
 }
 
-/// Shard-parallel accumulation over an already-ordered flow list. Shared by
-/// [`extract_profiles_par`] and the streaming engine's window close.
-pub(crate) fn accumulate_sharded<F>(
-    order: &[&FlowRecord],
-    is_internal: &F,
+/// [`extract_profiles_table`] sharded over hosts with `std::thread::scope`
+/// (see [`extract_profiles_par`]). The shard assignment is computed once
+/// per distinct host, not re-derived per flow per shard.
+pub fn extract_profiles_table_par<F>(
+    table: &FlowTable,
+    is_internal: F,
     threads: usize,
-) -> HashMap<Ipv4Addr, HostProfile>
+) -> ProfileTable
 where
     F: Fn(Ipv4Addr) -> bool + Sync,
 {
+    let threads = threads.max(1);
+    if threads == 1 {
+        return extract_profiles_table(table, is_internal);
+    }
+    let flags = internal_flags(table, &is_internal);
+    let shard_of: Vec<u32> = table
+        .hosts()
+        .ips()
+        .iter()
+        .map(|&ip| host_shard(ip, threads) as u32)
+        .collect();
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
+        let handles: Vec<_> = (0..threads as u32)
             .map(|tid| {
+                let flags = &flags;
+                let shard_of = &shard_of;
                 scope.spawn(move || {
-                    let mut acc = ProfileAccumulator::new();
-                    for f in order {
-                        if let Some(host) = internal_endpoint(f, is_internal) {
-                            if host_shard(host, threads) == tid {
-                                acc.absorb(f, host);
+                    let mut prof = TableProfiler::new(table);
+                    for row in table.rows_in_order() {
+                        if let Some(host) = border_host(table, row, flags) {
+                            if shard_of[host.index()] == tid {
+                                prof.absorb_row(row, host);
                             }
                         }
                     }
-                    acc.finish()
+                    prof.finish()
                 })
             })
             .collect();
-        let mut all = HashMap::new();
+        let mut pairs = Vec::new();
         for h in handles {
-            all.extend(h.join().expect("profile shard thread panicked"));
+            pairs.extend(h.join().expect("profile shard thread panicked"));
         }
-        all
+        ProfileTable::from_pairs(pairs)
     })
 }
 
@@ -490,8 +837,7 @@ mod tests {
         assert_eq!(p.first_contact[&E1], SimTime::ZERO);
     }
 
-    #[test]
-    fn streaming_builder_matches_batch_extraction() {
+    fn mixed_flows() -> Vec<FlowRecord> {
         let mut flows = vec![
             flow(H, E1, 0, 100, 10, false),
             flow(H, E2, 5, 50, 10, true),
@@ -500,6 +846,12 @@ mod tests {
             flow(H2, E2, 200, 10, 10, false),
         ];
         flows.sort_by_key(|f| f.start);
+        flows
+    }
+
+    #[test]
+    fn streaming_builder_matches_batch_extraction() {
+        let flows = mixed_flows();
         let batch = extract_profiles(&flows, internal);
         let mut builder = ProfileBuilder::new(internal);
         assert!(builder.is_empty());
@@ -507,7 +859,7 @@ mod tests {
             builder.push(f);
         }
         assert_eq!(builder.len(), 2);
-        let streamed = builder.finish();
+        let streamed = builder.finish_map();
         assert_eq!(streamed.len(), batch.len());
         for (ip, p) in &batch {
             let s = &streamed[ip];
@@ -516,6 +868,34 @@ mod tests {
             assert_eq!(s.interstitials, p.interstitials);
             assert_eq!(s.first_contact, p.first_contact);
         }
+    }
+
+    #[test]
+    fn table_extraction_matches_map_shape() {
+        let flows = mixed_flows();
+        let table = FlowTable::from_records(&flows);
+        let pt = extract_profiles_table(&table, internal);
+        assert_eq!(pt.len(), 2);
+        // Ascending-IP id order.
+        let ips: Vec<Ipv4Addr> = pt.iter().map(|(_, p)| p.ip).collect();
+        assert_eq!(ips, vec![H, H2]);
+        assert_eq!(pt.get(H).unwrap(), &extract_profiles(&flows, internal)[&H]);
+        assert_eq!(pt.clone().to_map(), extract_profiles(&flows, internal));
+        // Sharded table extraction agrees for any thread count.
+        for threads in [2usize, 3, 8] {
+            let par = extract_profiles_table_par(&table, internal, threads);
+            assert_eq!(par, pt, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn profile_table_retain_reinterns() {
+        let flows = mixed_flows();
+        let mut pt = extract_profiles_table(&FlowTable::from_records(&flows), internal);
+        pt.retain(|ip, _| ip == H2);
+        assert_eq!(pt.len(), 1);
+        assert_eq!(pt.hosts().get(H2).map(|id| id.index()), Some(0));
+        assert!(pt.get(H).is_none());
     }
 
     #[test]

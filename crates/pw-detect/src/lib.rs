@@ -4,10 +4,11 @@
 //! This crate is the primary contribution of the reproduced paper
 //! (Yen & Reiter, ICDCS 2010, §IV–§V):
 //!
-//! - [`features`]: per-host behavioural features extracted from
-//!   [`pw_flow::FlowRecord`]s — failed-connection rate, average bytes
-//!   uploaded per flow, first-contact times per destination, and
-//!   per-destination flow interstitial times;
+//! - [`features`]: per-host behavioural features — failed-connection rate,
+//!   average bytes uploaded per flow, first-contact times per destination,
+//!   and per-destination flow interstitial times — extracted over the
+//!   columnar [`pw_flow::FlowTable`] into a dense, host-id-indexed
+//!   [`ProfileTable`] shared by the batch and streaming paths;
 //! - [`reduction`]: the §V-A data-reduction step (median failed-connection
 //!   rate) that discards hosts unlikely to run P2P software at all;
 //! - [`detectors`]: the three tests — `θ_vol` (volume), `θ_churn` (peer
@@ -59,14 +60,15 @@ pub use detectors::{
 };
 pub use error::{ConfigError, Error};
 pub use features::{
-    extract_profiles, extract_profiles_par, internal_endpoint, HostProfile, ProfileAccumulator,
-    ProfileBuilder,
+    extract_profiles, extract_profiles_par, extract_profiles_table, extract_profiles_table_par,
+    internal_endpoint, HostProfile, ProfileAccumulator, ProfileBuilder, ProfileTable,
 };
 pub use multiday::MultiDayReport;
 pub use perport::{find_plotters_per_service, PerServiceReport, ServiceKey};
 pub use pipeline::{
-    find_plotters, find_plotters_from_profiles, try_find_plotters, try_find_plotters_from_profiles,
-    FindPlottersConfig, FindPlottersConfigBuilder, PlotterReport,
+    find_plotters, find_plotters_from_profiles, find_plotters_from_table, find_plotters_table,
+    try_find_plotters, try_find_plotters_from_profiles, try_find_plotters_from_table,
+    try_find_plotters_table, FindPlottersConfig, FindPlottersConfigBuilder, PlotterReport,
 };
 pub use rates::{rates_against, Rates};
 pub use reduction::initial_reduction;

@@ -12,6 +12,8 @@
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 
+use pw_flow::HostInterner;
+
 use crate::pipeline::PlotterReport;
 
 /// Aggregated multi-day verdicts.
@@ -27,23 +29,47 @@ pub struct MultiDayReport {
 
 impl MultiDayReport {
     /// Aggregates per-day pipeline reports.
+    ///
+    /// Hosts recur across days, so they are interned once and the per-day
+    /// tallies land in dense id-indexed tables; the public map fields are
+    /// materialized at the end.
     pub fn from_reports<'a, I: IntoIterator<Item = &'a PlotterReport>>(reports: I) -> Self {
-        let mut flag_counts: HashMap<Ipv4Addr, usize> = HashMap::new();
-        let mut seen_counts: HashMap<Ipv4Addr, usize> = HashMap::new();
+        let mut hosts = HostInterner::new();
+        let mut seen: Vec<usize> = Vec::new();
+        let mut flagged: Vec<usize> = Vec::new();
         let mut days = 0;
         for report in reports {
             days += 1;
-            for ip in &report.all_hosts {
-                *seen_counts.entry(*ip).or_insert(0) += 1;
+            for &ip in &report.all_hosts {
+                let idx = hosts.intern(ip).index();
+                if idx >= seen.len() {
+                    seen.push(0);
+                    flagged.push(0);
+                }
+                seen[idx] += 1;
             }
-            for ip in &report.suspects {
-                *flag_counts.entry(*ip).or_insert(0) += 1;
+            for &ip in &report.suspects {
+                let idx = hosts.intern(ip).index();
+                if idx >= seen.len() {
+                    seen.push(0);
+                    flagged.push(0);
+                }
+                flagged[idx] += 1;
             }
         }
+        let materialize = |counts: &[usize]| {
+            hosts
+                .ips()
+                .iter()
+                .zip(counts)
+                .filter(|&(_, &n)| n > 0)
+                .map(|(&ip, &n)| (ip, n))
+                .collect()
+        };
         Self {
             days,
-            flag_counts,
-            seen_counts,
+            flag_counts: materialize(&flagged),
+            seen_counts: materialize(&seen),
         }
     }
 

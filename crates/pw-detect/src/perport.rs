@@ -18,10 +18,10 @@
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 
-use pw_flow::{FlowRecord, Proto};
+use pw_flow::{FlowRecord, FlowTable, HostId, Proto};
 
-use crate::features::extract_profiles;
-use crate::pipeline::{find_plotters_from_profiles, FindPlottersConfig};
+use crate::features::{border_host, extract_profiles_table, internal_flags};
+use crate::pipeline::{find_plotters_from_table, FindPlottersConfig};
 
 /// The application slice a flow belongs to, from the monitored host's
 /// perspective.
@@ -97,15 +97,19 @@ pub fn find_plotters_per_service<F>(
 where
     F: Fn(Ipv4Addr) -> bool,
 {
-    // Count flows per (host, service) so small slices can be pooled.
-    let mut slice_counts: HashMap<(Ipv4Addr, ServiceKey), usize> = HashMap::new();
-    for f in flows {
-        let (si, di) = (is_internal(f.src), is_internal(f.dst));
-        if si == di {
-            continue;
+    // Intern endpoints once; the internality oracle runs per distinct host
+    // and slice counting indexes a dense per-host table.
+    let table = FlowTable::from_records(flows);
+    let flags = internal_flags(&table, &is_internal);
+    let mut slices: Vec<HashMap<ServiceKey, usize>> = vec![HashMap::new(); table.hosts().len()];
+    for row in 0..table.len() {
+        if let Some(host) = border_host(&table, row, &flags) {
+            let svc = ServiceKey {
+                proto: table.proto(row),
+                port: table.dport(row),
+            };
+            *slices[host.index()].entry(svc).or_insert(0) += 1;
         }
-        let host = if si { f.src } else { f.dst };
-        *slice_counts.entry((host, service_of(f, host))).or_insert(0) += 1;
     }
 
     // Assign each surviving slice a pseudo-address in 127.0.0.0/8 (never a
@@ -114,13 +118,23 @@ where
         proto: Proto::Tcp,
         port: 0,
     };
-    let mut keys: Vec<(Ipv4Addr, ServiceKey)> = slice_counts
-        .iter()
-        .map(|(&(host, svc), &n)| (host, if n >= min_flows { svc } else { OTHER }))
-        .collect::<HashSet<_>>()
-        .into_iter()
-        .collect();
+    let mut keys: Vec<(Ipv4Addr, ServiceKey)> = Vec::new();
+    for (idx, per_svc) in slices.iter().enumerate() {
+        let host = table.hosts().resolve(HostId::from_index(idx));
+        let mut pooled = false;
+        for (&svc, &n) in per_svc {
+            if n >= min_flows {
+                keys.push((host, svc));
+            } else {
+                pooled = true;
+            }
+        }
+        if pooled {
+            keys.push((host, OTHER));
+        }
+    }
     keys.sort();
+    keys.dedup(); // a real port-0 slice may coincide with the pool
     assert!(keys.len() < 0xFF_FF_FF, "pseudo-address space exhausted");
     let pseudo_of: HashMap<(Ipv4Addr, ServiceKey), Ipv4Addr> = keys
         .iter()
@@ -135,28 +149,31 @@ where
 
     // Rewrite each border flow's internal endpoint to its slice's pseudo
     // address, then run the standard pipeline unchanged.
-    let mut rewritten: Vec<FlowRecord> = Vec::with_capacity(flows.len());
-    for f in flows {
-        let (si, di) = (is_internal(f.src), is_internal(f.dst));
-        if si == di {
+    let mut rewritten: Vec<FlowRecord> = Vec::with_capacity(table.len());
+    for row in 0..table.len() {
+        let Some(host_id) = border_host(&table, row, &flags) else {
             continue;
-        }
-        let host = if si { f.src } else { f.dst };
-        let mut svc = service_of(f, host);
-        if slice_counts[&(host, svc)] < min_flows {
+        };
+        let host = table.hosts().resolve(host_id);
+        let mut svc = ServiceKey {
+            proto: table.proto(row),
+            port: table.dport(row),
+        };
+        if slices[host_id.index()][&svc] < min_flows {
             svc = OTHER;
         }
         let pseudo = pseudo_of[&(host, svc)];
-        let mut g = *f;
-        if si {
+        let mut g = table.record(row);
+        if table.src(row) == host_id {
             g.src = pseudo;
         } else {
             g.dst = pseudo;
         }
         rewritten.push(g);
     }
-    let profiles = extract_profiles(&rewritten, |ip| u32::from(ip) >> 24 == 0x7F);
-    let report = find_plotters_from_profiles(&profiles, cfg);
+    let pseudo_table = FlowTable::from_records(&rewritten);
+    let profiles = extract_profiles_table(&pseudo_table, |ip| u32::from(ip) >> 24 == 0x7F);
+    let report = find_plotters_from_table(&profiles, cfg);
 
     let mut flagged_services: Vec<(Ipv4Addr, ServiceKey)> =
         report.suspects.iter().map(|p| real_of[p]).collect();

@@ -4,14 +4,17 @@
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 
-use pw_flow::FlowRecord;
+use pw_flow::{FlowRecord, FlowTable};
 
 use crate::detectors::{
-    theta_churn_par, theta_hm_with_options, theta_vol_par, HmOptions, HmOutcome, Threshold,
+    theta_churn_view, theta_hm_view, theta_vol_view, HmOptions, HmOutcome, Threshold,
 };
 use crate::error::{ConfigError, Error};
-use crate::features::{extract_profiles, extract_profiles_par, HostProfile};
-use crate::reduction::initial_reduction;
+use crate::features::{
+    extract_profiles_table, extract_profiles_table_par, HostMask, HostProfile, ProfileTable,
+    ProfileView,
+};
+use crate::reduction::initial_reduction_view;
 
 /// Configuration of the full pipeline. Defaults are the paper's §V-B
 /// operating point: data reduction at the median failed-connection rate,
@@ -164,36 +167,36 @@ pub struct PlotterReport {
 /// in lenient mode (the historical `find_plotters` contract) those stages
 /// degrade to an empty set with threshold `0.0` and the run continues.
 fn run_stages(
-    profiles: &HashMap<Ipv4Addr, HostProfile>,
+    view: &ProfileView<'_>,
     cfg: &FindPlottersConfig,
     threads: usize,
     strict: bool,
 ) -> Result<PlotterReport, Error> {
-    if strict && profiles.is_empty() {
+    if strict && view.is_empty() {
         return Err(Error::EmptyWindow);
     }
-    let all_hosts: HashSet<Ipv4Addr> = profiles.keys().copied().collect();
+    let all_hosts = HostMask::full(view.len());
     let (after_reduction, reduction_threshold) = if cfg.with_reduction {
-        initial_reduction(profiles)
+        initial_reduction_view(view)
     } else {
         (all_hosts.clone(), 0.0)
     };
-    let resolve = |out: Option<(HashSet<Ipv4Addr>, f64)>, stage| match out {
+    let resolve = |out: Option<(HostMask, f64)>, stage| match out {
         Some(v) => Ok(v),
         None if strict => Err(Error::ThresholdUnresolvable { stage }),
-        None => Ok((HashSet::new(), 0.0)),
+        None => Ok((HostMask::empty(view.len()), 0.0)),
     };
     let (s_vol, tau_vol) = resolve(
-        theta_vol_par(profiles, &after_reduction, cfg.tau_vol, threads),
+        theta_vol_view(view, &after_reduction, cfg.tau_vol, threads),
         "theta_vol",
     )?;
     let (s_churn, tau_churn) = resolve(
-        theta_churn_par(profiles, &after_reduction, cfg.tau_churn, threads),
+        theta_churn_view(view, &after_reduction, cfg.tau_churn, threads),
         "theta_churn",
     )?;
-    let union: HashSet<Ipv4Addr> = s_vol.union(&s_churn).copied().collect();
-    let hm = theta_hm_with_options(
-        profiles,
+    let union = s_vol.union(&s_churn);
+    let hm = theta_hm_view(
+        view,
         &union,
         cfg.tau_hm,
         cfg.cut_fraction,
@@ -204,14 +207,14 @@ fn run_stages(
     );
     let suspects = hm.kept.clone();
     Ok(PlotterReport {
-        all_hosts,
-        after_reduction,
+        all_hosts: all_hosts.to_ips(view),
+        after_reduction: after_reduction.to_ips(view),
         reduction_threshold,
-        s_vol,
+        s_vol: s_vol.to_ips(view),
         tau_vol,
-        s_churn,
+        s_churn: s_churn.to_ips(view),
         tau_churn,
-        union,
+        union: union.to_ips(view),
         hm,
         suspects,
     })
@@ -220,7 +223,8 @@ fn run_stages(
 /// Runs `FindPlotters` over raw flow records.
 ///
 /// `is_internal` identifies monitored hosts (the administrator knows her
-/// own address space).
+/// own address space). The records are interned into a [`FlowTable`] first;
+/// callers that already hold a table should use [`find_plotters_table`].
 pub fn find_plotters<F>(
     flows: &[FlowRecord],
     is_internal: F,
@@ -229,8 +233,22 @@ pub fn find_plotters<F>(
 where
     F: Fn(Ipv4Addr) -> bool,
 {
-    let profiles = extract_profiles(flows, is_internal);
-    find_plotters_from_profiles(&profiles, cfg)
+    find_plotters_table(&FlowTable::from_records(flows), is_internal, cfg)
+}
+
+/// Runs `FindPlotters` over an interned [`FlowTable`] — the core batch
+/// path. Building the table once and reusing it across runs (threshold
+/// sweeps, per-service slices) avoids re-sorting and re-interning flows.
+pub fn find_plotters_table<F>(
+    table: &FlowTable,
+    is_internal: F,
+    cfg: &FindPlottersConfig,
+) -> PlotterReport
+where
+    F: Fn(Ipv4Addr) -> bool,
+{
+    let profiles = extract_profiles_table(table, is_internal);
+    find_plotters_from_table(&profiles, cfg)
 }
 
 /// Runs `FindPlotters` over pre-extracted host profiles (lets callers
@@ -239,7 +257,18 @@ pub fn find_plotters_from_profiles(
     profiles: &HashMap<Ipv4Addr, HostProfile>,
     cfg: &FindPlottersConfig,
 ) -> PlotterReport {
-    run_stages(profiles, cfg, 1, false).expect("lenient pipeline is infallible")
+    run_stages(&ProfileView::from_map(profiles), cfg, 1, false)
+        .expect("lenient pipeline is infallible")
+}
+
+/// [`find_plotters_from_profiles`] over a dense [`ProfileTable`], borrowing
+/// the table instead of re-sorting a map's keys.
+pub fn find_plotters_from_table(
+    profiles: &ProfileTable,
+    cfg: &FindPlottersConfig,
+) -> PlotterReport {
+    run_stages(&ProfileView::from_table(profiles), cfg, 1, false)
+        .expect("lenient pipeline is infallible")
 }
 
 /// [`find_plotters`] with validated configuration, typed failures, and
@@ -257,12 +286,26 @@ pub fn try_find_plotters<F>(
 where
     F: Fn(Ipv4Addr) -> bool + Sync,
 {
+    try_find_plotters_table(&FlowTable::from_records(flows), is_internal, cfg, threads)
+}
+
+/// [`find_plotters_table`] with validated configuration, typed failures,
+/// and host-sharded parallelism (see [`try_find_plotters`]).
+pub fn try_find_plotters_table<F>(
+    table: &FlowTable,
+    is_internal: F,
+    cfg: &FindPlottersConfig,
+    threads: usize,
+) -> Result<PlotterReport, Error>
+where
+    F: Fn(Ipv4Addr) -> bool + Sync,
+{
     if threads == 0 {
         return Err(ConfigError::ZeroThreads.into());
     }
     cfg.validate()?;
-    let profiles = extract_profiles_par(flows, is_internal, threads);
-    run_stages(&profiles, cfg, threads, true)
+    let profiles = extract_profiles_table_par(table, is_internal, threads);
+    run_stages(&ProfileView::from_table(&profiles), cfg, threads, true)
 }
 
 /// [`find_plotters_from_profiles`] with validated configuration, typed
@@ -276,12 +319,28 @@ pub fn try_find_plotters_from_profiles(
         return Err(ConfigError::ZeroThreads.into());
     }
     cfg.validate()?;
-    run_stages(profiles, cfg, threads, true)
+    run_stages(&ProfileView::from_map(profiles), cfg, threads, true)
+}
+
+/// [`find_plotters_from_table`] with validated configuration, typed
+/// failures, and host-sharded parallelism — the streaming engine's
+/// window-close path.
+pub fn try_find_plotters_from_table(
+    profiles: &ProfileTable,
+    cfg: &FindPlottersConfig,
+    threads: usize,
+) -> Result<PlotterReport, Error> {
+    if threads == 0 {
+        return Err(ConfigError::ZeroThreads.into());
+    }
+    cfg.validate()?;
+    run_stages(&ProfileView::from_table(profiles), cfg, threads, true)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::features::extract_profiles;
     use pw_flow::{FlowState, Payload, Proto};
     use pw_netsim::{SimDuration, SimTime};
 
@@ -441,6 +500,25 @@ mod tests {
         let b = find_plotters_from_profiles(&profiles, &FindPlottersConfig::default());
         assert_eq!(a.suspects, b.suspects);
         assert_eq!(a.tau_vol, b.tau_vol);
+    }
+
+    #[test]
+    fn table_entry_points_match_record_entry_points() {
+        let flows = mini_world();
+        let cfg = FindPlottersConfig::default();
+        let table = FlowTable::from_records(&flows);
+        let from_records = find_plotters(&flows, internal, &cfg);
+        let from_table = find_plotters_table(&table, internal, &cfg);
+        assert_eq!(from_records, from_table);
+        let profiles = extract_profiles_table(&table, internal);
+        assert_eq!(find_plotters_from_table(&profiles, &cfg), from_records);
+        for threads in [1usize, 4] {
+            let strict = try_find_plotters_table(&table, internal, &cfg, threads).unwrap();
+            assert_eq!(strict.suspects, from_records.suspects, "threads={threads}");
+            let from_ptable = try_find_plotters_from_table(&profiles, &cfg, threads).unwrap();
+            assert_eq!(from_ptable.suspects, from_records.suspects);
+            assert_eq!(from_ptable.hm.tau.to_bits(), from_records.hm.tau.to_bits());
+        }
     }
 
     #[test]

@@ -10,8 +10,31 @@ use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 
 use pw_analysis::median;
+use pw_flow::HostId;
 
-use crate::features::HostProfile;
+use crate::features::{HostMask, HostProfile, ProfileView};
+
+/// The data-reduction core over a dense profile view: survivors as a
+/// [`HostMask`] plus the failed-rate threshold. All pipeline stages consume
+/// this form; [`initial_reduction`] adapts it to the map shape.
+pub(crate) fn initial_reduction_view(view: &ProfileView<'_>) -> (HostMask, f64) {
+    let eligible: Vec<(HostId, Option<f64>)> = view
+        .ids()
+        .filter(|&id| view.profile(id).initiated_successfully())
+        .map(|id| (id, view.profile(id).failed_rate()))
+        .collect();
+    let rates: Vec<f64> = eligible.iter().filter_map(|&(_, r)| r).collect();
+    let Some(threshold) = median(&rates) else {
+        return (HostMask::empty(view.len()), 0.0);
+    };
+    let mut survivors = HostMask::empty(view.len());
+    for &(id, r) in &eligible {
+        if r.is_some_and(|r| r > threshold) {
+            survivors.insert(id);
+        }
+    }
+    (survivors, threshold)
+}
 
 /// Applies the data-reduction step and returns the surviving "possibly
 /// P2P" hosts plus the (dynamically computed) failed-rate threshold.
@@ -20,20 +43,9 @@ use crate::features::HostProfile;
 /// all; of those, hosts whose failed-connection rate exceeds the median are
 /// retained. Returns an empty set and threshold `0.0` for an empty input.
 pub fn initial_reduction(profiles: &HashMap<Ipv4Addr, HostProfile>) -> (HashSet<Ipv4Addr>, f64) {
-    let eligible: Vec<&HostProfile> = profiles
-        .values()
-        .filter(|p| p.initiated_successfully())
-        .collect();
-    let rates: Vec<f64> = eligible.iter().filter_map(|p| p.failed_rate()).collect();
-    let Some(threshold) = median(&rates) else {
-        return (HashSet::new(), 0.0);
-    };
-    let survivors = eligible
-        .iter()
-        .filter(|p| p.failed_rate().map(|r| r > threshold).unwrap_or(false))
-        .map(|p| p.ip)
-        .collect();
-    (survivors, threshold)
+    let view = ProfileView::from_map(profiles);
+    let (survivors, threshold) = initial_reduction_view(&view);
+    (survivors.to_ips(&view), threshold)
 }
 
 #[cfg(test)]

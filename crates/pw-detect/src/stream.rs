@@ -38,12 +38,14 @@
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
-use pw_flow::{ArgusAggregator, FlowRecord};
+use pw_flow::{ArgusAggregator, FlowRecord, FlowTable};
 use pw_netsim::{SimDuration, SimTime};
 
 use crate::error::{ConfigError, Error};
-use crate::features::{accumulate_sharded, internal_endpoint, ProfileAccumulator};
-use crate::pipeline::{try_find_plotters_from_profiles, FindPlottersConfig, PlotterReport};
+use crate::features::{
+    border_host, extract_profiles_table, extract_profiles_table_par, internal_flags,
+};
+use crate::pipeline::{try_find_plotters_from_table, FindPlottersConfig, PlotterReport};
 
 /// When a window closes, which profiled hosts still take part in the
 /// verdict.
@@ -303,25 +305,19 @@ impl<F: Fn(Ipv4Addr) -> bool + Sync> DetectionEngine<F> {
         }
     }
 
-    fn close_window(&self, index: u64, mut flows: Vec<FlowRecord>) -> WindowReport {
+    fn close_window(&self, index: u64, flows: Vec<FlowRecord>) -> WindowReport {
         let start = SimTime::from_millis(index * self.cfg.slide.as_millis());
         let end = start + self.cfg.window;
-        // Already sorted by construction; cheap on sorted input and keeps
+        // The table interns hosts and (stably) re-sorts into the canonical
+        // processing order — the same order the batch path uses, which keeps
         // the batch-equivalence guarantee independent of buffer internals.
-        flows.sort_by_key(buffer_key);
+        let table = FlowTable::from_records(&flows);
 
         let threads = self.cfg.threads;
         let mut profiles = if threads == 1 {
-            let mut acc = ProfileAccumulator::new();
-            for f in &flows {
-                if let Some(host) = internal_endpoint(f, &self.is_internal) {
-                    acc.absorb(f, host);
-                }
-            }
-            acc.finish()
+            extract_profiles_table(&table, &self.is_internal)
         } else {
-            let order: Vec<&FlowRecord> = flows.iter().collect();
-            accumulate_sharded(&order, &self.is_internal, threads)
+            extract_profiles_table_par(&table, &self.is_internal, threads)
         };
         let hosts = profiles.len();
 
@@ -330,20 +326,27 @@ impl<F: Fn(Ipv4Addr) -> bool + Sync> DetectionEngine<F> {
             EvictionPolicy::IdleLongerThan(idle) => {
                 let deadline =
                     SimTime::from_millis(end.as_millis().saturating_sub(idle.as_millis()));
-                let mut last_seen: BTreeMap<Ipv4Addr, SimTime> = BTreeMap::new();
-                for f in &flows {
-                    if let Some(host) = internal_endpoint(f, &self.is_internal) {
-                        let e = last_seen.entry(host).or_insert(f.start);
-                        *e = (*e).max(f.start);
+                // Dense last-activity table indexed by the flow table's ids.
+                let flags = internal_flags(&table, &self.is_internal);
+                let mut last_seen = vec![SimTime::ZERO; table.hosts().len()];
+                for row in 0..table.len() {
+                    if let Some(host) = border_host(&table, row, &flags) {
+                        let e = &mut last_seen[host.index()];
+                        *e = (*e).max(table.start(row));
                     }
                 }
                 let before = profiles.len();
-                profiles.retain(|host, _| last_seen.get(host).is_some_and(|&t| t >= deadline));
+                profiles.retain(|host, _| {
+                    table
+                        .hosts()
+                        .get(host)
+                        .is_some_and(|id| last_seen[id.index()] >= deadline)
+                });
                 before - profiles.len()
             }
         };
 
-        let outcome = try_find_plotters_from_profiles(&profiles, &self.cfg.detect, threads);
+        let outcome = try_find_plotters_from_table(&profiles, &self.cfg.detect, threads);
         WindowReport {
             index,
             start,

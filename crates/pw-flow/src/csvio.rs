@@ -10,7 +10,7 @@ use std::net::Ipv4Addr;
 use pw_netsim::SimTime;
 
 use crate::packet::{Payload, Proto};
-use crate::record::{FlowRecord, FlowState};
+use crate::record::{FlowRecord, FlowState, ParseError};
 
 /// Column header written by [`write_flows`].
 pub const HEADER: &str =
@@ -149,12 +149,12 @@ pub fn read_flows<R: BufRead>(r: R) -> Result<Vec<FlowRecord>, ParseFlowError> {
             s.parse::<Ipv4Addr>()
                 .map_err(|e| err(format!("bad {what} `{s}`: {e}")))
         };
-        let proto = match fields[6] {
-            "tcp" => Proto::Tcp,
-            "udp" => Proto::Udp,
-            other => return Err(err(format!("bad proto `{other}`"))),
-        };
-        let state: FlowState = fields[11].parse().map_err(err)?;
+        let proto: Proto = fields[6]
+            .parse()
+            .map_err(|e: ParseError| err(e.to_string()))?;
+        let state: FlowState = fields[11]
+            .parse()
+            .map_err(|e: ParseError| err(e.to_string()))?;
         let payload_bytes = hex_decode(fields[12]).map_err(err)?;
         out.push(FlowRecord {
             start: SimTime::from_millis(parse_u64(fields[0], "start")?),

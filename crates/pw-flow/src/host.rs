@@ -1,0 +1,172 @@
+//! Interned host identifiers.
+//!
+//! Every stage of the detection pipeline is a per-host pass, and hashing
+//! raw [`Ipv4Addr`] keys through a fresh `HashMap` at each stage dominates
+//! the profile-extraction hot path. A [`HostInterner`] assigns each
+//! distinct address a dense [`HostId`] once, so downstream per-host state
+//! becomes a plain `Vec` indexed by `HostId` — no re-hashing, better
+//! locality, and cheap sharding by integer id.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Dense identifier for an interned host address.
+///
+/// Ids are assigned contiguously from zero in interning order, so a
+/// `Vec<T>` of length [`HostInterner::len`] indexed by [`HostId::index`]
+/// is a total map over the interner's hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HostId(u32);
+
+impl HostId {
+    /// The id's position in dense per-host tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs an id from a dense table index.
+    ///
+    /// The caller is responsible for `index` having come from an id of the
+    /// same interner (e.g. iterating `0..interner.len()`).
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        debug_assert!(index <= u32::MAX as usize);
+        HostId(index as u32)
+    }
+}
+
+impl std::fmt::Display for HostId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+/// Bidirectional map between [`Ipv4Addr`]s and dense [`HostId`]s.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HostInterner {
+    ids: HashMap<Ipv4Addr, HostId>,
+    ips: Vec<Ipv4Addr>,
+}
+
+impl HostInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty interner with room for `hosts` addresses.
+    pub fn with_capacity(hosts: usize) -> Self {
+        Self {
+            ids: HashMap::with_capacity(hosts),
+            ips: Vec::with_capacity(hosts),
+        }
+    }
+
+    /// Returns the id for `ip`, assigning the next dense id on first sight.
+    pub fn intern(&mut self, ip: Ipv4Addr) -> HostId {
+        if let Some(&id) = self.ids.get(&ip) {
+            return id;
+        }
+        let id = HostId::from_index(self.ips.len());
+        self.ids.insert(ip, id);
+        self.ips.push(ip);
+        id
+    }
+
+    /// The id previously assigned to `ip`, if any. Never allocates.
+    pub fn get(&self, ip: Ipv4Addr) -> Option<HostId> {
+        self.ids.get(&ip).copied()
+    }
+
+    /// The address behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this interner.
+    #[inline]
+    pub fn resolve(&self, id: HostId) -> Ipv4Addr {
+        self.ips[id.index()]
+    }
+
+    /// Number of distinct hosts interned.
+    pub fn len(&self) -> usize {
+        self.ips.len()
+    }
+
+    /// Whether no host has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.ips.is_empty()
+    }
+
+    /// All interned addresses, indexed by [`HostId::index`].
+    pub fn ips(&self) -> &[Ipv4Addr] {
+        &self.ips
+    }
+
+    /// Iterates `(id, ip)` pairs in dense id order.
+    pub fn iter(&self) -> impl Iterator<Item = (HostId, Ipv4Addr)> + '_ {
+        self.ips
+            .iter()
+            .enumerate()
+            .map(|(i, &ip)| (HostId::from_index(i), ip))
+    }
+}
+
+impl FromIterator<Ipv4Addr> for HostInterner {
+    fn from_iter<T: IntoIterator<Item = Ipv4Addr>>(iter: T) -> Self {
+        let mut interner = HostInterner::new();
+        for ip in iter {
+            interner.intern(ip);
+        }
+        interner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_dense_ids_in_order() {
+        let mut h = HostInterner::new();
+        let a = h.intern(Ipv4Addr::new(10, 0, 0, 1));
+        let b = h.intern(Ipv4Addr::new(10, 0, 0, 2));
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.resolve(a), Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(h.resolve(b), Ipv4Addr::new(10, 0, 0, 2));
+    }
+
+    #[test]
+    fn reintern_is_idempotent() {
+        let mut h = HostInterner::new();
+        let ip = Ipv4Addr::new(192, 168, 1, 1);
+        let first = h.intern(ip);
+        let second = h.intern(ip);
+        assert_eq!(first, second);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.get(ip), Some(first));
+    }
+
+    #[test]
+    fn get_never_allocates() {
+        let h = HostInterner::new();
+        assert_eq!(h.get(Ipv4Addr::new(1, 1, 1, 1)), None);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn iter_matches_ips() {
+        let h: HostInterner = [Ipv4Addr::new(1, 0, 0, 1), Ipv4Addr::new(2, 0, 0, 2)]
+            .into_iter()
+            .collect();
+        let pairs: Vec<_> = h.iter().collect();
+        assert_eq!(pairs.len(), 2);
+        for (id, ip) in pairs {
+            assert_eq!(h.resolve(id), ip);
+            assert_eq!(h.ips()[id.index()], ip);
+        }
+    }
+}

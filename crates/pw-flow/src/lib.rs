@@ -9,6 +9,10 @@
 //! - [`ArgusAggregator`]: groups packets of a connection into one
 //!   bi-directional [`FlowRecord`], tracking TCP state, idle timeouts, and
 //!   the first 64 payload bytes ([`aggregator`], [`record`]);
+//! - [`FlowTable`]: the columnar (struct-of-arrays) form of a flow
+//!   dataset, with endpoints interned to dense [`HostId`]s by a
+//!   [`HostInterner`] and a canonical time-sorted index — the shape every
+//!   `pw-detect` stage consumes ([`table`], [`host`]);
 //! - [`synth`]: canonical packet sequences for whole connections
 //!   (handshake, data, teardown; failed variants), so every traffic model
 //!   exercises the same aggregation path;
@@ -40,12 +44,16 @@
 
 pub mod aggregator;
 pub mod csvio;
+pub mod host;
 pub mod packet;
 pub mod record;
 pub mod signatures;
 pub mod synth;
+pub mod table;
 
 pub use aggregator::{ArgusAggregator, ArgusConfig};
+pub use host::{HostId, HostInterner};
 pub use packet::{Packet, PacketSink, Payload, Proto, TcpFlags};
-pub use record::{FlowRecord, FlowState};
+pub use record::{FlowRecord, FlowState, ParseError};
 pub use signatures::P2pApp;
+pub use table::FlowTable;

@@ -23,6 +23,17 @@ impl std::fmt::Display for Proto {
     }
 }
 
+impl std::str::FromStr for Proto {
+    type Err = crate::record::ParseError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "tcp" => Ok(Proto::Tcp),
+            "udp" => Ok(Proto::Udp),
+            other => Err(crate::record::ParseError::UnknownProto(other.to_owned())),
+        }
+    }
+}
+
 /// TCP control flags carried by a packet (a subset sufficient for flow-state
 /// tracking). Packed as a small bitset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]

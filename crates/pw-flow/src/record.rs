@@ -7,6 +7,26 @@ use serde::{Deserialize, Serialize};
 
 use crate::packet::{Payload, Proto};
 
+/// Error parsing a flow-record field from its textual form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A flow-state token that is none of the known states.
+    UnknownFlowState(String),
+    /// A protocol token that is neither `tcp` nor `udp`.
+    UnknownProto(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::UnknownFlowState(s) => write!(f, "unknown flow state `{s}`"),
+            ParseError::UnknownProto(s) => write!(f, "unknown protocol `{s}`"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
 /// Connection-level outcome of a flow, as reconstructible from packet
 /// headers (the way Argus reports TCP state).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -52,7 +72,7 @@ impl std::fmt::Display for FlowState {
 }
 
 impl std::str::FromStr for FlowState {
-    type Err = String;
+    type Err = ParseError;
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         Ok(match s {
             "EST" => FlowState::Established,
@@ -61,7 +81,7 @@ impl std::str::FromStr for FlowState {
             "RSTD" => FlowState::ResetAfterData,
             "UDPR" => FlowState::UdpReplied,
             "UDPS" => FlowState::UdpSilent,
-            other => return Err(format!("unknown flow state `{other}`")),
+            other => return Err(ParseError::UnknownFlowState(other.to_owned())),
         })
     }
 }

@@ -10,8 +10,8 @@ use std::collections::HashSet;
 use std::net::Ipv4Addr;
 
 use peerwatch::botnet::BotFamily;
-use peerwatch::data::{label_traders_by_payload, run_experiment, ExperimentConfig};
-use peerwatch::detect::{find_plotters, FindPlottersConfig};
+use peerwatch::data::{label_traders_by_payload_table, run_experiment, ExperimentConfig};
+use peerwatch::detect::{find_plotters_table, FindPlottersConfig};
 
 fn main() {
     let cfg = ExperimentConfig {
@@ -25,8 +25,13 @@ fn main() {
     let base = &overlaid.base;
     println!("{} border flows", overlaid.flows.len());
 
+    // Intern the day once; labelling and detection both borrow the same
+    // columnar table instead of re-scanning the record vector.
+    let table = run.flow_table();
+    println!("{} distinct hosts interned", table.hosts().len());
+
     // Ground truth the way the paper builds it: scan the 64 payload bytes.
-    let payload_traders = label_traders_by_payload(&overlaid.flows, |ip| base.is_internal(ip), 1);
+    let payload_traders = label_traders_by_payload_table(&table, |ip| base.is_internal(ip), 1);
     println!(
         "\npayload-signature scan labelled {} Trader hosts:",
         payload_traders.len()
@@ -39,9 +44,9 @@ fn main() {
         println!("  {app}: {n}");
     }
 
-    // Run the detector.
-    let report = find_plotters(
-        &overlaid.flows,
+    // Run the detector over the same table.
+    let report = find_plotters_table(
+        &table,
         |ip| base.is_internal(ip),
         &FindPlottersConfig::default(),
     );

@@ -15,4 +15,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> cargo bench --no-run (benches must keep compiling)"
+cargo bench --workspace --no-run -q
+
+echo "==> cargo doc (public docs must build cleanly)"
+cargo doc --workspace --no-deps -q
+
 echo "CI OK"

@@ -21,8 +21,9 @@ use std::fs;
 use std::net::Ipv4Addr;
 
 use peerwatch::detect::stream::{DetectionEngine, EngineConfig};
-use peerwatch::detect::{try_find_plotters, FindPlottersConfig, PlotterReport, Threshold};
+use peerwatch::detect::{try_find_plotters_table, FindPlottersConfig, PlotterReport, Threshold};
 use peerwatch::flow::csvio::read_flows;
+use peerwatch::flow::FlowTable;
 use peerwatch::netsim::{SimDuration, Subnet};
 
 fn usage() -> ! {
@@ -194,10 +195,15 @@ fn main() {
         report.suspects = union_suspects;
         report
     } else {
-        let report = try_find_plotters(&flows, is_internal, &cfg, threads).unwrap_or_else(|e| {
-            eprintln!("detection failed: {e}");
-            std::process::exit(1);
-        });
+        // Intern the whole file into one columnar table; detection borrows
+        // it instead of re-scanning and re-hashing addresses per stage.
+        let table = FlowTable::from_records(&flows);
+        eprintln!("interned {} hosts", table.hosts().len());
+        let report =
+            try_find_plotters_table(&table, is_internal, &cfg, threads).unwrap_or_else(|e| {
+                eprintln!("detection failed: {e}");
+                std::process::exit(1);
+            });
         print_report(&report);
         report
     };
