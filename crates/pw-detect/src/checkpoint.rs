@@ -1,0 +1,655 @@
+//! Checkpoint/restore for the streaming engine.
+//!
+//! A long-running monitor must survive restarts without replaying a whole
+//! day of flows and without emitting different verdicts than an
+//! uninterrupted run would have. [`EngineCheckpoint`] is a complete,
+//! serializable snapshot of a
+//! [`DetectionEngine`](crate::stream::DetectionEngine): configuration,
+//! watermark, reorder buffer, open windows, and every ingest counter.
+//! [`DetectionEngine::checkpoint`](crate::stream::DetectionEngine::checkpoint)
+//! produces one; [`DetectionEngine::restore`](crate::stream::DetectionEngine::restore)
+//! revives an engine that continues *byte-identically* — same reports,
+//! same thresholds bit-for-bit, same counters — at any thread count.
+//!
+//! # Serialized form
+//!
+//! The on-disk format is a versioned, line-oriented text file — the repo
+//! deliberately takes no serialization dependency:
+//!
+//! ```text
+//! peerwatch-checkpoint v1
+//! engine window_ms=3600000 slide_ms=3600000 ... reject_invalid=0
+//! detect with_reduction=1 tau_vol=p:4049000000000000 ... cut_fraction=3fa999999999999a
+//! state watermark_ms=1234 applied_to_ms=1000 ...
+//! stats attempted=100 accepted=98 ...
+//! deltas late=0 dropped=0 quarantined=0
+//! buffer 2
+//! <flow row in csvio line format>
+//! <flow row in csvio line format>
+//! window 7 1
+//! <flow row in csvio line format>
+//! end
+//! ```
+//!
+//! Floats (`cut_fraction`, absolute/percentile thresholds) are serialized
+//! as the hexadecimal IEEE-754 bit pattern, so restore is exact — no
+//! decimal round-trip can perturb a threshold and flip a verdict. Flow
+//! rows reuse [`pw_flow::csvio`]'s line codec.
+//!
+//! [`write_checkpoint`] persists atomically (write to a temporary sibling,
+//! then rename), so a crash mid-write leaves the previous checkpoint
+//! intact; [`read_checkpoint`] refuses unknown versions and reports the
+//! line number of any corruption.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use pw_flow::csvio::{format_flow, parse_flow};
+use pw_flow::{FlowRecord, RowError};
+use pw_netsim::{SimDuration, SimTime};
+
+use crate::detectors::Threshold;
+use crate::pipeline::FindPlottersConfig;
+use crate::stream::{EngineConfig, EngineStats, EvictionPolicy, LatePolicy};
+
+/// Magic first line of every checkpoint file; the version suffix gates
+/// format evolution.
+pub const MAGIC: &str = "peerwatch-checkpoint v1";
+
+/// A complete snapshot of a streaming engine.
+///
+/// Produced by
+/// [`DetectionEngine::checkpoint`](crate::stream::DetectionEngine::checkpoint),
+/// consumed by
+/// [`DetectionEngine::restore`](crate::stream::DetectionEngine::restore).
+/// The fields are public so operators can inspect a snapshot (e.g. print
+/// the watermark of a checkpoint file) without reviving an engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineCheckpoint {
+    /// The engine configuration at snapshot time (restore re-validates it).
+    pub config: EngineConfig,
+    /// Maximum flow start observed.
+    pub watermark: SimTime,
+    /// Flows starting before this instant were already applied to windows.
+    pub applied_to: SimTime,
+    /// Cumulative ingest accounting.
+    pub stats: EngineStats,
+    /// Late-flow delta awaiting the next report.
+    pub window_late: u64,
+    /// Dropped-flow delta awaiting the next report.
+    pub window_dropped: u64,
+    /// Quarantine delta awaiting the next report.
+    pub window_quarantined: u64,
+    /// Watermark value at the last stall check.
+    pub stall_watermark: SimTime,
+    /// Feed-clock instant of the last observed watermark advance.
+    pub stall_progress_at: Option<SimTime>,
+    /// Flows still in the reorder buffer (order-independent; restore
+    /// rebuilds the buffer's canonical ordering).
+    pub buffer: Vec<FlowRecord>,
+    /// Open windows: `(index, flows)` in ascending index order.
+    pub open: Vec<(u64, Vec<FlowRecord>)>,
+}
+
+/// Why a checkpoint could not be read.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The file could not be read or written.
+    Io(io::Error),
+    /// The first line is not a supported [`MAGIC`] header.
+    BadMagic {
+        /// What the first line actually said.
+        found: String,
+    },
+    /// A line did not match the expected shape.
+    Format {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A serialized flow row failed to parse.
+    Row(RowError),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::BadMagic { found } => write!(
+                f,
+                "not a peerwatch checkpoint (expected {MAGIC:?} header, found {found:?})"
+            ),
+            CheckpointError::Format { line, reason } => {
+                write!(f, "corrupt checkpoint at line {line}: {reason}")
+            }
+            CheckpointError::Row(e) => write!(f, "corrupt checkpoint flow row: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Row(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<RowError> for CheckpointError {
+    fn from(e: RowError) -> Self {
+        CheckpointError::Row(e)
+    }
+}
+
+fn f64_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn threshold_str(t: Threshold) -> String {
+    match t {
+        Threshold::Percentile(p) => format!("p:{}", f64_hex(p)),
+        Threshold::Absolute(v) => format!("a:{}", f64_hex(v)),
+    }
+}
+
+fn opt_ms(v: Option<u64>) -> String {
+    match v {
+        Some(n) => n.to_string(),
+        None => "none".to_string(),
+    }
+}
+
+impl EngineCheckpoint {
+    /// Serializes the snapshot into the versioned text form.
+    pub fn serialize(&self) -> String {
+        let c = &self.config;
+        let mut out = String::new();
+        out.push_str(MAGIC);
+        out.push('\n');
+        let eviction = match c.eviction {
+            EvictionPolicy::WindowScoped => "window".to_string(),
+            EvictionPolicy::IdleLongerThan(d) => format!("idle:{}", d.as_millis()),
+        };
+        let late = match c.late_policy {
+            LatePolicy::Reject => "reject",
+            LatePolicy::Drop => "drop",
+            LatePolicy::ExtendOldest => "extend",
+        };
+        out.push_str(&format!(
+            "engine window_ms={} slide_ms={} lateness_ms={} threads={} eviction={} \
+             late_policy={} max_flows={} stall_timeout_ms={} dedupe={} reject_invalid={}\n",
+            c.window.as_millis(),
+            c.slide.as_millis(),
+            c.lateness.as_millis(),
+            c.threads,
+            eviction,
+            late,
+            opt_ms(c.max_flows.map(|n| n as u64)),
+            opt_ms(c.stall_timeout.map(|d| d.as_millis())),
+            u8::from(c.dedupe),
+            u8::from(c.reject_invalid),
+        ));
+        out.push_str(&format!(
+            "detect with_reduction={} tau_vol={} tau_churn={} tau_hm={} cut_fraction={}\n",
+            u8::from(c.detect.with_reduction),
+            threshold_str(c.detect.tau_vol),
+            threshold_str(c.detect.tau_churn),
+            threshold_str(c.detect.tau_hm),
+            f64_hex(c.detect.cut_fraction),
+        ));
+        out.push_str(&format!(
+            "state watermark_ms={} applied_to_ms={} stall_watermark_ms={} stall_progress_at_ms={}\n",
+            self.watermark.as_millis(),
+            self.applied_to.as_millis(),
+            self.stall_watermark.as_millis(),
+            opt_ms(self.stall_progress_at.map(|t| t.as_millis())),
+        ));
+        let s = self.stats;
+        out.push_str(&format!(
+            "stats attempted={} accepted={} late={} late_dropped={} late_extended={} shed={} \
+             quarantined={} duplicates={} stall_flushes={}\n",
+            s.attempted,
+            s.accepted,
+            s.late,
+            s.late_dropped,
+            s.late_extended,
+            s.shed,
+            s.quarantined,
+            s.duplicates,
+            s.stall_flushes,
+        ));
+        out.push_str(&format!(
+            "deltas late={} dropped={} quarantined={}\n",
+            self.window_late, self.window_dropped, self.window_quarantined,
+        ));
+        out.push_str(&format!("buffer {}\n", self.buffer.len()));
+        for f in &self.buffer {
+            out.push_str(&format_flow(f));
+            out.push('\n');
+        }
+        for (index, flows) in &self.open {
+            out.push_str(&format!("window {} {}\n", index, flows.len()));
+            for f in flows {
+                out.push_str(&format_flow(f));
+                out.push('\n');
+            }
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses the text form back into a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] naming the offending line on any corruption;
+    /// unknown versions are refused up front.
+    pub fn parse(text: &str) -> Result<Self, CheckpointError> {
+        let mut lines = text.lines().enumerate();
+        let (_, magic) = lines.next().ok_or(CheckpointError::BadMagic {
+            found: String::new(),
+        })?;
+        if magic != MAGIC {
+            return Err(CheckpointError::BadMagic {
+                found: magic.to_string(),
+            });
+        }
+
+        let engine = section(&mut lines, "engine")?;
+        let config_fields = Fields::new(engine.1, engine.0 + 1)?;
+        let detect = section(&mut lines, "detect")?;
+        let detect_fields = Fields::new(detect.1, detect.0 + 1)?;
+        let state = section(&mut lines, "state")?;
+        let state_fields = Fields::new(state.1, state.0 + 1)?;
+        let stats_line = section(&mut lines, "stats")?;
+        let stats_fields = Fields::new(stats_line.1, stats_line.0 + 1)?;
+        let deltas = section(&mut lines, "deltas")?;
+        let delta_fields = Fields::new(deltas.1, deltas.0 + 1)?;
+
+        let config = EngineConfig {
+            window: SimDuration::from_millis(config_fields.num("window_ms")?),
+            slide: SimDuration::from_millis(config_fields.num("slide_ms")?),
+            lateness: SimDuration::from_millis(config_fields.num("lateness_ms")?),
+            threads: config_fields.num("threads")? as usize,
+            eviction: config_fields.eviction()?,
+            late_policy: config_fields.late_policy()?,
+            max_flows: config_fields.opt_num("max_flows")?.map(|n| n as usize),
+            stall_timeout: config_fields
+                .opt_num("stall_timeout_ms")?
+                .map(SimDuration::from_millis),
+            dedupe: config_fields.flag("dedupe")?,
+            reject_invalid: config_fields.flag("reject_invalid")?,
+            detect: FindPlottersConfig {
+                with_reduction: detect_fields.flag("with_reduction")?,
+                tau_vol: detect_fields.threshold("tau_vol")?,
+                tau_churn: detect_fields.threshold("tau_churn")?,
+                tau_hm: detect_fields.threshold("tau_hm")?,
+                cut_fraction: detect_fields.f64_bits("cut_fraction")?,
+            },
+        };
+        let stats = EngineStats {
+            attempted: stats_fields.num("attempted")?,
+            accepted: stats_fields.num("accepted")?,
+            late: stats_fields.num("late")?,
+            late_dropped: stats_fields.num("late_dropped")?,
+            late_extended: stats_fields.num("late_extended")?,
+            shed: stats_fields.num("shed")?,
+            quarantined: stats_fields.num("quarantined")?,
+            duplicates: stats_fields.num("duplicates")?,
+            stall_flushes: stats_fields.num("stall_flushes")?,
+        };
+
+        // Buffer section: "buffer <count>" then that many flow rows.
+        let (buf_line, buf_rest) = section(&mut lines, "buffer")?;
+        let buf_count: usize = buf_rest
+            .trim()
+            .parse()
+            .map_err(|_| CheckpointError::Format {
+                line: buf_line + 1,
+                reason: format!("invalid buffer count {:?}", buf_rest.trim()),
+            })?;
+        let mut buffer = Vec::with_capacity(buf_count);
+        for _ in 0..buf_count {
+            buffer.push(flow_row(&mut lines)?);
+        }
+
+        // Zero or more "window <index> <count>" sections, then "end".
+        let mut open = Vec::new();
+        loop {
+            let (lineno, line) = lines.next().ok_or(CheckpointError::Format {
+                line: 0,
+                reason: "truncated checkpoint: missing end marker".to_string(),
+            })?;
+            if line == "end" {
+                break;
+            }
+            let rest = line
+                .strip_prefix("window ")
+                .ok_or_else(|| CheckpointError::Format {
+                    line: lineno + 1,
+                    reason: format!("expected window section or end marker, found {line:?}"),
+                })?;
+            let mut parts = rest.split_ascii_whitespace();
+            let parse = |tok: Option<&str>, what: &str| -> Result<u64, CheckpointError> {
+                tok.and_then(|t| t.parse().ok())
+                    .ok_or_else(|| CheckpointError::Format {
+                        line: lineno + 1,
+                        reason: format!("invalid window {what}"),
+                    })
+            };
+            let index = parse(parts.next(), "index")?;
+            let count = parse(parts.next(), "flow count")? as usize;
+            let mut flows = Vec::with_capacity(count);
+            for _ in 0..count {
+                flows.push(flow_row(&mut lines)?);
+            }
+            open.push((index, flows));
+        }
+
+        Ok(EngineCheckpoint {
+            config,
+            watermark: SimTime::from_millis(state_fields.num("watermark_ms")?),
+            applied_to: SimTime::from_millis(state_fields.num("applied_to_ms")?),
+            stats,
+            window_late: delta_fields.num("late")?,
+            window_dropped: delta_fields.num("dropped")?,
+            window_quarantined: delta_fields.num("quarantined")?,
+            stall_watermark: SimTime::from_millis(state_fields.num("stall_watermark_ms")?),
+            stall_progress_at: state_fields
+                .opt_num("stall_progress_at_ms")?
+                .map(SimTime::from_millis),
+            buffer,
+            open,
+        })
+    }
+}
+
+/// Pulls the next line and checks its section tag, returning
+/// `(0-based lineno, rest-of-line)`.
+fn section<'a>(
+    lines: &mut impl Iterator<Item = (usize, &'a str)>,
+    tag: &str,
+) -> Result<(usize, &'a str), CheckpointError> {
+    let (lineno, line) = lines.next().ok_or_else(|| CheckpointError::Format {
+        line: 0,
+        reason: format!("truncated checkpoint: missing {tag} section"),
+    })?;
+    let rest = line
+        .strip_prefix(tag)
+        .and_then(|r| r.strip_prefix(' '))
+        .ok_or_else(|| CheckpointError::Format {
+            line: lineno + 1,
+            reason: format!("expected {tag} section, found {line:?}"),
+        })?;
+    Ok((lineno, rest))
+}
+
+/// Pulls the next line and parses it as a flow row.
+fn flow_row<'a>(
+    lines: &mut impl Iterator<Item = (usize, &'a str)>,
+) -> Result<FlowRecord, CheckpointError> {
+    let (lineno, line) = lines.next().ok_or(CheckpointError::Format {
+        line: 0,
+        reason: "truncated checkpoint: missing flow row".to_string(),
+    })?;
+    Ok(parse_flow(line, lineno + 1)?)
+}
+
+/// `key=value` accessor over one section line.
+struct Fields<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+    line: usize,
+}
+
+impl<'a> Fields<'a> {
+    fn new(rest: &'a str, line: usize) -> Result<Self, CheckpointError> {
+        let mut pairs = Vec::new();
+        for tok in rest.split_ascii_whitespace() {
+            let (k, v) = tok.split_once('=').ok_or_else(|| CheckpointError::Format {
+                line,
+                reason: format!("expected key=value, found {tok:?}"),
+            })?;
+            pairs.push((k, v));
+        }
+        Ok(Self { pairs, line })
+    }
+
+    fn get(&self, key: &str) -> Result<&'a str, CheckpointError> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| CheckpointError::Format {
+                line: self.line,
+                reason: format!("missing field {key}"),
+            })
+    }
+
+    fn bad(&self, key: &str, value: &str) -> CheckpointError {
+        CheckpointError::Format {
+            line: self.line,
+            reason: format!("invalid value {value:?} for field {key}"),
+        }
+    }
+
+    fn num(&self, key: &str) -> Result<u64, CheckpointError> {
+        let v = self.get(key)?;
+        v.parse().map_err(|_| self.bad(key, v))
+    }
+
+    fn opt_num(&self, key: &str) -> Result<Option<u64>, CheckpointError> {
+        let v = self.get(key)?;
+        if v == "none" {
+            return Ok(None);
+        }
+        v.parse().map(Some).map_err(|_| self.bad(key, v))
+    }
+
+    fn flag(&self, key: &str) -> Result<bool, CheckpointError> {
+        match self.get(key)? {
+            "0" => Ok(false),
+            "1" => Ok(true),
+            v => Err(self.bad(key, v)),
+        }
+    }
+
+    fn f64_from_hex(&self, key: &str, v: &str) -> Result<f64, CheckpointError> {
+        u64::from_str_radix(v, 16)
+            .map(f64::from_bits)
+            .map_err(|_| self.bad(key, v))
+    }
+
+    fn f64_bits(&self, key: &str) -> Result<f64, CheckpointError> {
+        let v = self.get(key)?;
+        self.f64_from_hex(key, v)
+    }
+
+    fn threshold(&self, key: &str) -> Result<Threshold, CheckpointError> {
+        let v = self.get(key)?;
+        match v.split_once(':') {
+            Some(("p", bits)) => Ok(Threshold::Percentile(self.f64_from_hex(key, bits)?)),
+            Some(("a", bits)) => Ok(Threshold::Absolute(self.f64_from_hex(key, bits)?)),
+            _ => Err(self.bad(key, v)),
+        }
+    }
+
+    fn eviction(&self) -> Result<EvictionPolicy, CheckpointError> {
+        let v = self.get("eviction")?;
+        if v == "window" {
+            return Ok(EvictionPolicy::WindowScoped);
+        }
+        if let Some(ms) = v.strip_prefix("idle:") {
+            let ms: u64 = ms.parse().map_err(|_| self.bad("eviction", v))?;
+            return Ok(EvictionPolicy::IdleLongerThan(SimDuration::from_millis(ms)));
+        }
+        Err(self.bad("eviction", v))
+    }
+
+    fn late_policy(&self) -> Result<LatePolicy, CheckpointError> {
+        match self.get("late_policy")? {
+            "reject" => Ok(LatePolicy::Reject),
+            "drop" => Ok(LatePolicy::Drop),
+            "extend" => Ok(LatePolicy::ExtendOldest),
+            v => Err(self.bad("late_policy", v)),
+        }
+    }
+}
+
+/// Writes `snapshot` to `path` atomically: the serialized form goes to a
+/// temporary sibling (`<path>.tmp`) which is then renamed over `path`, so
+/// a crash mid-write can never leave a truncated checkpoint — the previous
+/// one survives intact.
+pub fn write_checkpoint(path: &Path, snapshot: &EngineCheckpoint) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    fs::write(&tmp, snapshot.serialize())?;
+    fs::rename(&tmp, path)
+}
+
+/// Reads a checkpoint previously persisted by [`write_checkpoint`].
+pub fn read_checkpoint(path: &Path) -> Result<EngineCheckpoint, CheckpointError> {
+    let text = fs::read_to_string(path)?;
+    EngineCheckpoint::parse(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::DetectionEngine;
+    use pw_flow::{FlowState, Payload, Proto};
+    use std::net::Ipv4Addr;
+
+    fn internal(ip: Ipv4Addr) -> bool {
+        ip.octets()[0] == 10
+    }
+
+    fn flow(k: u64) -> FlowRecord {
+        FlowRecord {
+            start: SimTime::from_secs(k * 40),
+            end: SimTime::from_secs(k * 40 + 1),
+            src: Ipv4Addr::new(10, 1, 0, (k % 5) as u8 + 1),
+            sport: 40_000 + k as u16,
+            dst: Ipv4Addr::new(60, 0, (k % 7) as u8, 1),
+            dport: 80,
+            proto: Proto::Tcp,
+            src_pkts: 3,
+            src_bytes: 100 + k,
+            dst_pkts: 2,
+            dst_bytes: 4_000,
+            state: if k % 4 == 0 {
+                FlowState::SynNoAnswer
+            } else {
+                FlowState::Established
+            },
+            payload: Payload::capture(b"GET /"),
+        }
+    }
+
+    fn busy_engine() -> DetectionEngine<fn(Ipv4Addr) -> bool> {
+        let cfg = EngineConfig {
+            window: SimDuration::from_mins(10),
+            slide: SimDuration::from_mins(5),
+            lateness: SimDuration::from_mins(3),
+            max_flows: Some(10_000),
+            stall_timeout: Some(SimDuration::from_mins(30)),
+            detect: FindPlottersConfig {
+                cut_fraction: 0.07,
+                tau_vol: Threshold::Absolute(1234.5),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut eng = DetectionEngine::new(cfg, internal as fn(Ipv4Addr) -> bool).unwrap();
+        for k in 0..40 {
+            let _ = eng.push(flow(k));
+        }
+        eng.tick(SimTime::from_secs(1));
+        eng
+    }
+
+    #[test]
+    fn serialize_parse_round_trips_exactly() {
+        let snap = busy_engine().checkpoint();
+        assert!(!snap.buffer.is_empty() || !snap.open.is_empty());
+        let parsed = EngineCheckpoint::parse(&snap.serialize()).unwrap();
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn restore_continues_byte_identically() {
+        // Uninterrupted run.
+        let mut straight = busy_engine();
+        let mut expected = Vec::new();
+        for k in 40..80 {
+            expected.extend(straight.push(flow(k)).unwrap());
+        }
+        expected.extend(straight.finish());
+
+        // Checkpoint → serialize → parse → restore, then feed the rest.
+        let snap = busy_engine().checkpoint();
+        let revived = EngineCheckpoint::parse(&snap.serialize()).unwrap();
+        let mut resumed =
+            DetectionEngine::restore(&revived, internal as fn(Ipv4Addr) -> bool).unwrap();
+        assert_eq!(resumed.stats(), snap.stats);
+        let mut got = Vec::new();
+        for k in 40..80 {
+            got.extend(resumed.push(flow(k)).unwrap());
+        }
+        got.extend(resumed.finish());
+        assert_eq!(got, expected);
+        assert_eq!(resumed.stats(), straight.stats());
+    }
+
+    #[test]
+    fn file_round_trip_is_atomic_and_exact() {
+        let snap = busy_engine().checkpoint();
+        let dir = std::env::temp_dir().join("pw-checkpoint-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("engine.ckpt");
+        write_checkpoint(&path, &snap).unwrap();
+        assert!(
+            !path.with_extension("ckpt.tmp").exists(),
+            "tmp file renamed away"
+        );
+        let read = read_checkpoint(&path).unwrap();
+        assert_eq!(read, snap);
+        // Overwrite goes through the same atomic path.
+        write_checkpoint(&path, &read).unwrap();
+        assert_eq!(read_checkpoint(&path).unwrap(), snap);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unknown_version_and_corruption_are_refused() {
+        let err = EngineCheckpoint::parse("peerwatch-checkpoint v99\n").unwrap_err();
+        assert!(matches!(err, CheckpointError::BadMagic { .. }));
+        assert!(err.to_string().contains("v99"));
+
+        let snap = busy_engine().checkpoint();
+        let mut text = snap.serialize();
+        text = text.replacen("watermark_ms=", "watermark_ms=bogus", 1);
+        let err = EngineCheckpoint::parse(&text).unwrap_err();
+        assert!(matches!(err, CheckpointError::Format { .. }));
+        assert!(err.to_string().contains("line"), "{err}");
+
+        let truncated: String = snap
+            .serialize()
+            .lines()
+            .take(7)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(EngineCheckpoint::parse(&truncated).is_err());
+    }
+}

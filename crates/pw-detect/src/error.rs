@@ -36,6 +36,10 @@ pub enum ConfigError {
     /// A slide longer than the window would leave gaps the detector never
     /// observes.
     SlideExceedsWindow,
+    /// A memory cap of zero flows would shed everything.
+    ZeroCapacity,
+    /// A zero stall timeout would force-close windows on every tick.
+    ZeroStallTimeout,
 }
 
 impl fmt::Display for ConfigError {
@@ -56,6 +60,8 @@ impl fmt::Display for ConfigError {
             ConfigError::SlideExceedsWindow => {
                 f.write_str("slide must not exceed the window length (gaps in coverage)")
             }
+            ConfigError::ZeroCapacity => f.write_str("max_flows capacity must be at least 1 flow"),
+            ConfigError::ZeroStallTimeout => f.write_str("stall timeout must be positive"),
         }
     }
 }
@@ -86,6 +92,10 @@ pub enum Error {
         /// Earliest start time still accepted when it arrived.
         bound: SimTime,
     },
+    /// A record failed semantic validation at ingest
+    /// ([`EngineConfig::reject_invalid`](crate::stream::EngineConfig)) and
+    /// was quarantined instead of skewing per-host features.
+    InvalidRecord(pw_flow::RecordError),
 }
 
 impl fmt::Display for Error {
@@ -105,6 +115,7 @@ impl fmt::Display for Error {
                     "flow starting at {start} arrived after lateness bound {bound}"
                 )
             }
+            Error::InvalidRecord(e) => write!(f, "record quarantined: {e}"),
         }
     }
 }
@@ -113,6 +124,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Config(e) => Some(e),
+            Error::InvalidRecord(e) => Some(e),
             _ => None,
         }
     }

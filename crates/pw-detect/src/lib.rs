@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod detectors;
 pub mod error;
 pub mod features;
@@ -54,6 +55,7 @@ pub mod reduction;
 pub mod stream;
 pub mod tdg;
 
+pub use checkpoint::{read_checkpoint, write_checkpoint, CheckpointError, EngineCheckpoint};
 pub use detectors::{
     theta_churn, theta_churn_par, theta_hm, theta_hm_with_options, theta_vol, theta_vol_par,
     HistogramDistance, HmOptions, HmOutcome, Threshold, MIN_CLUSTER_SIZE,
@@ -72,5 +74,7 @@ pub use pipeline::{
 };
 pub use rates::{rates_against, Rates};
 pub use reduction::initial_reduction;
-pub use stream::{DetectionEngine, EngineConfig, EvictionPolicy, WindowReport};
+pub use stream::{
+    DetectionEngine, EngineConfig, EngineStats, EvictionPolicy, LatePolicy, WindowReport,
+};
 pub use tdg::{tdg_scan, TdgConfig, TdgMetrics, TdgReport};

@@ -15,6 +15,32 @@
 //! [`find_plotters`](crate::pipeline::find_plotters) output exactly — the
 //! equivalence the integration suite pins down.
 //!
+//! # Degraded modes
+//!
+//! Real border feeds stall, reorder, duplicate, and corrupt records. The
+//! engine survives all of it without panicking, and accounts for every
+//! record it could not process normally:
+//!
+//! - **Late flows** — [`LatePolicy`] chooses between rejecting them as a
+//!   typed error (default), dropping them with a counter, or extending
+//!   them into a still-open window so their data is not lost.
+//! - **Bounded memory** — [`EngineConfig::max_flows`] caps the flows held
+//!   across the reorder buffer and open windows; at the cap, incoming
+//!   flows are shed deterministically (newest first), counted, and still
+//!   advance the watermark so windows keep closing and memory drains.
+//! - **Watermark stalls** — with [`EngineConfig::stall_timeout`] set,
+//!   [`tick`](DetectionEngine::tick) force-closes every open window once
+//!   the watermark has not advanced for the timeout, so a dead feed
+//!   cannot hold verdicts (and their memory) hostage forever.
+//! - **Duplicates and corrupt records** —
+//!   [`EngineConfig::dedupe`] suppresses exact duplicate rows per window,
+//!   [`EngineConfig::reject_invalid`] quarantines semantically impossible
+//!   records at ingest; both are counted per window and cumulatively.
+//!
+//! Everything above is deterministic: the same input sequence produces the
+//! same verdicts and the same counters, which is what makes the
+//! checkpoint/restore path ([`crate::checkpoint`]) byte-identical.
+//!
 //! # Examples
 //!
 //! ```
@@ -61,6 +87,23 @@ pub enum EvictionPolicy {
     IdleLongerThan(SimDuration),
 }
 
+/// What happens to a flow that arrives after its lateness bound — its
+/// window may already be closed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LatePolicy {
+    /// [`DetectionEngine::push`] returns [`Error::LateFlow`]; the caller
+    /// decides. This is the strict default.
+    #[default]
+    Reject,
+    /// The flow is dropped and counted ([`EngineStats::late_dropped`],
+    /// [`WindowReport::dropped`]); `push` returns `Ok`.
+    Drop,
+    /// The flow is appended to the still-open windows covering its start,
+    /// or to the oldest open window if none do, so its bytes still inform
+    /// a verdict; dropped (and counted) only when no window is open.
+    ExtendOldest,
+}
+
 /// Configuration of a [`DetectionEngine`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineConfig {
@@ -79,6 +122,26 @@ pub struct EngineConfig {
     pub threads: usize,
     /// Host participation rule at window close.
     pub eviction: EvictionPolicy,
+    /// What to do with flows older than the lateness bound.
+    pub late_policy: LatePolicy,
+    /// Upper bound on flows held in memory (reorder buffer plus open
+    /// windows, fan-out counted). `None` is unbounded; at the cap,
+    /// incoming flows are shed deterministically and counted as
+    /// [`EngineStats::shed`].
+    pub max_flows: Option<usize>,
+    /// If the watermark does not advance for this long (measured on the
+    /// feed clock passed to [`DetectionEngine::tick`]), every open window
+    /// is force-closed. `None` waits forever.
+    pub stall_timeout: Option<SimDuration>,
+    /// Suppress exact duplicate rows inside each window before scoring
+    /// (duplicates are counted either way). Off by default, which keeps
+    /// streaming byte-identical to the batch path even on feeds that
+    /// legitimately repeat records.
+    pub dedupe: bool,
+    /// Quarantine records that fail [`FlowRecord::validate`] at ingest
+    /// (`push` returns [`Error::InvalidRecord`] and counts them) instead
+    /// of letting corrupt values skew per-host features.
+    pub reject_invalid: bool,
     /// The detection pipeline run on each window.
     pub detect: FindPlottersConfig,
 }
@@ -91,6 +154,11 @@ impl Default for EngineConfig {
             lateness: SimDuration::from_mins(10),
             threads: 1,
             eviction: EvictionPolicy::default(),
+            late_policy: LatePolicy::default(),
+            max_flows: None,
+            stall_timeout: None,
+            dedupe: false,
+            reject_invalid: false,
             detect: FindPlottersConfig::default(),
         }
     }
@@ -111,8 +179,44 @@ impl EngineConfig {
         if self.threads == 0 {
             return Err(ConfigError::ZeroThreads);
         }
+        if self.max_flows == Some(0) {
+            return Err(ConfigError::ZeroCapacity);
+        }
+        if self.stall_timeout == Some(SimDuration::ZERO) {
+            return Err(ConfigError::ZeroStallTimeout);
+        }
         self.detect.validate()
     }
+}
+
+/// Cumulative ingest accounting. Every flow ever offered to
+/// [`DetectionEngine::push`] lands in exactly one of: accepted, shed,
+/// quarantined, or late-with-outcome — so
+/// `attempted == accepted + shed + quarantined + late` always holds, and
+/// nothing is ever lost silently.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Calls to `push` (including rejected and shed flows).
+    pub attempted: u64,
+    /// Flows accepted into the reorder buffer.
+    pub accepted: u64,
+    /// Flows that arrived below the lateness bound (whatever then happened
+    /// to them under the [`LatePolicy`]).
+    pub late: u64,
+    /// Late flows dropped (under [`LatePolicy::Drop`], under
+    /// [`LatePolicy::ExtendOldest`] with no open window, or rejected back
+    /// to the caller under [`LatePolicy::Reject`]).
+    pub late_dropped: u64,
+    /// Late flows absorbed into a still-open window.
+    pub late_extended: u64,
+    /// Flows shed by the [`EngineConfig::max_flows`] memory cap.
+    pub shed: u64,
+    /// Records quarantined by [`EngineConfig::reject_invalid`].
+    pub quarantined: u64,
+    /// Exact duplicate rows observed inside closed windows.
+    pub duplicates: u64,
+    /// Stall flushes performed by [`DetectionEngine::tick`].
+    pub stall_flushes: u64,
 }
 
 /// The verdict for one closed window.
@@ -124,12 +228,27 @@ pub struct WindowReport {
     pub start: SimTime,
     /// Exclusive end of the window.
     pub end: SimTime,
-    /// Border and non-border flows assigned to the window.
+    /// Border and non-border flows assigned to the window (after
+    /// deduplication, when enabled).
     pub flows: usize,
     /// Hosts profiled inside the window (before eviction).
     pub hosts: usize,
     /// Hosts removed by the [`EvictionPolicy`] before scoring.
     pub evicted: usize,
+    /// Late flows observed since the previous report was emitted (each
+    /// late flow is reported exactly once, on the next window to close).
+    pub late: u64,
+    /// Flows dropped — late-dropped plus shed — since the previous report.
+    pub dropped: u64,
+    /// Records quarantined at ingest since the previous report.
+    pub quarantined: u64,
+    /// Exact duplicate rows inside this window (suppressed before scoring
+    /// iff [`EngineConfig::dedupe`] is set).
+    pub duplicates: u64,
+    /// Whether this window was force-closed by a stall flush or
+    /// [`finish`](DetectionEngine::finish) rather than by the watermark
+    /// passing its end.
+    pub forced: bool,
     /// The pipeline's verdict, or why no verdict was possible
     /// ([`Error::EmptyWindow`], [`Error::ThresholdUnresolvable`]).
     pub outcome: Result<PlotterReport, Error>,
@@ -148,22 +267,39 @@ fn buffer_key(f: &FlowRecord) -> BufferKey {
 /// Feed flows with [`push`](Self::push) (or drain an aggregator with
 /// [`drain_aggregator`](Self::drain_aggregator)); closed windows come back
 /// as [`WindowReport`]s. Call [`finish`](Self::finish) at end of input to
-/// flush windows the watermark never passed.
+/// flush windows the watermark never passed. Long-running deployments
+/// snapshot the engine with [`checkpoint`](Self::checkpoint) and revive it
+/// with [`restore`](Self::restore) — see [`crate::checkpoint`].
 #[derive(Debug)]
 pub struct DetectionEngine<F> {
-    cfg: EngineConfig,
+    pub(crate) cfg: EngineConfig,
     is_internal: F,
     /// Bounded-lateness reorder buffer (flows not yet applied to windows).
-    buffer: BTreeMap<BufferKey, Vec<FlowRecord>>,
+    pub(crate) buffer: BTreeMap<BufferKey, Vec<FlowRecord>>,
     /// Open windows by index; flow lists stay sorted in buffer-key order
     /// because the buffer drains in ascending key order and `applied_to`
-    /// only moves forward.
-    open: BTreeMap<u64, Vec<FlowRecord>>,
-    /// Maximum flow start seen.
-    watermark: SimTime,
+    /// only moves forward (a late flow extended into an open window is the
+    /// one exception — the per-window canonical re-sort absorbs it).
+    pub(crate) open: BTreeMap<u64, Vec<FlowRecord>>,
+    /// Maximum flow start seen. Never decreases.
+    pub(crate) watermark: SimTime,
     /// Flows starting before this instant have been applied to windows;
     /// a flow arriving below it is late.
-    applied_to: SimTime,
+    pub(crate) applied_to: SimTime,
+    /// Cumulative accounting.
+    pub(crate) stats: EngineStats,
+    /// Deltas since the last emitted report, attributed to the next window
+    /// to close.
+    pub(crate) window_late: u64,
+    pub(crate) window_dropped: u64,
+    pub(crate) window_quarantined: u64,
+    /// Flows currently held (buffer plus open windows, fan-out counted);
+    /// the quantity [`EngineConfig::max_flows`] bounds.
+    held: usize,
+    /// Watermark value at the last stall check.
+    pub(crate) stall_watermark: SimTime,
+    /// Feed-clock instant of the last observed watermark advance.
+    pub(crate) stall_progress_at: Option<SimTime>,
 }
 
 impl<F: Fn(Ipv4Addr) -> bool + Sync> DetectionEngine<F> {
@@ -178,7 +314,73 @@ impl<F: Fn(Ipv4Addr) -> bool + Sync> DetectionEngine<F> {
             open: BTreeMap::new(),
             watermark: SimTime::ZERO,
             applied_to: SimTime::ZERO,
+            stats: EngineStats::default(),
+            window_late: 0,
+            window_dropped: 0,
+            window_quarantined: 0,
+            held: 0,
+            stall_watermark: SimTime::ZERO,
+            stall_progress_at: None,
         })
+    }
+
+    /// Revives an engine from a [`checkpoint`](Self::checkpoint) snapshot.
+    ///
+    /// The configuration is taken from the snapshot, so a resumed engine
+    /// continues byte-identically to the run that was interrupted.
+    /// `is_internal` cannot be serialized — the caller must supply the
+    /// same predicate the checkpointed engine used.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] if the snapshot carries an invalid configuration
+    /// (possible only if it was hand-edited).
+    pub fn restore(
+        snapshot: &crate::checkpoint::EngineCheckpoint,
+        is_internal: F,
+    ) -> Result<Self, ConfigError> {
+        let mut engine = Self::new(snapshot.config, is_internal)?;
+        for f in &snapshot.buffer {
+            engine.buffer.entry(buffer_key(f)).or_default().push(*f);
+        }
+        for (index, flows) in &snapshot.open {
+            engine.open.insert(*index, flows.clone());
+        }
+        engine.held =
+            snapshot.buffer.len() + snapshot.open.iter().map(|(_, v)| v.len()).sum::<usize>();
+        engine.watermark = snapshot.watermark;
+        engine.applied_to = snapshot.applied_to;
+        engine.stats = snapshot.stats;
+        engine.window_late = snapshot.window_late;
+        engine.window_dropped = snapshot.window_dropped;
+        engine.window_quarantined = snapshot.window_quarantined;
+        engine.stall_watermark = snapshot.stall_watermark;
+        engine.stall_progress_at = snapshot.stall_progress_at;
+        Ok(engine)
+    }
+
+    /// Snapshots the engine's complete state — watermark, reorder buffer,
+    /// open windows, counters, configuration — for later
+    /// [`restore`](Self::restore). See [`crate::checkpoint`] for the
+    /// serialized form and atomic on-disk persistence.
+    pub fn checkpoint(&self) -> crate::checkpoint::EngineCheckpoint {
+        crate::checkpoint::EngineCheckpoint {
+            config: self.cfg,
+            watermark: self.watermark,
+            applied_to: self.applied_to,
+            stats: self.stats,
+            window_late: self.window_late,
+            window_dropped: self.window_dropped,
+            window_quarantined: self.window_quarantined,
+            stall_watermark: self.stall_watermark,
+            stall_progress_at: self.stall_progress_at,
+            buffer: self.buffer.values().flatten().copied().collect(),
+            open: self
+                .open
+                .iter()
+                .map(|(&k, flows)| (k, flows.clone()))
+                .collect(),
+        }
     }
 
     /// The engine's configuration.
@@ -186,9 +388,14 @@ impl<F: Fn(Ipv4Addr) -> bool + Sync> DetectionEngine<F> {
         &self.cfg
     }
 
-    /// Maximum flow start observed so far.
+    /// Maximum flow start observed so far (monotone).
     pub fn watermark(&self) -> SimTime {
         self.watermark
+    }
+
+    /// Cumulative ingest accounting.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
     }
 
     /// Flows waiting in the reorder buffer.
@@ -201,29 +408,102 @@ impl<F: Fn(Ipv4Addr) -> bool + Sync> DetectionEngine<F> {
         self.open.len()
     }
 
+    /// Flows currently held in memory (reorder buffer plus open windows,
+    /// fan-out counted) — the quantity [`EngineConfig::max_flows`] bounds.
+    pub fn held_flows(&self) -> usize {
+        self.held
+    }
+
     /// Feeds one flow; returns reports for every window the advancing
     /// watermark closed.
     ///
     /// # Errors
     ///
-    /// [`Error::LateFlow`] if the flow starts before the lateness bound —
-    /// its window may already be closed, so it is dropped rather than
-    /// silently skewing a later window.
+    /// - [`Error::LateFlow`] under [`LatePolicy::Reject`] if the flow
+    ///   starts before the lateness bound — its window may already be
+    ///   closed, so it is dropped rather than silently skewing a later
+    ///   window. Other policies absorb the flow and return `Ok`.
+    /// - [`Error::InvalidRecord`] if [`EngineConfig::reject_invalid`] is
+    ///   set and the record fails [`FlowRecord::validate`].
+    ///
+    /// Either way the engine remains usable; errors are per-flow, counted,
+    /// and never poison the stream.
     pub fn push(&mut self, f: FlowRecord) -> Result<Vec<WindowReport>, Error> {
+        self.stats.attempted += 1;
+        if self.cfg.reject_invalid {
+            if let Err(e) = f.validate() {
+                self.stats.quarantined += 1;
+                self.window_quarantined += 1;
+                return Err(Error::InvalidRecord(e));
+            }
+        }
         if f.start < self.applied_to {
-            return Err(Error::LateFlow {
-                start: f.start,
-                bound: self.applied_to,
-            });
+            return self.absorb_late(f);
         }
         self.watermark = self.watermark.max(f.start);
-        self.buffer.entry(buffer_key(&f)).or_default().push(f);
         let cutoff = SimTime::from_millis(
             self.watermark
                 .as_millis()
                 .saturating_sub(self.cfg.lateness.as_millis()),
         );
-        Ok(self.advance_to(cutoff))
+        let reports = self.advance_to(cutoff);
+        if let Some(cap) = self.cfg.max_flows {
+            if self.held >= cap {
+                // Shed the newest flow, but keep the watermark advance it
+                // carried: windows keep closing, so memory drains.
+                self.stats.shed += 1;
+                self.window_dropped += 1;
+                return Ok(reports);
+            }
+        }
+        self.stats.accepted += 1;
+        self.buffer.entry(buffer_key(&f)).or_default().push(f);
+        self.held += 1;
+        Ok(reports)
+    }
+
+    /// Applies the configured [`LatePolicy`] to a flow below the bound.
+    fn absorb_late(&mut self, f: FlowRecord) -> Result<Vec<WindowReport>, Error> {
+        self.stats.late += 1;
+        self.window_late += 1;
+        match self.cfg.late_policy {
+            LatePolicy::Reject => {
+                self.stats.late_dropped += 1;
+                self.window_dropped += 1;
+                Err(Error::LateFlow {
+                    start: f.start,
+                    bound: self.applied_to,
+                })
+            }
+            LatePolicy::Drop => {
+                self.stats.late_dropped += 1;
+                self.window_dropped += 1;
+                Ok(Vec::new())
+            }
+            LatePolicy::ExtendOldest => {
+                let mut placed = 0usize;
+                for k in self.covering(f.start) {
+                    if let Some(flows) = self.open.get_mut(&k) {
+                        flows.push(f);
+                        placed += 1;
+                    }
+                }
+                if placed == 0 {
+                    if let Some(flows) = self.open.values_mut().next() {
+                        flows.push(f);
+                        placed = 1;
+                    }
+                }
+                if placed == 0 {
+                    self.stats.late_dropped += 1;
+                    self.window_dropped += 1;
+                } else {
+                    self.stats.late_extended += 1;
+                    self.held += placed;
+                }
+                Ok(Vec::new())
+            }
+        }
     }
 
     /// Drains every completed flow out of `agg` into the engine.
@@ -244,18 +524,69 @@ impl<F: Fn(Ipv4Addr) -> bool + Sync> DetectionEngine<F> {
         Ok(reports)
     }
 
+    /// Reports feed-clock time to the stall detector. Call this
+    /// periodically (e.g. once per poll of an idle feed) with a monotone
+    /// `now`; when [`EngineConfig::stall_timeout`] elapses with no
+    /// watermark progress, every buffered flow is applied and every open
+    /// window is force-closed (marked [`WindowReport::forced`]), so a dead
+    /// feed cannot hold verdicts hostage. Without a configured timeout
+    /// this is a no-op.
+    pub fn tick(&mut self, now: SimTime) -> Vec<WindowReport> {
+        let Some(timeout) = self.cfg.stall_timeout else {
+            return Vec::new();
+        };
+        let progressed = self.watermark > self.stall_watermark;
+        if progressed || self.stall_progress_at.is_none() {
+            self.stall_watermark = self.watermark;
+            self.stall_progress_at = Some(now);
+            return Vec::new();
+        }
+        let since = now.since(self.stall_progress_at.expect("set above"));
+        if since < timeout {
+            return Vec::new();
+        }
+        self.stall_progress_at = Some(now);
+        if self.buffer.is_empty() && self.open.is_empty() {
+            return Vec::new();
+        }
+        self.stats.stall_flushes += 1;
+        self.flush_all(true)
+    }
+
     /// End of input: applies every buffered flow and closes every open
     /// window, in index order.
     pub fn finish(&mut self) -> Vec<WindowReport> {
+        self.flush_all(false)
+    }
+
+    /// Applies everything buffered and closes every open window. `forced`
+    /// marks the reports as stall-closed rather than watermark-closed.
+    /// Afterwards `applied_to` covers both the watermark and every closed
+    /// window's end, so a resumed feed cannot reopen a closed index — its
+    /// flows are late and the [`LatePolicy`] takes over.
+    fn flush_all(&mut self, forced: bool) -> Vec<WindowReport> {
         self.applied_to = self.applied_to.max(self.watermark);
+        if forced {
+            // Flows exactly at the watermark are applied too; afterwards a
+            // revived feed must move strictly past the stall point.
+            self.applied_to = self
+                .applied_to
+                .max(SimTime::from_millis(self.watermark.as_millis() + 1));
+        }
         let ready = std::mem::take(&mut self.buffer);
         for f in ready.into_values().flatten() {
+            self.held -= 1;
             self.assign(f);
         }
         let open = std::mem::take(&mut self.open);
-        open.into_iter()
-            .map(|(k, flows)| self.close_window(k, flows))
-            .collect()
+        let mut reports = Vec::new();
+        for (k, flows) in open {
+            self.applied_to = self
+                .applied_to
+                .max(SimTime::from_millis(k * self.cfg.slide.as_millis()) + self.cfg.window);
+            reports.push(self.close_window(k, flows, forced));
+        }
+        reports
     }
 
     /// Applies buffered flows starting before `cutoff` and closes windows
@@ -268,6 +599,7 @@ impl<F: Fn(Ipv4Addr) -> bool + Sync> DetectionEngine<F> {
         let rest = self.buffer.split_off(&bound);
         let ready = std::mem::replace(&mut self.buffer, rest);
         for f in ready.into_values().flatten() {
+            self.held -= 1;
             self.assign(f);
         }
         self.applied_to = cutoff;
@@ -284,14 +616,14 @@ impl<F: Fn(Ipv4Addr) -> bool + Sync> DetectionEngine<F> {
             .into_iter()
             .map(|k| {
                 let flows = self.open.remove(&k).expect("window present");
-                self.close_window(k, flows)
+                self.close_window(k, flows, false)
             })
             .collect()
     }
 
-    /// Appends the flow to every window covering its start time.
-    fn assign(&mut self, f: FlowRecord) {
-        let t = f.start.as_millis();
+    /// Window indices whose span covers instant `t`.
+    fn covering(&self, t: SimTime) -> std::ops::RangeInclusive<u64> {
+        let t = t.as_millis();
         let window_ms = self.cfg.window.as_millis();
         let slide_ms = self.cfg.slide.as_millis();
         let k_max = t / slide_ms;
@@ -300,18 +632,34 @@ impl<F: Fn(Ipv4Addr) -> bool + Sync> DetectionEngine<F> {
         } else {
             (t - window_ms) / slide_ms + 1
         };
-        for k in k_min..=k_max {
+        k_min..=k_max
+    }
+
+    /// Appends the flow to every window covering its start time.
+    fn assign(&mut self, f: FlowRecord) {
+        for k in self.covering(f.start) {
             self.open.entry(k).or_default().push(f);
+            self.held += 1;
         }
     }
 
-    fn close_window(&self, index: u64, flows: Vec<FlowRecord>) -> WindowReport {
+    fn close_window(&mut self, index: u64, flows: Vec<FlowRecord>, forced: bool) -> WindowReport {
+        self.held -= flows.len();
         let start = SimTime::from_millis(index * self.cfg.slide.as_millis());
         let end = start + self.cfg.window;
         // The table interns hosts and (stably) re-sorts into the canonical
         // processing order — the same order the batch path uses, which keeps
         // the batch-equivalence guarantee independent of buffer internals.
-        let table = FlowTable::from_records(&flows);
+        let mut table = FlowTable::from_records(&flows);
+        let duplicates = table.duplicate_rows() as u64;
+        self.stats.duplicates += duplicates;
+        let mut window_flows = flows.len();
+        if self.cfg.dedupe && duplicates > 0 {
+            let mut records = table.to_records();
+            records.dedup();
+            window_flows = records.len();
+            table = FlowTable::from_records(&records);
+        }
 
         let threads = self.cfg.threads;
         let mut profiles = if threads == 1 {
@@ -351,9 +699,14 @@ impl<F: Fn(Ipv4Addr) -> bool + Sync> DetectionEngine<F> {
             index,
             start,
             end,
-            flows: flows.len(),
+            flows: window_flows,
             hosts,
             evicted,
+            late: std::mem::take(&mut self.window_late),
+            dropped: std::mem::take(&mut self.window_dropped),
+            quarantined: std::mem::take(&mut self.window_quarantined),
+            duplicates,
+            forced,
             outcome,
         }
     }
@@ -464,6 +817,20 @@ mod tests {
                 ConfigError::SlideExceedsWindow,
             ),
             (EngineConfig { threads: 0, ..ok }, ConfigError::ZeroThreads),
+            (
+                EngineConfig {
+                    max_flows: Some(0),
+                    ..ok
+                },
+                ConfigError::ZeroCapacity,
+            ),
+            (
+                EngineConfig {
+                    stall_timeout: Some(SimDuration::ZERO),
+                    ..ok
+                },
+                ConfigError::ZeroStallTimeout,
+            ),
             (
                 EngineConfig {
                     detect: FindPlottersConfig {
@@ -595,6 +962,8 @@ mod tests {
             .push(flow(a, b, SimTime::from_secs(10), 10, false))
             .unwrap_err();
         assert!(matches!(err, Error::LateFlow { .. }));
+        assert_eq!(eng.stats().late, 1);
+        assert_eq!(eng.stats().late_dropped, 1);
     }
 
     #[test]
@@ -679,7 +1048,220 @@ mod tests {
         assert_eq!(eng.watermark(), SimTime::from_secs(30));
         assert_eq!(eng.buffered(), 1);
         assert_eq!(eng.open_windows(), 0);
+        assert_eq!(eng.held_flows(), 1);
         eng.finish();
         assert_eq!(eng.buffered(), 0);
+        assert_eq!(eng.held_flows(), 0);
+    }
+
+    #[test]
+    fn late_policy_drop_counts_instead_of_erroring() {
+        let mut eng = engine(EngineConfig {
+            window: SimDuration::from_mins(10),
+            slide: SimDuration::from_mins(10),
+            lateness: SimDuration::ZERO,
+            late_policy: LatePolicy::Drop,
+            ..Default::default()
+        });
+        let a = Ipv4Addr::new(10, 1, 0, 1);
+        let b = Ipv4Addr::new(60, 0, 0, 1);
+        eng.push(flow(a, b, SimTime::from_secs(25 * 60), 10, false))
+            .unwrap();
+        let reports = eng
+            .push(flow(a, b, SimTime::from_secs(10), 10, false))
+            .unwrap();
+        assert!(reports.is_empty());
+        let stats = eng.stats();
+        assert_eq!((stats.late, stats.late_dropped), (1, 1));
+        let last = eng.finish().pop().unwrap();
+        // The delta counters surface on the next report to close.
+        assert_eq!((last.late, last.dropped), (1, 1));
+    }
+
+    #[test]
+    fn late_policy_extend_places_flow_in_oldest_open_window() {
+        let mut eng = engine(EngineConfig {
+            window: SimDuration::from_mins(10),
+            slide: SimDuration::from_mins(10),
+            lateness: SimDuration::ZERO,
+            late_policy: LatePolicy::ExtendOldest,
+            ..Default::default()
+        });
+        let a = Ipv4Addr::new(10, 1, 0, 1);
+        let b = Ipv4Addr::new(60, 0, 0, 1);
+        // Open window 2 (20–30 min) without closing it.
+        eng.push(flow(a, b, SimTime::from_secs(25 * 60), 10, false))
+            .unwrap();
+        eng.push(flow(a, b, SimTime::from_secs(26 * 60), 10, false))
+            .unwrap();
+        assert_eq!(eng.open_windows(), 1);
+        // A flow from the long-closed window 0 is absorbed, not lost.
+        let reports = eng
+            .push(flow(a, b, SimTime::from_secs(10), 10, false))
+            .unwrap();
+        assert!(reports.is_empty());
+        let stats = eng.stats();
+        assert_eq!(
+            (stats.late, stats.late_extended, stats.late_dropped),
+            (1, 1, 0)
+        );
+        let reports = eng.finish();
+        let total: usize = reports.iter().map(|w| w.flows).sum();
+        assert_eq!(total, 3, "the late flow still reaches a verdict");
+        assert_eq!(reports.last().unwrap().late, 1);
+        assert_eq!(reports.last().unwrap().dropped, 0);
+    }
+
+    #[test]
+    fn memory_cap_sheds_deterministically_and_counts() {
+        let mut eng = engine(EngineConfig {
+            window: SimDuration::from_mins(10),
+            slide: SimDuration::from_mins(10),
+            lateness: SimDuration::from_mins(10),
+            max_flows: Some(2),
+            ..Default::default()
+        });
+        let a = Ipv4Addr::new(10, 1, 0, 1);
+        let b = Ipv4Addr::new(60, 0, 0, 1);
+        for k in 0..5u64 {
+            eng.push(flow(a, b, SimTime::from_secs(k), 10, false))
+                .unwrap();
+        }
+        assert_eq!(eng.held_flows(), 2);
+        let stats = eng.stats();
+        assert_eq!((stats.attempted, stats.accepted, stats.shed), (5, 2, 3));
+        let report = eng.finish().pop().unwrap();
+        assert_eq!(report.flows, 2, "only accepted flows are scored");
+        assert_eq!(report.dropped, 3, "every shed flow is reported");
+    }
+
+    #[test]
+    fn stall_tick_force_closes_open_windows() {
+        let mut eng = engine(EngineConfig {
+            window: SimDuration::from_mins(10),
+            slide: SimDuration::from_mins(10),
+            lateness: SimDuration::from_mins(10),
+            stall_timeout: Some(SimDuration::from_mins(1)),
+            ..Default::default()
+        });
+        let a = Ipv4Addr::new(10, 1, 0, 1);
+        let b = Ipv4Addr::new(60, 0, 0, 1);
+        eng.push(flow(a, b, SimTime::from_secs(30), 10, false))
+            .unwrap();
+        // First tick arms the detector; nothing closes.
+        assert!(eng.tick(SimTime::from_secs(0)).is_empty());
+        // Inside the timeout: still nothing.
+        assert!(eng.tick(SimTime::from_secs(30)).is_empty());
+        // Feed dead for over a minute: the buffered flow is applied and its
+        // window force-closed.
+        let reports = eng.tick(SimTime::from_secs(100));
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].forced);
+        assert_eq!(reports[0].flows, 1);
+        assert_eq!(eng.buffered(), 0);
+        assert_eq!(eng.open_windows(), 0);
+        assert_eq!(eng.stats().stall_flushes, 1);
+        // A revived feed cannot reopen the closed window: the flow is late.
+        let err = eng
+            .push(flow(a, b, SimTime::from_secs(40), 10, false))
+            .unwrap_err();
+        assert!(matches!(err, Error::LateFlow { .. }));
+        // An idle engine does not flush again.
+        assert!(eng.tick(SimTime::from_secs(300)).is_empty());
+        assert_eq!(eng.stats().stall_flushes, 1);
+    }
+
+    #[test]
+    fn tick_without_timeout_is_a_no_op() {
+        let mut eng = engine(EngineConfig::default());
+        let a = Ipv4Addr::new(10, 1, 0, 1);
+        let b = Ipv4Addr::new(60, 0, 0, 1);
+        eng.push(flow(a, b, SimTime::from_secs(30), 10, false))
+            .unwrap();
+        assert!(eng.tick(SimTime::from_hours(100)).is_empty());
+        assert_eq!(eng.buffered(), 1);
+    }
+
+    #[test]
+    fn dedupe_suppresses_exact_duplicates_and_counts_them() {
+        let a = Ipv4Addr::new(10, 1, 0, 1);
+        let b = Ipv4Addr::new(60, 0, 0, 1);
+        let run = |dedupe: bool| {
+            let mut eng = engine(EngineConfig {
+                window: SimDuration::from_mins(10),
+                slide: SimDuration::from_mins(10),
+                lateness: SimDuration::ZERO,
+                dedupe,
+                ..Default::default()
+            });
+            let f = flow(a, b, SimTime::from_secs(5), 10, false);
+            eng.push(f).unwrap();
+            eng.push(f).unwrap();
+            eng.push(flow(a, b, SimTime::from_secs(6), 10, false))
+                .unwrap();
+            (eng.finish().pop().unwrap(), eng.stats())
+        };
+        let (kept, stats) = run(false);
+        assert_eq!((kept.flows, kept.duplicates), (3, 1));
+        assert_eq!(stats.duplicates, 1);
+        let (deduped, stats) = run(true);
+        assert_eq!((deduped.flows, deduped.duplicates), (2, 1));
+        assert_eq!(stats.duplicates, 1);
+    }
+
+    #[test]
+    fn reject_invalid_quarantines_corrupt_records() {
+        let mut eng = engine(EngineConfig {
+            window: SimDuration::from_mins(10),
+            slide: SimDuration::from_mins(10),
+            lateness: SimDuration::ZERO,
+            reject_invalid: true,
+            ..Default::default()
+        });
+        let a = Ipv4Addr::new(10, 1, 0, 1);
+        let b = Ipv4Addr::new(60, 0, 0, 1);
+        let mut bad = flow(a, b, SimTime::from_secs(5), 10, false);
+        bad.end = SimTime::ZERO; // ends before it starts
+        let err = eng.push(bad).unwrap_err();
+        assert!(matches!(err, Error::InvalidRecord(_)));
+        eng.push(flow(a, b, SimTime::from_secs(6), 10, false))
+            .unwrap();
+        assert_eq!(eng.stats().quarantined, 1);
+        let report = eng.finish().pop().unwrap();
+        assert_eq!(report.quarantined, 1);
+        assert_eq!(report.flows, 1);
+    }
+
+    #[test]
+    fn ingest_accounting_always_balances() {
+        let mut flows = two_hours();
+        for chunk in flows.chunks_mut(64) {
+            chunk.reverse();
+        }
+        let mut eng = engine(EngineConfig {
+            window: SimDuration::from_mins(30),
+            slide: SimDuration::from_mins(30),
+            lateness: SimDuration::from_mins(2),
+            late_policy: LatePolicy::Drop,
+            max_flows: Some(400),
+            ..Default::default()
+        });
+        let mut reports = Vec::new();
+        for f in &flows {
+            reports.extend(eng.push(*f).unwrap());
+        }
+        reports.extend(eng.finish());
+        let s = eng.stats();
+        assert_eq!(s.attempted, flows.len() as u64);
+        assert_eq!(s.attempted, s.accepted + s.shed + s.quarantined + s.late);
+        assert_eq!(s.late, s.late_dropped + s.late_extended);
+        let reported: u64 = reports.iter().map(|w| w.dropped).sum();
+        assert_eq!(
+            reported,
+            s.late_dropped + s.shed,
+            "every dropped flow surfaces in a report"
+        );
+        let scored: usize = reports.iter().map(|w| w.flows).sum();
+        assert_eq!(scored as u64, s.accepted + s.late_extended);
     }
 }

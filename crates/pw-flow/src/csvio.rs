@@ -3,6 +3,18 @@
 //! A deliberately simple, dependency-free line format (one record per line,
 //! hex-encoded payload) so datasets can be saved, inspected with standard
 //! tools, and reloaded for the multi-day experiments.
+//!
+//! Two ingest modes cover the two deployment realities:
+//!
+//! - [`read_flows`] — strict: the first malformed row aborts the load.
+//!   Right for curated datasets, where damage means the file is wrong.
+//! - [`read_flows_lossy`] — degraded: malformed rows are returned as typed
+//!   [`RowError`]s (line number, offending field, reason) alongside the rows
+//!   that did parse, so a live feed with a corrupt record keeps flowing and
+//!   the damage can be quarantined instead of killing the monitor.
+//!
+//! [`format_flow`] and [`parse_flow`] expose the single-line codec; the
+//! streaming engine's checkpoint format reuses them verbatim.
 
 use std::io::{self, BufRead, Write};
 use std::net::Ipv4Addr;
@@ -16,27 +28,54 @@ use crate::record::{FlowRecord, FlowState, ParseError};
 pub const HEADER: &str =
     "start_ms,end_ms,src,sport,dst,dport,proto,src_pkts,src_bytes,dst_pkts,dst_bytes,state,payload_hex";
 
+/// Fields per row in the flow CSV format.
+pub const FIELDS: usize = 13;
+
+/// One malformed row: where it was and what was wrong with it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowError {
+    /// 1-based line number in the source stream.
+    pub line: usize,
+    /// What was wrong ([`ParseError::field`] names the offending column,
+    /// when one is identifiable).
+    pub error: ParseError,
+}
+
+impl std::fmt::Display for RowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.error)
+    }
+}
+
+impl std::error::Error for RowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
 /// Error raised while parsing a flow CSV.
 #[derive(Debug)]
 pub enum ParseFlowError {
     /// Underlying I/O failure.
     Io(io::Error),
-    /// A malformed line, with its 1-based line number and a description.
-    Malformed {
-        /// 1-based line number.
-        line: usize,
-        /// What was wrong.
-        reason: String,
+    /// The first line was not the expected [`HEADER`].
+    BadHeader {
+        /// What the first line actually said.
+        found: String,
     },
+    /// A malformed row (strict mode only — [`read_flows_lossy`] collects
+    /// these instead of failing).
+    Row(RowError),
 }
 
 impl std::fmt::Display for ParseFlowError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ParseFlowError::Io(e) => write!(f, "i/o error reading flow csv: {e}"),
-            ParseFlowError::Malformed { line, reason } => {
-                write!(f, "malformed flow csv at line {line}: {reason}")
+            ParseFlowError::BadHeader { found } => {
+                write!(f, "unexpected flow csv header `{found}`")
             }
+            ParseFlowError::Row(e) => write!(f, "malformed flow csv at {e}"),
         }
     }
 }
@@ -45,7 +84,8 @@ impl std::error::Error for ParseFlowError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ParseFlowError::Io(e) => Some(e),
-            ParseFlowError::Malformed { .. } => None,
+            ParseFlowError::BadHeader { .. } => None,
+            ParseFlowError::Row(e) => Some(e),
         }
     }
 }
@@ -53,6 +93,12 @@ impl std::error::Error for ParseFlowError {
 impl From<io::Error> for ParseFlowError {
     fn from(e: io::Error) -> Self {
         ParseFlowError::Io(e)
+    }
+}
+
+impl From<RowError> for ParseFlowError {
+    fn from(e: RowError) -> Self {
+        ParseFlowError::Row(e)
     }
 }
 
@@ -74,6 +120,84 @@ fn hex_decode(s: &str) -> Result<Vec<u8>, String> {
         .collect()
 }
 
+/// Renders one record as a CSV line (no trailing newline) in the exact
+/// format [`write_flows`] emits and [`parse_flow`] reads back.
+pub fn format_flow(r: &FlowRecord) -> String {
+    format!(
+        "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        r.start.as_millis(),
+        r.end.as_millis(),
+        r.src,
+        r.sport,
+        r.dst,
+        r.dport,
+        r.proto,
+        r.src_pkts,
+        r.src_bytes,
+        r.dst_pkts,
+        r.dst_bytes,
+        r.state,
+        hex_encode(r.payload.as_bytes()),
+    )
+}
+
+/// Parses one CSV line (as produced by [`format_flow`]) into a record.
+///
+/// # Errors
+///
+/// Returns a [`RowError`] carrying `lineno` and the offending field.
+pub fn parse_flow(line: &str, lineno: usize) -> Result<FlowRecord, RowError> {
+    let err = |error: ParseError| RowError {
+        line: lineno,
+        error,
+    };
+    let invalid = |field: &'static str, value: &str, reason: String| {
+        err(ParseError::InvalidField {
+            field,
+            value: value.to_owned(),
+            reason,
+        })
+    };
+    let fields: Vec<&str> = line.split(',').collect();
+    if fields.len() != FIELDS {
+        return Err(err(ParseError::WrongFieldCount {
+            expected: FIELDS,
+            got: fields.len(),
+        }));
+    }
+    let parse_u64 = |s: &str, what: &'static str| {
+        s.parse::<u64>()
+            .map_err(|e| invalid(what, s, e.to_string()))
+    };
+    let parse_u16 = |s: &str, what: &'static str| {
+        s.parse::<u16>()
+            .map_err(|e| invalid(what, s, e.to_string()))
+    };
+    let parse_ip = |s: &str, what: &'static str| {
+        s.parse::<Ipv4Addr>()
+            .map_err(|e| invalid(what, s, e.to_string()))
+    };
+    let proto: Proto = fields[6].parse().map_err(err)?;
+    let state: FlowState = fields[11].parse().map_err(err)?;
+    let payload_bytes =
+        hex_decode(fields[12]).map_err(|reason| invalid("payload_hex", fields[12], reason))?;
+    Ok(FlowRecord {
+        start: SimTime::from_millis(parse_u64(fields[0], "start_ms")?),
+        end: SimTime::from_millis(parse_u64(fields[1], "end_ms")?),
+        src: parse_ip(fields[2], "src")?,
+        sport: parse_u16(fields[3], "sport")?,
+        dst: parse_ip(fields[4], "dst")?,
+        dport: parse_u16(fields[5], "dport")?,
+        proto,
+        src_pkts: parse_u64(fields[7], "src_pkts")?,
+        src_bytes: parse_u64(fields[8], "src_bytes")?,
+        dst_pkts: parse_u64(fields[9], "dst_pkts")?,
+        dst_bytes: parse_u64(fields[10], "dst_bytes")?,
+        state,
+        payload: Payload::capture(&payload_bytes),
+    })
+}
+
 /// Writes `flows` (preceded by [`HEADER`]) to `w`.
 ///
 /// # Errors
@@ -82,97 +206,73 @@ fn hex_decode(s: &str) -> Result<Vec<u8>, String> {
 pub fn write_flows<W: Write>(mut w: W, flows: &[FlowRecord]) -> io::Result<()> {
     writeln!(w, "{HEADER}")?;
     for r in flows {
-        writeln!(
-            w,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{}",
-            r.start.as_millis(),
-            r.end.as_millis(),
-            r.src,
-            r.sport,
-            r.dst,
-            r.dport,
-            r.proto,
-            r.src_pkts,
-            r.src_bytes,
-            r.dst_pkts,
-            r.dst_bytes,
-            r.state,
-            hex_encode(r.payload.as_bytes()),
-        )?;
+        writeln!(w, "{}", format_flow(r))?;
     }
     Ok(())
 }
 
-/// Reads flows previously written by [`write_flows`].
+fn read_header<R: BufRead>(
+    lines: &mut std::iter::Enumerate<io::Lines<R>>,
+) -> Result<bool, ParseFlowError> {
+    match lines.next() {
+        Some((_, Ok(h))) if h == HEADER => Ok(true),
+        Some((_, Ok(h))) => Err(ParseFlowError::BadHeader { found: h }),
+        Some((_, Err(e))) => Err(e.into()),
+        None => Ok(false),
+    }
+}
+
+/// Reads flows previously written by [`write_flows`], strictly: the first
+/// malformed row aborts the load.
 ///
 /// # Errors
 ///
-/// Returns [`ParseFlowError`] on I/O failure or any malformed line (the
-/// header line is required).
+/// Returns [`ParseFlowError`] on I/O failure, a wrong header, or any
+/// malformed line (the header line is required).
 pub fn read_flows<R: BufRead>(r: R) -> Result<Vec<FlowRecord>, ParseFlowError> {
     let mut out = Vec::new();
     let mut lines = r.lines().enumerate();
-    match lines.next() {
-        Some((_, Ok(h))) if h == HEADER => {}
-        Some((_, Ok(h))) => {
-            return Err(ParseFlowError::Malformed {
-                line: 1,
-                reason: format!("unexpected header `{h}`"),
-            })
-        }
-        Some((_, Err(e))) => return Err(e.into()),
-        None => return Ok(out),
+    if !read_header(&mut lines)? {
+        return Ok(out);
     }
     for (idx, line) in lines {
         let line = line?;
         if line.is_empty() {
             continue;
         }
-        let lineno = idx + 1;
-        let err = |reason: String| ParseFlowError::Malformed {
-            line: lineno,
-            reason,
-        };
-        let fields: Vec<&str> = line.split(',').collect();
-        if fields.len() != 13 {
-            return Err(err(format!("expected 13 fields, got {}", fields.len())));
-        }
-        let parse_u64 = |s: &str, what: &str| {
-            s.parse::<u64>()
-                .map_err(|e| err(format!("bad {what} `{s}`: {e}")))
-        };
-        let parse_u16 = |s: &str, what: &str| {
-            s.parse::<u16>()
-                .map_err(|e| err(format!("bad {what} `{s}`: {e}")))
-        };
-        let parse_ip = |s: &str, what: &str| {
-            s.parse::<Ipv4Addr>()
-                .map_err(|e| err(format!("bad {what} `{s}`: {e}")))
-        };
-        let proto: Proto = fields[6]
-            .parse()
-            .map_err(|e: ParseError| err(e.to_string()))?;
-        let state: FlowState = fields[11]
-            .parse()
-            .map_err(|e: ParseError| err(e.to_string()))?;
-        let payload_bytes = hex_decode(fields[12]).map_err(err)?;
-        out.push(FlowRecord {
-            start: SimTime::from_millis(parse_u64(fields[0], "start")?),
-            end: SimTime::from_millis(parse_u64(fields[1], "end")?),
-            src: parse_ip(fields[2], "src")?,
-            sport: parse_u16(fields[3], "sport")?,
-            dst: parse_ip(fields[4], "dst")?,
-            dport: parse_u16(fields[5], "dport")?,
-            proto,
-            src_pkts: parse_u64(fields[7], "src_pkts")?,
-            src_bytes: parse_u64(fields[8], "src_bytes")?,
-            dst_pkts: parse_u64(fields[9], "dst_pkts")?,
-            dst_bytes: parse_u64(fields[10], "dst_bytes")?,
-            state,
-            payload: Payload::capture(&payload_bytes),
-        });
+        out.push(parse_flow(&line, idx + 1)?);
     }
     Ok(out)
+}
+
+/// Reads flows tolerantly: rows that parse are returned, rows that do not
+/// come back as [`RowError`]s for the caller to quarantine, and the load
+/// itself never fails on row content.
+///
+/// # Errors
+///
+/// Only I/O failures and a wrong header abort the read — a damaged header
+/// means the whole file is in the wrong format, not that one row is bad.
+pub fn read_flows_lossy<R: BufRead>(
+    r: R,
+) -> Result<(Vec<FlowRecord>, Vec<RowError>), ParseFlowError> {
+    let mut out = Vec::new();
+    let mut bad = Vec::new();
+    let mut lines = r.lines().enumerate();
+    if !read_header(&mut lines)? {
+        return Ok((out, bad));
+    }
+    for (idx, line) in lines {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        match parse_flow(&line, idx + 1) {
+            Ok(f) => out.push(f),
+            Err(e) => bad.push(e),
+        }
+    }
+    Ok((out, bad))
 }
 
 #[cfg(test)]
@@ -225,18 +325,30 @@ mod tests {
     }
 
     #[test]
+    fn line_codec_round_trips() {
+        for f in sample() {
+            assert_eq!(parse_flow(&format_flow(&f), 1).unwrap(), f);
+        }
+    }
+
+    #[test]
     fn empty_round_trip() {
         let mut buf = Vec::new();
         write_flows(&mut buf, &[]).unwrap();
         assert!(read_flows(buf.as_slice()).unwrap().is_empty());
         // Entirely empty input is also fine.
         assert!(read_flows(&b""[..]).unwrap().is_empty());
+        let (ok, bad) = read_flows_lossy(&b""[..]).unwrap();
+        assert!(ok.is_empty() && bad.is_empty());
     }
 
     #[test]
     fn rejects_bad_header() {
         let e = read_flows(&b"nope\n"[..]).unwrap_err();
         assert!(e.to_string().contains("header"));
+        // Lossy mode is equally strict about the header: the whole file is
+        // in the wrong format, not one row.
+        assert!(read_flows_lossy(&b"nope\n"[..]).is_err());
     }
 
     #[test]
@@ -261,6 +373,44 @@ mod tests {
         buf.push_str("1,2,10.0.0.1,1,10.0.0.2,2,tcp,1,40,0,0,WAT,\n");
         let e = read_flows(buf.as_bytes()).unwrap_err();
         assert!(e.to_string().contains("WAT"));
+    }
+
+    #[test]
+    fn row_errors_name_line_and_field() {
+        let mut buf = format!("{HEADER}\n");
+        buf.push_str("1,2,10.0.0.1,notaport,10.0.0.2,2,tcp,1,40,0,0,SYN,\n");
+        let ParseFlowError::Row(e) = read_flows(buf.as_bytes()).unwrap_err() else {
+            panic!("expected a row error");
+        };
+        assert_eq!(e.line, 2);
+        assert_eq!(e.error.field(), Some("sport"));
+        assert!(e.to_string().contains("notaport"));
+    }
+
+    #[test]
+    fn lossy_read_quarantines_bad_rows_and_keeps_good_ones() {
+        let flows = sample();
+        let mut buf = Vec::new();
+        write_flows(&mut buf, &flows).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push_str("1,2,3\n"); // line 4: field count
+        text.push_str(&format_flow(&flows[0]));
+        text.push('\n'); // line 5: fine
+        text.push_str("1,2,10.0.0.1,1,10.0.0.2,2,tcp,1,40,0,0,WAT,\n"); // line 6: state
+        let (ok, bad) = read_flows_lossy(text.as_bytes()).unwrap();
+        assert_eq!(ok.len(), 3);
+        assert_eq!(ok[2], flows[0]);
+        assert_eq!(bad.len(), 2);
+        assert_eq!(bad[0].line, 4);
+        assert_eq!(
+            bad[0].error,
+            ParseError::WrongFieldCount {
+                expected: 13,
+                got: 3
+            }
+        );
+        assert_eq!(bad[1].line, 6);
+        assert_eq!(bad[1].error.field(), Some("state"));
     }
 
     #[test]

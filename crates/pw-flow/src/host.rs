@@ -64,10 +64,20 @@ impl HostInterner {
     }
 
     /// Returns the id for `ip`, assigning the next dense id on first sight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interner already holds `u32::MAX` distinct hosts —
+    /// beyond the id space, a wrapped id would silently alias two hosts'
+    /// state, which is far worse than stopping.
     pub fn intern(&mut self, ip: Ipv4Addr) -> HostId {
         if let Some(&id) = self.ids.get(&ip) {
             return id;
         }
+        assert!(
+            self.ips.len() < u32::MAX as usize,
+            "host interner exhausted its 32-bit id space"
+        );
         let id = HostId::from_index(self.ips.len());
         self.ids.insert(ip, id);
         self.ips.push(ip);

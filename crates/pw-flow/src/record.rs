@@ -8,12 +8,44 @@ use serde::{Deserialize, Serialize};
 use crate::packet::{Payload, Proto};
 
 /// Error parsing a flow-record field from its textual form.
+///
+/// The field-aware variants carry enough context (which field, the raw
+/// token, why it was rejected) for an ingest pipeline to quarantine the
+/// offending row with an actionable message instead of aborting the feed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseError {
     /// A flow-state token that is none of the known states.
     UnknownFlowState(String),
     /// A protocol token that is neither `tcp` nor `udp`.
     UnknownProto(String),
+    /// A named field whose raw token failed to parse.
+    InvalidField {
+        /// Column name (as in the CSV header).
+        field: &'static str,
+        /// The raw token that was rejected.
+        value: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A row with the wrong number of comma-separated fields.
+    WrongFieldCount {
+        /// Fields the format requires.
+        expected: usize,
+        /// Fields the row actually had.
+        got: usize,
+    },
+}
+
+impl ParseError {
+    /// The CSV column this error is about, if it names one.
+    pub fn field(&self) -> Option<&'static str> {
+        match self {
+            ParseError::UnknownFlowState(_) => Some("state"),
+            ParseError::UnknownProto(_) => Some("proto"),
+            ParseError::InvalidField { field, .. } => Some(field),
+            ParseError::WrongFieldCount { .. } => None,
+        }
+    }
 }
 
 impl std::fmt::Display for ParseError {
@@ -21,11 +53,43 @@ impl std::fmt::Display for ParseError {
         match self {
             ParseError::UnknownFlowState(s) => write!(f, "unknown flow state `{s}`"),
             ParseError::UnknownProto(s) => write!(f, "unknown protocol `{s}`"),
+            ParseError::InvalidField {
+                field,
+                value,
+                reason,
+            } => write!(f, "bad {field} `{value}`: {reason}"),
+            ParseError::WrongFieldCount { expected, got } => {
+                write!(f, "expected {expected} fields, got {got}")
+            }
         }
     }
 }
 
 impl std::error::Error for ParseError {}
+
+/// A flow record that parsed but is semantically impossible — the kind of
+/// damage bit-level corruption produces. Degraded-mode ingest quarantines
+/// these instead of letting them skew per-host features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordError {
+    /// The last packet predates the first.
+    EndBeforeStart,
+    /// A direction reports payload bytes but zero packets.
+    BytesWithoutPackets,
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::EndBeforeStart => f.write_str("flow ends before it starts"),
+            RecordError::BytesWithoutPackets => {
+                f.write_str("direction carries bytes but zero packets")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
 
 /// Connection-level outcome of a flow, as reconstructible from packet
 /// headers (the way Argus reports TCP state).
@@ -126,6 +190,21 @@ impl FlowRecord {
         self.state.is_failed()
     }
 
+    /// Checks the record's internal consistency (times ordered, byte counts
+    /// backed by packets). A record can parse cleanly yet still be
+    /// impossible after upstream corruption; degraded-mode ingest calls
+    /// this to quarantine such rows.
+    pub fn validate(&self) -> Result<(), RecordError> {
+        if self.end < self.start {
+            return Err(RecordError::EndBeforeStart);
+        }
+        if (self.src_pkts == 0 && self.src_bytes > 0) || (self.dst_pkts == 0 && self.dst_bytes > 0)
+        {
+            return Err(RecordError::BytesWithoutPackets);
+        }
+        Ok(())
+    }
+
     /// Flow duration (zero for single-packet flows).
     pub fn duration(&self) -> SimDuration {
         self.end - self.start
@@ -208,6 +287,51 @@ mod tests {
             assert_eq!(s.to_string().parse::<FlowState>().unwrap(), s);
         }
         assert!("BOGUS".parse::<FlowState>().is_err());
+    }
+
+    #[test]
+    fn validate_accepts_sane_records_and_names_defects() {
+        let r = rec();
+        assert_eq!(r.validate(), Ok(()));
+        let mut inverted = rec();
+        inverted.end = SimTime::from_secs(5);
+        assert_eq!(inverted.validate(), Err(RecordError::EndBeforeStart));
+        let mut phantom = rec();
+        phantom.dst_pkts = 0;
+        assert_eq!(phantom.validate(), Err(RecordError::BytesWithoutPackets));
+        assert!(RecordError::EndBeforeStart.to_string().contains("starts"));
+    }
+
+    #[test]
+    fn parse_error_names_its_field() {
+        assert_eq!(
+            ParseError::UnknownFlowState("WAT".into()).field(),
+            Some("state")
+        );
+        assert_eq!(
+            ParseError::InvalidField {
+                field: "sport",
+                value: "x".into(),
+                reason: "nan".into(),
+            }
+            .field(),
+            Some("sport")
+        );
+        assert_eq!(
+            ParseError::WrongFieldCount {
+                expected: 13,
+                got: 3
+            }
+            .field(),
+            None
+        );
+        let e = ParseError::InvalidField {
+            field: "sport",
+            value: "70000".into(),
+            reason: "out of range".into(),
+        };
+        assert!(e.to_string().contains("sport"));
+        assert!(e.to_string().contains("70000"));
     }
 
     #[test]

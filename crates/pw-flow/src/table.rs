@@ -190,6 +190,25 @@ impl FlowTable {
         self.end[row] - self.start[row]
     }
 
+    /// Counts rows that are exact duplicates of their predecessor in
+    /// canonical time order — the shape flow duplication faults take
+    /// (replayed export batches, doubled-up collectors). Identical records
+    /// sort adjacently, so one ordered pass finds them without hashing.
+    pub fn duplicate_rows(&self) -> usize {
+        self.order
+            .windows(2)
+            .filter(|pair| {
+                let (a, b) = (pair[0] as usize, pair[1] as usize);
+                self.start[a] == self.start[b]
+                    && self.src[a] == self.src[b]
+                    && self.dst[a] == self.dst[b]
+                    && self.sport[a] == self.sport[b]
+                    && self.dport[a] == self.dport[b]
+                    && self.record(a) == self.record(b)
+            })
+            .count()
+    }
+
     /// Materializes row `row` back into a [`FlowRecord`].
     pub fn record(&self, row: usize) -> FlowRecord {
         FlowRecord {
@@ -276,6 +295,21 @@ mod tests {
         let mut expected = records.clone();
         expected.sort_by_key(|f| (f.start, f.src, f.dst, f.sport, f.dport));
         assert_eq!(t.to_records(), expected);
+    }
+
+    #[test]
+    fn duplicate_rows_counts_exact_copies_only() {
+        let a = Ipv4Addr::new(10, 0, 0, 1);
+        let b = Ipv4Addr::new(10, 0, 0, 2);
+        let mut near = rec(100, a, b);
+        near.src_bytes += 1; // same 5-tuple and start, different content
+        let records = vec![rec(100, a, b), rec(200, a, b), rec(100, a, b), near];
+        let t = FlowTable::from_records(&records);
+        assert_eq!(t.duplicate_rows(), 1);
+        assert_eq!(FlowTable::from_records(&[]).duplicate_rows(), 0);
+        // Triplicate: two rows are copies of their predecessor.
+        let r = rec(50, a, b);
+        assert_eq!(FlowTable::from_records(&[r, r, r]).duplicate_rows(), 2);
     }
 
     #[test]

@@ -15,6 +15,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> fault-injection suite (chaos + checkpoint/restore)"
+cargo test -q --test chaos_injection --test checkpoint_roundtrip
+
 echo "==> cargo bench --no-run (benches must keep compiling)"
 cargo bench --workspace --no-run -q
 

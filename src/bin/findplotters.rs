@@ -4,7 +4,10 @@
 //! cargo run --release --bin findplotters -- flows.csv \
 //!     [--internal CIDR]... [--truth hosts.csv] \
 //!     [--tau-vol P] [--tau-churn P] [--tau-hm P] [--no-reduction] \
-//!     [--threads N] [--window HOURS [--slide HOURS] [--lateness MINS]]
+//!     [--threads N] [--window HOURS [--slide HOURS] [--lateness MINS]] \
+//!     [--late-policy reject|drop|extend] [--max-flows N] \
+//!     [--dedupe] [--reject-invalid] [--quarantine FILE] \
+//!     [--checkpoint FILE [--checkpoint-every N] [--resume]]
 //! ```
 //!
 //! `--internal` defaults to the synthetic campus subnets
@@ -15,14 +18,27 @@
 //! `--window H` the flows are replayed through the streaming
 //! [`DetectionEngine`] in tumbling (or, with `--slide`, sliding) windows,
 //! printing one verdict per window.
+//!
+//! Malformed CSV rows never abort the run: they are counted, reported, and
+//! (with `--quarantine`) written to a sink file with their line numbers.
+//! In streaming mode, `--checkpoint FILE` snapshots the engine atomically
+//! every `--checkpoint-every` flows (default 10000); a later run with
+//! `--resume` revives the engine from the snapshot and skips the part of
+//! the file it already processed, producing the same verdicts as an
+//! uninterrupted run.
 
 use std::collections::{HashMap, HashSet};
 use std::fs;
+use std::io::Write;
 use std::net::Ipv4Addr;
+use std::path::Path;
 
-use peerwatch::detect::stream::{DetectionEngine, EngineConfig};
-use peerwatch::detect::{try_find_plotters_table, FindPlottersConfig, PlotterReport, Threshold};
-use peerwatch::flow::csvio::read_flows;
+use peerwatch::detect::checkpoint::{read_checkpoint, write_checkpoint};
+use peerwatch::detect::stream::{DetectionEngine, EngineConfig, LatePolicy};
+use peerwatch::detect::{
+    try_find_plotters_table, Error, FindPlottersConfig, PlotterReport, Threshold,
+};
+use peerwatch::flow::csvio::{format_flow, read_flows_lossy, RowError};
 use peerwatch::flow::FlowTable;
 use peerwatch::netsim::{SimDuration, Subnet};
 
@@ -30,24 +46,121 @@ fn usage() -> ! {
     eprintln!(
         "usage: findplotters <flows.csv> [--internal CIDR]... [--truth hosts.csv] \
          [--tau-vol P] [--tau-churn P] [--tau-hm P] [--no-reduction] \
-         [--threads N] [--window HOURS [--slide HOURS] [--lateness MINS]]"
+         [--threads N] [--window HOURS [--slide HOURS] [--lateness MINS]] \
+         [--late-policy reject|drop|extend] [--max-flows N] [--dedupe] \
+         [--reject-invalid] [--quarantine FILE] \
+         [--checkpoint FILE [--checkpoint-every N] [--resume]]"
     );
     std::process::exit(2)
 }
 
-fn next_num(it: &mut std::slice::Iter<'_, String>) -> f64 {
+/// Prints an argument error with the offending flag/value and exits.
+fn bad_arg(msg: &str) -> ! {
+    eprintln!("findplotters: {msg}");
+    usage()
+}
+
+/// Prints a runtime error and exits nonzero.
+fn fail(msg: &str) -> ! {
+    eprintln!("findplotters: {msg}");
+    std::process::exit(1)
+}
+
+fn next_value(it: &mut std::slice::Iter<'_, String>, flag: &str) -> String {
     it.next()
-        .unwrap_or_else(|| usage())
-        .parse()
-        .unwrap_or_else(|_| usage())
+        .unwrap_or_else(|| bad_arg(&format!("{flag} requires a value")))
+        .clone()
+}
+
+fn parse_f64(flag: &str, v: &str) -> f64 {
+    v.parse().unwrap_or_else(|_| {
+        bad_arg(&format!(
+            "invalid value {v:?} for {flag}: expected a number"
+        ))
+    })
+}
+
+fn parse_usize(flag: &str, v: &str) -> usize {
+    v.parse().unwrap_or_else(|_| {
+        bad_arg(&format!(
+            "invalid value {v:?} for {flag}: expected a non-negative integer"
+        ))
+    })
 }
 
 fn parse_cidr(s: &str) -> Subnet {
-    let (base, prefix) = s.split_once('/').unwrap_or_else(|| usage());
-    Subnet::new(
-        base.parse().unwrap_or_else(|_| usage()),
-        prefix.parse().unwrap_or_else(|_| usage()),
-    )
+    let Some((base, prefix)) = s.split_once('/') else {
+        bad_arg(&format!(
+            "malformed CIDR {s:?}: expected ADDR/PREFIX (e.g. 10.1.0.0/16)"
+        ));
+    };
+    let base: Ipv4Addr = base
+        .parse()
+        .unwrap_or_else(|e| bad_arg(&format!("malformed CIDR {s:?}: bad address {base:?}: {e}")));
+    let prefix: u8 = match prefix.parse() {
+        Ok(p) if p <= 32 => p,
+        _ => bad_arg(&format!(
+            "malformed CIDR {s:?}: prefix {prefix:?} must be an integer in 0..=32"
+        )),
+    };
+    Subnet::new(base, prefix)
+}
+
+fn parse_late_policy(v: &str) -> LatePolicy {
+    match v {
+        "reject" => LatePolicy::Reject,
+        "drop" => LatePolicy::Drop,
+        "extend" => LatePolicy::ExtendOldest,
+        _ => bad_arg(&format!(
+            "invalid value {v:?} for --late-policy: expected reject, drop, or extend"
+        )),
+    }
+}
+
+/// Sink for records the pipeline refused: malformed CSV rows and
+/// quarantined flows, each with enough context to find it in the input.
+struct Quarantine {
+    path: Option<String>,
+    out: Option<std::io::BufWriter<fs::File>>,
+    written: usize,
+}
+
+impl Quarantine {
+    fn open(path: Option<&str>) -> Self {
+        let out = path.map(|p| {
+            let file = fs::File::create(p)
+                .unwrap_or_else(|e| fail(&format!("cannot create quarantine file {p}: {e}")));
+            std::io::BufWriter::new(file)
+        });
+        Self {
+            path: path.map(str::to_owned),
+            out,
+            written: 0,
+        }
+    }
+
+    fn record(&mut self, entry: &str) {
+        self.written += 1;
+        if let Some(out) = &mut self.out {
+            writeln!(out, "{entry}").unwrap_or_else(|e| fail(&format!("quarantine write: {e}")));
+        }
+    }
+
+    fn row_error(&mut self, e: &RowError) {
+        self.record(&format!("{e}"));
+    }
+
+    fn finish(mut self) {
+        if let Some(out) = &mut self.out {
+            out.flush()
+                .unwrap_or_else(|e| fail(&format!("quarantine write: {e}")));
+        }
+        if self.written > 0 {
+            if let Some(p) = &self.path {
+                eprintln!("{} records quarantined to {p}", self.written);
+            }
+        }
+    }
 }
 
 fn print_report(report: &PlotterReport) {
@@ -92,45 +205,91 @@ fn main() {
     let mut window_hours: Option<f64> = None;
     let mut slide_hours: Option<f64> = None;
     let mut lateness_mins: f64 = 10.0;
+    let mut late_policy = LatePolicy::Reject;
+    let mut max_flows: Option<usize> = None;
+    let mut dedupe = false;
+    let mut reject_invalid = false;
+    let mut quarantine_path: Option<String> = None;
+    let mut checkpoint_path: Option<String> = None;
+    let mut checkpoint_every: usize = 10_000;
+    let mut resume = false;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--internal" => subnets.push(parse_cidr(it.next().unwrap_or_else(|| usage()))),
-            "--truth" => truth_path = Some(it.next().unwrap_or_else(|| usage()).clone()),
-            "--tau-vol" => builder = builder.tau_vol(Threshold::Percentile(next_num(&mut it))),
-            "--tau-churn" => builder = builder.tau_churn(Threshold::Percentile(next_num(&mut it))),
-            "--tau-hm" => builder = builder.tau_hm(Threshold::Percentile(next_num(&mut it))),
+            "--internal" => subnets.push(parse_cidr(&next_value(&mut it, a))),
+            "--truth" => truth_path = Some(next_value(&mut it, a)),
+            "--tau-vol" => {
+                builder =
+                    builder.tau_vol(Threshold::Percentile(parse_f64(a, &next_value(&mut it, a))));
+            }
+            "--tau-churn" => {
+                builder =
+                    builder.tau_churn(Threshold::Percentile(parse_f64(a, &next_value(&mut it, a))));
+            }
+            "--tau-hm" => {
+                builder =
+                    builder.tau_hm(Threshold::Percentile(parse_f64(a, &next_value(&mut it, a))));
+            }
             "--no-reduction" => builder = builder.with_reduction(false),
-            "--threads" => threads = next_num(&mut it) as usize,
-            "--window" => window_hours = Some(next_num(&mut it)),
-            "--slide" => slide_hours = Some(next_num(&mut it)),
-            "--lateness" => lateness_mins = next_num(&mut it),
+            "--threads" => threads = parse_usize(a, &next_value(&mut it, a)),
+            "--window" => window_hours = Some(parse_f64(a, &next_value(&mut it, a))),
+            "--slide" => slide_hours = Some(parse_f64(a, &next_value(&mut it, a))),
+            "--lateness" => lateness_mins = parse_f64(a, &next_value(&mut it, a)),
+            "--late-policy" => late_policy = parse_late_policy(&next_value(&mut it, a)),
+            "--max-flows" => max_flows = Some(parse_usize(a, &next_value(&mut it, a))),
+            "--dedupe" => dedupe = true,
+            "--reject-invalid" => reject_invalid = true,
+            "--quarantine" => quarantine_path = Some(next_value(&mut it, a)),
+            "--checkpoint" => checkpoint_path = Some(next_value(&mut it, a)),
+            "--checkpoint-every" => checkpoint_every = parse_usize(a, &next_value(&mut it, a)),
+            "--resume" => resume = true,
             _ if flows_path.is_none() && !a.starts_with('-') => flows_path = Some(a.clone()),
-            _ => usage(),
+            _ => bad_arg(&format!("unrecognized argument {a:?}")),
         }
     }
     let Some(flows_path) = flows_path else {
-        usage()
+        bad_arg("missing input file");
     };
+    if resume && checkpoint_path.is_none() {
+        bad_arg("--resume requires --checkpoint FILE");
+    }
+    if checkpoint_path.is_some() && window_hours.is_none() {
+        bad_arg("--checkpoint only applies to streaming mode (--window)");
+    }
+    if checkpoint_every == 0 {
+        bad_arg("--checkpoint-every must be at least 1");
+    }
     if subnets.is_empty() {
         subnets.push(parse_cidr("10.1.0.0/16"));
         subnets.push(parse_cidr("10.2.0.0/16"));
     }
-    let cfg = builder.build().unwrap_or_else(|e| {
-        eprintln!("invalid configuration: {e}");
-        std::process::exit(2);
-    });
+    let cfg = builder
+        .build()
+        .unwrap_or_else(|e| bad_arg(&format!("invalid configuration: {e}")));
 
-    let file = fs::File::open(&flows_path).unwrap_or_else(|e| {
-        eprintln!("cannot open {flows_path}: {e}");
-        std::process::exit(1);
-    });
-    let flows = read_flows(std::io::BufReader::new(file)).unwrap_or_else(|e| {
-        eprintln!("cannot parse {flows_path}: {e}");
-        std::process::exit(1);
-    });
-    eprintln!("loaded {} flows", flows.len());
+    let file = fs::File::open(&flows_path)
+        .unwrap_or_else(|e| fail(&format!("cannot open {flows_path}: {e}")));
+    let (flows, row_errors) = read_flows_lossy(std::io::BufReader::new(file))
+        .unwrap_or_else(|e| fail(&format!("cannot read {flows_path}: {e}")));
+    let mut quarantine = Quarantine::open(quarantine_path.as_deref());
+    for e in &row_errors {
+        quarantine.row_error(e);
+    }
+    if row_errors.is_empty() {
+        eprintln!("loaded {} flows", flows.len());
+    } else {
+        eprintln!(
+            "loaded {} flows; skipped {} malformed rows{}",
+            flows.len(),
+            row_errors.len(),
+            if quarantine_path.is_some() {
+                ""
+            } else {
+                " (use --quarantine FILE to capture them)"
+            }
+        );
+    }
 
     let is_internal = |ip: Ipv4Addr| subnets.iter().any(|s| s.contains(ip));
 
@@ -141,34 +300,93 @@ fn main() {
             slide: SimDuration::from_secs_f64(slide_hours.unwrap_or(wh) * 3600.0),
             lateness: SimDuration::from_secs_f64(lateness_mins * 60.0),
             threads,
+            late_policy,
+            max_flows,
+            dedupe,
+            reject_invalid,
             detect: cfg,
             ..Default::default()
         };
-        let mut engine = DetectionEngine::new(engine_cfg, is_internal).unwrap_or_else(|e| {
-            eprintln!("invalid engine configuration: {e}");
-            std::process::exit(2);
-        });
+        let mut engine = match (resume, checkpoint_path.as_deref()) {
+            (true, Some(cp)) if Path::new(cp).exists() => {
+                let snapshot = read_checkpoint(Path::new(cp))
+                    .unwrap_or_else(|e| fail(&format!("cannot resume from {cp}: {e}")));
+                if snapshot.config != engine_cfg {
+                    eprintln!(
+                        "resuming with the checkpoint's engine configuration \
+                         (command-line knobs differ and are ignored)"
+                    );
+                }
+                eprintln!(
+                    "resuming from {cp}: {} flows already processed, watermark {}",
+                    snapshot.stats.attempted, snapshot.watermark
+                );
+                DetectionEngine::restore(&snapshot, is_internal)
+                    .unwrap_or_else(|e| fail(&format!("cannot resume from {cp}: {e}")))
+            }
+            _ => DetectionEngine::new(engine_cfg, is_internal)
+                .unwrap_or_else(|e| bad_arg(&format!("invalid engine configuration: {e}"))),
+        };
+        // The replay position of a resumed run: every input flow is exactly
+        // one push attempt, so the checkpoint's attempt counter is the
+        // number of sorted flows already consumed.
+        let skip = usize::try_from(engine.stats().attempted).unwrap_or(usize::MAX);
+
         let mut ordered = flows.clone();
         ordered.sort_by_key(|f| (f.start, f.src, f.dst, f.sport, f.dport));
+        if skip > ordered.len() {
+            fail(&format!(
+                "checkpoint is ahead of {flows_path}: {skip} flows already processed, \
+                 file has {}",
+                ordered.len()
+            ));
+        }
         let mut windows = Vec::new();
-        for f in ordered {
+        let mut since_checkpoint = 0usize;
+        for f in ordered.iter().skip(skip).copied() {
             match engine.push(f) {
                 Ok(ws) => windows.extend(ws),
-                Err(e) => eprintln!("dropped flow: {e}"),
+                Err(e @ Error::LateFlow { .. }) => eprintln!("dropped flow: {e}"),
+                Err(e @ Error::InvalidRecord(_)) => {
+                    quarantine.record(&format!("{}: {e}", format_flow(&f)));
+                }
+                Err(e) => fail(&format!("engine error: {e}")),
             }
+            since_checkpoint += 1;
+            if let Some(cp) = checkpoint_path.as_deref() {
+                if since_checkpoint >= checkpoint_every {
+                    since_checkpoint = 0;
+                    write_checkpoint(Path::new(cp), &engine.checkpoint())
+                        .unwrap_or_else(|e| fail(&format!("cannot write checkpoint {cp}: {e}")));
+                }
+            }
+        }
+        if let Some(cp) = checkpoint_path.as_deref() {
+            // Final snapshot: a rerun with --resume replays nothing.
+            write_checkpoint(Path::new(cp), &engine.checkpoint())
+                .unwrap_or_else(|e| fail(&format!("cannot write checkpoint {cp}: {e}")));
         }
         windows.extend(engine.finish());
 
         let mut union_suspects: HashSet<Ipv4Addr> = HashSet::new();
         let mut last_ok: Option<PlotterReport> = None;
         for w in &windows {
+            let degraded = if w.late + w.dropped + w.duplicates + w.quarantined > 0 {
+                format!(
+                    " [late {}, dropped {}, dup {}, quarantined {}]",
+                    w.late, w.dropped, w.duplicates, w.quarantined
+                )
+            } else {
+                String::new()
+            };
+            let forced = if w.forced { " [forced]" } else { "" };
             match &w.outcome {
                 Ok(r) => {
                     let mut s: Vec<_> = r.suspects.iter().collect();
                     s.sort();
                     println!(
                         "window {:>3} [{} .. {}): {} flows, {} hosts ({} evicted), \
-                         {} suspects {s:?}",
+                         {} suspects {s:?}{degraded}{forced}",
                         w.index,
                         w.start,
                         w.end,
@@ -181,15 +399,23 @@ fn main() {
                     last_ok = Some(r.clone());
                 }
                 Err(e) => println!(
-                    "window {:>3} [{} .. {}): {} flows — no verdict: {e}",
+                    "window {:>3} [{} .. {}): {} flows — no verdict: {e}{degraded}{forced}",
                     w.index, w.start, w.end, w.flows
                 ),
             }
         }
+        let s = engine.stats();
+        if s.late + s.shed + s.quarantined + s.duplicates > 0 {
+            eprintln!(
+                "degraded-mode totals: {} late ({} dropped, {} extended), {} shed, \
+                 {} quarantined, {} duplicate rows",
+                s.late, s.late_dropped, s.late_extended, s.shed, s.quarantined, s.duplicates
+            );
+        }
         println!("\nsuspects across all windows: {}", union_suspects.len());
         let Some(mut report) = last_ok else {
-            eprintln!("no window produced a verdict");
-            std::process::exit(1);
+            quarantine.finish();
+            fail("no window produced a verdict");
         };
         // Score the union of windows against ground truth below.
         report.suspects = union_suspects;
@@ -199,25 +425,17 @@ fn main() {
         // it instead of re-scanning and re-hashing addresses per stage.
         let table = FlowTable::from_records(&flows);
         eprintln!("interned {} hosts", table.hosts().len());
-        let report =
-            try_find_plotters_table(&table, is_internal, &cfg, threads).unwrap_or_else(|e| {
-                eprintln!("detection failed: {e}");
-                std::process::exit(1);
-            });
+        let report = try_find_plotters_table(&table, is_internal, &cfg, threads)
+            .unwrap_or_else(|e| fail(&format!("detection failed: {e}")));
         print_report(&report);
         report
     };
+    quarantine.finish();
 
     if let Some(tp) = truth_path {
-        let file = fs::File::open(&tp).unwrap_or_else(|e| {
-            eprintln!("cannot read {tp}: {e}");
-            std::process::exit(1);
-        });
+        let file = fs::File::open(&tp).unwrap_or_else(|e| fail(&format!("cannot read {tp}: {e}")));
         let rows = peerwatch::data::read_ground_truth(std::io::BufReader::new(file))
-            .unwrap_or_else(|e| {
-                eprintln!("cannot parse {tp}: {e}");
-                std::process::exit(1);
-            });
+            .unwrap_or_else(|e| fail(&format!("cannot parse {tp}: {e}")));
         let implants: HashMap<Ipv4Addr, String> = rows
             .iter()
             .filter_map(|r| r.implant.map(|f| (r.host, f.to_string())))

@@ -19,7 +19,9 @@
 //! - [`apps`], [`traders`], [`botnet`]: the campus background, file-sharing,
 //!   and Storm/Nugache behaviour models;
 //! - [`data`]: dataset assembly — campus days, honeynet traces, overlays,
-//!   ground truth.
+//!   ground truth;
+//! - [`chaos`]: deterministic fault injection (drop/duplicate/reorder/
+//!   corrupt/stall) for hardening the streaming ingest path.
 //!
 //! # Quick start
 //!
@@ -88,6 +90,7 @@
 pub use pw_analysis as analysis;
 pub use pw_apps as apps;
 pub use pw_botnet as botnet;
+pub use pw_chaos as chaos;
 pub use pw_data as data;
 pub use pw_detect as detect;
 pub use pw_flow as flow;

@@ -1,0 +1,189 @@
+//! Checkpoint/restore contract: interrupting the streaming engine at an
+//! arbitrary point — through serialization, disk, and a fresh process's
+//! worth of state — and resuming yields window reports byte-identical to
+//! an uninterrupted run, at every thread count, including under degraded
+//! modes (scrambled arrival, late drops, dedupe).
+
+use std::net::Ipv4Addr;
+
+use peerwatch::detect::checkpoint::{read_checkpoint, write_checkpoint, EngineCheckpoint};
+use peerwatch::detect::stream::{DetectionEngine, EngineConfig, LatePolicy, WindowReport};
+use peerwatch::flow::{FlowRecord, FlowState, Payload, Proto};
+use peerwatch::netsim::{SimDuration, SimTime};
+
+fn internal(ip: Ipv4Addr) -> bool {
+    ip.octets()[0] == 10
+}
+
+fn flow(src: Ipv4Addr, dst: Ipv4Addr, start: SimTime, up: u64, failed: bool) -> FlowRecord {
+    FlowRecord {
+        start,
+        end: start + SimDuration::from_secs(1),
+        src,
+        sport: 999,
+        dst,
+        dport: 80,
+        proto: Proto::Tcp,
+        src_pkts: 1,
+        src_bytes: up,
+        dst_pkts: 1,
+        dst_bytes: 64,
+        state: if failed {
+            FlowState::SynNoAnswer
+        } else {
+            FlowState::Established
+        },
+        payload: Payload::empty(),
+    }
+}
+
+/// Two hours of mixed traffic in border-monitor arrival order.
+fn feed() -> Vec<FlowRecord> {
+    let mut flows = Vec::new();
+    for b in 0..2u8 {
+        let bot = Ipv4Addr::new(10, 1, 0, 1 + b);
+        for round in 0..24u64 {
+            for peer in 0..5u8 {
+                let dst = Ipv4Addr::new(60, 1, b, peer + 1);
+                let t = SimTime::from_secs(round * 300 + peer as u64);
+                flows.push(flow(bot, dst, t, 80, peer % 2 == 0));
+            }
+        }
+    }
+    for tr in 0..2u8 {
+        let trader = Ipv4Addr::new(10, 1, 0, 10 + tr);
+        for p in 0..40u64 {
+            let dst = Ipv4Addr::new(70, 2, tr, (p + 1) as u8);
+            let t = SimTime::from_secs(60 + p * 170 + (p * p * 37) % 90);
+            let failed = p % 5 < 2;
+            flows.push(flow(
+                trader,
+                dst,
+                t,
+                if failed { 120 } else { 900_000 },
+                failed,
+            ));
+        }
+    }
+    for n in 0..5u8 {
+        let host = Ipv4Addr::new(10, 2, 0, 1 + n);
+        for k in 0..40u64 {
+            let dst = Ipv4Addr::new(80, 3, (k % 9) as u8, 1);
+            let t = SimTime::from_secs(30 + k * 175 + (k * k * 131 + n as u64 * 997) % 120);
+            flows.push(flow(host, dst, t, 600, k % 25 == 0));
+        }
+    }
+    flows.sort_by_key(|f| (f.start, f.src, f.dst, f.sport, f.dport));
+    flows
+}
+
+fn cfg(threads: usize) -> EngineConfig {
+    EngineConfig {
+        window: SimDuration::from_mins(30),
+        slide: SimDuration::from_mins(30),
+        lateness: SimDuration::from_mins(5),
+        threads,
+        ..Default::default()
+    }
+}
+
+fn straight_run(flows: &[FlowRecord], cfg: EngineConfig) -> Vec<WindowReport> {
+    let mut eng = DetectionEngine::new(cfg, internal as fn(Ipv4Addr) -> bool).unwrap();
+    let mut reports = Vec::new();
+    for f in flows {
+        reports.extend(eng.push(*f).unwrap());
+    }
+    reports.extend(eng.finish());
+    reports
+}
+
+#[test]
+fn resume_at_any_cut_is_byte_identical_at_every_thread_count() {
+    let flows = feed();
+    for threads in [1usize, 2, 4] {
+        let expected = straight_run(&flows, cfg(threads));
+        for cut in [1, flows.len() / 3, flows.len() / 2, flows.len() - 1] {
+            // First "process": run to the cut, snapshot, drop the engine.
+            let mut first =
+                DetectionEngine::new(cfg(threads), internal as fn(Ipv4Addr) -> bool).unwrap();
+            let mut reports = Vec::new();
+            for f in &flows[..cut] {
+                reports.extend(first.push(*f).unwrap());
+            }
+            let snapshot = first.checkpoint();
+            drop(first);
+
+            // Second "process": revive through the serialized text form.
+            let revived = EngineCheckpoint::parse(&snapshot.serialize()).unwrap();
+            assert_eq!(revived, snapshot);
+            let mut second =
+                DetectionEngine::restore(&revived, internal as fn(Ipv4Addr) -> bool).unwrap();
+            for f in &flows[cut..] {
+                reports.extend(second.push(*f).unwrap());
+            }
+            reports.extend(second.finish());
+
+            assert_eq!(
+                reports, expected,
+                "threads={threads} cut={cut}: resumed reports diverged"
+            );
+            // Byte-exact thresholds, not just equal-looking ones.
+            for (a, b) in reports.iter().zip(&expected) {
+                if let (Ok(ra), Ok(rb)) = (&a.outcome, &b.outcome) {
+                    assert_eq!(ra.tau_vol.to_bits(), rb.tau_vol.to_bits());
+                    assert_eq!(ra.tau_churn.to_bits(), rb.tau_churn.to_bits());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn resume_through_disk_continues_under_degraded_modes() {
+    // Scrambled arrival plus every degraded-mode policy that changes
+    // counters: the checkpoint must carry them all.
+    let mut flows = feed();
+    for chunk in flows.chunks_mut(24) {
+        chunk.reverse();
+    }
+    let dcfg = EngineConfig {
+        late_policy: LatePolicy::Drop,
+        dedupe: true,
+        max_flows: Some(10_000),
+        stall_timeout: Some(SimDuration::from_mins(30)),
+        ..cfg(2)
+    };
+    let straight = {
+        let mut eng = DetectionEngine::new(dcfg, internal as fn(Ipv4Addr) -> bool).unwrap();
+        let mut reports = Vec::new();
+        for f in &flows {
+            reports.extend(eng.push(*f).unwrap());
+        }
+        reports.extend(eng.finish());
+        (reports, eng.stats())
+    };
+
+    let cut = flows.len() / 2;
+    let dir = std::env::temp_dir().join("pw-checkpoint-roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("resume.ckpt");
+
+    let mut first = DetectionEngine::new(dcfg, internal as fn(Ipv4Addr) -> bool).unwrap();
+    let mut reports = Vec::new();
+    for f in &flows[..cut] {
+        reports.extend(first.push(*f).unwrap());
+    }
+    write_checkpoint(&path, &first.checkpoint()).unwrap();
+    drop(first);
+
+    let snapshot = read_checkpoint(&path).unwrap();
+    let mut second = DetectionEngine::restore(&snapshot, internal as fn(Ipv4Addr) -> bool).unwrap();
+    for f in &flows[cut..] {
+        reports.extend(second.push(*f).unwrap());
+    }
+    reports.extend(second.finish());
+
+    assert_eq!(reports, straight.0);
+    assert_eq!(second.stats(), straight.1);
+    std::fs::remove_file(&path).ok();
+}
