@@ -26,6 +26,7 @@ impl BenchmarkId {
     }
 }
 
+#[allow(dead_code)]
 trait IdLabel {
     fn label(&self) -> String;
 }

@@ -16,6 +16,53 @@ pub mod strategy {
     pub trait Strategy {
         type Value;
         fn generate(&self, state: &mut u64) -> Self::Value;
+
+        /// Derived strategy applying `f` to every generated value.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, state: &mut u64) -> O {
+            (self.f)(self.inner.generate(state))
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (`prop_oneof!` backend).
+    pub struct OneOf<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, state: &mut u64) -> T {
+            assert!(!self.options.is_empty(), "prop_oneof! needs at least one arm");
+            let k = (splitmix64(state) as usize) % self.options.len();
+            self.options[k].generate(state)
+        }
+    }
+
+    pub fn one_of<T>(options: Vec<Box<dyn Strategy<Value = T>>>) -> OneOf<T> {
+        OneOf { options }
+    }
+
+    pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
+
+    /// Raw deterministic stream access for `arbitrary::Any`.
+    pub fn raw_u64(state: &mut u64) -> u64 {
+        splitmix64(state)
     }
 
     macro_rules! int_range_strategy {
@@ -49,6 +96,79 @@ pub mod strategy {
         }
     }
 
+    /// Real proptest treats a `&str` strategy as a regex. The miniature
+    /// supports the subset the workspace uses: literal characters, one
+    /// `[x-y…]` class per element, and `{m,n}` / `{n}` / `+` / `*`
+    /// quantifiers.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, state: &mut u64) -> String {
+            let chars: Vec<char> = self.chars().collect();
+            let mut out = String::new();
+            let mut i = 0;
+            while i < chars.len() {
+                // one element: a char class or a literal
+                let class: Vec<char> = if chars[i] == '[' {
+                    let close = chars[i..].iter().position(|&c| c == ']').map_or(
+                        chars.len() - 1,
+                        |p| i + p,
+                    );
+                    let mut cs = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                            cs.extend((lo..=hi).filter_map(char::from_u32));
+                            j += 3;
+                        } else {
+                            cs.push(chars[j]);
+                            j += 1;
+                        }
+                    }
+                    i = close + 1;
+                    cs
+                } else {
+                    let c = chars[i];
+                    i += 1;
+                    vec![c]
+                };
+                // optional quantifier
+                let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map_or(chars.len() - 1, |p| i + p);
+                    let spec: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match spec.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse().unwrap_or(0),
+                            n.trim().parse().unwrap_or(8),
+                        ),
+                        None => {
+                            let n = spec.trim().parse().unwrap_or(1);
+                            (n, n)
+                        }
+                    }
+                } else if i < chars.len() && (chars[i] == '+' || chars[i] == '*') {
+                    let lo = usize::from(chars[i] == '+');
+                    i += 1;
+                    (lo, 8)
+                } else {
+                    (1, 1)
+                };
+                let n = lo + (splitmix64(state) as usize) % (hi - lo + 1);
+                for _ in 0..n {
+                    if !class.is_empty() {
+                        let k = (splitmix64(state) as usize) % class.len();
+                        out.push(class[k]);
+                    }
+                }
+            }
+            out
+        }
+    }
+
     #[derive(Debug, Clone, Copy)]
     pub struct Just<T: Clone>(pub T);
 
@@ -75,6 +195,86 @@ pub mod strategy {
     pub fn vec_strategy<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
         VecStrategy { element, size }
     }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident/$i:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, state: &mut u64) -> Self::Value {
+                    ($(self.$i.generate(state),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (S0/0, S1/1);
+        (S0/0, S1/1, S2/2);
+        (S0/0, S1/1, S2/2, S3/3);
+        (S0/0, S1/1, S2/2, S3/3, S4/4);
+        (S0/0, S1/1, S2/2, S3/3, S4/4, S5/5);
+        (S0/0, S1/1, S2/2, S3/3, S4/4, S5/5, S6/6);
+        (S0/0, S1/1, S2/2, S3/3, S4/4, S5/5, S6/6, S7/7);
+        (S0/0, S1/1, S2/2, S3/3, S4/4, S5/5, S6/6, S7/7, S8/8);
+        (S0/0, S1/1, S2/2, S3/3, S4/4, S5/5, S6/6, S7/7, S8/8, S9/9);
+        (S0/0, S1/1, S2/2, S3/3, S4/4, S5/5, S6/6, S7/7, S8/8, S9/9, S10/10);
+        (S0/0, S1/1, S2/2, S3/3, S4/4, S5/5, S6/6, S7/7, S8/8, S9/9, S10/10, S11/11);
+    }
+}
+
+/// `any::<T>()`, the strategy behind real proptest's bare `arg: T`
+/// parameter shorthand in `proptest!`.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    pub fn any<T>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    macro_rules! any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, state: &mut u64) -> $t {
+                    super::strategy::raw_u64(state) as $t
+                }
+            }
+        )*};
+    }
+    any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, state: &mut u64) -> bool {
+            super::strategy::raw_u64(state) & 1 == 1
+        }
+    }
+
+    impl Strategy for Any<u128> {
+        type Value = u128;
+        fn generate(&self, state: &mut u64) -> u128 {
+            let hi = super::strategy::raw_u64(state) as u128;
+            let lo = super::strategy::raw_u64(state) as u128;
+            (hi << 64) | lo
+        }
+    }
+
+    impl Strategy for Any<i128> {
+        type Value = i128;
+        fn generate(&self, state: &mut u64) -> i128 {
+            let hi = super::strategy::raw_u64(state) as u128;
+            let lo = super::strategy::raw_u64(state) as u128;
+            ((hi << 64) | lo) as i128
+        }
+    }
+}
+
+/// Mirror of real proptest's `prop` module alias (`prop::collection::vec`).
+pub mod prop {
+    pub use super::collection;
+    pub use super::strategy;
 }
 
 pub mod collection {
@@ -82,9 +282,20 @@ pub mod collection {
 }
 
 pub mod prelude {
+    pub use super::arbitrary::any;
     pub use super::collection;
+    pub use super::prop;
     pub use super::strategy::{Just, Strategy};
-    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use super::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![$($crate::strategy::boxed($arm)),+])
+    };
 }
 
 #[macro_export]
@@ -114,17 +325,46 @@ macro_rules! prop_assume {
 #[macro_export]
 macro_rules! proptest {
     () => {};
-    ($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block $($rest:tt)*) => {
+    // `#![proptest_config(..)]` tunes case counts/shrinking in real
+    // proptest; the miniature always runs its fixed deterministic stream,
+    // so the attribute is accepted and ignored.
+    (#![proptest_config($($cfg:tt)*)] $($rest:tt)*) => {
+        $crate::proptest! { $($rest)* }
+    };
+    ($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
         $(#[$meta])*
         fn $name() {
             let mut __pt_state: u64 =
                 0xD1B54A32D192ED03u64 ^ (stringify!($name).len() as u64);
             for __pt_case in 0..64u32 {
                 let _ = __pt_case;
-                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __pt_state);)*
+                $crate::proptest!(@bind __pt_state; $($params)*);
                 $body
             }
         }
         $crate::proptest! { $($rest)* }
+    };
+    // Parameter muncher: `arg in strategy` or bare `arg: Type` (real
+    // proptest's `Arbitrary` shorthand), in any mix.
+    (@bind $state:ident;) => {};
+    (@bind $state:ident; $arg:ident in $strat:expr) => {
+        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut $state);
+    };
+    (@bind $state:ident; $arg:ident in $strat:expr, $($more:tt)*) => {
+        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut $state);
+        $crate::proptest!(@bind $state; $($more)*);
+    };
+    (@bind $state:ident; $arg:ident : $ty:ty) => {
+        let $arg: $ty = $crate::strategy::Strategy::generate(
+            &$crate::arbitrary::any::<$ty>(),
+            &mut $state,
+        );
+    };
+    (@bind $state:ident; $arg:ident : $ty:ty, $($more:tt)*) => {
+        let $arg: $ty = $crate::strategy::Strategy::generate(
+            &$crate::arbitrary::any::<$ty>(),
+            &mut $state,
+        );
+        $crate::proptest!(@bind $state; $($more)*);
     };
 }

@@ -23,13 +23,11 @@ pub struct Ecdf {
 }
 
 impl Ecdf {
-    /// Builds an ECDF from a sample (need not be sorted).
-    ///
-    /// # Panics
-    ///
-    /// Panics if any sample is NaN.
+    /// Builds an ECDF from a sample (need not be sorted). Samples are
+    /// ordered by `f64::total_cmp`, so NaN never panics — it sorts to
+    /// the top tail and inflates `len` like any other garbage sample.
     pub fn new(mut samples: Vec<f64>) -> Self {
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in ECDF"));
+        crate::order::sort_floats(&mut samples);
         Self { sorted: samples }
     }
 

@@ -372,7 +372,7 @@ pub fn average_linkage(dm: &DistanceMatrix) -> Dendrogram {
     }
 
     // Sort by height and relabel with a union-find (SciPy's `label` step).
-    raw.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite heights"));
+    raw.sort_by(|a, b| crate::order::fcmp(a.2, b.2));
     let mut uf = UnionFind::new(n);
     let mut cluster_id: Vec<usize> = (0..n).collect(); // root leaf -> cluster id
     let mut cluster_size: Vec<usize> = vec![1; n];

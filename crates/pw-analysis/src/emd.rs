@@ -56,8 +56,8 @@ pub fn emd_1d(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
 
     let mut pa: Vec<(f64, f64)> = a.iter().map(|&(x, w)| (x, w / wa)).collect();
     let mut pb: Vec<(f64, f64)> = b.iter().map(|&(x, w)| (x, w / wb)).collect();
-    pa.sort_by(|p, q| p.0.partial_cmp(&q.0).expect("finite"));
-    pb.sort_by(|p, q| p.0.partial_cmp(&q.0).expect("finite"));
+    pa.sort_by(|p, q| crate::order::fcmp(p.0, q.0));
+    pb.sort_by(|p, q| crate::order::fcmp(p.0, q.0));
 
     // Sweep the merged support accumulating |F_a - F_b| * gap.
     let mut i = 0;

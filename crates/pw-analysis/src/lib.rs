@@ -33,6 +33,7 @@ pub mod cdf;
 pub mod cluster;
 pub mod emd;
 pub mod hist;
+pub mod order;
 pub mod roc;
 pub mod stats;
 
@@ -40,5 +41,6 @@ pub use cdf::Ecdf;
 pub use cluster::{average_linkage, Dendrogram, DistanceMatrix, Merge};
 pub use emd::{emd_1d, emd_histograms};
 pub use hist::Histogram;
+pub use order::{fcmp, sort_floats};
 pub use roc::{auc, RocCurve, RocPoint};
 pub use stats::{iqr, mean, median, percentile, std_dev, variance};

@@ -1,0 +1,69 @@
+//! Total-order float comparison helpers.
+//!
+//! Detection math sorts and ranks `f64` everywhere — percentiles, EMD
+//! supports, dendrogram heights, ROC sweeps. `partial_cmp().unwrap()`
+//! panics the moment a NaN sneaks in, *mid-sort*, far from whatever
+//! produced it; `f64::total_cmp` is a total order (IEEE 754
+//! `totalOrder`) that costs the same and never panics. These helpers are
+//! the one spelling the `pw-lint` D4 rule sanctions.
+//!
+//! For finite, same-sign-zero data `total_cmp` agrees exactly with
+//! `partial_cmp`; the differences are that `-0.0 < 0.0` and NaN sorts to
+//! the ends (negative NaN first, positive NaN last) instead of
+//! panicking. Garbage stays garbage, but deterministically so.
+
+use std::cmp::Ordering;
+
+/// Total-order comparison of two floats; the drop-in replacement for
+/// `a.partial_cmp(&b).unwrap()` in comparator closures.
+#[inline]
+#[must_use]
+pub fn fcmp(a: f64, b: f64) -> Ordering {
+    a.total_cmp(&b)
+}
+
+/// Sorts a float slice ascending in the total order.
+#[inline]
+pub fn sort_floats(xs: &mut [f64]) {
+    xs.sort_unstable_by(f64::total_cmp);
+}
+
+/// `true` if the slice is ascending in the total order (ties allowed).
+#[must_use]
+pub fn is_sorted_total(xs: &[f64]) -> bool {
+    xs.windows(2).all(|w| fcmp(w[0], w[1]) != Ordering::Greater)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fcmp_matches_partial_cmp_on_finite() {
+        let cases = [(1.0, 2.0), (2.0, 1.0), (3.5, 3.5), (-1.0, 1.0)];
+        for (a, b) in cases {
+            assert_eq!(fcmp(a, b), a.partial_cmp(&b).unwrap());
+        }
+    }
+
+    #[test]
+    fn sort_floats_handles_nan_without_panicking() {
+        let mut xs = vec![2.0, f64::NAN, 1.0, f64::NEG_INFINITY];
+        sort_floats(&mut xs);
+        assert_eq!(xs[0], f64::NEG_INFINITY);
+        assert_eq!(xs[1], 1.0);
+        assert_eq!(xs[2], 2.0);
+        assert!(xs[3].is_nan());
+        assert!(is_sorted_total(&xs));
+    }
+
+    #[test]
+    fn sort_is_deterministic_across_shuffles() {
+        let a = vec![0.3, 0.1, 0.2];
+        let b = vec![0.2, 0.3, 0.1];
+        let (mut a, mut b) = (a, b);
+        sort_floats(&mut a);
+        sort_floats(&mut b);
+        assert_eq!(a, b);
+    }
+}

@@ -70,12 +70,7 @@ impl RocCurve {
     /// Points sorted by ascending FPR (ties by TPR), for plotting or AUC.
     pub fn sorted_points(&self) -> Vec<RocPoint> {
         let mut pts = self.points.clone();
-        pts.sort_by(|a, b| {
-            a.fpr
-                .partial_cmp(&b.fpr)
-                .expect("finite")
-                .then(a.tpr.partial_cmp(&b.tpr).expect("finite"))
-        });
+        pts.sort_by(|a, b| crate::order::fcmp(a.fpr, b.fpr).then(crate::order::fcmp(a.tpr, b.tpr)));
         pts
     }
 }

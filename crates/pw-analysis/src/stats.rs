@@ -60,7 +60,7 @@ pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
         return None;
     }
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+    crate::order::sort_floats(&mut sorted);
     Some(percentile_sorted(&sorted, p))
 }
 
@@ -113,7 +113,7 @@ pub fn iqr(xs: &[f64]) -> Option<f64> {
         return None;
     }
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+    crate::order::sort_floats(&mut sorted);
     Some(percentile_sorted(&sorted, 75.0) - percentile_sorted(&sorted, 25.0))
 }
 

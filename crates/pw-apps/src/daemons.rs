@@ -229,7 +229,7 @@ mod tests {
     fn stray_connections_all_fail() {
         let flows = run_model(&StrayConnections::default(), 9);
         assert!(!flows.is_empty());
-        assert!(flows.iter().all(|f| f.is_failed()));
+        assert!(flows.iter().all(pw_flow::FlowRecord::is_failed));
         // Retries hit a bounded pool of dead endpoints.
         let dests: std::collections::HashSet<_> = flows.iter().map(|f| f.dst).collect();
         assert!(dests.len() <= flows.len());

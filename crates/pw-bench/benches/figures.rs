@@ -25,14 +25,17 @@ fn bench_figure_kernels(c: &mut Criterion) {
         b.iter(|| {
             let vals: Vec<f64> = profiles
                 .values()
-                .filter_map(|p| p.avg_upload_per_flow())
+                .filter_map(pw_detect::HostProfile::avg_upload_per_flow)
                 .collect();
             Ecdf::new(black_box(vals))
         })
     });
     c.bench_function("fig05_failed_cdf_kernel", |b| {
         b.iter(|| {
-            let vals: Vec<f64> = profiles.values().filter_map(|p| p.failed_rate()).collect();
+            let vals: Vec<f64> = profiles
+                .values()
+                .filter_map(pw_detect::HostProfile::failed_rate)
+                .collect();
             Ecdf::new(black_box(vals))
         })
     });
@@ -42,7 +45,7 @@ fn bench_figure_kernels(c: &mut Criterion) {
         b.iter(|| {
             profiles
                 .values()
-                .filter_map(|p| p.new_ip_fraction())
+                .filter_map(pw_detect::HostProfile::new_ip_fraction)
                 .sum::<f64>()
         })
     });

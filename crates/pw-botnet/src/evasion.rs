@@ -73,7 +73,7 @@ pub fn apply_evasion(trace: &BotTrace, cfg: &EvasionConfig, seed: u64) -> BotTra
         let mut r = rng::derive_indexed(seed, "evasion", b as u64);
         // --- Volume inflation. ---
         if cfg.volume_multiplier > 1.0 {
-            for f in bot.flows.iter_mut() {
+            for f in &mut bot.flows {
                 if f.src == bot.ip {
                     f.src_bytes = (f.src_bytes as f64 * cfg.volume_multiplier) as u64;
                 } else {
@@ -86,7 +86,7 @@ pub fn apply_evasion(trace: &BotTrace, cfg: &EvasionConfig, seed: u64) -> BotTra
             if d > SimDuration::ZERO {
                 let mut seen: HashSet<Ipv4Addr> = HashSet::new();
                 let d_ms = d.as_millis() as i64;
-                for f in bot.flows.iter_mut() {
+                for f in &mut bot.flows {
                     let Some(peer) = f.peer_of(bot.ip) else {
                         continue;
                     };

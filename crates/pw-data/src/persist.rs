@@ -73,7 +73,10 @@ pub fn write_ground_truth<W: Write>(
     let mut entries: Vec<_> = hosts.iter().collect();
     entries.sort_by_key(|(ip, _)| **ip);
     for (ip, info) in entries {
-        let implant = implants.get(ip).map(|f| f.to_string()).unwrap_or_default();
+        let implant = implants
+            .get(ip)
+            .map(std::string::ToString::to_string)
+            .unwrap_or_default();
         writeln!(w, "{ip},{},{},{implant}", role_str(info.role), info.active)?;
     }
     Ok(())

@@ -196,7 +196,7 @@ impl EngineCheckpoint {
             eviction,
             late,
             opt_ms(c.max_flows.map(|n| n as u64)),
-            opt_ms(c.stall_timeout.map(|d| d.as_millis())),
+            opt_ms(c.stall_timeout.map(pw_netsim::SimDuration::as_millis)),
             u8::from(c.dedupe),
             u8::from(c.reject_invalid),
         ));
@@ -213,7 +213,7 @@ impl EngineCheckpoint {
             self.watermark.as_millis(),
             self.applied_to.as_millis(),
             self.stall_watermark.as_millis(),
-            opt_ms(self.stall_progress_at.map(|t| t.as_millis())),
+            opt_ms(self.stall_progress_at.map(pw_netsim::SimTime::as_millis)),
         ));
         let s = self.stats;
         out.push_str(&format!(
@@ -548,7 +548,7 @@ mod tests {
             src_bytes: 100 + k,
             dst_pkts: 2,
             dst_bytes: 4_000,
-            state: if k % 4 == 0 {
+            state: if k.is_multiple_of(4) {
                 FlowState::SynNoAnswer
             } else {
                 FlowState::Established

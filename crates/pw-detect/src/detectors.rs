@@ -350,8 +350,8 @@ pub(crate) fn theta_hm_view(
         .iter()
         .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), h| {
             let pm = h.point_masses();
-            let first = pm.first().map(|&(p, _)| p).unwrap_or(0.0);
-            let last = pm.last().map(|&(p, _)| p).unwrap_or(0.0);
+            let first = pm.first().map_or(0.0, |&(p, _)| p);
+            let last = pm.last().map_or(0.0, |&(p, _)| p);
             (lo.min(first), hi.max(last))
         });
     let dm = DistanceMatrix::from_fn_par(hosts.len(), threads, |i, j| match options.distance {
@@ -371,7 +371,7 @@ pub(crate) fn theta_hm_view(
             (ips, d)
         })
         .collect();
-    clusters.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+    clusters.sort_by(|a, b| pw_analysis::fcmp(a.1, b.1).then(a.0.cmp(&b.0)));
 
     let diameters: Vec<f64> = clusters.iter().map(|&(_, d)| d).collect();
     let Some(t) = tau.resolve(&diameters) else {

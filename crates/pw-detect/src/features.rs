@@ -894,7 +894,7 @@ mod tests {
         let mut pt = extract_profiles_table(&FlowTable::from_records(&flows), internal);
         pt.retain(|ip, _| ip == H2);
         assert_eq!(pt.len(), 1);
-        assert_eq!(pt.hosts().get(H2).map(|id| id.index()), Some(0));
+        assert_eq!(pt.hosts().get(H2).map(pw_flow::HostId::index), Some(0));
         assert!(pt.get(H).is_none());
     }
 

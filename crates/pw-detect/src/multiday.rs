@@ -40,7 +40,12 @@ impl MultiDayReport {
         let mut days = 0;
         for report in reports {
             days += 1;
-            for &ip in &report.all_hosts {
+            // Sorted iteration keeps intern order — and so HostId
+            // assignment — identical across runs, not just the
+            // materialized maps.
+            let mut all: Vec<_> = report.all_hosts.iter().copied().collect();
+            all.sort_unstable();
+            for ip in all {
                 let idx = hosts.intern(ip).index();
                 if idx >= seen.len() {
                     seen.push(0);
@@ -48,7 +53,9 @@ impl MultiDayReport {
                 }
                 seen[idx] += 1;
             }
-            for &ip in &report.suspects {
+            let mut sus: Vec<_> = report.suspects.iter().copied().collect();
+            sus.sort_unstable();
+            for ip in sus {
                 let idx = hosts.intern(ip).index();
                 if idx >= seen.len() {
                     seen.push(0);

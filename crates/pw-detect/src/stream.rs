@@ -536,12 +536,15 @@ impl<F: Fn(Ipv4Addr) -> bool + Sync> DetectionEngine<F> {
             return Vec::new();
         };
         let progressed = self.watermark > self.stall_watermark;
-        if progressed || self.stall_progress_at.is_none() {
-            self.stall_watermark = self.watermark;
-            self.stall_progress_at = Some(now);
-            return Vec::new();
-        }
-        let since = now.since(self.stall_progress_at.expect("set above"));
+        let last_progress = match self.stall_progress_at {
+            Some(t) if !progressed => t,
+            _ => {
+                self.stall_watermark = self.watermark;
+                self.stall_progress_at = Some(now);
+                return Vec::new();
+            }
+        };
+        let since = now.since(last_progress);
         if since < timeout {
             return Vec::new();
         }
@@ -614,9 +617,9 @@ impl<F: Fn(Ipv4Addr) -> bool + Sync> DetectionEngine<F> {
             .collect();
         closable
             .into_iter()
-            .map(|k| {
-                let flows = self.open.remove(&k).expect("window present");
-                self.close_window(k, flows, false)
+            .filter_map(|k| {
+                let flows = self.open.remove(&k)?;
+                Some(self.close_window(k, flows, false))
             })
             .collect()
     }

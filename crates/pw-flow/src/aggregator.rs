@@ -225,8 +225,9 @@ impl ArgusAggregator {
             .collect();
         expired.sort_unstable(); // HashMap iteration order is not deterministic
         for k in expired {
-            let fb = self.active.remove(&k).expect("listed above");
-            self.completed.push(fb.finish());
+            if let Some(fb) = self.active.remove(&k) {
+                self.completed.push(fb.finish());
+            }
         }
     }
 
@@ -254,9 +255,12 @@ impl PacketSink for ArgusAggregator {
     fn emit(&mut self, packet: Packet) {
         let key = BidiKey::of(&packet);
         // A packet after the idle timeout starts a new record for the tuple.
-        if let Some(fb) = self.active.get(&key) {
-            if packet.time.since(fb.last) > self.cfg.idle_timeout {
-                let fb = self.active.remove(&key).expect("present");
+        let timed_out = self
+            .active
+            .get(&key)
+            .is_some_and(|fb| packet.time.since(fb.last) > self.cfg.idle_timeout);
+        if timed_out {
+            if let Some(fb) = self.active.remove(&key) {
                 self.completed.push(fb.finish());
             }
         }

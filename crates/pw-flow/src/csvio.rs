@@ -158,13 +158,16 @@ pub fn parse_flow(line: &str, lineno: usize) -> Result<FlowRecord, RowError> {
             reason,
         })
     };
-    let fields: Vec<&str> = line.split(',').collect();
-    if fields.len() != FIELDS {
-        return Err(err(ParseError::WrongFieldCount {
+    // Converting to a fixed-size array makes the per-field indexing below
+    // infallible by type, not by an earlier length check the compiler
+    // cannot see.
+    let cols: Vec<&str> = line.split(',').collect();
+    let fields: [&str; FIELDS] = cols.try_into().map_err(|cols: Vec<&str>| {
+        err(ParseError::WrongFieldCount {
             expected: FIELDS,
-            got: fields.len(),
-        }));
-    }
+            got: cols.len(),
+        })
+    })?;
     let parse_u64 = |s: &str, what: &'static str| {
         s.parse::<u64>()
             .map_err(|e| invalid(what, s, e.to_string()))

@@ -119,7 +119,7 @@ impl LookupState {
         let mut out = Vec::new();
         // Only the k closest *viable* candidates are worth querying.
         let mut considered = 0;
-        for cand in self.shortlist.iter_mut() {
+        for cand in &mut self.shortlist {
             if self.in_flight + out.len() >= self.alpha {
                 break;
             }

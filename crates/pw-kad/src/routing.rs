@@ -118,8 +118,7 @@ impl RoutingTable {
     pub fn contains(&self, id: NodeId) -> bool {
         self.me
             .bucket_index(id)
-            .map(|idx| self.buckets[idx].entries.iter().any(|c| c.id == id))
-            .unwrap_or(false)
+            .is_some_and(|idx| self.buckets[idx].entries.iter().any(|c| c.id == id))
     }
 
     /// The up-to-`count` stored contacts closest to `target` in XOR

@@ -1,0 +1,293 @@
+//! `lint.toml`: the audited-exception file.
+//!
+//! Every entry names a rule, a file, a way to pin the offending line
+//! (either a `contains =` substring of the line — robust to code motion —
+//! or an exact `line =` number), and a mandatory human justification.
+//! `pw-lint --fix-allowlist` emits a baseline for the current violations
+//! with `reason = "TODO: justify"` placeholders; CI stays red until a
+//! human replaces them, which is the audit.
+//!
+//! The parser handles the TOML subset the tool itself emits (`[[allow]]`
+//! tables of string/integer scalars, `#` comments) — by design, so the
+//! file cannot grow clever enough to stop being reviewable. No external
+//! TOML dependency.
+
+use crate::diag::Diagnostic;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub path: String,
+    /// Substring of the raw offending line (trimmed); preferred pin.
+    pub contains: Option<String>,
+    /// 1-indexed exact line; brittle, for generated baselines.
+    pub line: Option<u32>,
+    pub reason: String,
+}
+
+impl AllowEntry {
+    pub fn matches(&self, d: &Diagnostic) -> bool {
+        if self.rule != d.rule.as_str() || self.path != d.path {
+            return false;
+        }
+        match (&self.contains, self.line) {
+            (Some(c), _) => d.snippet.contains(c.as_str()),
+            (None, Some(l)) => l == d.line,
+            (None, None) => false,
+        }
+    }
+}
+
+/// Parse errors carry the 1-indexed line in `lint.toml` itself.
+#[derive(Debug, PartialEq, Eq)]
+pub struct AllowlistError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for AllowlistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+pub fn parse(text: &str) -> Result<Vec<AllowEntry>, AllowlistError> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut current: Option<PartialEntry> = None;
+
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(p) = current.take() {
+                entries.push(p.finish()?);
+            }
+            current = Some(PartialEntry::new(lineno));
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            return Err(AllowlistError {
+                line: lineno,
+                message: format!("expected `key = value`, got `{line}`"),
+            });
+        };
+        let key = line[..eq].trim();
+        let value = line[eq + 1..].trim();
+        let Some(p) = current.as_mut() else {
+            return Err(AllowlistError {
+                line: lineno,
+                message: format!("`{key}` outside an [[allow]] table"),
+            });
+        };
+        match key {
+            "rule" => p.rule = Some(parse_string(value, lineno)?),
+            "path" => p.path = Some(parse_string(value, lineno)?),
+            "contains" => p.contains = Some(parse_string(value, lineno)?),
+            "reason" => p.reason = Some(parse_string(value, lineno)?),
+            "line" => {
+                p.line = Some(value.parse::<u32>().map_err(|_| AllowlistError {
+                    line: lineno,
+                    message: format!("`line` must be an integer, got `{value}`"),
+                })?);
+            }
+            other => {
+                return Err(AllowlistError {
+                    line: lineno,
+                    message: format!("unknown key `{other}` (rule/path/contains/line/reason)"),
+                });
+            }
+        }
+    }
+    if let Some(p) = current.take() {
+        entries.push(p.finish()?);
+    }
+    Ok(entries)
+}
+
+/// Serializes entries in the canonical emit order (path, line).
+pub fn emit(entries: &[AllowEntry]) -> String {
+    let mut out = String::from(
+        "# pw-lint audited exceptions. Every entry must carry a real `reason`;\n\
+         # `pw-lint --fix-allowlist` regenerates pins but a human writes the why.\n\
+         # See DESIGN.md §7 for the rule catalogue.\n",
+    );
+    for e in entries {
+        out.push_str("\n[[allow]]\n");
+        out.push_str(&format!("rule = {}\n", toml_str(&e.rule)));
+        out.push_str(&format!("path = {}\n", toml_str(&e.path)));
+        if let Some(c) = &e.contains {
+            out.push_str(&format!("contains = {}\n", toml_str(c)));
+        }
+        if let Some(l) = e.line {
+            out.push_str(&format!("line = {l}\n"));
+        }
+        out.push_str(&format!("reason = {}\n", toml_str(&e.reason)));
+    }
+    out
+}
+
+fn toml_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn parse_string(value: &str, lineno: u32) -> Result<String, AllowlistError> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| AllowlistError {
+            line: lineno,
+            message: format!("expected a double-quoted string, got `{value}`"),
+        })?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            other => {
+                return Err(AllowlistError {
+                    line: lineno,
+                    message: format!("unsupported escape `\\{}`", other.unwrap_or(' ')),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct PartialEntry {
+    started_at: u32,
+    rule: Option<String>,
+    path: Option<String>,
+    contains: Option<String>,
+    line: Option<u32>,
+    reason: Option<String>,
+}
+
+impl PartialEntry {
+    fn new(started_at: u32) -> Self {
+        PartialEntry {
+            started_at,
+            rule: None,
+            path: None,
+            contains: None,
+            line: None,
+            reason: None,
+        }
+    }
+
+    fn finish(self) -> Result<AllowEntry, AllowlistError> {
+        let missing = |what: &str| AllowlistError {
+            line: self.started_at,
+            message: format!("[[allow]] entry is missing `{what}`"),
+        };
+        let rule = self.rule.ok_or_else(|| missing("rule"))?;
+        if crate::diag::RuleId::parse(&rule).is_none() {
+            return Err(AllowlistError {
+                line: self.started_at,
+                message: format!("unknown rule id `{rule}`"),
+            });
+        }
+        let path = self.path.ok_or_else(|| missing("path"))?;
+        let reason = self.reason.ok_or_else(|| missing("reason"))?;
+        if reason.trim().is_empty() {
+            return Err(missing("reason"));
+        }
+        if self.contains.is_none() && self.line.is_none() {
+            return Err(missing("contains` or `line"));
+        }
+        Ok(AllowEntry {
+            rule,
+            path,
+            contains: self.contains,
+            line: self.line,
+            reason,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::RuleId;
+
+    #[test]
+    fn roundtrip() {
+        let entries = vec![AllowEntry {
+            rule: "D3".into(),
+            path: "crates/pw-flow/src/x.rs".into(),
+            contains: Some("h.join().expect(\"shard\")".into()),
+            line: None,
+            reason: "join propagates a shard panic; that is the contract".into(),
+        }];
+        let text = emit(&entries);
+        assert_eq!(parse(&text).unwrap(), entries);
+    }
+
+    #[test]
+    fn rejects_missing_reason() {
+        let text = "[[allow]]\nrule = \"D1\"\npath = \"a.rs\"\nline = 3\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.message.contains("reason"));
+    }
+
+    #[test]
+    fn rejects_unknown_rule() {
+        let text = "[[allow]]\nrule = \"D9\"\npath = \"a.rs\"\nline = 3\nreason = \"x\"\n";
+        assert!(parse(text).unwrap_err().message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn matching_by_contains_and_line() {
+        let d = Diagnostic {
+            rule: RuleId::D3,
+            path: "a.rs".into(),
+            line: 7,
+            message: String::new(),
+            snippet: "x.unwrap();".into(),
+            allowed: false,
+        };
+        let by_contains = AllowEntry {
+            rule: "D3".into(),
+            path: "a.rs".into(),
+            contains: Some("x.unwrap()".into()),
+            line: None,
+            reason: "r".into(),
+        };
+        let by_line = AllowEntry {
+            rule: "D3".into(),
+            path: "a.rs".into(),
+            contains: None,
+            line: Some(7),
+            reason: "r".into(),
+        };
+        let wrong_rule = AllowEntry {
+            rule: "D1".into(),
+            ..by_line.clone()
+        };
+        assert!(by_contains.matches(&d));
+        assert!(by_line.matches(&d));
+        assert!(!wrong_rule.matches(&d));
+    }
+}

@@ -1,0 +1,279 @@
+//! `pw-lint` driver: scans the workspace, applies `lint.toml`, reports.
+//!
+//! ```text
+//! pw-lint [--root DIR] [--allowlist FILE] [--rules D1,D3] [--json]
+//!         [--fix-allowlist] [--deps] [--quiet]
+//! ```
+//!
+//! Exit codes: 0 clean (violations all allowlisted), 1 violations (or
+//! stale allowlist entries), 2 usage/IO error.
+
+use pw_lint::{allowlist, deps, diag::RuleId, Diagnostic};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: PathBuf,
+    allowlist: PathBuf,
+    rules: Vec<RuleId>,
+    json: bool,
+    fix_allowlist: bool,
+    deps: bool,
+    quiet: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: pw-lint [--root DIR] [--allowlist FILE] [--rules D1,D2,D3,D4]\n\
+     \x20              [--json] [--fix-allowlist] [--deps] [--quiet]\n\
+     \n\
+     Determinism & panic-safety lints for the peerwatch workspace:\n\
+     \x20 D1  HashMap/HashSet iteration order leaking into output\n\
+     \x20 D2  nondeterminism sources (wall clock, thread id, ambient RNG)\n\
+     \x20 D3  panic paths in ingest-facing library code\n\
+     \x20 D4  float comparison hazards in detection math\n\
+     \n\
+     \x20 --fix-allowlist   write a lint.toml baseline for current violations\n\
+     \x20 --deps            also run the dependency/license policy check\n\
+     \x20 --json            machine-readable diagnostics on stdout"
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        allowlist: PathBuf::new(),
+        rules: RuleId::ALL.to_vec(),
+        json: false,
+        fix_allowlist: false,
+        deps: false,
+        quiet: false,
+    };
+    let mut allowlist_set = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root = PathBuf::from(args.next().ok_or("--root needs a directory argument")?);
+            }
+            "--allowlist" => {
+                opts.allowlist =
+                    PathBuf::from(args.next().ok_or("--allowlist needs a file argument")?);
+                allowlist_set = true;
+            }
+            "--rules" => {
+                let spec = args.next().ok_or("--rules needs a comma-separated list")?;
+                opts.rules = spec
+                    .split(',')
+                    .map(|s| {
+                        RuleId::parse(s.trim())
+                            .ok_or_else(|| format!("unknown rule id `{}`", s.trim()))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--json" => opts.json = true,
+            "--fix-allowlist" => opts.fix_allowlist = true,
+            "--deps" => opts.deps = true,
+            "--quiet" => opts.quiet = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if !allowlist_set {
+        opts.allowlist = opts.root.join("lint.toml");
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("pw-lint: {e}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("pw-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(opts: &Options) -> Result<ExitCode, String> {
+    let files = pw_lint::scan_workspace(&opts.root)
+        .map_err(|e| format!("scanning {}: {e}", opts.root.display()))?;
+    if files.is_empty() {
+        return Err(format!(
+            "no Rust sources under {} (expected crates/*/src and src/)",
+            opts.root.display()
+        ));
+    }
+
+    let mut diags: Vec<Diagnostic> = pw_lint::lint_files(&files)
+        .into_iter()
+        .filter(|d| opts.rules.contains(&d.rule))
+        .collect();
+
+    if opts.fix_allowlist {
+        let entries: Vec<allowlist::AllowEntry> = diags
+            .iter()
+            .map(|d| allowlist::AllowEntry {
+                rule: d.rule.as_str().to_owned(),
+                path: d.path.clone(),
+                contains: Some(d.snippet.clone()),
+                line: None,
+                reason: "TODO: justify".to_owned(),
+            })
+            .collect();
+        std::fs::write(&opts.allowlist, allowlist::emit(&entries))
+            .map_err(|e| format!("writing {}: {e}", opts.allowlist.display()))?;
+        println!(
+            "pw-lint: wrote {} baseline entr{} to {} — replace every `TODO: justify` before merging",
+            entries.len(),
+            if entries.len() == 1 { "y" } else { "ies" },
+            opts.allowlist.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let entries = match std::fs::read_to_string(&opts.allowlist) {
+        Ok(text) => allowlist::parse(&text).map_err(|e| e.to_string())?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(format!("reading {}: {e}", opts.allowlist.display())),
+    };
+    let todo_entries = entries
+        .iter()
+        .filter(|e| e.reason.trim() == "TODO: justify")
+        .count();
+    let stale = pw_lint::apply_allowlist(&mut diags, &entries);
+
+    let violations = diags.iter().filter(|d| !d.allowed).count();
+    let allowed = diags.len() - violations;
+    let files_hit: std::collections::BTreeSet<&str> = diags
+        .iter()
+        .filter(|d| !d.allowed)
+        .map(|d| d.path.as_str())
+        .collect();
+
+    let deps_report = if opts.deps {
+        Some(run_deps(opts)?)
+    } else {
+        None
+    };
+    let deps_bad = deps_report.as_ref().is_some_and(|r| !r.ok());
+
+    if opts.json {
+        let mut out = String::from("{\"diagnostics\":[");
+        for (i, d) in diags.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&d.to_json());
+        }
+        out.push_str(&format!(
+            "],\"violations\":{violations},\"allowed\":{allowed},\"stale_allow_entries\":{stale},\"todo_allow_entries\":{todo_entries}"
+        ));
+        if let Some(r) = &deps_report {
+            out.push_str(&format!(
+                ",\"deps\":{{\"packages\":{},\"manifests\":{},\"violations\":[",
+                r.packages_checked, r.manifests_checked
+            ));
+            for (i, v) in r.violations.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&pw_lint::diag::json_str(v));
+            }
+            out.push_str("]}");
+        }
+        out.push('}');
+        println!("{out}");
+    } else {
+        if !opts.quiet {
+            for d in &diags {
+                if !d.allowed {
+                    println!("{}", d.render());
+                }
+            }
+            if stale > 0 {
+                println!(
+                    "pw-lint: {stale} stale allowlist entr{} in {} match nothing — delete them",
+                    if stale == 1 { "y" } else { "ies" },
+                    opts.allowlist.display()
+                );
+            }
+            if todo_entries > 0 {
+                println!(
+                    "pw-lint: {todo_entries} allowlist entr{} still say `TODO: justify`",
+                    if todo_entries == 1 { "y" } else { "ies" }
+                );
+            }
+            if let Some(r) = &deps_report {
+                for v in &r.violations {
+                    println!("deps: {v}");
+                }
+                println!(
+                    "pw-lint deps: {} packages, {} manifests checked, {} violation(s)",
+                    r.packages_checked,
+                    r.manifests_checked,
+                    r.violations.len()
+                );
+            }
+        }
+        // The violation-count summary CI greps for.
+        println!(
+            "pw-lint: {violations} violation(s) across {} file(s) ({allowed} allowed by {}, {stale} stale allow entr{})",
+            files_hit.len(),
+            opts.allowlist.display(),
+            if stale == 1 { "y" } else { "ies" }
+        );
+    }
+
+    let fail = violations > 0 || stale > 0 || todo_entries > 0 || deps_bad;
+    Ok(if fail {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn run_deps(opts: &Options) -> Result<deps::DepsReport, String> {
+    let lock_path = opts.root.join("Cargo.lock");
+    let lock = std::fs::read_to_string(&lock_path)
+        .map_err(|e| format!("reading {}: {e}", lock_path.display()))?;
+    let mut manifests: Vec<(String, String)> = Vec::new();
+    let root_manifest = opts.root.join("Cargo.toml");
+    manifests.push((
+        "Cargo.toml".to_owned(),
+        std::fs::read_to_string(&root_manifest)
+            .map_err(|e| format!("reading {}: {e}", root_manifest.display()))?,
+    ));
+    let crates_dir = opts.root.join("crates");
+    if crates_dir.is_dir() {
+        let mut dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+            .map_err(|e| format!("reading {}: {e}", crates_dir.display()))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        dirs.sort();
+        for d in dirs {
+            let m = d.join("Cargo.toml");
+            if m.is_file() {
+                let rel = m
+                    .strip_prefix(&opts.root)
+                    .unwrap_or(&m)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                manifests.push((
+                    rel,
+                    std::fs::read_to_string(&m)
+                        .map_err(|e| format!("reading {}: {e}", m.display()))?,
+                ));
+            }
+        }
+    }
+    Ok(deps::check(&lock, &manifests))
+}

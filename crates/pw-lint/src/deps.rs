@@ -1,0 +1,145 @@
+//! `cargo-deny`-style dependency policy, sized for an offline workspace.
+//!
+//! Reads `Cargo.lock` and every workspace manifest and enforces:
+//!
+//! 1. **Allowlisted externals** — every non-workspace package in the lock
+//!    must appear in [`ALLOWED_EXTERNAL`]. A new transitive dependency is
+//!    a reviewed decision here, not a side effect of a `cargo add`.
+//! 2. **License policy** — every workspace manifest must declare (or
+//!    inherit) `MIT OR Apache-2.0`.
+//! 3. **No git/registry-url dependencies** — path/workspace deps only,
+//!    so builds stay hermetic.
+
+/// External packages the workspace may depend on (the `.devstubs`
+/// stand-ins in this container; the same names resolve to the real crates
+/// where a registry is available).
+pub const ALLOWED_EXTERNAL: [&str; 5] = ["criterion", "proptest", "rand", "serde", "serde_derive"];
+
+#[derive(Debug, PartialEq, Eq)]
+pub struct DepsReport {
+    pub packages_checked: usize,
+    pub manifests_checked: usize,
+    pub violations: Vec<String>,
+}
+
+impl DepsReport {
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// `lock_text` is `Cargo.lock`; `manifests` is `(path, contents)` for the
+/// root and every member `Cargo.toml`.
+pub fn check(lock_text: &str, manifests: &[(String, String)]) -> DepsReport {
+    let mut violations = Vec::new();
+
+    let packages = lock_packages(lock_text);
+    for name in &packages {
+        let is_workspace = name == "peerwatch" || name.starts_with("pw-");
+        if !is_workspace && !ALLOWED_EXTERNAL.contains(&name.as_str()) {
+            violations.push(format!(
+                "Cargo.lock: package `{name}` is not in the allowed external set ({})",
+                ALLOWED_EXTERNAL.join(", ")
+            ));
+        }
+    }
+
+    for (path, text) in manifests {
+        let licensed = text.contains("license = \"MIT OR Apache-2.0\"")
+            || text.contains("license.workspace = true");
+        if text.contains("[package]") && !licensed {
+            violations.push(format!(
+                "{path}: package does not declare or inherit `MIT OR Apache-2.0`"
+            ));
+        }
+        for (i, line) in text.lines().enumerate() {
+            let l = line.trim();
+            if l.starts_with('#') {
+                continue;
+            }
+            if l.contains("git = \"") {
+                violations.push(format!(
+                    "{path}:{}: git dependency breaks hermetic builds: `{l}`",
+                    i + 1
+                ));
+            }
+            if l.contains("registry = \"") && !path.ends_with("config.toml") {
+                violations.push(format!(
+                    "{path}:{}: alternate-registry dependency: `{l}`",
+                    i + 1
+                ));
+            }
+        }
+    }
+
+    violations.sort();
+    DepsReport {
+        packages_checked: packages.len(),
+        manifests_checked: manifests.len(),
+        violations,
+    }
+}
+
+fn lock_packages(lock_text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_package = false;
+    for line in lock_text.lines() {
+        let l = line.trim();
+        if l == "[[package]]" {
+            in_package = true;
+        } else if l.starts_with('[') {
+            in_package = false;
+        } else if in_package {
+            if let Some(rest) = l.strip_prefix("name = \"") {
+                if let Some(name) = rest.strip_suffix('"') {
+                    out.push(name.to_owned());
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_known_set() {
+        let lock = "[[package]]\nname = \"rand\"\nversion = \"0.8.900\"\n\n[[package]]\nname = \"pw-flow\"\nversion = \"0.1.0\"\n";
+        let manifests = vec![(
+            "Cargo.toml".to_owned(),
+            "[package]\nname = \"pw-flow\"\nlicense.workspace = true\n".to_owned(),
+        )];
+        let report = check(lock, &manifests);
+        assert!(report.ok(), "{:?}", report.violations);
+        assert_eq!(report.packages_checked, 2);
+    }
+
+    #[test]
+    fn rejects_unknown_external_and_git_dep() {
+        let lock = "[[package]]\nname = \"leftpad\"\nversion = \"1.0.0\"\n";
+        let manifests = vec![(
+            "crates/x/Cargo.toml".to_owned(),
+            "[package]\nname = \"x\"\nlicense.workspace = true\n[dependencies]\nfoo = { git = \"https://example.com/foo\" }\n".to_owned(),
+        )];
+        let report = check(lock, &manifests);
+        assert_eq!(report.violations.len(), 2);
+        assert!(report.violations.iter().any(|v| v.contains("leftpad")));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("git dependency")));
+    }
+
+    #[test]
+    fn rejects_missing_license() {
+        let manifests = vec![(
+            "crates/x/Cargo.toml".to_owned(),
+            "[package]\nname = \"x\"\nlicense = \"GPL-3.0\"\n".to_owned(),
+        )];
+        let report = check("", &manifests);
+        assert_eq!(report.violations.len(), 1);
+    }
+}

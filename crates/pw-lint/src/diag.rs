@@ -1,0 +1,150 @@
+//! Diagnostics: rule identifiers, findings, and text/JSON rendering.
+
+use std::fmt;
+
+/// Stable rule identifiers. These are the contract: they appear in
+/// diagnostics, in `lint.toml` allow entries, and in DESIGN.md §7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// `HashMap`/`HashSet` iteration order leaking into output.
+    D1,
+    /// Nondeterminism source (wall clock, thread id, ambient RNG).
+    D2,
+    /// Panic path in ingest-facing library code.
+    D3,
+    /// Float comparison hazard in detection math.
+    D4,
+}
+
+impl RuleId {
+    pub const ALL: [RuleId; 4] = [RuleId::D1, RuleId::D2, RuleId::D3, RuleId::D4];
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::D1 => "D1",
+            RuleId::D2 => "D2",
+            RuleId::D3 => "D3",
+            RuleId::D4 => "D4",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<RuleId> {
+        match s {
+            "D1" => Some(RuleId::D1),
+            "D2" => Some(RuleId::D2),
+            "D3" => Some(RuleId::D3),
+            "D4" => Some(RuleId::D4),
+            _ => None,
+        }
+    }
+
+    /// One-line rationale, shown by `pw-lint --explain`-style output and
+    /// embedded in every diagnostic.
+    pub fn summary(self) -> &'static str {
+        match self {
+            RuleId::D1 => "HashMap/HashSet iteration order is nondeterministic; sort, reduce order-insensitively, or route through FlowTable/ProfileView",
+            RuleId::D2 => "wall-clock/thread-id/ambient-RNG reads make detection output irreproducible; thread SimTime or a seeded RNG through instead",
+            RuleId::D3 => "panic path in ingest-facing library code; propagate a typed error (quarantine contract: no panics on corrupt input)",
+            RuleId::D4 => "float comparison hazard; use f64::total_cmp / pw_analysis::order helpers instead of == or partial_cmp().unwrap()",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A single finding at `path:line`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub rule: RuleId,
+    /// Repo-relative path, forward slashes.
+    pub path: String,
+    /// 1-indexed.
+    pub line: u32,
+    /// What fired, specifically (`\`self.active.iter()\` …`).
+    pub message: String,
+    /// Trimmed offending source line.
+    pub snippet: String,
+    /// Set when a `lint.toml` entry covers this finding.
+    pub allowed: bool,
+}
+
+impl Diagnostic {
+    /// `path:line: Dn: message` — the greppable single-line form.
+    pub fn render(&self) -> String {
+        let tag = if self.allowed { " (allowed)" } else { "" };
+        format!(
+            "{}:{}: {}{}: {}\n    | {}",
+            self.path, self.line, self.rule, tag, self.message, self.snippet
+        )
+    }
+
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rule\":{},\"path\":{},\"line\":{},\"message\":{},\"snippet\":{},\"allowed\":{}}}",
+            json_str(self.rule.as_str()),
+            json_str(&self.path),
+            self.line,
+            json_str(&self.message),
+            json_str(&self.snippet),
+            self.allowed
+        )
+    }
+}
+
+/// Deterministic report order: path, then line, then rule.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        a.path
+            .cmp(&b.path)
+            .then(a.line.cmp(&b.line))
+            .then(a.rule.cmp(&b.rule))
+            .then(a.message.cmp(&b.message))
+    });
+}
+
+/// Minimal JSON string encoder (no external deps in this crate).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn render_shape() {
+        let d = Diagnostic {
+            rule: RuleId::D1,
+            path: "crates/pw-detect/src/x.rs".into(),
+            line: 7,
+            message: "m".into(),
+            snippet: "for k in m.keys() {".into(),
+            allowed: false,
+        };
+        assert!(d.render().starts_with("crates/pw-detect/src/x.rs:7: D1: m"));
+        assert!(d.to_json().contains("\"rule\":\"D1\""));
+    }
+}

@@ -1,0 +1,364 @@
+//! Comment/string-aware source preparation for the rule engine.
+//!
+//! The rules in [`crate::rules`] pattern-match over *code text*: the raw
+//! source with every comment and every string/char-literal body blanked to
+//! spaces (delimiters are kept so `.expect("msg")` stays recognizable as
+//! `.expect("")`-shaped). Column positions and line numbers are preserved
+//! exactly, so a match index in the blanked text is a match index in the
+//! file. On top of that, brace matching over the blanked text marks the
+//! line spans owned by `#[cfg(test)]` / `#[test]` items, which every rule
+//! exempts.
+//!
+//! This is a lexical analyzer, not a type checker: see DESIGN.md §7 for
+//! what that buys (zero dependencies, runs in the offline container where
+//! `syn` is unavailable) and where its limits are (receiver typing is
+//! name-based, so the rules lean on declaration-site heuristics plus the
+//! audited allowlist).
+
+/// A source file prepared for linting.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Repo-relative path with forward slashes (stable across platforms).
+    pub path: String,
+    /// Crate the file belongs to (`pw-detect`, `peerwatch`, ...).
+    pub krate: String,
+    /// Raw source lines, 0-indexed (diagnostic line N is `raw[N-1]`).
+    pub raw: Vec<String>,
+    /// Comment- and literal-blanked lines, column-aligned with `raw`.
+    pub code: Vec<String>,
+    /// `true` for lines inside `#[cfg(test)]` / `#[test]` item bodies.
+    pub in_test: Vec<bool>,
+}
+
+impl SourceFile {
+    pub fn new(path: &str, krate: &str, source: &str) -> Self {
+        let blanked = blank_source(source);
+        let raw: Vec<String> = source.lines().map(str::to_owned).collect();
+        let code: Vec<String> = blanked.lines().map(str::to_owned).collect();
+        let in_test = mark_test_lines(&code);
+        SourceFile {
+            path: path.to_owned(),
+            krate: krate.to_owned(),
+            raw,
+            code,
+            in_test,
+        }
+    }
+
+    /// 1-indexed trimmed raw line for diagnostics; empty if out of range.
+    pub fn snippet(&self, line: u32) -> &str {
+        self.raw.get(line as usize - 1).map_or("", |l| l.trim())
+    }
+}
+
+/// Lexer state while sweeping the source once, left to right.
+enum State {
+    Code,
+    LineComment,
+    /// Block comments nest in Rust; the payload is the nesting depth.
+    BlockComment(u32),
+    /// Inside `"…"`; payload = just saw a backslash.
+    Str(bool),
+    /// Inside `r##"…"##`; payload = number of `#`s.
+    RawStr(u32),
+}
+
+/// Blanks comments and string/char bodies to spaces, preserving layout.
+pub fn blank_source(source: &str) -> String {
+    let b = source.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(b.len());
+    let mut st = State::Code;
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            // Newlines always survive; a line comment ends here.
+            if matches!(st, State::LineComment) {
+                st = State::Code;
+            }
+            out.push(b'\n');
+            i += 1;
+            continue;
+        }
+        match st {
+            State::Code => {
+                if c == b'/' && b.get(i + 1) == Some(&b'/') {
+                    st = State::LineComment;
+                    out.push(b' ');
+                    i += 1;
+                } else if c == b'/' && b.get(i + 1) == Some(&b'*') {
+                    st = State::BlockComment(1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if c == b'"' {
+                    st = State::Str(false);
+                    out.push(b'"');
+                    i += 1;
+                } else if c == b'r' && !prev_is_ident(&out) && raw_str_hashes(b, i).is_some() {
+                    let hashes = raw_str_hashes(b, i).unwrap();
+                    // keep `r##"` opener shape as spaces + quote
+                    out.resize(out.len() + hashes as usize + 1, b' ');
+                    out.push(b'"');
+                    st = State::RawStr(hashes);
+                    i += 2 + hashes as usize;
+                } else if c == b'b' && !prev_is_ident(&out) && b.get(i + 1) == Some(&b'"') {
+                    out.extend_from_slice(b" \"");
+                    st = State::Str(false);
+                    i += 2;
+                } else if c == b'\'' || (c == b'b' && b.get(i + 1) == Some(&b'\'')) {
+                    // Char literal vs lifetime: a literal closes within a
+                    // few bytes (`'x'`, `'\n'`, `'\u{1F600}'`); a lifetime
+                    // never has a closing quote before an identifier break.
+                    let q = if c == b'b' { i + 1 } else { i };
+                    if let Some(end) = char_literal_end(b, q) {
+                        out.push(c);
+                        if c == b'b' {
+                            out.push(b'\'');
+                        }
+                        out.resize(out.len() + (end - q - 1), b' ');
+                        out.push(b'\'');
+                        i = end + 1;
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                } else {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                out.push(b' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == b'*' && b.get(i + 1) == Some(&b'/') {
+                    st = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if c == b'/' && b.get(i + 1) == Some(&b'*') {
+                    st = State::BlockComment(depth + 1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            State::Str(escaped) => {
+                if escaped {
+                    st = State::Str(false);
+                    out.push(b' ');
+                    i += 1;
+                } else if c == b'\\' {
+                    st = State::Str(true);
+                    out.push(b' ');
+                    i += 1;
+                } else if c == b'"' {
+                    st = State::Code;
+                    out.push(b'"');
+                    i += 1;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == b'"' && closes_raw(b, i, hashes) {
+                    out.push(b'"');
+                    out.resize(out.len() + hashes as usize, b' ');
+                    st = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    // Blanking only ever substitutes ASCII spaces for non-newline bytes,
+    // but multi-byte UTF-8 appears inside comments/strings, so rebuild
+    // through lossy conversion for safety.
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn prev_is_ident(out: &[u8]) -> bool {
+    out.last()
+        .is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_')
+}
+
+/// `Some(n)` if `b[i..]` opens a raw string `r`, `r#`, `r##`... returning
+/// the number of `#`s.
+fn raw_str_hashes(b: &[u8], i: usize) -> Option<u32> {
+    debug_assert_eq!(b[i], b'r');
+    let mut j = i + 1;
+    let mut hashes = 0u32;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (b.get(j) == Some(&b'"')).then_some(hashes)
+}
+
+fn closes_raw(b: &[u8], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| b.get(i + k) == Some(&b'#'))
+}
+
+/// If `b[q] == '\''` starts a char literal, returns the index of the
+/// closing quote; `None` for lifetimes / loop labels.
+fn char_literal_end(b: &[u8], q: usize) -> Option<usize> {
+    debug_assert_eq!(b[q], b'\'');
+    match b.get(q + 1)? {
+        b'\\' => {
+            // escape: scan to closing quote (bounded; `'\u{10FFFF}'`)
+            (q + 2..(q + 12).min(b.len())).find(|&j| b[j] == b'\'')
+        }
+        _ => {
+            // `'x'` (possibly multi-byte char): closing quote within 5
+            // bytes, and NOT `'a` followed by ident char (lifetime).
+            let close = (q + 2..(q + 6).min(b.len())).find(|&j| b[j] == b'\'')?;
+            let inner_is_ident = b[q + 1].is_ascii_alphabetic() || b[q + 1] == b'_';
+            if inner_is_ident && close > q + 2 {
+                // `'ab'` is not a char literal; treat as lifetime-ish.
+                return None;
+            }
+            Some(close)
+        }
+    }
+}
+
+/// Marks lines covered by `#[cfg(test)]` / `#[test]` items, by brace
+/// matching over blanked text.
+fn mark_test_lines(code: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; code.len()];
+    let joined: Vec<(usize, String)> = code
+        .iter()
+        .enumerate()
+        .map(|(i, l)| (i, l.clone()))
+        .collect();
+
+    for (li, line) in &joined {
+        for pat in ["#[cfg(test)]", "#[test]"] {
+            let mut from = 0;
+            while let Some(p) = line[from..].find(pat) {
+                let start = from + p;
+                mark_item_span(code, &mut in_test, *li, start + pat.len());
+                from = start + pat.len();
+            }
+        }
+    }
+    in_test
+}
+
+/// Marks from the attribute at (`line`, `col`) to the end of the item it
+/// decorates: first `{` at depth 0, through its matching `}` (or through
+/// the first `;` if one comes first, e.g. `#[cfg(test)] use …;`).
+fn mark_item_span(code: &[String], in_test: &mut [bool], line: usize, col: usize) {
+    let mut depth = 0i32;
+    let mut entered = false;
+    let mut li = line;
+    let mut ci = col;
+    while let Some(l) = code.get(li) {
+        let bytes = l.as_bytes();
+        while ci < bytes.len() {
+            let c = bytes[ci];
+            match c {
+                b'{' => {
+                    depth += 1;
+                    entered = true;
+                }
+                b'}' => {
+                    depth -= 1;
+                    if entered && depth <= 0 {
+                        for f in in_test.iter_mut().take(li + 1).skip(line) {
+                            *f = true;
+                        }
+                        return;
+                    }
+                }
+                b';' if !entered => {
+                    for f in in_test.iter_mut().take(li + 1).skip(line) {
+                        *f = true;
+                    }
+                    return;
+                }
+                _ => {}
+            }
+            ci += 1;
+        }
+        li += 1;
+        ci = 0;
+    }
+    // Unbalanced file (shouldn't happen on rustc-accepted code): mark to EOF.
+    for f in in_test.iter_mut().skip(line) {
+        *f = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_comments_and_strings() {
+        let src = "let x = 1; // HashMap::new()\nlet s = \"Instant::now\"; /* SystemTime */ f();\n";
+        let out = blank_source(src);
+        assert!(!out.contains("HashMap"));
+        assert!(!out.contains("Instant"));
+        assert!(!out.contains("SystemTime"));
+        assert!(out.contains("let x = 1;"));
+        assert!(out.contains("f();"));
+        // layout preserved
+        assert_eq!(out.lines().count(), 2);
+        assert_eq!(
+            out.lines().next().unwrap().len(),
+            src.lines().next().unwrap().len()
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let src = "let r = r#\"unwrap() \"# ; let c = '\\n'; let l: &'static str = \"x\";";
+        let out = blank_source(src);
+        assert!(!out.contains("unwrap"));
+        assert!(out.contains("'static"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* one /* two */ still */ b";
+        let out = blank_source(src);
+        assert!(out.contains('a') && out.contains('b'));
+        assert!(!out.contains("still"));
+    }
+
+    #[test]
+    fn marks_cfg_test_mod() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap(); }\n}\nfn lib2() {}\n";
+        let f = SourceFile::new("x.rs", "pw-x", src);
+        assert!(!f.in_test[0]);
+        assert!(f.in_test[1] && f.in_test[2] && f.in_test[3] && f.in_test[4]);
+        assert!(!f.in_test[5]);
+    }
+
+    #[test]
+    fn marks_test_fn_only() {
+        let src = "fn a() {}\n#[test]\nfn t() {\n  boom();\n}\nfn b() {}\n";
+        let f = SourceFile::new("x.rs", "pw-x", src);
+        assert!(!f.in_test[0]);
+        assert!(f.in_test[2] && f.in_test[3]);
+        assert!(!f.in_test[5]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_exempt() {
+        let src = "#[cfg(not(test))]\nfn live() { x.unwrap(); }\n";
+        let f = SourceFile::new("x.rs", "pw-x", src);
+        assert!(!f.in_test[1]);
+    }
+}

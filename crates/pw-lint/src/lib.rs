@@ -1,0 +1,157 @@
+//! Workspace-wide determinism & panic-safety static analysis.
+//!
+//! The detector's headline guarantee — streaming output byte-identical to
+//! batch at any window cut, thread count, or checkpoint/resume point —
+//! rests on source-level invariants that runtime tests can only sample:
+//! no map-order leaks into output (D1), no ambient nondeterminism (D2),
+//! no panic paths on the ingest plane (D3), no partial-order float
+//! comparisons in detection math (D4). This crate machine-checks them on
+//! every CI run, with `lint.toml` as the audited-exception channel.
+//!
+//! Driver: `cargo run -p pw-lint` (see `src/bin/pw-lint.rs`). Library
+//! entry points: [`scan_workspace`] → [`lint_files`], or [`lint_source`]
+//! for a single in-memory file (what the fixture tests use).
+
+pub mod allowlist;
+pub mod deps;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+
+pub use allowlist::AllowEntry;
+pub use diag::{Diagnostic, RuleId};
+
+use lexer::SourceFile;
+use rules::WorkspaceIndex;
+use std::path::{Path, PathBuf};
+
+/// Lints one in-memory file as if it lived at `path` (repo-relative); the
+/// owning crate — and therefore the rule set — is derived from the path.
+pub fn lint_source(path: &str, source: &str) -> Vec<Diagnostic> {
+    let file = SourceFile::new(path, &crate_of_path(path), source);
+    let idx = WorkspaceIndex::build(std::slice::from_ref(&file));
+    let mut diags = rules::check_file(&file, &idx);
+    diag::sort_diagnostics(&mut diags);
+    diags
+}
+
+/// Lints a set of prepared files with a shared cross-file index.
+pub fn lint_files(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let idx = WorkspaceIndex::build(files);
+    let mut diags: Vec<Diagnostic> = files
+        .iter()
+        .flat_map(|f| rules::check_file(f, &idx))
+        .collect();
+    diag::sort_diagnostics(&mut diags);
+    diags
+}
+
+/// Walks `crates/*/src` and `src/` under `root`, loading every `.rs` file
+/// in deterministic path order. Test directories (`tests/`, `benches/`,
+/// `examples/`, fixtures) are not loaded at all — every rule exempts test
+/// code, and those trees are test code by construction.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in std::fs::read_dir(&crates_dir)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut paths)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut paths)?;
+    }
+    paths.sort();
+
+    let mut files = Vec::with_capacity(paths.len());
+    for p in paths {
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(&p)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(&p)?;
+        files.push(SourceFile::new(&rel, &crate_of_path(&rel), &source));
+    }
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `crates/pw-detect/src/...` → `pw-detect`; `src/...` → `peerwatch`.
+pub fn crate_of_path(path: &str) -> String {
+    let path = path.replace('\\', "/");
+    if let Some(rest) = path.strip_prefix("crates/") {
+        rest.split('/').next().unwrap_or("peerwatch").to_owned()
+    } else {
+        "peerwatch".to_owned()
+    }
+}
+
+/// Applies the allowlist in place; returns the number of entries that
+/// matched nothing (stale pins a human should delete).
+pub fn apply_allowlist(diags: &mut [Diagnostic], entries: &[AllowEntry]) -> usize {
+    let mut used = vec![false; entries.len()];
+    for d in diags.iter_mut() {
+        for (i, e) in entries.iter().enumerate() {
+            if e.matches(d) {
+                d.allowed = true;
+                used[i] = true;
+            }
+        }
+    }
+    used.iter().filter(|u| !**u).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_of_path_maps() {
+        assert_eq!(crate_of_path("crates/pw-flow/src/lib.rs"), "pw-flow");
+        assert_eq!(crate_of_path("src/bin/findplotters.rs"), "peerwatch");
+    }
+
+    #[test]
+    fn allowlist_marks_and_counts_stale() {
+        let mut diags = lint_source(
+            "crates/pw-flow/src/x.rs",
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        );
+        assert_eq!(diags.len(), 1);
+        let entries = vec![
+            AllowEntry {
+                rule: "D3".into(),
+                path: "crates/pw-flow/src/x.rs".into(),
+                contains: Some("x.unwrap()".into()),
+                line: None,
+                reason: "test".into(),
+            },
+            AllowEntry {
+                rule: "D3".into(),
+                path: "crates/pw-flow/src/gone.rs".into(),
+                contains: None,
+                line: Some(1),
+                reason: "stale".into(),
+            },
+        ];
+        let stale = apply_allowlist(&mut diags, &entries);
+        assert!(diags[0].allowed);
+        assert_eq!(stale, 1);
+    }
+}

@@ -1,0 +1,808 @@
+//! The four project rules (D1–D4). See DESIGN.md §7 for rationale.
+//!
+//! Every rule works on [`SourceFile::code`] (comment/string-blanked text)
+//! and skips test lines. Scoping is by crate name:
+//!
+//! * **D1** (map-iteration order) — output-affecting crates:
+//!   `pw-detect`, `pw-flow`, `pw-data`, `pw-repro`, and the root
+//!   `peerwatch` binaries (their stdout is the product).
+//! * **D2** (nondeterminism sources) — everywhere except `pw-bench`
+//!   (timing is its job) and `pw-chaos` (fault clocks are seeded, but its
+//!   stall-injection API is allowed to talk about wall time).
+//! * **D3** (panic paths) — ingest-facing crates `pw-flow`, `pw-detect`.
+//! * **D4** (float-order hazards) — detection math: `pw-detect`,
+//!   `pw-analysis`.
+
+use crate::diag::{Diagnostic, RuleId};
+use crate::lexer::SourceFile;
+use std::collections::BTreeSet;
+
+/// Cross-file facts collected in a first pass over the whole workspace.
+#[derive(Debug, Default)]
+pub struct WorkspaceIndex {
+    /// `pub` struct-field names whose declared type is a std hash map/set
+    /// everywhere they are declared (names that are map-typed in one
+    /// struct and not in another are dropped as ambiguous, so D1 never
+    /// fires on a name it cannot classify).
+    pub map_fields: BTreeSet<String>,
+}
+
+impl WorkspaceIndex {
+    pub fn build(files: &[SourceFile]) -> Self {
+        let mut map_fields = BTreeSet::new();
+        let mut non_map = BTreeSet::new();
+        for f in files {
+            for line in &f.code {
+                if let Some((name, is_map)) = classify_field_decl(line) {
+                    if is_map {
+                        map_fields.insert(name);
+                    } else {
+                        non_map.insert(name);
+                    }
+                }
+            }
+        }
+        map_fields.retain(|n| !non_map.contains(n));
+        WorkspaceIndex { map_fields }
+    }
+}
+
+/// Parses `pub [vis] name: <type>` declarations; `Some((name, is_map))`.
+fn classify_field_decl(line: &str) -> Option<(String, bool)> {
+    let t = line.trim_start();
+    let rest = ["pub(crate) ", "pub(super) ", "pub "]
+        .iter()
+        .find_map(|p| t.strip_prefix(p))?;
+    let colon = rest.find(':')?;
+    // `pub fn`, `pub mod`, `pub use`, generics, paths with `::` …
+    if rest[..colon].contains(|c: char| !c.is_alphanumeric() && c != '_')
+        || rest[colon..].starts_with("::")
+    {
+        return None;
+    }
+    let name = rest[..colon].trim();
+    if name.is_empty() || !name.chars().next().is_some_and(char::is_alphabetic) {
+        return None;
+    }
+    let ty = rest[colon + 1..].trim_start();
+    let is_map = ty.starts_with("HashMap<")
+        || ty.starts_with("HashSet<")
+        || ty.starts_with("std::collections::HashMap<")
+        || ty.starts_with("std::collections::HashSet<");
+    Some((name.to_owned(), is_map))
+}
+
+/// Which rules run for which crate.
+pub fn rules_for_crate(krate: &str) -> Vec<RuleId> {
+    let mut rules = Vec::new();
+    if matches!(
+        krate,
+        "pw-detect" | "pw-flow" | "pw-data" | "pw-repro" | "peerwatch"
+    ) {
+        rules.push(RuleId::D1);
+    }
+    if !matches!(krate, "pw-bench" | "pw-chaos") {
+        rules.push(RuleId::D2);
+    }
+    if matches!(krate, "pw-detect" | "pw-flow") {
+        rules.push(RuleId::D3);
+    }
+    if matches!(krate, "pw-detect" | "pw-analysis") {
+        rules.push(RuleId::D4);
+    }
+    rules
+}
+
+/// Runs every applicable rule over one file.
+pub fn check_file(file: &SourceFile, idx: &WorkspaceIndex) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for rule in rules_for_crate(&file.krate) {
+        match rule {
+            RuleId::D1 => d1_map_iteration(file, idx, &mut out),
+            RuleId::D2 => d2_nondeterminism(file, &mut out),
+            RuleId::D3 => d3_panic_paths(file, &mut out),
+            RuleId::D4 => d4_float_order(file, &mut out),
+        }
+    }
+    out
+}
+
+fn diag(file: &SourceFile, rule: RuleId, line0: usize, message: String) -> Diagnostic {
+    Diagnostic {
+        rule,
+        path: file.path.clone(),
+        line: line0 as u32 + 1,
+        message,
+        snippet: file.snippet(line0 as u32 + 1).to_owned(),
+        allowed: false,
+    }
+}
+
+// ---------------------------------------------------------------- D1 --
+
+const ITER_CALLS: [&str; 9] = [
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_keys()",
+    ".into_values()",
+    ".into_iter()",
+    ".drain(",
+];
+
+/// Tokens that sanction an iteration: an explicit re-sort, a collection
+/// with a defined order, an order-insensitive reduction, or routing
+/// through the canonical-order data plane types (`FlowTable`,
+/// `ProfileView`, `ProfileTable::from_pairs` — which sorts — and the
+/// id-ordered `HostMask` bitset).
+const D1_SANCTIONS: [&str; 19] = [
+    ".sort", // sort_by / sort_unstable / sort_by_key / sorted
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    ".sum",
+    ".product",
+    ".count()",
+    ".min(",
+    ".min_by",
+    ".max(",
+    ".max_by",
+    ".all(",
+    ".any(",
+    ".contains",
+    "FlowTable",
+    "ProfileView",
+    ".extend_from_table",
+    "from_pairs",
+    "HostMask",
+];
+
+/// How many lines after the iteration site the sanction scan covers; map
+/// iterations are sanctioned by a sort/reduction within the same
+/// statement or the statements immediately following (`collect` into a
+/// Vec then `v.sort()`).
+const D1_LOOKAHEAD: usize = 7;
+
+/// How many lines *before* the iteration site the sanction scan covers:
+/// a pre-sorted shadow (`v.sort(); for x in &v`) or the map-target
+/// annotation of a wrapped chain (`let out: HashMap<..> =` on the line
+/// above the `.iter()`).
+const D1_LOOKBEHIND: usize = 2;
+
+fn d1_map_iteration(file: &SourceFile, idx: &WorkspaceIndex, out: &mut Vec<Diagnostic>) {
+    let local_maps = collect_local_map_names(file);
+    let map_fns = collect_map_returning_fns(file);
+
+    for (li, line) in file.code.iter().enumerate() {
+        if file.in_test[li] {
+            continue;
+        }
+        // Method-call iteration: `recv.keys()`, `self.active.drain()`, …
+        for call in ITER_CALLS {
+            let mut from = 0;
+            while let Some(p) = line[from..].find(call) {
+                let at = from + p;
+                from = at + call.len();
+                let recv = receiver_name(file, li, at, &map_fns);
+                let Some(recv) = recv else { continue };
+                if !is_map_name(file, &recv, &local_maps, idx) {
+                    continue;
+                }
+                if d1_sanctioned(file, li) {
+                    continue;
+                }
+                out.push(diag(
+                    file,
+                    RuleId::D1,
+                    li,
+                    format!(
+                        "`{recv}{call}` iterates a HashMap/HashSet in output-affecting code with no explicit sort, order-insensitive reduction, or FlowTable/ProfileView routing in reach",
+                    ),
+                ));
+            }
+        }
+        // `for pat in [&[mut ]]recv {` over a bare map binding.
+        if let Some(recv) = for_loop_receiver(line) {
+            if is_map_name(file, &recv, &local_maps, idx) && !d1_sanctioned(file, li) {
+                out.push(diag(
+                    file,
+                    RuleId::D1,
+                    li,
+                    format!(
+                        "`for … in {recv}` iterates a HashMap/HashSet in output-affecting code in nondeterministic order",
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn d1_sanctioned(file: &SourceFile, li: usize) -> bool {
+    let end = (li + D1_LOOKAHEAD + 1).min(file.code.len());
+    if file.code[li..end]
+        .iter()
+        .any(|l| D1_SANCTIONS.iter().any(|s| l.contains(s)) || map_rebuild_line(l))
+    {
+        return true;
+    }
+    // Backward window: only the sanctions that plausibly precede the
+    // iteration — a pre-sort of the thing being iterated, an ordered
+    // collection in play, or the map-target annotation of this statement.
+    let start = li.saturating_sub(D1_LOOKBEHIND);
+    file.code[start..li]
+        .iter()
+        .any(|l| l.contains(".sort") || l.contains("BTree") || map_rebuild_line(l))
+}
+
+/// `let x: HashMap<..> = …` / `….collect::<HashSet<..>>()`: iterating one
+/// map to rebuild another map/set leaks no order into output — only a
+/// later *iteration of the rebuilt map* can, and that gets its own check.
+/// A bare `fn f(m: &HashMap<..>)` signature does not sanction: the token
+/// must sit in a `let` statement or next to a `collect`.
+fn map_rebuild_line(l: &str) -> bool {
+    // `collect` as a whole word — `std::collections::HashMap` in an fn
+    // signature must not count as a rebuild.
+    (l.contains("HashMap<") || l.contains("HashSet<"))
+        && (find_keyword(l, "let").is_some() || find_keyword(l, "collect").is_some())
+}
+
+fn is_map_name(
+    file: &SourceFile,
+    name: &str,
+    local: &BTreeSet<String>,
+    idx: &WorkspaceIndex,
+) -> bool {
+    if local.contains(name) {
+        return true;
+    }
+    // A workspace-wide `pub` map field can collide with a same-named
+    // non-map field in this file (`profiles: Vec<HostProfile>` in
+    // ProfileTable vs `pub profiles: HashMap<..>` in pw-repro); the
+    // file's own annotation wins.
+    idx.map_fields.contains(name) && !has_non_map_annotation(file, name)
+}
+
+/// Map-typed names declared in this file: `let` bindings with a
+/// `HashMap`/`HashSet` annotation or constructor, fn params and struct
+/// fields annotated in-file, and bindings of calls to in-file functions
+/// returning maps.
+fn collect_local_map_names(file: &SourceFile) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    let map_fns = collect_map_returning_fns(file);
+    for line in &file.code {
+        for tok in ["HashMap", "HashSet"] {
+            let mut from = 0;
+            while let Some(p) = line[from..].find(tok) {
+                let at = from + p;
+                from = at + tok.len();
+                // Annotation or constructor position?
+                if let Some(name) = let_binding_name(line, at) {
+                    names.insert(name);
+                } else if let Some(name) = annotation_name(line, at) {
+                    names.insert(name);
+                }
+            }
+        }
+        // `let x = make_map(...)` where make_map is declared in-file with
+        // a map return type.
+        if let Some((name, callee)) = let_call_binding(line) {
+            if map_fns.contains(&callee) {
+                names.insert(name);
+            }
+        }
+    }
+    // A name that also carries a non-map type annotation somewhere in the
+    // same file (`ips: &HashSet<..>` param in one fn, `ips: Vec<..>` field
+    // in a struct) is ambiguous — drop it rather than guess.
+    let ambiguous: Vec<String> = names
+        .iter()
+        .filter(|n| has_non_map_annotation(file, n))
+        .cloned()
+        .collect();
+    for n in ambiguous {
+        names.remove(&n);
+    }
+    names
+}
+
+/// True if `name: <Type>` appears anywhere in the file with a type head
+/// other than HashMap/HashSet. Only type-looking heads count (leading
+/// `&`/`mut`/lifetime stripped, first segment uppercase, not a call), so
+/// struct-literal field values (`suspects: kept`) stay out of it.
+fn has_non_map_annotation(file: &SourceFile, name: &str) -> bool {
+    let pat = format!("{name}:");
+    file.code.iter().any(|line| {
+        let mut from = 0;
+        while let Some(p) = line[from..].find(&pat) {
+            let at = from + p;
+            from = at + pat.len();
+            let word_start = at == 0 || {
+                let c = line.as_bytes()[at - 1];
+                !(c.is_ascii_alphanumeric() || c == b'_' || c == b'.' || c == b':')
+            };
+            let after = &line[at + pat.len()..];
+            if !word_start || after.starts_with(':') {
+                continue; // mid-identifier, or a `name::path`
+            }
+            if let Some(head) = type_head(after) {
+                if !matches!(head, "HashMap" | "HashSet")
+                    && !head.ends_with("::HashMap")
+                    && !head.ends_with("::HashSet")
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    })
+}
+
+/// The head of a type-looking token: `&`/`mut`/lifetime prefixes
+/// stripped; `Some` only for an uppercase path head that is not a call or
+/// struct-literal value (`Vec<..>` yes, `Payload::capture(..)` no).
+fn type_head(s: &str) -> Option<&str> {
+    let mut s = s.trim_start();
+    loop {
+        if let Some(r) = s.strip_prefix('&') {
+            s = r.trim_start();
+        } else if let Some(r) = s.strip_prefix("mut ") {
+            s = r.trim_start();
+        } else if s.starts_with('\'') {
+            let end = s[1..]
+                .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+                .map_or(s.len(), |i| i + 1);
+            s = s[end..].trim_start();
+        } else {
+            break;
+        }
+    }
+    if !s.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+        return None;
+    }
+    let end = s
+        .find(|c: char| !(c.is_alphanumeric() || c == '_' || c == ':'))
+        .unwrap_or(s.len());
+    let tail = s[end..].trim_start();
+    if tail.starts_with('(') || tail.starts_with('{') {
+        return None;
+    }
+    Some(&s[..end])
+}
+
+/// `fn name(..) -> HashMap<..>` (return type on the `fn` line).
+fn collect_map_returning_fns(file: &SourceFile) -> BTreeSet<String> {
+    let mut fns = BTreeSet::new();
+    for line in &file.code {
+        let Some(fn_pos) = find_keyword(line, "fn") else {
+            continue;
+        };
+        let Some(arrow) = line.find("->") else {
+            continue;
+        };
+        if arrow < fn_pos {
+            continue;
+        }
+        let ret = line[arrow + 2..].trim_start();
+        if ret.starts_with("HashMap<")
+            || ret.starts_with("HashSet<")
+            || ret.starts_with("std::collections::HashMap<")
+            || ret.starts_with("std::collections::HashSet<")
+        {
+            let after_fn = &line[fn_pos + 2..];
+            let name: String = after_fn
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                fns.insert(name);
+            }
+        }
+    }
+    fns
+}
+
+/// If the `HashMap` token at `at` is part of a `let` statement on this
+/// line (annotation `let x: HashMap<..>` or constructor
+/// `let x = HashMap::new()`), returns the bound name. The token must sit
+/// at the *head* of the annotation/initializer — `let x: Vec<HashMap<..>>`
+/// binds a Vec, not a map, and is not collected.
+fn let_binding_name(line: &str, at: usize) -> Option<String> {
+    let before = &line[..at];
+    let head = before.trim_end();
+    if !(head.ends_with(':') || head.ends_with('=') || head.ends_with('&')) {
+        return None;
+    }
+    let let_pos = find_keyword(before, "let")?;
+    let mut rest = line[let_pos + 3..].trim_start();
+    rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+/// If the token at `at` is a type annotation `name: HashMap<..>` — also
+/// `name: &HashMap<..>`, `name: &'a mut HashMap<..>` — (param or struct
+/// field), returns `name`.
+fn annotation_name(line: &str, at: usize) -> Option<String> {
+    let mut before = line[..at].trim_end();
+    // fully-qualified form: `m: &std::collections::HashMap<..>`
+    if let Some(s) = before.strip_suffix("std::collections::") {
+        before = s.trim_end();
+    }
+    if let Some(s) = before.strip_suffix("mut") {
+        before = s.trim_end();
+    }
+    // strip a lifetime like `&'a `
+    if let Some(q) = before.rfind('\'') {
+        let tail = &before[q + 1..];
+        if !tail.is_empty() && tail.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            before = before[..q].trim_end();
+        }
+    }
+    while let Some(s) = before.strip_suffix('&') {
+        before = s.trim_end();
+    }
+    let before = before.strip_suffix(':')?.trim_end();
+    let name_start = before
+        .rfind(|c: char| !c.is_alphanumeric() && c != '_')
+        .map_or(0, |i| i + 1);
+    let name = &before[name_start..];
+    (!name.is_empty() && name.chars().next().is_some_and(char::is_alphabetic))
+        .then(|| name.to_owned())
+}
+
+/// `let [mut] name = callee(` → `(name, callee)`.
+fn let_call_binding(line: &str) -> Option<(String, String)> {
+    let let_pos = find_keyword(line, "let")?;
+    let mut rest = line[let_pos + 3..].trim_start();
+    rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let name_end = rest.find(|c: char| !c.is_alphanumeric() && c != '_')?;
+    let name = &rest[..name_end];
+    let rest2 = rest[name_end..].trim_start();
+    let rest2 = rest2.strip_prefix('=')?.trim_start();
+    let callee_end = rest2.find(|c: char| !c.is_alphanumeric() && c != '_')?;
+    (rest2.as_bytes().get(callee_end) == Some(&b'(') && !name.is_empty())
+        .then(|| (name.to_owned(), rest2[..callee_end].to_owned()))
+}
+
+/// Finds `kw` as a whole word.
+fn find_keyword(s: &str, kw: &str) -> Option<usize> {
+    let b = s.as_bytes();
+    let mut from = 0;
+    while let Some(p) = s[from..].find(kw) {
+        let at = from + p;
+        let before_ok = at == 0 || !(b[at - 1].is_ascii_alphanumeric() || b[at - 1] == b'_');
+        let after = at + kw.len();
+        let after_ok = after >= b.len() || !(b[after].is_ascii_alphanumeric() || b[after] == b'_');
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + kw.len();
+    }
+    None
+}
+
+/// Receiver name for a method call at byte `at` (the `.`): the identifier
+/// immediately before the dot, following field chains (`self.active` →
+/// `active`) and in-file map-returning calls (`make()` → `make`). Falls
+/// back to the previous line's trailing identifier for wrapped chains.
+fn receiver_name(
+    file: &SourceFile,
+    li: usize,
+    at: usize,
+    map_fns: &BTreeSet<String>,
+) -> Option<String> {
+    let line = &file.code[li];
+    let before = line[..at].trim_end();
+    if before.is_empty() {
+        // `.keys()` starts the line: chain continuation; use the previous
+        // line's trailing identifier.
+        let prev = file.code[..li]
+            .iter()
+            .rev()
+            .find(|l| !l.trim().is_empty())?;
+        return trailing_ident(prev.trim_end());
+    }
+    if before.ends_with(')') {
+        // call result: find callee and report it if it's a known
+        // map-returning fn; otherwise unknown.
+        let callee = callee_of_trailing_call(before)?;
+        return map_fns.contains(&callee).then_some(callee);
+    }
+    trailing_ident(before)
+}
+
+fn trailing_ident(s: &str) -> Option<String> {
+    let start = s
+        .rfind(|c: char| !c.is_alphanumeric() && c != '_')
+        .map_or(0, |i| i + 1);
+    let name = &s[start..];
+    (!name.is_empty() && !name.chars().next().is_some_and(char::is_numeric))
+        .then(|| name.to_owned())
+}
+
+/// For `…callee(args)` returns `callee`.
+fn callee_of_trailing_call(s: &str) -> Option<String> {
+    let b = s.as_bytes();
+    debug_assert_eq!(b[b.len() - 1], b')');
+    let mut depth = 0i32;
+    for i in (0..b.len()).rev() {
+        match b[i] {
+            b')' => depth += 1,
+            b'(' => {
+                depth -= 1;
+                if depth == 0 {
+                    return trailing_ident(&s[..i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// `for pat in [&[mut ]]path {` where `path` is a bare (field) path:
+/// returns the final identifier.
+fn for_loop_receiver(line: &str) -> Option<String> {
+    let for_pos = find_keyword(line, "for")?;
+    let in_pos = for_pos + find_keyword(&line[for_pos..], "in")?;
+    let mut expr = line[in_pos + 2..].trim();
+    expr = expr.strip_suffix('{').unwrap_or(expr).trim_end();
+    expr = expr.strip_prefix('&').unwrap_or(expr);
+    expr = expr.strip_prefix("mut ").unwrap_or(expr).trim();
+    if expr.is_empty()
+        || expr
+            .chars()
+            .any(|c| !(c.is_alphanumeric() || c == '_' || c == '.'))
+    {
+        return None;
+    }
+    expr.rsplit('.').next().map(str::to_owned)
+}
+
+// ---------------------------------------------------------------- D2 --
+
+const D2_FORBIDDEN: [(&str, &str); 9] = [
+    ("SystemTime::now", "wall-clock read"),
+    ("Instant::now", "monotonic-clock read"),
+    ("thread_rng", "ambient thread-local RNG"),
+    ("rand::random", "ambient RNG"),
+    ("std::thread::current", "thread identity"),
+    ("process::id", "process identity"),
+    ("Utc::now", "wall-clock read"),
+    ("Local::now", "wall-clock read"),
+    ("Date::now", "wall-clock read"),
+];
+
+fn d2_nondeterminism(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (li, line) in file.code.iter().enumerate() {
+        if file.in_test[li] {
+            continue;
+        }
+        for (tok, what) in D2_FORBIDDEN {
+            if line.contains(tok) {
+                out.push(diag(
+                    file,
+                    RuleId::D2,
+                    li,
+                    format!(
+                        "`{tok}` ({what}) outside pw-bench/pw-chaos: detection output must be a pure function of the flow records; thread `SimTime`/seeded RNG through instead",
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- D3 --
+
+const D3_PANIC_TOKENS: [(&str, &str); 6] = [
+    (".unwrap()", "unwrap"),
+    (".expect(", "expect"),
+    ("panic!", "panic!"),
+    ("todo!", "todo!"),
+    ("unimplemented!", "unimplemented!"),
+    (".unwrap_unchecked", "unwrap_unchecked"),
+];
+
+fn d3_panic_paths(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let mut split_vars: BTreeSet<String> = BTreeSet::new();
+    for (li, line) in file.code.iter().enumerate() {
+        if file.in_test[li] {
+            continue;
+        }
+        for (tok, name) in D3_PANIC_TOKENS {
+            let mut from = 0;
+            while let Some(p) = line[from..].find(tok) {
+                from += p + tok.len();
+                out.push(diag(
+                    file,
+                    RuleId::D3,
+                    li,
+                    format!(
+                        "`{name}` in ingest-facing library code: the quarantine contract (DESIGN.md §6) promises no panics on corrupt input; return a typed error or allowlist with a proof of infallibility",
+                    ),
+                ));
+            }
+        }
+        // Indexing into split-derived slices: `let cols: Vec<&str> =
+        // line.split(',').collect();` then `cols[3]` can panic on short
+        // input — `.get(3)` is the lint-clean spelling.
+        if line.contains(".split") && line.contains("collect") {
+            if let Some(name) = let_binding_any_name(line) {
+                split_vars.insert(name);
+            }
+        }
+        for var in &split_vars {
+            let pat = format!("{var}[");
+            let mut from = 0;
+            while let Some(p) = line[from..].find(&pat) {
+                let at = from + p;
+                from = at + pat.len();
+                // whole-word receiver check
+                let before_ok = at == 0 || {
+                    let c = line.as_bytes()[at - 1];
+                    !(c.is_ascii_alphanumeric() || c == b'_' || c == b'.')
+                };
+                if before_ok {
+                    out.push(diag(
+                        file,
+                        RuleId::D3,
+                        li,
+                        format!(
+                            "indexing `{var}[…]`, a split()-derived slice of user input, can panic on short rows; use `.get(…)` with a typed error",
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `let [mut] name` → name, regardless of the RHS.
+fn let_binding_any_name(line: &str) -> Option<String> {
+    let let_pos = find_keyword(line, "let")?;
+    let mut rest = line[let_pos + 3..].trim_start();
+    rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+// ---------------------------------------------------------------- D4 --
+
+fn d4_float_order(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (li, line) in file.code.iter().enumerate() {
+        if file.in_test[li] {
+            continue;
+        }
+        // (a) `partial_cmp(..).unwrap()` / `.expect(..)`: NaN panics at a
+        // distance; `f64::total_cmp` is total and free.
+        if line.contains("partial_cmp")
+            && (line.contains(".unwrap()") || line.contains(".expect("))
+            && !line.contains("total_cmp")
+        {
+            out.push(diag(
+                file,
+                RuleId::D4,
+                li,
+                "`partial_cmp().unwrap()` panics on NaN mid-sort; use `f64::total_cmp` (or `pw_analysis::order::fcmp`) for a total order".to_owned(),
+            ));
+        }
+        // (b) `== 1.5` / `!= 0.0`: exact float-literal equality in
+        // detection math.
+        for op in ["==", "!="] {
+            let mut from = 0;
+            while let Some(p) = line[from..].find(op) {
+                let at = from + p;
+                from = at + op.len();
+                // skip `!==`/`===`-ish and pattern arms `=>`
+                if line.as_bytes().get(at + 2) == Some(&b'=') {
+                    continue;
+                }
+                if at > 0 && matches!(line.as_bytes()[at - 1], b'=' | b'!' | b'<' | b'>') {
+                    continue;
+                }
+                let rhs = line[at + op.len()..].trim_start();
+                let lhs = line[..at].trim_end();
+                if is_float_literal_start(rhs) || is_float_literal_end(lhs) {
+                    out.push(diag(
+                        file,
+                        RuleId::D4,
+                        li,
+                        format!(
+                            "float-literal `{op}` comparison in detection math; compare with an epsilon or restructure around `total_cmp`",
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `1.5…`, `0.0`, `2.5e3` at the start of `s`.
+fn is_float_literal_start(s: &str) -> bool {
+    let b = s.as_bytes();
+    let mut i = 0;
+    while i < b.len() && b[i].is_ascii_digit() {
+        i += 1;
+    }
+    if i == 0 || i >= b.len() || b[i] != b'.' {
+        return false;
+    }
+    b.get(i + 1).is_some_and(u8::is_ascii_digit)
+}
+
+/// `…1.5`, `…0.0` at the end of `s` (also `1.5f64`).
+fn is_float_literal_end(s: &str) -> bool {
+    let s = s
+        .strip_suffix("f64")
+        .or_else(|| s.strip_suffix("f32"))
+        .unwrap_or(s);
+    let b = s.as_bytes();
+    let mut i = b.len();
+    while i > 0 && b[i - 1].is_ascii_digit() {
+        i -= 1;
+    }
+    if i == b.len() || i == 0 || b[i - 1] != b'.' {
+        return false;
+    }
+    i >= 2 && b[i - 2].is_ascii_digit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(krate: &str, src: &str) -> SourceFile {
+        SourceFile::new("crates/x/src/lib.rs", krate, src)
+    }
+
+    #[test]
+    fn d1_flags_unsorted_keys() {
+        let f = file(
+            "pw-detect",
+            "use std::collections::HashMap;\nfn f(m: &HashMap<u32, u32>) -> Vec<u32> {\n    m.keys().copied().collect()\n}\n",
+        );
+        let idx = WorkspaceIndex::default();
+        let diags = check_file(&f, &idx);
+        assert!(diags.iter().any(|d| d.rule == RuleId::D1 && d.line == 3));
+    }
+
+    #[test]
+    fn d1_flags_fully_qualified_map_param() {
+        let f = file(
+            "pw-detect",
+            "fn f(m: &std::collections::HashMap<u32, u32>) -> Vec<u32> {\n    let mut out = Vec::new();\n    for (k, _) in m.iter() {\n        out.push(*k);\n    }\n    out\n}\n",
+        );
+        let diags = check_file(&f, &WorkspaceIndex::default());
+        assert!(diags.iter().any(|d| d.rule == RuleId::D1 && d.line == 3));
+    }
+
+    #[test]
+    fn d1_sanctioned_by_sort() {
+        let f = file(
+            "pw-detect",
+            "use std::collections::HashMap;\nfn f(m: &HashMap<u32, u32>) -> Vec<u32> {\n    let mut v: Vec<u32> = m.keys().copied().collect();\n    v.sort_unstable();\n    v\n}\n",
+        );
+        let diags = check_file(&f, &WorkspaceIndex::default());
+        assert!(diags.iter().all(|d| d.rule != RuleId::D1));
+    }
+
+    #[test]
+    fn d3_flags_unwrap_outside_tests_only() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n#[cfg(test)]\nmod tests {\n    fn g(x: Option<u32>) -> u32 { x.unwrap() }\n}\n";
+        let f = file("pw-flow", src);
+        let diags = check_file(&f, &WorkspaceIndex::default());
+        let d3: Vec<_> = diags.iter().filter(|d| d.rule == RuleId::D3).collect();
+        assert_eq!(d3.len(), 1);
+        assert_eq!(d3[0].line, 1);
+    }
+}

@@ -1,0 +1,11 @@
+use std::collections::{HashMap, HashSet};
+
+pub fn keys_in_map_order(m: &HashMap<u32, u32>) -> Vec<u32> {
+    m.keys().copied().collect()
+}
+
+pub fn set_loop(s: &HashSet<u32>, out: &mut Vec<u32>) {
+    for v in s {
+        out.push(*v);
+    }
+}

@@ -1,0 +1,24 @@
+use std::collections::{HashMap, HashSet};
+
+pub fn sorted_keys(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut v: Vec<u32> = m.keys().copied().collect();
+    v.sort_unstable();
+    v
+}
+
+pub fn reduction(m: &HashMap<u32, u32>) -> u64 {
+    m.values().map(|&v| u64::from(v)).sum()
+}
+
+pub fn rebuild(m: &HashMap<u32, u32>) -> HashSet<u32> {
+    let doubled: HashSet<u32> = m.keys().map(|k| k * 2).collect();
+    doubled
+}
+
+pub fn presorted(s: &HashSet<u32>, out: &mut Vec<u32>) {
+    let mut v: Vec<u32> = s.iter().copied().collect();
+    v.sort_unstable();
+    for x in v {
+        out.push(x);
+    }
+}

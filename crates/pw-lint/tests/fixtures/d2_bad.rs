@@ -1,0 +1,7 @@
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+pub fn elapsed_guard() -> std::time::Instant {
+    std::time::Instant::now()
+}

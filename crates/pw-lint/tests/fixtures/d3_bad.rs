@@ -1,0 +1,12 @@
+pub fn parse_port(s: &str) -> u16 {
+    s.parse().unwrap()
+}
+
+pub fn third_field(line: &str) -> String {
+    let fields: Vec<&str> = line.split(',').collect();
+    fields[2].to_string()
+}
+
+pub fn must(v: Option<u32>) -> u32 {
+    v.expect("present")
+}

@@ -1,0 +1,19 @@
+#[derive(Debug)]
+pub struct BadPort;
+
+pub fn parse_port(s: &str) -> Result<u16, BadPort> {
+    s.parse().map_err(|_| BadPort)
+}
+
+pub fn third_field(line: &str) -> Option<String> {
+    let fields: Vec<&str> = line.split(',').collect();
+    fields.get(2).map(|s| s.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(super::parse_port("80").unwrap(), 80);
+    }
+}

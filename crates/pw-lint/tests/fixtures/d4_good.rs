@@ -1,0 +1,7 @@
+pub fn rank(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub fn near_unit(x: f64) -> bool {
+    (x - 1.0).abs() < 1e-9
+}

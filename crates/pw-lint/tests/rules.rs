@@ -1,0 +1,111 @@
+//! Fixture tests pinning exactly which rule IDs fire on which lines.
+//!
+//! Each fixture under `tests/fixtures/` is linted via [`pw_lint::lint_source`]
+//! with a path that places it in a rule-scoped crate. The `_bad` fixtures
+//! assert exact `(rule, line)` pairs; the `_good` fixtures assert silence,
+//! so both false negatives and false positives break the build.
+
+use pw_lint::{lint_source, RuleId};
+
+fn fired(path: &str, src: &str) -> Vec<(RuleId, u32)> {
+    lint_source(path, src)
+        .into_iter()
+        .map(|d| (d.rule, d.line))
+        .collect()
+}
+
+#[test]
+fn d1_bad_fires_on_exact_lines() {
+    let got = fired(
+        "crates/pw-detect/src/fixture.rs",
+        include_str!("fixtures/d1_bad.rs"),
+    );
+    assert_eq!(got, vec![(RuleId::D1, 4), (RuleId::D1, 8)]);
+}
+
+#[test]
+fn d1_good_is_silent() {
+    let got = fired(
+        "crates/pw-detect/src/fixture.rs",
+        include_str!("fixtures/d1_good.rs"),
+    );
+    assert_eq!(got, vec![]);
+}
+
+#[test]
+fn d1_is_scoped_to_output_affecting_crates() {
+    // Same offending source, but pw-analysis is not D1-scoped.
+    let got = fired(
+        "crates/pw-analysis/src/fixture.rs",
+        include_str!("fixtures/d1_bad.rs"),
+    );
+    assert!(got.iter().all(|(r, _)| *r != RuleId::D1), "{got:?}");
+}
+
+#[test]
+fn d2_bad_fires_on_exact_lines() {
+    let got = fired(
+        "crates/pw-netsim/src/fixture.rs",
+        include_str!("fixtures/d2_bad.rs"),
+    );
+    assert_eq!(got, vec![(RuleId::D2, 2), (RuleId::D2, 6)]);
+}
+
+#[test]
+fn d2_exempts_bench_and_chaos() {
+    for krate in ["pw-bench", "pw-chaos"] {
+        let got = fired(
+            &format!("crates/{krate}/src/fixture.rs"),
+            include_str!("fixtures/d2_bad.rs"),
+        );
+        assert_eq!(got, vec![], "{krate} should be D2-exempt");
+    }
+}
+
+#[test]
+fn d3_bad_fires_on_exact_lines() {
+    let got = fired(
+        "crates/pw-flow/src/fixture.rs",
+        include_str!("fixtures/d3_bad.rs"),
+    );
+    assert_eq!(
+        got,
+        vec![(RuleId::D3, 2), (RuleId::D3, 7), (RuleId::D3, 11)]
+    );
+}
+
+#[test]
+fn d3_good_is_silent_including_test_mod_unwrap() {
+    let got = fired(
+        "crates/pw-flow/src/fixture.rs",
+        include_str!("fixtures/d3_good.rs"),
+    );
+    assert_eq!(got, vec![]);
+}
+
+#[test]
+fn d3_is_scoped_to_ingest_crates() {
+    let got = fired(
+        "crates/pw-repro/src/fixture.rs",
+        include_str!("fixtures/d3_bad.rs"),
+    );
+    assert!(got.iter().all(|(r, _)| *r != RuleId::D3), "{got:?}");
+}
+
+#[test]
+fn d4_bad_fires_on_exact_lines() {
+    let got = fired(
+        "crates/pw-analysis/src/fixture.rs",
+        include_str!("fixtures/d4_bad.rs"),
+    );
+    assert_eq!(got, vec![(RuleId::D4, 2), (RuleId::D4, 6)]);
+}
+
+#[test]
+fn d4_good_is_silent() {
+    let got = fired(
+        "crates/pw-analysis/src/fixture.rs",
+        include_str!("fixtures/d4_good.rs"),
+    );
+    assert_eq!(got, vec![]);
+}

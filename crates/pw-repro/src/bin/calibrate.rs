@@ -67,11 +67,12 @@ fn main() {
     ];
     let mut rows = Vec::new();
     for class in classes {
-        let ps: Vec<_> = day
+        let mut ps: Vec<_> = day
             .profiles
             .values()
             .filter(|p| class_of(&p.ip) == class)
             .collect();
+        ps.sort_by_key(|p| p.ip);
         if ps.is_empty() {
             continue;
         }

@@ -12,7 +12,7 @@ fn main() {
     for s in &series {
         let mut row = vec![s.name.clone(), s.values.len().to_string()];
         for (_, v) in s.quantiles(&qs) {
-            row.push(v.map(|x| format!("{x:.0}")).unwrap_or_else(|| "-".into()));
+            row.push(v.map_or_else(|| "-".into(), |x| format!("{x:.0}")));
         }
         rows.push(row);
     }

@@ -11,7 +11,7 @@ fn main() {
     for s in &series {
         let mut row = vec![s.name.clone(), s.values.len().to_string()];
         for (_, v) in s.quantiles(&qs) {
-            row.push(v.map(table::pct).unwrap_or_else(|| "-".into()));
+            row.push(v.map_or_else(|| "-".into(), table::pct));
         }
         row.push(table::pct(1.0 - s.fraction_below(0.65)));
         rows.push(row);

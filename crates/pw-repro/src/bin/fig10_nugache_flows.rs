@@ -15,8 +15,7 @@ fn main() {
         for q in qs {
             row.push(
                 cdf.quantile(q)
-                    .map(|v| format!("{v:.0}"))
-                    .unwrap_or_else(|| "-".into()),
+                    .map_or_else(|| "-".into(), |v| format!("{v:.0}")),
             );
         }
         rows.push(row);

@@ -20,7 +20,7 @@ pub enum Scale {
 impl Scale {
     /// Reads the scale from the `PW_FAST` environment variable.
     pub fn from_env() -> Self {
-        if std::env::var("PW_FAST").map(|v| v == "1").unwrap_or(false) {
+        if std::env::var("PW_FAST").is_ok_and(|v| v == "1") {
             Scale::Fast
         } else {
             Scale::Standard
@@ -76,7 +76,7 @@ impl DayContext {
             .implanted_hosts(BotFamily::Nugache)
             .into_iter()
             .collect();
-        let implanted = overlaid.implants.keys().copied().collect();
+        let implanted: HashSet<Ipv4Addr> = overlaid.implants.keys().copied().collect();
         let traders = base
             .trader_hosts()
             .into_iter()

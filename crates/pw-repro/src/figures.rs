@@ -80,20 +80,20 @@ pub fn fig01_volume_cdfs(ctx: &Context) -> Vec<CdfSeries> {
     let traders = &day.traders;
     let cmu: Vec<f64> = base
         .values()
-        .filter_map(|p| p.avg_upload_per_flow())
+        .filter_map(pw_detect::HostProfile::avg_upload_per_flow)
         .collect();
     let trader: Vec<f64> = base
         .values()
         .filter(|p| traders.contains(&p.ip))
-        .filter_map(|p| p.avg_upload_per_flow())
+        .filter_map(pw_detect::HostProfile::avg_upload_per_flow)
         .collect();
     let storm: Vec<f64> = profiles_of_trace(&day.run.storm)
         .values()
-        .filter_map(|p| p.avg_upload_per_flow())
+        .filter_map(pw_detect::HostProfile::avg_upload_per_flow)
         .collect();
     let nugache: Vec<f64> = profiles_of_trace(&day.run.nugache)
         .values()
-        .filter_map(|p| p.avg_upload_per_flow())
+        .filter_map(pw_detect::HostProfile::avg_upload_per_flow)
         .collect();
     vec![
         CdfSeries {
@@ -272,23 +272,23 @@ pub fn fig05_failed_cdfs(ctx: &Context) -> Vec<CdfSeries> {
         .values()
         .filter(|p| !day.traders.contains(&p.ip))
         .filter(eligible)
-        .filter_map(|p| p.failed_rate())
+        .filter_map(pw_detect::HostProfile::failed_rate)
         .collect();
     let trader: Vec<f64> = base
         .values()
         .filter(|p| day.traders.contains(&p.ip))
         .filter(eligible)
-        .filter_map(|p| p.failed_rate())
+        .filter_map(pw_detect::HostProfile::failed_rate)
         .collect();
     let storm: Vec<f64> = profiles_of_trace(&day.run.storm)
         .values()
         .filter(eligible)
-        .filter_map(|p| p.failed_rate())
+        .filter_map(pw_detect::HostProfile::failed_rate)
         .collect();
     let nugache: Vec<f64> = profiles_of_trace(&day.run.nugache)
         .values()
         .filter(eligible)
-        .filter_map(|p| p.failed_rate())
+        .filter_map(pw_detect::HostProfile::failed_rate)
         .collect();
     vec![
         CdfSeries {
@@ -590,7 +590,10 @@ pub fn fig10_nugache_flow_counts(ctx: &Context) -> Vec<(String, Vec<f64>)> {
     ];
     for day in &ctx.days {
         let report = find_plotters_from_profiles(&day.profiles, &cfg);
-        for ip in &day.nugache_hosts {
+        // Sorted so the per-stage point vectors are byte-stable run to run.
+        let mut nugache: Vec<_> = day.nugache_hosts.iter().collect();
+        nugache.sort_unstable();
+        for ip in nugache {
             let flows = day
                 .run
                 .overlaid

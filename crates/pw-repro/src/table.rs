@@ -53,7 +53,7 @@ pub fn pct(x: f64) -> String {
 
 /// Formats an optional fraction ("-" when absent).
 pub fn pct_opt(x: Option<f64>) -> String {
-    x.map(pct).unwrap_or_else(|| "-".into())
+    x.map_or_else(|| "-".into(), pct)
 }
 
 /// Formats a float compactly.

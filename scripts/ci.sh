@@ -12,6 +12,12 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> pw-lint (determinism & panic-safety rules + dependency policy)"
+# Exits nonzero on any unallowlisted violation, stale lint.toml entry,
+# "TODO: justify" placeholder reason, or dependency-policy breach; the
+# final line is the violation-count summary.
+cargo run -q -p pw-lint -- --deps
+
 echo "==> cargo test"
 cargo test --workspace -q
 

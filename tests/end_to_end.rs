@@ -128,10 +128,7 @@ fn implanted_host_profiles_inherit_bot_features() {
     for host in overlaid.implanted_hosts(BotFamily::Storm) {
         let with_bot = &profiles[&host];
         // The bot's chatter dominates the host's own traffic volume…
-        let base_flows = base_profiles
-            .get(&host)
-            .map(|p| p.flows_involving)
-            .unwrap_or(0);
+        let base_flows = base_profiles.get(&host).map_or(0, |p| p.flows_involving);
         assert!(
             with_bot.flows_involving > base_flows + 500,
             "bot flows missing at {host}: {} vs base {base_flows}",

@@ -3,7 +3,7 @@
 use peerwatch::botnet::{
     apply_evasion, generate_storm_trace, BotTrace, EvasionConfig, StormConfig,
 };
-use peerwatch::detect::extract_profiles;
+use peerwatch::detect::{extract_profiles, HostProfile};
 use peerwatch::netsim::SimDuration;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -48,7 +48,7 @@ fn volume_multiplier_raises_avg_upload_monotonically() {
         let profiles = trace_profiles(&t);
         let mean: f64 = profiles
             .values()
-            .filter_map(|p| p.avg_upload_per_flow())
+            .filter_map(HostProfile::avg_upload_per_flow)
             .sum::<f64>()
             / profiles.len() as f64;
         assert!(mean > last, "not monotone at x{mult}: {mean} <= {last}");
@@ -61,7 +61,10 @@ fn new_peer_multiplier_raises_churn() {
     let base = trace();
     let base_churn: f64 = {
         let p = trace_profiles(&base);
-        p.values().filter_map(|h| h.new_ip_fraction()).sum::<f64>() / p.len() as f64
+        p.values()
+            .filter_map(HostProfile::new_ip_fraction)
+            .sum::<f64>()
+            / p.len() as f64
     };
     let evaded = apply_evasion(
         &base,
@@ -73,7 +76,10 @@ fn new_peer_multiplier_raises_churn() {
     );
     let evaded_churn: f64 = {
         let p = trace_profiles(&evaded);
-        p.values().filter_map(|h| h.new_ip_fraction()).sum::<f64>() / p.len() as f64
+        p.values()
+            .filter_map(HostProfile::new_ip_fraction)
+            .sum::<f64>()
+            / p.len() as f64
     };
     assert!(
         evaded_churn > base_churn + 0.1,
@@ -83,11 +89,11 @@ fn new_peer_multiplier_raises_churn() {
     // stealth cost the paper predicts).
     let base_failed: f64 = {
         let p = trace_profiles(&base);
-        p.values().filter_map(|h| h.failed_rate()).sum::<f64>() / p.len() as f64
+        p.values().filter_map(HostProfile::failed_rate).sum::<f64>() / p.len() as f64
     };
     let evaded_failed: f64 = {
         let p = trace_profiles(&evaded);
-        p.values().filter_map(|h| h.failed_rate()).sum::<f64>() / p.len() as f64
+        p.values().filter_map(HostProfile::failed_rate).sum::<f64>() / p.len() as f64
     };
     assert!(evaded_failed > base_failed);
 }
