@@ -7,11 +7,25 @@
 //! formed by cutting the top 5% links with the largest weights." (§IV-C)
 //!
 //! [`average_linkage`] implements UPGMA with the nearest-neighbour-chain
-//! algorithm (`O(n²)` time, `O(n²)` memory), and [`Dendrogram::cut_top_fraction`]
-//! implements the link cut. Average linkage is *reducible*, so NN-chain
-//! produces the exact UPGMA dendrogram after sorting merges by height.
+//! algorithm over a condensed Lance–Williams working matrix: `O(n²)` time
+//! and only `O(n)` auxiliary space beyond the condensed (`n(n−1)/2`-entry)
+//! distance copy — no dense `n×n` working matrix is ever materialized.
+//! [`Dendrogram::cut_top_fraction`] implements the link cut. Average
+//! linkage is *reducible*, so NN-chain produces the exact UPGMA dendrogram
+//! after sorting merges by height.
 
 use serde::{Deserialize, Serialize};
+
+/// Edge length of the square cache blocks [`DistanceMatrix::from_fn_par`]
+/// carves the condensed triangle into. A 64×64 tile touches at most 128
+/// distinct items, small enough that both sides' per-item inputs stay
+/// resident in L1/L2 while the tile's 4096 pairs are evaluated.
+pub const TILE: usize = 64;
+
+/// Minimum item count for [`DistanceMatrix::from_fn_par`] to spawn worker
+/// threads. Below this the whole fill costs less than creating and joining
+/// a thread pool, so the serial path is taken regardless of `threads`.
+pub const PAR_CUTOFF: usize = 128;
 
 /// A symmetric pairwise distance matrix over `n` items, stored condensed
 /// (upper triangle only).
@@ -55,13 +69,19 @@ impl DistanceMatrix {
         Self { n, data }
     }
 
-    /// [`DistanceMatrix::from_fn`] with rows computed in parallel across
-    /// `threads` scoped workers.
+    /// [`DistanceMatrix::from_fn`] with the condensed upper triangle filled
+    /// in parallel across `threads` scoped workers.
     ///
-    /// Each worker fills a disjoint set of condensed rows (strided by row
-    /// index so long early rows spread evenly), so the result is identical
-    /// to the serial constructor for any thread count. `threads == 0` is
-    /// clamped to 1; `threads == 1` takes the serial path.
+    /// The triangle is carved into [`TILE`]`×`[`TILE`] cache blocks and the
+    /// tiles are dealt round-robin to the workers, so each worker touches at
+    /// most `2·TILE` distinct items per tile — the per-item inputs (`θ_hm`'s
+    /// precomputed CDFs) stay hot in cache instead of streaming the whole
+    /// item set past every row. Every slot is `f(i, j)` regardless of which
+    /// worker computes it, so the result is identical to the serial
+    /// constructor for any thread count and any tiling.
+    ///
+    /// Below [`PAR_CUTOFF`] items the spawn cost dominates the fill itself
+    /// and the serial path is taken; `threads == 0` is clamped to 1.
     ///
     /// # Panics
     ///
@@ -71,31 +91,54 @@ impl DistanceMatrix {
         F: Fn(usize, usize) -> f64 + Sync,
     {
         let threads = threads.max(1);
-        if threads == 1 || n < 3 {
+        if threads == 1 || n < PAR_CUTOFF {
             return Self::from_fn(n, f);
         }
         let mut data = vec![0.0f64; n.saturating_sub(1) * n / 2];
-        // Carve the condensed buffer into per-row slices (row i holds the
-        // n-1-i entries for pairs (i, i+1..n)).
-        let mut rows: Vec<(usize, &mut [f64])> = Vec::with_capacity(n - 1);
+        // Carve the condensed buffer into per-(row, column-tile) spans and
+        // group the spans of each TILE×TILE block together. Tile (bi, bj),
+        // bi <= bj, holds pairs (i, j) with i in row-block bi, j in
+        // column-block bj; spans are disjoint sub-slices of `data`, so no
+        // two workers ever alias.
+        let nb = n.div_ceil(TILE);
+        let tile_index = |bi: usize, bj: usize| -> usize {
+            debug_assert!(bi <= bj && bj < nb);
+            bi * nb - bi * (bi.saturating_sub(1)) / 2 + (bj - bi)
+        };
+        let n_tiles = nb * (nb + 1) / 2;
+        let mut tiles: Vec<Vec<(usize, usize, &mut [f64])>> =
+            (0..n_tiles).map(|_| Vec::new()).collect();
         let mut rest = data.as_mut_slice();
-        for i in 0..n - 1 {
-            let (row, tail) = rest.split_at_mut(n - 1 - i);
-            rows.push((i, row));
+        for i in 0..n.saturating_sub(1) {
+            let bi = i / TILE;
+            let (mut row, tail) = rest.split_at_mut(n - 1 - i);
             rest = tail;
+            let mut j = i + 1;
+            while j < n {
+                let bj = j / TILE;
+                let hi = ((bj + 1) * TILE).min(n);
+                let (span, row_tail) = std::mem::take(&mut row).split_at_mut(hi - j);
+                if !span.is_empty() {
+                    tiles[tile_index(bi, bj)].push((i, j, span));
+                }
+                row = row_tail;
+                j = hi;
+            }
         }
         std::thread::scope(|scope| {
-            for chunk in assign_strided(rows, threads) {
+            for chunk in assign_strided(tiles, threads) {
                 let f = &f;
                 scope.spawn(move || {
-                    for (i, row) in chunk {
-                        for (off, slot) in row.iter_mut().enumerate() {
-                            let d = f(i, i + 1 + off);
-                            assert!(
-                                d.is_finite() && d >= 0.0,
-                                "distances must be finite and non-negative"
-                            );
-                            *slot = d;
+                    for tile in chunk {
+                        for (i, j0, span) in tile {
+                            for (off, slot) in span.iter_mut().enumerate() {
+                                let d = f(i, j0 + off);
+                                assert!(
+                                    d.is_finite() && d >= 0.0,
+                                    "distances must be finite and non-negative"
+                                );
+                                *slot = d;
+                            }
                         }
                     }
                 });
@@ -112,6 +155,13 @@ impl DistanceMatrix {
     /// Whether the matrix covers zero items.
     pub fn is_empty(&self) -> bool {
         self.n == 0
+    }
+
+    /// The condensed upper triangle in row-major order: slot
+    /// `i * n - i * (i + 1) / 2 + (j - i - 1)` holds the distance between
+    /// items `i < j`.
+    pub fn condensed(&self) -> &[f64] {
+        &self.data
     }
 
     fn idx(&self, i: usize, j: usize) -> usize {
@@ -277,9 +327,10 @@ impl UnionFind {
 /// Runs average-linkage (UPGMA) agglomerative clustering over a distance
 /// matrix, returning the full [`Dendrogram`].
 ///
-/// Uses the nearest-neighbour-chain algorithm, `O(n²)` time after the `O(n²)`
-/// matrix materialization. Ties are broken towards the lower index, making
-/// results fully deterministic.
+/// Uses the nearest-neighbour-chain algorithm over a condensed
+/// Lance–Williams working copy: `O(n²)` time and `O(n)` auxiliary space
+/// beyond the condensed copy — no dense `n×n` working matrix. Ties are
+/// broken towards the lower index, making results fully deterministic.
 ///
 /// # Examples
 ///
@@ -301,28 +352,23 @@ pub fn average_linkage(dm: &DistanceMatrix) -> Dendrogram {
             merges: Vec::new(),
         };
     }
-    // Working full matrix for O(1) access during nearest-neighbour scans.
-    let mut d = vec![0.0f64; n * n];
-    for i in 0..n {
-        for j in 0..n {
-            d[i * n + j] = dm.get(i, j);
-        }
-    }
+    // Condensed working copy of the upper triangle; slot (i, j), i < j, at
+    // the same index the input matrix uses. Everything else is O(n).
+    let mut d: Vec<f64> = dm.data.clone();
+    // Row bases for the condensed layout: cidx(i, j) = rowbase[i] + j - i - 1.
+    let rowbase: Vec<usize> = (0..n).map(|i| i * n - i * (i + 1) / 2).collect();
     let mut size = vec![1usize; n];
-    let mut active = vec![true; n];
+    // Sorted list of live cluster slots; shrinks as merges retire slots, so
+    // scan and update cost track the live count rather than n.
+    let mut actives: Vec<usize> = (0..n).collect();
     // Raw merges as (leaf representative of a, leaf rep of b, height).
     let mut raw: Vec<(usize, usize, f64)> = Vec::with_capacity(n - 1);
     let rep: Vec<usize> = (0..n).collect(); // slot -> a leaf it contains
     let mut chain: Vec<usize> = Vec::with_capacity(n);
 
-    let mut remaining = n;
-    while remaining > 1 {
+    while actives.len() > 1 {
         if chain.is_empty() {
-            let start = active
-                .iter()
-                .position(|&a| a)
-                .expect("active cluster exists");
-            chain.push(start);
+            chain.push(actives[0]);
         }
         loop {
             let a = *chain.last().expect("chain non-empty");
@@ -332,14 +378,20 @@ pub fn average_linkage(dm: &DistanceMatrix) -> Dendrogram {
                 None
             };
             // Nearest active neighbour of `a`, preferring `prev` on ties so
-            // reciprocal pairs terminate the chain.
+            // reciprocal pairs terminate the chain. `actives` is ascending,
+            // so candidates are visited in the same k order as a 0..n sweep.
             let mut best = usize::MAX;
             let mut best_d = f64::INFINITY;
-            for k in 0..n {
-                if k == a || !active[k] {
+            let base_a = rowbase[a];
+            for &k in &actives {
+                if k == a {
                     continue;
                 }
-                let dk = d[a * n + k];
+                let dk = if k < a {
+                    d[rowbase[k] + (a - k - 1)]
+                } else {
+                    d[base_a + (k - a - 1)]
+                };
                 if dk < best_d || (dk == best_d && Some(k) == prev) {
                     best_d = dk;
                     best = k;
@@ -352,19 +404,33 @@ pub fn average_linkage(dm: &DistanceMatrix) -> Dendrogram {
                 chain.pop();
                 let (x, y) = (a.min(best), a.max(best));
                 raw.push((rep[x], rep[y], best_d));
-                // Lance–Williams update for average linkage into slot x.
+                // Lance–Williams update for average linkage into slot x;
+                // the condensed layout stores each pair once, so one write
+                // covers both orientations.
                 let (sx, sy) = (size[x] as f64, size[y] as f64);
-                for k in 0..n {
-                    if !active[k] || k == x || k == y {
+                let ssum = sx + sy;
+                let (base_x, base_y) = (rowbase[x], rowbase[y]);
+                for &k in &actives {
+                    if k == x || k == y {
                         continue;
                     }
-                    let nd = (sx * d[x * n + k] + sy * d[y * n + k]) / (sx + sy);
-                    d[x * n + k] = nd;
-                    d[k * n + x] = nd;
+                    let sxk = if k < x {
+                        rowbase[k] + (x - k - 1)
+                    } else {
+                        base_x + (k - x - 1)
+                    };
+                    let dyk = if k < y {
+                        d[rowbase[k] + (y - k - 1)]
+                    } else {
+                        d[base_y + (k - y - 1)]
+                    };
+                    d[sxk] = (sx * d[sxk] + sy * dyk) / ssum;
                 }
                 size[x] += size[y];
-                active[y] = false;
-                remaining -= 1;
+                let gone = actives
+                    .binary_search(&y)
+                    .expect("merged slot is still active");
+                actives.remove(gone);
                 break;
             }
             chain.push(best);
@@ -554,6 +620,48 @@ mod tests {
                 assert_eq!(serial, par, "n={n} threads={threads}");
             }
         }
+    }
+
+    #[test]
+    fn from_fn_par_matches_serial_at_and_around_cutoff() {
+        // Pins the serial-cutoff boundary: just below PAR_CUTOFF the
+        // parallel constructor must silently take the serial path, at and
+        // above it the tiled fill must produce identical contents for any
+        // thread count.
+        let f = |i: usize, j: usize| ((i * 13 + j * 101) % 251) as f64 / 7.0;
+        for n in [
+            PAR_CUTOFF - 1,
+            PAR_CUTOFF,
+            PAR_CUTOFF + 1,
+            PAR_CUTOFF + TILE + 3,
+        ] {
+            let serial = DistanceMatrix::from_fn(n, f);
+            for threads in [1usize, 2, 3, 4, 8, 64] {
+                let par = DistanceMatrix::from_fn_par(n, threads, f);
+                assert_eq!(serial, par, "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn condensed_linkage_handles_4096_leaves() {
+        // The θ_hm scaling wall: a dense n×n working matrix at n = 4096
+        // would be 128 MiB and was the old implementation's first
+        // allocation; the condensed NN-chain needs only the n(n−1)/2 copy
+        // plus O(n) auxiliary arrays, and finishes in O(n²) time.
+        let n = 4096;
+        let dm = DistanceMatrix::from_fn(n, |i, j| {
+            ((i * 31 + j * 17) % 1021) as f64 + (j - i) as f64 / 4096.0
+        });
+        let dd = average_linkage(&dm);
+        assert_eq!(dd.merges().len(), n - 1);
+        for w in dd.merges().windows(2) {
+            assert!(w[1].height >= w[0].height - 1e-9);
+        }
+        // Every leaf lands in exactly one cluster after a cut.
+        let clusters = dd.cut_top_fraction(0.05);
+        let total: usize = clusters.iter().map(Vec::len).sum();
+        assert_eq!(total, n);
     }
 
     #[test]

@@ -7,6 +7,11 @@
 //! `|x − y|` ground distance the optimal transport cost has the closed form
 //! `∫ |F(x) − G(x)| dx` over the merged support, which is what [`emd_1d`]
 //! computes — exact, `O(n + m)` after sorting, no LP solver needed.
+//!
+//! For all-pairs workloads (`θ_hm`'s distance matrix), [`CdfRepr`]
+//! precomputes the sorted prefix-sum CDF once per distribution so that each
+//! pairwise [`emd_cdf`] call is a single allocation-free linear merge —
+//! bit-identical to [`emd_1d`] but without the per-pair alloc + two sorts.
 
 use crate::hist::Histogram;
 
@@ -89,9 +94,200 @@ pub fn emd_1d(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
     total
 }
 
+/// A distribution pre-digested for repeated EMD evaluation: strictly
+/// increasing support positions paired with the normalized CDF value *after*
+/// each position.
+///
+/// [`emd_1d`] pays an allocation, a normalization pass, and a sort for each
+/// of its two arguments on *every* call. `θ_hm` compares every candidate
+/// pair, so the same histogram is re-sorted `n − 1` times. Building a
+/// `CdfRepr` once per host moves all of that out of the pairwise loop:
+/// [`emd_cdf`] is then a single allocation-free linear merge over two
+/// precomputed prefix-sum CDFs.
+///
+/// The prefix sums are accumulated in exactly the float-operation order
+/// [`emd_1d`] uses internally (normalize each weight by the left-fold total,
+/// then left-fold the normalized weights in sorted position order), so
+/// `emd_cdf(&CdfRepr::from_point_masses(a), &CdfRepr::from_point_masses(b))`
+/// returns the *same bits* as `emd_1d(a, b)`.
+///
+/// # Examples
+///
+/// ```
+/// use pw_analysis::{emd_1d, emd_cdf, CdfRepr};
+///
+/// let a = [(0.0, 1.0)];
+/// let b = [(3.0, 1.0)];
+/// let (ca, cb) = (CdfRepr::from_point_masses(&a), CdfRepr::from_point_masses(&b));
+/// assert_eq!(emd_cdf(&ca, &cb).to_bits(), emd_1d(&a, &b).to_bits());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CdfRepr {
+    /// Support positions, strictly increasing under `==` (positions that
+    /// compare equal — including `-0.0` vs `0.0` — are merged).
+    xs: Vec<f64>,
+    /// `cdf[k]`: total normalized mass at positions `<= xs[k]`.
+    cdf: Vec<f64>,
+}
+
+impl CdfRepr {
+    /// Digests weighted point masses `(position, weight)` into a sorted
+    /// prefix-sum CDF. Input need not be sorted or normalized — the same
+    /// contract as [`emd_1d`]. An empty input yields an empty distribution
+    /// (comparable only with another empty one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any position is non-finite, any weight negative, or the
+    /// total mass of a non-empty input is not positive.
+    pub fn from_point_masses(masses: &[(f64, f64)]) -> Self {
+        if masses.is_empty() {
+            return Self {
+                xs: Vec::new(),
+                cdf: Vec::new(),
+            };
+        }
+        let w_total: f64 = masses.iter().map(|&(_, w)| w).sum();
+        assert!(w_total > 0.0, "distributions must have positive mass");
+        for &(x, w) in masses {
+            assert!(
+                x.is_finite() && w >= 0.0,
+                "positions finite, weights non-negative"
+            );
+        }
+        let mut pts: Vec<(f64, f64)> = masses.iter().map(|&(x, w)| (x, w / w_total)).collect();
+        pts.sort_by(|p, q| crate::order::fcmp(p.0, q.0));
+        let mut xs: Vec<f64> = Vec::with_capacity(pts.len());
+        let mut cdf: Vec<f64> = Vec::with_capacity(pts.len());
+        let mut acc = 0.0f64;
+        for (x, w) in pts {
+            acc += w;
+            match xs.last() {
+                Some(&last) if last == x => {
+                    let slot = cdf.last_mut().expect("cdf tracks xs");
+                    *slot = acc;
+                }
+                _ => {
+                    xs.push(x);
+                    cdf.push(acc);
+                }
+            }
+        }
+        Self { xs, cdf }
+    }
+
+    /// Digests a [`Histogram`]'s point masses (bin centres weighted by
+    /// normalized counts) — the per-host precomputation `θ_hm` performs once
+    /// before the pairwise distance loop.
+    pub fn from_histogram(h: &Histogram) -> Self {
+        Self::from_point_masses(&h.point_masses())
+    }
+
+    /// Number of distinct support positions.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the distribution has no mass (built from an empty input).
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Smallest support position, if any.
+    pub fn min_position(&self) -> Option<f64> {
+        self.xs.first().copied()
+    }
+
+    /// Largest support position, if any.
+    pub fn max_position(&self) -> Option<f64> {
+        self.xs.last().copied()
+    }
+}
+
+/// Earth Mover's Distance between two precomputed [`CdfRepr`]s: a single
+/// allocation-free linear merge, `O(k_a + k_b)` with no setup cost.
+///
+/// Bit-identical to [`emd_1d`] on the point masses the reprs were built
+/// from (see [`CdfRepr`]); this is the kernel `θ_hm`'s pairwise distance
+/// matrix runs on.
+///
+/// Returns `0.0` when both inputs are empty.
+///
+/// # Panics
+///
+/// Panics if exactly one input is empty — a distribution must have mass to
+/// be comparable.
+pub fn emd_cdf(a: &CdfRepr, b: &CdfRepr) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "cannot compare a distribution with an empty one"
+    );
+    // The same merged-support sweep as `emd_1d`, reading the precomputed
+    // prefix sums instead of accumulating: after absorbing position k the
+    // running CDF there equals cdf[k] bit-for-bit. Each side's support is
+    // strictly increasing under `==`, so every merged point absorbs at most
+    // one entry per side and the first point needs no gap term — the loop
+    // carries a plain `prev` instead of an `Option` and splits into a
+    // two-pointer phase plus drain phases.
+    let (ax, ac) = (&a.xs[..], &a.cdf[..]);
+    let (bx, bc) = (&b.xs[..], &b.cdf[..]);
+    let (na, nb) = (ax.len(), bx.len());
+    let mut cdf_a = 0.0f64;
+    let mut cdf_b = 0.0f64;
+    let mut total = 0.0;
+    let first = ax[0].min(bx[0]);
+    let mut i = 0;
+    let mut j = 0;
+    if ax[0] == first {
+        cdf_a = ac[0];
+        i = 1;
+    }
+    if bx[0] == first {
+        cdf_b = bc[0];
+        j = 1;
+    }
+    let mut prev = first;
+    while i < na && j < nb {
+        let (xa, xb) = (ax[i], bx[j]);
+        let x = xa.min(xb);
+        total += (cdf_a - cdf_b).abs() * (x - prev);
+        if xa == x {
+            cdf_a = ac[i];
+            i += 1;
+        }
+        if xb == x {
+            cdf_b = bc[j];
+            j += 1;
+        }
+        prev = x;
+    }
+    while i < na {
+        let x = ax[i];
+        total += (cdf_a - cdf_b).abs() * (x - prev);
+        cdf_a = ac[i];
+        i += 1;
+        prev = x;
+    }
+    while j < nb {
+        let x = bx[j];
+        total += (cdf_a - cdf_b).abs() * (x - prev);
+        cdf_b = bc[j];
+        j += 1;
+        prev = x;
+    }
+    total
+}
+
 /// Earth Mover's Distance between two [`Histogram`]s, treating each bin as a
 /// point mass at its centre (as the paper does when comparing host
 /// histograms whose bin widths differ).
+///
+/// This is a thin wrapper over [`emd_cdf`] that digests both histograms on
+/// every call; hot loops comparing the same histograms repeatedly should
+/// build [`CdfRepr`]s once and call [`emd_cdf`] directly.
 ///
 /// # Panics
 ///
@@ -109,7 +305,7 @@ pub fn emd_1d(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
 /// assert!((emd_histograms(&a, &b) - 2.0).abs() < 1e-12);
 /// ```
 pub fn emd_histograms(a: &Histogram, b: &Histogram) -> f64 {
-    emd_1d(&a.point_masses(), &b.point_masses())
+    emd_cdf(&CdfRepr::from_histogram(a), &CdfRepr::from_histogram(b))
 }
 
 #[cfg(test)]
@@ -177,6 +373,93 @@ mod tests {
         let b = Histogram::freedman_diaconis(&ys).unwrap();
         // Same shape, shifted by 10: EMD should be ~10.
         assert!((emd_histograms(&a, &b) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_repr_matches_emd_1d_bitwise() {
+        type Masses = Vec<(f64, f64)>;
+        let cases: Vec<(Masses, Masses)> = vec![
+            (vec![(0.0, 1.0)], vec![(3.0, 1.0)]),
+            (
+                vec![(4.0, 0.5), (0.0, 0.5)], // unsorted
+                vec![(2.0, 1.0)],
+            ),
+            (
+                vec![(1.0, 0.25), (1.0, 0.25), (2.0, 0.5)], // duplicate support
+                vec![(-1.0, 0.3), (5.0, 0.7)],
+            ),
+            (
+                vec![(0.0, 10.0), (0.5, 1.0), (9.0, 3.0)], // unnormalized
+                vec![(3.0, 2.0), (3.5, 0.01)],
+            ),
+            (
+                vec![(-0.0, 0.5), (0.0, 0.5)], // -0.0 and 0.0 merge
+                vec![(1.0, 1.0)],
+            ),
+        ];
+        for (a, b) in cases {
+            let (ca, cb) = (
+                CdfRepr::from_point_masses(&a),
+                CdfRepr::from_point_masses(&b),
+            );
+            assert_eq!(
+                emd_cdf(&ca, &cb).to_bits(),
+                emd_1d(&a, &b).to_bits(),
+                "a={a:?} b={b:?}"
+            );
+            assert_eq!(
+                emd_cdf(&cb, &ca).to_bits(),
+                emd_1d(&b, &a).to_bits(),
+                "swapped a={a:?} b={b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cdf_repr_from_histogram_matches_point_mass_path() {
+        let xs: Vec<f64> = (0..400)
+            .map(|i: u64| {
+                let x = ((i * 2654435761 + 17) % 10_000) as f64 / 10_000.0;
+                10.0 + 5_000.0 * x * x * x
+            })
+            .collect();
+        let ys: Vec<f64> = (0..300).map(|i| 300.0 + (i % 7) as f64 * 0.5).collect();
+        let a = Histogram::freedman_diaconis(&xs).unwrap();
+        let b = Histogram::freedman_diaconis(&ys).unwrap();
+        let (ca, cb) = (CdfRepr::from_histogram(&a), CdfRepr::from_histogram(&b));
+        let want = emd_1d(&a.point_masses(), &b.point_masses());
+        assert_eq!(emd_cdf(&ca, &cb).to_bits(), want.to_bits());
+        assert_eq!(emd_histograms(&a, &b).to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn cdf_repr_merges_equal_positions() {
+        let c = CdfRepr::from_point_masses(&[(1.0, 0.5), (1.0, 0.25), (2.0, 0.25)]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.min_position(), Some(1.0));
+        assert_eq!(c.max_position(), Some(2.0));
+    }
+
+    #[test]
+    fn empty_cdf_reprs_compare_to_zero() {
+        let e = CdfRepr::from_point_masses(&[]);
+        assert!(e.is_empty());
+        assert_eq!(e.min_position(), None);
+        assert_eq!(emd_cdf(&e, &e), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn one_empty_cdf_panics() {
+        let e = CdfRepr::from_point_masses(&[]);
+        let u = CdfRepr::from_point_masses(&[(0.0, 1.0)]);
+        emd_cdf(&u, &e);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive mass")]
+    fn zero_mass_cdf_repr_panics() {
+        let _ = CdfRepr::from_point_masses(&[(0.0, 0.0)]);
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! - histogram density estimation with the Freedman–Diaconis bin-width rule
 //!   ([`Histogram`], `hist`);
 //! - the 1-D Earth Mover's Distance between distributions ([`emd_1d`],
-//!   [`emd_histograms`], `emd`);
+//!   [`emd_histograms`], `emd`), plus the precomputed prefix-sum form for
+//!   all-pairs workloads ([`CdfRepr`], [`emd_cdf`]);
 //! - empirical CDFs for the paper's cumulative-distribution figures
 //!   ([`Ecdf`], `cdf`);
 //! - agglomerative average-linkage hierarchical clustering with a
@@ -38,8 +39,8 @@ pub mod roc;
 pub mod stats;
 
 pub use cdf::Ecdf;
-pub use cluster::{average_linkage, Dendrogram, DistanceMatrix, Merge};
-pub use emd::{emd_1d, emd_histograms};
+pub use cluster::{average_linkage, Dendrogram, DistanceMatrix, Merge, PAR_CUTOFF, TILE};
+pub use emd::{emd_1d, emd_cdf, emd_histograms, CdfRepr};
 pub use hist::Histogram;
 pub use order::{fcmp, sort_floats};
 pub use roc::{auc, RocCurve, RocPoint};

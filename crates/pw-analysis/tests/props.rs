@@ -1,7 +1,10 @@
 //! Property-based tests for the statistical substrate.
 
 use proptest::prelude::*;
-use pw_analysis::{average_linkage, emd_1d, iqr, percentile, DistanceMatrix, Ecdf, Histogram};
+use pw_analysis::{
+    average_linkage, emd_1d, emd_cdf, iqr, percentile, CdfRepr, Dendrogram, DistanceMatrix, Ecdf,
+    Histogram,
+};
 
 fn finite_samples(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-1.0e6f64..1.0e6, 1..max_len)
@@ -9,6 +12,71 @@ fn finite_samples(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
 
 fn masses(max_len: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
     prop::collection::vec((-1.0e4f64..1.0e4, 0.01f64..10.0), 1..max_len)
+}
+
+/// Builds an `n`-leaf matrix from a flat entry pool (the pool is drawn at
+/// the largest size the test may need and indexed condensed-style).
+fn matrix_from_pool(n: usize, pool: &[f64]) -> DistanceMatrix {
+    DistanceMatrix::from_fn(n, |i, j| pool[i * n - i * (i + 1) / 2 + (j - i - 1)])
+}
+
+/// Mean pairwise distance between two leaf sets, straight from the input
+/// matrix — the definitional average-linkage merge height.
+fn avg_leaf_distance(dm: &DistanceMatrix, a: &[usize], b: &[usize]) -> f64 {
+    let mut sum = 0.0;
+    for &i in a {
+        for &j in b {
+            sum += dm.get(i, j);
+        }
+    }
+    sum / (a.len() * b.len()) as f64
+}
+
+/// O(n^3) textbook UPGMA: scan all cluster pairs for the global minimum
+/// average distance (first pair in ascending scan order on ties), merge,
+/// repeat. Returns each merge as (left leaves, right leaves, height).
+#[allow(clippy::type_complexity)]
+fn naive_upgma(dm: &DistanceMatrix) -> Vec<(Vec<usize>, Vec<usize>, f64)> {
+    let mut clusters: Vec<Vec<usize>> = (0..dm.len()).map(|i| vec![i]).collect();
+    let mut merges = Vec::new();
+    while clusters.len() > 1 {
+        let (mut bi, mut bj) = (0, 1);
+        let mut best = f64::INFINITY;
+        for i in 0..clusters.len() {
+            for j in (i + 1)..clusters.len() {
+                let d = avg_leaf_distance(dm, &clusters[i], &clusters[j]);
+                if d < best {
+                    best = d;
+                    (bi, bj) = (i, j);
+                }
+            }
+        }
+        let right = clusters.remove(bj);
+        let left = clusters[bi].clone();
+        merges.push((left.clone(), right.clone(), best));
+        clusters[bi].extend(right.iter().copied());
+        clusters[bi].sort_unstable();
+    }
+    merges
+}
+
+/// Expands a dendrogram's SciPy-style merge ids back into the two child
+/// leaf sets (sorted) of every merge.
+#[allow(clippy::type_complexity)]
+fn merge_leaf_sets(dd: &Dendrogram) -> Vec<(Vec<usize>, Vec<usize>, f64)> {
+    let n = dd.n_leaves();
+    let mut sets: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    let mut out = Vec::new();
+    for m in dd.merges() {
+        let a = sets[m.left].clone();
+        let b = sets[m.right].clone();
+        let mut union = a.clone();
+        union.extend(b.iter().copied());
+        union.sort_unstable();
+        out.push((a, b, m.height));
+        sets.push(union);
+    }
+    out
 }
 
 proptest! {
@@ -113,6 +181,63 @@ proptest! {
         let dd = average_linkage(&dm);
         for cl in dd.cut_top_fraction(0.3) {
             prop_assert!(dm.diameter(&cl) <= global + 1e-9);
+        }
+    }
+
+    /// The prefix-sum kernel must reproduce `emd_1d` bit-for-bit on any
+    /// positive-mass point set — this is the contract `theta_hm` relies on
+    /// for byte-identical detector output.
+    #[test]
+    fn emd_cdf_bitwise_equals_emd_1d(a in masses(32), b in masses(32)) {
+        let ra = CdfRepr::from_point_masses(&a);
+        let rb = CdfRepr::from_point_masses(&b);
+        prop_assert_eq!(emd_cdf(&ra, &rb).to_bits(), emd_1d(&a, &b).to_bits());
+    }
+
+    /// With all-distinct distances the NN-chain dendrogram must match the
+    /// O(n^3) textbook UPGMA oracle merge for merge.
+    #[test]
+    fn nn_chain_matches_naive_upgma(
+        n in 2usize..25,
+        pool in prop::collection::vec(0.01f64..100.0, 300..301),
+    ) {
+        let dm = matrix_from_pool(n, &pool);
+        let mut seen = std::collections::HashSet::new();
+        prop_assume!(dm.condensed().iter().all(|d| seen.insert(d.to_bits())));
+        let fast = merge_leaf_sets(&average_linkage(&dm));
+        let naive = naive_upgma(&dm);
+        prop_assert_eq!(fast.len(), naive.len());
+        for ((fa, fb, fh), (na, nb, nh)) in fast.into_iter().zip(naive) {
+            prop_assert!((fh - nh).abs() <= 1e-9 * nh.max(1.0), "height {fh} vs oracle {nh}");
+            // Each merge is an unordered pair of (sorted) leaf sets.
+            let fast_pair = if fa[0] <= fb[0] { (fa, fb) } else { (fb, fa) };
+            let naive_pair = if na[0] <= nb[0] { (na, nb) } else { (nb, na) };
+            prop_assert_eq!(fast_pair, naive_pair);
+        }
+    }
+
+    /// Under heavy ties the merge *order* is tie-break dependent, but every
+    /// recorded height must still equal the definitional mean leaf-to-leaf
+    /// distance between the two clusters it joined, and heights must be
+    /// nondecreasing. This pins the Lance–Williams update and condensed
+    /// indexing without assuming a particular tie-break.
+    #[test]
+    fn nn_chain_heights_are_definitional_under_ties(
+        n in 2usize..65,
+        picks in prop::collection::vec(0usize..3, 2016..2017),
+    ) {
+        let levels = [1.0f64, 2.0, 4.0];
+        let pool: Vec<f64> = picks.into_iter().map(|k| levels[k]).collect();
+        let dm = matrix_from_pool(n, &pool);
+        let dd = average_linkage(&dm);
+        prop_assert_eq!(dd.merges().len(), dm.len() - 1);
+        let merges = merge_leaf_sets(&dd);
+        let mut prev = f64::NEG_INFINITY;
+        for (a, b, h) in merges {
+            prop_assert!(h >= prev - 1e-9);
+            prev = h;
+            let def = avg_leaf_distance(&dm, &a, &b);
+            prop_assert!((h - def).abs() <= 1e-9 * def.max(1.0), "height {h} vs definitional {def}");
         }
     }
 }

@@ -1,7 +1,9 @@
 //! Statistics-kernel benchmarks: the inner loops of `θ_hm`.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use pw_analysis::{average_linkage, emd_histograms, percentile, DistanceMatrix, Histogram};
+use pw_analysis::{
+    average_linkage, emd_cdf, emd_histograms, percentile, CdfRepr, DistanceMatrix, Histogram,
+};
 
 fn samples(n: usize, seed: u64) -> Vec<f64> {
     // Deterministic pseudo-random heavy-tailed samples.
@@ -40,6 +42,20 @@ fn bench_emd(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_emd_kernel(c: &mut Criterion) {
+    // The all-pairs hot path: digests are built once per host, so the
+    // per-pair cost is just the alloc-free prefix-sum sweep.
+    let mut group = c.benchmark_group("emd_kernel");
+    for n in [100usize, 1_000, 10_000] {
+        let a = CdfRepr::from_histogram(&Histogram::freedman_diaconis(&samples(n, 1)).unwrap());
+        let b_r = CdfRepr::from_histogram(&Histogram::freedman_diaconis(&samples(n, 2)).unwrap());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(a, b_r), |b, (x, y)| {
+            b.iter(|| emd_cdf(black_box(x), black_box(y)))
+        });
+    }
+    group.finish();
+}
+
 fn bench_clustering(c: &mut Criterion) {
     let mut group = c.benchmark_group("average_linkage");
     group.sample_size(20);
@@ -64,6 +80,7 @@ criterion_group!(
     benches,
     bench_histograms,
     bench_emd,
+    bench_emd_kernel,
     bench_clustering,
     bench_percentile
 );

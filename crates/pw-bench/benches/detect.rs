@@ -1,10 +1,13 @@
 //! Detector benchmarks: feature extraction, each test, the full pipeline.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pw_bench::bench_day;
 use pw_detect::{
     extract_profiles, find_plotters_from_profiles, initial_reduction, theta_churn, theta_hm,
-    theta_vol, FindPlottersConfig, Threshold,
+    theta_hm_with_options, theta_vol, FindPlottersConfig, HmOptions, HostProfile, Threshold,
 };
 
 fn bench_detect(c: &mut Criterion) {
@@ -56,6 +59,80 @@ fn bench_detect(c: &mut Criterion) {
     group.finish();
 }
 
+/// Synthesizes `n` hosts with non-empty interstitial samples: a quarter
+/// periodic bot-like hosts in a handful of timer families, the rest
+/// heavy-tailed human-ish, so `θ_hm` sees realistic cluster structure at
+/// every scale.
+fn synth_hm_hosts(n: usize) -> (HashMap<Ipv4Addr, HostProfile>, HashSet<Ipv4Addr>) {
+    let mut profiles = HashMap::new();
+    let mut s = HashSet::new();
+    for k in 0..n {
+        let ip = Ipv4Addr::new(10, (k >> 8) as u8, (k & 0xff) as u8, 1);
+        let interstitials: Vec<f64> = if k % 4 == 0 {
+            // Bot-like: tight periodic timer, one of 7 families.
+            let base = 60.0 * ((k % 7) + 1) as f64;
+            (0..200)
+                .map(|i: u64| base + ((i * 7 + k as u64) % 5) as f64 * 0.5)
+                .collect()
+        } else {
+            // Human-ish: irregular heavy-tailed gaps, different per host.
+            (0..200)
+                .map(|i: u64| {
+                    let x = ((i * 2654435761 + k as u64 * 977) % 10_000) as f64 / 10_000.0;
+                    10.0 + (k % 13) as f64 * 3.0 + 5_000.0 * x * x * x
+                })
+                .collect()
+        };
+        profiles.insert(
+            ip,
+            HostProfile {
+                ip,
+                flows_involving: 200,
+                bytes_uploaded: 20_000,
+                initiated: 200,
+                initiated_failed: 40,
+                first_activity: None,
+                first_contact: Default::default(),
+                interstitials,
+            },
+        );
+        s.insert(ip);
+    }
+    (profiles, s)
+}
+
+/// `θ_hm` scaling: host count × worker threads over the full hot path
+/// (histograms, pairwise EMD distance matrix, linkage, cut).
+fn bench_theta_hm_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theta_hm");
+    group.sample_size(10);
+    for &n in &[64usize, 256, 1024] {
+        let (profiles, s) = synth_hm_hosts(n);
+        for &threads in &[1usize, 4, 8] {
+            let opts = HmOptions {
+                threads,
+                ..Default::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("n{n}"), threads),
+                &(&profiles, &s),
+                |b, (profiles, s)| {
+                    b.iter(|| {
+                        theta_hm_with_options(
+                            black_box(profiles),
+                            s,
+                            Threshold::Percentile(70.0),
+                            0.05,
+                            &opts,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 fn bench_tdg(c: &mut Criterion) {
     let fixture = bench_day();
     let day = &fixture.day;
@@ -69,5 +146,5 @@ fn bench_tdg(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_detect, bench_tdg);
+criterion_group!(benches, bench_detect, bench_theta_hm_scaling, bench_tdg);
 criterion_main!(benches);

@@ -3,7 +3,7 @@
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 
-use pw_analysis::{average_linkage, emd_histograms, percentile, DistanceMatrix, Histogram};
+use pw_analysis::{average_linkage, emd_cdf, percentile, CdfRepr, DistanceMatrix, Histogram};
 use pw_flow::HostId;
 
 use crate::features::{HostMask, HostProfile, ProfileView};
@@ -310,14 +310,18 @@ pub(crate) fn theta_hm_view(
         .filter(|(_, p)| !p.interstitials.is_empty())
         .collect();
 
-    let build = |(ip, p): &(Ipv4Addr, &HostProfile)| -> (Ipv4Addr, Histogram) {
+    // Each host's histogram is digested into its prefix-sum CDF here, once,
+    // so the pairwise loop below runs the allocation-free `emd_cdf` kernel
+    // instead of re-sorting both histograms for every pair.
+    let build = |(ip, p): &(Ipv4Addr, &HostProfile)| -> (Ipv4Addr, Histogram, CdfRepr) {
         let h = match options.bin_width {
             None => Histogram::freedman_diaconis(&p.interstitials).expect("non-empty"),
             Some(w) => Histogram::with_bin_width(&p.interstitials, w).expect("non-empty"),
         };
-        (*ip, h)
+        let c = CdfRepr::from_histogram(&h);
+        (*ip, h, c)
     };
-    let built: Vec<(Ipv4Addr, Histogram)> = if threads == 1 || with_samples.len() < 2 {
+    let built: Vec<(Ipv4Addr, Histogram, CdfRepr)> = if threads == 1 || with_samples.len() < 2 {
         with_samples.iter().map(build).collect()
     } else {
         let chunk = with_samples.len().div_ceil(threads).max(1);
@@ -336,7 +340,14 @@ pub(crate) fn theta_hm_view(
             all
         })
     };
-    let (hosts, histograms): (Vec<Ipv4Addr>, Vec<Histogram>) = built.into_iter().unzip();
+    let mut hosts = Vec::with_capacity(built.len());
+    let mut histograms = Vec::with_capacity(built.len());
+    let mut cdfs = Vec::with_capacity(built.len());
+    for (ip, h, c) in built {
+        hosts.push(ip);
+        histograms.push(h);
+        cdfs.push(c);
+    }
     if hosts.len() < 2 {
         return HmOutcome {
             kept: HashSet::new(),
@@ -346,18 +357,25 @@ pub(crate) fn theta_hm_view(
         };
     }
 
-    let (lo, hi) = histograms
-        .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), h| {
-            let pm = h.point_masses();
-            let first = pm.first().map_or(0.0, |&(p, _)| p);
-            let last = pm.last().map_or(0.0, |&(p, _)| p);
-            (lo.min(first), hi.max(last))
-        });
-    let dm = DistanceMatrix::from_fn_par(hosts.len(), threads, |i, j| match options.distance {
-        HistogramDistance::Emd => emd_histograms(&histograms[i], &histograms[j]),
-        HistogramDistance::L1 => l1_distance(&histograms[i], &histograms[j], lo, hi),
-    });
+    let dm = match options.distance {
+        HistogramDistance::Emd => {
+            DistanceMatrix::from_fn_par(hosts.len(), threads, |i, j| emd_cdf(&cdfs[i], &cdfs[j]))
+        }
+        HistogramDistance::L1 => {
+            let (lo, hi) =
+                histograms
+                    .iter()
+                    .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), h| {
+                        let pm = h.point_masses();
+                        let first = pm.first().map_or(0.0, |&(p, _)| p);
+                        let last = pm.last().map_or(0.0, |&(p, _)| p);
+                        (lo.min(first), hi.max(last))
+                    });
+            DistanceMatrix::from_fn_par(hosts.len(), threads, |i, j| {
+                l1_distance(&histograms[i], &histograms[j], lo, hi)
+            })
+        }
+    };
     let dendro = average_linkage(&dm);
     let raw_clusters = dendro.cut_top_fraction(cut_fraction);
 

@@ -9,7 +9,11 @@
 //! watermark passes. Profile extraction and the per-window threshold tests
 //! shard over hosts with `std::thread::scope`, so a multi-core monitor
 //! keeps up with line rate; any `threads` setting produces byte-identical
-//! verdicts.
+//! verdicts. Each window's `θ_hm` runs on the same scaled kernel as batch
+//! detection — per-host [`pw_analysis::CdfRepr`] digests feeding the
+//! alloc-free `emd_cdf` pairwise sweep and O(n²) NN-chain clustering (see
+//! DESIGN.md "θ_hm at scale") — so wide windows over large host
+//! populations close without a quadratic allocation spike.
 //!
 //! One streaming window covering a whole trace reproduces the batch
 //! [`find_plotters`](crate::pipeline::find_plotters) output exactly — the

@@ -158,16 +158,23 @@ pub fn parse_flow(line: &str, lineno: usize) -> Result<FlowRecord, RowError> {
             reason,
         })
     };
-    // Converting to a fixed-size array makes the per-field indexing below
-    // infallible by type, not by an earlier length check the compiler
-    // cannot see.
-    let cols: Vec<&str> = line.split(',').collect();
-    let fields: [&str; FIELDS] = cols.try_into().map_err(|cols: Vec<&str>| {
-        err(ParseError::WrongFieldCount {
+    // Split straight into a fixed-size array: per-field indexing below is
+    // infallible by type, and the hot read path takes no per-row heap
+    // allocation.
+    let mut fields: [&str; FIELDS] = [""; FIELDS];
+    let mut got = 0usize;
+    for col in line.split(',') {
+        if got < FIELDS {
+            fields[got] = col;
+        }
+        got += 1;
+    }
+    if got != FIELDS {
+        return Err(err(ParseError::WrongFieldCount {
             expected: FIELDS,
-            got: cols.len(),
-        })
-    })?;
+            got,
+        }));
+    }
     let parse_u64 = |s: &str, what: &'static str| {
         s.parse::<u64>()
             .map_err(|e| invalid(what, s, e.to_string()))

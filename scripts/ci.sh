@@ -27,6 +27,11 @@ cargo test -q --test chaos_injection --test checkpoint_roundtrip
 echo "==> cargo bench --no-run (benches must keep compiling)"
 cargo bench --workspace --no-run -q
 
+echo "==> bench smoke (detect benches execute one iteration)"
+# `--test` runs each bench once without measuring: catches panics in bench
+# setup/bodies (e.g. the theta_hm scaling grid) without paying bench time.
+cargo bench -q -p pw-bench --bench detect -- --test
+
 echo "==> cargo doc (public docs must build cleanly)"
 cargo doc --workspace --no-deps -q
 
