@@ -1,51 +1,58 @@
 //! Detector benchmarks: feature extraction, each test, the full pipeline.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pw_bench::bench_day;
 use pw_detect::{
-    extract_profiles, find_plotters_from_profiles, initial_reduction, theta_churn, theta_hm,
-    theta_hm_with_options, theta_vol, FindPlottersConfig, HmOptions, HostProfile, Threshold,
+    extract_profiles_table, find_plotters_from_table, initial_reduction_view, theta_churn_view,
+    theta_hm_view, theta_vol_view, FindPlottersConfig, HmOptions, HostMask, HostProfile,
+    ProfileTable, ProfileView, Threshold,
 };
+use pw_flow::FlowTable;
 
 fn bench_detect(c: &mut Criterion) {
     let fixture = bench_day();
     let day = &fixture.day;
+    let table = FlowTable::from_records(&fixture.flows);
 
     let mut group = c.benchmark_group("detect");
     group.sample_size(20);
     group.throughput(Throughput::Elements(fixture.flows.len() as u64));
     group.bench_function("extract_profiles", |b| {
-        b.iter(|| extract_profiles(black_box(&fixture.flows), |ip| day.is_internal(ip)))
+        b.iter(|| extract_profiles_table(black_box(&table), |ip| day.is_internal(ip)))
     });
     group.finish();
 
     let profiles = &fixture.profiles;
-    let (reduced, _) = initial_reduction(profiles);
+    let view = ProfileView::from_table(profiles);
+    let (reduced, _) = initial_reduction_view(&view);
     c.bench_function("initial_reduction", |b| {
-        b.iter(|| initial_reduction(black_box(profiles)))
+        b.iter(|| initial_reduction_view(black_box(&view)))
     });
     c.bench_function("theta_vol", |b| {
-        b.iter(|| theta_vol(black_box(profiles), &reduced, Threshold::Percentile(50.0)))
+        b.iter(|| theta_vol_view(black_box(&view), &reduced, Threshold::Percentile(50.0), 1))
     });
     c.bench_function("theta_churn", |b| {
-        b.iter(|| theta_churn(black_box(profiles), &reduced, Threshold::Percentile(50.0)))
+        b.iter(|| theta_churn_view(black_box(&view), &reduced, Threshold::Percentile(50.0), 1))
     });
 
-    let (s_vol, _) = theta_vol(profiles, &reduced, Threshold::Percentile(50.0));
-    let (s_churn, _) = theta_churn(profiles, &reduced, Threshold::Percentile(50.0));
-    let union: std::collections::HashSet<_> = s_vol.union(&s_churn).copied().collect();
+    let (s_vol, _) =
+        theta_vol_view(&view, &reduced, Threshold::Percentile(50.0), 1).expect("tau resolves");
+    let (s_churn, _) =
+        theta_churn_view(&view, &reduced, Threshold::Percentile(50.0), 1).expect("tau resolves");
+    let union = s_vol.union(&s_churn);
     let mut group = c.benchmark_group("theta_hm");
     group.sample_size(10);
     group.bench_function("clustered", |b| {
         b.iter(|| {
-            theta_hm(
-                black_box(profiles),
+            theta_hm_view(
+                black_box(&view),
                 &union,
                 Threshold::Percentile(70.0),
                 0.05,
+                &HmOptions::default(),
             )
         })
     });
@@ -54,7 +61,7 @@ fn bench_detect(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline");
     group.sample_size(10);
     group.bench_function("find_plotters_full", |b| {
-        b.iter(|| find_plotters_from_profiles(black_box(profiles), &FindPlottersConfig::default()))
+        b.iter(|| find_plotters_from_table(black_box(profiles), &FindPlottersConfig::default()))
     });
     group.finish();
 }
@@ -63,9 +70,8 @@ fn bench_detect(c: &mut Criterion) {
 /// periodic bot-like hosts in a handful of timer families, the rest
 /// heavy-tailed human-ish, so `θ_hm` sees realistic cluster structure at
 /// every scale.
-fn synth_hm_hosts(n: usize) -> (HashMap<Ipv4Addr, HostProfile>, HashSet<Ipv4Addr>) {
+fn synth_hm_hosts(n: usize) -> ProfileTable {
     let mut profiles = HashMap::new();
-    let mut s = HashSet::new();
     for k in 0..n {
         let ip = Ipv4Addr::new(10, (k >> 8) as u8, (k & 0xff) as u8, 1);
         let interstitials: Vec<f64> = if k % 4 == 0 {
@@ -96,9 +102,8 @@ fn synth_hm_hosts(n: usize) -> (HashMap<Ipv4Addr, HostProfile>, HashSet<Ipv4Addr
                 interstitials,
             },
         );
-        s.insert(ip);
     }
-    (profiles, s)
+    ProfileTable::from_map(profiles)
 }
 
 /// `θ_hm` scaling: host count × worker threads over the full hot path
@@ -107,7 +112,9 @@ fn bench_theta_hm_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("theta_hm");
     group.sample_size(10);
     for &n in &[64usize, 256, 1024] {
-        let (profiles, s) = synth_hm_hosts(n);
+        let profiles = synth_hm_hosts(n);
+        let view = ProfileView::from_table(&profiles);
+        let s = HostMask::full(view.len());
         for &threads in &[1usize, 4, 8] {
             let opts = HmOptions {
                 threads,
@@ -115,16 +122,10 @@ fn bench_theta_hm_scaling(c: &mut Criterion) {
             };
             group.bench_with_input(
                 BenchmarkId::new(format!("n{n}"), threads),
-                &(&profiles, &s),
-                |b, (profiles, s)| {
+                &(&view, &s),
+                |b, (view, s)| {
                     b.iter(|| {
-                        theta_hm_with_options(
-                            black_box(profiles),
-                            s,
-                            Threshold::Percentile(70.0),
-                            0.05,
-                            &opts,
-                        )
+                        theta_hm_view(black_box(view), s, Threshold::Percentile(70.0), 0.05, &opts)
                     })
                 },
             );

@@ -13,7 +13,7 @@ use pw_botnet::{
     apply_evasion, generate_nugache_trace, generate_storm_trace, EvasionConfig, NugacheConfig,
     StormConfig,
 };
-use pw_detect::{find_plotters_from_profiles, FindPlottersConfig};
+use pw_detect::{find_plotters_from_table, FindPlottersConfig};
 use pw_netsim::SimDuration;
 
 fn bench_figure_kernels(c: &mut Criterion) {
@@ -24,7 +24,8 @@ fn bench_figure_kernels(c: &mut Criterion) {
     c.bench_function("fig01_volume_cdf_kernel", |b| {
         b.iter(|| {
             let vals: Vec<f64> = profiles
-                .values()
+                .profiles()
+                .iter()
                 .filter_map(pw_detect::HostProfile::avg_upload_per_flow)
                 .collect();
             Ecdf::new(black_box(vals))
@@ -33,7 +34,8 @@ fn bench_figure_kernels(c: &mut Criterion) {
     c.bench_function("fig05_failed_cdf_kernel", |b| {
         b.iter(|| {
             let vals: Vec<f64> = profiles
-                .values()
+                .profiles()
+                .iter()
                 .filter_map(pw_detect::HostProfile::failed_rate)
                 .collect();
             Ecdf::new(black_box(vals))
@@ -44,7 +46,8 @@ fn bench_figure_kernels(c: &mut Criterion) {
     c.bench_function("fig02_churn_kernel", |b| {
         b.iter(|| {
             profiles
-                .values()
+                .profiles()
+                .iter()
                 .filter_map(pw_detect::HostProfile::new_ip_fraction)
                 .sum::<f64>()
         })
@@ -52,7 +55,8 @@ fn bench_figure_kernels(c: &mut Criterion) {
     c.bench_function("fig03_interstitial_histograms", |b| {
         b.iter(|| {
             profiles
-                .values()
+                .profiles()
+                .iter()
                 .filter(|p| !p.interstitials.is_empty())
                 .fold(0usize, |acc, p| {
                     black_box(pw_analysis::Histogram::freedman_diaconis(&p.interstitials).unwrap());
@@ -65,7 +69,7 @@ fn bench_figure_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig09_pipeline_day");
     group.sample_size(10);
     group.bench_function("one_day", |b| {
-        b.iter(|| find_plotters_from_profiles(black_box(profiles), &FindPlottersConfig::default()))
+        b.iter(|| find_plotters_from_table(black_box(profiles), &FindPlottersConfig::default()))
     });
     group.finish();
 }

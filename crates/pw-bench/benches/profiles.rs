@@ -10,8 +10,8 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use pw_bench::bench_day;
 use pw_detect::stream::{DetectionEngine, EngineConfig};
 use pw_detect::{
-    extract_profiles_table, extract_profiles_table_par, find_plotters_from_profiles,
-    find_plotters_from_table, internal_endpoint, FindPlottersConfig, HostProfile,
+    extract_profiles_table, extract_profiles_table_par, find_plotters_from_table,
+    internal_endpoint, FindPlottersConfig, HostProfile,
 };
 use pw_flow::{FlowRecord, FlowTable};
 use pw_netsim::{SimDuration, SimTime};
@@ -115,14 +115,6 @@ fn bench_detection(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("profiles/batch_detect");
     group.sample_size(10);
-    group.bench_function("from_profiles_map", |b| {
-        b.iter(|| {
-            find_plotters_from_profiles(
-                black_box(&fixture.profiles),
-                &FindPlottersConfig::default(),
-            )
-        })
-    });
     group.bench_function("from_profile_table", |b| {
         b.iter(|| {
             find_plotters_from_table(black_box(&profile_table), &FindPlottersConfig::default())

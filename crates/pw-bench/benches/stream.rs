@@ -5,9 +5,10 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use pw_bench::bench_day;
 use pw_detect::stream::{DetectionEngine, EngineConfig};
 use pw_detect::{
-    extract_profiles, extract_profiles_par, find_plotters_from_profiles, try_find_plotters,
-    FindPlottersConfig,
+    extract_profiles_table, extract_profiles_table_par, find_plotters_from_table,
+    try_find_plotters, FindPlottersConfig,
 };
+use pw_flow::FlowTable;
 use pw_netsim::SimDuration;
 
 fn bench_parallel_speedup(c: &mut Criterion) {
@@ -15,16 +16,17 @@ fn bench_parallel_speedup(c: &mut Criterion) {
     let day = &fixture.day;
     let mut flows = fixture.flows.clone();
     flows.sort_by_key(|f| (f.start, f.src, f.dst, f.sport, f.dport));
+    let table = FlowTable::from_records(&flows);
 
     let mut group = c.benchmark_group("stream/extract_profiles");
     group.sample_size(10);
     group.throughput(Throughput::Elements(flows.len() as u64));
     group.bench_function("serial", |b| {
-        b.iter(|| extract_profiles(black_box(&flows), |ip| day.is_internal(ip)))
+        b.iter(|| extract_profiles_table(black_box(&table), |ip| day.is_internal(ip)))
     });
     for threads in [2usize, 4, 8] {
         group.bench_with_input(BenchmarkId::new("sharded", threads), &threads, |b, &t| {
-            b.iter(|| extract_profiles_par(black_box(&flows), |ip| day.is_internal(ip), t))
+            b.iter(|| extract_profiles_table_par(black_box(&table), |ip| day.is_internal(ip), t))
         });
     }
     group.finish();
@@ -57,12 +59,9 @@ fn bench_engine(c: &mut Criterion) {
     // Batch baseline on pre-extracted profiles, for scale.
     let mut group = c.benchmark_group("stream/batch_baseline");
     group.sample_size(10);
-    group.bench_function("find_plotters_from_profiles", |b| {
+    group.bench_function("find_plotters_from_table", |b| {
         b.iter(|| {
-            find_plotters_from_profiles(
-                black_box(&fixture.profiles),
-                &FindPlottersConfig::default(),
-            )
+            find_plotters_from_table(black_box(&fixture.profiles), &FindPlottersConfig::default())
         })
     });
     group.finish();

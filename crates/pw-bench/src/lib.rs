@@ -9,13 +9,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
-use std::net::Ipv4Addr;
-
 use pw_botnet::{generate_nugache_trace, generate_storm_trace, NugacheConfig, StormConfig};
 use pw_data::{build_day, overlay_bots, CampusConfig, DayDataset};
-use pw_detect::{extract_profiles, HostProfile};
-use pw_flow::FlowRecord;
+use pw_detect::{extract_profiles_table, ProfileTable};
+use pw_flow::{FlowRecord, FlowTable};
 use pw_netsim::SimDuration;
 
 /// A bench-sized campus: big enough to exercise real code paths, small
@@ -42,7 +39,7 @@ pub struct BenchDay {
     /// Overlaid flows (campus + bots).
     pub flows: Vec<FlowRecord>,
     /// Extracted per-host profiles.
-    pub profiles: HashMap<Ipv4Addr, HostProfile>,
+    pub profiles: ProfileTable,
 }
 
 /// Builds the shared bench fixture (a few seconds; reused across benches).
@@ -67,7 +64,9 @@ pub fn bench_day() -> BenchDay {
         2,
     );
     let overlaid = overlay_bots(&day, &[&storm, &nugache], 3);
-    let profiles = extract_profiles(&overlaid.flows, |ip| day.is_internal(ip));
+    let profiles = extract_profiles_table(&FlowTable::from_records(&overlaid.flows), |ip| {
+        day.is_internal(ip)
+    });
     BenchDay {
         day,
         flows: overlaid.flows,

@@ -21,6 +21,11 @@
 //! mangles a seeded selection of data rows (field truncation, extra
 //! fields, garbled numbers) to exercise lossy CSV readers.
 //!
+//! [`ConnPlan`] extends the model to *connection-level* faults for
+//! streaming clients: a seeded set of positions at which an exporter's
+//! TCP connection to the detection server is severed mid-stream, forcing
+//! a reconnect-and-resume through the server's sequence handshake.
+//!
 //! # Examples
 //!
 //! ```
@@ -303,6 +308,55 @@ pub fn inject(flows: &[FlowRecord], cfg: &ChaosConfig) -> ChaosOutcome {
     try_inject(flows, cfg).expect("invalid ChaosConfig")
 }
 
+/// Seeded plan of connection-level faults for a streaming exporter
+/// client: after which deliveries to sever the connection and reconnect.
+///
+/// The plan is a set of distinct cut positions in `1..deliveries`
+/// (never before the first delivery, never after the last), chosen by a
+/// [`ChaosRng`] — same seed, same cuts. The client consults
+/// [`cut_after`](ConnPlan::cut_after) while streaming; the server's
+/// sequence-resume handshake turns each cut into a reconnect that must
+/// not lose or double-apply a single flow.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConnPlan {
+    cuts: Vec<usize>,
+}
+
+impl ConnPlan {
+    /// Plans `cuts` disconnects over a stream of `deliveries` flows.
+    /// Requests beyond the number of interior positions are capped.
+    pub fn new(seed: u64, deliveries: usize, cuts: usize) -> Self {
+        let interior = deliveries.saturating_sub(1);
+        let cuts = cuts.min(interior);
+        let mut rng = ChaosRng::new(seed);
+        let mut chosen = Vec::with_capacity(cuts);
+        while chosen.len() < cuts {
+            let p = 1 + rng.below(interior);
+            if !chosen.contains(&p) {
+                chosen.push(p);
+            }
+        }
+        chosen.sort_unstable();
+        ConnPlan { cuts: chosen }
+    }
+
+    /// A plan with no disconnects.
+    pub fn none() -> Self {
+        ConnPlan { cuts: Vec::new() }
+    }
+
+    /// Whether the connection should be severed after delivering the
+    /// flow at position `k` (0-based).
+    pub fn cut_after(&self, k: usize) -> bool {
+        self.cuts.binary_search(&(k + 1)).is_ok()
+    }
+
+    /// The planned cut positions, ascending.
+    pub fn cuts(&self) -> &[usize] {
+        &self.cuts
+    }
+}
+
 /// Mangles a seeded selection of data rows in a serialized flow file
 /// (see [`pw_flow::csvio`]), leaving the header line alone. Returns the
 /// mangled text and how many rows were corrupted. Three corruption shapes
@@ -495,6 +549,27 @@ mod tests {
             ..Default::default()
         };
         assert!(try_inject(&[], &bad).is_err());
+    }
+
+    #[test]
+    fn conn_plan_is_seeded_bounded_and_distinct() {
+        let plan = ConnPlan::new(99, 200, 3);
+        assert_eq!(plan, ConnPlan::new(99, 200, 3), "same seed, same cuts");
+        assert_ne!(plan, ConnPlan::new(100, 200, 3));
+        assert_eq!(plan.cuts().len(), 3);
+        for w in plan.cuts().windows(2) {
+            assert!(w[0] < w[1], "cuts must be distinct and sorted");
+        }
+        for &c in plan.cuts() {
+            assert!((1..200).contains(&c), "cut {c} outside the stream");
+        }
+        let hits = (0..200).filter(|&k| plan.cut_after(k)).count();
+        assert_eq!(hits, 3);
+
+        // Degenerate streams cap the cut count instead of spinning.
+        assert_eq!(ConnPlan::new(1, 1, 5).cuts().len(), 0);
+        assert_eq!(ConnPlan::new(1, 3, 10).cuts().len(), 2);
+        assert!(ConnPlan::none().cuts().is_empty());
     }
 
     #[test]

@@ -36,6 +36,14 @@
 //! decimal round-trip can perturb a threshold and flip a verdict. Flow
 //! rows reuse [`pw_flow::csvio`]'s line codec.
 //!
+//! The `deltas` line is load-bearing: late/dropped/quarantined events are
+//! attributed to the *next window to close* after the event, so a
+//! checkpoint cut mid-window holds nonzero pending deltas. They ride
+//! along in the snapshot and are re-armed by restore; losing them would
+//! under-report the next window, re-counting them would double-report.
+//! `tests/checkpoint_roundtrip.rs` sweeps a cut at every flow position
+//! under every [`LatePolicy`] to pin this.
+//!
 //! [`write_checkpoint`] persists atomically (write to a temporary sibling,
 //! then rename), so a crash mid-write leaves the previous checkpoint
 //! intact; [`read_checkpoint`] refuses unknown versions and reports the

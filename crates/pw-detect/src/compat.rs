@@ -1,0 +1,317 @@
+//! Deprecated map-shaped wrappers kept for downstream source
+//! compatibility.
+//!
+//! Early revisions of this crate passed host populations around as
+//! `HashMap<Ipv4Addr, HostProfile>` and stage sets as `HashSet<Ipv4Addr>`.
+//! The supported surface is now dense and id-indexed —
+//! [`crate::ProfileTable`] for extraction output,
+//! [`ProfileView`]/[`HostMask`] for stage-level work, and the `*_table` /
+//! streaming entry points for whole runs — which avoids re-sorting and
+//! re-hashing a population at every stage boundary.
+//!
+//! Everything here delegates to those canonical paths, so results are
+//! bit-identical; only the container shapes differ. The wrappers carry
+//! `#[deprecated]` and will be removed in a future major revision (see
+//! DESIGN.md "Deprecation policy"). Migrate as follows:
+//!
+//! | deprecated | canonical |
+//! |---|---|
+//! | [`extract_profiles`] | [`crate::extract_profiles_table`] (+ [`crate::ProfileTable::to_map`] if a map is truly needed) |
+//! | [`extract_profiles_par`] | [`crate::extract_profiles_table_par`] |
+//! | [`initial_reduction`] | [`crate::reduction::initial_reduction_view`] |
+//! | [`theta_vol`] / [`theta_vol_par`] | [`crate::detectors::theta_vol_view`] |
+//! | [`theta_churn`] / [`theta_churn_par`] | [`crate::detectors::theta_churn_view`] |
+//! | [`theta_hm`] / [`theta_hm_with_options`] | [`crate::detectors::theta_hm_view`] |
+//! | [`find_plotters_from_profiles`] | [`crate::pipeline::find_plotters_from_table`] |
+//! | [`try_find_plotters_from_profiles`] | [`crate::pipeline::try_find_plotters_from_table`] |
+
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+use pw_flow::{FlowRecord, FlowTable};
+
+use crate::detectors::{
+    theta_churn_view, theta_hm_view, theta_vol_view, HmOptions, HmOutcome, Threshold,
+};
+use crate::error::{ConfigError, Error};
+use crate::features::{
+    extract_profiles_table, extract_profiles_table_par, HostMask, HostProfile, ProfileView,
+};
+use crate::pipeline::{run_stages, FindPlottersConfig, PlotterReport};
+use crate::reduction::initial_reduction_view;
+
+/// Builds per-host profiles for every internal host appearing in `flows`,
+/// in the legacy map shape.
+///
+/// `is_internal` decides which addresses belong to the monitored network;
+/// flows between two internal hosts (or two external ones) are ignored —
+/// an edge monitor never sees them.
+#[deprecated(note = "use `extract_profiles_table` and the `ProfileTable` it returns")]
+pub fn extract_profiles<F>(flows: &[FlowRecord], is_internal: F) -> HashMap<Ipv4Addr, HostProfile>
+where
+    F: Fn(Ipv4Addr) -> bool,
+{
+    extract_profiles_table(&FlowTable::from_records(flows), is_internal).to_map()
+}
+
+/// [`extract_profiles`] sharded over hosts with `std::thread::scope`;
+/// identical output for any thread count.
+#[deprecated(note = "use `extract_profiles_table_par` and the `ProfileTable` it returns")]
+pub fn extract_profiles_par<F>(
+    flows: &[FlowRecord],
+    is_internal: F,
+    threads: usize,
+) -> HashMap<Ipv4Addr, HostProfile>
+where
+    F: Fn(Ipv4Addr) -> bool + Sync,
+{
+    extract_profiles_table_par(&FlowTable::from_records(flows), is_internal, threads).to_map()
+}
+
+/// Applies the §V-A data-reduction step and returns the surviving
+/// "possibly P2P" hosts plus the (dynamically computed) failed-rate
+/// threshold.
+#[deprecated(note = "use `initial_reduction_view` over a `ProfileView`")]
+pub fn initial_reduction(profiles: &HashMap<Ipv4Addr, HostProfile>) -> (HashSet<Ipv4Addr>, f64) {
+    let view = ProfileView::from_map(profiles);
+    let (survivors, threshold) = initial_reduction_view(&view);
+    (survivors.to_ips(&view), threshold)
+}
+
+/// [`theta_vol`] with explicit thread count and strict threshold
+/// resolution: `None` means the percentile threshold met a population with
+/// no measurable hosts (distinct from "nothing passed").
+#[deprecated(note = "use `theta_vol_view` over a `ProfileView` and `HostMask`")]
+pub fn theta_vol_par(
+    profiles: &HashMap<Ipv4Addr, HostProfile>,
+    s: &HashSet<Ipv4Addr>,
+    tau: Threshold,
+    threads: usize,
+) -> Option<(HashSet<Ipv4Addr>, f64)> {
+    let view = ProfileView::from_map(profiles);
+    let mask = HostMask::from_ips(&view, s);
+    theta_vol_view(&view, &mask, tau, threads).map(|(kept, t)| (kept.to_ips(&view), t))
+}
+
+/// [`theta_churn`] with explicit thread count and strict threshold
+/// resolution (see [`theta_vol_par`]).
+#[deprecated(note = "use `theta_churn_view` over a `ProfileView` and `HostMask`")]
+pub fn theta_churn_par(
+    profiles: &HashMap<Ipv4Addr, HostProfile>,
+    s: &HashSet<Ipv4Addr>,
+    tau: Threshold,
+    threads: usize,
+) -> Option<(HashSet<Ipv4Addr>, f64)> {
+    let view = ProfileView::from_map(profiles);
+    let mask = HostMask::from_ips(&view, s);
+    theta_churn_view(&view, &mask, tau, threads).map(|(kept, t)| (kept.to_ips(&view), t))
+}
+
+/// `θ_vol` (§IV-A) in the legacy map shape: returns the hosts of `s` whose
+/// average bytes uploaded per flow is *below* the threshold, plus the
+/// resolved threshold value. An unresolvable percentile threshold yields
+/// `(∅, 0.0)`.
+#[deprecated(note = "use `theta_vol_view` over a `ProfileView` and `HostMask`")]
+pub fn theta_vol(
+    profiles: &HashMap<Ipv4Addr, HostProfile>,
+    s: &HashSet<Ipv4Addr>,
+    tau: Threshold,
+) -> (HashSet<Ipv4Addr>, f64) {
+    #[allow(deprecated)]
+    theta_vol_par(profiles, s, tau, 1).unwrap_or((HashSet::new(), 0.0))
+}
+
+/// `θ_churn` (§IV-B) in the legacy map shape (see [`theta_vol`]).
+#[deprecated(note = "use `theta_churn_view` over a `ProfileView` and `HostMask`")]
+pub fn theta_churn(
+    profiles: &HashMap<Ipv4Addr, HostProfile>,
+    s: &HashSet<Ipv4Addr>,
+    tau: Threshold,
+) -> (HashSet<Ipv4Addr>, f64) {
+    #[allow(deprecated)]
+    theta_churn_par(profiles, s, tau, 1).unwrap_or((HashSet::new(), 0.0))
+}
+
+/// `θ_hm` (§IV-C) in the legacy map shape.
+#[deprecated(note = "use `theta_hm_view` over a `ProfileView` and `HostMask`")]
+pub fn theta_hm(
+    profiles: &HashMap<Ipv4Addr, HostProfile>,
+    s: &HashSet<Ipv4Addr>,
+    tau: Threshold,
+    cut_fraction: f64,
+) -> HmOutcome {
+    #[allow(deprecated)]
+    theta_hm_with_options(profiles, s, tau, cut_fraction, &HmOptions::default())
+}
+
+/// [`theta_hm`] with explicit design-variant options (the ablation entry
+/// point) in the legacy map shape.
+#[deprecated(note = "use `theta_hm_view` over a `ProfileView` and `HostMask`")]
+pub fn theta_hm_with_options(
+    profiles: &HashMap<Ipv4Addr, HostProfile>,
+    s: &HashSet<Ipv4Addr>,
+    tau: Threshold,
+    cut_fraction: f64,
+    options: &HmOptions,
+) -> HmOutcome {
+    let view = ProfileView::from_map(profiles);
+    let mask = HostMask::from_ips(&view, s);
+    theta_hm_view(&view, &mask, tau, cut_fraction, options)
+}
+
+/// Runs `FindPlotters` over pre-extracted host profiles in the legacy map
+/// shape.
+#[deprecated(note = "use `find_plotters_from_table` over a `ProfileTable`")]
+pub fn find_plotters_from_profiles(
+    profiles: &HashMap<Ipv4Addr, HostProfile>,
+    cfg: &FindPlottersConfig,
+) -> PlotterReport {
+    run_stages(&ProfileView::from_map(profiles), cfg, 1, false)
+        .expect("lenient pipeline is infallible")
+}
+
+/// [`find_plotters_from_profiles`] with validated configuration, typed
+/// failures, and host-sharded parallelism.
+#[deprecated(note = "use `try_find_plotters_from_table` over a `ProfileTable`")]
+pub fn try_find_plotters_from_profiles(
+    profiles: &HashMap<Ipv4Addr, HostProfile>,
+    cfg: &FindPlottersConfig,
+    threads: usize,
+) -> Result<PlotterReport, Error> {
+    if threads == 0 {
+        return Err(ConfigError::ZeroThreads.into());
+    }
+    cfg.validate()?;
+    run_stages(&ProfileView::from_map(profiles), cfg, threads, true)
+}
+
+// The parity tests deliberately exercise the deprecated surface: each
+// wrapper must keep producing exactly what its canonical path produces.
+#[allow(deprecated)]
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::find_plotters_from_table;
+    use pw_flow::{FlowState, Payload, Proto};
+    use pw_netsim::{SimDuration, SimTime};
+
+    fn internal(ip: Ipv4Addr) -> bool {
+        ip.octets()[0] == 10
+    }
+
+    fn flow(src: Ipv4Addr, dst: Ipv4Addr, start_s: u64, up: u64, failed: bool) -> FlowRecord {
+        let start = SimTime::from_secs(start_s);
+        FlowRecord {
+            start,
+            end: start + SimDuration::from_secs(1),
+            src,
+            sport: 999,
+            dst,
+            dport: 80,
+            proto: Proto::Tcp,
+            src_pkts: 1,
+            src_bytes: up,
+            dst_pkts: 1,
+            dst_bytes: 100,
+            state: if failed {
+                FlowState::SynNoAnswer
+            } else {
+                FlowState::Established
+            },
+            payload: Payload::empty(),
+        }
+    }
+
+    fn small_world() -> Vec<FlowRecord> {
+        let mut flows = Vec::new();
+        for h in 0..6u8 {
+            let host = Ipv4Addr::new(10, 0, 0, 1 + h);
+            for k in 0..40u64 {
+                let dst = Ipv4Addr::new(60, h, (k % 7) as u8, 1);
+                let failed = (k + h as u64).is_multiple_of(3);
+                flows.push(flow(
+                    host,
+                    dst,
+                    k * 120 + h as u64,
+                    50 + 40 * h as u64,
+                    failed,
+                ));
+            }
+        }
+        flows
+    }
+
+    #[test]
+    fn wrappers_match_canonical_paths() {
+        let flows = small_world();
+        let table = FlowTable::from_records(&flows);
+
+        let map = extract_profiles(&flows, internal);
+        let canonical = extract_profiles_table(&table, internal);
+        assert_eq!(map, canonical.clone().to_map());
+        assert_eq!(extract_profiles_par(&flows, internal, 3), map);
+
+        let view = ProfileView::from_table(&canonical);
+        let (reduced_set, thr) = initial_reduction(&map);
+        let (reduced_mask, thr_view) = initial_reduction_view(&view);
+        assert_eq!(thr.to_bits(), thr_view.to_bits());
+        assert_eq!(reduced_set, reduced_mask.to_ips(&view));
+
+        let tau = Threshold::Percentile(50.0);
+        let (vol_set, vol_t) = theta_vol(&map, &reduced_set, tau);
+        let (vol_mask, vol_tv) = theta_vol_view(&view, &reduced_mask, tau, 1).unwrap();
+        assert_eq!(vol_set, vol_mask.to_ips(&view));
+        assert_eq!(vol_t.to_bits(), vol_tv.to_bits());
+        assert_eq!(
+            theta_vol_par(&map, &reduced_set, tau, 2).unwrap().0,
+            vol_set
+        );
+
+        let (churn_set, _) = theta_churn(&map, &reduced_set, tau);
+        let (churn_mask, _) = theta_churn_view(&view, &reduced_mask, tau, 1).unwrap();
+        assert_eq!(churn_set, churn_mask.to_ips(&view));
+        assert_eq!(
+            theta_churn_par(&map, &reduced_set, tau, 2).unwrap().0,
+            churn_set
+        );
+
+        let hm = theta_hm(&map, &reduced_set, Threshold::Percentile(70.0), 0.05);
+        let hm_view = theta_hm_view(
+            &view,
+            &reduced_mask,
+            Threshold::Percentile(70.0),
+            0.05,
+            &HmOptions::default(),
+        );
+        assert_eq!(hm, hm_view);
+        assert_eq!(
+            theta_hm_with_options(
+                &map,
+                &reduced_set,
+                Threshold::Percentile(70.0),
+                0.05,
+                &HmOptions::default()
+            ),
+            hm
+        );
+
+        let cfg = FindPlottersConfig::default();
+        let legacy = find_plotters_from_profiles(&map, &cfg);
+        let table_report = find_plotters_from_table(&canonical, &cfg);
+        assert_eq!(legacy, table_report);
+        let strict = try_find_plotters_from_profiles(&map, &cfg, 2).unwrap();
+        assert_eq!(strict.suspects, table_report.suspects);
+    }
+
+    #[test]
+    fn strict_wrapper_validates() {
+        assert_eq!(
+            try_find_plotters_from_profiles(&HashMap::new(), &FindPlottersConfig::default(), 0),
+            Err(Error::Config(ConfigError::ZeroThreads))
+        );
+        assert_eq!(
+            try_find_plotters_from_profiles(&HashMap::new(), &FindPlottersConfig::default(), 1),
+            Err(Error::EmptyWindow)
+        );
+    }
+}

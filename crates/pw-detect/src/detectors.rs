@@ -1,6 +1,6 @@
 //! The three tests: `θ_vol`, `θ_churn`, and `θ_hm`.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::net::Ipv4Addr;
 
 use pw_analysis::{average_linkage, emd_cdf, percentile, CdfRepr, DistanceMatrix, Histogram};
@@ -92,8 +92,14 @@ fn threshold_filter(
     Some((kept, t))
 }
 
-/// `θ_vol` over a dense view — the core every entry point funnels into.
-pub(crate) fn theta_vol_view(
+/// `θ_vol` (§IV-A) over a dense view — the core every entry point funnels
+/// into. Keeps the hosts of `s` whose average bytes uploaded per flow is
+/// *below* the resolved threshold; hosts with no flows are excluded.
+///
+/// `None` means a percentile threshold met a population with no measurable
+/// hosts (distinct from "nothing passed"). Any `threads` value produces
+/// identical output.
+pub fn theta_vol_view(
     view: &ProfileView<'_>,
     s: &HostMask,
     tau: Threshold,
@@ -106,8 +112,11 @@ pub(crate) fn theta_vol_view(
     )
 }
 
-/// `θ_churn` over a dense view (see [`theta_vol_view`]).
-pub(crate) fn theta_churn_view(
+/// `θ_churn` (§IV-B) over a dense view (see [`theta_vol_view`]). Keeps the
+/// hosts of `s` whose fraction of new IPs contacted (first seen after the
+/// host's first hour of activity) is *below* the resolved threshold; hosts
+/// that contacted no destinations are excluded.
+pub fn theta_churn_view(
     view: &ProfileView<'_>,
     s: &HostMask,
     tau: Threshold,
@@ -118,61 +127,6 @@ pub(crate) fn theta_churn_view(
         metric_population(view, s, HostProfile::new_ip_fraction, threads),
         tau,
     )
-}
-
-/// [`theta_vol`] with explicit thread count and strict threshold
-/// resolution: `None` means the percentile threshold met a population with
-/// no measurable hosts (distinct from "nothing passed").
-pub fn theta_vol_par(
-    profiles: &HashMap<Ipv4Addr, HostProfile>,
-    s: &HashSet<Ipv4Addr>,
-    tau: Threshold,
-    threads: usize,
-) -> Option<(HashSet<Ipv4Addr>, f64)> {
-    let view = ProfileView::from_map(profiles);
-    let mask = HostMask::from_ips(&view, s);
-    theta_vol_view(&view, &mask, tau, threads).map(|(kept, t)| (kept.to_ips(&view), t))
-}
-
-/// [`theta_churn`] with explicit thread count and strict threshold
-/// resolution (see [`theta_vol_par`]).
-pub fn theta_churn_par(
-    profiles: &HashMap<Ipv4Addr, HostProfile>,
-    s: &HashSet<Ipv4Addr>,
-    tau: Threshold,
-    threads: usize,
-) -> Option<(HashSet<Ipv4Addr>, f64)> {
-    let view = ProfileView::from_map(profiles);
-    let mask = HostMask::from_ips(&view, s);
-    theta_churn_view(&view, &mask, tau, threads).map(|(kept, t)| (kept.to_ips(&view), t))
-}
-
-/// `θ_vol` (§IV-A): returns the hosts of `s` whose average bytes uploaded
-/// per flow is *below* the threshold, plus the resolved threshold value.
-///
-/// Hosts with no flows are excluded. An unresolvable percentile threshold
-/// yields `(∅, 0.0)`; use [`theta_vol_par`] to distinguish that case.
-pub fn theta_vol(
-    profiles: &HashMap<Ipv4Addr, HostProfile>,
-    s: &HashSet<Ipv4Addr>,
-    tau: Threshold,
-) -> (HashSet<Ipv4Addr>, f64) {
-    theta_vol_par(profiles, s, tau, 1).unwrap_or((HashSet::new(), 0.0))
-}
-
-/// `θ_churn` (§IV-B): returns the hosts of `s` whose fraction of new IPs
-/// contacted (first seen after the host's first hour of activity) is
-/// *below* the threshold, plus the resolved threshold.
-///
-/// Hosts that contacted no destinations are excluded. An unresolvable
-/// percentile threshold yields `(∅, 0.0)`; use [`theta_churn_par`] to
-/// distinguish that case.
-pub fn theta_churn(
-    profiles: &HashMap<Ipv4Addr, HostProfile>,
-    s: &HashSet<Ipv4Addr>,
-    tau: Threshold,
-) -> (HashSet<Ipv4Addr>, f64) {
-    theta_churn_par(profiles, s, tau, 1).unwrap_or((HashSet::new(), 0.0))
 }
 
 /// Result of the `θ_hm` test, with enough detail to reproduce the paper's
@@ -187,25 +141,6 @@ pub struct HmOutcome {
     pub tau: f64,
     /// Hosts excluded for having no interstitial samples.
     pub no_samples: usize,
-}
-
-/// `θ_hm` (§IV-C): clusters hosts by the Earth Mover's Distance between
-/// their Freedman–Diaconis interstitial-time histograms (agglomerative
-/// average linkage, cutting the top `cut_fraction` heaviest dendrogram
-/// links), then returns the union of clusters whose diameter does not
-/// exceed `tau` (a percentile of the multi-host cluster diameters).
-///
-/// Two decisions the paper leaves implicit, documented in DESIGN.md:
-/// singleton clusters are filtered out (a lone host demonstrates no
-/// cross-host timing similarity), and hosts with *no* interstitial samples
-/// (never contacted the same destination twice) are excluded.
-pub fn theta_hm(
-    profiles: &HashMap<Ipv4Addr, HostProfile>,
-    s: &HashSet<Ipv4Addr>,
-    tau: Threshold,
-    cut_fraction: f64,
-) -> HmOutcome {
-    theta_hm_with_options(profiles, s, tau, cut_fraction, &HmOptions::default())
 }
 
 /// Minimum cluster size `θ_hm` treats as evidence of machine-driven
@@ -270,24 +205,20 @@ fn l1_distance(a: &Histogram, b: &Histogram, lo: f64, hi: f64) -> f64 {
     ga.iter().zip(&gb).map(|(x, y)| (x - y).abs()).sum()
 }
 
-/// [`theta_hm`] with explicit design-variant options (ablation entry point).
-pub fn theta_hm_with_options(
-    profiles: &HashMap<Ipv4Addr, HostProfile>,
-    s: &HashSet<Ipv4Addr>,
-    tau: Threshold,
-    cut_fraction: f64,
-    options: &HmOptions,
-) -> HmOutcome {
-    let view = ProfileView::from_map(profiles);
-    let mask = HostMask::from_ips(&view, s);
-    theta_hm_view(&view, &mask, tau, cut_fraction, options)
-}
-
-/// `θ_hm` over a dense view — the core every entry point funnels into.
+/// `θ_hm` (§IV-C) over a dense view — the core every entry point funnels
+/// into: clusters hosts by the Earth Mover's Distance between their
+/// Freedman–Diaconis interstitial-time histograms (agglomerative average
+/// linkage, cutting the top `cut_fraction` heaviest dendrogram links), then
+/// returns the union of clusters whose diameter does not exceed `tau` (a
+/// percentile of the multi-host cluster diameters).
 ///
-/// Mask ids ascend with IP, so candidates are visited in the same sorted
-/// order the map-shaped wrapper always used.
-pub(crate) fn theta_hm_view(
+/// Two decisions the paper leaves implicit, documented in DESIGN.md:
+/// singleton clusters are filtered out (a lone host demonstrates no
+/// cross-host timing similarity), and hosts with *no* interstitial samples
+/// (never contacted the same destination twice) are excluded. [`HmOptions`]
+/// carries the ablation knobs; mask ids ascend with IP, so candidates are
+/// visited in sorted-address order.
+pub fn theta_hm_view(
     view: &ProfileView<'_>,
     s: &HostMask,
     tau: Threshold,
@@ -417,7 +348,68 @@ pub(crate) fn theta_hm_view(
 mod tests {
     use super::*;
     use pw_netsim::SimTime;
-    use std::collections::BTreeMap;
+    use std::collections::{BTreeMap, HashMap};
+
+    // Map-shaped adapters over the canonical view API, mirroring the
+    // deprecated `compat` wrappers so assertions stay set-based.
+    fn theta_vol_par(
+        profiles: &HashMap<Ipv4Addr, HostProfile>,
+        s: &HashSet<Ipv4Addr>,
+        tau: Threshold,
+        threads: usize,
+    ) -> Option<(HashSet<Ipv4Addr>, f64)> {
+        let view = ProfileView::from_map(profiles);
+        let mask = HostMask::from_ips(&view, s);
+        theta_vol_view(&view, &mask, tau, threads).map(|(kept, t)| (kept.to_ips(&view), t))
+    }
+
+    fn theta_churn_par(
+        profiles: &HashMap<Ipv4Addr, HostProfile>,
+        s: &HashSet<Ipv4Addr>,
+        tau: Threshold,
+        threads: usize,
+    ) -> Option<(HashSet<Ipv4Addr>, f64)> {
+        let view = ProfileView::from_map(profiles);
+        let mask = HostMask::from_ips(&view, s);
+        theta_churn_view(&view, &mask, tau, threads).map(|(kept, t)| (kept.to_ips(&view), t))
+    }
+
+    fn theta_vol(
+        profiles: &HashMap<Ipv4Addr, HostProfile>,
+        s: &HashSet<Ipv4Addr>,
+        tau: Threshold,
+    ) -> (HashSet<Ipv4Addr>, f64) {
+        theta_vol_par(profiles, s, tau, 1).unwrap_or((HashSet::new(), 0.0))
+    }
+
+    fn theta_churn(
+        profiles: &HashMap<Ipv4Addr, HostProfile>,
+        s: &HashSet<Ipv4Addr>,
+        tau: Threshold,
+    ) -> (HashSet<Ipv4Addr>, f64) {
+        theta_churn_par(profiles, s, tau, 1).unwrap_or((HashSet::new(), 0.0))
+    }
+
+    fn theta_hm_with_options(
+        profiles: &HashMap<Ipv4Addr, HostProfile>,
+        s: &HashSet<Ipv4Addr>,
+        tau: Threshold,
+        cut_fraction: f64,
+        options: &HmOptions,
+    ) -> HmOutcome {
+        let view = ProfileView::from_map(profiles);
+        let mask = HostMask::from_ips(&view, s);
+        theta_hm_view(&view, &mask, tau, cut_fraction, options)
+    }
+
+    fn theta_hm(
+        profiles: &HashMap<Ipv4Addr, HostProfile>,
+        s: &HashSet<Ipv4Addr>,
+        tau: Threshold,
+        cut_fraction: f64,
+    ) -> HmOutcome {
+        theta_hm_with_options(profiles, s, tau, cut_fraction, &HmOptions::default())
+    }
 
     fn ip(last: u8) -> Ipv4Addr {
         Ipv4Addr::new(10, 1, 0, last)

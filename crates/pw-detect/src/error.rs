@@ -40,6 +40,10 @@ pub enum ConfigError {
     ZeroCapacity,
     /// A zero stall timeout would force-close windows on every tick.
     ZeroStallTimeout,
+    /// A checkpoint interval of zero flows would checkpoint on every push.
+    ZeroCheckpointInterval,
+    /// An ingest queue of depth zero could never hand a flow to the engine.
+    ZeroQueueDepth,
 }
 
 impl fmt::Display for ConfigError {
@@ -62,6 +66,10 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroCapacity => f.write_str("max_flows capacity must be at least 1 flow"),
             ConfigError::ZeroStallTimeout => f.write_str("stall timeout must be positive"),
+            ConfigError::ZeroCheckpointInterval => {
+                f.write_str("checkpoint interval must be at least 1 flow")
+            }
+            ConfigError::ZeroQueueDepth => f.write_str("ingest queue depth must be at least 1"),
         }
     }
 }

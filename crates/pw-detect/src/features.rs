@@ -250,24 +250,28 @@ impl ProfileTable {
 /// Borrowed, id-indexed view of a profile population — the working set of
 /// every pipeline stage. Host ids ascend with IP whichever source built the
 /// view, so stages iterate deterministically without re-sorting.
+///
+/// This is the canonical stage-level input: build one view per population
+/// and hand it to [`crate::reduction::initial_reduction_view`] and the
+/// `theta_*_view` detectors, sharing the interning across stages.
 #[derive(Debug)]
-pub(crate) struct ProfileView<'a> {
+pub struct ProfileView<'a> {
     hosts: Cow<'a, HostInterner>,
     profiles: Vec<&'a HostProfile>,
 }
 
 impl<'a> ProfileView<'a> {
     /// Borrows a [`ProfileTable`] (no re-interning).
-    pub(crate) fn from_table(table: &'a ProfileTable) -> Self {
+    pub fn from_table(table: &'a ProfileTable) -> Self {
         Self {
             hosts: Cow::Borrowed(table.hosts()),
             profiles: table.profiles().iter().collect(),
         }
     }
 
-    /// Builds a view over a legacy profile map, interning keys in
+    /// Builds a view over a map of profiles, interning keys in
     /// ascending-IP order.
-    pub(crate) fn from_map(map: &'a HashMap<Ipv4Addr, HostProfile>) -> Self {
+    pub fn from_map(map: &'a HashMap<Ipv4Addr, HostProfile>) -> Self {
         let mut pairs: Vec<(&Ipv4Addr, &HostProfile)> = map.iter().collect();
         pairs.sort_by_key(|&(ip, _)| *ip);
         let hosts: HostInterner = pairs.iter().map(|&(ip, _)| *ip).collect();
@@ -277,27 +281,37 @@ impl<'a> ProfileView<'a> {
         }
     }
 
-    pub(crate) fn len(&self) -> usize {
+    /// Number of hosts in the view.
+    pub fn len(&self) -> usize {
         self.profiles.len()
     }
 
-    pub(crate) fn is_empty(&self) -> bool {
+    /// Whether the view has no hosts.
+    pub fn is_empty(&self) -> bool {
         self.profiles.is_empty()
     }
 
-    pub(crate) fn profile(&self, id: HostId) -> &'a HostProfile {
+    /// The profile of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not within this view's id space.
+    pub fn profile(&self, id: HostId) -> &'a HostProfile {
         self.profiles[id.index()]
     }
 
-    pub(crate) fn ip(&self, id: HostId) -> Ipv4Addr {
+    /// The address of `id`.
+    pub fn ip(&self, id: HostId) -> Ipv4Addr {
         self.hosts.resolve(id)
     }
 
-    pub(crate) fn id_of(&self, ip: Ipv4Addr) -> Option<HostId> {
+    /// The id of `ip`, if that host is in the view.
+    pub fn id_of(&self, ip: Ipv4Addr) -> Option<HostId> {
         self.hosts.get(ip)
     }
 
-    pub(crate) fn ids(&self) -> impl Iterator<Item = HostId> + 'a {
+    /// All ids in ascending order (= ascending IP).
+    pub fn ids(&self) -> impl Iterator<Item = HostId> + 'a {
         (0..self.profiles.len()).map(HostId::from_index)
     }
 }
@@ -305,35 +319,43 @@ impl<'a> ProfileView<'a> {
 /// Dense host set over a [`ProfileView`]'s id space — the stage sets
 /// (`after_reduction`, `S_vol`, …) without per-membership-test hashing.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) struct HostMask {
+pub struct HostMask {
     bits: Vec<bool>,
     count: usize,
 }
 
 impl HostMask {
-    pub(crate) fn empty(len: usize) -> Self {
+    /// The empty set over an id space of `len` hosts.
+    pub fn empty(len: usize) -> Self {
         Self {
             bits: vec![false; len],
             count: 0,
         }
     }
 
-    pub(crate) fn full(len: usize) -> Self {
+    /// The full set over an id space of `len` hosts.
+    pub fn full(len: usize) -> Self {
         Self {
             bits: vec![true; len],
             count: len,
         }
     }
 
-    pub(crate) fn insert(&mut self, id: HostId) {
+    /// Adds `id` to the set (idempotent).
+    pub fn insert(&mut self, id: HostId) {
         if !self.bits[id.index()] {
             self.bits[id.index()] = true;
             self.count += 1;
         }
     }
 
+    /// Number of member hosts.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
     /// Member ids in ascending order (= ascending IP over a view).
-    pub(crate) fn ids(&self) -> impl Iterator<Item = HostId> + '_ {
+    pub fn ids(&self) -> impl Iterator<Item = HostId> + '_ {
         self.bits
             .iter()
             .enumerate()
@@ -341,7 +363,8 @@ impl HostMask {
             .map(|(i, _)| HostId::from_index(i))
     }
 
-    pub(crate) fn union(&self, other: &HostMask) -> HostMask {
+    /// The union of two masks over the same id space.
+    pub fn union(&self, other: &HostMask) -> HostMask {
         debug_assert_eq!(self.bits.len(), other.bits.len());
         let mut out = HostMask::empty(self.bits.len());
         for (i, (&a, &b)) in self.bits.iter().zip(&other.bits).enumerate() {
@@ -353,7 +376,7 @@ impl HostMask {
     }
 
     /// The members of `ips` that exist in the view's id space.
-    pub(crate) fn from_ips(view: &ProfileView<'_>, ips: &HashSet<Ipv4Addr>) -> Self {
+    pub fn from_ips(view: &ProfileView<'_>, ips: &HashSet<Ipv4Addr>) -> Self {
         let mut mask = HostMask::empty(view.len());
         for &ip in ips {
             if let Some(id) = view.id_of(ip) {
@@ -363,7 +386,8 @@ impl HostMask {
         mask
     }
 
-    pub(crate) fn to_ips(&self, view: &ProfileView<'_>) -> HashSet<Ipv4Addr> {
+    /// Resolves the members to addresses through the view.
+    pub fn to_ips(&self, view: &ProfileView<'_>) -> HashSet<Ipv4Addr> {
         self.ids().map(|id| view.ip(id)).collect()
     }
 }
@@ -596,23 +620,10 @@ impl<'t> TableProfiler<'t> {
     }
 }
 
-/// Builds per-host profiles for every internal host appearing in `flows`.
-///
-/// `is_internal` decides which addresses belong to the monitored network;
-/// border flows between two internal hosts would not be seen by an edge
-/// monitor, so both-internal flows are ignored (they cannot occur in
-/// datasets produced by `pw-data`, which filters at the border).
-pub fn extract_profiles<F>(flows: &[FlowRecord], is_internal: F) -> HashMap<Ipv4Addr, HostProfile>
-where
-    F: Fn(Ipv4Addr) -> bool,
-{
-    extract_profiles_table(&FlowTable::from_records(flows), is_internal).to_map()
-}
-
 /// Profile extraction over an existing [`FlowTable`] — the core batch path.
 ///
 /// Rows are visited in the table's canonical time order, so the result is
-/// identical to [`extract_profiles`] over the same records.
+/// independent of the original record order.
 pub fn extract_profiles_table<F>(table: &FlowTable, is_internal: F) -> ProfileTable
 where
     F: Fn(Ipv4Addr) -> bool,
@@ -635,28 +646,15 @@ pub(crate) fn host_shard(host: Ipv4Addr, shards: usize) -> usize {
     ((h >> 32) as usize) % shards
 }
 
-/// [`extract_profiles`] sharded over hosts with `std::thread::scope`.
+/// [`extract_profiles_table`] sharded over hosts with `std::thread::scope`.
 ///
 /// Each worker scans the table and accumulates only the hosts assigned to
 /// its shard, so shards touch disjoint state and need no synchronization.
 /// Per-host flow order is preserved, which makes the result identical to
-/// [`extract_profiles`] for any thread count.
+/// [`extract_profiles_table`] for any thread count. The shard assignment is
+/// computed once per distinct host, not re-derived per flow per shard.
 ///
 /// `threads == 0` is clamped to 1; `threads == 1` takes the serial path.
-pub fn extract_profiles_par<F>(
-    flows: &[FlowRecord],
-    is_internal: F,
-    threads: usize,
-) -> HashMap<Ipv4Addr, HostProfile>
-where
-    F: Fn(Ipv4Addr) -> bool + Sync,
-{
-    extract_profiles_table_par(&FlowTable::from_records(flows), is_internal, threads).to_map()
-}
-
-/// [`extract_profiles_table`] sharded over hosts with `std::thread::scope`
-/// (see [`extract_profiles_par`]). The shard assignment is computed once
-/// per distinct host, not re-derived per flow per shard.
 pub fn extract_profiles_table_par<F>(
     table: &FlowTable,
     is_internal: F,
@@ -706,6 +704,15 @@ where
 mod tests {
     use super::*;
     use pw_flow::{FlowState, Payload, Proto};
+
+    /// Map-shaped extraction through the canonical table path, for
+    /// assertion convenience.
+    fn extract_profiles<F: Fn(Ipv4Addr) -> bool>(
+        flows: &[FlowRecord],
+        is_internal: F,
+    ) -> HashMap<Ipv4Addr, HostProfile> {
+        extract_profiles_table(&FlowTable::from_records(flows), is_internal).to_map()
+    }
 
     const H: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 1);
     const H2: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 2);

@@ -27,6 +27,13 @@
 //! which is the basis of the paper's evasion argument (§VI): an attacker
 //! cannot know the value it must beat.
 //!
+//! The supported API is table-based and streaming: [`ProfileTable`] for
+//! extraction output, [`ProfileView`]/[`HostMask`] plus the `*_view` stage
+//! functions for stage-level work, the `*_table` entry points for whole
+//! runs, and [`stream::DetectionEngine`] for live feeds. [`prelude`]
+//! re-exports what callers typically need; the legacy map-shaped wrappers
+//! live in [`compat`] behind `#[deprecated]`.
+//!
 //! # Examples
 //!
 //! ```
@@ -44,12 +51,14 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod compat;
 pub mod detectors;
 pub mod error;
 pub mod features;
 pub mod multiday;
 pub mod perport;
 pub mod pipeline;
+pub mod prelude;
 pub mod rates;
 pub mod reduction;
 pub mod stream;
@@ -57,24 +66,25 @@ pub mod tdg;
 
 pub use checkpoint::{read_checkpoint, write_checkpoint, CheckpointError, EngineCheckpoint};
 pub use detectors::{
-    theta_churn, theta_churn_par, theta_hm, theta_hm_with_options, theta_vol, theta_vol_par,
-    HistogramDistance, HmOptions, HmOutcome, Threshold, MIN_CLUSTER_SIZE,
+    theta_churn_view, theta_hm_view, theta_vol_view, HistogramDistance, HmOptions, HmOutcome,
+    Threshold, MIN_CLUSTER_SIZE,
 };
 pub use error::{ConfigError, Error};
 pub use features::{
-    extract_profiles, extract_profiles_par, extract_profiles_table, extract_profiles_table_par,
-    internal_endpoint, HostProfile, ProfileAccumulator, ProfileBuilder, ProfileTable,
+    extract_profiles_table, extract_profiles_table_par, internal_endpoint, HostMask, HostProfile,
+    ProfileAccumulator, ProfileBuilder, ProfileTable, ProfileView,
 };
 pub use multiday::MultiDayReport;
 pub use perport::{find_plotters_per_service, PerServiceReport, ServiceKey};
 pub use pipeline::{
-    find_plotters, find_plotters_from_profiles, find_plotters_from_table, find_plotters_table,
-    try_find_plotters, try_find_plotters_from_profiles, try_find_plotters_from_table,
-    try_find_plotters_table, FindPlottersConfig, FindPlottersConfigBuilder, PlotterReport,
+    find_plotters, find_plotters_from_table, find_plotters_table, try_find_plotters,
+    try_find_plotters_from_table, try_find_plotters_table, FindPlottersConfig,
+    FindPlottersConfigBuilder, PlotterReport,
 };
 pub use rates::{rates_against, Rates};
-pub use reduction::initial_reduction;
+pub use reduction::initial_reduction_view;
 pub use stream::{
-    DetectionEngine, EngineConfig, EngineStats, EvictionPolicy, LatePolicy, WindowReport,
+    DetectionEngine, EngineConfig, EngineConfigBuilder, EngineStats, EvictionPolicy, LatePolicy,
+    WindowReport,
 };
 pub use tdg::{tdg_scan, TdgConfig, TdgMetrics, TdgReport};

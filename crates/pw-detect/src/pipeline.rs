@@ -1,7 +1,7 @@
 //! The `FindPlotters` algorithm (Figure 4 of the paper) and its staged
 //! report.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::net::Ipv4Addr;
 
 use pw_flow::{FlowRecord, FlowTable};
@@ -11,8 +11,7 @@ use crate::detectors::{
 };
 use crate::error::{ConfigError, Error};
 use crate::features::{
-    extract_profiles_table, extract_profiles_table_par, HostMask, HostProfile, ProfileTable,
-    ProfileView,
+    extract_profiles_table, extract_profiles_table_par, HostMask, ProfileTable, ProfileView,
 };
 use crate::reduction::initial_reduction_view;
 
@@ -166,7 +165,7 @@ pub struct PlotterReport {
 /// empty window or an unresolvable percentile threshold is an [`Error`];
 /// in lenient mode (the historical `find_plotters` contract) those stages
 /// degrade to an empty set with threshold `0.0` and the run continues.
-fn run_stages(
+pub(crate) fn run_stages(
     view: &ProfileView<'_>,
     cfg: &FindPlottersConfig,
     threads: usize,
@@ -251,18 +250,9 @@ where
     find_plotters_from_table(&profiles, cfg)
 }
 
-/// Runs `FindPlotters` over pre-extracted host profiles (lets callers
-/// extract once and sweep configurations, as the ROC harness does).
-pub fn find_plotters_from_profiles(
-    profiles: &HashMap<Ipv4Addr, HostProfile>,
-    cfg: &FindPlottersConfig,
-) -> PlotterReport {
-    run_stages(&ProfileView::from_map(profiles), cfg, 1, false)
-        .expect("lenient pipeline is infallible")
-}
-
-/// [`find_plotters_from_profiles`] over a dense [`ProfileTable`], borrowing
-/// the table instead of re-sorting a map's keys.
+/// Runs `FindPlotters` over a pre-extracted [`ProfileTable`] (lets callers
+/// extract once and sweep configurations, as the ROC harness does),
+/// borrowing the table instead of re-sorting a map's keys.
 pub fn find_plotters_from_table(
     profiles: &ProfileTable,
     cfg: &FindPlottersConfig,
@@ -308,20 +298,6 @@ where
     run_stages(&ProfileView::from_table(&profiles), cfg, threads, true)
 }
 
-/// [`find_plotters_from_profiles`] with validated configuration, typed
-/// failures, and host-sharded parallelism (see [`try_find_plotters`]).
-pub fn try_find_plotters_from_profiles(
-    profiles: &HashMap<Ipv4Addr, HostProfile>,
-    cfg: &FindPlottersConfig,
-    threads: usize,
-) -> Result<PlotterReport, Error> {
-    if threads == 0 {
-        return Err(ConfigError::ZeroThreads.into());
-    }
-    cfg.validate()?;
-    run_stages(&ProfileView::from_map(profiles), cfg, threads, true)
-}
-
 /// [`find_plotters_from_table`] with validated configuration, typed
 /// failures, and host-sharded parallelism — the streaming engine's
 /// window-close path.
@@ -340,7 +316,6 @@ pub fn try_find_plotters_from_table(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::features::extract_profiles;
     use pw_flow::{FlowState, Payload, Proto};
     use pw_netsim::{SimDuration, SimTime};
 
@@ -495,9 +470,9 @@ mod tests {
     #[test]
     fn profiles_entry_point_matches_flows_entry_point() {
         let flows = mini_world();
-        let profiles = extract_profiles(&flows, internal);
+        let profiles = extract_profiles_table(&FlowTable::from_records(&flows), internal);
         let a = find_plotters(&flows, internal, &FindPlottersConfig::default());
-        let b = find_plotters_from_profiles(&profiles, &FindPlottersConfig::default());
+        let b = find_plotters_from_table(&profiles, &FindPlottersConfig::default());
         assert_eq!(a.suspects, b.suspects);
         assert_eq!(a.tau_vol, b.tau_vol);
     }
@@ -563,7 +538,7 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(
-            try_find_plotters_from_profiles(&HashMap::new(), &bad, 1),
+            try_find_plotters_from_table(&ProfileTable::default(), &bad, 1),
             Err(Error::Config(ConfigError::CutFraction(2.0)))
         );
     }
@@ -588,7 +563,7 @@ mod tests {
     fn try_pipeline_surfaces_degenerate_inputs() {
         let cfg = FindPlottersConfig::default();
         assert_eq!(
-            try_find_plotters_from_profiles(&HashMap::new(), &cfg, 1),
+            try_find_plotters_from_table(&ProfileTable::default(), &cfg, 1),
             Err(Error::EmptyWindow)
         );
         assert_eq!(

@@ -1,0 +1,18 @@
+//! The types the CLI, server, and examples actually need, in one import.
+//!
+//! ```
+//! use pw_detect::prelude::*;
+//!
+//! let cfg = EngineConfig::builder().threads(2).build().unwrap();
+//! let mut engine =
+//!     DetectionEngine::new(cfg, |ip: std::net::Ipv4Addr| ip.octets()[0] == 10).unwrap();
+//! assert_eq!(engine.stats(), EngineStats::default());
+//! let _reports: Vec<WindowReport> = engine.finish();
+//! ```
+
+pub use crate::detectors::Threshold;
+pub use crate::error::{ConfigError, Error};
+pub use crate::pipeline::{FindPlottersConfig, FindPlottersConfigBuilder, PlotterReport};
+pub use crate::stream::{
+    DetectionEngine, EngineConfig, EngineConfigBuilder, EngineStats, WindowReport,
+};

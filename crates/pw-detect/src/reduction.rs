@@ -6,18 +6,20 @@
 //! connection rates higher than the threshold are selected as 'possibly
 //! P2P'."
 
-use std::collections::{HashMap, HashSet};
-use std::net::Ipv4Addr;
-
 use pw_analysis::median;
 use pw_flow::HostId;
 
-use crate::features::{HostMask, HostProfile, ProfileView};
+use crate::features::{HostMask, ProfileView};
 
 /// The data-reduction core over a dense profile view: survivors as a
 /// [`HostMask`] plus the failed-rate threshold. All pipeline stages consume
-/// this form; [`initial_reduction`] adapts it to the map shape.
-pub(crate) fn initial_reduction_view(view: &ProfileView<'_>) -> (HostMask, f64) {
+/// this form; [`crate::compat::initial_reduction`] adapts it to the
+/// deprecated map shape.
+///
+/// Only hosts that initiated at least one successful flow are eligible at
+/// all; of those, hosts whose failed-connection rate exceeds the median are
+/// retained. Returns an empty mask and threshold `0.0` for an empty input.
+pub fn initial_reduction_view(view: &ProfileView<'_>) -> (HostMask, f64) {
     let eligible: Vec<(HostId, Option<f64>)> = view
         .ids()
         .filter(|&id| view.profile(id).initiated_successfully())
@@ -36,23 +38,20 @@ pub(crate) fn initial_reduction_view(view: &ProfileView<'_>) -> (HostMask, f64) 
     (survivors, threshold)
 }
 
-/// Applies the data-reduction step and returns the surviving "possibly
-/// P2P" hosts plus the (dynamically computed) failed-rate threshold.
-///
-/// Only hosts that initiated at least one successful flow are eligible at
-/// all; of those, hosts whose failed-connection rate exceeds the median are
-/// retained. Returns an empty set and threshold `0.0` for an empty input.
-pub fn initial_reduction(profiles: &HashMap<Ipv4Addr, HostProfile>) -> (HashSet<Ipv4Addr>, f64) {
-    let view = ProfileView::from_map(profiles);
-    let (survivors, threshold) = initial_reduction_view(&view);
-    (survivors.to_ips(&view), threshold)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::features::HostProfile;
     use pw_netsim::SimTime;
-    use std::collections::BTreeMap;
+    use std::collections::{BTreeMap, HashMap, HashSet};
+    use std::net::Ipv4Addr;
+
+    /// Map-shaped reduction through the canonical view path.
+    fn initial_reduction(profiles: &HashMap<Ipv4Addr, HostProfile>) -> (HashSet<Ipv4Addr>, f64) {
+        let view = ProfileView::from_map(profiles);
+        let (survivors, threshold) = initial_reduction_view(&view);
+        (survivors.to_ips(&view), threshold)
+    }
 
     fn profile(ip_last: u8, initiated: u64, failed: u64) -> HostProfile {
         HostProfile {

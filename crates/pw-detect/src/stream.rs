@@ -169,6 +169,30 @@ impl Default for EngineConfig {
 }
 
 impl EngineConfig {
+    /// Starts a validated builder seeded with the defaults — the same
+    /// builder idiom as [`FindPlottersConfig::builder`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pw_detect::stream::EngineConfig;
+    /// use pw_netsim::SimDuration;
+    ///
+    /// let cfg = EngineConfig::builder()
+    ///     .window(SimDuration::from_hours(1))
+    ///     .slide(SimDuration::from_hours(1))
+    ///     .threads(4)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(cfg.threads, 4);
+    /// assert!(EngineConfig::builder().threads(0).build().is_err());
+    /// ```
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            cfg: Self::default(),
+        }
+    }
+
     /// Checks every knob, including the embedded detection config.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.window == SimDuration::ZERO {
@@ -190,6 +214,89 @@ impl EngineConfig {
             return Err(ConfigError::ZeroStallTimeout);
         }
         self.detect.validate()
+    }
+}
+
+/// Builder for [`EngineConfig`] whose [`build`](Self::build) rejects
+/// out-of-range knobs — the same validated-builder idiom as
+/// [`crate::pipeline::FindPlottersConfigBuilder`], sharing its typed
+/// [`ConfigError`].
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfigBuilder {
+    cfg: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Sets the window length.
+    pub fn window(mut self, d: SimDuration) -> Self {
+        self.cfg.window = d;
+        self
+    }
+
+    /// Sets the interval between window starts.
+    pub fn slide(mut self, d: SimDuration) -> Self {
+        self.cfg.slide = d;
+        self
+    }
+
+    /// Sets the lateness bound of the reorder buffer.
+    pub fn lateness(mut self, d: SimDuration) -> Self {
+        self.cfg.lateness = d;
+        self
+    }
+
+    /// Sets the worker thread count for window-close detection.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.cfg.threads = n;
+        self
+    }
+
+    /// Sets the host participation rule at window close.
+    pub fn eviction(mut self, policy: EvictionPolicy) -> Self {
+        self.cfg.eviction = policy;
+        self
+    }
+
+    /// Sets the policy for flows older than the lateness bound.
+    pub fn late_policy(mut self, policy: LatePolicy) -> Self {
+        self.cfg.late_policy = policy;
+        self
+    }
+
+    /// Caps the flows held in memory (`None` is unbounded).
+    pub fn max_flows(mut self, cap: Option<usize>) -> Self {
+        self.cfg.max_flows = cap;
+        self
+    }
+
+    /// Sets the watermark stall timeout (`None` waits forever).
+    pub fn stall_timeout(mut self, timeout: Option<SimDuration>) -> Self {
+        self.cfg.stall_timeout = timeout;
+        self
+    }
+
+    /// Toggles per-window exact-duplicate suppression.
+    pub fn dedupe(mut self, on: bool) -> Self {
+        self.cfg.dedupe = on;
+        self
+    }
+
+    /// Toggles ingest-time quarantine of semantically invalid records.
+    pub fn reject_invalid(mut self, on: bool) -> Self {
+        self.cfg.reject_invalid = on;
+        self
+    }
+
+    /// Sets the detection pipeline run on each window.
+    pub fn detect(mut self, cfg: FindPlottersConfig) -> Self {
+        self.cfg.detect = cfg;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<EngineConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 

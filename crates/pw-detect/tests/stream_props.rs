@@ -6,8 +6,10 @@ use std::net::Ipv4Addr;
 
 use proptest::prelude::*;
 use pw_detect::stream::{DetectionEngine, EngineConfig};
-use pw_detect::{extract_profiles, extract_profiles_par, find_plotters, FindPlottersConfig};
-use pw_flow::{FlowRecord, FlowState, Payload, Proto};
+use pw_detect::{
+    extract_profiles_table, extract_profiles_table_par, find_plotters, FindPlottersConfig,
+};
+use pw_flow::{FlowRecord, FlowState, FlowTable, Payload, Proto};
 use pw_netsim::{SimDuration, SimTime};
 
 fn internal(ip: Ipv4Addr) -> bool {
@@ -73,8 +75,9 @@ proptest! {
         threads in 1usize..9,
     ) {
         let flows = flows_from(&seeds);
-        let serial = extract_profiles(&flows, internal);
-        let sharded = extract_profiles_par(&flows, internal, threads);
+        let table = FlowTable::from_records(&flows);
+        let serial = extract_profiles_table(&table, internal);
+        let sharded = extract_profiles_table_par(&table, internal, threads);
         prop_assert_eq!(serial, sharded);
     }
 

@@ -19,7 +19,9 @@
 //! - [`signatures`]: the 64-byte payload keywords the paper uses for ground
 //!   truth (Gnutella/eMule/BitTorrent), plus builders that generate
 //!   protocol-faithful prefixes;
-//! - [`csvio`]: persistence for flow datasets.
+//! - [`csvio`]: persistence for flow datasets;
+//! - [`frame`]: the length-prefixed binary wire format border exporters
+//!   use to stream flows to a long-running detection server.
 //!
 //! # Examples
 //!
@@ -44,6 +46,7 @@
 
 pub mod aggregator;
 pub mod csvio;
+pub mod frame;
 pub mod host;
 pub mod packet;
 pub mod record;

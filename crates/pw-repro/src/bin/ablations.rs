@@ -14,10 +14,9 @@ use std::collections::HashSet;
 use std::net::Ipv4Addr;
 
 use pw_detect::{
-    find_plotters_from_profiles, initial_reduction, theta_churn, theta_hm_with_options, theta_vol,
-    FindPlottersConfig, HistogramDistance, HmOptions, Threshold,
+    find_plotters_from_table, FindPlottersConfig, HistogramDistance, HmOptions, Threshold,
 };
-use pw_repro::{build_context, table, Context, Scale};
+use pw_repro::{build_context, stages, table, Context, Scale};
 
 struct Variant {
     name: &'static str,
@@ -32,11 +31,11 @@ fn run_variant(ctx: &Context, v: &Variant) -> (f64, f64, f64) {
     let mut nugache_tprs = Vec::new();
     let mut fprs = Vec::new();
     for day in &ctx.days {
-        let (reduced, _) = initial_reduction(&day.profiles);
-        let (s_vol, _) = theta_vol(&day.profiles, &reduced, v.tau_vol);
-        let (s_churn, _) = theta_churn(&day.profiles, &reduced, v.tau_churn);
+        let (reduced, _) = stages::reduce(&day.profiles);
+        let (s_vol, _) = stages::vol(&day.profiles, &reduced, v.tau_vol);
+        let (s_churn, _) = stages::churn(&day.profiles, &reduced, v.tau_churn);
         let union: HashSet<Ipv4Addr> = s_vol.union(&s_churn).copied().collect();
-        let hm = theta_hm_with_options(
+        let hm = stages::hm_with_options(
             &day.profiles,
             &union,
             Threshold::Percentile(70.0),
@@ -147,8 +146,8 @@ fn main() {
         let mut tprs = Vec::new();
         let mut fprs = Vec::new();
         for day in &ctx.days {
-            let (reduced, _) = initial_reduction(&day.profiles);
-            let (s_vol, _) = theta_vol(&day.profiles, &reduced, Threshold::Percentile(p));
+            let (reduced, _) = stages::reduce(&day.profiles);
+            let (s_vol, _) = stages::vol(&day.profiles, &reduced, Threshold::Percentile(p));
             let bots: HashSet<Ipv4Addr> =
                 day.storm_hosts.union(&day.nugache_hosts).copied().collect();
             tprs.push(s_vol.intersection(&bots).count() as f64 / bots.len() as f64);
@@ -166,7 +165,7 @@ fn main() {
         let mut tprs = Vec::new();
         let mut fprs = Vec::new();
         for day in &ctx.days {
-            let report = find_plotters_from_profiles(&day.profiles, &FindPlottersConfig::default());
+            let report = find_plotters_from_table(&day.profiles, &FindPlottersConfig::default());
             let bots: HashSet<Ipv4Addr> =
                 day.storm_hosts.union(&day.nugache_hosts).copied().collect();
             tprs.push(report.suspects.intersection(&bots).count() as f64 / bots.len() as f64);

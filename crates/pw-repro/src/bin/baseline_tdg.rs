@@ -11,8 +11,8 @@
 use std::collections::HashSet;
 use std::net::Ipv4Addr;
 
-use pw_detect::{initial_reduction, tdg_scan, TdgConfig};
-use pw_repro::{build_context, table, Scale};
+use pw_detect::{tdg_scan, TdgConfig};
+use pw_repro::{build_context, stages, table, Scale};
 
 fn main() {
     let ctx = build_context(Scale::from_env());
@@ -26,7 +26,7 @@ fn main() {
     let mut rows = Vec::new();
     for (d, day) in ctx.days.iter().enumerate() {
         let base = &day.run.overlaid.base;
-        let (reduced, _) = initial_reduction(&day.profiles);
+        let (reduced, _) = stages::reduce(&day.profiles);
         let report = tdg_scan(&day.run.overlaid.flows, |ip| base.is_internal(ip), &tdg_cfg);
 
         let p2p_truth: HashSet<Ipv4Addr> = day.traders.union(&day.implanted).copied().collect();

@@ -5,19 +5,19 @@ use std::collections::HashSet;
 use std::net::Ipv4Addr;
 
 use pw_data::HostRole;
-use pw_detect::{initial_reduction, theta_churn, theta_hm, theta_vol, Threshold};
-use pw_repro::{build_context, table, Scale};
+use pw_detect::Threshold;
+use pw_repro::{build_context, stages, table, Scale};
 
 fn main() {
     let ctx = build_context(Scale::from_env());
 
     // Per-day θ_hm cluster overview.
     for (di, day) in ctx.days.iter().enumerate() {
-        let (reduced, _) = initial_reduction(&day.profiles);
-        let (s_vol, _) = theta_vol(&day.profiles, &reduced, Threshold::Percentile(50.0));
-        let (s_churn, _) = theta_churn(&day.profiles, &reduced, Threshold::Percentile(50.0));
+        let (reduced, _) = stages::reduce(&day.profiles);
+        let (s_vol, _) = stages::vol(&day.profiles, &reduced, Threshold::Percentile(50.0));
+        let (s_churn, _) = stages::churn(&day.profiles, &reduced, Threshold::Percentile(50.0));
         let union: HashSet<Ipv4Addr> = s_vol.union(&s_churn).copied().collect();
-        let hm = theta_hm(&day.profiles, &union, Threshold::Percentile(70.0), 0.05);
+        let hm = stages::hm(&day.profiles, &union, Threshold::Percentile(70.0), 0.05);
         print!("day {di}: tau={:7.1} |", hm.tau);
         for (members, d) in &hm.clusters {
             let s = members
@@ -69,7 +69,8 @@ fn main() {
     for class in classes {
         let mut ps: Vec<_> = day
             .profiles
-            .values()
+            .profiles()
+            .iter()
             .filter(|p| class_of(&p.ip) == class)
             .collect();
         ps.sort_by_key(|p| p.ip);
@@ -107,9 +108,9 @@ fn main() {
     );
 
     // Threshold positions.
-    let (reduced, thr) = initial_reduction(&day.profiles);
-    let (s_vol, tau_vol) = theta_vol(&day.profiles, &reduced, Threshold::Percentile(50.0));
-    let (s_churn, tau_churn) = theta_churn(&day.profiles, &reduced, Threshold::Percentile(50.0));
+    let (reduced, thr) = stages::reduce(&day.profiles);
+    let (s_vol, tau_vol) = stages::vol(&day.profiles, &reduced, Threshold::Percentile(50.0));
+    let (s_churn, tau_churn) = stages::churn(&day.profiles, &reduced, Threshold::Percentile(50.0));
     println!("reduction threshold (failed rate): {}", table::pct(thr));
     println!(
         "tau_vol: {tau_vol:.0} B/flow   tau_churn: {}",
@@ -118,7 +119,7 @@ fn main() {
 
     // Class composition of the hm input and clusters.
     let union: HashSet<Ipv4Addr> = s_vol.union(&s_churn).copied().collect();
-    let hm = theta_hm(&day.profiles, &union, Threshold::Percentile(70.0), 0.05);
+    let hm = stages::hm(&day.profiles, &union, Threshold::Percentile(70.0), 0.05);
     println!(
         "\nθ_hm input {} hosts; {} without interstitial samples",
         union.len(),
@@ -147,7 +148,7 @@ fn main() {
     let hists: Vec<(Ipv4Addr, pw_analysis::Histogram)> = hosts
         .iter()
         .filter_map(|ip| {
-            let p = day.profiles.get(ip)?;
+            let p = day.profiles.get(*ip)?;
             if p.interstitials.is_empty() {
                 return None;
             }

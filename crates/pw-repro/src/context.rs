@@ -1,11 +1,12 @@
 //! The shared experiment context: days, traces, profiles, ground truth.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::net::Ipv4Addr;
 
 use pw_botnet::BotFamily;
 use pw_data::{run_experiment, DayRun, ExperimentConfig};
-use pw_detect::{extract_profiles, HostProfile};
+use pw_detect::{extract_profiles_table, ProfileTable};
+use pw_flow::FlowTable;
 use pw_netsim::SimDuration;
 
 /// Experiment scale.
@@ -52,7 +53,7 @@ pub struct DayContext {
     /// The raw day (campus + traces + overlay).
     pub run: DayRun,
     /// Per-host behavioural profiles over the overlaid traffic.
-    pub profiles: HashMap<Ipv4Addr, HostProfile>,
+    pub profiles: ProfileTable,
     /// Hosts carrying Storm traffic.
     pub storm_hosts: HashSet<Ipv4Addr>,
     /// Hosts carrying Nugache traffic.
@@ -67,7 +68,9 @@ impl DayContext {
     fn new(run: DayRun) -> Self {
         let overlaid = &run.overlaid;
         let base = &overlaid.base;
-        let profiles = extract_profiles(&overlaid.flows, |ip| base.is_internal(ip));
+        let profiles = extract_profiles_table(&FlowTable::from_records(&overlaid.flows), |ip| {
+            base.is_internal(ip)
+        });
         let storm_hosts = overlaid
             .implanted_hosts(BotFamily::Storm)
             .into_iter()
@@ -128,7 +131,10 @@ mod tests {
             assert_eq!(day.implanted.len(), 12);
             // Implanted hosts have profiles (they generated traffic).
             for ip in &day.implanted {
-                assert!(day.profiles.contains_key(ip), "no profile for implant {ip}");
+                assert!(
+                    day.profiles.get(*ip).is_some(),
+                    "no profile for implant {ip}"
+                );
             }
         }
     }

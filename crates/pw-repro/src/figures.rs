@@ -4,20 +4,22 @@
 //! it with [`crate::table`], and the integration tests assert the paper's
 //! qualitative shapes on the same data.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::net::Ipv4Addr;
 
 use pw_analysis::{Ecdf, Histogram, RocCurve, RocPoint};
 use pw_botnet::{apply_evasion, BotTrace, EvasionConfig};
 use pw_data::overlay_bots;
 use pw_detect::{
-    extract_profiles, find_plotters_from_profiles, initial_reduction, theta_churn, theta_hm,
-    theta_vol, FindPlottersConfig, HostProfile, Threshold,
+    extract_profiles_table, find_plotters_from_table, FindPlottersConfig, HostProfile,
+    ProfileTable, Threshold,
 };
 use pw_flow::signatures::P2pApp;
+use pw_flow::FlowTable;
 use pw_netsim::SimDuration;
 
 use crate::context::{Context, DayContext};
+use crate::stages;
 
 /// The percentile sweep the paper uses for its ROC curves.
 pub const ROC_PERCENTILES: [f64; 5] = [10.0, 30.0, 50.0, 70.0, 90.0];
@@ -51,7 +53,7 @@ impl CdfSeries {
 
 /// Extracts per-bot profiles from a honeynet trace (the bots are the
 /// "internal" hosts of the honeynet).
-pub fn profiles_of_trace(trace: &BotTrace) -> HashMap<Ipv4Addr, HostProfile> {
+pub fn profiles_of_trace(trace: &BotTrace) -> ProfileTable {
     let bot_ips: HashSet<Ipv4Addr> = trace.bots.iter().map(|b| b.ip).collect();
     let mut all: Vec<pw_flow::FlowRecord> = trace
         .bots
@@ -60,12 +62,14 @@ pub fn profiles_of_trace(trace: &BotTrace) -> HashMap<Ipv4Addr, HostProfile> {
         .collect();
     all.sort_by_key(|f| (f.start, f.src, f.sport, f.dst, f.dport, f.end));
     all.dedup();
-    extract_profiles(&all, |ip| bot_ips.contains(&ip))
+    extract_profiles_table(&FlowTable::from_records(&all), |ip| bot_ips.contains(&ip))
 }
 
-fn base_profiles(day: &DayContext) -> HashMap<Ipv4Addr, HostProfile> {
+fn base_profiles(day: &DayContext) -> ProfileTable {
     let base = &day.run.overlaid.base;
-    extract_profiles(&base.flows, |ip| base.is_internal(ip))
+    extract_profiles_table(&FlowTable::from_records(&base.flows), |ip| {
+        base.is_internal(ip)
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -79,20 +83,24 @@ pub fn fig01_volume_cdfs(ctx: &Context) -> Vec<CdfSeries> {
     let base = base_profiles(day);
     let traders = &day.traders;
     let cmu: Vec<f64> = base
-        .values()
+        .profiles()
+        .iter()
         .filter_map(pw_detect::HostProfile::avg_upload_per_flow)
         .collect();
     let trader: Vec<f64> = base
-        .values()
+        .profiles()
+        .iter()
         .filter(|p| traders.contains(&p.ip))
         .filter_map(pw_detect::HostProfile::avg_upload_per_flow)
         .collect();
     let storm: Vec<f64> = profiles_of_trace(&day.run.storm)
-        .values()
+        .profiles()
+        .iter()
         .filter_map(pw_detect::HostProfile::avg_upload_per_flow)
         .collect();
     let nugache: Vec<f64> = profiles_of_trace(&day.run.nugache)
-        .values()
+        .profiles()
+        .iter()
         .filter_map(pw_detect::HostProfile::avg_upload_per_flow)
         .collect();
     vec![
@@ -158,14 +166,16 @@ pub fn fig02_new_ips(ctx: &Context) -> Vec<NewIpSeries> {
     let base = base_profiles(day);
     // The busiest Trader of the day.
     let trader_profile = base
-        .values()
+        .profiles()
+        .iter()
         .filter(|p| day.traders.contains(&p.ip))
         .max_by_key(|p| p.distinct_destinations())
         .expect("a trader is active");
     // The busiest Storm bot from the honeynet trace.
     let storm_profiles = profiles_of_trace(&day.run.storm);
     let storm_profile = storm_profiles
-        .values()
+        .profiles()
+        .iter()
         .max_by_key(|p| p.distinct_destinations())
         .expect("storm bots exist");
     let storm_flows: Vec<pw_flow::FlowRecord> = day
@@ -228,15 +238,18 @@ pub fn fig03_interstitials(ctx: &Context) -> Vec<InterstitialPanel> {
     let nugache = profiles_of_trace(&day.run.nugache);
     let base = base_profiles(day);
     let storm_p = storm
-        .values()
+        .profiles()
+        .iter()
         .max_by_key(|p| p.interstitials.len())
         .expect("storm");
     let nug_p = nugache
-        .values()
+        .profiles()
+        .iter()
         .max_by_key(|p| p.interstitials.len())
         .expect("nugache");
     let pick_trader = |app: P2pApp| {
-        base.values()
+        base.profiles()
+            .iter()
             .filter(|p| {
                 matches!(day.run.overlaid.base.hosts.get(&p.ip),
                     Some(info) if info.role == pw_data::HostRole::Trader(app))
@@ -269,24 +282,28 @@ pub fn fig05_failed_cdfs(ctx: &Context) -> Vec<CdfSeries> {
     let base = base_profiles(day);
     let eligible = |p: &&HostProfile| p.initiated_successfully() && p.failed_rate().is_some();
     let cmu_minus_trader: Vec<f64> = base
-        .values()
+        .profiles()
+        .iter()
         .filter(|p| !day.traders.contains(&p.ip))
         .filter(eligible)
         .filter_map(pw_detect::HostProfile::failed_rate)
         .collect();
     let trader: Vec<f64> = base
-        .values()
+        .profiles()
+        .iter()
         .filter(|p| day.traders.contains(&p.ip))
         .filter(eligible)
         .filter_map(pw_detect::HostProfile::failed_rate)
         .collect();
     let storm: Vec<f64> = profiles_of_trace(&day.run.storm)
-        .values()
+        .profiles()
+        .iter()
         .filter(eligible)
         .filter_map(pw_detect::HostProfile::failed_rate)
         .collect();
     let nugache: Vec<f64> = profiles_of_trace(&day.run.nugache)
-        .values()
+        .profiles()
+        .iter()
         .filter(eligible)
         .filter_map(pw_detect::HostProfile::failed_rate)
         .collect();
@@ -361,7 +378,7 @@ where
         let mut storm_pts = Vec::new();
         let mut nugache_pts = Vec::new();
         for day in &ctx.days {
-            let (input, _) = initial_reduction(&day.profiles);
+            let (input, _) = stages::reduce(&day.profiles);
             let detected = detect(day, &input, p);
             let (tpr_s, fpr) = day_rates(&detected, &input, &day.storm_hosts, &day.implanted);
             let (tpr_n, _) = day_rates(&detected, &input, &day.nugache_hosts, &day.implanted);
@@ -393,14 +410,14 @@ where
 /// Figure 6: ROC of the volume test `θ_vol`.
 pub fn fig06_roc_volume(ctx: &Context) -> Vec<RocCurve> {
     roc_for_test(ctx, |day, input, p| {
-        theta_vol(&day.profiles, input, Threshold::Percentile(p)).0
+        stages::vol(&day.profiles, input, Threshold::Percentile(p)).0
     })
 }
 
 /// Figure 7: ROC of the churn test `θ_churn`.
 pub fn fig07_roc_churn(ctx: &Context) -> Vec<RocCurve> {
     roc_for_test(ctx, |day, input, p| {
-        theta_churn(&day.profiles, input, Threshold::Percentile(p)).0
+        stages::churn(&day.profiles, input, Threshold::Percentile(p)).0
     })
 }
 
@@ -413,11 +430,11 @@ pub fn fig08_roc_hm(ctx: &Context) -> Vec<RocCurve> {
         let mut storm_pts = Vec::new();
         let mut nugache_pts = Vec::new();
         for day in &ctx.days {
-            let (reduced, _) = initial_reduction(&day.profiles);
-            let (s_vol, _) = theta_vol(&day.profiles, &reduced, Threshold::Percentile(50.0));
-            let (s_churn, _) = theta_churn(&day.profiles, &reduced, Threshold::Percentile(50.0));
+            let (reduced, _) = stages::reduce(&day.profiles);
+            let (s_vol, _) = stages::vol(&day.profiles, &reduced, Threshold::Percentile(50.0));
+            let (s_churn, _) = stages::churn(&day.profiles, &reduced, Threshold::Percentile(50.0));
             let input: HashSet<Ipv4Addr> = s_vol.union(&s_churn).copied().collect();
-            let hm = theta_hm(&day.profiles, &input, Threshold::Percentile(p), 0.05);
+            let hm = stages::hm(&day.profiles, &input, Threshold::Percentile(p), 0.05);
             let (tpr_s, fpr) = day_rates(&hm.kept, &input, &day.storm_hosts, &day.implanted);
             let (tpr_n, _) = day_rates(&hm.kept, &input, &day.nugache_hosts, &day.implanted);
             if let (Some(t), Some(f)) = (tpr_s, fpr) {
@@ -502,7 +519,7 @@ pub fn fig09_pipeline(ctx: &Context) -> PipelineFig {
     let mut trader_share = Vec::new();
 
     for day in &ctx.days {
-        let report = find_plotters_from_profiles(&day.profiles, &cfg);
+        let report = find_plotters_from_table(&day.profiles, &cfg);
         let traders_not_implanted: HashSet<Ipv4Addr> =
             day.traders.difference(&day.implanted).copied().collect();
         let sets: [&HashSet<Ipv4Addr>; 6] = [
@@ -589,7 +606,7 @@ pub fn fig10_nugache_flow_counts(ctx: &Context) -> Vec<(String, Vec<f64>)> {
         ("after θ_hm".into(), Vec::new()),
     ];
     for day in &ctx.days {
-        let report = find_plotters_from_profiles(&day.profiles, &cfg);
+        let report = find_plotters_from_table(&day.profiles, &cfg);
         // Sorted so the per-stage point vectors are byte-stable run to run.
         let mut nugache: Vec<_> = day.nugache_hosts.iter().collect();
         nugache.sort_unstable();
@@ -644,13 +661,13 @@ pub fn fig11_evasion_margins(ctx: &Context) -> (Vec<EvasionMarginRow>, Vec<Evasi
     let mut vol = Vec::new();
     let mut churn = Vec::new();
     for (d, day) in ctx.days.iter().enumerate() {
-        let (input, _) = initial_reduction(&day.profiles);
-        let (_, tau_vol) = theta_vol(&day.profiles, &input, Threshold::Percentile(50.0));
-        let (_, tau_churn) = theta_churn(&day.profiles, &input, Threshold::Percentile(50.0));
+        let (input, _) = stages::reduce(&day.profiles);
+        let (_, tau_vol) = stages::vol(&day.profiles, &input, Threshold::Percentile(50.0));
+        let (_, tau_churn) = stages::churn(&day.profiles, &input, Threshold::Percentile(50.0));
         let med = |hosts: &HashSet<Ipv4Addr>, f: &dyn Fn(&HostProfile) -> Option<f64>| {
             let vals: Vec<f64> = hosts
                 .iter()
-                .filter_map(|ip| day.profiles.get(ip))
+                .filter_map(|ip| day.profiles.get(*ip))
                 .filter_map(f)
                 .collect();
             pw_analysis::median(&vals).unwrap_or(f64::NAN)
@@ -725,8 +742,10 @@ pub fn fig12_jitter_sweep(ctx: &Context) -> Vec<JitterRow> {
                 let overlaid =
                     overlay_bots(&day.run.overlaid.base, &[storm_t, nugache_t], implants_seed);
                 let profiles =
-                    extract_profiles(&overlaid.flows, |ip| day.run.overlaid.base.is_internal(ip));
-                let report = find_plotters_from_profiles(&profiles, &cfg);
+                    extract_profiles_table(&FlowTable::from_records(&overlaid.flows), |ip| {
+                        day.run.overlaid.base.is_internal(ip)
+                    });
+                let report = find_plotters_from_table(&profiles, &cfg);
                 let storm_hosts: HashSet<Ipv4Addr> = overlaid
                     .implanted_hosts(pw_botnet::BotFamily::Storm)
                     .into_iter()

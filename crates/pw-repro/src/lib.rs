@@ -7,6 +7,8 @@
 //!   honeynet traces, overlays, per-day host profiles and ground truth);
 //! - [`figures`]: the per-figure computations, returned as plain data so
 //!   integration tests can assert the paper's qualitative shapes;
+//! - [`stages`]: set-shaped adapters over the canonical `pw_detect` view
+//!   API, for figures that probe one pipeline stage at a time;
 //! - [`table`]: text rendering of series and paper-vs-measured tables.
 //!
 //! Set `PW_FAST=1` to run everything at a reduced scale (fewer hosts,
@@ -18,6 +20,7 @@
 
 pub mod context;
 pub mod figures;
+pub mod stages;
 pub mod table;
 
 pub use context::{build_context, Context, DayContext, Scale};

@@ -94,7 +94,7 @@ fn trace_profiles_cover_every_bot() {
     let ctx = build_context(Scale::Fast);
     let storm = profiles_of_trace(&ctx.days[0].run.storm);
     assert_eq!(storm.len(), ctx.days[0].run.storm.bots.len());
-    for p in storm.values() {
+    for p in storm.profiles() {
         assert!(p.flows_involving > 0);
     }
 }

@@ -1,0 +1,212 @@
+//! Server checkpoints: the engine snapshot plus exporter sequences, in
+//! one atomically-written file.
+//!
+//! Exactly-once ingest across a server restart hinges on one invariant:
+//! the revived engine state and the revived per-exporter sequence
+//! numbers describe *the same instant*. If the sequences ran ahead of
+//! the engine, flows would be skipped on replay; behind, double-applied.
+//! So both live in a single [`ServerCheckpoint`], serialized into one
+//! file with the same atomic write-to-sibling-then-rename protocol as
+//! [`pw_detect::checkpoint`]:
+//!
+//! ```text
+//! peerwatch-server-checkpoint v1
+//! exporters 2
+//! exporter 1 4023
+//! exporter 7 911
+//! engine-checkpoint
+//! <pw_detect engine checkpoint text, verbatim>
+//! ```
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use pw_detect::checkpoint::{CheckpointError, EngineCheckpoint};
+
+/// Magic first line; the version suffix gates format evolution.
+pub const SERVER_MAGIC: &str = "peerwatch-server-checkpoint v1";
+
+/// A consistent snapshot of everything a restarted server needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerCheckpoint {
+    /// Next expected sequence number per exporter id (flows below it are
+    /// applied in `engine`).
+    pub exporters: BTreeMap<u32, u64>,
+    /// The engine at the same instant.
+    pub engine: EngineCheckpoint,
+}
+
+impl ServerCheckpoint {
+    /// Serializes into the versioned text form.
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        out.push_str(SERVER_MAGIC);
+        out.push('\n');
+        out.push_str(&format!("exporters {}\n", self.exporters.len()));
+        for (id, seq) in &self.exporters {
+            out.push_str(&format!("exporter {id} {seq}\n"));
+        }
+        out.push_str("engine-checkpoint\n");
+        out.push_str(&self.engine.serialize());
+        out
+    }
+
+    /// Parses the text form back.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] describing the offending line; the embedded
+    /// engine section reports its own line numbers relative to itself.
+    pub fn parse(text: &str) -> Result<Self, CheckpointError> {
+        let mut lines = text.lines().enumerate();
+        let (_, magic) = lines.next().ok_or(CheckpointError::BadMagic {
+            found: String::new(),
+        })?;
+        if magic != SERVER_MAGIC {
+            return Err(CheckpointError::BadMagic {
+                found: magic.to_owned(),
+            });
+        }
+        let (n, header) = lines.next().ok_or(CheckpointError::Format {
+            line: 2,
+            reason: "missing `exporters N` line".to_owned(),
+        })?;
+        let count: usize = header
+            .strip_prefix("exporters ")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| CheckpointError::Format {
+                line: n + 1,
+                reason: format!("expected `exporters N`, found {header:?}"),
+            })?;
+        let mut exporters = BTreeMap::new();
+        for _ in 0..count {
+            let (n, line) = lines.next().ok_or(CheckpointError::Format {
+                line: count + 2,
+                reason: "truncated exporter table".to_owned(),
+            })?;
+            let mut it = line.split(' ');
+            let (tag, id, seq) = (it.next(), it.next(), it.next());
+            let parsed = match (tag, id, seq, it.next()) {
+                (Some("exporter"), Some(id), Some(seq), None) => {
+                    id.parse::<u32>().ok().zip(seq.parse::<u64>().ok())
+                }
+                _ => None,
+            };
+            let (id, seq) = parsed.ok_or_else(|| CheckpointError::Format {
+                line: n + 1,
+                reason: format!("expected `exporter ID SEQ`, found {line:?}"),
+            })?;
+            if exporters.insert(id, seq).is_some() {
+                return Err(CheckpointError::Format {
+                    line: n + 1,
+                    reason: format!("duplicate exporter id {id}"),
+                });
+            }
+        }
+        let (n, marker) = lines.next().ok_or(CheckpointError::Format {
+            line: count + 3,
+            reason: "missing `engine-checkpoint` marker".to_owned(),
+        })?;
+        if marker != "engine-checkpoint" {
+            return Err(CheckpointError::Format {
+                line: n + 1,
+                reason: format!("expected `engine-checkpoint`, found {marker:?}"),
+            });
+        }
+        // Everything after the marker is the engine's own format.
+        let engine_text: String = text.lines().skip(n + 1).flat_map(|l| [l, "\n"]).collect();
+        let engine = EngineCheckpoint::parse(&engine_text)?;
+        Ok(ServerCheckpoint { exporters, engine })
+    }
+}
+
+/// Atomically persists `snapshot` to `path` (write a `.tmp` sibling,
+/// then rename), so a crash mid-write leaves the previous file intact.
+///
+/// # Errors
+///
+/// Any I/O error from writing or renaming.
+pub fn write_server_checkpoint(path: &Path, snapshot: &ServerCheckpoint) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    fs::write(&tmp, snapshot.serialize())?;
+    fs::rename(&tmp, path)
+}
+
+/// Reads a checkpoint back from disk.
+///
+/// # Errors
+///
+/// [`CheckpointError`] on I/O failure or corruption.
+pub fn read_server_checkpoint(path: &Path) -> Result<ServerCheckpoint, CheckpointError> {
+    let text = fs::read_to_string(path)?;
+    ServerCheckpoint::parse(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pw_detect::{DetectionEngine, EngineConfig};
+    use std::net::Ipv4Addr;
+
+    fn internal(ip: Ipv4Addr) -> bool {
+        ip.octets()[0] == 10
+    }
+
+    fn sample() -> ServerCheckpoint {
+        let engine = DetectionEngine::new(EngineConfig::default(), internal)
+            .unwrap()
+            .checkpoint();
+        let mut exporters = BTreeMap::new();
+        exporters.insert(1u32, 4023u64);
+        exporters.insert(7, 911);
+        ServerCheckpoint { exporters, engine }
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let ckpt = sample();
+        let text = ckpt.serialize();
+        let back = ServerCheckpoint::parse(&text).unwrap();
+        assert_eq!(back, ckpt);
+        assert_eq!(back.serialize(), text, "serialize is a fixed point");
+    }
+
+    #[test]
+    fn file_round_trip_is_atomic() {
+        let dir = std::env::temp_dir().join("pw-server-checkpoint-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("server.ckpt");
+        let ckpt = sample();
+        write_server_checkpoint(&path, &ckpt).unwrap();
+        assert_eq!(read_server_checkpoint(&path).unwrap(), ckpt);
+        assert!(!path.with_extension("ckpt.tmp").exists());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corruption_is_refused_with_line_context() {
+        let ckpt = sample();
+        let text = ckpt.serialize();
+
+        assert!(matches!(
+            ServerCheckpoint::parse("peerwatch-checkpoint v1\n"),
+            Err(CheckpointError::BadMagic { .. })
+        ));
+        let truncated = "peerwatch-server-checkpoint v1\nexporters 3\nexporter 1 5\n";
+        assert!(matches!(
+            ServerCheckpoint::parse(truncated),
+            Err(CheckpointError::Format { .. })
+        ));
+        let dup = text.replace("exporter 7 911", "exporter 1 911");
+        assert!(matches!(
+            ServerCheckpoint::parse(&dup),
+            Err(CheckpointError::Format { reason, .. }) if reason.contains("duplicate")
+        ));
+        let garbled = text.replace("exporter 7 911", "exporter seven 911");
+        assert!(ServerCheckpoint::parse(&garbled).is_err());
+    }
+}

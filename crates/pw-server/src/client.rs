@@ -1,0 +1,176 @@
+//! The exporter side of the wire protocol: stream a flow list to a
+//! running [`Server`](crate::Server), surviving disconnects and server
+//! restarts.
+//!
+//! [`send_flows`] is what `findplotters send` runs, and what the chaos
+//! tests drive: a [`pw_chaos::ConnPlan`] injects connection-level faults
+//! by severing the socket (no `Bye`) after seeded positions in the
+//! stream. On every (re)connect the client handshakes and obeys the
+//! server's acked `next_seq` *unconditionally* — skipping forward past
+//! flows another life of this connection already delivered, or rewinding
+//! backward when a restarted server lost its tail to the last
+//! checkpoint. Either way the applied stream is exactly-once.
+
+use std::io::{self, BufWriter, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+
+use pw_chaos::ConnPlan;
+use pw_flow::frame::{self, Frame, FrameError, Hello};
+use pw_flow::FlowRecord;
+
+/// Why the exporter gave up.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connecting or writing failed.
+    Io(io::Error),
+    /// The server's handshake or ack was malformed.
+    Frame(FrameError),
+    /// The server acked a sequence beyond the end of this exporter's
+    /// stream — it has applied flows this client never had.
+    AckBeyondEnd {
+        /// The acked next sequence.
+        next_seq: u64,
+        /// Flows this client holds.
+        have: usize,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "exporter connection: {e}"),
+            ClientError::Frame(e) => write!(f, "exporter handshake: {e}"),
+            ClientError::AckBeyondEnd { next_seq, have } => write!(
+                f,
+                "server expects sequence {next_seq} but this exporter only has {have} flows"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Frame(e) => Some(e),
+            ClientError::AckBeyondEnd { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// Knobs for [`send_flows`].
+#[derive(Debug, Clone, Default)]
+pub struct SendOptions {
+    /// Seeded connection-fault plan; [`ConnPlan::none`] streams in one
+    /// unbroken connection.
+    pub plan: ConnPlan,
+    /// Send a `Tick` heartbeat (feed clock = the flow's start time)
+    /// after every `n` flows, driving the server's stall detector.
+    pub tick_every: Option<usize>,
+}
+
+/// What a completed send did, for logs and assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SendReport {
+    /// Flow frames written, counting re-sends after reconnects.
+    pub sent: u64,
+    /// Flows skipped because a server ack showed them already applied.
+    pub skipped: u64,
+    /// Reconnects performed (injected cuts, not network errors).
+    pub reconnects: u64,
+}
+
+/// Streams `flows` to the server at `addr` as exporter `exporter_id`,
+/// sequencing from 0, honouring the fault plan in `opts`, and finishing
+/// with `Bye`. Returns once every flow has been delivered at least once
+/// past the server's ack point.
+///
+/// # Errors
+///
+/// [`ClientError`] on socket failure, a malformed handshake, or a server
+/// ack past the end of the stream.
+pub fn send_flows<A: ToSocketAddrs>(
+    addr: A,
+    exporter_id: u32,
+    flows: &[FlowRecord],
+    opts: &SendOptions,
+) -> Result<SendReport, ClientError> {
+    let mut report = SendReport::default();
+    // Cut positions are consumed in order so a post-restart rewind does
+    // not re-trigger a cut already taken.
+    let mut cuts = opts.plan.cuts().iter().copied().peekable();
+    let mut resume_from = 0usize;
+    loop {
+        let stream = TcpStream::connect(&addr)?;
+        let mut w = BufWriter::new(stream);
+        frame::write_hello(&mut w, Hello { exporter_id })?;
+        w.flush()?;
+        let ack = frame::read_hello_ack(w.get_mut())?;
+        let next = usize::try_from(ack.next_seq).map_err(|_| ClientError::AckBeyondEnd {
+            next_seq: ack.next_seq,
+            have: flows.len(),
+        })?;
+        if next > flows.len() {
+            return Err(ClientError::AckBeyondEnd {
+                next_seq: ack.next_seq,
+                have: flows.len(),
+            });
+        }
+        report.skipped += next.saturating_sub(resume_from) as u64;
+        // A forward skip can jump past a cut we never reached; drop such
+        // stale positions or they would never fire and never be consumed.
+        while cuts.peek().is_some_and(|&c| c <= next) {
+            cuts.next();
+        }
+        let mut cut = false;
+        for (k, flow) in flows.iter().enumerate().skip(next) {
+            frame::write_frame(
+                &mut w,
+                &Frame::Flow {
+                    seq: k as u64,
+                    flow: *flow,
+                },
+            )?;
+            report.sent += 1;
+            resume_from = k + 1;
+            if let Some(every) = opts.tick_every {
+                if every > 0 && (k + 1) % every == 0 {
+                    frame::write_frame(
+                        &mut w,
+                        &Frame::Tick {
+                            now_ms: flow.start.as_millis(),
+                        },
+                    )?;
+                }
+            }
+            if cuts.peek() == Some(&(k + 1)) {
+                cuts.next();
+                cut = true;
+                break;
+            }
+        }
+        w.flush()?;
+        if cut {
+            // Sever abruptly: no Bye, just a closed socket — the shape of
+            // an exporter crash or a dropped link.
+            w.get_ref().shutdown(Shutdown::Both)?;
+            report.reconnects += 1;
+            continue;
+        }
+        frame::write_frame(&mut w, &Frame::Bye)?;
+        w.flush()?;
+        return Ok(report);
+    }
+}

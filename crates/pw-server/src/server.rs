@@ -1,0 +1,470 @@
+//! The accept loop, connection handlers, and the engine thread.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread;
+
+use pw_detect::checkpoint::CheckpointError;
+use pw_detect::{ConfigError, DetectionEngine, WindowReport};
+use pw_flow::frame::{self, Frame, HelloAck, MAGIC};
+use pw_flow::FlowRecord;
+use pw_netsim::SimTime;
+
+use crate::checkpoint::{read_server_checkpoint, write_server_checkpoint, ServerCheckpoint};
+use crate::ServerConfig;
+
+/// Why the server could not start or stopped abnormally.
+#[derive(Debug)]
+pub enum ServerError {
+    /// An invalid [`ServerConfig`].
+    Config(ConfigError),
+    /// Binding or accepting on the listen socket failed.
+    Io(io::Error),
+    /// An existing checkpoint could not be loaded at startup.
+    Checkpoint(CheckpointError),
+    /// The engine thread died (a bug — the engine never panics by
+    /// contract; this is the crash-only backstop).
+    EngineDied,
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Config(e) => write!(f, "invalid server configuration: {e}"),
+            ServerError::Io(e) => write!(f, "server socket: {e}"),
+            ServerError::Checkpoint(e) => write!(f, "cannot resume from checkpoint: {e}"),
+            ServerError::EngineDied => f.write_str("engine thread died unexpectedly"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Config(e) => Some(e),
+            ServerError::Io(e) => Some(e),
+            ServerError::Checkpoint(e) => Some(e),
+            ServerError::EngineDied => None,
+        }
+    }
+}
+
+impl From<ConfigError> for ServerError {
+    fn from(e: ConfigError) -> Self {
+        ServerError::Config(e)
+    }
+}
+
+impl From<io::Error> for ServerError {
+    fn from(e: io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+impl From<CheckpointError> for ServerError {
+    fn from(e: CheckpointError) -> Self {
+        ServerError::Checkpoint(e)
+    }
+}
+
+/// Everything connection threads hand to the engine thread. One bounded
+/// queue totally orders ingest and queries, so the engine needs no locks.
+enum Msg {
+    /// An exporter connected; reply with the next sequence it should send.
+    Hello {
+        exporter_id: u32,
+        reply: Sender<u64>,
+    },
+    /// One sequenced flow from an exporter.
+    Flow {
+        exporter_id: u32,
+        seq: u64,
+        flow: FlowRecord,
+    },
+    /// Feed-clock heartbeat for the stall detector.
+    Tick { now_ms: u64 },
+    /// A text command; reply with the full response text.
+    Query { line: String, reply: Sender<String> },
+}
+
+/// A bound, not-yet-running detection service. [`run`](Server::run)
+/// blocks serving connections until a `SHUTDOWN` command arrives.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    tx: SyncSender<Msg>,
+    engine_thread: thread::JoinHandle<()>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the listen socket and spins up the engine thread. If the
+    /// configured checkpoint file exists, the engine and every exporter
+    /// sequence resume from it (the checkpoint's engine configuration
+    /// wins over `cfg.engine`, so a resumed run continues byte-identically).
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError`] on invalid configuration, an unreadable or corrupt
+    /// checkpoint, or socket failure.
+    pub fn bind<A, F>(addr: A, cfg: ServerConfig, is_internal: F) -> Result<Self, ServerError>
+    where
+        A: ToSocketAddrs,
+        F: Fn(Ipv4Addr) -> bool + Send + Sync + 'static,
+    {
+        cfg.validate()?;
+        let (engine, exporters) = match &cfg.checkpoint_path {
+            Some(path) if path.exists() => {
+                let snapshot = read_server_checkpoint(path)?;
+                let engine = DetectionEngine::restore(&snapshot.engine, is_internal)?;
+                (engine, snapshot.exporters)
+            }
+            _ => (
+                DetectionEngine::new(cfg.engine, is_internal)?,
+                BTreeMap::new(),
+            ),
+        };
+
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = sync_channel(cfg.queue_depth);
+
+        let state = EngineState {
+            engine,
+            exporters,
+            reports: Vec::new(),
+            checkpoint_path: cfg.checkpoint_path.clone(),
+            checkpoint_every: cfg.checkpoint_every,
+            since_checkpoint: 0,
+            checkpoint_errors: 0,
+        };
+        let stop_flag = Arc::clone(&stop);
+        let engine_thread = thread::spawn(move || engine_loop(state, rx, stop_flag, local_addr));
+
+        Ok(Server {
+            listener,
+            local_addr,
+            tx,
+            engine_thread,
+            stop,
+        })
+    }
+
+    /// The bound address (with the OS-assigned port when bound to `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Serves connections until a query client sends `SHUTDOWN`. Each
+    /// connection is sniffed by its first four bytes: [`frame::MAGIC`]
+    /// starts a binary exporter session, anything else a text query
+    /// session.
+    ///
+    /// Query grammar (one command per line, responses end with `\n`):
+    ///
+    /// - `STATS` — one `stats key=value ...` line of engine counters;
+    /// - `REPORT` — the latest window verdict: a `report ...` header,
+    ///   `sets`/`taus` lines (thresholds as IEEE-754 bit patterns), one
+    ///   `suspect IP` line per suspect (sorted), then `end`;
+    /// - `FINISH` — applies all buffered flows and closes every open
+    ///   window (end of input);
+    /// - `CHECKPOINT` — forces a checkpoint now;
+    /// - `SHUTDOWN` — final checkpoint, then the server stops.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::EngineDied`] if the engine thread is gone.
+    pub fn run(self) -> Result<(), ServerError> {
+        for conn in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let tx = self.tx.clone();
+            thread::spawn(move || handle_connection(stream, &tx));
+        }
+        drop(self.tx);
+        self.engine_thread
+            .join()
+            .map_err(|_| ServerError::EngineDied)
+    }
+}
+
+/// State owned by the engine thread.
+struct EngineState<F: Fn(Ipv4Addr) -> bool + Sync> {
+    engine: DetectionEngine<F>,
+    /// Next expected sequence per exporter. A flow is applied exactly
+    /// when its sequence equals the expectation; replays after a
+    /// reconnect or restart fall below it and are skipped.
+    exporters: BTreeMap<u32, u64>,
+    reports: Vec<WindowReport>,
+    checkpoint_path: Option<PathBuf>,
+    checkpoint_every: u64,
+    since_checkpoint: u64,
+    checkpoint_errors: u64,
+}
+
+impl<F: Fn(Ipv4Addr) -> bool + Sync> EngineState<F> {
+    fn checkpoint_now(&mut self) -> Result<(), io::Error> {
+        let Some(path) = &self.checkpoint_path else {
+            return Ok(());
+        };
+        let snapshot = ServerCheckpoint {
+            exporters: self.exporters.clone(),
+            engine: self.engine.checkpoint(),
+        };
+        write_server_checkpoint(path, &snapshot).inspect_err(|_| self.checkpoint_errors += 1)
+    }
+
+    fn stats_text(&self) -> String {
+        let s = self.engine.stats();
+        format!(
+            "stats attempted={} accepted={} late={} late_dropped={} late_extended={} \
+             shed={} quarantined={} duplicates={} stall_flushes={} held={} \
+             exporters={} windows={} checkpoint_errors={}\n",
+            s.attempted,
+            s.accepted,
+            s.late,
+            s.late_dropped,
+            s.late_extended,
+            s.shed,
+            s.quarantined,
+            s.duplicates,
+            s.stall_flushes,
+            self.engine.held_flows(),
+            self.exporters.len(),
+            self.reports.len(),
+            self.checkpoint_errors,
+        )
+    }
+
+    fn report_text(&self) -> String {
+        let Some(w) = self.reports.last() else {
+            return "report none\nend\n".to_owned();
+        };
+        let mut out = format!(
+            "report index={} start_ms={} end_ms={} flows={} hosts={} evicted={} \
+             late={} dropped={} quarantined={} duplicates={} forced={}\n",
+            w.index,
+            w.start.as_millis(),
+            w.end.as_millis(),
+            w.flows,
+            w.hosts,
+            w.evicted,
+            w.late,
+            w.dropped,
+            w.quarantined,
+            w.duplicates,
+            u8::from(w.forced),
+        );
+        match &w.outcome {
+            Ok(r) => {
+                out.push_str(&format!(
+                    "sets all={} reduced={} vol={} churn={} union={} suspects={}\n",
+                    r.all_hosts.len(),
+                    r.after_reduction.len(),
+                    r.s_vol.len(),
+                    r.s_churn.len(),
+                    r.union.len(),
+                    r.suspects.len(),
+                ));
+                // Bit patterns, not decimals: a batch run's report can be
+                // compared for byte identity.
+                out.push_str(&format!(
+                    "taus reduction={:016x} vol={:016x} churn={:016x} hm={:016x}\n",
+                    r.reduction_threshold.to_bits(),
+                    r.tau_vol.to_bits(),
+                    r.tau_churn.to_bits(),
+                    r.hm.tau.to_bits(),
+                ));
+                let mut suspects: Vec<Ipv4Addr> = r.suspects.iter().copied().collect();
+                suspects.sort_unstable();
+                for ip in suspects {
+                    out.push_str(&format!("suspect {ip}\n"));
+                }
+            }
+            Err(e) => out.push_str(&format!("outcome err {e}\n")),
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Executes one query; returns the response text and whether to shut
+    /// down.
+    fn handle_query(&mut self, line: &str) -> (String, bool) {
+        match line {
+            "STATS" => (self.stats_text(), false),
+            "REPORT" => (self.report_text(), false),
+            "FINISH" => {
+                let ws = self.engine.finish();
+                let n = ws.len();
+                self.reports.extend(ws);
+                (format!("ok windows={n}\n"), false)
+            }
+            "CHECKPOINT" => match self.checkpoint_now() {
+                Ok(()) => ("ok\n".to_owned(), false),
+                Err(e) => (format!("err checkpoint: {e}\n"), false),
+            },
+            "SHUTDOWN" => match self.checkpoint_now() {
+                Ok(()) => ("ok\n".to_owned(), true),
+                Err(e) => (format!("err final checkpoint: {e}\n"), true),
+            },
+            other => (format!("err unknown command {other:?}\n"), false),
+        }
+    }
+}
+
+/// The engine thread: drains the queue until shutdown (or until every
+/// sender is gone).
+fn engine_loop<F: Fn(Ipv4Addr) -> bool + Sync>(
+    mut st: EngineState<F>,
+    rx: Receiver<Msg>,
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Hello { exporter_id, reply } => {
+                let next = *st.exporters.entry(exporter_id).or_insert(0);
+                let _ = reply.send(next);
+            }
+            Msg::Flow {
+                exporter_id,
+                seq,
+                flow,
+            } => {
+                let next = st.exporters.entry(exporter_id).or_insert(0);
+                if seq != *next {
+                    // Below: already applied (replay after reconnect or
+                    // restart). Above: out of protocol. Either way,
+                    // applying would break exactly-once — skip.
+                    continue;
+                }
+                *next += 1;
+                // Per-flow errors (late under Reject, quarantined records)
+                // are already counted by the engine; the sequence still
+                // advances — the flow was delivered.
+                if let Ok(ws) = st.engine.push(flow) {
+                    st.reports.extend(ws);
+                }
+                st.since_checkpoint += 1;
+                if st.since_checkpoint >= st.checkpoint_every {
+                    st.since_checkpoint = 0;
+                    if let Err(e) = st.checkpoint_now() {
+                        eprintln!("pw-server: periodic checkpoint failed: {e}");
+                    }
+                }
+            }
+            Msg::Tick { now_ms } => {
+                let ws = st.engine.tick(SimTime::from_millis(now_ms));
+                st.reports.extend(ws);
+            }
+            Msg::Query { line, reply } => {
+                let (response, shutdown) = st.handle_query(&line);
+                let _ = reply.send(response);
+                if shutdown {
+                    stop.store(true, Ordering::SeqCst);
+                    // Wake the accept loop so it observes the flag.
+                    let _ = TcpStream::connect(addr);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Sniffs the first four bytes and dispatches to the exporter or query
+/// protocol. Runs on its own thread; errors end the connection.
+fn handle_connection(mut stream: TcpStream, tx: &SyncSender<Msg>) {
+    let mut first = [0u8; 4];
+    if stream.read_exact(&mut first).is_err() {
+        return;
+    }
+    if first == MAGIC {
+        let _ = exporter_session(stream, first, tx);
+    } else {
+        let _ = query_session(stream, first, tx);
+    }
+}
+
+/// One exporter connection: handshake, then frames until EOF or `Bye`.
+fn exporter_session(
+    mut stream: TcpStream,
+    first: [u8; 4],
+    tx: &SyncSender<Msg>,
+) -> Result<(), frame::FrameError> {
+    let hello = frame::read_hello(&mut stream, &first)?;
+    let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+    let sent = tx.send(Msg::Hello {
+        exporter_id: hello.exporter_id,
+        reply: reply_tx,
+    });
+    let (Ok(()), Ok(next_seq)) = (sent, reply_rx.recv()) else {
+        return Ok(()); // server shutting down
+    };
+    frame::write_hello_ack(&mut stream, HelloAck { next_seq })?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        match frame::read_frame(&mut reader)? {
+            // A severed connection is normal exporter behaviour — the
+            // reconnect handshake resumes it; nothing to unwind here.
+            None | Some(Frame::Bye) => return Ok(()),
+            Some(Frame::Tick { now_ms }) => {
+                if tx.send(Msg::Tick { now_ms }).is_err() {
+                    return Ok(());
+                }
+            }
+            Some(Frame::Flow { seq, flow }) => {
+                let msg = Msg::Flow {
+                    exporter_id: hello.exporter_id,
+                    seq,
+                    flow,
+                };
+                // A full queue blocks here — backpressure to the socket.
+                if tx.send(msg).is_err() {
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+/// One query connection: text commands, one per line.
+fn query_session(stream: TcpStream, first: [u8; 4], tx: &SyncSender<Msg>) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    // The sniffed bytes are the start of the first command line.
+    let mut line = String::from_utf8_lossy(&first).into_owned();
+    reader.read_line(&mut line)?;
+    loop {
+        let cmd = line.trim().to_owned();
+        if !cmd.is_empty() {
+            let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+            let sent = tx.send(Msg::Query {
+                line: cmd.clone(),
+                reply: reply_tx,
+            });
+            let response = match (sent, reply_rx.recv()) {
+                (Ok(()), Ok(r)) => r,
+                _ => "err server stopped\n".to_owned(),
+            };
+            writer.write_all(response.as_bytes())?;
+            writer.flush()?;
+            if cmd == "SHUTDOWN" {
+                return Ok(());
+            }
+        }
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(());
+        }
+    }
+}

@@ -9,8 +9,11 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> cargo clippy (deny warnings)"
-cargo clippy --workspace --all-targets -- -D warnings
+echo "==> cargo clippy (deny warnings + deprecated API use)"
+# `-D deprecated` keeps the workspace itself off the `pw_detect::compat`
+# legacy surface; the compat parity tests opt back in with
+# `#[allow(deprecated)]`.
+cargo clippy --workspace --all-targets -- -D warnings -D deprecated
 
 echo "==> pw-lint (determinism & panic-safety rules + dependency policy)"
 # Exits nonzero on any unallowlisted violation, stale lint.toml entry,
@@ -23,6 +26,17 @@ cargo test --workspace -q
 
 echo "==> fault-injection suite (chaos + checkpoint/restore)"
 cargo test -q --test chaos_injection --test checkpoint_roundtrip
+
+echo "==> server smoke (serve / chaos send / kill -9 / resume / diff vs batch)"
+# A seeded multi-exporter day through `findplotters serve`, with injected
+# disconnects and a mid-run SIGKILL, must reach the same verdict as batch
+# `findplotters` over the merged CSV.
+if ./scripts/server_smoke.sh; then
+  echo "server smoke OK"
+else
+  echo "server smoke FAILED" >&2
+  exit 1
+fi
 
 echo "==> cargo bench --no-run (benches must keep compiling)"
 cargo bench --workspace --no-run -q

@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# Server smoke test: detection-as-a-service must match batch detection.
+#
+# Drives the real binaries end to end:
+#   1. generate a small seeded campus day and stripe it across 3 exporters;
+#   2. run `findplotters serve` on an ephemeral port with checkpointing;
+#   3. stream two exporters (one with seeded mid-stream disconnects),
+#      snapshot, then `kill -9` the server;
+#   4. restart from the checkpoint, replay everything (the sequence
+#      handshake skips applied flows), add the third exporter;
+#   5. FINISH + REPORT, and diff the suspect list against a batch
+#      `findplotters` run over the merged CSV.
+#
+# Exits nonzero on any divergence. Skips (exit 0) where loopback sockets
+# cannot be bound, mirroring tests/server_e2e.rs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FP=target/debug/findplotters
+GEN=target/debug/gen-campus
+cargo build -q --bin findplotters --bin gen-campus
+
+SMOKE=$(mktemp -d)
+SERVER=""
+cleanup() {
+  [ -n "$SERVER" ] && kill -9 "$SERVER" 2>/dev/null || true
+  rm -rf "$SMOKE"
+}
+trap cleanup EXIT
+
+# Wait until the server has applied exactly $2 flows (sends return when
+# the frames leave the socket, not when the engine consumes them).
+wait_applied() {
+  local addr=$1 want=$2 i
+  for i in $(seq 200); do
+    if "$FP" query --connect "$addr" STATS | grep -q "attempted=$want "; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "server at $addr never applied $want flows" >&2
+  return 1
+}
+
+# Start a server life against the shared checkpoint; sets $SERVER and $ADDR.
+start_server() {
+  local log=$1
+  "$FP" serve --bind 127.0.0.1:0 --window 48 --lateness 2880 \
+    --checkpoint "$SMOKE/server.ckpt" --checkpoint-every 4096 \
+    >"$log" 2>/dev/null &
+  SERVER=$!
+  local i
+  for i in $(seq 100); do
+    grep -q '^listening on ' "$log" 2>/dev/null && break
+    if ! kill -0 "$SERVER" 2>/dev/null; then
+      return 1
+    fi
+    sleep 0.1
+  done
+  ADDR=$(awk '/^listening on /{print $3; exit}' "$log")
+  [ -n "$ADDR" ]
+}
+
+"$GEN" "$SMOKE" --seed 3 --small >/dev/null 2>&1
+
+# Stripe the day round-robin across three border exporters.
+head -1 "$SMOKE/flows.csv" | tee "$SMOKE/e1.csv" "$SMOKE/e2.csv" "$SMOKE/e3.csv" >/dev/null
+tail -n +2 "$SMOKE/flows.csv" | awk -v d="$SMOKE" '
+  NR%3==1{print >> (d"/e1.csv")}
+  NR%3==2{print >> (d"/e2.csv")}
+  NR%3==0{print >> (d"/e3.csv")}'
+TOTAL=$(($(wc -l <"$SMOKE/flows.csv") - 1))
+PART=$((($(wc -l <"$SMOKE/e1.csv") - 1) + ($(wc -l <"$SMOKE/e2.csv") - 1)))
+
+# Reference verdict: batch detection over the merged flows.
+"$FP" "$SMOKE/flows.csv" 2>/dev/null |
+  sed -n 's/^  \([0-9.]*\)$/\1/p' >"$SMOKE/want.txt"
+
+# Life 1: two exporters (one with seeded cuts), checkpoint, die hard.
+if ! start_server "$SMOKE/serve1.log"; then
+  echo "cannot bind loopback sockets here; skipping server smoke" >&2
+  exit 0
+fi
+"$FP" send "$SMOKE/e1.csv" --connect "$ADDR" --exporter 1 --cuts 2 --seed 7 2>/dev/null
+"$FP" send "$SMOKE/e2.csv" --connect "$ADDR" --exporter 2 2>/dev/null
+wait_applied "$ADDR" "$PART"
+"$FP" query --connect "$ADDR" CHECKPOINT >/dev/null
+kill -9 "$SERVER"
+wait "$SERVER" 2>/dev/null || true
+SERVER=""
+
+# Life 2: resume from the snapshot; replays are skipped, exporter 3 is new.
+start_server "$SMOKE/serve2.log"
+# Everything exporter 1 delivered before the kill was checkpointed, so
+# the replay must be skipped in full by the sequence handshake.
+"$FP" send "$SMOKE/e1.csv" --connect "$ADDR" --exporter 1 2>"$SMOKE/resend1.log"
+grep -q "exporter 1: 0 sent" "$SMOKE/resend1.log" || {
+  echo "exporter 1 was not skipped on resume:" >&2
+  cat "$SMOKE/resend1.log" >&2
+  exit 1
+}
+"$FP" send "$SMOKE/e2.csv" --connect "$ADDR" --exporter 2 2>/dev/null
+"$FP" send "$SMOKE/e3.csv" --connect "$ADDR" --exporter 3 --cuts 1 --seed 9 2>/dev/null
+wait_applied "$ADDR" "$TOTAL"
+"$FP" query --connect "$ADDR" FINISH >/dev/null
+"$FP" query --connect "$ADDR" REPORT >"$SMOKE/report.txt"
+"$FP" query --connect "$ADDR" SHUTDOWN >/dev/null
+wait "$SERVER" 2>/dev/null || true
+SERVER=""
+
+grep -q "flows=$TOTAL " "$SMOKE/report.txt" || {
+  echo "server window does not contain all $TOTAL flows:" >&2
+  head -1 "$SMOKE/report.txt" >&2
+  exit 1
+}
+sed -n 's/^suspect //p' "$SMOKE/report.txt" >"$SMOKE/got.txt"
+if ! diff -u "$SMOKE/want.txt" "$SMOKE/got.txt"; then
+  echo "server verdict diverges from batch findplotters" >&2
+  exit 1
+fi

@@ -26,6 +26,23 @@
 //! `--resume` revives the engine from the snapshot and skips the part of
 //! the file it already processed, producing the same verdicts as an
 //! uninterrupted run.
+//!
+//! Three subcommands run detection as a service (see `pw-server`):
+//!
+//! ```sh
+//! findplotters serve --bind ADDR [--internal CIDR]... [engine knobs] \
+//!     [--checkpoint FILE] [--checkpoint-every N] [--queue-depth N]
+//! findplotters send <flows.csv> --connect ADDR --exporter ID \
+//!     [--cuts N --seed S] [--tick-every N]
+//! findplotters query --connect ADDR CMD...
+//! ```
+//!
+//! `serve` prints `listening on ADDR` (bind to port 0 for an ephemeral
+//! port) and blocks until a `SHUTDOWN` query. `send` streams a CSV as one
+//! border exporter, optionally severing the connection after `--cuts`
+//! seeded positions to exercise reconnect resume. `query` sends text
+//! commands (`STATS`, `REPORT`, `FINISH`, `CHECKPOINT`, `SHUTDOWN`) and
+//! prints each response.
 
 use std::collections::{HashMap, HashSet};
 use std::fs;
@@ -33,6 +50,7 @@ use std::io::Write;
 use std::net::Ipv4Addr;
 use std::path::Path;
 
+use peerwatch::chaos::ConnPlan;
 use peerwatch::detect::checkpoint::{read_checkpoint, write_checkpoint};
 use peerwatch::detect::stream::{DetectionEngine, EngineConfig, LatePolicy};
 use peerwatch::detect::{
@@ -41,6 +59,7 @@ use peerwatch::detect::{
 use peerwatch::flow::csvio::{format_flow, read_flows_lossy, RowError};
 use peerwatch::flow::FlowTable;
 use peerwatch::netsim::{SimDuration, Subnet};
+use peerwatch::server::{send_flows, SendOptions, Server, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
@@ -49,7 +68,12 @@ fn usage() -> ! {
          [--threads N] [--window HOURS [--slide HOURS] [--lateness MINS]] \
          [--late-policy reject|drop|extend] [--max-flows N] [--dedupe] \
          [--reject-invalid] [--quarantine FILE] \
-         [--checkpoint FILE [--checkpoint-every N] [--resume]]"
+         [--checkpoint FILE [--checkpoint-every N] [--resume]]\n\
+         \x20      findplotters serve --bind ADDR [--internal CIDR]... [engine knobs] \
+         [--checkpoint FILE] [--checkpoint-every N] [--queue-depth N]\n\
+         \x20      findplotters send <flows.csv> --connect ADDR --exporter ID \
+         [--cuts N --seed S] [--tick-every N]\n\
+         \x20      findplotters query --connect ADDR CMD..."
     );
     std::process::exit(2)
 }
@@ -194,9 +218,225 @@ fn print_report(report: &PlotterReport) {
     }
 }
 
+/// Loads a flow CSV (lossy), reporting malformed rows to stderr.
+fn load_flows(path: &str) -> Vec<peerwatch::flow::FlowRecord> {
+    let file = fs::File::open(path).unwrap_or_else(|e| fail(&format!("cannot open {path}: {e}")));
+    let (flows, row_errors) = read_flows_lossy(std::io::BufReader::new(file))
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    if row_errors.is_empty() {
+        eprintln!("loaded {} flows", flows.len());
+    } else {
+        eprintln!(
+            "loaded {} flows; skipped {} malformed rows",
+            flows.len(),
+            row_errors.len()
+        );
+    }
+    flows
+}
+
+/// `findplotters serve`: run the detection service until `SHUTDOWN`.
+#[allow(clippy::too_many_lines)]
+fn serve_main(args: &[String]) -> ! {
+    let mut bind: Option<String> = None;
+    let mut subnets: Vec<Subnet> = Vec::new();
+    let mut builder = FindPlottersConfig::builder();
+    let mut threads: usize = 1;
+    let mut window_hours: f64 = 24.0;
+    let mut slide_hours: Option<f64> = None;
+    let mut lateness_mins: f64 = 10.0;
+    let mut late_policy = LatePolicy::Reject;
+    let mut max_flows: Option<usize> = None;
+    let mut dedupe = false;
+    let mut reject_invalid = false;
+    let mut server_builder = ServerConfig::builder();
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--bind" => bind = Some(next_value(&mut it, a)),
+            "--internal" => subnets.push(parse_cidr(&next_value(&mut it, a))),
+            "--tau-vol" => {
+                builder =
+                    builder.tau_vol(Threshold::Percentile(parse_f64(a, &next_value(&mut it, a))));
+            }
+            "--tau-churn" => {
+                builder =
+                    builder.tau_churn(Threshold::Percentile(parse_f64(a, &next_value(&mut it, a))));
+            }
+            "--tau-hm" => {
+                builder =
+                    builder.tau_hm(Threshold::Percentile(parse_f64(a, &next_value(&mut it, a))));
+            }
+            "--no-reduction" => builder = builder.with_reduction(false),
+            "--threads" => threads = parse_usize(a, &next_value(&mut it, a)),
+            "--window" => window_hours = parse_f64(a, &next_value(&mut it, a)),
+            "--slide" => slide_hours = Some(parse_f64(a, &next_value(&mut it, a))),
+            "--lateness" => lateness_mins = parse_f64(a, &next_value(&mut it, a)),
+            "--late-policy" => late_policy = parse_late_policy(&next_value(&mut it, a)),
+            "--max-flows" => max_flows = Some(parse_usize(a, &next_value(&mut it, a))),
+            "--dedupe" => dedupe = true,
+            "--reject-invalid" => reject_invalid = true,
+            "--checkpoint" => {
+                server_builder = server_builder.checkpoint_path(next_value(&mut it, a));
+            }
+            "--checkpoint-every" => {
+                server_builder =
+                    server_builder.checkpoint_every(parse_usize(a, &next_value(&mut it, a)) as u64);
+            }
+            "--queue-depth" => {
+                server_builder =
+                    server_builder.queue_depth(parse_usize(a, &next_value(&mut it, a)));
+            }
+            _ => bad_arg(&format!("unrecognized serve argument {a:?}")),
+        }
+    }
+    let Some(bind) = bind else {
+        bad_arg("serve requires --bind ADDR (use port 0 for an ephemeral port)");
+    };
+    if subnets.is_empty() {
+        subnets.push(parse_cidr("10.1.0.0/16"));
+        subnets.push(parse_cidr("10.2.0.0/16"));
+    }
+    let detect = builder
+        .build()
+        .unwrap_or_else(|e| bad_arg(&format!("invalid configuration: {e}")));
+    let engine_cfg = EngineConfig {
+        window: SimDuration::from_secs_f64(window_hours * 3600.0),
+        slide: SimDuration::from_secs_f64(slide_hours.unwrap_or(window_hours) * 3600.0),
+        lateness: SimDuration::from_secs_f64(lateness_mins * 60.0),
+        threads,
+        late_policy,
+        max_flows,
+        dedupe,
+        reject_invalid,
+        detect,
+        ..Default::default()
+    };
+    let server_cfg = server_builder
+        .engine(engine_cfg)
+        .build()
+        .unwrap_or_else(|e| bad_arg(&format!("invalid server configuration: {e}")));
+
+    let is_internal = move |ip: Ipv4Addr| subnets.iter().any(|s| s.contains(ip));
+    let server = Server::bind(bind.as_str(), server_cfg, is_internal)
+        .unwrap_or_else(|e| fail(&format!("cannot start server: {e}")));
+    println!("listening on {}", server.local_addr());
+    std::io::stdout()
+        .flush()
+        .unwrap_or_else(|e| fail(&format!("stdout: {e}")));
+    server
+        .run()
+        .unwrap_or_else(|e| fail(&format!("server failed: {e}")));
+    std::process::exit(0)
+}
+
+/// `findplotters send`: stream a CSV to a running server as one exporter.
+fn send_main(args: &[String]) -> ! {
+    let mut flows_path: Option<String> = None;
+    let mut connect: Option<String> = None;
+    let mut exporter: Option<u32> = None;
+    let mut cuts: usize = 0;
+    let mut seed: u64 = 0;
+    let mut opts = SendOptions::default();
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--connect" => connect = Some(next_value(&mut it, a)),
+            "--exporter" => {
+                exporter = Some(
+                    u32::try_from(parse_usize(a, &next_value(&mut it, a)))
+                        .unwrap_or_else(|_| bad_arg("--exporter must fit in 32 bits")),
+                );
+            }
+            "--cuts" => cuts = parse_usize(a, &next_value(&mut it, a)),
+            "--seed" => seed = parse_usize(a, &next_value(&mut it, a)) as u64,
+            "--tick-every" => opts.tick_every = Some(parse_usize(a, &next_value(&mut it, a))),
+            _ if flows_path.is_none() && !a.starts_with('-') => flows_path = Some(a.clone()),
+            _ => bad_arg(&format!("unrecognized send argument {a:?}")),
+        }
+    }
+    let Some(flows_path) = flows_path else {
+        bad_arg("send requires a flows.csv");
+    };
+    let Some(connect) = connect else {
+        bad_arg("send requires --connect ADDR");
+    };
+    let Some(exporter) = exporter else {
+        bad_arg("send requires --exporter ID");
+    };
+    let flows = load_flows(&flows_path);
+    if cuts > 0 {
+        opts.plan = ConnPlan::new(seed, flows.len(), cuts);
+    }
+    let report = send_flows(connect.as_str(), exporter, &flows, &opts)
+        .unwrap_or_else(|e| fail(&format!("send failed: {e}")));
+    eprintln!(
+        "exporter {exporter}: {} sent, {} skipped, {} reconnects",
+        report.sent, report.skipped, report.reconnects
+    );
+    std::process::exit(0)
+}
+
+/// `findplotters query`: send text commands and print the responses.
+fn query_main(args: &[String]) -> ! {
+    let mut connect: Option<String> = None;
+    let mut commands: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--connect" => connect = Some(next_value(&mut it, a)),
+            _ if !a.starts_with('-') => commands.push(a.clone()),
+            _ => bad_arg(&format!("unrecognized query argument {a:?}")),
+        }
+    }
+    let Some(connect) = connect else {
+        bad_arg("query requires --connect ADDR");
+    };
+    if commands.is_empty() {
+        bad_arg(
+            "query requires at least one command (STATS, REPORT, FINISH, CHECKPOINT, SHUTDOWN)",
+        );
+    }
+    let stream = std::net::TcpStream::connect(connect.as_str())
+        .unwrap_or_else(|e| fail(&format!("cannot connect to {connect}: {e}")));
+    let mut reader = std::io::BufReader::new(
+        stream
+            .try_clone()
+            .unwrap_or_else(|e| fail(&format!("socket: {e}"))),
+    );
+    let mut writer = stream;
+    for cmd in &commands {
+        writeln!(writer, "{cmd}").unwrap_or_else(|e| fail(&format!("write to {connect}: {e}")));
+        // Single-line responses end with `\n`; multi-line REPORT responses
+        // end with an `end` line.
+        loop {
+            let mut line = String::new();
+            let n = std::io::BufRead::read_line(&mut reader, &mut line)
+                .unwrap_or_else(|e| fail(&format!("read from {connect}: {e}")));
+            if n == 0 {
+                fail("server closed the connection mid-response");
+            }
+            print!("{line}");
+            let done = cmd != "REPORT" || line.trim_end() == "end";
+            if done {
+                break;
+            }
+        }
+    }
+    std::process::exit(0)
+}
+
 #[allow(clippy::too_many_lines)]
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => serve_main(&args[1..]),
+        Some("send") => send_main(&args[1..]),
+        Some("query") => query_main(&args[1..]),
+        _ => {}
+    }
     let mut flows_path: Option<String> = None;
     let mut subnets: Vec<Subnet> = Vec::new();
     let mut truth_path: Option<String> = None;

@@ -21,7 +21,11 @@
 //! - [`data`]: dataset assembly — campus days, honeynet traces, overlays,
 //!   ground truth;
 //! - [`chaos`]: deterministic fault injection (drop/duplicate/reorder/
-//!   corrupt/stall) for hardening the streaming ingest path.
+//!   corrupt/stall) for hardening the streaming ingest path;
+//! - [`server`]: detection as a service — a long-running TCP server that
+//!   ingests sequenced flow frames from multiple border exporters,
+//!   checkpoints atomically, and answers line-oriented queries
+//!   (`findplotters serve` / `findplotters send`).
 //!
 //! # Quick start
 //!
@@ -96,4 +100,5 @@ pub use pw_detect as detect;
 pub use pw_flow as flow;
 pub use pw_kad as kad;
 pub use pw_netsim as netsim;
+pub use pw_server as server;
 pub use pw_traders as traders;

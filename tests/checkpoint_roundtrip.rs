@@ -7,7 +7,9 @@
 use std::net::Ipv4Addr;
 
 use peerwatch::detect::checkpoint::{read_checkpoint, write_checkpoint, EngineCheckpoint};
-use peerwatch::detect::stream::{DetectionEngine, EngineConfig, LatePolicy, WindowReport};
+use peerwatch::detect::stream::{
+    DetectionEngine, EngineConfig, EngineStats, LatePolicy, WindowReport,
+};
 use peerwatch::flow::{FlowRecord, FlowState, Payload, Proto};
 use peerwatch::netsim::{SimDuration, SimTime};
 
@@ -186,4 +188,118 @@ fn resume_through_disk_continues_under_degraded_modes() {
     assert_eq!(reports, straight.0);
     assert_eq!(second.stats(), straight.1);
     std::fs::remove_file(&path).ok();
+}
+
+/// Arrival stream with every per-report delta counter active: scrambled
+/// order produces late flows (dropped under [`LatePolicy::Drop`]),
+/// corrupted records are quarantined, a tight `max_flows` cap sheds, and
+/// in-stream duplicates exercise dedupe.
+fn counter_heavy_feed() -> Vec<FlowRecord> {
+    let mut flows = feed();
+    for chunk in flows.chunks_mut(24) {
+        chunk.reverse();
+    }
+    // Invalid-record bait: bytes without packets fails validation
+    // regardless of timestamps, so `reject_invalid` quarantines these.
+    for f in flows.iter_mut().skip(5).step_by(37) {
+        f.src_pkts = 0;
+    }
+    // Duplicate bait: exact copies arriving back-to-back land in the same
+    // window and trip the dedupe path.
+    let mut augmented = Vec::with_capacity(flows.len() + flows.len() / 50 + 1);
+    for (i, f) in flows.iter().enumerate() {
+        augmented.push(*f);
+        if i % 53 == 10 {
+            augmented.push(*f);
+        }
+    }
+    augmented
+}
+
+fn run_counter_heavy(
+    flows: &[FlowRecord],
+    cfg: EngineConfig,
+    cut: Option<usize>,
+) -> (Vec<WindowReport>, EngineStats) {
+    let mut eng = DetectionEngine::new(cfg, internal as fn(Ipv4Addr) -> bool).unwrap();
+    let mut reports = Vec::new();
+    let cut = cut.unwrap_or(flows.len());
+    for f in &flows[..cut] {
+        // Quarantined records surface as per-flow errors; the stream
+        // continues either way.
+        if let Ok(r) = eng.push(*f) {
+            reports.extend(r);
+        }
+    }
+    if cut < flows.len() {
+        // Interrupt: serialize, drop, revive in a "fresh process".
+        let snapshot = EngineCheckpoint::parse(&eng.checkpoint().serialize()).unwrap();
+        drop(eng);
+        eng = DetectionEngine::restore(&snapshot, internal as fn(Ipv4Addr) -> bool).unwrap();
+        for f in &flows[cut..] {
+            if let Ok(r) = eng.push(*f) {
+                reports.extend(r);
+            }
+        }
+    }
+    reports.extend(eng.finish());
+    (reports, eng.stats())
+}
+
+#[test]
+fn delta_counters_survive_a_cut_at_every_point() {
+    // Pinned semantics: late/dropped/quarantined deltas attribute to the
+    // *next window to close* after the event, pending deltas ride along in
+    // the checkpoint, and a resume at ANY cut point — including mid-window
+    // with nonzero pending deltas — reproduces the uninterrupted report
+    // sequence and cumulative stats exactly.
+    let flows = counter_heavy_feed();
+    for policy in [
+        LatePolicy::Drop,
+        LatePolicy::Reject,
+        LatePolicy::ExtendOldest,
+    ] {
+        let dcfg = EngineConfig {
+            late_policy: policy,
+            dedupe: true,
+            reject_invalid: true,
+            max_flows: Some(120),
+            ..cfg(1)
+        };
+
+        let (expected_reports, expected_stats) = run_counter_heavy(&flows, dcfg, None);
+        // The feed must actually exercise every counter, or the sweep
+        // proves nothing.
+        assert!(expected_stats.late > 0, "feed produced no late flows");
+        assert!(
+            expected_stats.quarantined > 0,
+            "feed produced no quarantines"
+        );
+        assert!(expected_stats.shed > 0, "feed produced no shedding");
+        assert!(expected_stats.duplicates > 0, "feed produced no duplicates");
+
+        // Conservation: every counted event is reported in exactly one
+        // window (finish flushes the pending deltas into the last windows).
+        let late_sum: u64 = expected_reports.iter().map(|r| r.late).sum();
+        let dropped_sum: u64 = expected_reports.iter().map(|r| r.dropped).sum();
+        let quarantined_sum: u64 = expected_reports.iter().map(|r| r.quarantined).sum();
+        assert_eq!(late_sum, expected_stats.late);
+        assert_eq!(
+            dropped_sum,
+            expected_stats.late_dropped + expected_stats.shed
+        );
+        assert_eq!(quarantined_sum, expected_stats.quarantined);
+
+        for cut in 0..=flows.len() {
+            let (reports, stats) = run_counter_heavy(&flows, dcfg, Some(cut));
+            assert_eq!(
+                stats, expected_stats,
+                "{policy:?} cut={cut}: stats diverged"
+            );
+            assert_eq!(
+                reports, expected_reports,
+                "{policy:?} cut={cut}: resumed report sequence diverged"
+            );
+        }
+    }
 }

@@ -10,8 +10,9 @@ use peerwatch::botnet::{
     generate_nugache_trace, generate_storm_trace, BotFamily, NugacheConfig, StormConfig,
 };
 use peerwatch::data::{build_day, label_traders_by_payload, overlay_bots, CampusConfig, HostRole};
-use peerwatch::detect::{extract_profiles, find_plotters, FindPlottersConfig};
+use peerwatch::detect::{extract_profiles_table, find_plotters, FindPlottersConfig};
 use peerwatch::flow::signatures::P2pApp;
+use peerwatch::flow::FlowTable;
 use peerwatch::netsim::SimDuration;
 
 fn small_campus() -> CampusConfig {
@@ -122,13 +123,17 @@ fn implanted_host_profiles_inherit_bot_features() {
         9,
     );
     let overlaid = overlay_bots(&day, &[&storm], 3);
-    let profiles = extract_profiles(&overlaid.flows, |ip| day.is_internal(ip));
-    let base_profiles = extract_profiles(&day.flows, |ip| day.is_internal(ip));
+    let profiles = extract_profiles_table(&FlowTable::from_records(&overlaid.flows), |ip| {
+        day.is_internal(ip)
+    });
+    let base_profiles = extract_profiles_table(&FlowTable::from_records(&day.flows), |ip| {
+        day.is_internal(ip)
+    });
 
     for host in overlaid.implanted_hosts(BotFamily::Storm) {
-        let with_bot = &profiles[&host];
+        let with_bot = profiles.get(host).expect("implant has a profile");
         // The bot's chatter dominates the host's own traffic volume…
-        let base_flows = base_profiles.get(&host).map_or(0, |p| p.flows_involving);
+        let base_flows = base_profiles.get(host).map_or(0, |p| p.flows_involving);
         assert!(
             with_bot.flows_involving > base_flows + 500,
             "bot flows missing at {host}: {} vs base {base_flows}",

@@ -3,10 +3,9 @@
 use peerwatch::botnet::{
     apply_evasion, generate_storm_trace, BotTrace, EvasionConfig, StormConfig,
 };
-use peerwatch::detect::{extract_profiles, HostProfile};
+use peerwatch::detect::{extract_profiles_table, HostProfile, ProfileTable};
+use peerwatch::flow::FlowTable;
 use peerwatch::netsim::SimDuration;
-use std::collections::HashMap;
-use std::net::Ipv4Addr;
 
 fn trace() -> BotTrace {
     generate_storm_trace(
@@ -20,7 +19,7 @@ fn trace() -> BotTrace {
     )
 }
 
-fn trace_profiles(t: &BotTrace) -> HashMap<Ipv4Addr, peerwatch::detect::HostProfile> {
+fn trace_profiles(t: &BotTrace) -> ProfileTable {
     let ips: std::collections::HashSet<_> = t.bots.iter().map(|b| b.ip).collect();
     let mut flows: Vec<_> = t
         .bots
@@ -29,7 +28,7 @@ fn trace_profiles(t: &BotTrace) -> HashMap<Ipv4Addr, peerwatch::detect::HostProf
         .collect();
     flows.sort_by_key(|f| (f.start, f.src, f.sport, f.dst, f.dport));
     flows.dedup();
-    extract_profiles(&flows, |ip| ips.contains(&ip))
+    extract_profiles_table(&FlowTable::from_records(&flows), |ip| ips.contains(&ip))
 }
 
 #[test]
@@ -47,7 +46,8 @@ fn volume_multiplier_raises_avg_upload_monotonically() {
         );
         let profiles = trace_profiles(&t);
         let mean: f64 = profiles
-            .values()
+            .profiles()
+            .iter()
             .filter_map(HostProfile::avg_upload_per_flow)
             .sum::<f64>()
             / profiles.len() as f64;
@@ -61,7 +61,8 @@ fn new_peer_multiplier_raises_churn() {
     let base = trace();
     let base_churn: f64 = {
         let p = trace_profiles(&base);
-        p.values()
+        p.profiles()
+            .iter()
             .filter_map(HostProfile::new_ip_fraction)
             .sum::<f64>()
             / p.len() as f64
@@ -76,7 +77,8 @@ fn new_peer_multiplier_raises_churn() {
     );
     let evaded_churn: f64 = {
         let p = trace_profiles(&evaded);
-        p.values()
+        p.profiles()
+            .iter()
             .filter_map(HostProfile::new_ip_fraction)
             .sum::<f64>()
             / p.len() as f64
@@ -89,11 +91,19 @@ fn new_peer_multiplier_raises_churn() {
     // stealth cost the paper predicts).
     let base_failed: f64 = {
         let p = trace_profiles(&base);
-        p.values().filter_map(HostProfile::failed_rate).sum::<f64>() / p.len() as f64
+        p.profiles()
+            .iter()
+            .filter_map(HostProfile::failed_rate)
+            .sum::<f64>()
+            / p.len() as f64
     };
     let evaded_failed: f64 = {
         let p = trace_profiles(&evaded);
-        p.values().filter_map(HostProfile::failed_rate).sum::<f64>() / p.len() as f64
+        p.profiles()
+            .iter()
+            .filter_map(HostProfile::failed_rate)
+            .sum::<f64>()
+            / p.len() as f64
     };
     assert!(evaded_failed > base_failed);
 }
@@ -104,7 +114,8 @@ fn jitter_spreads_interstitial_times() {
     let spread = |t: &BotTrace| -> f64 {
         let p = trace_profiles(t);
         let all: Vec<f64> = p
-            .values()
+            .profiles()
+            .iter()
             .flat_map(|h| h.interstitials.iter().copied())
             .collect();
         pw_analysis_iqr(&all)
