@@ -8,7 +8,7 @@ use pw_bench::bench_day;
 use pw_detect::{
     extract_profiles_table, find_plotters_from_table, initial_reduction_view, theta_churn_view,
     theta_hm_view, theta_vol_view, FindPlottersConfig, HmOptions, HostMask, HostProfile,
-    ProfileTable, ProfileView, Threshold,
+    ProfileRepr, ProfileTable, ProfileView, Threshold,
 };
 use pw_flow::FlowTable;
 
@@ -98,8 +98,10 @@ fn synth_hm_hosts(n: usize) -> ProfileTable {
                 initiated: 200,
                 initiated_failed: 40,
                 first_activity: None,
-                first_contact: Default::default(),
-                interstitials,
+                repr: ProfileRepr::Exact {
+                    first_contact: Default::default(),
+                    interstitials,
+                },
             },
         );
     }

@@ -57,9 +57,11 @@ fn bench_figure_kernels(c: &mut Criterion) {
             profiles
                 .profiles()
                 .iter()
-                .filter(|p| !p.interstitials.is_empty())
+                .filter(|p| p.has_interstitials())
                 .fold(0usize, |acc, p| {
-                    black_box(pw_analysis::Histogram::freedman_diaconis(&p.interstitials).unwrap());
+                    black_box(
+                        pw_analysis::Histogram::freedman_diaconis(p.interstitials()).unwrap(),
+                    );
                     acc + 1
                 })
         })

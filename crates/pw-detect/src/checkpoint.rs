@@ -17,11 +17,11 @@
 //! deliberately takes no serialization dependency:
 //!
 //! ```text
-//! peerwatch-checkpoint v1
-//! engine window_ms=3600000 slide_ms=3600000 ... reject_invalid=0
+//! peerwatch-checkpoint v2
+//! engine window_ms=3600000 slide_ms=3600000 ... reject_invalid=0 tier=exact
 //! detect with_reduction=1 tau_vol=p:4049000000000000 ... cut_fraction=3fa999999999999a
 //! state watermark_ms=1234 applied_to_ms=1000 ...
-//! stats attempted=100 accepted=98 ...
+//! stats attempted=100 accepted=98 ... profile_bytes=0 profiles_exact=0 profiles_sketched=0
 //! deltas late=0 dropped=0 quarantined=0
 //! buffer 2
 //! <flow row in csvio line format>
@@ -30,6 +30,11 @@
 //! <flow row in csvio line format>
 //! end
 //! ```
+//!
+//! Version 2 added the profile-tier knob and the per-host memory gauges.
+//! Version 1 files are still accepted: they restore with
+//! [`ProfileTier::Exact`] and zeroed memory gauges, which is exactly the
+//! behaviour the engine had when the snapshot was written.
 //!
 //! Floats (`cut_fraction`, absolute/percentile thresholds) are serialized
 //! as the hexadecimal IEEE-754 bit pattern, so restore is exact — no
@@ -59,12 +64,17 @@ use pw_flow::{FlowRecord, RowError};
 use pw_netsim::{SimDuration, SimTime};
 
 use crate::detectors::Threshold;
+use crate::features::ProfileTier;
 use crate::pipeline::FindPlottersConfig;
 use crate::stream::{EngineConfig, EngineStats, EvictionPolicy, LatePolicy};
 
 /// Magic first line of every checkpoint file; the version suffix gates
 /// format evolution.
-pub const MAGIC: &str = "peerwatch-checkpoint v1";
+pub const MAGIC: &str = "peerwatch-checkpoint v2";
+
+/// The previous format version, still accepted by [`EngineCheckpoint::parse`]:
+/// no `tier` field (implies [`ProfileTier::Exact`]) and no memory gauges.
+pub const MAGIC_V1: &str = "peerwatch-checkpoint v1";
 
 /// A complete snapshot of a streaming engine.
 ///
@@ -196,7 +206,8 @@ impl EngineCheckpoint {
         };
         out.push_str(&format!(
             "engine window_ms={} slide_ms={} lateness_ms={} threads={} eviction={} \
-             late_policy={} max_flows={} stall_timeout_ms={} dedupe={} reject_invalid={}\n",
+             late_policy={} max_flows={} stall_timeout_ms={} dedupe={} reject_invalid={} \
+             tier={}\n",
             c.window.as_millis(),
             c.slide.as_millis(),
             c.lateness.as_millis(),
@@ -207,6 +218,7 @@ impl EngineCheckpoint {
             opt_ms(c.stall_timeout.map(pw_netsim::SimDuration::as_millis)),
             u8::from(c.dedupe),
             u8::from(c.reject_invalid),
+            c.tier.name(),
         ));
         out.push_str(&format!(
             "detect with_reduction={} tau_vol={} tau_churn={} tau_hm={} cut_fraction={}\n",
@@ -226,7 +238,8 @@ impl EngineCheckpoint {
         let s = self.stats;
         out.push_str(&format!(
             "stats attempted={} accepted={} late={} late_dropped={} late_extended={} shed={} \
-             quarantined={} duplicates={} stall_flushes={}\n",
+             quarantined={} duplicates={} stall_flushes={} profile_bytes={} profiles_exact={} \
+             profiles_sketched={}\n",
             s.attempted,
             s.accepted,
             s.late,
@@ -236,6 +249,9 @@ impl EngineCheckpoint {
             s.quarantined,
             s.duplicates,
             s.stall_flushes,
+            s.profile_bytes,
+            s.profiles_exact,
+            s.profiles_sketched,
         ));
         out.push_str(&format!(
             "deltas late={} dropped={} quarantined={}\n",
@@ -268,7 +284,7 @@ impl EngineCheckpoint {
         let (_, magic) = lines.next().ok_or(CheckpointError::BadMagic {
             found: String::new(),
         })?;
-        if magic != MAGIC {
+        if magic != MAGIC && magic != MAGIC_V1 {
             return Err(CheckpointError::BadMagic {
                 found: magic.to_string(),
             });
@@ -298,6 +314,7 @@ impl EngineCheckpoint {
                 .map(SimDuration::from_millis),
             dedupe: config_fields.flag("dedupe")?,
             reject_invalid: config_fields.flag("reject_invalid")?,
+            tier: config_fields.tier()?,
             detect: FindPlottersConfig {
                 with_reduction: detect_fields.flag("with_reduction")?,
                 tau_vol: detect_fields.threshold("tau_vol")?,
@@ -316,6 +333,9 @@ impl EngineCheckpoint {
             quarantined: stats_fields.num("quarantined")?,
             duplicates: stats_fields.num("duplicates")?,
             stall_flushes: stats_fields.num("stall_flushes")?,
+            profile_bytes: stats_fields.num_or("profile_bytes", 0)?,
+            profiles_exact: stats_fields.num_or("profiles_exact", 0)?,
+            profiles_sketched: stats_fields.num_or("profiles_sketched", 0)?,
         };
 
         // Buffer section: "buffer <count>" then that many flow rows.
@@ -456,6 +476,16 @@ impl<'a> Fields<'a> {
         v.parse().map_err(|_| self.bad(key, v))
     }
 
+    /// Like [`num`](Self::num), but an *absent* key yields `default` — for
+    /// fields added after v1 that older checkpoints legitimately lack. A
+    /// present-but-malformed value is still an error.
+    fn num_or(&self, key: &str, default: u64) -> Result<u64, CheckpointError> {
+        match self.pairs.iter().find(|(k, _)| *k == key) {
+            None => Ok(default),
+            Some((_, v)) => v.parse().map_err(|_| self.bad(key, v)),
+        }
+    }
+
     fn opt_num(&self, key: &str) -> Result<Option<u64>, CheckpointError> {
         let v = self.get(key)?;
         if v == "none" {
@@ -502,6 +532,14 @@ impl<'a> Fields<'a> {
             return Ok(EvictionPolicy::IdleLongerThan(SimDuration::from_millis(ms)));
         }
         Err(self.bad("eviction", v))
+    }
+
+    /// Profile tier: absent in v1 checkpoints, which ran exact profiles.
+    fn tier(&self) -> Result<ProfileTier, CheckpointError> {
+        match self.pairs.iter().find(|(k, _)| *k == "tier") {
+            None => Ok(ProfileTier::Exact),
+            Some((_, v)) => ProfileTier::from_name(v).ok_or_else(|| self.bad("tier", v)),
+        }
     }
 
     fn late_policy(&self) -> Result<LatePolicy, CheckpointError> {
@@ -637,6 +675,39 @@ mod tests {
         write_checkpoint(&path, &read).unwrap();
         assert_eq!(read_checkpoint(&path).unwrap(), snap);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_checkpoints_restore_as_exact_tier() {
+        let snap = busy_engine().checkpoint();
+        // Rewrite a v2 snapshot into the v1 form: old magic, no tier field,
+        // no memory gauges.
+        let v1: String = snap
+            .serialize()
+            .replacen(MAGIC, MAGIC_V1, 1)
+            .lines()
+            .map(|l| {
+                let l = if l.starts_with("engine ") {
+                    l.split(" tier=").next().unwrap()
+                } else if l.starts_with("stats ") {
+                    l.split(" profile_bytes=").next().unwrap()
+                } else {
+                    l
+                };
+                format!("{l}\n")
+            })
+            .collect();
+        let parsed = EngineCheckpoint::parse(&v1).unwrap();
+        assert_eq!(parsed.config.tier, ProfileTier::Exact);
+        assert_eq!(parsed.stats.profile_bytes, 0);
+        assert_eq!(parsed.stats.profiles_sketched, 0);
+        // Apart from the gauges a v1 file cannot carry, nothing is lost.
+        let mut expected = snap;
+        expected.stats.profile_bytes = 0;
+        expected.stats.profiles_exact = 0;
+        expected.stats.profiles_sketched = 0;
+        assert_eq!(parsed, expected);
+        assert!(DetectionEngine::restore(&parsed, internal as fn(Ipv4Addr) -> bool).is_ok());
     }
 
     #[test]

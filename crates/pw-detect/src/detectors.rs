@@ -3,9 +3,11 @@
 use std::collections::HashSet;
 use std::net::Ipv4Addr;
 
-use pw_analysis::{average_linkage, emd_cdf, percentile, CdfRepr, DistanceMatrix, Histogram};
+use pw_analysis::{average_linkage, emd_cdf, percentile, CdfRepr, DistanceMatrix};
 use pw_flow::HostId;
 
+#[cfg(test)]
+use crate::features::ProfileRepr;
 use crate::features::{HostMask, HostProfile, ProfileView};
 
 /// A test threshold: either a percentile of the input population's values
@@ -189,13 +191,14 @@ impl Default for HmOptions {
     }
 }
 
-/// L1 distance between two histograms rebinned onto a shared 64-bucket grid.
-fn l1_distance(a: &Histogram, b: &Histogram, lo: f64, hi: f64) -> f64 {
+/// L1 distance between two point-mass distributions rebinned onto a shared
+/// 64-bucket grid.
+fn l1_distance(a: &[(f64, f64)], b: &[(f64, f64)], lo: f64, hi: f64) -> f64 {
     const GRID: usize = 64;
     let width = ((hi - lo) / GRID as f64).max(1e-9);
-    let grid_of = |h: &Histogram| -> Vec<f64> {
+    let grid_of = |masses: &[(f64, f64)]| -> Vec<f64> {
         let mut g = vec![0.0; GRID];
-        for (pos, mass) in h.point_masses() {
+        for &(pos, mass) in masses {
             let idx = (((pos - lo) / width) as usize).min(GRID - 1);
             g[idx] += mass;
         }
@@ -234,25 +237,28 @@ pub fn theta_hm_view(
         s.ids().map(|id| (view.ip(id), view.profile(id))).collect();
     let no_samples = candidates
         .iter()
-        .filter(|(_, p)| p.interstitials.is_empty())
+        .filter(|(_, p)| !p.has_interstitials())
         .count();
     let with_samples: Vec<(Ipv4Addr, &HostProfile)> = candidates
         .into_iter()
-        .filter(|(_, p)| !p.interstitials.is_empty())
+        .filter(|(_, p)| p.has_interstitials())
         .collect();
 
-    // Each host's histogram is digested into its prefix-sum CDF here, once,
-    // so the pairwise loop below runs the allocation-free `emd_cdf` kernel
-    // instead of re-sorting both histograms for every pair.
-    let build = |(ip, p): &(Ipv4Addr, &HostProfile)| -> (Ipv4Addr, Histogram, CdfRepr) {
-        let h = match options.bin_width {
-            None => Histogram::freedman_diaconis(&p.interstitials).expect("non-empty"),
-            Some(w) => Histogram::with_bin_width(&p.interstitials, w).expect("non-empty"),
-        };
-        let c = CdfRepr::from_histogram(&h);
-        (*ip, h, c)
+    // Each host's gap distribution is digested into point masses and its
+    // prefix-sum CDF here, once, so the pairwise loop below runs the
+    // allocation-free `emd_cdf` kernel instead of re-sorting both
+    // histograms for every pair. `gap_point_masses` is tier-agnostic:
+    // exact (and sparse-sketched) hosts go through the Freedman–Diaconis
+    // histogram, densified sketches lower their fixed bins directly.
+    type HostDigest = (Ipv4Addr, Vec<(f64, f64)>, CdfRepr);
+    let build = |(ip, p): &(Ipv4Addr, &HostProfile)| -> HostDigest {
+        let masses = p
+            .gap_point_masses(options.bin_width)
+            .expect("candidates have gap samples");
+        let c = CdfRepr::from_point_masses(&masses);
+        (*ip, masses, c)
     };
-    let built: Vec<(Ipv4Addr, Histogram, CdfRepr)> = if threads == 1 || with_samples.len() < 2 {
+    let built: Vec<HostDigest> = if threads == 1 || with_samples.len() < 2 {
         with_samples.iter().map(build).collect()
     } else {
         let chunk = with_samples.len().div_ceil(threads).max(1);
@@ -272,11 +278,11 @@ pub fn theta_hm_view(
         })
     };
     let mut hosts = Vec::with_capacity(built.len());
-    let mut histograms = Vec::with_capacity(built.len());
+    let mut masses = Vec::with_capacity(built.len());
     let mut cdfs = Vec::with_capacity(built.len());
-    for (ip, h, c) in built {
+    for (ip, m, c) in built {
         hosts.push(ip);
-        histograms.push(h);
+        masses.push(m);
         cdfs.push(c);
     }
     if hosts.len() < 2 {
@@ -294,16 +300,15 @@ pub fn theta_hm_view(
         }
         HistogramDistance::L1 => {
             let (lo, hi) =
-                histograms
+                masses
                     .iter()
-                    .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), h| {
-                        let pm = h.point_masses();
+                    .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), pm| {
                         let first = pm.first().map_or(0.0, |&(p, _)| p);
                         let last = pm.last().map_or(0.0, |&(p, _)| p);
                         (lo.min(first), hi.max(last))
                     });
             DistanceMatrix::from_fn_par(hosts.len(), threads, |i, j| {
-                l1_distance(&histograms[i], &histograms[j], lo, hi)
+                l1_distance(&masses[i], &masses[j], lo, hi)
             })
         }
     };
@@ -440,8 +445,10 @@ mod tests {
             initiated: 10,
             initiated_failed: 5,
             first_activity: Some(SimTime::ZERO),
-            first_contact,
-            interstitials,
+            repr: ProfileRepr::Exact {
+                first_contact,
+                interstitials,
+            },
         }
     }
 

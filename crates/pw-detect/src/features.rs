@@ -12,8 +12,85 @@ use std::borrow::Cow;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::net::Ipv4Addr;
 
+use pw_analysis::{CdfRepr, Histogram};
 use pw_flow::{FlowRecord, FlowTable, HostId, HostInterner};
 use pw_netsim::{SimDuration, SimTime};
+use pw_sketch::{DistinctSketch, GapSketch, LastSeen, SKETCHED_BYTES_PER_HOST_CAP};
+
+/// Which per-host representation an extraction mode accumulates.
+///
+/// - [`ProfileTier::Exact`] keeps the full per-destination first-contact
+///   map and every interstitial gap sample — unbounded per-host memory,
+///   exact detector inputs. The default, and what every pre-existing entry
+///   point produces.
+/// - [`ProfileTier::Sketched`] keeps fixed-size sketches instead
+///   (see [`pw_sketch`]): memory per host is capped at
+///   [`SKETCHED_BYTES_PER_HOST_CAP`] bytes no matter how much the host
+///   talks. Hosts whose destination and gap counts stay under the sparse
+///   caps are still *exact*, so small populations decide identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProfileTier {
+    /// Unbounded exact state (the paper's representation).
+    #[default]
+    Exact,
+    /// Bounded sketches with a compile-time byte cap per host.
+    Sketched,
+}
+
+impl ProfileTier {
+    /// Stable lowercase name (used by the CLI flag and checkpoints).
+    pub fn name(self) -> &'static str {
+        match self {
+            ProfileTier::Exact => "exact",
+            ProfileTier::Sketched => "sketched",
+        }
+    }
+
+    /// Parses the stable name back.
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "exact" => Some(ProfileTier::Exact),
+            "sketched" => Some(ProfileTier::Sketched),
+            _ => None,
+        }
+    }
+}
+
+/// The tier-specific payload of a [`HostProfile`]: either the exact
+/// per-destination state or its bounded sketch counterpart.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProfileRepr {
+    /// Full-fidelity state, unbounded in the number of destinations and
+    /// gap samples.
+    Exact {
+        /// First contact time per destination the host initiated flows to.
+        first_contact: BTreeMap<Ipv4Addr, SimTime>,
+        /// Pooled per-destination interstitial times, in seconds.
+        interstitials: Vec<f64>,
+    },
+    /// Bounded sketches (see [`pw_sketch`] for the determinism contract).
+    Sketched {
+        /// All destinations the host initiated flows to.
+        destinations: DistinctSketch,
+        /// Destinations first contacted within one hour of first activity
+        /// (the θ_churn "old peer" set: any contact at `t ≤ cutoff` implies
+        /// the first contact was, too).
+        early_destinations: DistinctSketch,
+        /// Interstitial gap distribution.
+        gaps: GapSketch,
+    },
+}
+
+// The sketched payload must respect the advertised per-host byte cap even
+// before the accumulation-time `LastSeen` cache is added on top.
+const _: () = assert!(
+    std::mem::size_of::<HostProfile>()
+        + 2 * DistinctSketch::MAX_BYTES
+        + GapSketch::MAX_BYTES
+        + LastSeen::<SimTime>::MAX_BYTES
+        <= SKETCHED_BYTES_PER_HOST_CAP,
+    "sketched HostProfile worst case exceeds SKETCHED_BYTES_PER_HOST_CAP"
+);
 
 /// Behavioural profile of one internal host over a detection window.
 ///
@@ -26,6 +103,10 @@ use pw_netsim::{SimDuration, SimTime};
 ///   (initiated flows);
 /// - *interstitial times* are the gaps between consecutive flows the host
 ///   initiates to the same destination IP, pooled over all destinations.
+///
+/// The scalar counters are tier-independent; the per-destination state
+/// lives in [`HostProfile::repr`] and is either exact or sketched (see
+/// [`ProfileTier`]). Detector-facing accessors below are tier-agnostic.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HostProfile {
     /// The host.
@@ -40,14 +121,23 @@ pub struct HostProfile {
     pub initiated_failed: u64,
     /// Time of the host's first initiated flow in the window.
     pub first_activity: Option<SimTime>,
-    /// First contact time per destination the host initiated flows to.
-    pub first_contact: BTreeMap<Ipv4Addr, SimTime>,
-    /// Pooled per-destination interstitial times, in seconds.
-    pub interstitials: Vec<f64>,
+    /// Tier-specific destination and gap state.
+    pub repr: ProfileRepr,
 }
 
 impl HostProfile {
-    fn new(ip: Ipv4Addr) -> Self {
+    fn new(ip: Ipv4Addr, tier: ProfileTier) -> Self {
+        let repr = match tier {
+            ProfileTier::Exact => ProfileRepr::Exact {
+                first_contact: BTreeMap::new(),
+                interstitials: Vec::new(),
+            },
+            ProfileTier::Sketched => ProfileRepr::Sketched {
+                destinations: DistinctSketch::new(),
+                early_destinations: DistinctSketch::new(),
+                gaps: GapSketch::new(),
+            },
+        };
         Self {
             ip,
             flows_involving: 0,
@@ -55,8 +145,15 @@ impl HostProfile {
             initiated: 0,
             initiated_failed: 0,
             first_activity: None,
-            first_contact: BTreeMap::new(),
-            interstitials: Vec::new(),
+            repr,
+        }
+    }
+
+    /// The representation tier this profile carries.
+    pub fn tier(&self) -> ProfileTier {
+        match self.repr {
+            ProfileRepr::Exact { .. } => ProfileTier::Exact,
+            ProfileRepr::Sketched { .. } => ProfileTier::Sketched,
         }
     }
 
@@ -87,19 +184,147 @@ impl HostProfile {
     /// Fraction of destinations first contacted more than one hour after
     /// the host's first activity — the churn metric of §IV-B. `None` if the
     /// host contacted no destinations.
+    ///
+    /// Exact while the sketched destination set is under its sparse cap
+    /// (the counts are then integer-exact), a ratio of HLL estimates
+    /// beyond it.
     pub fn new_ip_fraction(&self) -> Option<f64> {
         let first = self.first_activity?;
-        if self.first_contact.is_empty() {
-            return None;
+        match &self.repr {
+            ProfileRepr::Exact { first_contact, .. } => {
+                if first_contact.is_empty() {
+                    return None;
+                }
+                let cutoff = first + SimDuration::from_hours(1);
+                let new = first_contact.values().filter(|&&t| t > cutoff).count();
+                Some(new as f64 / first_contact.len() as f64)
+            }
+            ProfileRepr::Sketched {
+                destinations,
+                early_destinations,
+                ..
+            } => {
+                if destinations.is_empty() {
+                    return None;
+                }
+                let all = destinations.count();
+                let new = (all - early_destinations.count()).max(0.0);
+                Some(new / all)
+            }
         }
-        let cutoff = first + SimDuration::from_hours(1);
-        let new = self.first_contact.values().filter(|&&t| t > cutoff).count();
-        Some(new as f64 / self.first_contact.len() as f64)
     }
 
-    /// Number of distinct destinations contacted.
+    /// Number of distinct destinations contacted (estimated beyond the
+    /// sketched tier's sparse cap).
     pub fn distinct_destinations(&self) -> usize {
-        self.first_contact.len()
+        match &self.repr {
+            ProfileRepr::Exact { first_contact, .. } => first_contact.len(),
+            ProfileRepr::Sketched { destinations, .. } => destinations.count().round() as usize,
+        }
+    }
+
+    /// Number of interstitial gap observations.
+    pub fn interstitial_count(&self) -> usize {
+        match &self.repr {
+            ProfileRepr::Exact { interstitials, .. } => interstitials.len(),
+            ProfileRepr::Sketched { gaps, .. } => gaps.count() as usize,
+        }
+    }
+
+    /// Whether any interstitial gap was observed — the θ_hm eligibility
+    /// condition, tier-agnostic.
+    pub fn has_interstitials(&self) -> bool {
+        self.interstitial_count() > 0
+    }
+
+    /// The raw interstitial gap samples, when the profile still holds them
+    /// exactly: always for the exact tier, and for sketched hosts under
+    /// the sparse cap (then sorted). Empty for densified sketches — use
+    /// [`HostProfile::gap_point_masses`] there.
+    pub fn interstitials(&self) -> &[f64] {
+        match &self.repr {
+            ProfileRepr::Exact { interstitials, .. } => interstitials,
+            ProfileRepr::Sketched { gaps, .. } => gaps.samples().unwrap_or(&[]),
+        }
+    }
+
+    /// The exact first-contact map, if this is an exact-tier profile.
+    pub fn first_contact(&self) -> Option<&BTreeMap<Ipv4Addr, SimTime>> {
+        match &self.repr {
+            ProfileRepr::Exact { first_contact, .. } => Some(first_contact),
+            ProfileRepr::Sketched { .. } => None,
+        }
+    }
+
+    /// The interstitial distribution digested for the EMD kernel: exact
+    /// samples (and sparse sketches, identically) go through the
+    /// Freedman–Diaconis histogram — or `bin_width` when given — while
+    /// densified sketches lower their fixed bins directly. `None` when no
+    /// gaps were observed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width` is `Some` but not finite and positive
+    /// (validated at configuration time by the θ_hm options).
+    pub fn gap_cdf(&self, bin_width: Option<f64>) -> Option<CdfRepr> {
+        match &self.repr {
+            ProfileRepr::Exact { interstitials, .. } => {
+                let h = match bin_width {
+                    None => Histogram::freedman_diaconis(interstitials)?,
+                    Some(w) => Histogram::with_bin_width(interstitials, w)?,
+                };
+                Some(CdfRepr::from_histogram(&h))
+            }
+            ProfileRepr::Sketched { gaps, .. } => gaps.to_cdf(bin_width),
+        }
+    }
+
+    /// The interstitial distribution as normalized point masses, the shape
+    /// the θ_hm L1 distance consumes. Same tier semantics as
+    /// [`HostProfile::gap_cdf`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width` is `Some` but not finite and positive.
+    pub fn gap_point_masses(&self, bin_width: Option<f64>) -> Option<Vec<(f64, f64)>> {
+        match &self.repr {
+            ProfileRepr::Exact { interstitials, .. } => {
+                let h = match bin_width {
+                    None => Histogram::freedman_diaconis(interstitials)?,
+                    Some(w) => Histogram::with_bin_width(interstitials, w)?,
+                };
+                Some(h.point_masses())
+            }
+            ProfileRepr::Sketched { gaps, .. } => gaps.point_masses(bin_width),
+        }
+    }
+
+    /// Estimated resident bytes of this profile (struct plus heap state).
+    /// Exact-tier estimates grow with the destination and sample counts;
+    /// sketched-tier estimates are bounded by
+    /// [`SKETCHED_BYTES_PER_HOST_CAP`].
+    pub fn estimated_bytes(&self) -> usize {
+        let inline = std::mem::size_of::<Self>();
+        match &self.repr {
+            ProfileRepr::Exact {
+                first_contact,
+                interstitials,
+            } => {
+                // BTreeMap nodes cost well over the entry payload; 32
+                // bytes/entry is a deliberate round under-estimate.
+                inline + first_contact.len() * 32 + interstitials.len() * 8
+            }
+            ProfileRepr::Sketched {
+                destinations,
+                early_destinations,
+                gaps,
+            } => {
+                inline
+                    + destinations.estimated_bytes()
+                    + early_destinations.estimated_bytes()
+                    + gaps.estimated_bytes()
+            }
+        }
     }
 }
 
@@ -392,10 +617,99 @@ impl HostMask {
     }
 }
 
+/// Per-host last-contact-time tracking, tier-matched to the profile it
+/// accompanies: an exact hash map, or the bounded [`LastSeen`] cache.
+#[derive(Debug, Clone)]
+enum LastTo {
+    Exact(HashMap<Ipv4Addr, SimTime>),
+    Sketched(LastSeen<SimTime>),
+}
+
+impl LastTo {
+    fn new(tier: ProfileTier) -> Self {
+        match tier {
+            ProfileTier::Exact => LastTo::Exact(HashMap::new()),
+            ProfileTier::Sketched => LastTo::Sketched(LastSeen::new()),
+        }
+    }
+}
+
+/// The one per-flow update every extraction mode and both tiers funnel
+/// through: record-oriented ([`ProfileAccumulator::absorb`]), columnar
+/// ([`extract_profiles_table`]'s row walk), serial or host-sharded.
+///
+/// Callers decompose their flow representation into the monitored host's
+/// view of it — `start`/`dst`/`uploaded`/`initiated`/`failed` — so the
+/// accumulation semantics live in exactly one place. Per-host absorb order
+/// must be non-decreasing in `start` (every caller walks flows in
+/// canonical time order), which is also what makes the sketched tier's
+/// `early_destinations` cutoff test exact: by the time any initiated flow
+/// is absorbed, `first_activity` is already pinned to the host's earliest
+/// one.
+fn absorb_obs(
+    p: &mut HostProfile,
+    last_to: &mut LastTo,
+    start: SimTime,
+    dst: Ipv4Addr,
+    uploaded: u64,
+    initiated: bool,
+    failed: bool,
+) {
+    p.flows_involving += 1;
+    p.bytes_uploaded += uploaded;
+    if !initiated {
+        return;
+    }
+    p.initiated += 1;
+    if failed {
+        p.initiated_failed += 1;
+    }
+    if p.first_activity.is_none() {
+        p.first_activity = Some(start);
+    }
+    match (&mut p.repr, last_to) {
+        (
+            ProfileRepr::Exact {
+                first_contact,
+                interstitials,
+            },
+            LastTo::Exact(last),
+        ) => {
+            first_contact.entry(dst).or_insert(start);
+            if let Some(prev) = last.insert(dst, start) {
+                interstitials.push((start - prev).as_secs_f64());
+            }
+        }
+        (
+            ProfileRepr::Sketched {
+                destinations,
+                early_destinations,
+                gaps,
+            },
+            LastTo::Sketched(last),
+        ) => {
+            let key = u32::from(dst);
+            destinations.insert(key);
+            let first = p.first_activity.unwrap_or(start); // set above; kept total for safety
+            if start <= first + SimDuration::from_hours(1) {
+                early_destinations.insert(key);
+            }
+            if let Some(prev) = last.insert(key, start) {
+                gaps.record((start - prev).as_secs_f64());
+            }
+        }
+        // Accumulators construct profile and tracker from the same tier.
+        (ProfileRepr::Exact { .. }, LastTo::Sketched(_))
+        | (ProfileRepr::Sketched { .. }, LastTo::Exact(_)) => {
+            unreachable!("profile repr and last_to tracker tiers diverged")
+        }
+    }
+}
+
 /// The single accumulation path every *record-oriented* extraction mode
 /// shares: push-based ([`ProfileBuilder`]) and ad-hoc batch. Columnar
 /// extraction uses the same per-flow update over [`FlowTable`] rows
-/// ([`extract_profiles_table`]).
+/// ([`extract_profiles_table`]) — both reduce to `absorb_obs`.
 ///
 /// The accumulator is *attribution-agnostic*: callers decide which flows it
 /// sees and which endpoint is the monitored host (via
@@ -405,15 +719,24 @@ impl HostMask {
 /// does not enforce global ordering.
 #[derive(Debug, Clone, Default)]
 pub struct ProfileAccumulator {
+    tier: ProfileTier,
     hosts: HostInterner,
     profiles: Vec<HostProfile>,
-    last_to: Vec<HashMap<Ipv4Addr, SimTime>>,
+    last_to: Vec<LastTo>,
 }
 
 impl ProfileAccumulator {
-    /// Creates an empty accumulator.
+    /// Creates an empty exact-tier accumulator.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty accumulator for the given tier.
+    pub fn with_tier(tier: ProfileTier) -> Self {
+        Self {
+            tier,
+            ..Self::default()
+        }
     }
 
     /// Number of hosts profiled so far.
@@ -431,26 +754,18 @@ impl ProfileAccumulator {
     pub fn absorb(&mut self, f: &FlowRecord, host: Ipv4Addr) {
         let slot = self.hosts.intern(host).index();
         if slot == self.profiles.len() {
-            self.profiles.push(HostProfile::new(host));
-            self.last_to.push(HashMap::new());
+            self.profiles.push(HostProfile::new(host, self.tier));
+            self.last_to.push(LastTo::new(self.tier));
         }
-        let p = &mut self.profiles[slot];
-        p.flows_involving += 1;
-        p.bytes_uploaded += f.bytes_uploaded_by(host).unwrap_or(0);
-
-        if f.src == host {
-            p.initiated += 1;
-            if f.is_failed() {
-                p.initiated_failed += 1;
-            }
-            if p.first_activity.is_none() {
-                p.first_activity = Some(f.start);
-            }
-            p.first_contact.entry(f.dst).or_insert(f.start);
-            if let Some(prev) = self.last_to[slot].insert(f.dst, f.start) {
-                p.interstitials.push((f.start - prev).as_secs_f64());
-            }
-        }
+        absorb_obs(
+            &mut self.profiles[slot],
+            &mut self.last_to[slot],
+            f.start,
+            f.dst,
+            f.bytes_uploaded_by(host).unwrap_or(0),
+            f.src == host,
+            f.is_failed(),
+        );
     }
 
     /// Finishes the window and returns the dense profile table.
@@ -502,11 +817,17 @@ pub struct ProfileBuilder<F> {
 }
 
 impl<F: Fn(Ipv4Addr) -> bool> ProfileBuilder<F> {
-    /// Creates a builder; `is_internal` identifies monitored addresses.
+    /// Creates an exact-tier builder; `is_internal` identifies monitored
+    /// addresses.
     pub fn new(is_internal: F) -> Self {
+        Self::with_tier(is_internal, ProfileTier::Exact)
+    }
+
+    /// Creates a builder accumulating at the given tier.
+    pub fn with_tier(is_internal: F, tier: ProfileTier) -> Self {
         Self {
             is_internal,
-            acc: ProfileAccumulator::new(),
+            acc: ProfileAccumulator::with_tier(tier),
             last_start: SimTime::ZERO,
         }
     }
@@ -553,23 +874,25 @@ impl<F: Fn(Ipv4Addr) -> bool> ProfileBuilder<F> {
     }
 }
 
-/// Columnar accumulation state: per-table-host slot assignment plus the
-/// same per-flow update [`ProfileAccumulator::absorb`] performs, with all
-/// host addressing done through dense [`HostId`]s.
+/// Columnar accumulation state: per-table-host slot assignment over dense
+/// [`HostId`]s, funneling each row into the same [`absorb_obs`] kernel the
+/// record-oriented accumulator uses.
 struct TableProfiler<'t> {
     table: &'t FlowTable,
+    tier: ProfileTier,
     /// Table host id → local profile slot (`u32::MAX` = not profiled yet).
     slot: Vec<u32>,
     ips: Vec<Ipv4Addr>,
     profiles: Vec<HostProfile>,
-    /// Per local slot: last flow start per destination (table id keyed).
-    last_to: Vec<HashMap<HostId, SimTime>>,
+    /// Per local slot: last flow start per destination address.
+    last_to: Vec<LastTo>,
 }
 
 impl<'t> TableProfiler<'t> {
-    fn new(table: &'t FlowTable) -> Self {
+    fn new(table: &'t FlowTable, tier: ProfileTier) -> Self {
         Self {
             table,
+            tier,
             slot: vec![u32::MAX; table.hosts().len()],
             ips: Vec::new(),
             profiles: Vec::new(),
@@ -584,35 +907,24 @@ impl<'t> TableProfiler<'t> {
             self.slot[host.index()] = s as u32;
             let ip = self.table.hosts().resolve(host);
             self.ips.push(ip);
-            self.profiles.push(HostProfile::new(ip));
-            self.last_to.push(HashMap::new());
+            self.profiles.push(HostProfile::new(ip, self.tier));
+            self.last_to.push(LastTo::new(self.tier));
         }
         let t = self.table;
-        let p = &mut self.profiles[s];
-        p.flows_involving += 1;
         let initiated = t.src(row) == host;
-        p.bytes_uploaded += if initiated {
-            t.src_bytes(row)
-        } else {
-            t.dst_bytes(row)
-        };
-        if initiated {
-            p.initiated += 1;
-            if t.is_failed(row) {
-                p.initiated_failed += 1;
-            }
-            let start = t.start(row);
-            if p.first_activity.is_none() {
-                p.first_activity = Some(start);
-            }
-            let dst = t.dst(row);
-            p.first_contact
-                .entry(t.hosts().resolve(dst))
-                .or_insert(start);
-            if let Some(prev) = self.last_to[s].insert(dst, start) {
-                p.interstitials.push((start - prev).as_secs_f64());
-            }
-        }
+        absorb_obs(
+            &mut self.profiles[s],
+            &mut self.last_to[s],
+            t.start(row),
+            t.hosts().resolve(t.dst(row)),
+            if initiated {
+                t.src_bytes(row)
+            } else {
+                t.dst_bytes(row)
+            },
+            initiated,
+            t.is_failed(row),
+        );
     }
 
     fn finish(self) -> Vec<(Ipv4Addr, HostProfile)> {
@@ -620,7 +932,8 @@ impl<'t> TableProfiler<'t> {
     }
 }
 
-/// Profile extraction over an existing [`FlowTable`] — the core batch path.
+/// Profile extraction over an existing [`FlowTable`] — the core batch path,
+/// at the exact tier.
 ///
 /// Rows are visited in the table's canonical time order, so the result is
 /// independent of the original record order.
@@ -628,8 +941,20 @@ pub fn extract_profiles_table<F>(table: &FlowTable, is_internal: F) -> ProfileTa
 where
     F: Fn(Ipv4Addr) -> bool,
 {
+    extract_profiles_table_tier(table, is_internal, ProfileTier::Exact)
+}
+
+/// [`extract_profiles_table`] at an explicit [`ProfileTier`].
+pub fn extract_profiles_table_tier<F>(
+    table: &FlowTable,
+    is_internal: F,
+    tier: ProfileTier,
+) -> ProfileTable
+where
+    F: Fn(Ipv4Addr) -> bool,
+{
     let flags = internal_flags(table, &is_internal);
-    let mut prof = TableProfiler::new(table);
+    let mut prof = TableProfiler::new(table, tier);
     for row in table.rows_in_order() {
         if let Some(host) = border_host(table, row, &flags) {
             prof.absorb_row(row, host);
@@ -646,13 +971,8 @@ pub(crate) fn host_shard(host: Ipv4Addr, shards: usize) -> usize {
     ((h >> 32) as usize) % shards
 }
 
-/// [`extract_profiles_table`] sharded over hosts with `std::thread::scope`.
-///
-/// Each worker scans the table and accumulates only the hosts assigned to
-/// its shard, so shards touch disjoint state and need no synchronization.
-/// Per-host flow order is preserved, which makes the result identical to
-/// [`extract_profiles_table`] for any thread count. The shard assignment is
-/// computed once per distinct host, not re-derived per flow per shard.
+/// [`extract_profiles_table`] sharded over hosts with `std::thread::scope`,
+/// at the exact tier.
 ///
 /// `threads == 0` is clamped to 1; `threads == 1` takes the serial path.
 pub fn extract_profiles_table_par<F>(
@@ -663,9 +983,33 @@ pub fn extract_profiles_table_par<F>(
 where
     F: Fn(Ipv4Addr) -> bool + Sync,
 {
+    extract_profiles_table_par_tier(table, is_internal, ProfileTier::Exact, threads)
+}
+
+/// Host-sharded extraction at an explicit [`ProfileTier`].
+///
+/// Each worker scans the table and accumulates only the hosts assigned to
+/// its shard, so shards touch disjoint state and need no synchronization.
+/// Per-host flow order is preserved, which makes the result identical to
+/// [`extract_profiles_table_tier`] for any thread count — at *both* tiers:
+/// sketch state is a pure function of the per-host flow sequence (see
+/// [`pw_sketch`]), so shard concatenation order is invisible. The shard
+/// assignment is computed once per distinct host, not re-derived per flow
+/// per shard.
+///
+/// `threads == 0` is clamped to 1; `threads == 1` takes the serial path.
+pub fn extract_profiles_table_par_tier<F>(
+    table: &FlowTable,
+    is_internal: F,
+    tier: ProfileTier,
+    threads: usize,
+) -> ProfileTable
+where
+    F: Fn(Ipv4Addr) -> bool + Sync,
+{
     let threads = threads.max(1);
     if threads == 1 {
-        return extract_profiles_table(table, is_internal);
+        return extract_profiles_table_tier(table, is_internal, tier);
     }
     let flags = internal_flags(table, &is_internal);
     let shard_of: Vec<u32> = table
@@ -680,7 +1024,7 @@ where
                 let flags = &flags;
                 let shard_of = &shard_of;
                 scope.spawn(move || {
-                    let mut prof = TableProfiler::new(table);
+                    let mut prof = TableProfiler::new(table, tier);
                     for row in table.rows_in_order() {
                         if let Some(host) = border_host(table, row, flags) {
                             if shard_of[host.index()] == tid {
@@ -811,7 +1155,7 @@ mod tests {
             flow(H, E1, 250, 1, 1, false), // gap 150 to E1
         ];
         let p = &extract_profiles(&flows, internal)[&H];
-        let mut ist = p.interstitials.clone();
+        let mut ist = p.interstitials().to_vec();
         ist.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert_eq!(ist, vec![100.0, 150.0, 300.0]);
     }
@@ -840,8 +1184,8 @@ mod tests {
             flow(H, E1, 0, 1, 1, false), // earlier, listed later
         ];
         let p = &extract_profiles(&flows, internal)[&H];
-        assert_eq!(p.interstitials, vec![100.0]);
-        assert_eq!(p.first_contact[&E1], SimTime::ZERO);
+        assert_eq!(p.interstitials(), &[100.0]);
+        assert_eq!(p.first_contact().expect("exact tier")[&E1], SimTime::ZERO);
     }
 
     fn mixed_flows() -> Vec<FlowRecord> {
@@ -872,8 +1216,7 @@ mod tests {
             let s = &streamed[ip];
             assert_eq!(s.flows_involving, p.flows_involving);
             assert_eq!(s.bytes_uploaded, p.bytes_uploaded);
-            assert_eq!(s.interstitials, p.interstitials);
-            assert_eq!(s.first_contact, p.first_contact);
+            assert_eq!(s.repr, p.repr);
         }
     }
 
@@ -911,5 +1254,68 @@ mod tests {
         let mut builder = ProfileBuilder::new(internal);
         builder.push(&flow(H, E1, 100, 1, 1, false));
         builder.push(&flow(H, E1, 50, 1, 1, false));
+    }
+
+    #[test]
+    fn sketched_tier_matches_exact_metrics_on_small_hosts() {
+        let flows = mixed_flows();
+        let table = FlowTable::from_records(&flows);
+        let exact = extract_profiles_table(&table, internal);
+        let sk = extract_profiles_table_tier(&table, internal, ProfileTier::Sketched);
+        assert_eq!(exact.len(), sk.len());
+        for ((_, e), (_, s)) in exact.iter().zip(sk.iter()) {
+            assert_eq!(s.tier(), ProfileTier::Sketched);
+            assert_eq!(e.ip, s.ip);
+            assert_eq!(e.flows_involving, s.flows_involving);
+            assert_eq!(e.bytes_uploaded, s.bytes_uploaded);
+            assert_eq!(e.first_activity, s.first_activity);
+            // Below the sparse caps the sketched metrics are exact.
+            assert_eq!(e.new_ip_fraction(), s.new_ip_fraction());
+            assert_eq!(e.distinct_destinations(), s.distinct_destinations());
+            assert_eq!(e.interstitial_count(), s.interstitial_count());
+            let mut ist = e.interstitials().to_vec();
+            ist.sort_by(f64::total_cmp);
+            assert_eq!(ist.as_slice(), s.interstitials());
+            assert_eq!(e.gap_cdf(None), s.gap_cdf(None));
+        }
+    }
+
+    #[test]
+    fn sketched_sharded_extraction_is_thread_count_invariant() {
+        let flows = mixed_flows();
+        let table = FlowTable::from_records(&flows);
+        let serial = extract_profiles_table_tier(&table, internal, ProfileTier::Sketched);
+        for threads in [2usize, 4, 8] {
+            let par =
+                extract_profiles_table_par_tier(&table, internal, ProfileTier::Sketched, threads);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sketched_tier_bounds_bytes_under_destination_blast() {
+        // One chatty host contacting thousands of distinct destinations,
+        // with repeat contacts so gaps accumulate too.
+        let mut flows = Vec::new();
+        for i in 0..4000u32 {
+            let dst = Ipv4Addr::from(0x0808_0000 + i);
+            flows.push(flow(H, dst, u64::from(i) * 7, 10, 10, false));
+            flows.push(flow(H, dst, u64::from(i) * 7 + 40_000, 10, 10, false));
+        }
+        flows.sort_by_key(|f| f.start);
+        let table = FlowTable::from_records(&flows);
+        let exact = extract_profiles_table(&table, internal);
+        let sk = extract_profiles_table_tier(&table, internal, ProfileTier::Sketched);
+        let (e, s) = (
+            exact.get(H).expect("profiled"),
+            sk.get(H).expect("profiled"),
+        );
+        assert!(e.estimated_bytes() > SKETCHED_BYTES_PER_HOST_CAP);
+        assert!(s.estimated_bytes() <= SKETCHED_BYTES_PER_HOST_CAP);
+        // The HLL estimate stays within its error envelope.
+        let err = (s.distinct_destinations() as f64 - 4000.0).abs() / 4000.0;
+        assert!(err < 0.1, "distinct-destination error {err}");
+        assert!(s.has_interstitials());
+        assert!(s.gap_cdf(None).is_some());
     }
 }

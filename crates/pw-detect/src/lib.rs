@@ -71,15 +71,16 @@ pub use detectors::{
 };
 pub use error::{ConfigError, Error};
 pub use features::{
-    extract_profiles_table, extract_profiles_table_par, internal_endpoint, HostMask, HostProfile,
-    ProfileAccumulator, ProfileBuilder, ProfileTable, ProfileView,
+    extract_profiles_table, extract_profiles_table_par, extract_profiles_table_par_tier,
+    extract_profiles_table_tier, internal_endpoint, HostMask, HostProfile, ProfileAccumulator,
+    ProfileBuilder, ProfileRepr, ProfileTable, ProfileTier, ProfileView,
 };
 pub use multiday::MultiDayReport;
 pub use perport::{find_plotters_per_service, PerServiceReport, ServiceKey};
 pub use pipeline::{
     find_plotters, find_plotters_from_table, find_plotters_table, try_find_plotters,
-    try_find_plotters_from_table, try_find_plotters_table, FindPlottersConfig,
-    FindPlottersConfigBuilder, PlotterReport,
+    try_find_plotters_from_table, try_find_plotters_table, try_find_plotters_table_tier,
+    FindPlottersConfig, FindPlottersConfigBuilder, PlotterReport,
 };
 pub use rates::{rates_against, Rates};
 pub use reduction::initial_reduction_view;

@@ -11,7 +11,8 @@ use crate::detectors::{
 };
 use crate::error::{ConfigError, Error};
 use crate::features::{
-    extract_profiles_table, extract_profiles_table_par, HostMask, ProfileTable, ProfileView,
+    extract_profiles_table, extract_profiles_table_par_tier, HostMask, ProfileTable, ProfileTier,
+    ProfileView,
 };
 use crate::reduction::initial_reduction_view;
 
@@ -290,11 +291,28 @@ pub fn try_find_plotters_table<F>(
 where
     F: Fn(Ipv4Addr) -> bool + Sync,
 {
+    try_find_plotters_table_tier(table, is_internal, cfg, ProfileTier::Exact, threads)
+}
+
+/// [`try_find_plotters_table`] with an explicit profile representation
+/// tier: [`ProfileTier::Sketched`] holds a fixed byte budget per host (see
+/// [`crate::features::ProfileRepr`]) at the cost of approximate counts on
+/// very large hosts.
+pub fn try_find_plotters_table_tier<F>(
+    table: &FlowTable,
+    is_internal: F,
+    cfg: &FindPlottersConfig,
+    tier: ProfileTier,
+    threads: usize,
+) -> Result<PlotterReport, Error>
+where
+    F: Fn(Ipv4Addr) -> bool + Sync,
+{
     if threads == 0 {
         return Err(ConfigError::ZeroThreads.into());
     }
     cfg.validate()?;
-    let profiles = extract_profiles_table_par(table, is_internal, threads);
+    let profiles = extract_profiles_table_par_tier(table, is_internal, tier, threads);
     run_stages(&ProfileView::from_table(&profiles), cfg, threads, true)
 }
 

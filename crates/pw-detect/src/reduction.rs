@@ -41,7 +41,7 @@ pub fn initial_reduction_view(view: &ProfileView<'_>) -> (HostMask, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::features::HostProfile;
+    use crate::features::{HostProfile, ProfileRepr};
     use pw_netsim::SimTime;
     use std::collections::{BTreeMap, HashMap, HashSet};
     use std::net::Ipv4Addr;
@@ -61,8 +61,10 @@ mod tests {
             initiated,
             initiated_failed: failed,
             first_activity: Some(SimTime::ZERO),
-            first_contact: BTreeMap::new(),
-            interstitials: Vec::new(),
+            repr: ProfileRepr::Exact {
+                first_contact: BTreeMap::new(),
+                interstitials: Vec::new(),
+            },
         }
     }
 

@@ -73,7 +73,8 @@ use pw_netsim::{SimDuration, SimTime};
 
 use crate::error::{ConfigError, Error};
 use crate::features::{
-    border_host, extract_profiles_table, extract_profiles_table_par, internal_flags,
+    border_host, extract_profiles_table_par_tier, extract_profiles_table_tier, internal_flags,
+    ProfileTier,
 };
 use crate::pipeline::{try_find_plotters_from_table, FindPlottersConfig, PlotterReport};
 
@@ -146,6 +147,10 @@ pub struct EngineConfig {
     /// (`push` returns [`Error::InvalidRecord`] and counts them) instead
     /// of letting corrupt values skew per-host features.
     pub reject_invalid: bool,
+    /// Profile representation per host: exact (unbounded memory, the
+    /// historical behaviour) or sketched (fixed bytes-per-host cap via
+    /// `pw-sketch`, identical verdicts on small hosts).
+    pub tier: ProfileTier,
     /// The detection pipeline run on each window.
     pub detect: FindPlottersConfig,
 }
@@ -163,6 +168,7 @@ impl Default for EngineConfig {
             stall_timeout: None,
             dedupe: false,
             reject_invalid: false,
+            tier: ProfileTier::default(),
             detect: FindPlottersConfig::default(),
         }
     }
@@ -287,6 +293,12 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Sets the per-host profile representation tier.
+    pub fn tier(mut self, tier: ProfileTier) -> Self {
+        self.cfg.tier = tier;
+        self
+    }
+
     /// Sets the detection pipeline run on each window.
     pub fn detect(mut self, cfg: FindPlottersConfig) -> Self {
         self.cfg.detect = cfg;
@@ -328,6 +340,13 @@ pub struct EngineStats {
     pub duplicates: u64,
     /// Stall flushes performed by [`DetectionEngine::tick`].
     pub stall_flushes: u64,
+    /// Estimated bytes held by the profiles of the most recently closed
+    /// window (heap plus inline, summed over hosts).
+    pub profile_bytes: u64,
+    /// Exact-tier profiles in the most recently closed window.
+    pub profiles_exact: u64,
+    /// Sketched-tier profiles in the most recently closed window.
+    pub profiles_sketched: u64,
 }
 
 /// The verdict for one closed window.
@@ -776,12 +795,23 @@ impl<F: Fn(Ipv4Addr) -> bool + Sync> DetectionEngine<F> {
         }
 
         let threads = self.cfg.threads;
+        let tier = self.cfg.tier;
         let mut profiles = if threads == 1 {
-            extract_profiles_table(&table, &self.is_internal)
+            extract_profiles_table_tier(&table, &self.is_internal, tier)
         } else {
-            extract_profiles_table_par(&table, &self.is_internal, threads)
+            extract_profiles_table_par_tier(&table, &self.is_internal, tier, threads)
         };
         let hosts = profiles.len();
+        self.stats.profile_bytes = 0;
+        self.stats.profiles_exact = 0;
+        self.stats.profiles_sketched = 0;
+        for p in profiles.profiles() {
+            self.stats.profile_bytes += p.estimated_bytes() as u64;
+            match p.tier() {
+                ProfileTier::Exact => self.stats.profiles_exact += 1,
+                ProfileTier::Sketched => self.stats.profiles_sketched += 1,
+            }
+        }
 
         let evicted = match self.cfg.eviction {
             EvictionPolicy::WindowScoped => 0,

@@ -82,7 +82,7 @@ fn main() {
         let churn = med(ps.iter().filter_map(|p| p.new_ip_fraction()).collect());
         let failed = med(ps.iter().filter_map(|p| p.failed_rate()).collect());
         let flows = med(ps.iter().map(|p| p.flows_involving as f64).collect());
-        let ist = med(ps.iter().map(|p| p.interstitials.len() as f64).collect());
+        let ist = med(ps.iter().map(|p| p.interstitial_count() as f64).collect());
         let dests = med(ps
             .iter()
             .map(|p| p.distinct_destinations() as f64)
@@ -149,12 +149,12 @@ fn main() {
         .iter()
         .filter_map(|ip| {
             let p = day.profiles.get(*ip)?;
-            if p.interstitials.is_empty() {
+            if !p.has_interstitials() {
                 return None;
             }
             Some((
                 *ip,
-                pw_analysis::Histogram::freedman_diaconis(&p.interstitials)?,
+                pw_analysis::Histogram::freedman_diaconis(p.interstitials())?,
             ))
         })
         .collect();

@@ -219,13 +219,13 @@ pub struct InterstitialPanel {
 }
 
 fn panel(name: String, p: &HostProfile) -> InterstitialPanel {
-    let hist = Histogram::freedman_diaconis(&p.interstitials).expect("samples exist");
+    let hist = Histogram::freedman_diaconis(p.interstitials()).expect("samples exist");
     let pm = hist.point_masses();
     let mut by_mass = pm.clone();
     by_mass.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
     InterstitialPanel {
         name,
-        samples: p.interstitials.len(),
+        samples: p.interstitials().len(),
         histogram: pm,
         modes: by_mass.iter().take(3).map(|&(c, _)| c).collect(),
     }
@@ -240,12 +240,12 @@ pub fn fig03_interstitials(ctx: &Context) -> Vec<InterstitialPanel> {
     let storm_p = storm
         .profiles()
         .iter()
-        .max_by_key(|p| p.interstitials.len())
+        .max_by_key(|p| p.interstitials().len())
         .expect("storm");
     let nug_p = nugache
         .profiles()
         .iter()
-        .max_by_key(|p| p.interstitials.len())
+        .max_by_key(|p| p.interstitials().len())
         .expect("nugache");
     let pick_trader = |app: P2pApp| {
         base.profiles()
@@ -254,7 +254,7 @@ pub fn fig03_interstitials(ctx: &Context) -> Vec<InterstitialPanel> {
                 matches!(day.run.overlaid.base.hosts.get(&p.ip),
                     Some(info) if info.role == pw_data::HostRole::Trader(app))
             })
-            .max_by_key(|p| p.interstitials.len())
+            .max_by_key(|p| p.interstitials().len())
             .expect("trader active")
     };
     vec![

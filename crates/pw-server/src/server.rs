@@ -228,7 +228,8 @@ impl<F: Fn(Ipv4Addr) -> bool + Sync> EngineState<F> {
         format!(
             "stats attempted={} accepted={} late={} late_dropped={} late_extended={} \
              shed={} quarantined={} duplicates={} stall_flushes={} held={} \
-             exporters={} windows={} checkpoint_errors={}\n",
+             exporters={} windows={} checkpoint_errors={} profile_bytes={} \
+             profiles_exact={} profiles_sketched={}\n",
             s.attempted,
             s.accepted,
             s.late,
@@ -242,6 +243,9 @@ impl<F: Fn(Ipv4Addr) -> bool + Sync> EngineState<F> {
             self.exporters.len(),
             self.reports.len(),
             self.checkpoint_errors,
+            s.profile_bytes,
+            s.profiles_exact,
+            s.profiles_sketched,
         )
     }
 

@@ -1,0 +1,293 @@
+//! Bounded-memory distinct counting: exact below a cap, HyperLogLog above.
+
+use crate::hash::{splitmix64, DISTINCT_SEED};
+
+/// HyperLogLog precision: 2^10 = 1024 registers, relative standard error
+/// 1.04 / sqrt(1024) ≈ 3.3%.
+const P: u32 = 10;
+const M: usize = 1 << P;
+/// Exact keys held before degrading to dense registers. Hosts below this
+/// many distinct destinations — the overwhelming majority of a campus
+/// population — count *exactly*, so small-n detector decisions match the
+/// exact tier bit-for-bit.
+const SPARSE_CAP: usize = 256;
+
+/// Distinct-element counter over `u32` keys (host addresses).
+///
+/// State is a pure function of the inserted key *set*: insertion order and
+/// merge grouping are invisible. Sparse mode stores the sorted keys
+/// themselves (exact count, no hash collisions possible); once more than
+/// `SPARSE_CAP` (256) distinct keys arrive the sketch densifies into 1024
+/// fixed-seed HyperLogLog registers and never goes back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistinctSketch {
+    state: State,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum State {
+    /// Sorted distinct keys.
+    Sparse(Vec<u32>),
+    /// HyperLogLog registers, indexed by the top `P` hash bits.
+    Dense(Box<[u8; M]>),
+}
+
+impl Default for DistinctSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DistinctSketch {
+    /// Worst-case heap + inline footprint, for the per-host byte budget.
+    /// The sparse peak (just before densifying) and the dense register
+    /// array are both counted; the larger dominates.
+    pub const MAX_BYTES: usize = std::mem::size_of::<Self>()
+        + if SPARSE_CAP * std::mem::size_of::<u32>() > M {
+            SPARSE_CAP * std::mem::size_of::<u32>()
+        } else {
+            M
+        };
+
+    /// An empty sketch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            state: State::Sparse(Vec::new()),
+        }
+    }
+
+    /// Inserts a key (idempotent).
+    pub fn insert(&mut self, key: u32) {
+        match &mut self.state {
+            State::Sparse(keys) => {
+                if let Err(pos) = keys.binary_search(&key) {
+                    keys.insert(pos, key);
+                    if keys.len() > SPARSE_CAP {
+                        self.densify();
+                    }
+                }
+            }
+            State::Dense(regs) => observe(regs, key),
+        }
+    }
+
+    /// Estimated number of distinct keys inserted. Exact while sparse.
+    #[must_use]
+    pub fn count(&self) -> f64 {
+        match &self.state {
+            State::Sparse(keys) => keys.len() as f64,
+            State::Dense(regs) => estimate(regs),
+        }
+    }
+
+    /// Whether the sketch still holds the exact key set.
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        matches!(self.state, State::Sparse(_))
+    }
+
+    /// Whether no key was ever inserted (densified sketches are never
+    /// empty).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        matches!(&self.state, State::Sparse(keys) if keys.is_empty())
+    }
+
+    /// Folds `other` in. Commutative and associative bit-for-bit: the
+    /// merged state equals the state produced by inserting both key sets
+    /// into one sketch in any order.
+    pub fn merge(&mut self, other: &Self) {
+        match (&mut self.state, &other.state) {
+            (State::Sparse(a), State::Sparse(b)) => {
+                let mut merged = Vec::with_capacity(a.len() + b.len());
+                let (mut i, mut j) = (0, 0);
+                while i < a.len() || j < b.len() {
+                    match (a.get(i), b.get(j)) {
+                        (Some(&x), Some(&y)) if x == y => {
+                            merged.push(x);
+                            i += 1;
+                            j += 1;
+                        }
+                        (Some(&x), Some(&y)) if x < y => {
+                            merged.push(x);
+                            i += 1;
+                        }
+                        (Some(_), Some(&y)) => {
+                            merged.push(y);
+                            j += 1;
+                        }
+                        (Some(&x), None) => {
+                            merged.push(x);
+                            i += 1;
+                        }
+                        (None, Some(&y)) => {
+                            merged.push(y);
+                            j += 1;
+                        }
+                        (None, None) => unreachable!(),
+                    }
+                }
+                *a = merged;
+                if a.len() > SPARSE_CAP {
+                    self.densify();
+                }
+            }
+            (State::Dense(regs), State::Sparse(b)) => {
+                for &key in b {
+                    observe(regs, key);
+                }
+            }
+            (State::Sparse(_), State::Dense(other_regs)) => {
+                self.densify();
+                let State::Dense(regs) = &mut self.state else {
+                    unreachable!("densify leaves the sketch dense");
+                };
+                max_registers(regs, other_regs);
+            }
+            (State::Dense(regs), State::Dense(other_regs)) => {
+                max_registers(regs, other_regs);
+            }
+        }
+    }
+
+    /// Current heap + inline footprint estimate in bytes.
+    #[must_use]
+    pub fn estimated_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + match &self.state {
+                State::Sparse(keys) => keys.len() * std::mem::size_of::<u32>(),
+                State::Dense(_) => M,
+            }
+    }
+
+    /// FNV-1a digest of the exact state bytes, for bit-identity assertions
+    /// in tests.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        let mut eat = |byte: u8| {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        match &self.state {
+            State::Sparse(keys) => {
+                eat(1);
+                for k in keys {
+                    k.to_le_bytes().into_iter().for_each(&mut eat);
+                }
+            }
+            State::Dense(regs) => {
+                eat(2);
+                regs.iter().copied().for_each(&mut eat);
+            }
+        }
+        h
+    }
+
+    fn densify(&mut self) {
+        if let State::Sparse(keys) = &self.state {
+            let mut regs = Box::new([0u8; M]);
+            for &key in keys {
+                observe(&mut regs, key);
+            }
+            self.state = State::Dense(regs);
+        }
+    }
+}
+
+/// Records one key into the registers: index from the top `P` hash bits,
+/// rank = leading-zero run of the remaining bits plus one.
+fn observe(regs: &mut [u8; M], key: u32) {
+    let h = splitmix64(u64::from(key) ^ DISTINCT_SEED);
+    let idx = (h >> (64 - P)) as usize;
+    let rest = h << P;
+    let rho = (rest.leading_zeros().min(64 - P) + 1) as u8;
+    if rho > regs[idx] {
+        regs[idx] = rho;
+    }
+}
+
+fn max_registers(into: &mut [u8; M], from: &[u8; M]) {
+    for (a, &b) in into.iter_mut().zip(from.iter()) {
+        if b > *a {
+            *a = b;
+        }
+    }
+}
+
+/// The standard HyperLogLog estimator with the small-range linear-counting
+/// correction. Registers are folded in fixed index order, so the float
+/// result is deterministic.
+fn estimate(regs: &[u8; M]) -> f64 {
+    let m = M as f64;
+    let alpha = 0.7213 / (1.0 + 1.079 / m);
+    let mut sum = 0.0f64;
+    let mut zeros = 0usize;
+    for &r in regs {
+        sum += f64::powi(2.0, -i32::from(r));
+        if r == 0 {
+            zeros += 1;
+        }
+    }
+    let raw = alpha * m * m / sum;
+    if raw <= 2.5 * m && zeros > 0 {
+        m * (m / zeros as f64).ln()
+    } else {
+        raw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_is_exact_and_idempotent() {
+        let mut s = DistinctSketch::new();
+        for k in [5u32, 1, 5, 9, 1, 1] {
+            s.insert(k);
+        }
+        assert!(s.is_exact());
+        assert_eq!(s.count(), 3.0);
+    }
+
+    #[test]
+    fn densifies_past_cap_and_stays_close() {
+        let mut s = DistinctSketch::new();
+        for k in 0..10_000u32 {
+            s.insert(k.wrapping_mul(2_654_435_761));
+        }
+        assert!(!s.is_exact());
+        let err = (s.count() - 10_000.0).abs() / 10_000.0;
+        assert!(err < 0.1, "HLL error {err} out of range");
+    }
+
+    #[test]
+    fn merge_matches_single_sketch_across_the_density_boundary() {
+        for n in [10usize, 200, 300, 5000] {
+            let keys: Vec<u32> = (0..n as u32).map(|k| k.wrapping_mul(0x9E37_79B9)).collect();
+            let mut whole = DistinctSketch::new();
+            for &k in &keys {
+                whole.insert(k);
+            }
+            let (lo, hi) = keys.split_at(n / 3);
+            let mut a = DistinctSketch::new();
+            let mut b = DistinctSketch::new();
+            lo.iter().for_each(|&k| a.insert(k));
+            hi.iter().for_each(|&k| b.insert(k));
+            a.merge(&b);
+            assert_eq!(a, whole, "n={n}");
+            assert_eq!(a.digest(), whole.digest());
+        }
+    }
+
+    #[test]
+    fn footprint_stays_under_budget() {
+        let mut s = DistinctSketch::new();
+        for k in 0..100_000u32 {
+            s.insert(k);
+            assert!(s.estimated_bytes() <= DistinctSketch::MAX_BYTES);
+        }
+    }
+}

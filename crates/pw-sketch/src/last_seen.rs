@@ -1,0 +1,126 @@
+//! A fixed-capacity last-value-per-key cache for interstitial tracking.
+
+use crate::hash::{splitmix64, LAST_SEEN_SEED};
+
+/// Slots in the open-addressed table. Matches the `DistinctSketch` sparse
+/// cap: hosts whose destination set fits stay *exact* — every repeat
+/// contact yields the same gap the exact tier's hash map would.
+const CAP: usize = 256;
+
+/// Bounded stand-in for the accumulators' per-host `last_to` maps: the
+/// last time each destination key was contacted, in a fixed-size
+/// open-addressed table.
+///
+/// Below capacity it is an exact map (full linear probing, keys stored
+/// verbatim — no fingerprint collisions). Once all slots fill, inserts of
+/// *unknown* keys are deterministically dropped — their repeat gaps go
+/// unobserved — while known keys keep updating. Which keys win is a pure
+/// function of the insertion history, so shard, batch, and streaming
+/// extraction (which all replay flows in the same canonical per-host
+/// order) agree bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LastSeen<V> {
+    slots: Box<[Option<(u32, V)>]>,
+    len: usize,
+}
+
+impl<V: Copy> Default for LastSeen<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Copy> LastSeen<V> {
+    /// Worst-case footprint, for the per-host byte budget.
+    pub const MAX_BYTES: usize =
+        std::mem::size_of::<Self>() + CAP * std::mem::size_of::<Option<(u32, V)>>();
+
+    /// Number of key slots.
+    pub const CAPACITY: usize = CAP;
+
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            slots: vec![None; CAP].into_boxed_slice(),
+            len: 0,
+        }
+    }
+
+    /// Number of distinct keys currently tracked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no keys are tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Records `value` for `key`, returning the previously stored value if
+    /// the key was already tracked (the `HashMap::insert` contract). When
+    /// the table is full and `key` is unknown, the insert is dropped and
+    /// `None` is returned.
+    pub fn insert(&mut self, key: u32, value: V) -> Option<V> {
+        let start = (splitmix64(u64::from(key) ^ LAST_SEEN_SEED) as usize) % CAP;
+        for probe in 0..CAP {
+            let i = (start + probe) % CAP;
+            match &mut self.slots[i] {
+                Some((k, v)) if *k == key => {
+                    let prev = *v;
+                    *v = value;
+                    return Some(prev);
+                }
+                Some(_) => {}
+                empty @ None => {
+                    *empty = Some((key, value));
+                    self.len += 1;
+                    return None;
+                }
+            }
+        }
+        None
+    }
+
+    /// Current footprint in bytes (fixed at construction).
+    #[must_use]
+    pub fn estimated_bytes(&self) -> usize {
+        Self::MAX_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behaves_like_a_map_below_capacity() {
+        let mut cache = LastSeen::new();
+        let mut model = std::collections::HashMap::new();
+        for i in 0..200u32 {
+            let key = i.wrapping_mul(2_654_435_761) % 150; // repeats
+            assert_eq!(
+                cache.insert(key, u64::from(i)),
+                model.insert(key, u64::from(i))
+            );
+        }
+        assert_eq!(cache.len(), model.len());
+    }
+
+    #[test]
+    fn full_table_drops_unknown_keys_but_updates_known_ones() {
+        let mut cache = LastSeen::new();
+        for k in 0..CAP as u32 {
+            assert_eq!(cache.insert(k, 0u64), None);
+        }
+        assert_eq!(cache.len(), CAP);
+        // Unknown key: dropped.
+        assert_eq!(cache.insert(9999, 1), None);
+        assert_eq!(cache.len(), CAP);
+        // Known key: still updates and reports the previous value.
+        assert_eq!(cache.insert(5, 7), Some(0));
+        assert_eq!(cache.insert(5, 9), Some(7));
+    }
+}

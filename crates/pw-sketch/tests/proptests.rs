@@ -1,0 +1,166 @@
+//! Property tests for the sketch merge laws the sketched profile tier
+//! depends on: order-invariance (bit-identical state for any insertion
+//! order or shard split), merge commutativity/associativity, and the
+//! HyperLogLog error bound against exact counts.
+
+use proptest::prelude::*;
+use pw_sketch::{DistinctSketch, GapSketch, LastSeen};
+
+fn distinct_of(keys: &[u32]) -> DistinctSketch {
+    let mut s = DistinctSketch::new();
+    keys.iter().for_each(|&k| s.insert(k));
+    s
+}
+
+fn gaps_of(gaps: &[f64]) -> GapSketch {
+    let mut s = GapSketch::new();
+    gaps.iter().for_each(|&g| s.record(g));
+    s
+}
+
+proptest! {
+    /// Any permutation of the inserts yields bit-identical sketch state —
+    /// the property that makes host-sharded extraction order-free.
+    #[test]
+    fn distinct_insertion_order_is_invisible(
+        keys in prop::collection::vec(any::<u32>(), 0..600),
+        rot in 0usize..600,
+    ) {
+        let forward = distinct_of(&keys);
+        let mut keys = keys;
+        let rot = rot.min(keys.len().max(1) - 1);
+        keys.rotate_left(rot);
+        keys.reverse();
+        let shuffled = distinct_of(&keys);
+        prop_assert_eq!(&forward, &shuffled);
+        prop_assert_eq!(forward.digest(), shuffled.digest());
+    }
+
+    /// Merging any shard split equals single-sketch insertion, and the
+    /// merge commutes and associates bit-for-bit.
+    #[test]
+    fn distinct_merge_laws(
+        keys in prop::collection::vec(any::<u32>(), 0..900),
+        cut_a in 0.0f64..1.0,
+        cut_b in 0.0f64..1.0,
+    ) {
+        let whole = distinct_of(&keys);
+        let (i, j) = split_points(keys.len(), cut_a, cut_b);
+        let (a, b, c) = (distinct_of(&keys[..i]), distinct_of(&keys[i..j]), distinct_of(&keys[j..]));
+
+        // ((a ⊔ b) ⊔ c) — the shard-concatenation order.
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        prop_assert_eq!(&left, &whole);
+
+        // (a ⊔ (b ⊔ c)) — associativity.
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&right, &whole);
+
+        // (b ⊔ a) vs (a ⊔ b) — commutativity.
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab.digest(), ba.digest());
+    }
+
+    /// Sparse sketches count exactly; dense ones stay within a generous
+    /// multiple of the HLL standard error (1.04/sqrt(1024) ≈ 3.3%; we
+    /// allow 5σ ≈ 16% so the test is deterministic-noise-proof).
+    #[test]
+    fn distinct_count_tracks_exact(keys in prop::collection::vec(any::<u32>(), 0..3000)) {
+        let exact = keys.iter().collect::<std::collections::HashSet<_>>().len() as f64;
+        let s = distinct_of(&keys);
+        if s.is_exact() {
+            prop_assert_eq!(s.count(), exact);
+        } else {
+            let err = (s.count() - exact).abs() / exact;
+            prop_assert!(err < 5.0 * 0.0325, "HLL error {} beyond 5 sigma at n={}", err, exact);
+        }
+    }
+
+    /// Gap sketches are insertion-order- and shard-split-invariant too.
+    #[test]
+    fn gap_merge_laws(
+        gaps in prop::collection::vec(0.0f64..1e7, 0..1200),
+        cut_a in 0.0f64..1.0,
+        cut_b in 0.0f64..1.0,
+    ) {
+        let whole = gaps_of(&gaps);
+        let mut rev = gaps.clone();
+        rev.reverse();
+        prop_assert_eq!(&gaps_of(&rev), &whole);
+
+        let (i, j) = split_points(gaps.len(), cut_a, cut_b);
+        let (a, b, c) = (gaps_of(&gaps[..i]), gaps_of(&gaps[i..j]), gaps_of(&gaps[j..]));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        prop_assert_eq!(&left, &whole);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&right, &whole);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab.digest(), ba.digest());
+
+        prop_assert_eq!(whole.count() as usize, gaps.len());
+    }
+
+    /// Below capacity the cache is exactly `HashMap::insert`.
+    #[test]
+    fn last_seen_matches_hashmap_below_capacity(
+        ops in prop::collection::vec((0u32..200, any::<u64>()), 0..250),
+    ) {
+        let mut cache = LastSeen::new();
+        let mut model = std::collections::HashMap::new();
+        for (k, v) in ops {
+            if model.len() < LastSeen::<u64>::CAPACITY || model.contains_key(&k) {
+                prop_assert_eq!(cache.insert(k, v), model.insert(k, v));
+            } else {
+                prop_assert_eq!(cache.insert(k, v), None);
+            }
+        }
+    }
+}
+
+/// Two ordered split points inside `len`, derived from unit fractions.
+fn split_points(len: usize, a: f64, b: f64) -> (usize, usize) {
+    let i = ((len as f64) * a) as usize;
+    let j = ((len as f64) * b) as usize;
+    (i.min(j).min(len), i.max(j).min(len))
+}
+
+/// Deterministic sweep pinning the HLL estimate inside the 3σ theoretical
+/// envelope on structured key sets (sequential, strided, hashed).
+#[test]
+fn hll_error_within_three_sigma_on_structured_sets() {
+    let sigma = 1.04 / (1024f64).sqrt();
+    for n in [1_000usize, 5_000, 20_000, 100_000] {
+        for (name, f) in [
+            ("sequential", (|k: u32| k) as fn(u32) -> u32),
+            ("strided", |k: u32| k.wrapping_mul(4097)),
+            ("mixed", |k: u32| {
+                k.wrapping_mul(2_654_435_761).rotate_left(7)
+            }),
+        ] {
+            let mut s = DistinctSketch::new();
+            (0..n as u32).for_each(|k| s.insert(f(k)));
+            let err = (s.count() - n as f64).abs() / n as f64;
+            assert!(
+                err <= 3.0 * sigma,
+                "{name} n={n}: error {err:.4} exceeds 3σ={:.4}",
+                3.0 * sigma
+            );
+        }
+    }
+}

@@ -27,6 +27,12 @@ cargo test --workspace -q
 echo "==> fault-injection suite (chaos + checkpoint/restore)"
 cargo test -q --test chaos_injection --test checkpoint_roundtrip
 
+echo "==> sketch accuracy gate (exact vs sketched tier, fast scale)"
+# Campus-day suspect sets must be identical between tiers, the sketched
+# bytes-per-host cap must hold, and dense-sweep scalar-stage divergence
+# must stay within its bound; see crates/pw-repro/src/bin/sketch_accuracy.rs.
+PW_FAST=1 cargo run -q -p pw-repro --bin sketch_accuracy -- --check
+
 echo "==> server smoke (serve / chaos send / kill -9 / resume / diff vs batch)"
 # A seeded multi-exporter day through `findplotters serve`, with injected
 # disconnects and a mid-run SIGKILL, must reach the same verdict as batch

@@ -7,6 +7,7 @@
 //!     [--threads N] [--window HOURS [--slide HOURS] [--lateness MINS]] \
 //!     [--late-policy reject|drop|extend] [--max-flows N] \
 //!     [--dedupe] [--reject-invalid] [--quarantine FILE] \
+//!     [--profile-tier exact|sketched] \
 //!     [--checkpoint FILE [--checkpoint-every N] [--resume]]
 //! ```
 //!
@@ -26,6 +27,11 @@
 //! `--resume` revives the engine from the snapshot and skips the part of
 //! the file it already processed, producing the same verdicts as an
 //! uninterrupted run.
+//!
+//! `--profile-tier sketched` switches per-host profiles to the
+//! bounded-memory sketch representation (see `pw-sketch`): each host costs
+//! a fixed number of bytes however many destinations it contacts, at the
+//! price of approximate distinct counts on hosts above the sketch caps.
 //!
 //! Three subcommands run detection as a service (see `pw-server`):
 //!
@@ -54,7 +60,7 @@ use peerwatch::chaos::ConnPlan;
 use peerwatch::detect::checkpoint::{read_checkpoint, write_checkpoint};
 use peerwatch::detect::stream::{DetectionEngine, EngineConfig, LatePolicy};
 use peerwatch::detect::{
-    try_find_plotters_table, Error, FindPlottersConfig, PlotterReport, Threshold,
+    try_find_plotters_table_tier, Error, FindPlottersConfig, PlotterReport, ProfileTier, Threshold,
 };
 use peerwatch::flow::csvio::{format_flow, read_flows_lossy, RowError};
 use peerwatch::flow::FlowTable;
@@ -67,7 +73,7 @@ fn usage() -> ! {
          [--tau-vol P] [--tau-churn P] [--tau-hm P] [--no-reduction] \
          [--threads N] [--window HOURS [--slide HOURS] [--lateness MINS]] \
          [--late-policy reject|drop|extend] [--max-flows N] [--dedupe] \
-         [--reject-invalid] [--quarantine FILE] \
+         [--reject-invalid] [--quarantine FILE] [--profile-tier exact|sketched] \
          [--checkpoint FILE [--checkpoint-every N] [--resume]]\n\
          \x20      findplotters serve --bind ADDR [--internal CIDR]... [engine knobs] \
          [--checkpoint FILE] [--checkpoint-every N] [--queue-depth N]\n\
@@ -108,6 +114,14 @@ fn parse_usize(flag: &str, v: &str) -> usize {
     v.parse().unwrap_or_else(|_| {
         bad_arg(&format!(
             "invalid value {v:?} for {flag}: expected a non-negative integer"
+        ))
+    })
+}
+
+fn parse_tier(v: &str) -> ProfileTier {
+    ProfileTier::from_name(v).unwrap_or_else(|| {
+        bad_arg(&format!(
+            "invalid value {v:?} for --profile-tier: expected exact or sketched"
         ))
     })
 }
@@ -249,6 +263,7 @@ fn serve_main(args: &[String]) -> ! {
     let mut max_flows: Option<usize> = None;
     let mut dedupe = false;
     let mut reject_invalid = false;
+    let mut tier = ProfileTier::Exact;
     let mut server_builder = ServerConfig::builder();
 
     let mut it = args.iter();
@@ -277,6 +292,7 @@ fn serve_main(args: &[String]) -> ! {
             "--max-flows" => max_flows = Some(parse_usize(a, &next_value(&mut it, a))),
             "--dedupe" => dedupe = true,
             "--reject-invalid" => reject_invalid = true,
+            "--profile-tier" => tier = parse_tier(&next_value(&mut it, a)),
             "--checkpoint" => {
                 server_builder = server_builder.checkpoint_path(next_value(&mut it, a));
             }
@@ -310,6 +326,7 @@ fn serve_main(args: &[String]) -> ! {
         max_flows,
         dedupe,
         reject_invalid,
+        tier,
         detect,
         ..Default::default()
     };
@@ -449,6 +466,7 @@ fn main() {
     let mut max_flows: Option<usize> = None;
     let mut dedupe = false;
     let mut reject_invalid = false;
+    let mut tier = ProfileTier::Exact;
     let mut quarantine_path: Option<String> = None;
     let mut checkpoint_path: Option<String> = None;
     let mut checkpoint_every: usize = 10_000;
@@ -480,6 +498,7 @@ fn main() {
             "--max-flows" => max_flows = Some(parse_usize(a, &next_value(&mut it, a))),
             "--dedupe" => dedupe = true,
             "--reject-invalid" => reject_invalid = true,
+            "--profile-tier" => tier = parse_tier(&next_value(&mut it, a)),
             "--quarantine" => quarantine_path = Some(next_value(&mut it, a)),
             "--checkpoint" => checkpoint_path = Some(next_value(&mut it, a)),
             "--checkpoint-every" => checkpoint_every = parse_usize(a, &next_value(&mut it, a)),
@@ -544,6 +563,7 @@ fn main() {
             max_flows,
             dedupe,
             reject_invalid,
+            tier,
             detect: cfg,
             ..Default::default()
         };
@@ -665,7 +685,7 @@ fn main() {
         // it instead of re-scanning and re-hashing addresses per stage.
         let table = FlowTable::from_records(&flows);
         eprintln!("interned {} hosts", table.hosts().len());
-        let report = try_find_plotters_table(&table, is_internal, &cfg, threads)
+        let report = try_find_plotters_table_tier(&table, is_internal, &cfg, tier, threads)
             .unwrap_or_else(|e| fail(&format!("detection failed: {e}")));
         print_report(&report);
         report
@@ -690,7 +710,9 @@ fn main() {
             }
         }
         println!("\nscoring against {tp}:");
-        for (fam, (hit, total)) in &per_family {
+        let mut families: Vec<_> = per_family.iter().collect();
+        families.sort_by_key(|(fam, _)| *fam);
+        for (fam, (hit, total)) in families {
             println!("  {fam}: {hit}/{total} detected");
         }
         let fp = report.suspects.difference(&implanted).count();

@@ -116,7 +116,7 @@ fn jitter_spreads_interstitial_times() {
         let all: Vec<f64> = p
             .profiles()
             .iter()
-            .flat_map(|h| h.interstitials.iter().copied())
+            .flat_map(|h| h.interstitials().iter().copied())
             .collect();
         pw_analysis_iqr(&all)
     };
