@@ -26,6 +26,12 @@
 //! TCP connection to the detection server is severed mid-stream, forcing
 //! a reconnect-and-resume through the server's sequence handshake.
 //!
+//! [`proxy::ChaosProxy`] goes one layer lower still: an in-process TCP
+//! proxy that injects *byte-level* faults — seeded bit flips, mid-frame
+//! cuts, stalls, and partial writes — between a real client and a real
+//! server, to prove the wire protocol's integrity checking and deadline
+//! handling end to end.
+//!
 //! # Examples
 //!
 //! ```
@@ -39,6 +45,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod proxy;
+
+pub use proxy::{ChaosProxy, ProxyFaults, ProxyStats};
 
 use std::fmt;
 
@@ -146,17 +156,28 @@ impl Default for ChaosConfig {
     }
 }
 
+/// Rejects anything that is not a well-formed probability: NaN and
+/// negative values explicitly, not as a side effect of a range check.
+fn probability_ok(field: &'static str, value: f64) -> Result<(), ChaosConfigError> {
+    if value.is_nan() || !(0.0..=1.0).contains(&value) {
+        return Err(ChaosConfigError { field, value });
+    }
+    Ok(())
+}
+
 impl ChaosConfig {
-    /// Checks every probability knob.
+    /// Checks every probability knob. NaN and negative rates are rejected
+    /// explicitly — a NaN would otherwise silently disable its fault
+    /// (every `chance(NaN)` comparison is false), which is the worst
+    /// failure mode for a fault injector: tests that pass because nothing
+    /// was injected.
     pub fn validate(&self) -> Result<(), ChaosConfigError> {
         for (field, value) in [
             ("drop", self.drop),
             ("duplicate", self.duplicate),
             ("corrupt", self.corrupt),
         ] {
-            if !(0.0..=1.0).contains(&value) {
-                return Err(ChaosConfigError { field, value });
-            }
+            probability_ok(field, value)?;
         }
         if self.stall_every == Some(0) {
             return Err(ChaosConfigError {
@@ -362,7 +383,16 @@ impl ConnPlan {
 /// mangled text and how many rows were corrupted. Three corruption shapes
 /// rotate deterministically: a truncated row (too few fields), a row with
 /// a junk field appended (too many), and a garbled leading timestamp.
-pub fn corrupt_csv(text: &str, seed: u64, prob: f64) -> (String, usize) {
+///
+/// # Errors
+///
+/// [`ChaosConfigError`] if `prob` is NaN, negative, or above 1.
+pub fn try_corrupt_csv(
+    text: &str,
+    seed: u64,
+    prob: f64,
+) -> Result<(String, usize), ChaosConfigError> {
+    probability_ok("corrupt_csv prob", prob)?;
     let mut rng = ChaosRng::new(seed);
     let mut corrupted = 0usize;
     let mut out = String::with_capacity(text.len());
@@ -392,7 +422,17 @@ pub fn corrupt_csv(text: &str, seed: u64, prob: f64) -> (String, usize) {
         }
         out.push('\n');
     }
-    (out, corrupted)
+    Ok((out, corrupted))
+}
+
+/// [`try_corrupt_csv`] for probabilities known valid.
+///
+/// # Panics
+///
+/// Panics if `prob` is NaN, negative, or above 1; use
+/// [`try_corrupt_csv`] to handle that as a value.
+pub fn corrupt_csv(text: &str, seed: u64, prob: f64) -> (String, usize) {
+    try_corrupt_csv(text, seed, prob).expect("invalid corrupt_csv probability")
 }
 
 #[cfg(test)]
@@ -549,6 +589,86 @@ mod tests {
             ..Default::default()
         };
         assert!(try_inject(&[], &bad).is_err());
+    }
+
+    #[test]
+    fn nan_probabilities_are_rejected_per_knob() {
+        // A NaN rate silently disables its fault (`chance(NaN)` is always
+        // false); each knob must refuse it as a typed error instead.
+        let nan = f64::NAN;
+        let cases = [
+            (
+                "drop",
+                ChaosConfig {
+                    drop: nan,
+                    ..Default::default()
+                },
+            ),
+            (
+                "duplicate",
+                ChaosConfig {
+                    duplicate: nan,
+                    ..Default::default()
+                },
+            ),
+            (
+                "corrupt",
+                ChaosConfig {
+                    corrupt: nan,
+                    ..Default::default()
+                },
+            ),
+        ];
+        for (field, cfg) in cases {
+            let err = cfg.validate().unwrap_err();
+            assert_eq!(err.field, field);
+            assert!(err.value.is_nan());
+        }
+    }
+
+    #[test]
+    fn negative_probabilities_are_rejected_per_knob() {
+        let cases = [
+            (
+                "drop",
+                ChaosConfig {
+                    drop: -0.1,
+                    ..Default::default()
+                },
+            ),
+            (
+                "duplicate",
+                ChaosConfig {
+                    duplicate: -1.0,
+                    ..Default::default()
+                },
+            ),
+            (
+                "corrupt",
+                ChaosConfig {
+                    corrupt: -f64::EPSILON,
+                    ..Default::default()
+                },
+            ),
+        ];
+        for (field, cfg) in cases {
+            let err = cfg.validate().unwrap_err();
+            assert_eq!(err.field, field, "negative {field} must be refused");
+            assert!(err.value < 0.0);
+        }
+    }
+
+    #[test]
+    fn corrupt_csv_rejects_nan_and_negative_probabilities() {
+        let err = try_corrupt_csv("h\na,b\n", 1, f64::NAN).unwrap_err();
+        assert_eq!(err.field, "corrupt_csv prob");
+        assert!(err.value.is_nan());
+        let err = try_corrupt_csv("h\na,b\n", 1, -0.5).unwrap_err();
+        assert_eq!(err.value, -0.5);
+        let err = try_corrupt_csv("h\na,b\n", 1, 2.0).unwrap_err();
+        assert_eq!(err.value, 2.0);
+        assert!(try_corrupt_csv("h\na,b\n", 1, 0.0).is_ok());
+        assert!(try_corrupt_csv("h\na,b\n", 1, 1.0).is_ok());
     }
 
     #[test]

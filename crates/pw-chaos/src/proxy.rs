@@ -1,0 +1,433 @@
+//! Seeded in-process TCP chaos proxy: byte-level fault injection between
+//! an exporter client and the detection server.
+//!
+//! [`ChaosConfig`](crate::ChaosConfig) injects faults at the *flow-record*
+//! level and [`ConnPlan`](crate::ConnPlan) at the *connection* level; this
+//! module goes one layer down, to the byte stream itself. A [`ChaosProxy`]
+//! listens on an ephemeral loopback port and forwards every accepted
+//! connection to a real upstream server while injecting, per connection:
+//!
+//! - **bit corruption** — seeded single-bit flips at fixed byte offsets of
+//!   the client→server stream, which the version-2 `PWFS` frame CRC must
+//!   catch;
+//! - **mid-frame cuts** — the connection is severed after an exact number
+//!   of forwarded bytes, almost always inside a frame;
+//! - **stalls** — a fixed sleep when the stream crosses a seeded offset,
+//!   exercising server read deadlines;
+//! - **partial writes** — forwarding in small seeded chunks so no peer can
+//!   assume a frame arrives in one `read`.
+//!
+//! Every fault position is derived from [`ProxyFaults::seed`] and the
+//! connection's accept index *before* any bytes move, so the fault
+//! sequence is a pure function of the seed: same seed, same flipped bits,
+//! same severed byte offsets, same counters — regardless of TCP segment
+//! boundaries or scheduler timing. Only the first
+//! [`faulty_conns`](ProxyFaults::faulty_conns) connections receive
+//! faults; later connections (the retries) pass through clean, so a
+//! resilient client is guaranteed to make progress eventually.
+//!
+//! Use one proxy per exporter. A proxy plans faults by accept order, and
+//! two exporters racing through a shared proxy would make that order —
+//! and therefore the fault assignment — depend on the scheduler.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crate::ChaosRng;
+
+/// What byte-level faults to inject, and into how many connections.
+///
+/// The default is a faithful passthrough (no faults, no chunking).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProxyFaults {
+    /// Seed determining every fault position and mask.
+    pub seed: u64,
+    /// Connections (in accept order) that receive faults; connections at
+    /// index `faulty_conns` and beyond are forwarded clean. Bounding this
+    /// guarantees a retrying client eventually gets a clean channel.
+    pub faulty_conns: usize,
+    /// Single-bit flips injected into the client→server stream of each
+    /// faulty connection, at seeded byte offsets inside
+    /// [`fault_window`](ProxyFaults::fault_window).
+    pub flips_per_conn: usize,
+    /// Sever each faulty connection after a seeded number of forwarded
+    /// client→server bytes (a mid-frame cut).
+    pub cut: bool,
+    /// Sleep this long when each faulty connection's client→server
+    /// stream crosses a seeded offset. Zero disables stalls. Keep it
+    /// below the server's read deadline unless reaping is the point.
+    pub stall: Duration,
+    /// Fault offsets are drawn uniformly from `0..fault_window` bytes
+    /// into the client→server stream. Offsets beyond what the client
+    /// actually sends simply never fire.
+    pub fault_window: u64,
+    /// Forward in seeded chunks of `1..=max_chunk` bytes (both
+    /// directions), so peers see partial reads. Zero disables chunking.
+    pub max_chunk: usize,
+}
+
+impl Default for ProxyFaults {
+    fn default() -> Self {
+        ProxyFaults {
+            seed: 0,
+            faulty_conns: 0,
+            flips_per_conn: 0,
+            cut: false,
+            stall: Duration::ZERO,
+            fault_window: 64 * 1024,
+            max_chunk: 0,
+        }
+    }
+}
+
+/// The fully-derived fault plan for one connection: fixed byte offsets,
+/// computed from the seed before any bytes move.
+#[derive(Debug, Clone, Default)]
+struct ConnFaultPlan {
+    /// `(offset, xor mask)` single-bit flips in the client→server stream.
+    flips: Vec<(u64, u8)>,
+    /// Sever after forwarding exactly this many client→server bytes.
+    cut_at: Option<u64>,
+    /// Sleep `stall_for` when the stream crosses this offset.
+    stall_at: Option<u64>,
+    stall_for: Duration,
+    /// Chunked-forwarding bound (applies to every connection).
+    max_chunk: usize,
+    /// Seed for the chunk-size generator (distinct per conn/direction).
+    chunk_seed: u64,
+}
+
+impl ConnFaultPlan {
+    fn derive(faults: &ProxyFaults, conn_idx: u64) -> ConnFaultPlan {
+        let mut plan = ConnFaultPlan {
+            max_chunk: faults.max_chunk,
+            chunk_seed: faults.seed ^ conn_idx.rotate_left(17) ^ 0xC4A5,
+            ..ConnFaultPlan::default()
+        };
+        if conn_idx >= faults.faulty_conns as u64 {
+            return plan;
+        }
+        let mut rng = ChaosRng::new(
+            faults
+                .seed
+                .wrapping_add(conn_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+        let window = faults.fault_window.max(1) as usize;
+        for _ in 0..faults.flips_per_conn {
+            let at = rng.below(window) as u64;
+            let mask = 1u8 << rng.below(8);
+            plan.flips.push((at, mask));
+        }
+        if faults.cut {
+            plan.cut_at = Some(rng.below(window) as u64);
+        }
+        if faults.stall > Duration::ZERO {
+            plan.stall_at = Some(rng.below(window) as u64);
+            plan.stall_for = faults.stall;
+        }
+        plan
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    conns: AtomicU64,
+    flips: AtomicU64,
+    cuts: AtomicU64,
+    stalls: AtomicU64,
+}
+
+/// Snapshot of the faults a proxy actually applied (a fault planned
+/// beyond the bytes the client sent never fires).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProxyStats {
+    /// Connections accepted.
+    pub conns: u64,
+    /// Bit flips applied to forwarded bytes.
+    pub flips: u64,
+    /// Connections severed mid-stream.
+    pub cuts: u64,
+    /// Stalls slept.
+    pub stalls: u64,
+}
+
+/// A running byte-level chaos proxy in front of one upstream server.
+///
+/// Dropping the handle without [`shutdown`](ChaosProxy::shutdown) leaves
+/// the accept thread running until process exit; tests should shut down
+/// explicitly when they want the listener gone.
+#[derive(Debug)]
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Binds an ephemeral loopback port and starts forwarding every
+    /// accepted connection to `upstream` with `faults` applied.
+    pub fn spawn(upstream: SocketAddr, faults: ProxyFaults) -> io::Result<ChaosProxy> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+        let accept_stop = Arc::clone(&stop);
+        let accept_counters = Arc::clone(&counters);
+        let accept_thread = thread::spawn(move || {
+            let mut conn_idx = 0u64;
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(client) = conn else { break };
+                let Ok(server) = TcpStream::connect(upstream) else {
+                    // Upstream gone (e.g. killed mid-test): refuse by
+                    // closing; the client's retry policy handles it.
+                    continue;
+                };
+                let plan = ConnFaultPlan::derive(&faults, conn_idx);
+                conn_idx += 1;
+                accept_counters.conns.fetch_add(1, Ordering::SeqCst);
+                pump_connection(client, server, plan, Arc::clone(&accept_counters));
+            }
+        });
+        Ok(ChaosProxy {
+            addr,
+            stop,
+            counters,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The loopback address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Faults applied so far.
+    pub fn stats(&self) -> ProxyStats {
+        ProxyStats {
+            conns: self.counters.conns.load(Ordering::SeqCst),
+            flips: self.counters.flips.load(Ordering::SeqCst),
+            cuts: self.counters.cuts.load(Ordering::SeqCst),
+            stalls: self.counters.stalls.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Stops accepting and joins the accept thread. In-flight
+    /// connections drain on their own.
+    pub fn shutdown(mut self) -> ProxyStats {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept; the woken iteration sees `stop`.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.stats()
+    }
+}
+
+/// Spawns the two forwarding pumps for one proxied connection: faulted
+/// client→server, clean server→client.
+fn pump_connection(client: TcpStream, server: TcpStream, plan: ConnFaultPlan, c: Arc<Counters>) {
+    let (Ok(client_r), Ok(server_r)) = (client.try_clone(), server.try_clone()) else {
+        return;
+    };
+    let clean = ConnFaultPlan {
+        max_chunk: plan.max_chunk,
+        chunk_seed: plan.chunk_seed ^ 0x5C5C,
+        ..ConnFaultPlan::default()
+    };
+    thread::spawn(move || pump(client_r, server, plan, &c));
+    thread::spawn(move || pump(server_r, client, clean, &Arc::new(Counters::default())));
+}
+
+/// Forwards bytes from `from` to `to`, applying the plan's faults at
+/// their exact byte offsets, then shuts both streams down.
+fn pump(mut from: TcpStream, mut to: TcpStream, plan: ConnFaultPlan, counters: &Counters) {
+    let mut chunk_rng = ChaosRng::new(plan.chunk_seed);
+    let mut buf = [0u8; 4096];
+    let mut pos = 0u64; // absolute offset of buf[0] in the stream
+    let mut stalled = false;
+    loop {
+        let want = if plan.max_chunk == 0 {
+            buf.len()
+        } else {
+            1 + chunk_rng.below(plan.max_chunk.min(buf.len()))
+        };
+        let n = match from.read(&mut buf[..want]) {
+            Ok(0) => {
+                // Clean half-close: propagate it and let the opposite
+                // pump keep draining (e.g. the server's final ack).
+                let _ = to.shutdown(Shutdown::Write);
+                return;
+            }
+            Ok(n) => n,
+            Err(_) => break,
+        };
+        let end = pos + n as u64;
+        // A planned cut truncates this chunk and ends the connection.
+        let (fwd, cut_here) = match plan.cut_at {
+            Some(cut) if (pos..end).contains(&cut) => ((cut - pos) as usize, true),
+            _ => (n, false),
+        };
+        if let Some(at) = plan.stall_at {
+            if !stalled && (pos..end).contains(&at) {
+                stalled = true;
+                counters.stalls.fetch_add(1, Ordering::SeqCst);
+                thread::sleep(plan.stall_for);
+            }
+        }
+        for &(at, mask) in &plan.flips {
+            if at >= pos && at < pos + fwd as u64 {
+                buf[(at - pos) as usize] ^= mask;
+                counters.flips.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        if to.write_all(&buf[..fwd]).is_err() {
+            break;
+        }
+        if cut_here {
+            counters.cuts.fetch_add(1, Ordering::SeqCst);
+            break;
+        }
+        pos = end;
+    }
+    let _ = to.shutdown(Shutdown::Both);
+    let _ = from.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echo server: accepts one connection at a time and writes back
+    /// whatever it reads.
+    fn echo_server() -> (SocketAddr, JoinHandle<()>) {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = thread::spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(mut s) = conn else { break };
+                let mut buf = [0u8; 1024];
+                loop {
+                    match s.read(&mut buf) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => {
+                            if s.write_all(&buf[..n]).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        (addr, t)
+    }
+
+    fn roundtrip(addr: SocketAddr, payload: &[u8]) -> io::Result<Vec<u8>> {
+        let mut s = TcpStream::connect(addr)?;
+        s.write_all(payload)?;
+        s.shutdown(Shutdown::Write)?;
+        let mut out = Vec::new();
+        s.read_to_end(&mut out)?;
+        Ok(out)
+    }
+
+    #[test]
+    fn clean_proxy_is_a_faithful_passthrough() {
+        let (upstream, _t) = echo_server();
+        let proxy = ChaosProxy::spawn(upstream, ProxyFaults::default()).unwrap();
+        let payload: Vec<u8> = (0..2048u32).map(|k| (k % 251) as u8).collect();
+        let echoed = roundtrip(proxy.addr(), &payload).unwrap();
+        assert_eq!(echoed, payload);
+        let stats = proxy.shutdown();
+        assert_eq!(stats.flips + stats.cuts + stats.stalls, 0);
+    }
+
+    #[test]
+    fn chunked_forwarding_preserves_bytes() {
+        let (upstream, _t) = echo_server();
+        let faults = ProxyFaults {
+            seed: 9,
+            max_chunk: 7,
+            ..ProxyFaults::default()
+        };
+        let proxy = ChaosProxy::spawn(upstream, faults).unwrap();
+        let payload: Vec<u8> = (0..4096u32).map(|k| (k % 239) as u8).collect();
+        let echoed = roundtrip(proxy.addr(), &payload).unwrap();
+        assert_eq!(echoed, payload);
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn flips_land_at_seeded_offsets() {
+        let (upstream, _t) = echo_server();
+        let faults = ProxyFaults {
+            seed: 1234,
+            faulty_conns: 1,
+            flips_per_conn: 3,
+            fault_window: 512,
+            ..ProxyFaults::default()
+        };
+        let proxy = ChaosProxy::spawn(upstream, faults).unwrap();
+        let payload = vec![0u8; 1024];
+        let echoed = roundtrip(proxy.addr(), &payload).unwrap();
+        let flipped: Vec<usize> = echoed
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b != 0)
+            .map(|(i, _)| i)
+            .collect();
+        // The plan is a pure function of the seed, independent of
+        // segmentation — derive it again and compare offsets.
+        let plan = ConnFaultPlan::derive(&faults, 0);
+        let mut expected: Vec<usize> = plan.flips.iter().map(|&(at, _)| at as usize).collect();
+        expected.sort_unstable();
+        expected.dedup();
+        assert_eq!(flipped, expected);
+        assert!(!flipped.is_empty());
+        assert_eq!(proxy.shutdown().flips, plan.flips.len() as u64);
+
+        // A second connection (index 1 ≥ faulty_conns) is clean.
+        let faults2 = ProxyFaults {
+            faulty_conns: 1,
+            ..faults
+        };
+        let proxy = ChaosProxy::spawn(upstream, faults2).unwrap();
+        let _ = roundtrip(proxy.addr(), &payload).unwrap();
+        let clean = roundtrip(proxy.addr(), &payload).unwrap();
+        assert_eq!(clean, payload);
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn cuts_sever_after_the_planned_byte() {
+        let (upstream, _t) = echo_server();
+        let faults = ProxyFaults {
+            seed: 77,
+            faulty_conns: 1,
+            cut: true,
+            fault_window: 256,
+            ..ProxyFaults::default()
+        };
+        let plan = ConnFaultPlan::derive(&faults, 0);
+        let cut_at = plan.cut_at.unwrap() as usize;
+        let proxy = ChaosProxy::spawn(upstream, faults).unwrap();
+        let payload = vec![0xAB; 1024];
+        let echoed = roundtrip(proxy.addr(), &payload).unwrap_or_default();
+        // Everything up to the cut (and nothing after it) came back.
+        assert!(
+            echoed.len() <= cut_at,
+            "echoed {} > cut {}",
+            echoed.len(),
+            cut_at
+        );
+        assert_eq!(proxy.shutdown().cuts, 1);
+    }
+}

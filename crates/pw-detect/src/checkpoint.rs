@@ -31,10 +31,24 @@
 //! end
 //! ```
 //!
-//! Version 2 added the profile-tier knob and the per-host memory gauges.
-//! Version 1 files are still accepted: they restore with
+//! Version 3 appends an integrity trailer as the final line —
+//! `checksum crc32=<8 hex digits>` over every preceding byte — so a
+//! truncated or bit-flipped snapshot is detected at restore time as a
+//! typed error instead of silently parsing garbage (the line-oriented
+//! format would otherwise accept many single-byte corruptions, e.g. a
+//! flipped digit in a counter). Version 2 added the profile-tier knob and
+//! the per-host memory gauges. Both older versions are still accepted:
+//! they parse without a trailer, and v1 restores with
 //! [`ProfileTier::Exact`] and zeroed memory gauges, which is exactly the
 //! behaviour the engine had when the snapshot was written.
+//!
+//! For crash-safety beyond the atomic rename, [`write_checkpoint_retained`]
+//! keeps the last *N* snapshots (`<path>.1` is the previous one, `<path>.2`
+//! the one before, …) and [`read_checkpoint_recover`] walks that chain at
+//! restore, returning the newest snapshot whose trailer verifies, plus an
+//! accounting of everything it had to skip. A machine that loses its
+//! primary checkpoint to a torn write resumes from the previous snapshot
+//! and replays the gap — byte-identically, by the resume guarantee above.
 //!
 //! Floats (`cut_fraction`, absolute/percentile thresholds) are serialized
 //! as the hexadecimal IEEE-754 bit pattern, so restore is exact — no
@@ -69,12 +83,55 @@ use crate::pipeline::FindPlottersConfig;
 use crate::stream::{EngineConfig, EngineStats, EvictionPolicy, LatePolicy};
 
 /// Magic first line of every checkpoint file; the version suffix gates
-/// format evolution.
-pub const MAGIC: &str = "peerwatch-checkpoint v2";
+/// format evolution. Version 3 requires the `checksum crc32=` trailer.
+pub const MAGIC: &str = "peerwatch-checkpoint v3";
 
-/// The previous format version, still accepted by [`EngineCheckpoint::parse`]:
-/// no `tier` field (implies [`ProfileTier::Exact`]) and no memory gauges.
+/// The version-2 format, still accepted by [`EngineCheckpoint::parse`]:
+/// same sections as v3 but no integrity trailer.
+pub const MAGIC_V2: &str = "peerwatch-checkpoint v2";
+
+/// The version-1 format, still accepted by [`EngineCheckpoint::parse`]:
+/// no trailer, no `tier` field (implies [`ProfileTier::Exact`]), and no
+/// memory gauges.
 pub const MAGIC_V1: &str = "peerwatch-checkpoint v1";
+
+/// Line prefix of the v3 integrity trailer.
+const TRAILER_PREFIX: &str = "checksum crc32=";
+
+/// Appends the v3 integrity trailer: a `checksum crc32=<8 hex>` line
+/// covering every byte already in `text`. Shared with the server-side
+/// checkpoint format, which wraps an engine snapshot in its own trailer.
+pub fn append_checksum_trailer(text: &mut String) {
+    let crc = pw_flow::frame::crc32(text.as_bytes());
+    text.push_str(&format!("{TRAILER_PREFIX}{crc:08x}\n"));
+}
+
+/// Verifies and strips a trailing `checksum crc32=` line, returning the
+/// covered body.
+///
+/// # Errors
+///
+/// [`CheckpointError::Format`] if the final line is not a trailer (the
+/// file was truncated, or the trailer itself was mangled beyond
+/// recognition); [`CheckpointError::Checksum`] if the trailer parses but
+/// does not match the body.
+pub fn split_checksum_trailer(text: &str) -> Result<&str, CheckpointError> {
+    let trimmed = text.strip_suffix('\n').unwrap_or(text);
+    let body_len = trimmed.rfind('\n').map_or(0, |i| i + 1);
+    let declared = trimmed[body_len..]
+        .strip_prefix(TRAILER_PREFIX)
+        .and_then(|hex| u32::from_str_radix(hex, 16).ok())
+        .ok_or_else(|| CheckpointError::Format {
+            line: 0,
+            reason: "truncated or corrupt checkpoint: missing checksum trailer".to_string(),
+        })?;
+    let body = &text[..body_len];
+    let computed = pw_flow::frame::crc32(body.as_bytes());
+    if computed != declared {
+        return Err(CheckpointError::Checksum { computed, declared });
+    }
+    Ok(body)
+}
 
 /// A complete snapshot of a streaming engine.
 ///
@@ -130,6 +187,14 @@ pub enum CheckpointError {
     },
     /// A serialized flow row failed to parse.
     Row(RowError),
+    /// The v3 integrity trailer does not match the file body: the
+    /// snapshot was corrupted after it was written.
+    Checksum {
+        /// CRC32 computed over the body as read.
+        computed: u32,
+        /// CRC32 the trailer claims.
+        declared: u32,
+    },
 }
 
 impl fmt::Display for CheckpointError {
@@ -144,6 +209,10 @@ impl fmt::Display for CheckpointError {
                 write!(f, "corrupt checkpoint at line {line}: {reason}")
             }
             CheckpointError::Row(e) => write!(f, "corrupt checkpoint flow row: {e}"),
+            CheckpointError::Checksum { computed, declared } => write!(
+                f,
+                "corrupt checkpoint: body crc32 {computed:08x} does not match trailer {declared:08x}"
+            ),
         }
     }
 }
@@ -270,6 +339,7 @@ impl EngineCheckpoint {
             }
         }
         out.push_str("end\n");
+        append_checksum_trailer(&mut out);
         out
     }
 
@@ -280,11 +350,18 @@ impl EngineCheckpoint {
     /// [`CheckpointError`] naming the offending line on any corruption;
     /// unknown versions are refused up front.
     pub fn parse(text: &str) -> Result<Self, CheckpointError> {
+        // v3 files must pass the integrity check before any line parsing;
+        // older versions have no trailer to verify.
+        let text = if text.starts_with(MAGIC) {
+            split_checksum_trailer(text)?
+        } else {
+            text
+        };
         let mut lines = text.lines().enumerate();
         let (_, magic) = lines.next().ok_or(CheckpointError::BadMagic {
             found: String::new(),
         })?;
-        if magic != MAGIC && magic != MAGIC_V1 {
+        if magic != MAGIC && magic != MAGIC_V2 && magic != MAGIC_V1 {
             return Err(CheckpointError::BadMagic {
                 found: magic.to_string(),
             });
@@ -570,6 +647,112 @@ pub fn read_checkpoint(path: &Path) -> Result<EngineCheckpoint, CheckpointError>
     EngineCheckpoint::parse(&text)
 }
 
+/// The path of the `k`-th retained snapshot behind `path` (`k ≥ 1`):
+/// `<path>.1` is the previous snapshot, `<path>.2` the one before it, …
+pub fn retained_path(path: &Path, k: usize) -> std::path::PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(format!(".{k}"));
+    std::path::PathBuf::from(os)
+}
+
+/// Atomically persists `text` to `path`, first rotating the existing
+/// snapshot chain down one slot (`path` → `path.1` → … → `path.retain`,
+/// dropping the oldest). With `retain = 0` this is a plain atomic
+/// overwrite. Shared by the engine and server checkpoint writers.
+pub fn write_text_retained(path: &Path, text: &str, retain: usize) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    fs::write(&tmp, text)?;
+    if retain > 0 && path.exists() {
+        for k in (1..=retain).rev() {
+            let src = if k == 1 {
+                path.to_path_buf()
+            } else {
+                retained_path(path, k - 1)
+            };
+            if src.exists() {
+                // A failed rotation only shortens history; the fresh
+                // snapshot still lands atomically below.
+                let _ = fs::rename(&src, retained_path(path, k));
+            }
+        }
+    }
+    fs::rename(&tmp, path)
+}
+
+/// [`write_checkpoint`] plus retention: keeps the previous `retain`
+/// snapshots as `<path>.1 … <path>.retain` so restore can fall back past
+/// a corrupted primary.
+pub fn write_checkpoint_retained(
+    path: &Path,
+    snapshot: &EngineCheckpoint,
+    retain: usize,
+) -> io::Result<()> {
+    write_text_retained(path, &snapshot.serialize(), retain)
+}
+
+/// A snapshot recovered by walking the retained chain, plus an exact
+/// account of what had to be skipped to reach it.
+#[derive(Debug)]
+pub struct Recovered<T> {
+    /// The newest snapshot that read and verified cleanly.
+    pub snapshot: T,
+    /// How many slots the recovery walked past: 0 means the primary was
+    /// good, `k` means it resumed from `<path>.k`.
+    pub fallbacks: u32,
+    /// The newer snapshots that were skipped, with why each failed.
+    pub skipped: Vec<(std::path::PathBuf, CheckpointError)>,
+}
+
+/// Walks `path`, `<path>.1`, …, `<path>.retain` and returns the first
+/// snapshot that `parse` accepts — the newest verifiable one. Generic so
+/// the server checkpoint (a different parse, same retention scheme) can
+/// reuse the walk.
+///
+/// # Errors
+///
+/// The *primary's* error if nothing in the chain is readable — that is
+/// the failure an operator needs to see first.
+pub fn recover_with<T>(
+    path: &Path,
+    retain: usize,
+    parse: impl Fn(&str) -> Result<T, CheckpointError>,
+) -> Result<Recovered<T>, CheckpointError> {
+    let mut skipped: Vec<(std::path::PathBuf, CheckpointError)> = Vec::new();
+    for k in 0..=retain {
+        let p = if k == 0 {
+            path.to_path_buf()
+        } else {
+            retained_path(path, k)
+        };
+        let outcome = fs::read_to_string(&p)
+            .map_err(CheckpointError::from)
+            .and_then(|text| parse(&text));
+        match outcome {
+            Ok(snapshot) => {
+                return Ok(Recovered {
+                    snapshot,
+                    fallbacks: k as u32,
+                    skipped,
+                });
+            }
+            Err(e) => skipped.push((p, e)),
+        }
+    }
+    Err(skipped.swap_remove(0).1)
+}
+
+/// [`read_checkpoint`] plus recovery: on a truncated or corrupt primary,
+/// falls back to the newest verifiable snapshot among the `retain`
+/// retained copies written by [`write_checkpoint_retained`].
+pub fn read_checkpoint_recover(
+    path: &Path,
+    retain: usize,
+) -> Result<Recovered<EngineCheckpoint>, CheckpointError> {
+    recover_with(path, retain, EngineCheckpoint::parse)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -717,8 +900,24 @@ mod tests {
         assert!(err.to_string().contains("v99"));
 
         let snap = busy_engine().checkpoint();
-        let mut text = snap.serialize();
-        text = text.replacen("watermark_ms=", "watermark_ms=bogus", 1);
+        // On a v3 file, any body edit trips the checksum before line
+        // parsing ever sees it.
+        let text = snap
+            .serialize()
+            .replacen("watermark_ms=", "watermark_ms=bogus", 1);
+        let err = EngineCheckpoint::parse(&text).unwrap_err();
+        assert!(matches!(err, CheckpointError::Checksum { .. }), "{err}");
+        // A v2 file (no trailer) still gets the line-numbered diagnosis.
+        let text = snap.serialize().replacen(MAGIC, MAGIC_V2, 1).replacen(
+            "watermark_ms=",
+            "watermark_ms=bogus",
+            1,
+        );
+        let text = text
+            .strip_suffix('\n')
+            .and_then(|t| t.rsplit_once('\n'))
+            .map(|(body, _trailer)| format!("{body}\n"))
+            .unwrap();
         let err = EngineCheckpoint::parse(&text).unwrap_err();
         assert!(matches!(err, CheckpointError::Format { .. }));
         assert!(err.to_string().contains("line"), "{err}");

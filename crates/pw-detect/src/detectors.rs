@@ -162,7 +162,7 @@ pub enum HistogramDistance {
     L1,
 }
 
-/// Design-variant knobs for [`theta_hm_with_options`], used by the ablation
+/// Design-variant knobs for [`crate::compat::theta_hm_with_options`], used by the ablation
 /// experiments that quantify each design decision DESIGN.md calls out.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HmOptions {

@@ -44,6 +44,8 @@ pub enum ConfigError {
     ZeroCheckpointInterval,
     /// An ingest queue of depth zero could never hand a flow to the engine.
     ZeroQueueDepth,
+    /// A zero I/O deadline would time every socket read out immediately.
+    ZeroIoTimeout,
 }
 
 impl fmt::Display for ConfigError {
@@ -70,6 +72,9 @@ impl fmt::Display for ConfigError {
                 f.write_str("checkpoint interval must be at least 1 flow")
             }
             ConfigError::ZeroQueueDepth => f.write_str("ingest queue depth must be at least 1"),
+            ConfigError::ZeroIoTimeout => {
+                f.write_str("io timeout must be positive (omit it to disable deadlines)")
+            }
         }
     }
 }

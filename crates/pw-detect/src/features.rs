@@ -795,7 +795,7 @@ impl ProfileAccumulator {
 /// them, read profiles at the end of the detection window.
 ///
 /// Flows must arrive in non-decreasing start-time order (what a flow
-/// monitor produces); [`extract_profiles`] sorts for you when working from
+/// monitor produces); [`crate::compat::extract_profiles`] sorts for you when working from
 /// a stored dataset, and [`crate::stream::DetectionEngine`] reorders
 /// bounded-lateness streams for you.
 ///

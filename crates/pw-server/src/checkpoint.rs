@@ -10,23 +10,41 @@
 //! [`pw_detect::checkpoint`]:
 //!
 //! ```text
-//! peerwatch-server-checkpoint v1
+//! peerwatch-server-checkpoint v2
 //! exporters 2
 //! exporter 1 4023
 //! exporter 7 911
 //! engine-checkpoint
 //! <pw_detect engine checkpoint text, verbatim>
+//! checksum crc32=<8 hex digits>
 //! ```
+//!
+//! Version 2 appends the same `checksum crc32=` integrity trailer as the
+//! v3 engine format, covering the whole file (including the embedded
+//! engine text, which carries its own trailer — the outer trailer is
+//! stripped before the engine section is handed to the engine parser).
+//! Version 1 files (no trailer) still parse. Retention and fallback
+//! recovery reuse [`pw_detect::checkpoint::write_text_retained`] and
+//! [`pw_detect::checkpoint::recover_with`], so a torn or bit-flipped
+//! primary falls back to the newest verifiable `<path>.k` snapshot.
 
 use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::Path;
 
-use pw_detect::checkpoint::{CheckpointError, EngineCheckpoint};
+use pw_detect::checkpoint::{
+    append_checksum_trailer, recover_with, split_checksum_trailer, write_text_retained,
+    CheckpointError, EngineCheckpoint, Recovered,
+};
 
-/// Magic first line; the version suffix gates format evolution.
-pub const SERVER_MAGIC: &str = "peerwatch-server-checkpoint v1";
+/// Magic first line; the version suffix gates format evolution. Version 2
+/// requires the `checksum crc32=` trailer.
+pub const SERVER_MAGIC: &str = "peerwatch-server-checkpoint v2";
+
+/// The version-1 format, still accepted by [`ServerCheckpoint::parse`]:
+/// same sections, no integrity trailer.
+pub const SERVER_MAGIC_V1: &str = "peerwatch-server-checkpoint v1";
 
 /// A consistent snapshot of everything a restarted server needs.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +68,7 @@ impl ServerCheckpoint {
         }
         out.push_str("engine-checkpoint\n");
         out.push_str(&self.engine.serialize());
+        append_checksum_trailer(&mut out);
         out
     }
 
@@ -60,11 +79,18 @@ impl ServerCheckpoint {
     /// [`CheckpointError`] describing the offending line; the embedded
     /// engine section reports its own line numbers relative to itself.
     pub fn parse(text: &str) -> Result<Self, CheckpointError> {
+        // v2 files verify (and shed) the outer trailer first, so the
+        // embedded engine text below ends at the engine's own trailer.
+        let text = if text.starts_with(SERVER_MAGIC) {
+            split_checksum_trailer(text)?
+        } else {
+            text
+        };
         let mut lines = text.lines().enumerate();
         let (_, magic) = lines.next().ok_or(CheckpointError::BadMagic {
             found: String::new(),
         })?;
-        if magic != SERVER_MAGIC {
+        if magic != SERVER_MAGIC && magic != SERVER_MAGIC_V1 {
             return Err(CheckpointError::BadMagic {
                 found: magic.to_owned(),
             });
@@ -146,6 +172,33 @@ pub fn read_server_checkpoint(path: &Path) -> Result<ServerCheckpoint, Checkpoin
     ServerCheckpoint::parse(&text)
 }
 
+/// [`write_server_checkpoint`] plus retention: keeps the previous
+/// `retain` snapshots as `<path>.1 … <path>.retain`.
+///
+/// # Errors
+///
+/// Any I/O error from writing or renaming.
+pub fn write_server_checkpoint_retained(
+    path: &Path,
+    snapshot: &ServerCheckpoint,
+    retain: usize,
+) -> io::Result<()> {
+    write_text_retained(path, &snapshot.serialize(), retain)
+}
+
+/// [`read_server_checkpoint`] plus recovery: on a truncated or corrupt
+/// primary, falls back to the newest verifiable retained snapshot.
+///
+/// # Errors
+///
+/// The primary's error if nothing in the chain is readable.
+pub fn read_server_checkpoint_recover(
+    path: &Path,
+    retain: usize,
+) -> Result<Recovered<ServerCheckpoint>, CheckpointError> {
+    recover_with(path, retain, ServerCheckpoint::parse)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,7 +243,17 @@ mod tests {
     #[test]
     fn corruption_is_refused_with_line_context() {
         let ckpt = sample();
-        let text = ckpt.serialize();
+        // Downgrade to the trailer-less v1 form so line-level diagnoses
+        // are reachable (on v2, the checksum trips first).
+        let text = ckpt
+            .serialize()
+            .replacen(SERVER_MAGIC, SERVER_MAGIC_V1, 1)
+            .strip_suffix('\n')
+            .unwrap()
+            .rsplit_once('\n')
+            .map(|(body, _trailer)| format!("{body}\n"))
+            .unwrap();
+        assert!(ServerCheckpoint::parse(&text).is_ok(), "v1 still parses");
 
         assert!(matches!(
             ServerCheckpoint::parse("peerwatch-checkpoint v1\n"),
@@ -208,5 +271,53 @@ mod tests {
         ));
         let garbled = text.replace("exporter 7 911", "exporter seven 911");
         assert!(ServerCheckpoint::parse(&garbled).is_err());
+    }
+
+    #[test]
+    fn v2_trailer_catches_any_edit() {
+        let text = sample().serialize();
+        assert!(text.ends_with('\n'));
+        // The outer trailer covers the exporter table and the embedded
+        // engine text (which keeps its own inner trailer).
+        assert_eq!(text.matches("checksum crc32=").count(), 2);
+        let edited = text.replace("exporter 1 4023", "exporter 1 4024");
+        assert!(matches!(
+            ServerCheckpoint::parse(&edited),
+            Err(CheckpointError::Checksum { .. })
+        ));
+        // Truncation that loses the trailer is refused too.
+        let cut = &text[..text.len() - 2];
+        assert!(ServerCheckpoint::parse(cut).is_err());
+    }
+
+    #[test]
+    fn retained_chain_recovers_past_a_corrupt_primary() {
+        let dir = std::env::temp_dir().join("pw-server-checkpoint-recover-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("server.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(pw_detect::checkpoint::retained_path(&path, 1));
+
+        let mut older = sample();
+        older.exporters.insert(9, 1);
+        write_server_checkpoint_retained(&path, &older, 1).unwrap();
+        let newer = sample();
+        write_server_checkpoint_retained(&path, &newer, 1).unwrap();
+
+        // Clean primary: no fallback.
+        let got = read_server_checkpoint_recover(&path, 1).unwrap();
+        assert_eq!(got.snapshot, newer);
+        assert_eq!(got.fallbacks, 0);
+
+        // Torn primary: recovery lands on the retained previous snapshot.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        let got = read_server_checkpoint_recover(&path, 1).unwrap();
+        assert_eq!(got.snapshot, older);
+        assert_eq!(got.fallbacks, 1);
+        assert_eq!(got.skipped.len(), 1);
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(pw_detect::checkpoint::retained_path(&path, 1)).ok();
     }
 }

@@ -51,11 +51,15 @@ pub mod client;
 mod server;
 
 use std::path::PathBuf;
+use std::time::Duration;
 
 use pw_detect::{ConfigError, EngineConfig};
 
-pub use checkpoint::{read_server_checkpoint, write_server_checkpoint, ServerCheckpoint};
-pub use client::{send_flows, ClientError, SendOptions, SendReport};
+pub use checkpoint::{
+    read_server_checkpoint, read_server_checkpoint_recover, write_server_checkpoint,
+    write_server_checkpoint_retained, ServerCheckpoint,
+};
+pub use client::{send_flows, ClientError, RetryPolicy, SendOptions, SendReport};
 pub use server::{Server, ServerError};
 
 /// Validated configuration for a [`Server`].
@@ -73,9 +77,18 @@ pub struct ServerConfig {
     pub checkpoint_path: Option<PathBuf>,
     /// Applied flows between periodic checkpoints.
     pub checkpoint_every: u64,
+    /// Previous snapshots kept behind the primary checkpoint as
+    /// `<path>.1 … <path>.N`; restore falls back along this chain when
+    /// the primary is torn or bit-flipped. Zero keeps only the primary.
+    pub checkpoint_retain: usize,
     /// Bound on the ingest queue between connection threads and the
     /// engine thread — the backpressure knob.
     pub queue_depth: usize,
+    /// Read/write deadline applied to every connection socket (exporter
+    /// and query alike); a session idle past it is reaped and counted.
+    /// `None` disables deadlines — a stalled peer then holds its
+    /// connection thread forever.
+    pub io_timeout: Option<Duration>,
 }
 
 impl ServerConfig {
@@ -99,6 +112,9 @@ impl ServerConfig {
         if self.queue_depth == 0 {
             return Err(ConfigError::ZeroQueueDepth);
         }
+        if self.io_timeout == Some(Duration::ZERO) {
+            return Err(ConfigError::ZeroIoTimeout);
+        }
         Ok(())
     }
 }
@@ -109,7 +125,9 @@ impl Default for ServerConfig {
             engine: EngineConfig::default(),
             checkpoint_path: None,
             checkpoint_every: 10_000,
+            checkpoint_retain: 2,
             queue_depth: 1_024,
+            io_timeout: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -142,10 +160,24 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Sets how many previous snapshots to retain for fallback recovery.
+    #[must_use]
+    pub fn checkpoint_retain(mut self, retain: usize) -> Self {
+        self.cfg.checkpoint_retain = retain;
+        self
+    }
+
     /// Sets the bounded ingest-queue depth (backpressure).
     #[must_use]
     pub fn queue_depth(mut self, depth: usize) -> Self {
         self.cfg.queue_depth = depth;
+        self
+    }
+
+    /// Sets (or, with `None`, disables) the per-socket I/O deadline.
+    #[must_use]
+    pub fn io_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.cfg.io_timeout = timeout;
         self
     }
 
@@ -183,6 +215,13 @@ mod tests {
             ServerConfig::builder().queue_depth(0).build(),
             Err(ConfigError::ZeroQueueDepth)
         );
+        assert_eq!(
+            ServerConfig::builder()
+                .io_timeout(Some(Duration::ZERO))
+                .build(),
+            Err(ConfigError::ZeroIoTimeout)
+        );
+        assert!(ServerConfig::builder().io_timeout(None).build().is_ok());
         // Engine knobs are validated through the same path.
         let bad_engine = EngineConfig {
             threads: 0,

@@ -1,21 +1,41 @@
 //! The accept loop, connection handlers, and the engine thread.
+//!
+//! # Hardening model
+//!
+//! Every connection socket gets a read/write deadline
+//! ([`ServerConfig::io_timeout`]); a peer idle past it is reaped and
+//! counted rather than holding a thread hostage. Version-2 exporter
+//! sessions verify a CRC32 on every frame: a corrupt frame is counted
+//! (per exporter) and the connection is *severed*, never skipped —
+//! without per-frame acks a skipped flow would be lost, whereas a
+//! severed exporter reconnects and the sequence handshake re-delivers
+//! exactly the missing tail. The engine thread runs every engine call
+//! under `catch_unwind`: a panic flips the server into a fail-safe
+//! terminal state (one emergency checkpoint attempt; flows ignored
+//! without advancing sequences; queries still answered) so operators can
+//! interrogate a wounded server instead of staring at a dead port. The
+//! `HEALTH` query reports all of it.
 
 use std::collections::BTreeMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::path::PathBuf;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
 
-use pw_detect::checkpoint::CheckpointError;
+use pw_detect::checkpoint::{retained_path, CheckpointError};
 use pw_detect::{ConfigError, DetectionEngine, WindowReport};
-use pw_flow::frame::{self, Frame, HelloAck, MAGIC};
+use pw_flow::frame::{self, Frame, FrameError, HelloAck, MAGIC, VERSION_V1};
 use pw_flow::FlowRecord;
 use pw_netsim::SimTime;
 
-use crate::checkpoint::{read_server_checkpoint, write_server_checkpoint, ServerCheckpoint};
+use crate::checkpoint::{
+    read_server_checkpoint_recover, write_server_checkpoint_retained, ServerCheckpoint,
+};
 use crate::ServerConfig;
 
 /// Why the server could not start or stopped abnormally.
@@ -25,10 +45,10 @@ pub enum ServerError {
     Config(ConfigError),
     /// Binding or accepting on the listen socket failed.
     Io(io::Error),
-    /// An existing checkpoint could not be loaded at startup.
+    /// No checkpoint in the retention chain could be loaded at startup.
     Checkpoint(CheckpointError),
-    /// The engine thread died (a bug — the engine never panics by
-    /// contract; this is the crash-only backstop).
+    /// The engine thread died (a bug — engine panics are caught and
+    /// turned into the fail-safe state; this is the backstop).
     EngineDied,
 }
 
@@ -75,7 +95,8 @@ impl From<CheckpointError> for ServerError {
 /// Everything connection threads hand to the engine thread. One bounded
 /// queue totally orders ingest and queries, so the engine needs no locks.
 enum Msg {
-    /// An exporter connected; reply with the next sequence it should send.
+    /// An exporter handshake (or a v2 `Bye` confirming final delivery);
+    /// reply with the next sequence the engine expects.
     Hello {
         exporter_id: u32,
         reply: Sender<u64>,
@@ -88,6 +109,12 @@ enum Msg {
     },
     /// Feed-clock heartbeat for the stall detector.
     Tick { now_ms: u64 },
+    /// A connection delivered a corrupt frame and was severed.
+    /// `exporter_id` is `None` when the corruption hit the handshake
+    /// itself (the claimed id cannot be trusted).
+    Corrupt { exporter_id: Option<u32> },
+    /// A session sat idle past the I/O deadline and was reaped.
+    Reaped,
     /// A text command; reply with the full response text.
     Query { line: String, reply: Sender<String> },
 }
@@ -101,29 +128,49 @@ pub struct Server {
     tx: SyncSender<Msg>,
     engine_thread: thread::JoinHandle<()>,
     stop: Arc<AtomicBool>,
+    io_timeout: Option<Duration>,
+}
+
+/// Whether anything in the checkpoint retention chain exists on disk.
+fn snapshot_exists(path: &Path, retain: usize) -> bool {
+    path.exists() || (1..=retain).any(|k| retained_path(path, k).exists())
 }
 
 impl Server {
     /// Binds the listen socket and spins up the engine thread. If the
-    /// configured checkpoint file exists, the engine and every exporter
-    /// sequence resume from it (the checkpoint's engine configuration
-    /// wins over `cfg.engine`, so a resumed run continues byte-identically).
+    /// configured checkpoint (or any retained copy behind it) exists, the
+    /// engine and every exporter sequence resume from the newest snapshot
+    /// whose integrity trailer verifies; torn or bit-flipped snapshots
+    /// are skipped and counted (`checkpoint_fallbacks`,
+    /// `checkpoints_corrupt` in `HEALTH`). The checkpoint's engine
+    /// configuration wins over `cfg.engine`, so a resumed run continues
+    /// byte-identically.
     ///
     /// # Errors
     ///
-    /// [`ServerError`] on invalid configuration, an unreadable or corrupt
-    /// checkpoint, or socket failure.
+    /// [`ServerError`] on invalid configuration, socket failure, or when
+    /// a checkpoint chain exists but nothing in it is readable.
     pub fn bind<A, F>(addr: A, cfg: ServerConfig, is_internal: F) -> Result<Self, ServerError>
     where
         A: ToSocketAddrs,
         F: Fn(Ipv4Addr) -> bool + Send + Sync + 'static,
     {
         cfg.validate()?;
+        let mut checkpoint_fallbacks = 0u64;
+        let mut checkpoints_corrupt = 0u64;
         let (engine, exporters) = match &cfg.checkpoint_path {
-            Some(path) if path.exists() => {
-                let snapshot = read_server_checkpoint(path)?;
-                let engine = DetectionEngine::restore(&snapshot.engine, is_internal)?;
-                (engine, snapshot.exporters)
+            Some(path) if snapshot_exists(path, cfg.checkpoint_retain) => {
+                let rec = read_server_checkpoint_recover(path, cfg.checkpoint_retain)?;
+                checkpoint_fallbacks = u64::from(rec.fallbacks);
+                checkpoints_corrupt = rec.skipped.len() as u64;
+                for (p, e) in &rec.skipped {
+                    eprintln!(
+                        "pw-server: skipping unreadable checkpoint {}: {e}",
+                        p.display()
+                    );
+                }
+                let engine = DetectionEngine::restore(&rec.snapshot.engine, is_internal)?;
+                (engine, rec.snapshot.exporters)
             }
             _ => (
                 DetectionEngine::new(cfg.engine, is_internal)?,
@@ -142,8 +189,16 @@ impl Server {
             reports: Vec::new(),
             checkpoint_path: cfg.checkpoint_path.clone(),
             checkpoint_every: cfg.checkpoint_every,
+            checkpoint_retain: cfg.checkpoint_retain,
             since_checkpoint: 0,
             checkpoint_errors: 0,
+            checkpoint_fallbacks,
+            checkpoints_corrupt,
+            frames_corrupt: BTreeMap::new(),
+            frames_corrupt_total: 0,
+            sessions_reaped: 0,
+            engine_panics: 0,
+            failed: false,
         };
         let stop_flag = Arc::clone(&stop);
         let engine_thread = thread::spawn(move || engine_loop(state, rx, stop_flag, local_addr));
@@ -154,6 +209,7 @@ impl Server {
             tx,
             engine_thread,
             stop,
+            io_timeout: cfg.io_timeout,
         })
     }
 
@@ -173,6 +229,9 @@ impl Server {
     /// - `REPORT` — the latest window verdict: a `report ...` header,
     ///   `sets`/`taus` lines (thresholds as IEEE-754 bit patterns), one
     ///   `suspect IP` line per suspect (sorted), then `end`;
+    /// - `HEALTH` — a `health status=ok|degraded|failed ...` line of
+    ///   hardening counters, one `corrupt ID N` line per exporter that
+    ///   delivered corrupt frames, then `end`;
     /// - `FINISH` — applies all buffered flows and closes every open
     ///   window (end of input);
     /// - `CHECKPOINT` — forces a checkpoint now;
@@ -188,7 +247,8 @@ impl Server {
             }
             let Ok(stream) = conn else { continue };
             let tx = self.tx.clone();
-            thread::spawn(move || handle_connection(stream, &tx));
+            let timeout = self.io_timeout;
+            thread::spawn(move || handle_connection(stream, &tx, timeout));
         }
         drop(self.tx);
         self.engine_thread
@@ -207,20 +267,90 @@ struct EngineState<F: Fn(Ipv4Addr) -> bool + Sync> {
     reports: Vec<WindowReport>,
     checkpoint_path: Option<PathBuf>,
     checkpoint_every: u64,
+    checkpoint_retain: usize,
     since_checkpoint: u64,
     checkpoint_errors: u64,
+    /// Snapshots the startup recovery had to walk past.
+    checkpoint_fallbacks: u64,
+    /// Snapshots skipped as unreadable during startup recovery.
+    checkpoints_corrupt: u64,
+    /// CRC-failed (or otherwise undecodable) frames per exporter.
+    frames_corrupt: BTreeMap<u32, u64>,
+    /// Total corrupt frames, including handshakes with no trusted id.
+    frames_corrupt_total: u64,
+    /// Sessions severed for idling past the I/O deadline.
+    sessions_reaped: u64,
+    /// Engine panics caught by the supervisor.
+    engine_panics: u64,
+    /// Terminal fail-safe: flows are ignored (sequences frozen), queries
+    /// still answered.
+    failed: bool,
 }
 
 impl<F: Fn(Ipv4Addr) -> bool + Sync> EngineState<F> {
+    /// Writes a retained checkpoint. Safe to call even after a panic:
+    /// the snapshot itself is taken under `catch_unwind`, and a failure
+    /// only bumps `checkpoint_errors`.
     fn checkpoint_now(&mut self) -> Result<(), io::Error> {
-        let Some(path) = &self.checkpoint_path else {
+        let Some(path) = self.checkpoint_path.clone() else {
             return Ok(());
         };
-        let snapshot = ServerCheckpoint {
+        let Ok(snapshot) = catch_unwind(AssertUnwindSafe(|| ServerCheckpoint {
             exporters: self.exporters.clone(),
             engine: self.engine.checkpoint(),
+        })) else {
+            self.checkpoint_errors += 1;
+            return Err(io::Error::other("engine snapshot panicked"));
         };
-        write_server_checkpoint(path, &snapshot).inspect_err(|_| self.checkpoint_errors += 1)
+        write_server_checkpoint_retained(&path, &snapshot, self.checkpoint_retain)
+            .inspect_err(|_| self.checkpoint_errors += 1)
+    }
+
+    /// Flips into the terminal fail-safe state after a caught engine
+    /// panic: one emergency checkpoint attempt, then flows are ignored
+    /// while queries keep answering.
+    fn fail_engine(&mut self) {
+        self.engine_panics += 1;
+        self.failed = true;
+        eprintln!("pw-server: engine panicked; entering fail-safe state (queries still answered)");
+        if let Err(e) = self.checkpoint_now() {
+            eprintln!("pw-server: emergency checkpoint failed: {e}");
+        }
+    }
+
+    fn health_status(&self) -> &'static str {
+        if self.failed {
+            "failed"
+        } else if self.frames_corrupt_total
+            + self.sessions_reaped
+            + self.checkpoint_errors
+            + self.checkpoint_fallbacks
+            + self.checkpoints_corrupt
+            > 0
+        {
+            "degraded"
+        } else {
+            "ok"
+        }
+    }
+
+    fn health_text(&self) -> String {
+        let mut out = format!(
+            "health status={} frames_corrupt={} sessions_reaped={} checkpoint_errors={} \
+             checkpoint_fallbacks={} checkpoints_corrupt={} engine_panics={}\n",
+            self.health_status(),
+            self.frames_corrupt_total,
+            self.sessions_reaped,
+            self.checkpoint_errors,
+            self.checkpoint_fallbacks,
+            self.checkpoints_corrupt,
+            self.engine_panics,
+        );
+        for (id, n) in &self.frames_corrupt {
+            out.push_str(&format!("corrupt {id} {n}\n"));
+        }
+        out.push_str("end\n");
+        out
     }
 
     fn stats_text(&self) -> String {
@@ -229,7 +359,8 @@ impl<F: Fn(Ipv4Addr) -> bool + Sync> EngineState<F> {
             "stats attempted={} accepted={} late={} late_dropped={} late_extended={} \
              shed={} quarantined={} duplicates={} stall_flushes={} held={} \
              exporters={} windows={} checkpoint_errors={} profile_bytes={} \
-             profiles_exact={} profiles_sketched={}\n",
+             profiles_exact={} profiles_sketched={} frames_corrupt={} sessions_reaped={} \
+             engine_panics={}\n",
             s.attempted,
             s.accepted,
             s.late,
@@ -246,6 +377,9 @@ impl<F: Fn(Ipv4Addr) -> bool + Sync> EngineState<F> {
             s.profile_bytes,
             s.profiles_exact,
             s.profiles_sketched,
+            self.frames_corrupt_total,
+            self.sessions_reaped,
+            self.engine_panics,
         )
     }
 
@@ -306,11 +440,25 @@ impl<F: Fn(Ipv4Addr) -> bool + Sync> EngineState<F> {
         match line {
             "STATS" => (self.stats_text(), false),
             "REPORT" => (self.report_text(), false),
+            "HEALTH" => (self.health_text(), false),
             "FINISH" => {
-                let ws = self.engine.finish();
-                let n = ws.len();
-                self.reports.extend(ws);
-                (format!("ok windows={n}\n"), false)
+                if self.failed {
+                    return ("err engine failed (see HEALTH)\n".to_owned(), false);
+                }
+                match catch_unwind(AssertUnwindSafe(|| self.engine.finish())) {
+                    Ok(ws) => {
+                        let n = ws.len();
+                        self.reports.extend(ws);
+                        (format!("ok windows={n}\n"), false)
+                    }
+                    Err(_) => {
+                        self.fail_engine();
+                        (
+                            "err engine panicked; now fail-safe (see HEALTH)\n".to_owned(),
+                            false,
+                        )
+                    }
+                }
             }
             "CHECKPOINT" => match self.checkpoint_now() {
                 Ok(()) => ("ok\n".to_owned(), false),
@@ -326,7 +474,8 @@ impl<F: Fn(Ipv4Addr) -> bool + Sync> EngineState<F> {
 }
 
 /// The engine thread: drains the queue until shutdown (or until every
-/// sender is gone).
+/// sender is gone). Every engine call runs under `catch_unwind`; a panic
+/// trips the fail-safe state instead of killing the thread.
 fn engine_loop<F: Fn(Ipv4Addr) -> bool + Sync>(
     mut st: EngineState<F>,
     rx: Receiver<Msg>,
@@ -344,32 +493,58 @@ fn engine_loop<F: Fn(Ipv4Addr) -> bool + Sync>(
                 seq,
                 flow,
             } => {
-                let next = st.exporters.entry(exporter_id).or_insert(0);
-                if seq != *next {
+                if st.failed {
+                    // Terminal: ignore without advancing the sequence, so
+                    // a restarted server re-requests everything from here.
+                    continue;
+                }
+                let next = st.exporters.get(&exporter_id).copied().unwrap_or(0);
+                if seq != next {
                     // Below: already applied (replay after reconnect or
                     // restart). Above: out of protocol. Either way,
                     // applying would break exactly-once — skip.
                     continue;
                 }
-                *next += 1;
                 // Per-flow errors (late under Reject, quarantined records)
                 // are already counted by the engine; the sequence still
-                // advances — the flow was delivered.
-                if let Ok(ws) = st.engine.push(flow) {
-                    st.reports.extend(ws);
-                }
-                st.since_checkpoint += 1;
-                if st.since_checkpoint >= st.checkpoint_every {
-                    st.since_checkpoint = 0;
-                    if let Err(e) = st.checkpoint_now() {
-                        eprintln!("pw-server: periodic checkpoint failed: {e}");
+                // advances — the flow was delivered. The sequence does NOT
+                // advance across a panic: the emergency checkpoint then
+                // stays consistent with the engine not having the flow.
+                match catch_unwind(AssertUnwindSafe(|| st.engine.push(flow))) {
+                    Ok(result) => {
+                        st.exporters.insert(exporter_id, next + 1);
+                        if let Ok(ws) = result {
+                            st.reports.extend(ws);
+                        }
+                        st.since_checkpoint += 1;
+                        if st.since_checkpoint >= st.checkpoint_every {
+                            st.since_checkpoint = 0;
+                            if let Err(e) = st.checkpoint_now() {
+                                eprintln!("pw-server: periodic checkpoint failed: {e}");
+                            }
+                        }
                     }
+                    Err(_) => st.fail_engine(),
                 }
             }
             Msg::Tick { now_ms } => {
-                let ws = st.engine.tick(SimTime::from_millis(now_ms));
-                st.reports.extend(ws);
+                if st.failed {
+                    continue;
+                }
+                match catch_unwind(AssertUnwindSafe(|| {
+                    st.engine.tick(SimTime::from_millis(now_ms))
+                })) {
+                    Ok(ws) => st.reports.extend(ws),
+                    Err(_) => st.fail_engine(),
+                }
             }
+            Msg::Corrupt { exporter_id } => {
+                st.frames_corrupt_total += 1;
+                if let Some(id) = exporter_id {
+                    *st.frames_corrupt.entry(id).or_insert(0) += 1;
+                }
+            }
+            Msg::Reaped => st.sessions_reaped += 1,
             Msg::Query { line, reply } => {
                 let (response, shutdown) = st.handle_query(&line);
                 let _ = reply.send(response);
@@ -384,12 +559,34 @@ fn engine_loop<F: Fn(Ipv4Addr) -> bool + Sync>(
     }
 }
 
+/// Whether an I/O error is a deadline expiry (the two kinds differ by
+/// platform) rather than a disconnect.
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
 /// Sniffs the first four bytes and dispatches to the exporter or query
 /// protocol. Runs on its own thread; errors end the connection.
-fn handle_connection(mut stream: TcpStream, tx: &SyncSender<Msg>) {
+fn handle_connection(mut stream: TcpStream, tx: &SyncSender<Msg>, timeout: Option<Duration>) {
+    if timeout.is_some() {
+        // A socket that refuses a deadline is closed rather than allowed
+        // to dodge reaping.
+        if stream.set_read_timeout(timeout).is_err() || stream.set_write_timeout(timeout).is_err() {
+            return;
+        }
+    }
     let mut first = [0u8; 4];
-    if stream.read_exact(&mut first).is_err() {
-        return;
+    match stream.read_exact(&mut first) {
+        Ok(()) => {}
+        Err(e) => {
+            if is_timeout(&e) {
+                let _ = tx.send(Msg::Reaped);
+            }
+            return;
+        }
     }
     if first == MAGIC {
         let _ = exporter_session(stream, first, tx);
@@ -399,12 +596,34 @@ fn handle_connection(mut stream: TcpStream, tx: &SyncSender<Msg>) {
 }
 
 /// One exporter connection: handshake, then frames until EOF or `Bye`.
+///
+/// A corrupt frame (CRC mismatch or any decode error) severs the
+/// connection after counting it — the reconnect handshake re-delivers
+/// the lost tail, so nothing is silently dropped. On version-2 sessions
+/// a clean `Bye` is answered with a final ack carrying the applied
+/// sequence, so the exporter can verify complete delivery.
 fn exporter_session(
     mut stream: TcpStream,
     first: [u8; 4],
     tx: &SyncSender<Msg>,
 ) -> Result<(), frame::FrameError> {
-    let hello = frame::read_hello(&mut stream, &first)?;
+    let hello = match frame::read_hello(&mut stream, &first) {
+        Ok(h) => h,
+        Err(e) => {
+            match &e {
+                FrameError::Io(io_err) if is_timeout(io_err) => {
+                    let _ = tx.send(Msg::Reaped);
+                }
+                FrameError::Io(_) => {}
+                // The handshake itself was garbage; its exporter id
+                // cannot be trusted, so the count is anonymous.
+                _ => {
+                    let _ = tx.send(Msg::Corrupt { exporter_id: None });
+                }
+            }
+            return Err(e);
+        }
+    };
     let (reply_tx, reply_rx) = std::sync::mpsc::channel();
     let sent = tx.send(Msg::Hello {
         exporter_id: hello.exporter_id,
@@ -413,20 +632,49 @@ fn exporter_session(
     let (Ok(()), Ok(next_seq)) = (sent, reply_rx.recv()) else {
         return Ok(()); // server shutting down
     };
-    frame::write_hello_ack(&mut stream, HelloAck { next_seq })?;
+    frame::write_hello_ack(
+        &mut stream,
+        HelloAck {
+            next_seq,
+            version: hello.version,
+        },
+    )?;
     stream.flush()?;
     let mut reader = BufReader::new(stream);
     loop {
-        match frame::read_frame(&mut reader)? {
+        match frame::read_frame_v(&mut reader, hello.version) {
             // A severed connection is normal exporter behaviour — the
             // reconnect handshake resumes it; nothing to unwind here.
-            None | Some(Frame::Bye) => return Ok(()),
-            Some(Frame::Tick { now_ms }) => {
+            Ok(None) => return Ok(()),
+            Ok(Some(Frame::Bye)) => {
+                if hello.version != VERSION_V1 {
+                    // Final delivery confirmation: ask the engine (the
+                    // queue orders this after every flow this connection
+                    // sent) and ack the applied sequence back.
+                    let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+                    let sent = tx.send(Msg::Hello {
+                        exporter_id: hello.exporter_id,
+                        reply: reply_tx,
+                    });
+                    if let (Ok(()), Ok(applied)) = (sent, reply_rx.recv()) {
+                        let mut w = reader.get_ref();
+                        frame::write_hello_ack(
+                            &mut w,
+                            HelloAck {
+                                next_seq: applied,
+                                version: hello.version,
+                            },
+                        )?;
+                    }
+                }
+                return Ok(());
+            }
+            Ok(Some(Frame::Tick { now_ms })) => {
                 if tx.send(Msg::Tick { now_ms }).is_err() {
                     return Ok(());
                 }
             }
-            Some(Frame::Flow { seq, flow }) => {
+            Ok(Some(Frame::Flow { seq, flow })) => {
                 let msg = Msg::Flow {
                     exporter_id: hello.exporter_id,
                     seq,
@@ -436,6 +684,22 @@ fn exporter_session(
                 if tx.send(msg).is_err() {
                     return Ok(());
                 }
+            }
+            Err(FrameError::Io(e)) => {
+                if is_timeout(&e) {
+                    let _ = tx.send(Msg::Reaped);
+                }
+                return Err(FrameError::Io(e));
+            }
+            Err(e) => {
+                // CRC mismatch or undecodable bytes: the stream can no
+                // longer be trusted. Count it and sever; the exporter's
+                // resume handshake re-delivers from the last applied
+                // sequence, which is what keeps corruption lossless.
+                let _ = tx.send(Msg::Corrupt {
+                    exporter_id: Some(hello.exporter_id),
+                });
+                return Err(e);
             }
         }
     }
@@ -447,7 +711,12 @@ fn query_session(stream: TcpStream, first: [u8; 4], tx: &SyncSender<Msg>) -> io:
     let mut writer = BufWriter::new(stream);
     // The sniffed bytes are the start of the first command line.
     let mut line = String::from_utf8_lossy(&first).into_owned();
-    reader.read_line(&mut line)?;
+    if let Err(e) = reader.read_line(&mut line) {
+        if is_timeout(&e) {
+            let _ = tx.send(Msg::Reaped);
+        }
+        return Err(e);
+    }
     loop {
         let cmd = line.trim().to_owned();
         if !cmd.is_empty() {
@@ -467,8 +736,15 @@ fn query_session(stream: TcpStream, first: [u8; 4], tx: &SyncSender<Msg>) -> io:
             }
         }
         line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            return Ok(());
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()),
+            Ok(_) => {}
+            Err(e) => {
+                if is_timeout(&e) {
+                    let _ = tx.send(Msg::Reaped);
+                }
+                return Err(e);
+            }
         }
     }
 }

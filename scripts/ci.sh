@@ -24,7 +24,7 @@ cargo run -q -p pw-lint -- --deps
 echo "==> cargo test"
 cargo test --workspace -q
 
-echo "==> fault-injection suite (chaos + checkpoint/restore)"
+echo "==> fault-injection suite (chaos + checkpoint/restore + corruption recovery)"
 cargo test -q --test chaos_injection --test checkpoint_roundtrip
 
 echo "==> sketch accuracy gate (exact vs sketched tier, fast scale)"
@@ -33,10 +33,13 @@ echo "==> sketch accuracy gate (exact vs sketched tier, fast scale)"
 # must stay within its bound; see crates/pw-repro/src/bin/sketch_accuracy.rs.
 PW_FAST=1 cargo run -q -p pw-repro --bin sketch_accuracy -- --check
 
-echo "==> server smoke (serve / chaos send / kill -9 / resume / diff vs batch)"
+echo "==> server smoke (serve / chaos send / kill -9 / resume / byte-level chaos proxy / diff vs batch)"
 # A seeded multi-exporter day through `findplotters serve`, with injected
-# disconnects and a mid-run SIGKILL, must reach the same verdict as batch
-# `findplotters` over the merged CSV.
+# disconnects, a mid-run SIGKILL, and a final stage streaming every
+# exporter through the seeded byte-level chaos proxy (bit flips + mid-frame
+# cuts, client retrying on capped backoff), must reach the same verdict as
+# batch `findplotters` over the merged CSV, with HEALTH accounting for
+# every corrupt frame.
 if ./scripts/server_smoke.sh; then
   echo "server smoke OK"
 else

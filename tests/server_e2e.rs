@@ -1,26 +1,30 @@
 //! Detection-as-a-service contract: a seeded multi-exporter run through
-//! `pw-server` — including injected disconnect/reconnect faults and a
-//! `kill -9` + checkpoint-resume — produces a final verdict byte-identical
-//! to the offline batch `find_plotters` over the merged flows.
+//! `pw-server` — including injected disconnect/reconnect faults, byte-level
+//! corruption through a chaos proxy, and a `kill -9` + checkpoint-resume —
+//! produces a final verdict byte-identical to the offline batch
+//! `find_plotters` over the merged flows.
 //!
 //! Plus property tests for the binary wire format: every flow the codec
 //! can represent round-trips exactly, through both the in-memory encoding
 //! and the length-prefixed stream I/O.
 
 use std::io::{BufRead, BufReader, Write};
-use std::net::{Ipv4Addr, TcpStream};
+use std::net::{Ipv4Addr, SocketAddr, TcpStream};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::thread;
+use std::time::Duration;
 
 use proptest::prelude::*;
 
-use peerwatch::chaos::ConnPlan;
+use peerwatch::chaos::{ChaosProxy, ConnPlan, ProxyFaults};
 use peerwatch::detect::{try_find_plotters_table, FindPlottersConfig};
 use peerwatch::flow::frame::{self, decode_flow, encode_flow, Frame, FLOW_WIRE_LEN};
 use peerwatch::flow::{csvio, FlowRecord, FlowState, FlowTable, Payload, Proto};
 use peerwatch::netsim::{SimDuration, SimTime};
-use peerwatch::server::{send_flows, SendOptions, SendReport};
+use peerwatch::server::{
+    send_flows, ClientError, RetryPolicy, SendOptions, SendReport, Server, ServerConfig,
+};
 
 // ---------------------------------------------------------------------------
 // Frame-codec property tests
@@ -266,14 +270,14 @@ fn spawn_server(checkpoint: &std::path::Path) -> (Child, String) {
 }
 
 /// Sends one query command and collects the full response (multi-line for
-/// `REPORT`, terminated by `end`).
+/// `REPORT` and `HEALTH`, terminated by `end`).
 fn query(addr: &str, cmd: &str) -> Vec<String> {
     let mut stream = TcpStream::connect(addr).expect("connect query");
     writeln!(stream, "{cmd}").expect("send query");
     let mut lines = Vec::new();
     for line in BufReader::new(stream.try_clone().expect("clone")).lines() {
         let line = line.expect("query response");
-        let done = cmd != "REPORT" || line == "end";
+        let done = !matches!(cmd, "REPORT" | "HEALTH") || line == "end" || line.starts_with("err");
         lines.push(line);
         if done {
             break;
@@ -317,6 +321,17 @@ fn temp_path(name: &str) -> PathBuf {
     dir.join(name)
 }
 
+/// Removes a checkpoint and its retained rotation (`.1`..`.3`). The temp
+/// dir persists across runs, and a fresh server falls back to any
+/// verifiable retained snapshot when the primary is gone — so a leftover
+/// `.1` from a previous run would silently resume a finished engine.
+fn clean_ckpt(ckpt: &std::path::Path) {
+    std::fs::remove_file(ckpt).ok();
+    for k in 1..=3usize {
+        std::fs::remove_file(PathBuf::from(format!("{}.{k}", ckpt.display()))).ok();
+    }
+}
+
 /// Sandboxed environments may forbid binding sockets entirely; these
 /// tests need a real loopback listener, so they skip (rather than fail)
 /// where that is impossible.
@@ -333,7 +348,7 @@ fn three_exporters_with_cuts_match_batch_bit_for_bit() {
     let flows = feed();
     let streams = split(&flows, 3);
     let ckpt = temp_path("cuts.ckpt");
-    std::fs::remove_file(&ckpt).ok();
+    clean_ckpt(&ckpt);
     let (mut child, addr) = spawn_server(&ckpt);
 
     // All three exporters stream concurrently; two of them sever and
@@ -350,7 +365,7 @@ fn three_exporters_with_cuts_match_batch_bit_for_bit() {
                     2 => ConnPlan::new(0xC0FF_EE00 + i as u64, stream.len(), 1),
                     _ => ConnPlan::none(),
                 },
-                tick_every: None,
+                ..SendOptions::default()
             };
             thread::spawn(move || {
                 send_flows(addr.as_str(), i as u32 + 1, &stream, &opts).expect("send")
@@ -380,7 +395,7 @@ fn three_exporters_with_cuts_match_batch_bit_for_bit() {
         flows.len()
     );
     assert_eq!(verdict_of(&report), batch_verdict(&flows));
-    std::fs::remove_file(&ckpt).ok();
+    clean_ckpt(&ckpt);
 }
 
 #[test]
@@ -392,7 +407,7 @@ fn kill_dash_nine_then_resume_matches_batch_bit_for_bit() {
     let flows = feed();
     let streams = split(&flows, 3);
     let ckpt = temp_path("kill.ckpt");
-    std::fs::remove_file(&ckpt).ok();
+    clean_ckpt(&ckpt);
 
     // First life: two exporters deliver fully, then the process dies hard.
     let (mut child, addr) = spawn_server(&ckpt);
@@ -426,7 +441,7 @@ fn kill_dash_nine_then_resume_matches_batch_bit_for_bit() {
 
     assert!(report[0].contains(&format!("flows={}", flows.len())));
     assert_eq!(verdict_of(&report), batch_verdict(&flows));
-    std::fs::remove_file(&ckpt).ok();
+    clean_ckpt(&ckpt);
 }
 
 #[test]
@@ -443,7 +458,7 @@ fn send_subcommand_streams_a_csv() {
     csvio::write_flows(&mut buf, &flows).expect("format csv");
     std::fs::write(&csv, buf).expect("write csv");
     let ckpt = temp_path("cli.ckpt");
-    std::fs::remove_file(&ckpt).ok();
+    clean_ckpt(&ckpt);
 
     let (mut child, addr) = spawn_server(&ckpt);
     let status = Command::new(env!("CARGO_BIN_EXE_findplotters"))
@@ -472,5 +487,236 @@ fn send_subcommand_streams_a_csv() {
     assert!(report[0].contains(&format!("flows={}", flows.len())));
     assert_eq!(verdict_of(&report), batch_verdict(&flows));
     std::fs::remove_file(&csv).ok();
-    std::fs::remove_file(&ckpt).ok();
+    clean_ckpt(&ckpt);
+}
+
+// ---------------------------------------------------------------------------
+// Byte-level chaos: corruption, mid-frame cuts, and stalls through a proxy
+// ---------------------------------------------------------------------------
+
+/// The integer value of `key=` in a `key=value ...` line.
+fn counter(line: &str, key: &str) -> u64 {
+    let pat = format!("{key}=");
+    let rest = line
+        .split(&pat)
+        .nth(1)
+        .unwrap_or_else(|| panic!("no {key}= in {line:?}"));
+    rest.split_whitespace()
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap_or_else(|_| panic!("unparsable {key}= in {line:?}"))
+}
+
+/// One full hostile-network run: three exporters stream through
+/// per-exporter chaos proxies that flip bits, sever mid-frame, chunk
+/// writes, and stall, while the client retries with seeded backoff.
+/// Returns everything a determinism comparison needs: the `HEALTH`
+/// response, the final verdict, and each exporter's send report.
+fn chaos_run(base_seed: u64) -> (Vec<String>, (String, Vec<String>), Vec<SendReport>) {
+    let flows = feed();
+    let streams = split(&flows, 3);
+    let ckpt = temp_path(&format!("chaos-{base_seed}.ckpt"));
+    clean_ckpt(&ckpt);
+    let (mut child, addr) = spawn_server(&ckpt);
+    let upstream: SocketAddr = addr.parse().expect("server addr");
+
+    // Three different hostile links. Each exporter gets its own proxy
+    // (fault plans are assigned by accept order, which two exporters
+    // racing through one proxy would scramble). Fault offsets live in the
+    // first 8 KiB of each ~32 KiB stream so every planned fault actually
+    // fires; the bounded faulty-connection count guarantees the retrying
+    // client eventually gets a clean channel.
+    let faults = [
+        // Pure corruption, heavily chunked: the CRC must catch the flips.
+        ProxyFaults {
+            seed: base_seed ^ 0xA1,
+            faulty_conns: 2,
+            flips_per_conn: 2,
+            fault_window: 8 * 1024,
+            max_chunk: 7,
+            ..ProxyFaults::default()
+        },
+        // Corruption plus a mid-frame cut.
+        ProxyFaults {
+            seed: base_seed ^ 0xB2,
+            faulty_conns: 2,
+            flips_per_conn: 1,
+            cut: true,
+            fault_window: 8 * 1024,
+            ..ProxyFaults::default()
+        },
+        // Corruption plus a stall (well under the 30 s read deadline).
+        ProxyFaults {
+            seed: base_seed ^ 0xC3,
+            faulty_conns: 1,
+            flips_per_conn: 1,
+            stall: Duration::from_millis(40),
+            fault_window: 8 * 1024,
+            max_chunk: 16,
+            ..ProxyFaults::default()
+        },
+    ];
+    let proxies: Vec<ChaosProxy> = faults
+        .iter()
+        .map(|f| ChaosProxy::spawn(upstream, *f).expect("spawn proxy"))
+        .collect();
+
+    let handles: Vec<_> = streams
+        .iter()
+        .enumerate()
+        .map(|(i, stream)| {
+            let proxy_addr = proxies[i].addr();
+            let stream = stream.clone();
+            let opts = SendOptions {
+                retry: RetryPolicy {
+                    attempts: 8,
+                    backoff_base: Duration::from_millis(5),
+                    backoff_cap: Duration::from_millis(50),
+                    seed: base_seed ^ 0xF00D,
+                },
+                ..SendOptions::default()
+            };
+            thread::spawn(move || {
+                send_flows(proxy_addr, i as u32 + 1, &stream, &opts).expect("send through chaos")
+            })
+        })
+        .collect();
+    let reports: Vec<SendReport> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let stats = proxies
+        .into_iter()
+        .map(ChaosProxy::shutdown)
+        .collect::<Vec<_>>();
+    assert!(
+        stats.iter().map(|s| s.flips).sum::<u64>() > 0,
+        "the proxies must actually have corrupted bytes: {stats:?}"
+    );
+
+    wait_for_applied(&addr, flows.len());
+    assert_eq!(query(&addr, "FINISH"), ["ok windows=1"]);
+    let report = query(&addr, "REPORT");
+    let health = query(&addr, "HEALTH");
+    assert_eq!(query(&addr, "SHUTDOWN"), ["ok"]);
+    child.wait().expect("server exit");
+
+    assert!(
+        report[0].contains(&format!("flows={}", flows.len())),
+        "exactly-once despite corruption: {:?}",
+        report[0]
+    );
+    clean_ckpt(&ckpt);
+    (health, verdict_of(&report), reports)
+}
+
+#[test]
+fn chaos_proxy_corruption_is_survived_deterministically() {
+    if !can_bind() {
+        eprintln!("skipping: cannot bind loopback sockets in this environment");
+        return;
+    }
+    let (health, verdict, reports) = chaos_run(0x5EED_CAFE);
+
+    // The hostile link must have been survived, not avoided: corrupt
+    // frames were detected (and counted against the right exporters), the
+    // client actually burned retries, and the verdict still equals the
+    // clean offline batch bit for bit.
+    assert!(
+        counter(&health[0], "frames_corrupt") > 0,
+        "no corrupt frame ever reached the server: {health:?}"
+    );
+    assert!(health[0].contains("status=degraded"), "{health:?}");
+    assert!(
+        health.iter().any(|l| l.starts_with("corrupt ")),
+        "per-exporter corruption attribution missing: {health:?}"
+    );
+    assert_eq!(counter(&health[0], "engine_panics"), 0);
+    assert!(
+        reports.iter().map(|r| r.retries).sum::<u64>() > 0,
+        "the retry path was never exercised: {reports:?}"
+    );
+    assert_eq!(verdict, batch_verdict(&feed()));
+
+    // Every fault position derives from the seed before any bytes move,
+    // so an identical rerun — fresh server, fresh proxies, fresh threads
+    // — must reproduce the counters and the verdict exactly.
+    let (health2, verdict2, reports2) = chaos_run(0x5EED_CAFE);
+    assert_eq!(health, health2, "HEALTH must be seed-deterministic");
+    // Fault *events* are seed-deterministic; the number of flows re-sent
+    // after each sever is not (the resume position is the server's acked
+    // apply progress at reconnect time, which races the engine thread).
+    let fault_events = |rs: &[SendReport]| -> Vec<(u64, u64)> {
+        rs.iter().map(|r| (r.reconnects, r.retries)).collect()
+    };
+    assert_eq!(
+        fault_events(&reports),
+        fault_events(&reports2),
+        "retry/reconnect counts must be seed-deterministic"
+    );
+    assert_eq!(verdict, verdict2);
+}
+
+// ---------------------------------------------------------------------------
+// Fail-safe supervision: a panicking engine degrades, never crashes
+// ---------------------------------------------------------------------------
+
+#[test]
+fn engine_panic_enters_failsafe_and_queries_still_answer() {
+    if !can_bind() {
+        eprintln!("skipping: cannot bind loopback sockets in this environment");
+        return;
+    }
+    // An in-process server whose is_internal classifier panics on one
+    // poison address — standing in for any latent engine bug a hostile
+    // input might reach.
+    let cfg = ServerConfig::builder().build().expect("config");
+    let server = Server::bind("127.0.0.1:0", cfg, |ip: Ipv4Addr| {
+        assert!(ip.octets()[1] != 77, "poison host reached the engine");
+        is_internal(ip)
+    })
+    .expect("bind");
+    let addr = server.local_addr().to_string();
+    let run = thread::spawn(move || server.run());
+
+    let mut flows: Vec<FlowRecord> = (0..10u8)
+        .map(|k| {
+            flow(
+                Ipv4Addr::new(10, 1, 0, 1),
+                Ipv4Addr::new(60, 0, 0, k + 1),
+                SimTime::from_secs(u64::from(k)),
+                100,
+                false,
+            )
+        })
+        .collect();
+    flows[5].src = Ipv4Addr::new(10, 77, 0, 1);
+
+    // The send may complete (panic deferred to detection) or come back
+    // with a short final ack (panic at apply time froze the sequence);
+    // what it must never do is report full delivery that didn't happen.
+    match send_flows(addr.as_str(), 1, &flows, &SendOptions::default()) {
+        Ok(r) => assert_eq!(r.sent, flows.len() as u64),
+        Err(ClientError::ShortDelivery { applied, have }) => {
+            assert_eq!((applied, have), (5, flows.len()));
+        }
+        Err(e) => panic!("unexpected send error: {e}"),
+    }
+
+    // Detection hits the poison host at the latest here; the supervisor
+    // must catch the panic and answer with a typed failure, not die.
+    let finish = query(&addr, "FINISH");
+    assert!(
+        finish[0].starts_with("err"),
+        "FINISH against a poisoned engine must fail loudly: {finish:?}"
+    );
+
+    let health = query(&addr, "HEALTH");
+    assert!(health[0].contains("status=failed"), "{health:?}");
+    assert_eq!(counter(&health[0], "engine_panics"), 1);
+
+    // The fail-safe state still serves operators: stats flow, repeated
+    // finishes fail consistently, and shutdown works cleanly.
+    assert!(query(&addr, "STATS")[0].starts_with("stats "));
+    assert!(query(&addr, "FINISH")[0].starts_with("err"));
+    assert_eq!(query(&addr, "SHUTDOWN"), ["ok"]);
+    run.join().expect("server thread").expect("clean shutdown");
 }
