@@ -266,6 +266,7 @@ mod tests {
             line: 7,
             message: String::new(),
             snippet: "x.unwrap();".into(),
+            evidence: None,
             allowed: false,
         };
         let by_contains = AllowEntry {

@@ -23,7 +23,7 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: pw-lint [--root DIR] [--allowlist FILE] [--rules D1,D2,D3,D4]\n\
+    "usage: pw-lint [--root DIR] [--allowlist FILE] [--rules D1,..,C5]\n\
      \x20              [--json] [--fix-allowlist] [--deps] [--quiet]\n\
      \n\
      Determinism & panic-safety lints for the peerwatch workspace:\n\
@@ -31,6 +31,13 @@ fn usage() -> &'static str {
      \x20 D2  nondeterminism sources (wall clock, thread id, ambient RNG)\n\
      \x20 D3  panic paths in ingest-facing library code\n\
      \x20 D4  float comparison hazards in detection math\n\
+     \n\
+     Concurrency & resource-safety lints (scope-aware, evidence-token):\n\
+     \x20 C1  blocking socket I/O without deadline evidence in the function\n\
+     \x20 C2  lock discipline: poisoning panics, nested guard acquisition\n\
+     \x20 C3  unbounded growth: mpsc::channel(), uncapped growth in loops\n\
+     \x20 C4  detached threads (JoinHandle dropped)\n\
+     \x20 C5  non-atomic persistent writes (no tmp+rename evidence)\n\
      \n\
      \x20 --fix-allowlist   write a lint.toml baseline for current violations\n\
      \x20 --deps            also run the dependency/license policy check\n\

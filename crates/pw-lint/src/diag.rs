@@ -14,10 +14,30 @@ pub enum RuleId {
     D3,
     /// Float comparison hazard in detection math.
     D4,
+    /// Blocking socket I/O in the service path without a deadline.
+    C1,
+    /// Lock discipline: poisoning panics and nested guard acquisition.
+    C2,
+    /// Unbounded growth in streaming/service code.
+    C3,
+    /// Detached thread: `thread::spawn` whose `JoinHandle` is dropped.
+    C4,
+    /// Non-atomic persistent write: file creation without tmp+rename.
+    C5,
 }
 
 impl RuleId {
-    pub const ALL: [RuleId; 4] = [RuleId::D1, RuleId::D2, RuleId::D3, RuleId::D4];
+    pub const ALL: [RuleId; 9] = [
+        RuleId::D1,
+        RuleId::D2,
+        RuleId::D3,
+        RuleId::D4,
+        RuleId::C1,
+        RuleId::C2,
+        RuleId::C3,
+        RuleId::C4,
+        RuleId::C5,
+    ];
 
     pub fn as_str(self) -> &'static str {
         match self {
@@ -25,6 +45,11 @@ impl RuleId {
             RuleId::D2 => "D2",
             RuleId::D3 => "D3",
             RuleId::D4 => "D4",
+            RuleId::C1 => "C1",
+            RuleId::C2 => "C2",
+            RuleId::C3 => "C3",
+            RuleId::C4 => "C4",
+            RuleId::C5 => "C5",
         }
     }
 
@@ -34,6 +59,11 @@ impl RuleId {
             "D2" => Some(RuleId::D2),
             "D3" => Some(RuleId::D3),
             "D4" => Some(RuleId::D4),
+            "C1" => Some(RuleId::C1),
+            "C2" => Some(RuleId::C2),
+            "C3" => Some(RuleId::C3),
+            "C4" => Some(RuleId::C4),
+            "C5" => Some(RuleId::C5),
             _ => None,
         }
     }
@@ -46,6 +76,11 @@ impl RuleId {
             RuleId::D2 => "wall-clock/thread-id/ambient-RNG reads make detection output irreproducible; thread SimTime or a seeded RNG through instead",
             RuleId::D3 => "panic path in ingest-facing library code; propagate a typed error (quarantine contract: no panics on corrupt input)",
             RuleId::D4 => "float comparison hazard; use f64::total_cmp / pw_analysis::order helpers instead of == or partial_cmp().unwrap()",
+            RuleId::C1 => "blocking socket I/O in the service path without a deadline; call set_read_timeout/set_write_timeout in the enclosing function so a stalled peer cannot wedge the thread",
+            RuleId::C2 => "lock discipline: .lock().unwrap()/.expect() turns poisoning into a panic, and a second guard taken while one is held is a lock-ordering hazard; match on the result and drop() the first guard",
+            RuleId::C3 => "unbounded growth in service code: mpsc::channel() has no backpressure (use sync_channel) and Vec growth inside a long-lived loop needs a cap/retain/drain bound in the same function",
+            RuleId::C4 => "detached thread: the JoinHandle from thread::spawn is dropped, so panics vanish and shutdown cannot supervise it; bind the handle and join it",
+            RuleId::C5 => "non-atomic persistent write: a crash mid-write leaves a torn file; write to a tmp sibling and fs::rename over the target",
         }
     }
 }
@@ -68,6 +103,10 @@ pub struct Diagnostic {
     pub message: String,
     /// Trimmed offending source line.
     pub snippet: String,
+    /// For evidence-token rules (C1/C3/C5): the token whose *absence*
+    /// fired the rule — i.e. what adding it to the enclosing function
+    /// would satisfy. `None` for rules without evidence semantics.
+    pub evidence: Option<String>,
     /// Set when a `lint.toml` entry covers this finding.
     pub allowed: bool,
 }
@@ -83,13 +122,18 @@ impl Diagnostic {
     }
 
     pub fn to_json(&self) -> String {
+        let evidence = match &self.evidence {
+            Some(e) => json_str(e),
+            None => "null".to_string(),
+        };
         format!(
-            "{{\"rule\":{},\"path\":{},\"line\":{},\"message\":{},\"snippet\":{},\"allowed\":{}}}",
+            "{{\"rule\":{},\"path\":{},\"line\":{},\"message\":{},\"snippet\":{},\"evidence\":{},\"allowed\":{}}}",
             json_str(self.rule.as_str()),
             json_str(&self.path),
             self.line,
             json_str(&self.message),
             json_str(&self.snippet),
+            evidence,
             self.allowed
         )
     }
@@ -142,9 +186,26 @@ mod tests {
             line: 7,
             message: "m".into(),
             snippet: "for k in m.keys() {".into(),
+            evidence: None,
             allowed: false,
         };
         assert!(d.render().starts_with("crates/pw-detect/src/x.rs:7: D1: m"));
         assert!(d.to_json().contains("\"rule\":\"D1\""));
+        assert!(d.to_json().contains("\"evidence\":null"));
+        let e = Diagnostic {
+            evidence: Some("set_read_timeout".into()),
+            ..d
+        };
+        assert!(e.to_json().contains("\"evidence\":\"set_read_timeout\""));
+    }
+
+    #[test]
+    fn c_rules_parse_and_roundtrip() {
+        for id in RuleId::ALL {
+            assert_eq!(RuleId::parse(id.as_str()), Some(id));
+            assert!(!id.summary().is_empty());
+        }
+        assert_eq!(RuleId::parse("C3"), Some(RuleId::C3));
+        assert_eq!(RuleId::parse("C9"), None);
     }
 }

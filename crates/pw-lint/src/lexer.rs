@@ -14,6 +14,29 @@
 //! `syn` is unavailable) and where its limits are (receiver typing is
 //! name-based, so the rules lean on declaration-site heuristics plus the
 //! audited allowlist).
+//!
+//! On top of blanking, two *scope* layers are computed by brace matching
+//! over the blanked text and drive the C-family rules:
+//!
+//! - **function spans** ([`SourceFile::fn_spans`]) — every `fn` item's
+//!   name and body line range, innermost-wins lookup via
+//!   [`SourceFile::enclosing_fn`]. Rules use them to demand in-scope
+//!   *evidence* tokens ("this function reads a socket, so it must also
+//!   mention `set_read_timeout`").
+//! - **loop bodies** ([`SourceFile::in_loop`]) — lines inside a
+//!   `loop`/`while`/`for` body, so accumulation rules can tell a
+//!   long-lived ingest loop from straight-line setup code.
+
+/// One `fn` item's body: `code[start..=end]` (0-indexed lines).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnSpan {
+    /// The function's name (`handle_connection`, …).
+    pub name: String,
+    /// Line of the `fn` keyword, 0-indexed.
+    pub start: usize,
+    /// Line of the body's closing brace, 0-indexed, inclusive.
+    pub end: usize,
+}
 
 /// A source file prepared for linting.
 #[derive(Debug)]
@@ -28,6 +51,12 @@ pub struct SourceFile {
     pub code: Vec<String>,
     /// `true` for lines inside `#[cfg(test)]` / `#[test]` item bodies.
     pub in_test: Vec<bool>,
+    /// Every `fn` item's line span, in declaration order (outer items
+    /// before the nested fns they contain).
+    pub fn_spans: Vec<FnSpan>,
+    /// `true` for lines inside a `loop { }` / `while … { }` / `for … { }`
+    /// body.
+    pub in_loop: Vec<bool>,
 }
 
 impl SourceFile {
@@ -36,18 +65,45 @@ impl SourceFile {
         let raw: Vec<String> = source.lines().map(str::to_owned).collect();
         let code: Vec<String> = blanked.lines().map(str::to_owned).collect();
         let in_test = mark_test_lines(&code);
+        let fn_spans = collect_fn_spans(&code);
+        let in_loop = mark_loop_lines(&code);
         SourceFile {
             path: path.to_owned(),
             krate: krate.to_owned(),
             raw,
             code,
             in_test,
+            fn_spans,
+            in_loop,
         }
     }
 
     /// 1-indexed trimmed raw line for diagnostics; empty if out of range.
     pub fn snippet(&self, line: u32) -> &str {
         self.raw.get(line as usize - 1).map_or("", |l| l.trim())
+    }
+
+    /// The innermost function span containing 0-indexed `line`, if any.
+    pub fn enclosing_fn(&self, line: usize) -> Option<&FnSpan> {
+        self.fn_spans
+            .iter()
+            .filter(|s| s.start <= line && line <= s.end)
+            .max_by_key(|s| s.start)
+    }
+
+    /// The first of `tokens` found anywhere in the blanked code of
+    /// `span` — the "evidence" search the C-rules build on.
+    pub fn span_evidence<'t>(&self, span: &FnSpan, tokens: &[&'t str]) -> Option<&'t str> {
+        let end = (span.end + 1).min(self.code.len());
+        tokens
+            .iter()
+            .find(|t| self.code[span.start..end].iter().any(|l| l.contains(**t)))
+            .copied()
+    }
+
+    /// Whether the function span mentions any of `tokens` at all.
+    pub fn span_mentions(&self, span: &FnSpan, tokens: &[&str]) -> bool {
+        self.span_evidence(span, tokens).is_some()
     }
 }
 
@@ -299,6 +355,118 @@ fn mark_item_span(code: &[String], in_test: &mut [bool], line: usize, col: usize
     }
 }
 
+/// Finds every `fn` item and brace-matches its body. A `fn` whose
+/// signature ends in `;` (trait method declaration, extern) has no body
+/// and is skipped. Closures contribute braces to whichever fn contains
+/// them, which is exactly the scoping the evidence rules want.
+fn collect_fn_spans(code: &[String]) -> Vec<FnSpan> {
+    let mut spans = Vec::new();
+    for (li, line) in code.iter().enumerate() {
+        let mut from = 0;
+        while let Some(p) = find_keyword_from(line, "fn", from) {
+            from = p + 2;
+            let name: String = line[p + 2..]
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if name.is_empty() {
+                continue; // `fn(` pointer type, `Fn` trait, …
+            }
+            if let Some(end) = body_end(code, li, p + 2) {
+                spans.push(FnSpan {
+                    name,
+                    start: li,
+                    end,
+                });
+            }
+        }
+    }
+    spans
+}
+
+/// From (`line`, `col`), scans forward for the first `{` before any
+/// top-level `;` and returns the line of its matching `}`. `None` for
+/// bodyless declarations. Parens are tracked so a `;` inside a default
+/// expression or `where` bound does not end the search early.
+fn body_end(code: &[String], line: usize, col: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut paren = 0i32;
+    let mut entered = false;
+    let mut li = line;
+    let mut ci = col;
+    while let Some(l) = code.get(li) {
+        let bytes = l.as_bytes();
+        while ci < bytes.len() {
+            match bytes[ci] {
+                b'(' | b'[' => paren += 1,
+                b')' | b']' => paren -= 1,
+                b'{' => {
+                    depth += 1;
+                    entered = true;
+                }
+                b'}' => {
+                    depth -= 1;
+                    if entered && depth <= 0 {
+                        return Some(li);
+                    }
+                }
+                b';' if !entered && paren == 0 => return None,
+                _ => {}
+            }
+            ci += 1;
+        }
+        li += 1;
+        ci = 0;
+    }
+    None
+}
+
+/// Marks lines inside `loop`/`while`/`for` bodies by brace-matching from
+/// each loop keyword to its body's closing brace.
+fn mark_loop_lines(code: &[String]) -> Vec<bool> {
+    let mut in_loop = vec![false; code.len()];
+    for (li, line) in code.iter().enumerate() {
+        for kw in ["loop", "while", "for"] {
+            let mut from = 0;
+            while let Some(p) = find_keyword_from(line, kw, from) {
+                from = p + kw.len();
+                // The loop body is the first `{` after the keyword (the
+                // header expression cannot contain a bare struct literal,
+                // so the first brace is the body).
+                if let Some(end) = body_end(code, li, p + kw.len()) {
+                    let body_start = li; // header line counts: `while x { f(); }`
+                    for f in in_loop
+                        .iter_mut()
+                        .take((end + 1).min(code.len()))
+                        .skip(body_start)
+                    {
+                        *f = true;
+                    }
+                }
+            }
+        }
+    }
+    in_loop
+}
+
+/// [`find_keyword`]-style whole-word search starting at byte `from`.
+fn find_keyword_from(s: &str, kw: &str, from: usize) -> Option<usize> {
+    let b = s.as_bytes();
+    let mut start = from;
+    while let Some(p) = s.get(start..)?.find(kw) {
+        let at = start + p;
+        let before_ok = at == 0 || !(b[at - 1].is_ascii_alphanumeric() || b[at - 1] == b'_');
+        let after = at + kw.len();
+        let after_ok = after >= b.len() || !(b[after].is_ascii_alphanumeric() || b[after] == b'_');
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        start = at + kw.len();
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -360,5 +528,56 @@ mod tests {
         let src = "#[cfg(not(test))]\nfn live() { x.unwrap(); }\n";
         let f = SourceFile::new("x.rs", "pw-x", src);
         assert!(!f.in_test[1]);
+    }
+
+    #[test]
+    fn fn_spans_cover_bodies_and_skip_declarations() {
+        let src = "fn outer() {\n    let x = 1;\n}\ntrait T {\n    fn decl(&self);\n}\nfn later() -> u32 {\n    2\n}\n";
+        let f = SourceFile::new("x.rs", "pw-x", src);
+        let names: Vec<_> = f.fn_spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["outer", "later"]);
+        assert_eq!((f.fn_spans[0].start, f.fn_spans[0].end), (0, 2));
+        assert_eq!((f.fn_spans[1].start, f.fn_spans[1].end), (6, 8));
+    }
+
+    #[test]
+    fn enclosing_fn_picks_innermost() {
+        let src = "fn outer() {\n    fn inner() {\n        body();\n    }\n    tail();\n}\n";
+        let f = SourceFile::new("x.rs", "pw-x", src);
+        assert_eq!(f.enclosing_fn(2).unwrap().name, "inner");
+        assert_eq!(f.enclosing_fn(4).unwrap().name, "outer");
+        assert!(f.enclosing_fn(6).is_none());
+    }
+
+    #[test]
+    fn span_evidence_sees_code_not_strings() {
+        let src = "fn f(s: &TcpStream) {\n    s.set_read_timeout(t);\n    log(\"deadline\");\n}\n";
+        let f = SourceFile::new("x.rs", "pw-x", src);
+        let span = f.enclosing_fn(1).unwrap().clone();
+        assert_eq!(
+            f.span_evidence(&span, &["set_read_timeout"]),
+            Some("set_read_timeout")
+        );
+        // "deadline" only appears inside a string literal, which blanking
+        // removed: it is not evidence.
+        assert_eq!(f.span_evidence(&span, &["deadline"]), None);
+    }
+
+    #[test]
+    fn loop_bodies_are_marked() {
+        let src = "fn f() {\n    setup();\n    loop {\n        work();\n    }\n    while going {\n        more();\n    }\n    for x in xs {\n        each(x);\n    }\n    teardown();\n}\n";
+        let f = SourceFile::new("x.rs", "pw-x", src);
+        assert!(!f.in_loop[1]);
+        assert!(f.in_loop[2] && f.in_loop[3] && f.in_loop[4]);
+        assert!(f.in_loop[5] && f.in_loop[6]);
+        assert!(f.in_loop[8] && f.in_loop[9]);
+        assert!(!f.in_loop[11]);
+    }
+
+    #[test]
+    fn for_each_is_not_a_loop_keyword() {
+        let src = "fn f() {\n    xs.for_each(|x| {\n        g(x);\n    });\n}\n";
+        let f = SourceFile::new("x.rs", "pw-x", src);
+        assert!(f.in_loop.iter().all(|b| !b));
     }
 }

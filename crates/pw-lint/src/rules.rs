@@ -1,4 +1,5 @@
-//! The four project rules (D1–D4). See DESIGN.md §7 for rationale.
+//! The project rules: determinism (D1–D4) and concurrency &
+//! resource-safety (C1–C5). See DESIGN.md §7 for rationale.
 //!
 //! Every rule works on [`SourceFile::code`] (comment/string-blanked text)
 //! and skips test lines. Scoping is by crate name:
@@ -12,6 +13,22 @@
 //! * **D3** (panic paths) — ingest-facing crates `pw-flow`, `pw-detect`.
 //! * **D4** (float-order hazards) — detection math: `pw-detect`,
 //!   `pw-analysis`.
+//! * **C1** (undeadlined socket I/O) — the service path: `pw-server`,
+//!   `pw-chaos`, and the `peerwatch` binaries (the query client). A
+//!   blocking accept/connect/read/write on a `TcpStream` must sit in a
+//!   function that also shows deadline evidence
+//!   (`set_read_timeout`/`set_write_timeout`/`io_timeout`/`deadline`).
+//! * **C2** (lock discipline) — everywhere except `pw-bench`:
+//!   `.lock().unwrap()`/`.expect()` poisoning panics, and a second guard
+//!   taken while one is held (ordering hazard).
+//! * **C3** (unbounded growth) — `pw-server` only: `mpsc::channel()`
+//!   (unbounded, no backpressure) and `Vec` growth inside long-lived
+//!   loops without a cap/retain/drain evidence token in the function.
+//! * **C4** (detached threads) — everywhere except `pw-bench`: a
+//!   `thread::spawn` whose `JoinHandle` is discarded.
+//! * **C5** (non-atomic persistent writes) — crates that persist state:
+//!   `pw-detect`, `pw-server`, `peerwatch`. File creation needs
+//!   tmp+rename evidence in the enclosing function.
 
 use crate::diag::{Diagnostic, RuleId};
 use crate::lexer::SourceFile;
@@ -90,6 +107,21 @@ pub fn rules_for_crate(krate: &str) -> Vec<RuleId> {
     if matches!(krate, "pw-detect" | "pw-analysis") {
         rules.push(RuleId::D4);
     }
+    if matches!(krate, "pw-server" | "pw-chaos" | "peerwatch") {
+        rules.push(RuleId::C1);
+    }
+    if krate != "pw-bench" {
+        rules.push(RuleId::C2);
+    }
+    if krate == "pw-server" {
+        rules.push(RuleId::C3);
+    }
+    if krate != "pw-bench" {
+        rules.push(RuleId::C4);
+    }
+    if matches!(krate, "pw-detect" | "pw-server" | "peerwatch") {
+        rules.push(RuleId::C5);
+    }
     rules
 }
 
@@ -102,6 +134,11 @@ pub fn check_file(file: &SourceFile, idx: &WorkspaceIndex) -> Vec<Diagnostic> {
             RuleId::D2 => d2_nondeterminism(file, &mut out),
             RuleId::D3 => d3_panic_paths(file, &mut out),
             RuleId::D4 => d4_float_order(file, &mut out),
+            RuleId::C1 => c1_undeadlined_io(file, &mut out),
+            RuleId::C2 => c2_lock_discipline(file, &mut out),
+            RuleId::C3 => c3_unbounded_growth(file, &mut out),
+            RuleId::C4 => c4_detached_threads(file, &mut out),
+            RuleId::C5 => c5_nonatomic_writes(file, &mut out),
         }
     }
     out
@@ -114,7 +151,24 @@ fn diag(file: &SourceFile, rule: RuleId, line0: usize, message: String) -> Diagn
         line: line0 as u32 + 1,
         message,
         snippet: file.snippet(line0 as u32 + 1).to_owned(),
+        evidence: None,
         allowed: false,
+    }
+}
+
+/// [`diag`] for evidence-token rules: `evidence` is the token whose
+/// *absence* fired the rule — adding it to the enclosing function
+/// satisfies the lint.
+fn diag_ev(
+    file: &SourceFile,
+    rule: RuleId,
+    line0: usize,
+    message: String,
+    evidence: &str,
+) -> Diagnostic {
+    Diagnostic {
+        evidence: Some(evidence.to_owned()),
+        ..diag(file, rule, line0, message)
     }
 }
 
@@ -757,6 +811,284 @@ fn is_float_literal_end(s: &str) -> bool {
     i >= 2 && b[i - 2].is_ascii_digit()
 }
 
+// ---------------------------------------------------------------- C1 --
+
+/// Always-blocking socket entry points: flagged wherever they appear.
+const C1_SOCKET_CALLS: [&str; 3] = [".accept()", ".incoming()", "TcpStream::connect("];
+
+/// Generic I/O calls: blocking hazards only when the enclosing function
+/// demonstrably works a TCP socket (mentions `TcpStream`/`TcpListener`),
+/// so file and in-memory readers stay out of scope.
+const C1_IO_CALLS: [&str; 6] = [
+    ".read_exact(",
+    ".read_line(",
+    ".read_to_end(",
+    ".write_all(",
+    ".flush()",
+    ".read(",
+];
+
+/// Deadline evidence: any of these in the enclosing function sanctions
+/// its blocking calls. `io_timeout` covers configs that carry the
+/// deadline by name; `is_timeout`/`deadline` cover helpers that classify
+/// or enforce one.
+const C1_EVIDENCE: [&str; 5] = [
+    "set_read_timeout",
+    "set_write_timeout",
+    "io_timeout",
+    "is_timeout",
+    "deadline",
+];
+
+fn c1_undeadlined_io(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    // One diagnostic per function, at its first undeadlined call: the fix
+    // (set a deadline at the top of the function) is per-function, so
+    // repeating it for every read in a protocol loop is noise.
+    let mut reported_fns: BTreeSet<usize> = BTreeSet::new();
+    for (li, line) in file.code.iter().enumerate() {
+        if file.in_test[li] {
+            continue;
+        }
+        let socket_hit = C1_SOCKET_CALLS.iter().find(|t| line.contains(**t));
+        let io_hit = C1_IO_CALLS.iter().find(|t| line.contains(**t));
+        let Some(tok) = socket_hit.or(io_hit) else {
+            continue;
+        };
+        let Some(span) = file.enclosing_fn(li).cloned() else {
+            continue; // not in a function body (macro arm, const) — skip
+        };
+        if socket_hit.is_none() && !file.span_mentions(&span, &["TcpStream", "TcpListener"]) {
+            continue;
+        }
+        if file.span_mentions(&span, &C1_EVIDENCE) {
+            continue;
+        }
+        if !reported_fns.insert(span.start) {
+            continue;
+        }
+        out.push(diag_ev(
+            file,
+            RuleId::C1,
+            li,
+            format!(
+                "`{tok}` blocks in `{}` with no deadline evidence in the function; a stalled peer wedges this thread forever — set_read_timeout/set_write_timeout first (or allowlist with the reason blocking is the design)",
+                span.name
+            ),
+            "set_read_timeout",
+        ));
+    }
+}
+
+// ---------------------------------------------------------------- C2 --
+
+fn c2_lock_discipline(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    // (a) Poisoning panics: `.lock().unwrap()` / `.lock().expect(` — a
+    // panic in any other holder then cascades through every thread that
+    // touches the mutex.
+    for (li, line) in file.code.iter().enumerate() {
+        if file.in_test[li] {
+            continue;
+        }
+        for tok in [".lock().unwrap()", ".lock().expect("] {
+            if line.contains(tok) {
+                out.push(diag(
+                    file,
+                    RuleId::C2,
+                    li,
+                    format!(
+                        "`{tok}` turns mutex poisoning into a cascading panic; match the PoisonError (recover or sever) instead",
+                    ),
+                ));
+            }
+        }
+    }
+    // (b) Nested guards: a second `.lock(` in the same function while the
+    // first guard is still plausibly held (no `drop(` in between) is a
+    // lock-ordering hazard — two such functions with opposite order
+    // deadlock.
+    for span in &file.fn_spans {
+        let mut held: Option<usize> = None;
+        let end = (span.end + 1).min(file.code.len());
+        for li in span.start..end {
+            // Lines owned by a nested fn get their own span pass.
+            if file.enclosing_fn(li).map(|s| s.start) != Some(span.start) {
+                continue;
+            }
+            if file.in_test[li] {
+                continue;
+            }
+            let line = &file.code[li];
+            if line.contains("drop(") {
+                held = None;
+            }
+            if line.contains(".lock(") {
+                if let Some(first) = held {
+                    out.push(diag(
+                        file,
+                        RuleId::C2,
+                        li,
+                        format!(
+                            "second `.lock(` in `{}` while the guard from line {} is still held: lock-ordering hazard; drop() the first guard or restructure to one critical section",
+                            span.name,
+                            first + 1
+                        ),
+                    ));
+                } else {
+                    held = Some(li);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- C3 --
+
+/// Bounding evidence for growth in long-lived loops: an explicit cap
+/// (`max_`/`cap`), retention (`retain`/`truncate`/`drain`), shedding, or
+/// a `bound`-named helper.
+const C3_EVIDENCE: [&str; 7] = [
+    "max_", "cap", "retain", "truncate", "drain", "shed", "bound",
+];
+
+fn c3_unbounded_growth(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (li, line) in file.code.iter().enumerate() {
+        if file.in_test[li] {
+            continue;
+        }
+        // (a) Unbounded channel: no backpressure — a slow consumer grows
+        // the queue without limit. `sync_channel` is the spelling this
+        // workspace uses (ServerConfig::queue_depth).
+        if line.contains("mpsc::channel()") {
+            out.push(diag(
+                file,
+                RuleId::C3,
+                li,
+                "`mpsc::channel()` is unbounded: a slow consumer grows the queue without limit; use `mpsc::sync_channel(depth)` so TCP backpressure reaches the producer".to_owned(),
+            ));
+        }
+        // (b) Growth inside a loop: service loops live for the process
+        // lifetime, so every uncapped push is a leak with a delay.
+        if file.in_loop[li] && (line.contains(".push(") || line.contains(".extend(")) {
+            let Some(span) = file.enclosing_fn(li).cloned() else {
+                continue;
+            };
+            if file.span_mentions(&span, &C3_EVIDENCE) {
+                continue;
+            }
+            out.push(diag_ev(
+                file,
+                RuleId::C3,
+                li,
+                format!(
+                    "growth inside a loop in `{}` with no bounding evidence in the function; long-lived service loops leak — cap, retain, or drain in the same function",
+                    span.name
+                ),
+                "retain",
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------- C4 --
+
+fn c4_detached_threads(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (li, line) in file.code.iter().enumerate() {
+        if file.in_test[li] {
+            continue;
+        }
+        let Some(p) = line.find("thread::spawn") else {
+            continue;
+        };
+        let mut before = line[..p].trim();
+        before = before.strip_suffix("std::").unwrap_or(before).trim_end();
+        let discarded = if before.ends_with("let _ =") {
+            true // explicit discard
+        } else if before.is_empty() {
+            // Statement position: the call's `)` is directly followed by
+            // `;`. A tail expression (returning the handle) is not.
+            call_ends_as_statement(&file.code, li, p + "thread::spawn".len())
+        } else {
+            false // bound, passed as an argument, or chained
+        };
+        if discarded {
+            out.push(diag(
+                file,
+                RuleId::C4,
+                li,
+                "`thread::spawn` handle is discarded: panics in the thread vanish and shutdown cannot join it; bind the JoinHandle and join on the exit path".to_owned(),
+            ));
+        }
+    }
+}
+
+/// From (`line`, `col`) scans to the call's matching `)` (possibly lines
+/// later) and reports whether the next non-space character is `;`.
+fn call_ends_as_statement(code: &[String], line: usize, col: usize) -> bool {
+    let mut depth = 0i32;
+    let mut entered = false;
+    let mut li = line;
+    let mut ci = col;
+    while let Some(l) = code.get(li) {
+        let bytes = l.as_bytes();
+        while ci < bytes.len() {
+            match bytes[ci] {
+                b'(' => {
+                    depth += 1;
+                    entered = true;
+                }
+                b')' => {
+                    depth -= 1;
+                    if entered && depth == 0 {
+                        let rest = l[ci + 1..].trim_start();
+                        return rest.starts_with(';');
+                    }
+                }
+                _ => {}
+            }
+            ci += 1;
+        }
+        li += 1;
+        ci = 0;
+    }
+    false
+}
+
+// ---------------------------------------------------------------- C5 --
+
+/// Persistent-write entry points that replace a file in place.
+const C5_TRIGGERS: [&str; 2] = ["File::create(", "fs::write("];
+
+/// Atomicity evidence: writing a `tmp` sibling, `rename`-ing it over the
+/// target, or delegating to a `persist` helper that does.
+const C5_EVIDENCE: [&str; 3] = ["rename", "tmp", "persist"];
+
+fn c5_nonatomic_writes(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (li, line) in file.code.iter().enumerate() {
+        if file.in_test[li] {
+            continue;
+        }
+        let Some(tok) = C5_TRIGGERS.iter().find(|t| line.contains(**t)) else {
+            continue;
+        };
+        let Some(span) = file.enclosing_fn(li).cloned() else {
+            continue;
+        };
+        if file.span_mentions(&span, &C5_EVIDENCE) {
+            continue;
+        }
+        out.push(diag_ev(
+            file,
+            RuleId::C5,
+            li,
+            format!(
+                "`{tok}` in `{}` writes the target in place: a crash mid-write leaves a torn file; write a tmp sibling and fs::rename over it",
+                span.name
+            ),
+            "rename",
+        ));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -794,6 +1126,82 @@ mod tests {
         );
         let diags = check_file(&f, &WorkspaceIndex::default());
         assert!(diags.iter().all(|d| d.rule != RuleId::D1));
+    }
+
+    #[test]
+    fn c1_needs_deadline_evidence_once_per_fn() {
+        let src = "fn serve(l: &TcpListener) {\n    let s = l.accept();\n    s.read_exact(&mut b);\n}\nfn deadlined(s: &TcpStream) {\n    s.set_read_timeout(t);\n    s.read_exact(&mut b);\n}\n";
+        let diags = check_file(&file("pw-server", src), &WorkspaceIndex::default());
+        let c1: Vec<_> = diags.iter().filter(|d| d.rule == RuleId::C1).collect();
+        assert_eq!(c1.len(), 1, "one diagnostic per function: {c1:?}");
+        assert_eq!(c1[0].line, 2);
+        assert_eq!(c1[0].evidence.as_deref(), Some("set_read_timeout"));
+    }
+
+    #[test]
+    fn c1_ignores_file_readers() {
+        let src = "fn load(f: &mut File) {\n    f.read_exact(&mut b);\n}\n";
+        let diags = check_file(&file("pw-server", src), &WorkspaceIndex::default());
+        assert!(diags.iter().all(|d| d.rule != RuleId::C1));
+    }
+
+    #[test]
+    fn c2_flags_poisoning_and_nested_guards() {
+        let src = "fn bad(m: &Mutex<u32>) {\n    let g = m.lock().unwrap();\n}\nfn nested(a: &Mutex<u32>, b: &Mutex<u32>) {\n    let Ok(ga) = a.lock() else { return };\n    let Ok(gb) = b.lock() else { return };\n}\nfn serial(a: &Mutex<u32>, b: &Mutex<u32>) {\n    let Ok(ga) = a.lock() else { return };\n    drop(ga);\n    let Ok(gb) = b.lock() else { return };\n}\n";
+        let diags = check_file(&file("pw-server", src), &WorkspaceIndex::default());
+        let c2: Vec<u32> = diags
+            .iter()
+            .filter(|d| d.rule == RuleId::C2)
+            .map(|d| d.line)
+            .collect();
+        assert_eq!(c2, vec![2, 6], "poisoning at 2, nested at 6: {diags:?}");
+    }
+
+    #[test]
+    fn c3_flags_unbounded_channel_and_loop_growth() {
+        let src = "fn run() {\n    let (tx, rx) = mpsc::channel();\n    loop {\n        out.push(x);\n    }\n}\nfn bounded() {\n    let (tx, rx) = mpsc::sync_channel(8);\n    loop {\n        out.push(x);\n        out.retain(|v| v.live);\n    }\n}\n";
+        let diags = check_file(&file("pw-server", src), &WorkspaceIndex::default());
+        let c3: Vec<u32> = diags
+            .iter()
+            .filter(|d| d.rule == RuleId::C3)
+            .map(|d| d.line)
+            .collect();
+        assert_eq!(c3, vec![2, 4], "{diags:?}");
+    }
+
+    #[test]
+    fn c4_flags_discarded_spawn_only() {
+        let src = "fn detach() {\n    thread::spawn(|| work());\n    let _ = thread::spawn(|| work());\n}\nfn supervised() -> JoinHandle<()> {\n    let h = thread::spawn(|| work());\n    thread::spawn(|| tail())\n}\n";
+        let diags = check_file(&file("pw-server", src), &WorkspaceIndex::default());
+        let c4: Vec<u32> = diags
+            .iter()
+            .filter(|d| d.rule == RuleId::C4)
+            .map(|d| d.line)
+            .collect();
+        assert_eq!(c4, vec![2, 3], "{diags:?}");
+    }
+
+    #[test]
+    fn c5_needs_tmp_rename_evidence() {
+        let src = "fn save(p: &Path) {\n    fs::write(p, data);\n}\nfn atomic(p: &Path) {\n    let tmp = p.with_extension(\"t\");\n    fs::write(&tmp, data);\n    fs::rename(&tmp, p);\n}\n";
+        let diags = check_file(&file("pw-server", src), &WorkspaceIndex::default());
+        let c5: Vec<u32> = diags
+            .iter()
+            .filter(|d| d.rule == RuleId::C5)
+            .map(|d| d.line)
+            .collect();
+        assert_eq!(c5, vec![2], "{diags:?}");
+    }
+
+    #[test]
+    fn c_rules_scope_by_crate() {
+        assert!(rules_for_crate("pw-server").contains(&RuleId::C3));
+        assert!(!rules_for_crate("pw-detect").contains(&RuleId::C3));
+        assert!(!rules_for_crate("pw-bench").contains(&RuleId::C2));
+        assert!(!rules_for_crate("pw-bench").contains(&RuleId::C4));
+        assert!(rules_for_crate("peerwatch").contains(&RuleId::C1));
+        assert!(rules_for_crate("pw-detect").contains(&RuleId::C5));
+        assert!(!rules_for_crate("pw-flow").contains(&RuleId::C5));
     }
 
     #[test]

@@ -1,0 +1,12 @@
+use std::net::{TcpListener, TcpStream};
+
+pub fn serve(listener: &TcpListener) {
+    for conn in listener.incoming() {
+        handle(conn);
+    }
+}
+
+pub fn pump(stream: &mut TcpStream, buf: &mut [u8]) {
+    stream.read_exact(buf).ok();
+    stream.write_all(buf).ok();
+}

@@ -1,0 +1,13 @@
+use std::net::TcpStream;
+use std::time::Duration;
+
+pub fn pump(stream: &mut TcpStream, buf: &mut [u8]) {
+    stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
+    stream.set_write_timeout(Some(Duration::from_secs(30))).ok();
+    stream.read_exact(buf).ok();
+    stream.write_all(buf).ok();
+}
+
+pub fn load(file: &mut std::fs::File, buf: &mut [u8]) {
+    file.read_exact(buf).ok();
+}

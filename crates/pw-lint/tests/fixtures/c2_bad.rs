@@ -1,0 +1,11 @@
+use std::sync::Mutex;
+
+pub fn poisoned(counter: &Mutex<u64>) -> u64 {
+    *counter.lock().unwrap()
+}
+
+pub fn nested(a: &Mutex<u64>, b: &Mutex<u64>) -> u64 {
+    let Ok(ga) = a.lock() else { return 0 };
+    let Ok(gb) = b.lock() else { return 0 };
+    *ga + *gb
+}

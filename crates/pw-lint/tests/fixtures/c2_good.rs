@@ -1,0 +1,16 @@
+use std::sync::Mutex;
+
+pub fn recovering(counter: &Mutex<u64>) -> u64 {
+    match counter.lock() {
+        Ok(guard) => *guard,
+        Err(torn) => *torn.into_inner(),
+    }
+}
+
+pub fn serial(a: &Mutex<u64>, b: &Mutex<u64>) -> u64 {
+    let Ok(ga) = a.lock() else { return 0 };
+    let first = *ga;
+    drop(ga);
+    let Ok(gb) = b.lock() else { return 0 };
+    first + *gb
+}

@@ -1,0 +1,15 @@
+use std::sync::mpsc;
+
+pub fn start() -> mpsc::Receiver<u64> {
+    let (tx, rx) = mpsc::channel();
+    std::mem::forget(tx);
+    rx
+}
+
+pub fn gather(rx: &mpsc::Receiver<u64>) -> Vec<u64> {
+    let mut reports = Vec::new();
+    while let Ok(r) = rx.recv() {
+        reports.push(r);
+    }
+    reports
+}

@@ -1,0 +1,18 @@
+use std::sync::mpsc;
+
+pub fn start(depth: usize) -> mpsc::Receiver<u64> {
+    let (tx, rx) = mpsc::sync_channel(depth);
+    std::mem::forget(tx);
+    rx
+}
+
+pub fn gather(rx: &mpsc::Receiver<u64>, max_reports: usize) -> Vec<u64> {
+    let mut reports = Vec::new();
+    while let Ok(r) = rx.recv() {
+        reports.push(r);
+        if reports.len() > max_reports {
+            reports.drain(..reports.len() - max_reports);
+        }
+    }
+    reports
+}

@@ -1,0 +1,8 @@
+use std::thread;
+
+pub fn detach() {
+    thread::spawn(background);
+    let _ = thread::spawn(background);
+}
+
+fn background() {}

@@ -1,0 +1,15 @@
+use std::thread;
+
+pub fn supervised() -> thread::JoinHandle<()> {
+    let worker = thread::spawn(background);
+    register(&worker);
+    thread::spawn(background)
+}
+
+pub fn joined() {
+    let h = thread::spawn(background);
+    h.join().ok();
+}
+
+fn register(_h: &thread::JoinHandle<()>) {}
+fn background() {}

@@ -1,0 +1,10 @@
+use std::fs;
+use std::path::Path;
+
+pub fn save_checkpoint(path: &Path, data: &[u8]) -> std::io::Result<()> {
+    fs::write(path, data)
+}
+
+pub fn open_report(path: &Path) -> std::io::Result<fs::File> {
+    fs::File::create(path)
+}

@@ -1,0 +1,8 @@
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub fn save_checkpoint(path: &Path, data: &[u8]) -> std::io::Result<()> {
+    let tmp: PathBuf = path.with_extension("new");
+    fs::write(&tmp, data)?;
+    fs::rename(&tmp, path)
+}

@@ -109,3 +109,106 @@ fn d4_good_is_silent() {
     );
     assert_eq!(got, vec![]);
 }
+
+// ------------------------------------------------------- C1–C5 --------
+
+/// All C fixtures are linted as pw-server sources: the only crate scoped
+/// for every C rule, so each fixture exercises its rule without another
+/// rule family firing on the same lines.
+const C_SCOPE: &str = "crates/pw-server/src/fixture.rs";
+
+#[test]
+fn c1_bad_fires_once_per_function() {
+    let got = fired(C_SCOPE, include_str!("fixtures/c1_bad.rs"));
+    // `serve` reports at its accept loop, `pump` at its first read; the
+    // write on the next line is the same missing deadline, not a second
+    // finding.
+    assert_eq!(got, vec![(RuleId::C1, 4), (RuleId::C1, 10)]);
+}
+
+#[test]
+fn c1_good_is_silent_including_file_reader() {
+    let got = fired(C_SCOPE, include_str!("fixtures/c1_good.rs"));
+    assert_eq!(got, vec![]);
+}
+
+#[test]
+fn c2_bad_fires_on_poisoning_and_nested_guard() {
+    let got = fired(C_SCOPE, include_str!("fixtures/c2_bad.rs"));
+    assert_eq!(got, vec![(RuleId::C2, 4), (RuleId::C2, 9)]);
+}
+
+#[test]
+fn c2_good_is_silent_with_drop_between_locks() {
+    let got = fired(C_SCOPE, include_str!("fixtures/c2_good.rs"));
+    assert_eq!(got, vec![]);
+}
+
+#[test]
+fn c3_bad_fires_on_channel_and_loop_growth() {
+    let got = fired(C_SCOPE, include_str!("fixtures/c3_bad.rs"));
+    assert_eq!(got, vec![(RuleId::C3, 4), (RuleId::C3, 12)]);
+}
+
+#[test]
+fn c3_good_is_silent_with_sync_channel_and_cap() {
+    let got = fired(C_SCOPE, include_str!("fixtures/c3_good.rs"));
+    assert_eq!(got, vec![]);
+}
+
+#[test]
+fn c3_is_scoped_to_the_service_crate() {
+    let got = fired(
+        "crates/pw-detect/src/fixture.rs",
+        include_str!("fixtures/c3_bad.rs"),
+    );
+    assert!(got.iter().all(|(r, _)| *r != RuleId::C3), "{got:?}");
+}
+
+#[test]
+fn c4_bad_fires_on_discarded_handles() {
+    let got = fired(C_SCOPE, include_str!("fixtures/c4_bad.rs"));
+    assert_eq!(got, vec![(RuleId::C4, 4), (RuleId::C4, 5)]);
+}
+
+#[test]
+fn c4_good_is_silent_for_bound_and_tail_handles() {
+    let got = fired(C_SCOPE, include_str!("fixtures/c4_good.rs"));
+    assert_eq!(got, vec![]);
+}
+
+#[test]
+fn c5_bad_fires_on_in_place_writes() {
+    let got = fired(C_SCOPE, include_str!("fixtures/c5_bad.rs"));
+    assert_eq!(got, vec![(RuleId::C5, 5), (RuleId::C5, 9)]);
+}
+
+#[test]
+fn c5_good_is_silent_with_tmp_rename() {
+    let got = fired(C_SCOPE, include_str!("fixtures/c5_good.rs"));
+    assert_eq!(got, vec![]);
+}
+
+#[test]
+fn c_rules_allowlist_roundtrip() {
+    // The same baseline flow `--fix-allowlist` uses: emit entries for
+    // every finding, parse them back, apply — everything allowed, nothing
+    // stale, and the C rule ids survive the TOML round-trip.
+    let src = include_str!("fixtures/c1_bad.rs");
+    let mut diags = lint_source(C_SCOPE, src);
+    assert!(!diags.is_empty());
+    let entries: Vec<pw_lint::AllowEntry> = diags
+        .iter()
+        .map(|d| pw_lint::AllowEntry {
+            rule: d.rule.as_str().to_owned(),
+            path: d.path.clone(),
+            contains: Some(d.snippet.clone()),
+            line: None,
+            reason: "fixture: blocking is the design here".to_owned(),
+        })
+        .collect();
+    let parsed = pw_lint::allowlist::parse(&pw_lint::allowlist::emit(&entries)).unwrap();
+    let stale = pw_lint::apply_allowlist(&mut diags, &parsed);
+    assert_eq!(stale, 0);
+    assert!(diags.iter().all(|d| d.allowed), "{diags:?}");
+}

@@ -22,7 +22,7 @@ use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
@@ -96,10 +96,12 @@ impl From<CheckpointError> for ServerError {
 /// queue totally orders ingest and queries, so the engine needs no locks.
 enum Msg {
     /// An exporter handshake (or a v2 `Bye` confirming final delivery);
-    /// reply with the next sequence the engine expects.
+    /// reply with the next sequence the engine expects. Replies ride a
+    /// capacity-1 `sync_channel`: exactly one message is ever sent, so
+    /// the engine never blocks, and nothing on this path is unbounded.
     Hello {
         exporter_id: u32,
-        reply: Sender<u64>,
+        reply: SyncSender<u64>,
     },
     /// One sequenced flow from an exporter.
     Flow {
@@ -115,8 +117,15 @@ enum Msg {
     Corrupt { exporter_id: Option<u32> },
     /// A session sat idle past the I/O deadline and was reaped.
     Reaped,
-    /// A text command; reply with the full response text.
-    Query { line: String, reply: Sender<String> },
+    /// A connection socket refused its read/write deadline and the
+    /// session was severed before any protocol dispatch.
+    DeadlineRefused,
+    /// A text command; reply with the full response text (capacity-1
+    /// `sync_channel`, same contract as [`Msg::Hello`]).
+    Query {
+        line: String,
+        reply: SyncSender<String>,
+    },
 }
 
 /// A bound, not-yet-running detection service. [`run`](Server::run)
@@ -197,6 +206,8 @@ impl Server {
             frames_corrupt: BTreeMap::new(),
             frames_corrupt_total: 0,
             sessions_reaped: 0,
+            deadline_failures: 0,
+            windows_total: 0,
             engine_panics: 0,
             failed: false,
         };
@@ -280,6 +291,12 @@ struct EngineState<F: Fn(Ipv4Addr) -> bool + Sync> {
     frames_corrupt_total: u64,
     /// Sessions severed for idling past the I/O deadline.
     sessions_reaped: u64,
+    /// Sessions severed because the socket refused its deadline — a
+    /// socket that cannot be reaped is not allowed to be served.
+    deadline_failures: u64,
+    /// Every window report ever produced, including those dropped from
+    /// the bounded `reports` buffer; `STATS windows=` counts these.
+    windows_total: u64,
     /// Engine panics caught by the supervisor.
     engine_panics: u64,
     /// Terminal fail-safe: flows are ignored (sequences frozen), queries
@@ -287,7 +304,22 @@ struct EngineState<F: Fn(Ipv4Addr) -> bool + Sync> {
     failed: bool,
 }
 
+/// Retention bound on stored window reports. The server is long-lived
+/// and every window would otherwise accumulate forever; `REPORT` only
+/// ever reads the newest, so older reports are dropped past this depth
+/// (`windows_total` keeps the lifetime count).
+const REPORT_RETAIN: usize = 64;
+
 impl<F: Fn(Ipv4Addr) -> bool + Sync> EngineState<F> {
+    /// Appends window reports, bounding the buffer at [`REPORT_RETAIN`].
+    fn push_reports_bounded(&mut self, ws: Vec<WindowReport>) {
+        self.windows_total += ws.len() as u64;
+        self.reports.extend(ws);
+        if self.reports.len() > REPORT_RETAIN {
+            self.reports.drain(..self.reports.len() - REPORT_RETAIN);
+        }
+    }
+
     /// Writes a retained checkpoint. Safe to call even after a panic:
     /// the snapshot itself is taken under `catch_unwind`, and a failure
     /// only bumps `checkpoint_errors`.
@@ -323,6 +355,7 @@ impl<F: Fn(Ipv4Addr) -> bool + Sync> EngineState<F> {
             "failed"
         } else if self.frames_corrupt_total
             + self.sessions_reaped
+            + self.deadline_failures
             + self.checkpoint_errors
             + self.checkpoint_fallbacks
             + self.checkpoints_corrupt
@@ -336,11 +369,13 @@ impl<F: Fn(Ipv4Addr) -> bool + Sync> EngineState<F> {
 
     fn health_text(&self) -> String {
         let mut out = format!(
-            "health status={} frames_corrupt={} sessions_reaped={} checkpoint_errors={} \
-             checkpoint_fallbacks={} checkpoints_corrupt={} engine_panics={}\n",
+            "health status={} frames_corrupt={} sessions_reaped={} deadline_failures={} \
+             checkpoint_errors={} checkpoint_fallbacks={} checkpoints_corrupt={} \
+             engine_panics={}\n",
             self.health_status(),
             self.frames_corrupt_total,
             self.sessions_reaped,
+            self.deadline_failures,
             self.checkpoint_errors,
             self.checkpoint_fallbacks,
             self.checkpoints_corrupt,
@@ -372,7 +407,7 @@ impl<F: Fn(Ipv4Addr) -> bool + Sync> EngineState<F> {
             s.stall_flushes,
             self.engine.held_flows(),
             self.exporters.len(),
-            self.reports.len(),
+            self.windows_total,
             self.checkpoint_errors,
             s.profile_bytes,
             s.profiles_exact,
@@ -448,7 +483,7 @@ impl<F: Fn(Ipv4Addr) -> bool + Sync> EngineState<F> {
                 match catch_unwind(AssertUnwindSafe(|| self.engine.finish())) {
                     Ok(ws) => {
                         let n = ws.len();
-                        self.reports.extend(ws);
+                        self.push_reports_bounded(ws);
                         (format!("ok windows={n}\n"), false)
                     }
                     Err(_) => {
@@ -514,7 +549,7 @@ fn engine_loop<F: Fn(Ipv4Addr) -> bool + Sync>(
                     Ok(result) => {
                         st.exporters.insert(exporter_id, next + 1);
                         if let Ok(ws) = result {
-                            st.reports.extend(ws);
+                            st.push_reports_bounded(ws);
                         }
                         st.since_checkpoint += 1;
                         if st.since_checkpoint >= st.checkpoint_every {
@@ -534,7 +569,7 @@ fn engine_loop<F: Fn(Ipv4Addr) -> bool + Sync>(
                 match catch_unwind(AssertUnwindSafe(|| {
                     st.engine.tick(SimTime::from_millis(now_ms))
                 })) {
-                    Ok(ws) => st.reports.extend(ws),
+                    Ok(ws) => st.push_reports_bounded(ws),
                     Err(_) => st.fail_engine(),
                 }
             }
@@ -545,6 +580,7 @@ fn engine_loop<F: Fn(Ipv4Addr) -> bool + Sync>(
                 }
             }
             Msg::Reaped => st.sessions_reaped += 1,
+            Msg::DeadlineRefused => st.deadline_failures += 1,
             Msg::Query { line, reply } => {
                 let (response, shutdown) = st.handle_query(&line);
                 let _ = reply.send(response);
@@ -568,13 +604,50 @@ fn is_timeout(e: &io::Error) -> bool {
     )
 }
 
+/// A connection socket refused its read/write deadline. A socket without
+/// a deadline can never be reaped, so the session is severed (and
+/// counted as `deadline_failures` in `HEALTH`) rather than served.
+#[derive(Debug)]
+struct DeadlineRefused {
+    which: &'static str,
+    cause: io::Error,
+}
+
+impl std::fmt::Display for DeadlineRefused {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "socket refused {} deadline: {}", self.which, self.cause)
+    }
+}
+
+impl std::error::Error for DeadlineRefused {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.cause)
+    }
+}
+
+/// Arms both I/O deadlines on a connection socket.
+fn arm_deadlines(stream: &TcpStream, timeout: Option<Duration>) -> Result<(), DeadlineRefused> {
+    stream
+        .set_read_timeout(timeout)
+        .map_err(|cause| DeadlineRefused {
+            which: "read",
+            cause,
+        })?;
+    stream
+        .set_write_timeout(timeout)
+        .map_err(|cause| DeadlineRefused {
+            which: "write",
+            cause,
+        })
+}
+
 /// Sniffs the first four bytes and dispatches to the exporter or query
 /// protocol. Runs on its own thread; errors end the connection.
 fn handle_connection(mut stream: TcpStream, tx: &SyncSender<Msg>, timeout: Option<Duration>) {
     if timeout.is_some() {
-        // A socket that refuses a deadline is closed rather than allowed
-        // to dodge reaping.
-        if stream.set_read_timeout(timeout).is_err() || stream.set_write_timeout(timeout).is_err() {
+        if let Err(e) = arm_deadlines(&stream, timeout) {
+            eprintln!("pw-server: severing session: {e}");
+            let _ = tx.send(Msg::DeadlineRefused);
             return;
         }
     }
@@ -624,7 +697,7 @@ fn exporter_session(
             return Err(e);
         }
     };
-    let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+    let (reply_tx, reply_rx) = sync_channel(1);
     let sent = tx.send(Msg::Hello {
         exporter_id: hello.exporter_id,
         reply: reply_tx,
@@ -651,7 +724,7 @@ fn exporter_session(
                     // Final delivery confirmation: ask the engine (the
                     // queue orders this after every flow this connection
                     // sent) and ack the applied sequence back.
-                    let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+                    let (reply_tx, reply_rx) = sync_channel(1);
                     let sent = tx.send(Msg::Hello {
                         exporter_id: hello.exporter_id,
                         reply: reply_tx,
@@ -720,7 +793,7 @@ fn query_session(stream: TcpStream, first: [u8; 4], tx: &SyncSender<Msg>) -> io:
     loop {
         let cmd = line.trim().to_owned();
         if !cmd.is_empty() {
-            let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+            let (reply_tx, reply_rx) = sync_channel(1);
             let sent = tx.send(Msg::Query {
                 line: cmd.clone(),
                 reply: reply_tx,

@@ -504,6 +504,13 @@ fn query_main(args: &[String]) -> ! {
     }
     let stream = std::net::TcpStream::connect(connect.as_str())
         .unwrap_or_else(|e| fail(&format!("cannot connect to {connect}: {e}")));
+    // Deadline both directions: a wedged server fails the query loudly
+    // instead of hanging the operator's terminal forever.
+    let deadline = Some(std::time::Duration::from_secs(30));
+    stream
+        .set_read_timeout(deadline)
+        .and_then(|()| stream.set_write_timeout(deadline))
+        .unwrap_or_else(|e| fail(&format!("cannot set io deadline on {connect}: {e}")));
     let mut reader = std::io::BufReader::new(
         stream
             .try_clone()
