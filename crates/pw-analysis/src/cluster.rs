@@ -27,6 +27,42 @@ pub const TILE: usize = 64;
 /// a thread pool, so the serial path is taken regardless of `threads`.
 pub const PAR_CUTOFF: usize = 128;
 
+/// Tuning knobs for the parallel condensed-triangle fill.
+///
+/// Historically [`TILE`] and [`PAR_CUTOFF`] were hardcoded; promoting them
+/// into a value lets callers (the `θ_hm` config surface in `pw-detect`)
+/// expose them without forking the fill. The fill result is identical for
+/// *any* valid tuning — tiles and cutoffs only decide which worker computes
+/// which slot — so tuning is a pure performance surface.
+///
+/// # Examples
+///
+/// ```
+/// use pw_analysis::FillTuning;
+///
+/// let t = FillTuning::default();
+/// assert_eq!(t.tile, pw_analysis::TILE);
+/// assert_eq!(t.par_cutoff, pw_analysis::PAR_CUTOFF);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FillTuning {
+    /// Edge length of the square cache blocks the condensed triangle is
+    /// carved into. Must be at least 1.
+    pub tile: usize,
+    /// Minimum item count before worker threads are spawned; below it the
+    /// serial path runs regardless of the requested thread count.
+    pub par_cutoff: usize,
+}
+
+impl Default for FillTuning {
+    fn default() -> Self {
+        Self {
+            tile: TILE,
+            par_cutoff: PAR_CUTOFF,
+        }
+    }
+}
+
 /// A symmetric pairwise distance matrix over `n` items, stored condensed
 /// (upper triangle only).
 ///
@@ -90,17 +126,36 @@ impl DistanceMatrix {
     where
         F: Fn(usize, usize) -> f64 + Sync,
     {
+        Self::from_fn_par_tuned(n, threads, FillTuning::default(), f)
+    }
+
+    /// [`DistanceMatrix::from_fn_par`] with explicit [`FillTuning`] instead
+    /// of the [`TILE`]/[`PAR_CUTOFF`] defaults.
+    ///
+    /// The contents are identical to the serial constructor for any thread
+    /// count and any tuning; only wall-clock changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` returns a negative or non-finite distance, or if
+    /// `tuning.tile == 0`.
+    pub fn from_fn_par_tuned<F>(n: usize, threads: usize, tuning: FillTuning, f: F) -> Self
+    where
+        F: Fn(usize, usize) -> f64 + Sync,
+    {
+        assert!(tuning.tile >= 1, "fill tile must be at least 1");
+        let tile = tuning.tile;
         let threads = threads.max(1);
-        if threads == 1 || n < PAR_CUTOFF {
+        if threads == 1 || n < tuning.par_cutoff {
             return Self::from_fn(n, f);
         }
         let mut data = vec![0.0f64; n.saturating_sub(1) * n / 2];
         // Carve the condensed buffer into per-(row, column-tile) spans and
-        // group the spans of each TILE×TILE block together. Tile (bi, bj),
+        // group the spans of each tile×tile block together. Tile (bi, bj),
         // bi <= bj, holds pairs (i, j) with i in row-block bi, j in
         // column-block bj; spans are disjoint sub-slices of `data`, so no
         // two workers ever alias.
-        let nb = n.div_ceil(TILE);
+        let nb = n.div_ceil(tile);
         let tile_index = |bi: usize, bj: usize| -> usize {
             debug_assert!(bi <= bj && bj < nb);
             bi * nb - bi * (bi.saturating_sub(1)) / 2 + (bj - bi)
@@ -110,13 +165,13 @@ impl DistanceMatrix {
             (0..n_tiles).map(|_| Vec::new()).collect();
         let mut rest = data.as_mut_slice();
         for i in 0..n.saturating_sub(1) {
-            let bi = i / TILE;
+            let bi = i / tile;
             let (mut row, tail) = rest.split_at_mut(n - 1 - i);
             rest = tail;
             let mut j = i + 1;
             while j < n {
-                let bj = j / TILE;
-                let hi = ((bj + 1) * TILE).min(n);
+                let bj = j / tile;
+                let hi = ((bj + 1) * tile).min(n);
                 let (span, row_tail) = std::mem::take(&mut row).split_at_mut(hi - j);
                 if !span.is_empty() {
                     tiles[tile_index(bi, bj)].push((i, j, span));
@@ -439,6 +494,16 @@ pub fn average_linkage(dm: &DistanceMatrix) -> Dendrogram {
 
     // Sort by height and relabel with a union-find (SciPy's `label` step).
     raw.sort_by(|a, b| crate::order::fcmp(a.2, b.2));
+    relabel_sorted_merges(n, raw)
+}
+
+/// Relabels already-ordered raw merges `(leaf_a, leaf_b, height)` into the
+/// SciPy cluster-id convention (leaves `0..n`, merge `k` creates id `n+k`)
+/// via a union-find — the `label` step shared by [`average_linkage`] and the
+/// bucketed stitched linkage. The caller is responsible for the merge order
+/// (heights must be non-decreasing); no float is touched here, so extracting
+/// this step keeps the exact path bit-identical.
+pub(crate) fn relabel_sorted_merges(n: usize, raw: Vec<(usize, usize, f64)>) -> Dendrogram {
     let mut uf = UnionFind::new(n);
     let mut cluster_id: Vec<usize> = (0..n).collect(); // root leaf -> cluster id
     let mut cluster_size: Vec<usize> = vec![1; n];

@@ -1,0 +1,425 @@
+//! Quantile embeddings of gap CDFs, with a certified EMD lower bound and
+//! deterministic coarse bucketing — the first level of the two-level
+//! (sub-quadratic) `θ_hm`.
+//!
+//! # Why quantiles
+//!
+//! The 1-D Earth Mover's Distance has a quantile-domain dual:
+//! `W₁(F, G) = ∫₀¹ |F⁻¹(u) − G⁻¹(u)| du`. Sampling the inverse CDF at the
+//! `Q + 1` boundary points `u = i/Q` therefore captures exactly the shape
+//! information EMD compares, and — crucially for the workspace's
+//! determinism rules — each sample `F⁻¹(u)` is a pure *lookup* into the
+//! [`CdfRepr`] support (`inf {x : F(x) ≥ u}`): no arithmetic is performed,
+//! so the embedding is bit-exact regardless of evaluation order, thread
+//! count, or platform (D2-clean).
+//!
+//! # The lower bound
+//!
+//! On the slice `u ∈ [i/Q, (i+1)/Q]`, monotonicity brackets
+//! `F⁻¹(u) ∈ [v_F[i], v_F[i+1]]` and `G⁻¹(u) ∈ [v_G[i], v_G[i+1]]`, so the
+//! pointwise gap is at least the *interval gap*
+//! `g_i = max(0, v_F[i] − v_G[i+1], v_G[i] − v_F[i+1])` everywhere on the
+//! slice, giving `W₁ ≥ (Σ g_i) / Q`. (A naive L1 distance between the
+//! embeddings does **not** lower-bound W₁ — midpoint samples can overshoot
+//! on slices where the two inverse CDFs cross — which is why the interval
+//! form is used.) [`embedding_lower_bound`] computes this sum and then
+//! subtracts a rounding guard of `range · 2⁻³⁰` before clamping at zero, so
+//! the *floating-point* result provably stays at or below the
+//! floating-point [`crate::emd_cdf`] value: the exact-real inequality has slack
+//! eaten only by (a) one rounded subtraction per slice plus the `Q`-term
+//! summation here (`≲ Q² · 2⁻⁵³ · range`), and (b) the summation error of
+//! `emd_cdf` itself (`≲ m · 2⁻⁵³ · range` for `m` support points). The
+//! guard dominates both by a wide margin for `Q ≤ 2048` (asserted) and
+//! supports up to ~8 M points — far beyond any per-host gap digest — and
+//! the property test in `tests/props.rs` hammers the claim bitwise.
+//!
+//! # Bucketing
+//!
+//! [`kmeans_partition`] coarse-partitions hosts by their embeddings with a
+//! fully deterministic k-means: farthest-point seeding started from the
+//! lexicographically smallest embedding, a fixed number of Lloyd rounds,
+//! and index-ordered tie-breaks throughout. Bucketing only decides *where*
+//! the exact EMD + NN-chain linkage runs (see `bucketed`); it never feeds a
+//! float into the detector output, so its quality affects accuracy of the
+//! coarse mode, not determinism.
+
+use crate::emd::CdfRepr;
+use crate::order::fcmp;
+
+/// Largest supported quantile count; keeps the rounding guard in
+/// [`embedding_lower_bound`] rigorous (see module docs).
+pub const MAX_QUANTILES: usize = 2048;
+
+/// Embeds a gap CDF as `quantiles + 1` boundary quantiles
+/// `v[i] = F⁻¹(i / quantiles)`, with `v[0]` the smallest and `v[quantiles]`
+/// the largest support position.
+///
+/// Each entry is an exact support-position lookup (no arithmetic), so two
+/// [`CdfRepr`]s that compare equal embed identically bit for bit. Cost is
+/// `O(len + quantiles)` via a single monotone walk.
+///
+/// # Panics
+///
+/// Panics if `c` is empty or `quantiles` is outside `1..=MAX_QUANTILES`.
+///
+/// # Examples
+///
+/// ```
+/// use pw_analysis::{quantile_embedding, CdfRepr};
+///
+/// let c = CdfRepr::from_point_masses(&[(0.0, 1.0), (10.0, 1.0)]);
+/// let v = quantile_embedding(&c, 4);
+/// assert_eq!(v, vec![0.0, 0.0, 0.0, 10.0, 10.0]);
+/// ```
+pub fn quantile_embedding(c: &CdfRepr, quantiles: usize) -> Vec<f64> {
+    assert!(!c.is_empty(), "cannot embed an empty distribution");
+    assert!(
+        (1..=MAX_QUANTILES).contains(&quantiles),
+        "quantiles must be in 1..={MAX_QUANTILES}"
+    );
+    let q = quantiles;
+    let xs = &c.xs;
+    let cdf = &c.cdf;
+    let mut v = Vec::with_capacity(q + 1);
+    v.push(xs[0]);
+    let mut k = 0usize;
+    for i in 1..q {
+        // F⁻¹(u) = first support position whose cumulative mass reaches u.
+        // `u` is nondecreasing in i, so `k` only moves forward: one walk.
+        let u = i as f64 / q as f64;
+        while k + 1 < xs.len() && cdf[k] < u {
+            k += 1;
+        }
+        v.push(xs[k]);
+    }
+    v.push(xs[xs.len() - 1]);
+    v
+}
+
+/// A certified lower bound on `emd_cdf(a, b)` computed from the two
+/// [`quantile_embedding`]s alone, in `O(quantiles)` time.
+///
+/// Returns the per-slice interval-gap sum divided by `Q`, minus a
+/// `range · 2⁻³⁰` rounding guard, clamped at zero (see the module docs for
+/// the proof sketch). The guarantee is **bitwise**: for embeddings built
+/// from the same `CdfRepr`s at the same `Q`,
+/// `embedding_lower_bound(..) <= emd_cdf(..)` holds as `f64` comparison,
+/// not merely up to epsilon.
+///
+/// # Panics
+///
+/// Panics if the embeddings differ in length or have fewer than 2 entries.
+///
+/// # Examples
+///
+/// ```
+/// use pw_analysis::{embedding_lower_bound, emd_cdf, quantile_embedding, CdfRepr};
+///
+/// let a = CdfRepr::from_point_masses(&[(0.0, 1.0)]);
+/// let b = CdfRepr::from_point_masses(&[(100.0, 1.0)]);
+/// let (ea, eb) = (quantile_embedding(&a, 16), quantile_embedding(&b, 16));
+/// let lb = embedding_lower_bound(&ea, &eb);
+/// assert!(lb > 90.0);
+/// assert!(lb <= emd_cdf(&a, &b));
+/// ```
+pub fn embedding_lower_bound(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "embeddings must have equal length");
+    assert!(a.len() >= 2, "embeddings need at least one quantile slice");
+    let q = a.len() - 1;
+    let mut sum = 0.0f64;
+    for i in 0..q {
+        // Interval gap between [a[i], a[i+1]] and [b[i], b[i+1]]: zero when
+        // the brackets overlap, else the distance between them. Both
+        // subtractions round monotonically, so a computed positive gap can
+        // exceed the true gap only by relative epsilon — absorbed by the
+        // guard below.
+        let gap = (a[i] - b[i + 1]).max(b[i] - a[i + 1]).max(0.0);
+        sum += gap;
+    }
+    let lo = a[0].min(b[0]);
+    let hi = a[q].max(b[q]);
+    let guard = (hi - lo) * 2.0f64.powi(-30);
+    ((sum / q as f64) - guard).max(0.0)
+}
+
+/// Lexicographic total-order comparison of two equal-length embeddings.
+fn lex_cmp(a: &[f64], b: &[f64]) -> std::cmp::Ordering {
+    for (x, y) in a.iter().zip(b) {
+        let c = fcmp(*x, *y);
+        if c != std::cmp::Ordering::Equal {
+            return c;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Squared L2 distance between two embeddings (bucketing metric only —
+/// never reaches detector output).
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    let mut s = 0.0f64;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        s += d * d;
+    }
+    s
+}
+
+/// Coarse-partitions items by their embeddings into buckets of roughly
+/// `target_bucket` members using deterministic k-means.
+///
+/// - `k = ceil(n / target_bucket)` centers are seeded farthest-point style,
+///   starting from the lexicographically smallest embedding; distance ties
+///   prefer the lexicographically smaller embedding, then the lower index.
+///   Seeding stops early if every remaining point coincides with a center.
+/// - `rounds` Lloyd iterations follow (assignment ties go to the lowest
+///   center index; an emptied center keeps its previous position).
+/// - Any final bucket larger than `2 * target_bucket` is split into
+///   consecutive `target_bucket`-sized chunks so downstream per-bucket
+///   `O(len²)` work stays bounded even on degenerate embeddings.
+///
+/// Returns non-empty buckets ordered by their smallest member, members
+/// ascending; together they partition `0..n`. The function is a pure
+/// function of the embedding *sequence* — same inputs, same partition, on
+/// any thread count.
+///
+/// # Panics
+///
+/// Panics if `target_bucket == 0` or the embeddings are not all the same
+/// length.
+pub fn kmeans_partition(
+    embeddings: &[Vec<f64>],
+    target_bucket: usize,
+    rounds: usize,
+) -> Vec<Vec<usize>> {
+    assert!(target_bucket >= 1, "target_bucket must be at least 1");
+    let n = embeddings.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let dim = embeddings[0].len();
+    assert!(
+        embeddings.iter().all(|e| e.len() == dim),
+        "embeddings must all have the same length"
+    );
+    let k = n.div_ceil(target_bucket);
+    if k <= 1 {
+        return vec![(0..n).collect()];
+    }
+
+    // Farthest-point seeding from the lexicographically smallest embedding.
+    let seed0 = (0..n)
+        .min_by(|&i, &j| lex_cmp(&embeddings[i], &embeddings[j]))
+        .expect("n > 0");
+    let mut centroids: Vec<Vec<f64>> = vec![embeddings[seed0].clone()];
+    let mut mind: Vec<f64> = (0..n)
+        .map(|i| dist2(&embeddings[i], &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let mut best = 0usize;
+        for i in 1..n {
+            if mind[i] > mind[best]
+                || (mind[i] == mind[best]
+                    && lex_cmp(&embeddings[i], &embeddings[best]) == std::cmp::Ordering::Less)
+            {
+                best = i;
+            }
+        }
+        if mind[best] == 0.0 {
+            break; // every point coincides with a center already
+        }
+        centroids.push(embeddings[best].clone());
+        for i in 0..n {
+            let d = dist2(&embeddings[i], centroids.last().expect("just pushed"));
+            if d < mind[i] {
+                mind[i] = d;
+            }
+        }
+    }
+    let k = centroids.len();
+
+    // Assignment + fixed Lloyd rounds; every tie-break is by lowest index.
+    let mut assign = vec![0usize; n];
+    let assign_all = |centroids: &[Vec<f64>], assign: &mut [usize]| {
+        for (i, e) in embeddings.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = dist2(e, &centroids[0]);
+            for (c, ctr) in centroids.iter().enumerate().skip(1) {
+                let d = dist2(e, ctr);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            assign[i] = best;
+        }
+    };
+    assign_all(&centroids, &mut assign);
+    for _ in 0..rounds {
+        let mut sums = vec![vec![0.0f64; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, e) in embeddings.iter().enumerate() {
+            let c = assign[i];
+            counts[c] += 1;
+            for (s, x) in sums[c].iter_mut().zip(e) {
+                *s += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for s in &mut sums[c] {
+                    *s /= counts[c] as f64;
+                }
+                centroids[c] = std::mem::take(&mut sums[c]);
+            } // an emptied center keeps its previous position
+        }
+        assign_all(&centroids, &mut assign);
+    }
+
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &c) in assign.iter().enumerate() {
+        buckets[c].push(i);
+    }
+    buckets.retain(|b| !b.is_empty());
+    // Split degenerate oversize buckets so per-bucket O(len²) stays bounded.
+    let mut out: Vec<Vec<usize>> = Vec::with_capacity(buckets.len());
+    for b in buckets {
+        if b.len() > 2 * target_bucket {
+            out.extend(b.chunks(target_bucket).map(<[usize]>::to_vec));
+        } else {
+            out.push(b);
+        }
+    }
+    out.sort_by_key(|b| b[0]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emd::emd_cdf;
+
+    fn cdf_of(samples: &[f64]) -> CdfRepr {
+        let masses: Vec<(f64, f64)> = samples.iter().map(|&x| (x, 1.0)).collect();
+        CdfRepr::from_point_masses(&masses)
+    }
+
+    #[test]
+    fn embedding_endpoints_are_min_and_max() {
+        let c = cdf_of(&[5.0, 1.0, 9.0, 3.0]);
+        let v = quantile_embedding(&c, 8);
+        assert_eq!(v.len(), 9);
+        assert_eq!(v[0], 1.0);
+        assert_eq!(v[8], 9.0);
+        for w in v.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn embedding_of_point_mass_is_constant() {
+        let c = cdf_of(&[4.25]);
+        assert_eq!(quantile_embedding(&c, 4), vec![4.25; 5]);
+    }
+
+    #[test]
+    fn embedding_is_exact_lookups() {
+        // Every embedded value must literally be a support position.
+        let c = cdf_of(&[0.1, 0.2, 0.7, 13.5, 1e9]);
+        for v in quantile_embedding(&c, 16) {
+            assert!([0.1, 0.2, 0.7, 13.5, 1e9].contains(&v));
+        }
+    }
+
+    #[test]
+    fn lower_bound_identical_distributions_is_zero() {
+        let c = cdf_of(&[1.0, 2.0, 3.0]);
+        let e = quantile_embedding(&c, 16);
+        assert_eq!(embedding_lower_bound(&e, &e), 0.0);
+    }
+
+    #[test]
+    fn lower_bound_separated_point_masses_is_tight() {
+        let a = cdf_of(&[0.0]);
+        let b = cdf_of(&[100.0]);
+        let (ea, eb) = (quantile_embedding(&a, 16), quantile_embedding(&b, 16));
+        let lb = embedding_lower_bound(&ea, &eb);
+        let exact = emd_cdf(&a, &b);
+        assert!(lb <= exact, "{lb} > {exact}");
+        assert!(lb > 99.9, "point-mass bound should be nearly exact: {lb}");
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_emd_on_structured_sweep() {
+        // Deterministic LCG sweep; the bitwise claim is also proptested.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        for _ in 0..200 {
+            let na = 1 + (next() * 30.0) as usize;
+            let nb = 1 + (next() * 30.0) as usize;
+            let a = cdf_of(&(0..na).map(|_| next() * 1e4 - 5e3).collect::<Vec<_>>());
+            let b = cdf_of(&(0..nb).map(|_| next() * 1e4 - 5e3).collect::<Vec<_>>());
+            for q in [2usize, 7, 16, 64] {
+                let lb =
+                    embedding_lower_bound(&quantile_embedding(&a, q), &quantile_embedding(&b, q));
+                let exact = emd_cdf(&a, &b);
+                assert!(lb <= exact && lb >= 0.0, "q={q}: lb {lb} vs exact {exact}");
+            }
+        }
+    }
+
+    #[test]
+    fn kmeans_partitions_all_indices() {
+        let embeds: Vec<Vec<f64>> = (0..57)
+            .map(|i| vec![((i * 37) % 11) as f64, ((i * 13) % 7) as f64])
+            .collect();
+        let buckets = kmeans_partition(&embeds, 8, 2);
+        let mut all: Vec<usize> = buckets.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..57).collect::<Vec<_>>());
+        for b in &buckets {
+            assert!(!b.is_empty());
+            assert!(b.len() <= 2 * 8, "oversize bucket survived: {}", b.len());
+            assert!(b.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn kmeans_separates_obvious_groups() {
+        let mut embeds: Vec<Vec<f64>> = Vec::new();
+        for i in 0..20 {
+            embeds.push(vec![(i % 5) as f64 * 0.01]);
+        }
+        for i in 0..20 {
+            embeds.push(vec![1e6 + (i % 5) as f64 * 0.01]);
+        }
+        let buckets = kmeans_partition(&embeds, 20, 2);
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0], (0..20).collect::<Vec<_>>());
+        assert_eq!(buckets[1], (20..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn kmeans_identical_embeddings_collapse_to_one_bucket_split_by_chunks() {
+        let embeds: Vec<Vec<f64>> = (0..40).map(|_| vec![1.0, 2.0]).collect();
+        let buckets = kmeans_partition(&embeds, 8, 2);
+        let total: usize = buckets.iter().map(Vec::len).sum();
+        assert_eq!(total, 40);
+        for b in &buckets {
+            assert!(b.len() <= 16);
+        }
+    }
+
+    #[test]
+    fn kmeans_single_bucket_when_target_covers_all() {
+        let embeds: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        assert_eq!(
+            kmeans_partition(&embeds, 100, 2),
+            vec![(0..10).collect::<Vec<_>>()]
+        );
+    }
+}

@@ -125,9 +125,11 @@ pub fn emd_1d(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
 pub struct CdfRepr {
     /// Support positions, strictly increasing under `==` (positions that
     /// compare equal — including `-0.0` vs `0.0` — are merged).
-    xs: Vec<f64>,
+    /// `pub(crate)` so the quantile embedding (`embed`) can read the digest
+    /// without copying; invariants are still enforced by the constructors.
+    pub(crate) xs: Vec<f64>,
     /// `cdf[k]`: total normalized mass at positions `<= xs[k]`.
-    cdf: Vec<f64>,
+    pub(crate) cdf: Vec<f64>,
 }
 
 impl CdfRepr {

@@ -13,6 +13,11 @@
 //!   ([`Ecdf`], `cdf`);
 //! - agglomerative average-linkage hierarchical clustering with a
 //!   top-fraction dendrogram cut ([`Dendrogram`], `cluster`);
+//! - quantile embeddings of CDF digests with a certified EMD lower bound
+//!   and deterministic k-means bucketing ([`quantile_embedding`],
+//!   [`embedding_lower_bound`], [`kmeans_partition`], `embed`), plus the
+//!   stitched per-bucket linkage behind the sub-quadratic `θ_hm`
+//!   ([`bucketed_average_linkage`], [`double_sweep_diameter`], `bucketed`);
 //! - ROC curve containers ([`RocCurve`], `roc`).
 //!
 //! Everything here is deterministic; no randomness is used.
@@ -30,16 +35,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bucketed;
 pub mod cdf;
 pub mod cluster;
+pub mod embed;
 pub mod emd;
 pub mod hist;
 pub mod order;
 pub mod roc;
 pub mod stats;
 
+pub use bucketed::{bucketed_average_linkage, double_sweep_diameter, BucketedLinkage};
 pub use cdf::Ecdf;
-pub use cluster::{average_linkage, Dendrogram, DistanceMatrix, Merge, PAR_CUTOFF, TILE};
+pub use cluster::{
+    average_linkage, Dendrogram, DistanceMatrix, FillTuning, Merge, PAR_CUTOFF, TILE,
+};
+pub use embed::{embedding_lower_bound, kmeans_partition, quantile_embedding, MAX_QUANTILES};
 pub use emd::{emd_1d, emd_cdf, emd_histograms, CdfRepr};
 pub use hist::Histogram;
 pub use order::{fcmp, sort_floats};

@@ -2,8 +2,9 @@
 
 use proptest::prelude::*;
 use pw_analysis::{
-    average_linkage, emd_1d, emd_cdf, iqr, percentile, CdfRepr, Dendrogram, DistanceMatrix, Ecdf,
-    Histogram,
+    average_linkage, bucketed_average_linkage, embedding_lower_bound, emd_1d, emd_cdf, iqr,
+    kmeans_partition, percentile, quantile_embedding, CdfRepr, Dendrogram, DistanceMatrix, Ecdf,
+    FillTuning, Histogram,
 };
 
 fn finite_samples(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
@@ -214,6 +215,88 @@ proptest! {
             let naive_pair = if na[0] <= nb[0] { (na, nb) } else { (nb, na) };
             prop_assert_eq!(fast_pair, naive_pair);
         }
+    }
+
+    /// The satellite contract of the sub-quadratic θ_hm: the quantile
+    /// embedding's certified bound must never exceed the exact EMD — as a
+    /// raw `f64` comparison (slack bitwise ≥ 0.0), not merely up to an
+    /// epsilon, on random point-mass pairs at several quantile counts.
+    #[test]
+    fn embedding_lower_bounds_emd_cdf_bitwise(
+        a in masses(40),
+        b in masses(40),
+        qi in 0usize..6,
+    ) {
+        let q = [2usize, 3, 8, 16, 64, 256][qi];
+        let ra = CdfRepr::from_point_masses(&a);
+        let rb = CdfRepr::from_point_masses(&b);
+        let lb = embedding_lower_bound(&quantile_embedding(&ra, q), &quantile_embedding(&rb, q));
+        let exact = emd_cdf(&ra, &rb);
+        let slack = exact - lb;
+        prop_assert!(slack >= 0.0, "q={q}: lower bound {lb} exceeds exact {exact}");
+        prop_assert!(lb >= 0.0 && lb.is_finite());
+    }
+
+    /// The embedding itself is monotone nondecreasing and pinned to the
+    /// support extremes — pure lookups, so these hold exactly.
+    #[test]
+    fn quantile_embedding_is_monotone_with_exact_endpoints(
+        a in masses(40),
+        q in 1usize..100,
+    ) {
+        let ra = CdfRepr::from_point_masses(&a);
+        let v = quantile_embedding(&ra, q);
+        prop_assert_eq!(v.len(), q + 1);
+        prop_assert_eq!(v[0].to_bits(), ra.min_position().unwrap().to_bits());
+        prop_assert_eq!(v[q].to_bits(), ra.max_position().unwrap().to_bits());
+        for w in v.windows(2) {
+            prop_assert!(w[1] >= w[0]);
+        }
+    }
+
+    /// k-means bucketing always yields a partition of 0..n into non-empty,
+    /// ascending, boundedly-sized buckets — for any embeddings, including
+    /// fully degenerate ones.
+    #[test]
+    fn kmeans_partition_is_valid(
+        embeds in prop::collection::vec(prop::collection::vec(-100.0f64..100.0, 3..4), 1..120),
+        target in 1usize..20,
+        rounds in 0usize..4,
+    ) {
+        let buckets = kmeans_partition(&embeds, target, rounds);
+        let mut all: Vec<usize> = buckets.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..embeds.len()).collect::<Vec<_>>());
+        for b in &buckets {
+            prop_assert!(!b.is_empty());
+            prop_assert!(b.len() <= 2 * target);
+            prop_assert!(b.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    /// The stitched bucketed linkage always produces a structurally valid
+    /// dendrogram (n−1 merges, sorted heights, cuts partition the leaves)
+    /// over any partition k-means produces.
+    #[test]
+    fn bucketed_linkage_is_well_formed(
+        pos in prop::collection::vec(-1.0e3f64..1.0e3, 2..40),
+        target in 1usize..12,
+        f in 0.0f64..1.0,
+    ) {
+        let n = pos.len();
+        let embeds: Vec<Vec<f64>> = pos.iter().map(|&p| vec![p]).collect();
+        let buckets = kmeans_partition(&embeds, target, 2);
+        let got = bucketed_average_linkage(n, &buckets, 1, FillTuning::default(), |i, j| {
+            (pos[i] - pos[j]).abs()
+        });
+        prop_assert_eq!(got.dendrogram.merges().len(), n - 1);
+        for w in got.dendrogram.merges().windows(2) {
+            prop_assert!(w[1].height >= w[0].height);
+        }
+        let clusters = got.dendrogram.cut_top_fraction(f);
+        let mut all: Vec<usize> = clusters.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
     }
 
     /// Under heavy ties the merge *order* is tie-break dependent, but every

@@ -136,6 +136,44 @@ fn bench_theta_hm_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Sub-quadratic `θ_hm`: the bucketed mode forced on (`exact_below = 0`)
+/// against the exact path at the same host counts, so the crossover and
+/// the constant factors of embedding + k-means + per-bucket linkage are
+/// visible at bench time.
+fn bench_theta_hm_bucketed(c: &mut Criterion) {
+    use pw_detect::{BucketedHmParams, ThetaHmConfig, ThetaHmMode};
+    let mut group = c.benchmark_group("theta_hm_bucketed");
+    group.sample_size(10);
+    for &n in &[1024usize, 4096] {
+        let profiles = synth_hm_hosts(n);
+        let view = ProfileView::from_table(&profiles);
+        let s = HostMask::full(view.len());
+        for &threads in &[1usize, 8] {
+            let opts = HmOptions {
+                threads,
+                theta: ThetaHmConfig {
+                    mode: ThetaHmMode::Bucketed(BucketedHmParams {
+                        exact_below: 0,
+                        ..Default::default()
+                    }),
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("n{n}"), threads),
+                &(&view, &s),
+                |b, (view, s)| {
+                    b.iter(|| {
+                        theta_hm_view(black_box(view), s, Threshold::Percentile(70.0), 0.05, &opts)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 fn bench_tdg(c: &mut Criterion) {
     let fixture = bench_day();
     let day = &fixture.day;
@@ -149,5 +187,11 @@ fn bench_tdg(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_detect, bench_theta_hm_scaling, bench_tdg);
+criterion_group!(
+    benches,
+    bench_detect,
+    bench_theta_hm_scaling,
+    bench_theta_hm_bucketed,
+    bench_tdg
+);
 criterion_main!(benches);

@@ -77,7 +77,7 @@ use pw_flow::csvio::{format_flow, parse_flow};
 use pw_flow::{FlowRecord, RowError};
 use pw_netsim::{SimDuration, SimTime};
 
-use crate::detectors::Threshold;
+use crate::detectors::{ThetaHmConfig, ThetaHmMode, Threshold};
 use crate::features::ProfileTier;
 use crate::pipeline::FindPlottersConfig;
 use crate::stream::{EngineConfig, EngineStats, EvictionPolicy, LatePolicy};
@@ -290,12 +290,17 @@ impl EngineCheckpoint {
             c.tier.name(),
         ));
         out.push_str(&format!(
-            "detect with_reduction={} tau_vol={} tau_churn={} tau_hm={} cut_fraction={}\n",
+            "detect with_reduction={} tau_vol={} tau_churn={} tau_hm={} cut_fraction={} \
+             theta_hm={} hm_tile={} hm_par_cutoff={} hm_profile={}\n",
             u8::from(c.detect.with_reduction),
             threshold_str(c.detect.tau_vol),
             threshold_str(c.detect.tau_churn),
             threshold_str(c.detect.tau_hm),
             f64_hex(c.detect.cut_fraction),
+            c.detect.theta_hm.mode.name(),
+            c.detect.theta_hm.tile,
+            c.detect.theta_hm.par_cutoff,
+            u8::from(c.detect.theta_hm.profile),
         ));
         out.push_str(&format!(
             "state watermark_ms={} applied_to_ms={} stall_watermark_ms={} stall_progress_at_ms={}\n",
@@ -398,6 +403,7 @@ impl EngineCheckpoint {
                 tau_churn: detect_fields.threshold("tau_churn")?,
                 tau_hm: detect_fields.threshold("tau_hm")?,
                 cut_fraction: detect_fields.f64_bits("cut_fraction")?,
+                theta_hm: detect_fields.theta_hm()?,
             },
         };
         let stats = EngineStats {
@@ -617,6 +623,36 @@ impl<'a> Fields<'a> {
             None => Ok(ProfileTier::Exact),
             Some((_, v)) => ProfileTier::from_name(v).ok_or_else(|| self.bad("tier", v)),
         }
+    }
+
+    /// Like [`flag`](Self::flag), but an absent key yields `default` — the
+    /// same post-v1 compatibility contract as [`num_or`](Self::num_or).
+    fn flag_or(&self, key: &str, default: bool) -> Result<bool, CheckpointError> {
+        match self.pairs.iter().find(|(k, _)| *k == key) {
+            None => Ok(default),
+            Some((_, v)) => match *v {
+                "0" => Ok(false),
+                "1" => Ok(true),
+                v => Err(self.bad(key, v)),
+            },
+        }
+    }
+
+    /// θ_hm clustering configuration: absent in checkpoints written before
+    /// the bucketed mode existed, which always ran the exact path with the
+    /// default tiling — exactly what [`ThetaHmConfig::default`] encodes.
+    fn theta_hm(&self) -> Result<ThetaHmConfig, CheckpointError> {
+        let d = ThetaHmConfig::default();
+        let mode = match self.pairs.iter().find(|(k, _)| *k == "theta_hm") {
+            None => d.mode,
+            Some((_, v)) => ThetaHmMode::from_name(v).ok_or_else(|| self.bad("theta_hm", v))?,
+        };
+        Ok(ThetaHmConfig {
+            mode,
+            tile: self.num_or("hm_tile", d.tile as u64)? as usize,
+            par_cutoff: self.num_or("hm_par_cutoff", d.par_cutoff as u64)? as usize,
+            profile: self.flag_or("hm_profile", d.profile)?,
+        })
     }
 
     fn late_policy(&self) -> Result<LatePolicy, CheckpointError> {
@@ -891,6 +927,86 @@ mod tests {
         expected.stats.profiles_sketched = 0;
         assert_eq!(parsed, expected);
         assert!(DetectionEngine::restore(&parsed, internal as fn(Ipv4Addr) -> bool).is_ok());
+    }
+
+    #[test]
+    fn theta_hm_config_round_trips_exactly() {
+        use crate::detectors::{BucketedHmParams, ThetaHmConfig, ThetaHmMode};
+        let mut eng = busy_engine();
+        let snap = eng.checkpoint();
+        let theta = ThetaHmConfig {
+            mode: ThetaHmMode::Bucketed(BucketedHmParams {
+                exact_below: 1000,
+                target_bucket: 300,
+                quantiles: 24,
+                kmeans_rounds: 3,
+            }),
+            tile: 96,
+            par_cutoff: 200,
+            profile: true,
+        };
+        let mut snap = snap;
+        snap.config.detect.theta_hm = theta;
+        let parsed = EngineCheckpoint::parse(&snap.serialize()).unwrap();
+        assert_eq!(parsed.config.detect.theta_hm, theta);
+        assert_eq!(parsed, snap);
+        drop(eng.finish());
+    }
+
+    #[test]
+    fn checkpoints_without_theta_hm_fields_restore_as_exact() {
+        use crate::detectors::ThetaHmConfig;
+        let snap = busy_engine().checkpoint();
+        // Rewrite the snapshot into the pre-bucketed form: strip the θ_hm
+        // fields off the detect line (they were appended last).
+        let old: String = snap
+            .serialize()
+            .lines()
+            .map(|l| {
+                let l = if l.starts_with("detect ") {
+                    l.split(" theta_hm=").next().unwrap()
+                } else {
+                    l
+                };
+                format!("{l}\n")
+            })
+            .collect();
+        // The checksum trailer no longer matches the edited body, so parse
+        // the v2 form (no trailer) instead — same line grammar.
+        let old = old.replacen(MAGIC, MAGIC_V2, 1);
+        let old = old.lines().filter(|l| !l.starts_with("checksum ")).fold(
+            String::new(),
+            |mut acc, l| {
+                acc.push_str(l);
+                acc.push('\n');
+                acc
+            },
+        );
+        let parsed = EngineCheckpoint::parse(&old).unwrap();
+        assert_eq!(parsed.config.detect.theta_hm, ThetaHmConfig::default());
+        let mut expected = snap;
+        expected.config.detect.theta_hm = ThetaHmConfig::default();
+        assert_eq!(parsed, expected);
+    }
+
+    #[test]
+    fn malformed_theta_hm_fields_are_refused() {
+        let snap = busy_engine().checkpoint();
+        let bad = snap.serialize().replacen(MAGIC, MAGIC_V2, 1);
+        let bad: String = bad
+            .lines()
+            .filter(|l| !l.starts_with("checksum "))
+            .map(|l| {
+                let l = if l.starts_with("detect ") {
+                    l.replace("theta_hm=exact", "theta_hm=warp")
+                } else {
+                    l.to_string()
+                };
+                format!("{l}\n")
+            })
+            .collect();
+        let err = EngineCheckpoint::parse(&bad).unwrap_err();
+        assert!(err.to_string().contains("theta_hm"));
     }
 
     #[test]

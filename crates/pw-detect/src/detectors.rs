@@ -2,10 +2,15 @@
 
 use std::collections::HashSet;
 use std::net::Ipv4Addr;
+use std::time::{Duration, Instant};
 
-use pw_analysis::{average_linkage, emd_cdf, percentile, CdfRepr, DistanceMatrix};
+use pw_analysis::{
+    average_linkage, bucketed_average_linkage, double_sweep_diameter, emd_cdf, kmeans_partition,
+    percentile, quantile_embedding, CdfRepr, DistanceMatrix, FillTuning,
+};
 use pw_flow::HostId;
 
+use crate::error::ConfigError;
 #[cfg(test)]
 use crate::features::ProfileRepr;
 use crate::features::{HostMask, HostProfile, ProfileView};
@@ -143,6 +148,11 @@ pub struct HmOutcome {
     pub tau: f64,
     /// Hosts excluded for having no interstitial samples.
     pub no_samples: usize,
+    /// Stage timing, present only when [`ThetaHmConfig::profile`] was set
+    /// *and* clustering actually ran (`None` on the degenerate early
+    /// returns, and always `None` by default so report equality comparisons
+    /// are unaffected).
+    pub profile: Option<ThetaHmProfile>,
 }
 
 /// Minimum cluster size `θ_hm` treats as evidence of machine-driven
@@ -162,6 +172,251 @@ pub enum HistogramDistance {
     L1,
 }
 
+/// Parameters of the sub-quadratic two-level `θ_hm`
+/// ([`ThetaHmMode::Bucketed`]).
+///
+/// Hosts are embedded as quantile vectors of their gap CDFs, coarse-
+/// partitioned with deterministic k-means, and the exact EMD + NN-chain
+/// linkage runs only within buckets (stitched via medoid-level linkage).
+/// See `pw_analysis::embed`/`bucketed` and DESIGN.md "Sub-quadratic θ_hm".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketedHmParams {
+    /// Populations smaller than this run the exact `O(n²)` path even in
+    /// bucketed mode — below the wall, exact is both fast and (by
+    /// definition) parity-perfect. Set to `0` to force bucketing always.
+    pub exact_below: usize,
+    /// Coarse-partition target bucket size; `k ≈ n / target_bucket`
+    /// k-means centers are used and no bucket exceeds `2 × target_bucket`.
+    pub target_bucket: usize,
+    /// Quantile count `Q` of the embedding (`Q + 1` samples per host).
+    pub quantiles: usize,
+    /// Lloyd refinement rounds after farthest-point seeding.
+    pub kmeans_rounds: usize,
+}
+
+impl Default for BucketedHmParams {
+    fn default() -> Self {
+        Self {
+            exact_below: 8192,
+            target_bucket: 512,
+            quantiles: 16,
+            kmeans_rounds: 2,
+        }
+    }
+}
+
+/// Strategy for the `θ_hm` clustering stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ThetaHmMode {
+    /// The paper's full pairwise EMD + NN-chain linkage — `O(n²)`,
+    /// byte-identical to the historical kernel at any thread count. The
+    /// default.
+    #[default]
+    Exact,
+    /// Two-level quantile-embedding + coarse-bucketing `θ_hm`; exact within
+    /// buckets, medoid-stitched across them. Sub-quadratic, with a bounded
+    /// accuracy envelope (see the pw-repro parity harness).
+    Bucketed(BucketedHmParams),
+}
+
+impl ThetaHmMode {
+    /// Canonical textual form, stable across releases — used by the CLI
+    /// flag and the checkpoint format: `exact` or
+    /// `bucketed:<exact_below>:<target_bucket>:<quantiles>:<kmeans_rounds>`.
+    pub fn name(&self) -> String {
+        match self {
+            ThetaHmMode::Exact => "exact".to_string(),
+            ThetaHmMode::Bucketed(p) => format!(
+                "bucketed:{}:{}:{}:{}",
+                p.exact_below, p.target_bucket, p.quantiles, p.kmeans_rounds
+            ),
+        }
+    }
+
+    /// Parses [`ThetaHmMode::name`]'s format. `bucketed` alone selects the
+    /// default parameters. Returns `None` on anything malformed.
+    pub fn from_name(s: &str) -> Option<Self> {
+        if s == "exact" {
+            return Some(ThetaHmMode::Exact);
+        }
+        let rest = s.strip_prefix("bucketed")?;
+        if rest.is_empty() {
+            return Some(ThetaHmMode::Bucketed(BucketedHmParams::default()));
+        }
+        let parts: Vec<&str> = rest.strip_prefix(':')?.split(':').collect();
+        if parts.len() != 4 {
+            return None;
+        }
+        let nums: Vec<usize> = parts
+            .iter()
+            .map(|p| p.parse().ok())
+            .collect::<Option<_>>()?;
+        Some(ThetaHmMode::Bucketed(BucketedHmParams {
+            exact_below: nums[0],
+            target_bucket: nums[1],
+            quantiles: nums[2],
+            kmeans_rounds: nums[3],
+        }))
+    }
+}
+
+/// The `θ_hm` configuration surface: clustering mode plus the tuning knobs
+/// (distance-fill tile size and parallel cutoff) that both the exact and
+/// bucketed paths share, plus the stage-profile switch.
+///
+/// Historically the tuning knobs were the hardcoded `pw_analysis::TILE` /
+/// `PAR_CUTOFF` constants; they are promoted here so one validated struct
+/// carries everything `θ_hm`-shaped. Build one with [`ThetaHmConfig::builder`]
+/// (validates) or a struct literal + [`ThetaHmConfig::validate`].
+///
+/// # Examples
+///
+/// ```
+/// use pw_detect::{BucketedHmParams, ThetaHmConfig, ThetaHmMode};
+///
+/// let cfg = ThetaHmConfig::builder()
+///     .mode(ThetaHmMode::Bucketed(BucketedHmParams::default()))
+///     .profile(true)
+///     .build()
+///     .unwrap();
+/// assert!(cfg.profile);
+/// assert!(ThetaHmConfig::builder().tile(0).build().is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThetaHmConfig {
+    /// Clustering strategy (default: [`ThetaHmMode::Exact`]).
+    pub mode: ThetaHmMode,
+    /// Cache-block edge for the condensed distance-matrix fill
+    /// (default [`pw_analysis::TILE`]).
+    pub tile: usize,
+    /// Minimum population before the fill spawns worker threads
+    /// (default [`pw_analysis::PAR_CUTOFF`]).
+    pub par_cutoff: usize,
+    /// Attach a [`ThetaHmProfile`] (stage wall-clock split + bucket-size
+    /// histogram) to the [`HmOutcome`] when clustering actually runs.
+    pub profile: bool,
+}
+
+impl Default for ThetaHmConfig {
+    fn default() -> Self {
+        Self {
+            mode: ThetaHmMode::Exact,
+            tile: pw_analysis::TILE,
+            par_cutoff: pw_analysis::PAR_CUTOFF,
+            profile: false,
+        }
+    }
+}
+
+impl ThetaHmConfig {
+    /// Starts a validated builder from the defaults.
+    pub fn builder() -> ThetaHmConfigBuilder {
+        ThetaHmConfigBuilder {
+            cfg: Self::default(),
+        }
+    }
+
+    /// Checks every constraint; [`crate::FindPlottersConfig::validate`]
+    /// calls this so invalid `θ_hm` settings are caught before any data is
+    /// touched.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.tile == 0 {
+            return Err(ConfigError::ThetaHm(
+                "distance-fill tile must be at least 1",
+            ));
+        }
+        if self.par_cutoff < 2 {
+            return Err(ConfigError::ThetaHm(
+                "parallel cutoff must be at least 2 (1-host fills cannot parallelize)",
+            ));
+        }
+        if let ThetaHmMode::Bucketed(p) = self.mode {
+            if p.target_bucket < 2 {
+                return Err(ConfigError::ThetaHm("bucket target must be at least 2"));
+            }
+            if p.quantiles < 2 || p.quantiles > pw_analysis::MAX_QUANTILES {
+                return Err(ConfigError::ThetaHm(
+                    "quantile count must be in 2..=2048 (rounding guard envelope)",
+                ));
+            }
+            if p.kmeans_rounds > 64 {
+                return Err(ConfigError::ThetaHm("k-means rounds capped at 64"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The [`FillTuning`] these knobs describe.
+    pub fn tuning(&self) -> FillTuning {
+        FillTuning {
+            tile: self.tile,
+            par_cutoff: self.par_cutoff,
+        }
+    }
+}
+
+/// Validated builder for [`ThetaHmConfig`].
+#[derive(Debug, Clone)]
+pub struct ThetaHmConfigBuilder {
+    cfg: ThetaHmConfig,
+}
+
+impl ThetaHmConfigBuilder {
+    /// Sets the clustering mode.
+    pub fn mode(mut self, mode: ThetaHmMode) -> Self {
+        self.cfg.mode = mode;
+        self
+    }
+
+    /// Sets the distance-fill cache-block edge.
+    pub fn tile(mut self, tile: usize) -> Self {
+        self.cfg.tile = tile;
+        self
+    }
+
+    /// Sets the minimum population for a parallel fill.
+    pub fn par_cutoff(mut self, par_cutoff: usize) -> Self {
+        self.cfg.par_cutoff = par_cutoff;
+        self
+    }
+
+    /// Enables or disables the stage profile.
+    pub fn profile(mut self, profile: bool) -> Self {
+        self.cfg.profile = profile;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<ThetaHmConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+/// First-class `θ_hm` stage timing, attached to [`HmOutcome`] when
+/// [`ThetaHmConfig::profile`] is set — replaces the ad-hoc numbers that
+/// used to be hand-pasted into bench JSON. `embed`/`bucket`/`bucket_sizes`
+/// stay zero/empty on the exact path.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ThetaHmProfile {
+    /// Hosts that entered clustering (after the no-samples filter).
+    pub hosts: usize,
+    /// Histogram + CDF-digest construction.
+    pub histograms: Duration,
+    /// Quantile-embedding construction (bucketed mode only).
+    pub embed: Duration,
+    /// Deterministic k-means coarse partition (bucketed mode only).
+    pub bucket: Duration,
+    /// Pairwise distance-matrix fill(s).
+    pub distance_fill: Duration,
+    /// NN-chain linkage (+ medoid stitching in bucketed mode).
+    pub linkage: Duration,
+    /// Dendrogram cut + cluster-diameter computation.
+    pub cut_and_diameters: Duration,
+    /// Bucket sizes in bucket order (empty on the exact path).
+    pub bucket_sizes: Vec<usize>,
+}
+
 /// Design-variant knobs for [`crate::compat::theta_hm_with_options`], used by the ablation
 /// experiments that quantify each design decision DESIGN.md calls out.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -178,6 +433,8 @@ pub struct HmOptions {
     /// matrix (the `θ_hm` hot spots). `1` runs serially; any value produces
     /// identical output.
     pub threads: usize,
+    /// Mode, fill tuning, and profile switch (see [`ThetaHmConfig`]).
+    pub theta: ThetaHmConfig,
 }
 
 impl Default for HmOptions {
@@ -187,6 +444,7 @@ impl Default for HmOptions {
             distance: HistogramDistance::Emd,
             min_cluster_size: MIN_CLUSTER_SIZE,
             threads: 1,
+            theta: ThetaHmConfig::default(),
         }
     }
 }
@@ -230,6 +488,7 @@ pub fn theta_hm_view(
 ) -> HmOutcome {
     let min_size = options.min_cluster_size;
     let threads = options.threads.max(1);
+    let t_hist = Instant::now();
 
     // Candidates in ascending-IP order; histogram construction is
     // per-host-independent so shards just split the ordered list.
@@ -291,41 +550,119 @@ pub fn theta_hm_view(
             clusters: Vec::new(),
             tau: 0.0,
             no_samples,
+            profile: None,
         };
     }
-
-    let dm = match options.distance {
-        HistogramDistance::Emd => {
-            DistanceMatrix::from_fn_par(hosts.len(), threads, |i, j| emd_cdf(&cdfs[i], &cdfs[j]))
-        }
-        HistogramDistance::L1 => {
-            let (lo, hi) =
-                masses
-                    .iter()
-                    .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), pm| {
-                        let first = pm.first().map_or(0.0, |&(p, _)| p);
-                        let last = pm.last().map_or(0.0, |&(p, _)| p);
-                        (lo.min(first), hi.max(last))
-                    });
-            DistanceMatrix::from_fn_par(hosts.len(), threads, |i, j| {
-                l1_distance(&masses[i], &masses[j], lo, hi)
-            })
-        }
+    let mut profile = ThetaHmProfile {
+        hosts: hosts.len(),
+        histograms: t_hist.elapsed(),
+        ..Default::default()
     };
-    let dendro = average_linkage(&dm);
-    let raw_clusters = dendro.cut_top_fraction(cut_fraction);
+    let tuning = options.theta.tuning();
 
-    // Multi-host clusters and their diameters.
-    let mut clusters: Vec<(Vec<Ipv4Addr>, f64)> = raw_clusters
-        .into_iter()
-        .filter(|c| c.len() >= min_size.max(2))
-        .map(|c| {
-            let d = dm.diameter(&c);
-            let ips: Vec<Ipv4Addr> = c.into_iter().map(|i| hosts[i]).collect();
-            (ips, d)
-        })
-        .collect();
+    // The two-level path applies only above its population cutoff and only
+    // to the EMD metric (the quantile bound certifies EMD; the L1 ablation
+    // variant keeps the exact fill). Everything below the cutoff — all
+    // n≤4096 fixtures and the campus days at the defaults — runs the exact
+    // kernel and is therefore byte-identical across modes by construction.
+    let bucketed = match options.theta.mode {
+        ThetaHmMode::Bucketed(p)
+            if hosts.len() >= p.exact_below && options.distance == HistogramDistance::Emd =>
+        {
+            Some(p)
+        }
+        _ => None,
+    };
+
+    // Either path yields multi-host clusters with diameters; the τ_hm
+    // resolution and keep-filter below are shared.
+    let mut clusters: Vec<(Vec<Ipv4Addr>, f64)> = if let Some(p) = bucketed {
+        let t = Instant::now();
+        let embeds: Vec<Vec<f64>> = cdfs
+            .iter()
+            .map(|c| quantile_embedding(c, p.quantiles))
+            .collect();
+        profile.embed = t.elapsed();
+        let t = Instant::now();
+        let buckets = kmeans_partition(&embeds, p.target_bucket, p.kmeans_rounds);
+        profile.bucket = t.elapsed();
+        profile.bucket_sizes = buckets.iter().map(Vec::len).collect();
+        let linked = bucketed_average_linkage(hosts.len(), &buckets, threads, tuning, |i, j| {
+            emd_cdf(&cdfs[i], &cdfs[j])
+        });
+        profile.distance_fill = linked.distance_fill;
+        profile.linkage = linked.linkage;
+        let t = Instant::now();
+        let raw_clusters = linked.dendrogram.cut_top_fraction(cut_fraction);
+        // No global distance matrix exists in this mode. Small clusters —
+        // the ones τ_hm actually keeps — still get the exact O(len²)
+        // diameter so the threshold percentile barely moves; only clusters
+        // too large for that scan fall back to the deterministic
+        // double-sweep 2-approximation (exact/2 ≤ estimate ≤ exact).
+        const DIAMETER_EXACT_CAP: usize = 1_024;
+        let out = raw_clusters
+            .into_iter()
+            .filter(|c| c.len() >= min_size.max(2))
+            .map(|c| {
+                let d = if c.len() <= DIAMETER_EXACT_CAP {
+                    let mut d = 0.0f64;
+                    for (a, &i) in c.iter().enumerate() {
+                        for &j in &c[a + 1..] {
+                            d = d.max(emd_cdf(&cdfs[i], &cdfs[j]));
+                        }
+                    }
+                    d
+                } else {
+                    double_sweep_diameter(&c, |i, j| emd_cdf(&cdfs[i], &cdfs[j]))
+                };
+                let ips: Vec<Ipv4Addr> = c.into_iter().map(|i| hosts[i]).collect();
+                (ips, d)
+            })
+            .collect();
+        profile.cut_and_diameters = t.elapsed();
+        out
+    } else {
+        let t = Instant::now();
+        let dm = match options.distance {
+            HistogramDistance::Emd => {
+                DistanceMatrix::from_fn_par_tuned(hosts.len(), threads, tuning, |i, j| {
+                    emd_cdf(&cdfs[i], &cdfs[j])
+                })
+            }
+            HistogramDistance::L1 => {
+                let (lo, hi) =
+                    masses
+                        .iter()
+                        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), pm| {
+                            let first = pm.first().map_or(0.0, |&(p, _)| p);
+                            let last = pm.last().map_or(0.0, |&(p, _)| p);
+                            (lo.min(first), hi.max(last))
+                        });
+                DistanceMatrix::from_fn_par_tuned(hosts.len(), threads, tuning, |i, j| {
+                    l1_distance(&masses[i], &masses[j], lo, hi)
+                })
+            }
+        };
+        profile.distance_fill = t.elapsed();
+        let t = Instant::now();
+        let dendro = average_linkage(&dm);
+        profile.linkage = t.elapsed();
+        let t = Instant::now();
+        let raw_clusters = dendro.cut_top_fraction(cut_fraction);
+        let out = raw_clusters
+            .into_iter()
+            .filter(|c| c.len() >= min_size.max(2))
+            .map(|c| {
+                let d = dm.diameter(&c);
+                let ips: Vec<Ipv4Addr> = c.into_iter().map(|i| hosts[i]).collect();
+                (ips, d)
+            })
+            .collect();
+        profile.cut_and_diameters = t.elapsed();
+        out
+    };
     clusters.sort_by(|a, b| pw_analysis::fcmp(a.1, b.1).then(a.0.cmp(&b.0)));
+    let profile = options.theta.profile.then_some(profile);
 
     let diameters: Vec<f64> = clusters.iter().map(|&(_, d)| d).collect();
     let Some(t) = tau.resolve(&diameters) else {
@@ -334,6 +671,7 @@ pub fn theta_hm_view(
             clusters,
             tau: 0.0,
             no_samples,
+            profile,
         };
     };
     let kept = clusters
@@ -346,6 +684,7 @@ pub fn theta_hm_view(
         clusters,
         tau: t,
         no_samples,
+        profile,
     }
 }
 
@@ -724,5 +1063,261 @@ mod tests {
         assert_eq!(Threshold::Absolute(5.0).resolve(&[]), Some(5.0));
         assert_eq!(Threshold::Percentile(50.0).resolve(&[]), None);
         assert_eq!(Threshold::Percentile(50.0).resolve(&[1.0, 3.0]), Some(2.0));
+    }
+
+    /// 24 hosts, 6 machine-periodic and 18 human-like — the same shape as
+    /// `parallel_detectors_match_serial`, reused by the mode-parity tests.
+    fn mixed_population() -> (HashMap<Ipv4Addr, HostProfile>, HashSet<Ipv4Addr>) {
+        let periodic = |seed: u64| -> Vec<f64> {
+            (0..200)
+                .map(|i| 300.0 + ((i * 7 + seed) % 5) as f64 * 0.5)
+                .collect()
+        };
+        let humanish = |seed: u64| -> Vec<f64> {
+            (0..200)
+                .map(|i: u64| {
+                    let x = ((i * 2654435761 + seed * 97) % 10_000) as f64 / 10_000.0;
+                    10.0 * seed as f64 + 3600.0 * x * x * x
+                })
+                .collect()
+        };
+        let mut hosts = Vec::new();
+        for k in 0..24u8 {
+            let inter = if k < 6 {
+                periodic(k as u64)
+            } else {
+                humanish(k as u64 * 13 + 1)
+            };
+            hosts.push(profile_with(
+                k + 1,
+                50.0 * (k as f64 + 1.0),
+                (k as f64) / 24.0,
+                inter,
+            ));
+        }
+        setup(hosts)
+    }
+
+    #[test]
+    fn bucketed_mode_below_cutoff_is_bitwise_exact() {
+        // 24 hosts sit far below the default `exact_below = 8192`, so the
+        // bucketed mode must take the exact path and match bit for bit.
+        let (profiles, s) = mixed_population();
+        let exact = theta_hm(&profiles, &s, Threshold::Percentile(70.0), 0.1);
+        let bucketed = theta_hm_with_options(
+            &profiles,
+            &s,
+            Threshold::Percentile(70.0),
+            0.1,
+            &HmOptions {
+                theta: ThetaHmConfig {
+                    mode: ThetaHmMode::Bucketed(BucketedHmParams::default()),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        assert_eq!(exact.kept, bucketed.kept);
+        assert_eq!(exact.clusters, bucketed.clusters);
+        assert_eq!(exact.tau.to_bits(), bucketed.tau.to_bits());
+    }
+
+    #[test]
+    fn forced_bucketed_is_thread_and_input_order_invariant() {
+        let (profiles, s) = mixed_population();
+        let theta = ThetaHmConfig {
+            mode: ThetaHmMode::Bucketed(BucketedHmParams {
+                exact_below: 0,
+                target_bucket: 6,
+                quantiles: 8,
+                kmeans_rounds: 2,
+            }),
+            ..Default::default()
+        };
+        let base = theta_hm_with_options(
+            &profiles,
+            &s,
+            Threshold::Percentile(70.0),
+            0.1,
+            &HmOptions {
+                theta,
+                ..Default::default()
+            },
+        );
+        // A real clustering ran (not a degenerate early return).
+        assert!(!base.clusters.is_empty());
+        for threads in [4usize, 8] {
+            let hm = theta_hm_with_options(
+                &profiles,
+                &s,
+                Threshold::Percentile(70.0),
+                0.1,
+                &HmOptions {
+                    threads,
+                    theta,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(base.kept, hm.kept, "bucketed kept, threads={threads}");
+            assert_eq!(
+                base.clusters, hm.clusters,
+                "bucketed clusters, threads={threads}"
+            );
+            assert_eq!(
+                base.tau.to_bits(),
+                hm.tau.to_bits(),
+                "bucketed tau, threads={threads}"
+            );
+        }
+        // Insertion order into the profile map must not matter: the view
+        // canonicalizes host order, so a reversed build is identical.
+        let (rev_profiles, _) = {
+            let mut hosts: Vec<HostProfile> = profiles.values().cloned().collect();
+            hosts.sort_by_key(|p| std::cmp::Reverse(p.ip));
+            setup(hosts)
+        };
+        let rev = theta_hm_with_options(
+            &rev_profiles,
+            &s,
+            Threshold::Percentile(70.0),
+            0.1,
+            &HmOptions {
+                theta,
+                ..Default::default()
+            },
+        );
+        assert_eq!(base.kept, rev.kept);
+        assert_eq!(base.clusters, rev.clusters);
+        assert_eq!(base.tau.to_bits(), rev.tau.to_bits());
+    }
+
+    #[test]
+    fn profile_flag_attaches_stage_timings() {
+        let (profiles, s) = mixed_population();
+        // Off by default.
+        let plain = theta_hm(&profiles, &s, Threshold::Percentile(70.0), 0.1);
+        assert!(plain.profile.is_none());
+        // Exact path: populated, no bucket stages.
+        let exact = theta_hm_with_options(
+            &profiles,
+            &s,
+            Threshold::Percentile(70.0),
+            0.1,
+            &HmOptions {
+                theta: ThetaHmConfig {
+                    profile: true,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let p = exact.profile.expect("profile requested");
+        assert_eq!(p.hosts, 24);
+        assert!(p.bucket_sizes.is_empty());
+        // Forced bucketed path: bucket sizes partition the population.
+        let bucketed = theta_hm_with_options(
+            &profiles,
+            &s,
+            Threshold::Percentile(70.0),
+            0.1,
+            &HmOptions {
+                theta: ThetaHmConfig {
+                    mode: ThetaHmMode::Bucketed(BucketedHmParams {
+                        exact_below: 0,
+                        target_bucket: 6,
+                        quantiles: 8,
+                        kmeans_rounds: 2,
+                    }),
+                    profile: true,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let p = bucketed.profile.expect("profile requested");
+        assert_eq!(p.bucket_sizes.iter().sum::<usize>(), 24);
+        assert!(p.bucket_sizes.len() > 1);
+    }
+
+    #[test]
+    fn theta_hm_mode_names_round_trip() {
+        let modes = [
+            ThetaHmMode::Exact,
+            ThetaHmMode::Bucketed(BucketedHmParams::default()),
+            ThetaHmMode::Bucketed(BucketedHmParams {
+                exact_below: 0,
+                target_bucket: 300,
+                quantiles: 24,
+                kmeans_rounds: 3,
+            }),
+        ];
+        for m in modes {
+            assert_eq!(ThetaHmMode::from_name(&m.name()), Some(m), "{}", m.name());
+        }
+        assert_eq!(
+            ThetaHmMode::from_name("bucketed"),
+            Some(ThetaHmMode::Bucketed(BucketedHmParams::default()))
+        );
+        assert_eq!(ThetaHmMode::from_name("warp"), None);
+        assert_eq!(ThetaHmMode::from_name("bucketed:1:2"), None);
+        assert_eq!(ThetaHmMode::from_name("bucketed:1:2:x:4"), None);
+    }
+
+    #[test]
+    fn theta_hm_config_validation_rejects_bad_knobs() {
+        assert!(ThetaHmConfig::default().validate().is_ok());
+        let cases: [(ThetaHmConfig, &str); 5] = [
+            (
+                ThetaHmConfig {
+                    tile: 0,
+                    ..Default::default()
+                },
+                "tile",
+            ),
+            (
+                ThetaHmConfig {
+                    par_cutoff: 1,
+                    ..Default::default()
+                },
+                "cutoff",
+            ),
+            (
+                ThetaHmConfig {
+                    mode: ThetaHmMode::Bucketed(BucketedHmParams {
+                        target_bucket: 1,
+                        ..Default::default()
+                    }),
+                    ..Default::default()
+                },
+                "bucket target",
+            ),
+            (
+                ThetaHmConfig {
+                    mode: ThetaHmMode::Bucketed(BucketedHmParams {
+                        quantiles: 1,
+                        ..Default::default()
+                    }),
+                    ..Default::default()
+                },
+                "quantile",
+            ),
+            (
+                ThetaHmConfig {
+                    mode: ThetaHmMode::Bucketed(BucketedHmParams {
+                        kmeans_rounds: 65,
+                        ..Default::default()
+                    }),
+                    ..Default::default()
+                },
+                "rounds",
+            ),
+        ];
+        for (cfg, needle) in cases {
+            let err = cfg.validate().expect_err(needle);
+            assert!(
+                err.to_string().contains(needle),
+                "{err} should mention {needle}"
+            );
+        }
     }
 }

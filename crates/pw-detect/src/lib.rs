@@ -66,7 +66,8 @@ pub mod tdg;
 
 pub use checkpoint::{read_checkpoint, write_checkpoint, CheckpointError, EngineCheckpoint};
 pub use detectors::{
-    theta_churn_view, theta_hm_view, theta_vol_view, HistogramDistance, HmOptions, HmOutcome,
+    theta_churn_view, theta_hm_view, theta_vol_view, BucketedHmParams, HistogramDistance,
+    HmOptions, HmOutcome, ThetaHmConfig, ThetaHmConfigBuilder, ThetaHmMode, ThetaHmProfile,
     Threshold, MIN_CLUSTER_SIZE,
 };
 pub use error::{ConfigError, Error};

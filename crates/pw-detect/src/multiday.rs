@@ -154,6 +154,7 @@ mod tests {
                 clusters: Vec::new(),
                 tau: 0.0,
                 no_samples: 0,
+                profile: None,
             },
             suspects: to_set(suspects),
         }

@@ -7,7 +7,8 @@ use std::net::Ipv4Addr;
 use pw_flow::{FlowRecord, FlowTable};
 
 use crate::detectors::{
-    theta_churn_view, theta_hm_view, theta_vol_view, HmOptions, HmOutcome, Threshold,
+    theta_churn_view, theta_hm_view, theta_vol_view, HmOptions, HmOutcome, ThetaHmConfig,
+    ThetaHmMode, Threshold,
 };
 use crate::error::{ConfigError, Error};
 use crate::features::{
@@ -32,6 +33,10 @@ pub struct FindPlottersConfig {
     pub tau_hm: Threshold,
     /// Fraction of heaviest dendrogram links removed when forming clusters.
     pub cut_fraction: f64,
+    /// `θ_hm` clustering mode, fill tuning, and stage-profile switch. The
+    /// default ([`ThetaHmMode::Exact`], stock tuning, profile off) keeps
+    /// the pipeline byte-identical to its historical output.
+    pub theta_hm: ThetaHmConfig,
 }
 
 impl Default for FindPlottersConfig {
@@ -42,6 +47,7 @@ impl Default for FindPlottersConfig {
             tau_churn: Threshold::Percentile(50.0),
             tau_hm: Threshold::Percentile(70.0),
             cut_fraction: 0.05,
+            theta_hm: ThetaHmConfig::default(),
         }
     }
 }
@@ -87,6 +93,7 @@ impl FindPlottersConfig {
         if !self.cut_fraction.is_finite() || self.cut_fraction <= 0.0 || self.cut_fraction >= 1.0 {
             return Err(ConfigError::CutFraction(self.cut_fraction));
         }
+        self.theta_hm.validate()?;
         Ok(())
     }
 }
@@ -126,6 +133,25 @@ impl FindPlottersConfigBuilder {
     /// Sets the fraction of heaviest dendrogram links cut.
     pub fn cut_fraction(mut self, f: f64) -> Self {
         self.cfg.cut_fraction = f;
+        self
+    }
+
+    /// Replaces the whole `θ_hm` configuration (mode + tuning + profile).
+    pub fn theta_hm(mut self, t: ThetaHmConfig) -> Self {
+        self.cfg.theta_hm = t;
+        self
+    }
+
+    /// Sets just the `θ_hm` clustering mode, keeping tuning defaults.
+    pub fn theta_hm_mode(mut self, mode: ThetaHmMode) -> Self {
+        self.cfg.theta_hm.mode = mode;
+        self
+    }
+
+    /// Toggles the `θ_hm` stage profile
+    /// ([`ThetaHmProfile`](crate::detectors::ThetaHmProfile)).
+    pub fn hm_profile(mut self, on: bool) -> Self {
+        self.cfg.theta_hm.profile = on;
         self
     }
 
@@ -202,6 +228,7 @@ pub(crate) fn run_stages(
         cfg.cut_fraction,
         &HmOptions {
             threads,
+            theta: cfg.theta_hm,
             ..Default::default()
         },
     );

@@ -1,6 +1,9 @@
 //! Headline reproduction summary (§V of the paper): the FindPlotters
-//! operating point, paper vs measured.
+//! operating point, paper vs measured, plus the `θ_hm` stage wall-clock
+//! profile of day 0 (the [`ThetaHmConfig::profile`] switch surfaced here
+//! instead of hand-pasted bench numbers).
 
+use pw_detect::{find_plotters_from_table, FindPlottersConfig, ThetaHmConfig};
 use pw_repro::figures::{fig05_failed_cdfs, fig09_pipeline};
 use pw_repro::{build_context, table, Scale};
 
@@ -48,4 +51,28 @@ fn main() {
             &rows
         )
     );
+
+    // θ_hm stage profile of day 0 under the profiled exact path.
+    let cfg = FindPlottersConfig {
+        theta_hm: ThetaHmConfig {
+            profile: true,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let report = find_plotters_from_table(&ctx.days[0].profiles, &cfg);
+    if let Some(p) = report.hm.profile {
+        let ms = |d: std::time::Duration| format!("{:.2}", d.as_secs_f64() * 1e3);
+        let rows = vec![
+            vec!["hosts clustered".into(), format!("{}", p.hosts)],
+            vec!["histograms + digests".into(), ms(p.histograms)],
+            vec!["distance fill".into(), ms(p.distance_fill)],
+            vec!["NN-chain linkage".into(), ms(p.linkage)],
+            vec!["cut + diameters".into(), ms(p.cut_and_diameters)],
+        ];
+        println!(
+            "{}",
+            table::render("θ_hm stage profile (day 0, ms)", &["stage", "value"], &rows)
+        );
+    }
 }

@@ -56,6 +56,14 @@ echo "==> sketch accuracy gate (exact vs sketched tier, fast scale)"
 # must stay within its bound; see crates/pw-repro/src/bin/sketch_accuracy.rs.
 PW_FAST=1 cargo run -q -p pw-repro --bin sketch_accuracy -- --check
 
+echo "==> theta_hm parity gate (exact vs bucketed mode, fast scale)"
+# Bucketed mode below its cutoff must be bitwise-identical to the exact
+# path on every synthetic fixture, campus-day suspect sets must not
+# diverge, and forced coarse bucketing must keep machine-periodic-host
+# agreement and suspect Jaccard above their floors; see
+# crates/pw-repro/src/bin/theta_hm_parity.rs and BENCH_10.json.
+PW_FAST=1 cargo run -q -p pw-repro --bin theta_hm_parity -- --check
+
 echo "==> server smoke (serve / chaos send / kill -9 / resume / byte-level chaos proxy / diff vs batch)"
 # A seeded multi-exporter day through `findplotters serve`, with injected
 # disconnects, a mid-run SIGKILL, and a final stage streaming every

@@ -4,6 +4,7 @@
 //! cargo run --release --bin findplotters -- flows.csv \
 //!     [--internal CIDR]... [--truth hosts.csv] \
 //!     [--tau-vol P] [--tau-churn P] [--tau-hm P] [--no-reduction] \
+//!     [--theta-hm-mode exact|bucketed[:EB:TB:Q:R]] [--hm-profile] \
 //!     [--threads N] [--window HOURS [--slide HOURS] [--lateness MINS]] \
 //!     [--late-policy reject|drop|extend] [--max-flows N] \
 //!     [--dedupe] [--reject-invalid] [--quarantine FILE] \
@@ -35,6 +36,12 @@
 //! bounded-memory sketch representation (see `pw-sketch`): each host costs
 //! a fixed number of bytes however many destinations it contacts, at the
 //! price of approximate distinct counts on hosts above the sketch caps.
+//!
+//! `--theta-hm-mode bucketed[:EB:TB:Q:R]` enables the sub-quadratic `θ_hm`
+//! clustering path (quantile-embedding + coarse bucketing) for populations
+//! of at least `EB` hosts (default 8192; smaller populations always run
+//! the exact path, bit-identically). `--hm-profile` attaches a per-stage
+//! wall-clock split to each verdict's `θ_hm` outcome.
 //!
 //! Three subcommands run detection as a service (see `pw-server`):
 //!
@@ -81,7 +88,8 @@ use peerwatch::detect::checkpoint::{
 };
 use peerwatch::detect::stream::{DetectionEngine, EngineConfig, LatePolicy};
 use peerwatch::detect::{
-    try_find_plotters_table_tier, Error, FindPlottersConfig, PlotterReport, ProfileTier, Threshold,
+    try_find_plotters_table_tier, Error, FindPlottersConfig, PlotterReport, ProfileTier,
+    ThetaHmMode, Threshold,
 };
 use peerwatch::flow::csvio::{format_flow, read_flows_lossy, RowError};
 use peerwatch::flow::FlowTable;
@@ -92,6 +100,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: findplotters <flows.csv> [--internal CIDR]... [--truth hosts.csv] \
          [--tau-vol P] [--tau-churn P] [--tau-hm P] [--no-reduction] \
+         [--theta-hm-mode exact|bucketed[:EB:TB:Q:R]] [--hm-profile] \
          [--threads N] [--window HOURS [--slide HOURS] [--lateness MINS]] \
          [--late-policy reject|drop|extend] [--max-flows N] [--dedupe] \
          [--reject-invalid] [--quarantine FILE] [--profile-tier exact|sketched] \
@@ -146,6 +155,15 @@ fn parse_tier(v: &str) -> ProfileTier {
     ProfileTier::from_name(v).unwrap_or_else(|| {
         bad_arg(&format!(
             "invalid value {v:?} for --profile-tier: expected exact or sketched"
+        ))
+    })
+}
+
+fn parse_theta_hm_mode(v: &str) -> ThetaHmMode {
+    ThetaHmMode::from_name(v).unwrap_or_else(|| {
+        bad_arg(&format!(
+            "invalid value {v:?} for --theta-hm-mode: expected exact, bucketed, or \
+             bucketed:EXACT_BELOW:TARGET_BUCKET:QUANTILES:ROUNDS"
         ))
     })
 }
@@ -248,6 +266,20 @@ fn print_report(report: &PlotterReport) {
         report.hm.clusters.len(),
         report.hm.tau
     );
+    if let Some(p) = &report.hm.profile {
+        let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+        println!(
+            "θ_hm stage profile:    hist {:.1} ms, embed {:.1} ms, bucket {:.1} ms \
+             ({} buckets), fill {:.1} ms, linkage {:.1} ms, cut+diam {:.1} ms",
+            ms(p.histograms),
+            ms(p.embed),
+            ms(p.bucket),
+            p.bucket_sizes.len(),
+            ms(p.distance_fill),
+            ms(p.linkage),
+            ms(p.cut_and_diameters),
+        );
+    }
     println!("\nsuspected Plotters ({}):", report.suspects.len());
     let mut suspects: Vec<_> = report.suspects.iter().collect();
     suspects.sort();
@@ -308,6 +340,10 @@ fn serve_main(args: &[String]) -> ! {
                     builder.tau_hm(Threshold::Percentile(parse_f64(a, &next_value(&mut it, a))));
             }
             "--no-reduction" => builder = builder.with_reduction(false),
+            "--theta-hm-mode" => {
+                builder = builder.theta_hm_mode(parse_theta_hm_mode(&next_value(&mut it, a)));
+            }
+            "--hm-profile" => builder = builder.hm_profile(true),
             "--threads" => threads = parse_usize(a, &next_value(&mut it, a)),
             "--window" => window_hours = parse_f64(a, &next_value(&mut it, a)),
             "--slide" => slide_hours = Some(parse_f64(a, &next_value(&mut it, a))),
@@ -586,6 +622,10 @@ fn main() {
                     builder.tau_hm(Threshold::Percentile(parse_f64(a, &next_value(&mut it, a))));
             }
             "--no-reduction" => builder = builder.with_reduction(false),
+            "--theta-hm-mode" => {
+                builder = builder.theta_hm_mode(parse_theta_hm_mode(&next_value(&mut it, a)));
+            }
+            "--hm-profile" => builder = builder.hm_profile(true),
             "--threads" => threads = parse_usize(a, &next_value(&mut it, a)),
             "--window" => window_hours = Some(parse_f64(a, &next_value(&mut it, a))),
             "--slide" => slide_hours = Some(parse_f64(a, &next_value(&mut it, a))),
